@@ -1,0 +1,276 @@
+//! XPath evaluation over the in-memory tree — two strategies.
+//!
+//! * [`eval_stepwise`] — forward, set-at-a-time evaluation (one node set
+//!   per location step), the style of an optimized in-memory XSLT engine
+//!   (the study's Saxon).
+//! * [`eval_pathcheck`] — enumerate every element and check the location
+//!   path against its ancestor chain by backtracking, the style of a
+//!   direct implementation of the formal semantics (the study's Galax, a
+//!   semantics-first XQuery engine). Asymptotically heavier; results are
+//!   identical.
+//!
+//! Both return exactly what the streaming engines return, in exact
+//! document (event) order — they serve as the differential oracle for
+//! XSQ in the property tests.
+
+use std::collections::BTreeSet;
+
+use xsq_core::aggregate::Aggregator;
+use xsq_xpath::{Axis, Output, Predicate, Query};
+
+use super::tree::{Document, NodeId};
+
+/// Forward set-at-a-time evaluation (Saxon-like).
+pub fn eval_stepwise(doc: &Document, query: &Query) -> Vec<String> {
+    // Context starts at the (virtual) document node.
+    let mut ctx: BTreeSet<Option<NodeId>> = BTreeSet::new();
+    ctx.insert(None);
+    for step in &query.steps {
+        let mut next: BTreeSet<Option<NodeId>> = BTreeSet::new();
+        for c in &ctx {
+            let candidates: Vec<NodeId> = match (step.axis, c) {
+                (Axis::Child, None) => vec![doc.root],
+                (Axis::Child, Some(id)) => doc.child_elements(*id).collect(),
+                (Axis::Closure, None) => {
+                    let mut v = vec![doc.root];
+                    v.extend(doc.descendant_elements(doc.root));
+                    v
+                }
+                (Axis::Closure, Some(id)) => doc.descendant_elements(*id),
+            };
+            for n in candidates {
+                let node = doc.node(n);
+                if step.test.matches(node.name().expect("element"))
+                    && predicate_holds(doc, n, step.predicate.as_ref())
+                {
+                    next.insert(Some(n));
+                }
+            }
+        }
+        ctx = next;
+    }
+    let matched: BTreeSet<NodeId> = ctx.into_iter().flatten().collect();
+    apply_output(doc, &matched, &query.output)
+}
+
+/// Per-element backtracking evaluation (Galax-like). Deliberately naive:
+/// no memoization, repeated predicate evaluation — a faithful stand-in
+/// for a direct-semantics engine.
+pub fn eval_pathcheck(doc: &Document, query: &Query) -> Vec<String> {
+    let mut matched: BTreeSet<NodeId> = BTreeSet::new();
+    let mut all = vec![doc.root];
+    all.extend(doc.descendant_elements(doc.root));
+    for e in all {
+        if matches_suffix(doc, e, query, query.steps.len() - 1) {
+            matched.insert(e);
+        }
+    }
+    apply_output(doc, &matched, &query.output)
+}
+
+fn matches_suffix(doc: &Document, e: NodeId, query: &Query, i: usize) -> bool {
+    let step = &query.steps[i];
+    let node = doc.node(e);
+    if !step.test.matches(node.name().expect("element"))
+        || !predicate_holds(doc, e, step.predicate.as_ref())
+    {
+        return false;
+    }
+    match (i, step.axis) {
+        // First step anchors at the document node: `/tag` must be the
+        // document element, `//tag` may be anywhere.
+        (0, Axis::Child) => node.parent.is_none(),
+        (0, Axis::Closure) => true,
+        (_, Axis::Child) => node
+            .parent
+            .is_some_and(|p| matches_suffix(doc, p, query, i - 1)),
+        (_, Axis::Closure) => {
+            let mut a = node.parent;
+            while let Some(p) = a {
+                if matches_suffix(doc, p, query, i - 1) {
+                    return true;
+                }
+                a = doc.node(p).parent;
+            }
+            false
+        }
+    }
+}
+
+/// Does the predicate hold on element `e`? Semantics exactly match the
+/// BPDT templates: existential over children / text runs / attributes.
+pub fn predicate_holds(doc: &Document, e: NodeId, pred: Option<&Predicate>) -> bool {
+    let Some(pred) = pred else { return true };
+    let node = doc.node(e);
+    match pred {
+        Predicate::Attr { name, cmp } => match node.attribute(name) {
+            None => false,
+            Some(v) => cmp.as_ref().is_none_or(|c| c.eval(v)),
+        },
+        Predicate::Text { cmp } => doc
+            .text_runs(e)
+            .any(|(t, _)| cmp.as_ref().is_none_or(|c| c.eval(t))),
+        Predicate::Child { name } => doc
+            .child_elements(e)
+            .any(|c| doc.node(c).name() == Some(name.as_str())),
+        Predicate::ChildAttr { child, attr, cmp } => doc.child_elements(e).any(|c| {
+            let n = doc.node(c);
+            n.name() == Some(child.as_str())
+                && match n.attribute(attr) {
+                    None => false,
+                    Some(v) => cmp.as_ref().is_none_or(|cm| cm.eval(v)),
+                }
+        }),
+        Predicate::ChildText { child, cmp } => doc.child_elements(e).any(|c| {
+            doc.node(c).name() == Some(child.as_str()) && doc.text_runs(c).any(|(t, _)| cmp.eval(t))
+        }),
+    }
+}
+
+/// Apply the output expression to a matched element set, in document
+/// (event-ordinal) order.
+pub fn apply_output(doc: &Document, matched: &BTreeSet<NodeId>, output: &Output) -> Vec<String> {
+    match output {
+        Output::Text => {
+            let mut vals: Vec<(u64, String)> = matched
+                .iter()
+                .flat_map(|&e| doc.text_runs(e).map(|(t, o)| (o, t.to_string())))
+                .collect();
+            vals.sort_by_key(|(o, _)| *o);
+            vals.into_iter().map(|(_, v)| v).collect()
+        }
+        Output::Attr(a) => {
+            let mut vals: Vec<(u64, String)> = matched
+                .iter()
+                .filter_map(|&e| {
+                    let n = doc.node(e);
+                    n.attribute(a).map(|v| (n.ordinal, v.to_string()))
+                })
+                .collect();
+            vals.sort_by_key(|(o, _)| *o);
+            vals.into_iter().map(|(_, v)| v).collect()
+        }
+        Output::Element => {
+            let mut vals: Vec<(u64, String)> = matched
+                .iter()
+                .map(|&e| (doc.node(e).ordinal, doc.serialize(e)))
+                .collect();
+            vals.sort_by_key(|(o, _)| *o);
+            vals.into_iter().map(|(_, v)| v).collect()
+        }
+        Output::Aggregate(func) => {
+            // Identical folding semantics to the streaming stat buffer.
+            let mut agg = Aggregator::new(*func);
+            match func {
+                xsq_xpath::AggFunc::Count => {
+                    for _ in matched {
+                        agg.add("1");
+                    }
+                }
+                _ => {
+                    let mut vals: Vec<(u64, String)> = matched
+                        .iter()
+                        .flat_map(|&e| doc.text_runs(e).map(|(t, o)| (o, t.to_string())))
+                        .collect();
+                    vals.sort_by_key(|(o, _)| *o);
+                    for (_, v) in vals {
+                        agg.add(&v);
+                    }
+                }
+            }
+            vec![agg.render()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xpath::parse_query;
+
+    fn both(query: &str, doc: &str) -> (Vec<String>, Vec<String>) {
+        let d = Document::parse(doc.as_bytes()).unwrap();
+        let q = parse_query(query).unwrap();
+        (eval_stepwise(&d, &q), eval_pathcheck(&d, &q))
+    }
+
+    fn check(query: &str, doc: &str, expected: &[&str]) {
+        let (a, b) = both(query, doc);
+        assert_eq!(a, expected, "stepwise mismatch for {query}");
+        assert_eq!(b, expected, "pathcheck mismatch for {query}");
+    }
+
+    #[test]
+    fn simple_child_path() {
+        check(
+            "/a/b/text()",
+            "<a><b>x</b><c><b>no</b></c><b>y</b></a>",
+            &["x", "y"],
+        );
+    }
+
+    #[test]
+    fn closure_finds_all_depths() {
+        check("//b/text()", "<a><b>1</b><c><b>2</b></c></a>", &["1", "2"]);
+    }
+
+    #[test]
+    fn predicates_all_categories() {
+        let doc = r#"<pub><book id="1"><name>N1</name><author>A</author>
+            <price>12</price></book><book id="2"><name>N2</name></book>
+            <year>2002</year></pub>"#;
+        check("/pub/book[@id=1]/name/text()", doc, &["N1"]);
+        check("/pub/book[author]/name/text()", doc, &["N1"]);
+        check("/pub/book[price<13]/name/text()", doc, &["N1"]);
+        check("/pub[year=2002]/book/name/text()", doc, &["N1", "N2"]);
+        check("/pub[book@id=2]/year/text()", doc, &["2002"]);
+        check("/pub/book/name[text()=\"N2\"]", doc, &["<name>N2</name>"]);
+    }
+
+    #[test]
+    fn nested_matches_in_event_order() {
+        // Text of an outer match interleaves with an inner match.
+        check(
+            "//x/text()",
+            "<a><x>pre<x>inner</x>post</x></a>",
+            &["pre", "inner", "post"],
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let doc = "<a><p>1</p><p>2.5</p><q><p>3</p></q></a>";
+        check("//p/count()", doc, &["3"]);
+        check("//p/sum()", doc, &["6.5"]);
+        check("//p/min()", doc, &["1"]);
+        check("//p/max()", doc, &["3"]);
+        check("/a/p/avg()", doc, &["1.75"]);
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        check("/a/*/text()", "<a><b>1</b><c>2</c></a>", &["1", "2"]);
+    }
+
+    #[test]
+    fn recursive_data_no_duplicates() {
+        // The same name matches along several closure paths; it must
+        // appear once.
+        check("//b//c/text()", "<a><b><b><c>x</c></b></b></a>", &["x"]);
+    }
+
+    #[test]
+    fn example_2_from_the_paper() {
+        let doc = r#"<root><pub><book><name>X</name><author>A</author></book>
+            <book><name>Y</name><pub><book><name>Z</name><author>B</author></book>
+            <year>1999</year></pub></book><year>2002</year></pub></root>"#;
+        // Only the match via pub(line 2), book(line 10) satisfies both
+        // predicates — Z is a result; X matches too (book line 3 has an
+        // author and pub line 2 has year 2002). Y's book has no author.
+        check(
+            "//pub[year=2002]//book[author]//name/text()",
+            doc,
+            &["X", "Z"],
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! DOM substrate and the DOM-based baseline engines.
+
+pub mod engines;
+pub mod eval;
+pub mod tree;
+
+pub use engines::{GalaxLike, SaxonLike};
+pub use eval::{apply_output, eval_pathcheck, eval_stepwise, predicate_holds};
+pub use tree::{Document, Node, NodeId, NodeKind};

@@ -1,0 +1,230 @@
+//! XFilter / YFilter-like document filters (§5 related work).
+//!
+//! Filtering systems answer a weaker question than XSQ: *does this
+//! document match the expression at all?* — returning document
+//! identifiers, never element contents, so they need no result buffering.
+//!
+//! * [`XFilterLike`] — one NFA per query, run independently.
+//! * [`YFilterLike`] — many queries combined into a single prefix-sharing
+//!   NFA (a trie over location steps), evaluated once per document; this
+//!   is the YFilter idea of amortizing shared path prefixes across a
+//!   workload of subscriptions.
+//!
+//! Like the originals, only structure is matched: predicates are not
+//! supported ("such systems typically either do not handle predicates or
+//! handle only predicates restricted to structural matching").
+
+use std::collections::HashMap;
+
+use xsq_core::report::Unsupported;
+use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xpath::{parse_query, Axis, NodeTest, Query};
+
+fn path_symbols(query: &Query) -> Result<Vec<(Option<String>, Axis)>, Unsupported> {
+    if query.has_predicates() {
+        return Err(Unsupported(
+            "filtering systems match structure only (no predicates)".into(),
+        ));
+    }
+    Ok(query
+        .steps
+        .iter()
+        .map(|s| {
+            let name = match &s.test {
+                NodeTest::Name(n) => Some(n.clone()),
+                NodeTest::Wildcard => None,
+            };
+            (name, s.axis)
+        })
+        .collect())
+}
+
+/// A single-query NFA filter (XFilter-like).
+pub struct XFilterLike {
+    steps: Vec<(Option<String>, Axis)>,
+}
+
+impl XFilterLike {
+    pub fn compile(query: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let q = parse_query(query)?;
+        Ok(XFilterLike {
+            steps: path_symbols(&q)?,
+        })
+    }
+
+    /// Does the document contain at least one element matching the path?
+    pub fn matches(&self, document: &[u8]) -> Result<bool, xsq_xml::Error> {
+        let n = self.steps.len();
+        let mut parser = StreamParser::new(document);
+        // Stack of NFA state sets (bitmask over 0..=n).
+        let mut stack: Vec<u64> = vec![1];
+        while let Some(ev) = parser.next_event()? {
+            match ev {
+                SaxEvent::Begin { name, .. } => {
+                    let set = *stack.last().expect("nonempty");
+                    let mut next = 0u64;
+                    for i in 0..n {
+                        if set & (1 << i) == 0 {
+                            continue;
+                        }
+                        let (pat, axis) = &self.steps[i];
+                        if pat.as_deref().is_none_or(|p| p == name) {
+                            next |= 1 << (i + 1);
+                        }
+                        if *axis == Axis::Closure {
+                            next |= 1 << i;
+                        }
+                    }
+                    if next & (1 << n) != 0 {
+                        return Ok(true); // early exit on first match
+                    }
+                    stack.push(next);
+                }
+                SaxEvent::End { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// A shared NFA over many queries (YFilter-like): a trie whose edges are
+/// location steps; each query's final step carries its id.
+pub struct YFilterLike {
+    /// Trie nodes: edges (symbol → node), closure flag of the *outgoing*
+    /// step, and accepting query ids.
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Default)]
+struct TrieNode {
+    /// (tag or None for `*`, closure?) → child node.
+    edges: HashMap<(Option<String>, bool), usize>,
+    /// Queries accepted when this node is reached.
+    accepts: Vec<usize>,
+}
+
+impl YFilterLike {
+    /// Combine a workload of path queries into one automaton.
+    pub fn compile(queries: &[&str]) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut nodes = vec![TrieNode::default()];
+        for (qid, q) in queries.iter().enumerate() {
+            let parsed = parse_query(q)?;
+            let steps = path_symbols(&parsed)?;
+            let mut at = 0usize;
+            for (name, axis) in steps {
+                let key = (name, axis == Axis::Closure);
+                at = match nodes[at].edges.get(&key) {
+                    Some(&next) => next,
+                    None => {
+                        let next = nodes.len();
+                        nodes.push(TrieNode::default());
+                        nodes[at].edges.insert(key, next);
+                        next
+                    }
+                };
+            }
+            nodes[at].accepts.push(qid);
+        }
+        Ok(YFilterLike { nodes })
+    }
+
+    /// Number of shared trie nodes (prefix sharing metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run once over the document; returns, per query, whether it matched.
+    pub fn run(&self, document: &[u8], query_count: usize) -> Result<Vec<bool>, xsq_xml::Error> {
+        let mut matched = vec![false; query_count];
+        let mut parser = StreamParser::new(document);
+        // Stack of active trie-node sets.
+        let mut stack: Vec<Vec<usize>> = vec![vec![0]];
+        while let Some(ev) = parser.next_event()? {
+            match ev {
+                SaxEvent::Begin { name, .. } => {
+                    let active = stack.last().expect("nonempty").clone();
+                    let mut next: Vec<usize> = Vec::new();
+                    for &node in &active {
+                        for ((pat, closure), &child) in &self.nodes[node].edges {
+                            if pat.as_deref().is_none_or(|p| p == name) {
+                                if !next.contains(&child) {
+                                    next.push(child);
+                                }
+                                for &q in &self.nodes[child].accepts {
+                                    matched[q] = true;
+                                }
+                            }
+                            // A closure edge keeps its source active below.
+                            if *closure && !next.contains(&node) {
+                                next.push(node);
+                            }
+                        }
+                    }
+                    stack.push(next);
+                }
+                SaxEvent::End { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        Ok(matched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &[u8] = b"<pub><book><name>X</name></book><journal/></pub>";
+
+    #[test]
+    fn xfilter_matches_present_paths() {
+        assert!(XFilterLike::compile("/pub/book/name")
+            .unwrap()
+            .matches(DOC)
+            .unwrap());
+        assert!(XFilterLike::compile("//name")
+            .unwrap()
+            .matches(DOC)
+            .unwrap());
+        assert!(!XFilterLike::compile("/pub/article")
+            .unwrap()
+            .matches(DOC)
+            .unwrap());
+    }
+
+    #[test]
+    fn xfilter_rejects_predicates() {
+        assert!(XFilterLike::compile("/pub[year]/book").is_err());
+    }
+
+    #[test]
+    fn yfilter_answers_many_queries_in_one_pass() {
+        let queries = ["/pub/book/name", "/pub/journal", "/pub/article", "//name"];
+        let y = YFilterLike::compile(&queries).unwrap();
+        let m = y.run(DOC, queries.len()).unwrap();
+        assert_eq!(m, [true, true, false, true]);
+    }
+
+    #[test]
+    fn yfilter_shares_prefixes() {
+        let shared = YFilterLike::compile(&["/a/b/c", "/a/b/d", "/a/b/e"]).unwrap();
+        let unshared = YFilterLike::compile(&["/a/b/c", "/x/y/d", "/p/q/e"]).unwrap();
+        assert!(shared.node_count() < unshared.node_count());
+    }
+
+    #[test]
+    fn yfilter_agrees_with_xfilter() {
+        let queries = ["//book//name", "/pub/book", "//missing"];
+        let y = YFilterLike::compile(&queries).unwrap();
+        let ym = y.run(DOC, queries.len()).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let x = XFilterLike::compile(q).unwrap().matches(DOC).unwrap();
+            assert_eq!(x, ym[i], "disagreement on {q}");
+        }
+    }
+}

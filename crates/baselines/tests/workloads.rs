@@ -1,0 +1,86 @@
+//! Workload-level tests for the filtering baselines: a YFilter-style
+//! subscription set over generated documents, checked against per-query
+//! XFilter runs and against XSQ-derived ground truth.
+
+use xsq_baselines::{XFilterLike, YFilterLike};
+
+fn subscription_workload() -> Vec<String> {
+    // 60 path subscriptions over the DBLP vocabulary, with shared
+    // prefixes (the case YFilter's combined automaton exists for).
+    let mut qs = Vec::new();
+    for record in ["article", "inproceedings"] {
+        for field in ["title", "author", "year", "pages", "booktitle"] {
+            qs.push(format!("/dblp/{record}/{field}"));
+            qs.push(format!("//{record}/{field}"));
+            qs.push(format!("//{record}//{field}"));
+        }
+    }
+    qs
+}
+
+#[test]
+fn yfilter_matches_xfilter_on_a_generated_corpus() {
+    let queries = subscription_workload();
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let y = YFilterLike::compile(&refs).unwrap();
+    // Prefix sharing must actually collapse states: 60 queries of ≤3
+    // steps each would be ≤181 isolated nodes; shared, far fewer.
+    assert!(
+        y.node_count() < 100,
+        "expected prefix sharing, got {} nodes",
+        y.node_count()
+    );
+    for seed in [1, 2, 3] {
+        let doc = xsq_datagen::dblp::generate(seed, 20_000);
+        let ym = y.run(doc.as_bytes(), refs.len()).unwrap();
+        for (i, q) in refs.iter().enumerate() {
+            let x = XFilterLike::compile(q)
+                .unwrap()
+                .matches(doc.as_bytes())
+                .unwrap();
+            assert_eq!(x, ym[i], "seed {seed}, query {q}");
+        }
+    }
+}
+
+#[test]
+fn filter_verdicts_agree_with_the_query_engine() {
+    // A document matches a filter iff the query (as element output)
+    // returns at least one result.
+    let doc = xsq_datagen::nasa::generate(7, 15_000);
+    for q in [
+        "/datasets/dataset/title",
+        "//reference//author",
+        "//tableHead/field/name",
+        "//nonexistent",
+        "/wrongroot/dataset",
+    ] {
+        let filter = XFilterLike::compile(q)
+            .unwrap()
+            .matches(doc.as_bytes())
+            .unwrap();
+        let results = xsq_core::evaluate(q, doc.as_bytes()).unwrap();
+        assert_eq!(filter, !results.is_empty(), "{q}");
+    }
+}
+
+#[test]
+fn document_routing_scenario() {
+    // Route each feed document to the subscribers it matches.
+    let queries = ["//book", "//journal", "//thesis"];
+    let y = YFilterLike::compile(&queries).unwrap();
+    let feed = [
+        "<lib><book/></lib>",
+        "<lib><journal/><book/></lib>",
+        "<lib><thesis/></lib>",
+        "<lib><report/></lib>",
+    ];
+    let routed: Vec<Vec<bool>> = feed
+        .iter()
+        .map(|d| y.run(d.as_bytes(), queries.len()).unwrap())
+        .collect();
+    assert_eq!(routed[0], [true, false, false]);
+    assert_eq!(routed[1], [true, true, false]);
+    assert_eq!(routed[2], [false, false, true]);
+    assert_eq!(routed[3], [false, false, false]);
+}

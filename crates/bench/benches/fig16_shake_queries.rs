@@ -1,0 +1,39 @@
+//! Fig. 16 — throughput of every system on the three SHAKE queries.
+//!
+//! Criterion reports bytes/second per (system, query) pair; dividing by
+//! the `pure_parser` baseline group gives the paper's relative
+//! throughput. Run with `cargo bench --bench fig16_shake_queries`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_bench::datasets::{equal_sized, Scale};
+use xsq_bench::experiments::SHAKE_QUERIES;
+use xsq_xml::PureParser;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let doc = equal_sized("SHAKE", scale);
+    let bytes = doc.len() as u64;
+
+    let mut group = c.benchmark_group("fig16");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+
+    group.bench_function("pure_parser", |b| {
+        b.iter(|| PureParser::run(doc.as_bytes()).unwrap())
+    });
+
+    for engine in xsq_baselines::all_engines() {
+        for (qname, query) in SHAKE_QUERIES {
+            if engine.run(query, doc.as_bytes()).is_err() {
+                continue; // unsupported (Fig. 14)
+            }
+            group.bench_with_input(BenchmarkId::new(engine.name(), qname), &query, |b, q| {
+                b.iter(|| engine.run(q, doc.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

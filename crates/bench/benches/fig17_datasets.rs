@@ -1,0 +1,27 @@
+//! Fig. 17 — throughput of every system across the four datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_bench::datasets::{equal_sized, Scale};
+use xsq_bench::experiments::DATASET_QUERIES;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    for (dataset, query) in DATASET_QUERIES {
+        let doc = equal_sized(dataset, scale);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        for engine in xsq_baselines::all_engines() {
+            if engine.run(query, doc.as_bytes()).is_err() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(engine.name(), dataset), &query, |b, q| {
+                b.iter(|| engine.run(q, doc.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

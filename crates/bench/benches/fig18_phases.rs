@@ -1,0 +1,60 @@
+//! Fig. 18 — per-phase cost: query compilation, preprocessing, querying.
+//!
+//! The compile benches isolate the "Building" bar (parse the query,
+//! build the engine); the preprocess benches isolate DOM/index
+//! construction; the query benches run over preprocessed state where the
+//! engine separates the phases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xsq_baselines::dom::Document;
+use xsq_baselines::xqengine::IndexedDocument;
+use xsq_bench::datasets::{equal_sized, Scale};
+use xsq_bench::experiments::SHAKE_QUERIES;
+use xsq_core::XsqEngine;
+use xsq_xpath::parse_query;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let doc = equal_sized("SHAKE", scale);
+    let query = SHAKE_QUERIES[1].1;
+
+    let mut group = c.benchmark_group("fig18");
+    group.sample_size(20);
+
+    // Building: query → engine.
+    group.bench_function("build/xsq-f", |b| {
+        b.iter(|| XsqEngine::full().compile_str(query).unwrap())
+    });
+    group.bench_function("build/xsq-nc", |b| {
+        b.iter(|| XsqEngine::no_closure().compile_str(query).unwrap())
+    });
+
+    // Preprocessing: document materialization (DOM engines, XQEngine).
+    group.sample_size(10);
+    group.bench_function("preprocess/dom", |b| {
+        b.iter(|| Document::parse(doc.as_bytes()).unwrap())
+    });
+    group.bench_function("preprocess/xqengine-index", |b| {
+        b.iter(|| IndexedDocument::build(doc.as_bytes()).unwrap())
+    });
+
+    // Querying with preprocessing amortized (the paper: "as long as
+    // these systems remain in memory, subsequent queries can be
+    // evaluated much faster").
+    let tree = Document::parse(doc.as_bytes()).unwrap();
+    let q = parse_query(query).unwrap();
+    group.bench_function("query/dom-resident", |b| {
+        b.iter(|| xsq_baselines::dom::eval_stepwise(&tree, &q))
+    });
+    let compiled = XsqEngine::full().compile_str(query).unwrap();
+    group.bench_function("query/xsq-f-stream", |b| {
+        b.iter(|| {
+            let mut sink = xsq_core::CountingSink::new();
+            compiled.run_document(doc.as_bytes(), &mut sink).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 19 — memory scaling on DBLP excerpts.
+//!
+//! Criterion measures the run time across growing excerpts; the peak
+//! memory per point (the figure's y-axis) is printed once per engine to
+//! stderr and, canonically, by `experiments fig19`. The shape to check:
+//! streaming engines flat, DOM engines linear with a ≈4–5× factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_baselines::SaxonLike;
+use xsq_bench::datasets::{dblp_excerpts, Scale};
+use xsq_core::{XPathEngine, XsqF, XsqNc};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(128 * 1024);
+    let excerpts = dblp_excerpts(scale, 4);
+    let query = "/dblp/inproceedings[author]/title/text()";
+
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    for (size, doc) in &excerpts {
+        group.throughput(Throughput::Bytes(*size as u64));
+        for engine in [&XsqF as &dyn XPathEngine, &XsqNc, &SaxonLike] {
+            let r = engine.run(query, doc.as_bytes()).unwrap();
+            eprintln!(
+                "fig19 memory: {} @ {} KB -> {} KB peak",
+                engine.name(),
+                size / 1024,
+                r.memory.total_peak_bytes() / 1024
+            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), size / 1024), doc, |b, d| {
+                b.iter(|| engine.run(query, d.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

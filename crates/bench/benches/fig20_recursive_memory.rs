@@ -1,0 +1,35 @@
+//! Fig. 20 — recursive data + closure query: XSQ-F's memory stays
+//! bounded by the largest element even under heavy nondeterminism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_baselines::SaxonLike;
+use xsq_bench::datasets::{recursive_sweep, Scale};
+use xsq_core::{XPathEngine, XsqF};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(128 * 1024);
+    let sweep = recursive_sweep(scale, 3);
+    let query = "//pub[year]//book[@id]/title/text()";
+
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    for (size, doc) in &sweep {
+        group.throughput(Throughput::Bytes(*size as u64));
+        for engine in [&XsqF as &dyn XPathEngine, &SaxonLike] {
+            let r = engine.run(query, doc.as_bytes()).unwrap();
+            eprintln!(
+                "fig20 memory: {} @ {} KB -> {} KB peak",
+                engine.name(),
+                size / 1024,
+                r.memory.total_peak_bytes() / 1024
+            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), size / 1024), doc, |b, d| {
+                b.iter(|| engine.run(query, d.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

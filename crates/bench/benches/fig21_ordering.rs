@@ -1,0 +1,29 @@
+//! Fig. 21 — data-ordering sensitivity: the same (empty) result set,
+//! radically different buffering costs depending on where the
+//! falsifying evidence sits (`prior`, `posterior`, `@id`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_baselines::SaxonLike;
+use xsq_bench::datasets::{ordering, Scale};
+use xsq_bench::experiments::ORDERING_QUERIES;
+use xsq_core::{XPathEngine, XsqF, XsqNc};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let doc = ordering(scale);
+
+    let mut group = c.benchmark_group("fig21");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+    for engine in [&XsqNc as &dyn XPathEngine, &XsqF, &SaxonLike] {
+        for (label, query) in ORDERING_QUERIES {
+            group.bench_with_input(BenchmarkId::new(engine.name(), label), &query, |b, q| {
+                b.iter(|| engine.run(q, doc.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 22 — result-size sensitivity: queries returning 10% / 30% / 60%
+//! of the data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_baselines::{JoostLike, SaxonLike, XmltkLike};
+use xsq_bench::datasets::{colors, Scale};
+use xsq_core::{XPathEngine, XsqF, XsqNc};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let doc = colors(scale);
+
+    let mut group = c.benchmark_group("fig22");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+    for engine in [
+        &XsqNc as &dyn XPathEngine,
+        &XsqF,
+        &XmltkLike,
+        &SaxonLike,
+        &JoostLike,
+    ] {
+        for (label, query) in [
+            ("red10", "/a/red"),
+            ("green30", "/a/green"),
+            ("blue60", "/a/blue"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(engine.name(), label), &query, |b, q| {
+                b.iter(|| engine.run(q, doc.as_bytes()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

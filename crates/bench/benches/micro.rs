@@ -1,0 +1,185 @@
+//! Microbenchmarks and ablations beyond the paper's figures:
+//!
+//! * raw parser throughput (the PureParser upper bound of §6.2);
+//! * HPDT compilation cost per query shape;
+//! * the XSQ-NC first-match-scan ablation: the same closure-free query
+//!   on the same HPDT with the nondeterministic full-scan runtime vs.
+//!   the deterministic fast path (the design choice §6.2 measures);
+//! * depth-vector and buffer operation costs under heavy recursion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xsq_bench::datasets::{equal_sized, Scale};
+use xsq_core::{build_hpdt, CountingSink, Runner, XsqEngine};
+use xsq_xml::{parse_to_events, PureParser};
+use xsq_xpath::parse_query;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::with_bytes(256 * 1024);
+    let doc = equal_sized("DBLP", scale);
+
+    let mut group = c.benchmark_group("micro");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("pure_parse", |b| {
+        b.iter(|| PureParser::run(doc.as_bytes()).unwrap())
+    });
+
+    // Compile cost per query shape.
+    group.sample_size(30);
+    for q in [
+        "/dblp/article/title/text()",
+        "//pub[year>2000]//book[author]//name/text()",
+        "/a[@x]/b[c]/d[e=1]/f[g@h<2]/i[text()%j]/text()",
+    ] {
+        group.bench_with_input(BenchmarkId::new("compile", q.len()), &q, |b, q| {
+            b.iter(|| build_hpdt(&parse_query(q).unwrap()).unwrap())
+        });
+    }
+
+    // Scan-policy ablation: identical HPDT, full scan vs. first-match.
+    group.sample_size(10);
+    let query = "/dblp/inproceedings[author]/title/text()";
+    let hpdt = build_hpdt(&parse_query(query).unwrap()).unwrap();
+    let events = parse_to_events(doc.as_bytes()).unwrap();
+    for (label, scan_all) in [
+        ("scan-all (XSQ-F policy)", true),
+        ("first-match (XSQ-NC)", false),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scan_policy", label),
+            &scan_all,
+            |b, &s| {
+                b.iter(|| {
+                    let mut runner = Runner::new(&hpdt, s);
+                    let mut sink = CountingSink::new();
+                    for e in &events {
+                        runner.feed(e, &mut sink);
+                    }
+                    runner.finish(&mut sink)
+                })
+            },
+        );
+    }
+
+    // End-to-end engine run, parse included (what Figs. 16-17 time).
+    let compiled = XsqEngine::full().compile_str(query).unwrap();
+    group.bench_function("xsq_f_end_to_end", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            compiled.run_document(doc.as_bytes(), &mut sink).unwrap()
+        })
+    });
+
+    // Multi-query grouping (§5 / YFilter): N standing queries in one
+    // stream pass vs. N separate passes.
+    let standing = [
+        "/dblp/article/title/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/dblp/article[year>=2000]/title/text()",
+        "/dblp/inproceedings/@key",
+        "/dblp/article/author/text()",
+        "/dblp/inproceedings/booktitle/text()",
+        "/dblp/article/year/sum()",
+        "/dblp/inproceedings/count()",
+    ];
+    let set = xsq_core::QuerySet::compile(XsqEngine::full(), &standing).unwrap();
+    group.bench_function("multi_query/one_pass", |b| {
+        b.iter(|| set.run_document(doc.as_bytes()).unwrap())
+    });
+    let singles: Vec<_> = standing
+        .iter()
+        .map(|q| XsqEngine::full().compile_str(q).unwrap())
+        .collect();
+    group.bench_function("multi_query/separate_passes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for c in &singles {
+                let mut sink = CountingSink::new();
+                c.run_document(doc.as_bytes(), &mut sink).unwrap();
+                total += sink.results;
+            }
+            total
+        })
+    });
+
+    // Schema-rewrite ablation (§5 future work): the same semantics with
+    // closures vs. after the DTD-driven closure elimination.
+    let dtd = xsq_xml::dtd::Dtd::from_edges(&[
+        ("dblp", &["article", "inproceedings"]),
+        ("article", &["author", "title", "year", "pages"]),
+        (
+            "inproceedings",
+            &["author", "title", "year", "pages", "booktitle"],
+        ),
+    ]);
+    let closure_query = parse_query("//dblp//article//title/text()").unwrap();
+    let (rewritten, analysis) = xsq_core::schema::optimize(&closure_query, &dtd);
+    assert!(analysis.satisfiable && !rewritten.has_closure());
+    for (label, q) in [
+        ("with_closures", &closure_query),
+        ("schema_rewritten", &rewritten),
+    ] {
+        let compiled = XsqEngine::full().compile(q).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("schema_rewrite", label),
+            &compiled,
+            |b, c| {
+                b.iter(|| {
+                    let mut sink = CountingSink::new();
+                    c.run_document(doc.as_bytes(), &mut sink).unwrap()
+                })
+            },
+        );
+    }
+    // §3.1 ablation: the naive per-item-flags engine (whole-buffer rescan
+    // per predicate event) vs. the HPDT on buffering-heavy data — "such
+    // methods significantly degrade the performance".
+    let ordering_doc = xsq_datagen::toxgene::ordering_dataset(64 * 1024, 200);
+    let naive_query = "/doc/a[posterior=1]/foo/text()";
+    let naive_compiled = XsqEngine::full().compile_str(naive_query).unwrap();
+    group.bench_function("naive_flags_ablation/hpdt", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            naive_compiled
+                .run_document(ordering_doc.as_bytes(), &mut sink)
+                .unwrap()
+        })
+    });
+    group.bench_function("naive_flags_ablation/naive", |b| {
+        b.iter(|| {
+            xsq_baselines::NaiveFlags
+                .run_counting(naive_query, ordering_doc.as_bytes())
+                .unwrap()
+                .1
+        })
+    });
+    // Stream-projection ablation (the XMLTK companion technique): run a
+    // selective query on the full stream vs. on the projected stream.
+    let proj_query = parse_query("/dblp/inproceedings[author]/title/text()").unwrap();
+    let proj_compiled = XsqEngine::full().compile(&proj_query).unwrap();
+    group.bench_function("projection/full_stream", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            proj_compiled.run_events(&events, &mut sink);
+            sink.results
+        })
+    });
+    let projected = xsq_core::projector::project_events(&proj_query, &events);
+    eprintln!(
+        "projection kept {}/{} events",
+        projected.len(),
+        events.len()
+    );
+    group.bench_function("projection/projected_stream", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            proj_compiled.run_events(&projected, &mut sink);
+            sink.results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

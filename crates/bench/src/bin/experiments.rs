@@ -1,0 +1,100 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the paper's §6 as plain-text tables.
+//!
+//! ```text
+//! experiments [fig14 … fig22 | all] [--scale-kb N] [--repeats N] [--seed N]
+//!             [--csv DIR]    additionally write one CSV per figure
+//! ```
+//!
+//! Defaults: all figures, 1024 KB base dataset size, best-of-3 timing.
+
+use std::process::ExitCode;
+
+use xsq_bench::experiments::{self, Config};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale-kb" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(kb) => cfg.scale.bytes = kb * 1024,
+                    None => return usage("--scale-kb needs a number"),
+                }
+            }
+            "--repeats" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(r) => cfg.repeats = r.max(1),
+                    None => return usage("--repeats needs a number"),
+                }
+            }
+            "--csv" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => csv_dir = Some(d.clone()),
+                    None => return usage("--csv needs a directory"),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => cfg.scale.seed = s,
+                    None => return usage("--seed needs a number"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            a if a.starts_with("fig") || a == "all" || a == "xmark" => {
+                figures.push(a.to_string())
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = (14..=22).map(|n| format!("fig{n}")).collect();
+    }
+    println!(
+        "XSQ experiment harness — base scale {} KB, best-of-{} timing, seed {}\n",
+        cfg.scale.bytes / 1024,
+        cfg.repeats,
+        cfg.scale.seed
+    );
+    for f in &figures {
+        match experiments::by_name(f, cfg) {
+            Some(table) => {
+                println!("{}", table.render());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("error: creating {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let path = format!("{dir}/{f}.csv");
+                    if let Err(e) = std::fs::write(&path, table.render_csv()) {
+                        eprintln!("error: writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => return usage(&format!("unknown experiment '{f}' (fig14..fig22)")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: experiments [fig14 .. fig22 | xmark | all] [--scale-kb N] [--repeats N] [--seed N] [--csv DIR]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

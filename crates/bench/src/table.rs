@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple aligned table with a title and optional footnotes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as CSV (headers + rows; notes become trailing comment
+    /// lines prefixed with `#`).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("# ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"=".repeat(line.min(100)));
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(line.min(100)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_csv_with_escaping() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        t.note("n");
+        let csv = t.render_csv();
+        assert_eq!(csv, "name,v\n\"a,b\",\"say \"\"hi\"\"\"\n# n\n");
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("T\n"));
+        assert!(s.contains("longer"));
+        assert!(s.contains("note: a note"));
+        // Columns aligned: both rows have the value column starting at
+        // the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let r1 = lines.iter().find(|l| l.starts_with("a ")).unwrap();
+        let r2 = lines.iter().find(|l| l.starts_with("longer")).unwrap();
+        assert_eq!(r1.find("1.00"), r2.find('2'));
+    }
+}

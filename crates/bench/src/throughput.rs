@@ -1,0 +1,108 @@
+//! Relative-throughput measurement (§6.2 methodology).
+
+use std::time::{Duration, Instant};
+
+use xsq_core::XPathEngine;
+use xsq_xml::PureParser;
+
+/// Result of one engine measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Engine throughput / PureParser throughput on the same bytes,
+    /// i.e. `pure_time / engine_time`. 1.0 means "as fast as parsing
+    /// alone"; a DOM engine that parses twice-equivalent work lands
+    /// around 0.3–0.5.
+    pub relative_throughput: f64,
+    /// Total engine wall time (all phases).
+    pub total: Duration,
+    /// Result count (sanity check across engines).
+    pub results: usize,
+}
+
+/// Best-of-`repeats` wall time of `f`.
+fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let v = f();
+        let d = t.elapsed();
+        if d < best {
+            best = d;
+        }
+        last = Some(v);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+/// Time the PureParser over a document (the normalization baseline).
+pub fn pure_parse_time(document: &[u8], repeats: usize) -> Duration {
+    let (d, _) = best_of(repeats, || {
+        PureParser::run(document).expect("well-formed dataset")
+    });
+    d
+}
+
+/// Measure one engine on one query/document pair, normalized by a
+/// pre-measured PureParser time. Returns `None` if the engine does not
+/// support the query (Fig. 14's empty cells).
+pub fn measure(
+    engine: &dyn XPathEngine,
+    query: &str,
+    document: &[u8],
+    pure: Duration,
+    repeats: usize,
+) -> Option<Measurement> {
+    // Probe support first so unsupported engines do not cost repeats.
+    engine.run(query, document).ok()?;
+    let (total, report) = best_of(repeats, || {
+        engine.run(query, document).expect("probed as supported")
+    });
+    Some(Measurement {
+        relative_throughput: pure.as_secs_f64() / total.as_secs_f64(),
+        total,
+        results: report.results.len(),
+    })
+}
+
+/// Format a relative throughput as the paper's 0..1 bar heights.
+pub fn fmt_rel(m: &Option<Measurement>) -> String {
+    match m {
+        Some(m) => format!("{:.3}", m.relative_throughput),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_engine_is_within_constant_factor_of_pure_parsing() {
+        let doc = xsq_datagen::dblp::generate(1, 200_000);
+        let pure = pure_parse_time(doc.as_bytes(), 3);
+        let m = measure(
+            &xsq_core::XsqNc,
+            "/dblp/article/title/text()",
+            doc.as_bytes(),
+            pure,
+            3,
+        )
+        .expect("supported");
+        assert!(
+            m.relative_throughput > 0.05,
+            "rel {}",
+            m.relative_throughput
+        );
+        assert!(m.results > 0);
+    }
+
+    #[test]
+    fn unsupported_queries_yield_none() {
+        let doc = b"<a><b>x</b></a>";
+        let pure = pure_parse_time(doc, 1);
+        let m = measure(&xsq_baselines::XmltkLike, "/a[b]/b/text()", doc, pure, 1);
+        assert!(m.is_none());
+        assert_eq!(fmt_rel(&m), "-");
+    }
+}

@@ -1,0 +1,158 @@
+//! The statistics buffer for aggregation queries (§4.4).
+//!
+//! Instead of emitting matched values, an aggregation query folds them
+//! into a running statistic. The paper's `stat.update` emits a new value
+//! whenever the statistic changes, so aggregations remain useful over
+//! unbounded streams; `stat.output` reports the final value at document
+//! end. Duplicate avoidance is inherited from the item machinery: a value
+//! matched along several closure paths is counted exactly once, because
+//! it folds in only when its shared item is first marked output.
+
+use xsq_xpath::value::{canonical_number, str_to_number};
+use xsq_xpath::AggFunc;
+
+/// Running state of one aggregation function.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    dirty: bool,
+}
+
+impl Aggregator {
+    pub fn new(func: AggFunc) -> Self {
+        Aggregator {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            dirty: false,
+        }
+    }
+
+    /// Fold one matched value in. Numeric conversion follows XPath
+    /// `number()`: non-numeric text becomes NaN, which poisons `sum` and
+    /// `avg` (XPath 1.0 semantics) but is skipped by `min`/`max` (a
+    /// practical choice, documented in DESIGN.md).
+    pub fn add(&mut self, value: &str) {
+        self.count += 1;
+        self.dirty = true;
+        if self.func == AggFunc::Count {
+            return;
+        }
+        let v = str_to_number(value);
+        self.sum += v;
+        if !v.is_nan() {
+            self.min = Some(self.min.map_or(v, |m| m.min(v)));
+            self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        }
+    }
+
+    /// The current value of the statistic over everything seen so far.
+    pub fn current(&self) -> f64 {
+        match self.func {
+            AggFunc::Count => self.count as f64,
+            AggFunc::Sum => self.sum,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(f64::NAN),
+            AggFunc::Max => self.max.unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Number of values folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Take the "changed since last asked" flag (drives the running
+    /// updates the paper's `stat.update` emits).
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Final textual result, as `stat.output` would print it.
+    pub fn render(&self) -> String {
+        match self.func {
+            AggFunc::Count => self.count.to_string(),
+            _ => canonical_number(self.current()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_counts_everything_including_non_numeric() {
+        let mut a = Aggregator::new(AggFunc::Count);
+        a.add("x");
+        a.add("1");
+        assert_eq!(a.current(), 2.0);
+        assert_eq!(a.render(), "2");
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let mut a = Aggregator::new(AggFunc::Sum);
+        a.add("10.5");
+        a.add(" 2 "); // padded, as in real data
+        assert_eq!(a.current(), 12.5);
+        assert_eq!(a.render(), "12.5");
+        let mut a = Aggregator::new(AggFunc::Avg);
+        a.add("10");
+        a.add("20");
+        assert_eq!(a.current(), 15.0);
+    }
+
+    #[test]
+    fn sum_is_nan_poisoned_like_xpath() {
+        let mut a = Aggregator::new(AggFunc::Sum);
+        a.add("10");
+        a.add("not a number");
+        assert!(a.current().is_nan());
+    }
+
+    #[test]
+    fn min_max_skip_nan() {
+        let mut a = Aggregator::new(AggFunc::Min);
+        a.add("junk");
+        a.add("5");
+        a.add("3");
+        assert_eq!(a.current(), 3.0);
+        let mut a = Aggregator::new(AggFunc::Max);
+        a.add("5");
+        a.add("junk");
+        a.add("7");
+        assert_eq!(a.current(), 7.0);
+        assert_eq!(a.render(), "7");
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(Aggregator::new(AggFunc::Count).current(), 0.0);
+        assert_eq!(Aggregator::new(AggFunc::Sum).current(), 0.0);
+        assert!(Aggregator::new(AggFunc::Avg).current().is_nan());
+        assert!(Aggregator::new(AggFunc::Min).current().is_nan());
+    }
+
+    #[test]
+    fn dirty_flag_drives_running_updates() {
+        let mut a = Aggregator::new(AggFunc::Count);
+        assert!(!a.take_dirty());
+        a.add("x");
+        assert!(a.take_dirty());
+        assert!(!a.take_dirty());
+    }
+}

@@ -1,0 +1,396 @@
+//! States, transition arcs, labels, guards, and actions of the HPDT.
+//!
+//! A transition arc stores (paper §3.4) the input-symbol pattern it
+//! matches, an optional predicate guard evaluated against the event, the
+//! new state, and the buffer/output operations to perform. Special labels
+//! implement the closure machinery: `//` self-loops that accept any begin
+//! event, closure entry arcs (the paper's `=`-marked arcs) that accept
+//! their tag at any depth, and the catchall `*̄` that accepts any event
+//! strictly below the current anchor (used for whole-element output).
+
+use xsq_xpath::Comparison;
+
+use crate::depth_vector::DepthVector;
+use crate::ids::BpdtId;
+
+/// Index of a state in the HPDT's state table.
+pub type StateId = u32;
+
+/// Role a state plays inside its BPDT (for dumps and invariant checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateRole {
+    /// The HPDT's global start state (START of the root BPDT).
+    Start,
+    /// A TRUE state: the BPDT's predicate is known true.
+    True,
+    /// An NA state: the predicate has not been evaluated yet.
+    Na,
+    /// Inside the predicate's witness child (between `<child>` and
+    /// `</child>` of the begin-event-triggered categories).
+    Witness,
+}
+
+/// Static information about a state.
+#[derive(Debug, Clone)]
+pub struct StateInfo {
+    /// The BPDT that owns the state. (START states belong to the parent
+    /// BPDT; the states listed here are the owned ones plus the root's.)
+    pub owner: BpdtId,
+    pub role: StateRole,
+}
+
+/// Tag pattern on begin/end/text labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamePat {
+    Name(String),
+    /// `*` — any tag.
+    Any,
+}
+
+impl NamePat {
+    pub fn matches(&self, tag: &str) -> bool {
+        match self {
+            NamePat::Name(n) => n == tag,
+            NamePat::Any => true,
+        }
+    }
+}
+
+/// What events an arc accepts, including the depth discipline of §4.3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArcLabel {
+    /// The document-start event (consumed by the root BPDT, Fig. 12).
+    StartDoc,
+    /// The document-end event.
+    EndDoc,
+    /// A begin event of a *child* of the current anchor:
+    /// `e.d == dv.top() + 1`.
+    BeginChild(NamePat),
+    /// A closure entry arc (the paper's `=`-marked transitions): a begin
+    /// event with matching tag at **any** depth below the anchor
+    /// (`e.d > dv.top()`).
+    BeginAnyDepth(NamePat),
+    /// The `//` self-loop on a closure step's START state: any begin
+    /// event, no state or depth-vector change.
+    ClosureSelfLoop,
+    /// An end event at the anchor depth: `e.d == dv.top()`.
+    End(NamePat),
+    /// A text event of the anchor element itself: `e.d == dv.top()`.
+    TextSelf(NamePat),
+    /// A text event of a direct child: `e.d == dv.top() + 1` with the
+    /// child's tag.
+    TextChild(NamePat),
+    /// The catchall `*̄`: any event with `e.d > dv.top()` (strict
+    /// descendants of the anchor). Used for whole-element output.
+    Catchall,
+}
+
+/// A predicate guard evaluated against the matched event. A failing guard
+/// means the arc does not fire (the paper: "if f evaluates to false, it
+/// does nothing").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Guard {
+    /// On a begin event: the named attribute exists and (if present)
+    /// satisfies the comparison.
+    Attr {
+        name: String,
+        cmp: Option<Comparison>,
+    },
+    /// On a text event: the content satisfies the comparison (`None`
+    /// means any text, for bare `[text()]`).
+    Text { cmp: Option<Comparison> },
+}
+
+/// Where a freshly produced result value is routed (the disposition is
+/// fixed at compile time from the leaf BPDT's id, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Every predicate on this path is known true: send to output
+    /// directly (mark the item as "output" immediately, §4.3).
+    Direct,
+    /// The leaf's own predicate is still undecided: buffer in the leaf
+    /// BPDT's own queue.
+    OwnQueue,
+    /// The leaf's predicate is true but an ancestor's is not: buffer in
+    /// the queue of the nearest undecided ancestor (the upload target).
+    Queue(BpdtId),
+}
+
+/// The value extracted for a result item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSource {
+    /// The text of the current text event (`text()` output, `sum()`…).
+    Text,
+    /// An attribute of the current begin event (`@attr` output).
+    Attr(String),
+    /// The constant `1` anchored at the begin event (`count()`).
+    Unit,
+}
+
+/// Buffer and output operations attached to an arc. `Self` refers to the
+/// BPDT owning the arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Predicate resolved true and every ancestor predicate is true:
+    /// mark all depth-matching items in this BPDT's queue as output.
+    FlushSelf,
+    /// Predicate resolved true but an ancestor is undecided: move the
+    /// depth-matching items to the target BPDT's queue.
+    UploadSelf(BpdtId),
+    /// Predicate resolved false (end event from the NA side): drop the
+    /// depth-matching items from this BPDT's queue.
+    ClearSelf,
+    /// Produce a result value from the current event.
+    Emit {
+        source: ValueSource,
+        to: Disposition,
+    },
+    /// Whole-element output: open a new element item at the begin event
+    /// of the matched element (serializing the begin tag into it).
+    ElementStart { to: Disposition },
+    /// Whole-element output: append the current event to the
+    /// configuration's open element item.
+    ElementAppend,
+    /// Whole-element output: append the end tag and close the item.
+    ElementEnd,
+}
+
+/// One transition arc.
+#[derive(Debug, Clone)]
+pub struct Arc {
+    pub label: ArcLabel,
+    pub guard: Option<Guard>,
+    pub target: StateId,
+    /// Layer of the owning BPDT. Within one input event, matched arcs are
+    /// executed deepest-layer-first so that uploads from closing inner
+    /// elements arrive in an ancestor's queue *before* the ancestor's own
+    /// flush/clear on the same event (cf. Fig. 8 placing the upload on
+    /// `</child>`).
+    pub owner_layer: u16,
+    /// The BPDT owning this arc (whose queue `*Self` actions address).
+    pub owner: BpdtId,
+    pub actions: Vec<Action>,
+}
+
+impl Arc {
+    /// Does this arc accept `event` for a configuration whose depth
+    /// vector is `dv`? (Guards are evaluated separately.)
+    pub fn label_matches(&self, event: &xsq_xml::SaxEvent, dv: &DepthVector) -> bool {
+        use xsq_xml::SaxEvent as E;
+        match (&self.label, event) {
+            (ArcLabel::StartDoc, E::StartDocument) => true,
+            (ArcLabel::EndDoc, E::EndDocument) => true,
+            (ArcLabel::BeginChild(pat), E::Begin { name, depth, .. }) => {
+                *depth == dv.top() + 1 && pat.matches(name)
+            }
+            (ArcLabel::BeginAnyDepth(pat), E::Begin { name, depth, .. }) => {
+                *depth > dv.top() && pat.matches(name)
+            }
+            (ArcLabel::ClosureSelfLoop, E::Begin { depth, .. }) => *depth > dv.top(),
+            (ArcLabel::End(pat), E::End { name, depth }) => *depth == dv.top() && pat.matches(name),
+            (ArcLabel::TextSelf(pat), E::Text { element, depth, .. }) => {
+                *depth == dv.top() && pat.matches(element)
+            }
+            (ArcLabel::TextChild(pat), E::Text { element, depth, .. }) => {
+                *depth == dv.top() + 1 && pat.matches(element)
+            }
+            (ArcLabel::Catchall, e) => e.depth() > dv.top(),
+            _ => false,
+        }
+    }
+
+    /// Evaluate the guard against the event (label already matched).
+    pub fn guard_passes(&self, event: &xsq_xml::SaxEvent) -> bool {
+        match &self.guard {
+            None => true,
+            Some(Guard::Attr { name, cmp }) => match event.attribute(name) {
+                None => false,
+                Some(v) => cmp.as_ref().is_none_or(|c| c.eval(v)),
+            },
+            Some(Guard::Text { cmp }) => match event {
+                xsq_xml::SaxEvent::Text { text, .. } => cmp.as_ref().is_none_or(|c| c.eval(text)),
+                _ => false,
+            },
+        }
+    }
+
+    /// True when firing this arc changes the configuration's state (the
+    /// paper's dv rules only apply to real transitions: `s' ≠ s`).
+    pub fn changes_state(&self, source: StateId) -> bool {
+        self.target != source
+    }
+
+    /// Execution priority among arcs of the *same layer* fired by the
+    /// same input event: value production must run before the flush or
+    /// upload that would release it (an event can be both the witness
+    /// and the value, e.g. `//a[text()=2]/text()`), and flush/upload must
+    /// run before a clear that would otherwise drop the same entries
+    /// (witness-true and NA-side configurations resolving on one end
+    /// event).
+    pub fn priority(&self) -> u8 {
+        let mut p = 1;
+        for a in &self.actions {
+            match a {
+                Action::Emit { .. } | Action::ElementStart { .. } => return 0,
+                Action::ClearSelf => p = 2,
+                _ => {}
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xml::{Attribute, SaxEvent};
+    use xsq_xpath::value::XPathValue;
+    use xsq_xpath::{CmpOp, Comparison};
+
+    fn begin(name: &str, depth: u32) -> SaxEvent {
+        SaxEvent::Begin {
+            name: name.into(),
+            attributes: vec![Attribute::new("id", "5")],
+            depth,
+        }
+    }
+
+    fn text(element: &str, content: &str, depth: u32) -> SaxEvent {
+        SaxEvent::Text {
+            element: element.into(),
+            text: content.into(),
+            depth,
+        }
+    }
+
+    fn arc(label: ArcLabel) -> Arc {
+        Arc {
+            label,
+            guard: None,
+            target: 1,
+            owner_layer: 0,
+            owner: BpdtId::ROOT,
+            actions: vec![],
+        }
+    }
+
+    #[test]
+    fn begin_child_requires_exact_depth() {
+        let a = arc(ArcLabel::BeginChild(NamePat::Name("book".into())));
+        let dv = DepthVector::from_depths(&[0, 1]);
+        assert!(a.label_matches(&begin("book", 2), &dv));
+        assert!(!a.label_matches(&begin("book", 3), &dv));
+        assert!(!a.label_matches(&begin("pub", 2), &dv));
+    }
+
+    #[test]
+    fn begin_any_depth_accepts_deeper_descendants() {
+        let a = arc(ArcLabel::BeginAnyDepth(NamePat::Name("book".into())));
+        let dv = DepthVector::from_depths(&[0, 1]);
+        assert!(a.label_matches(&begin("book", 2), &dv));
+        assert!(a.label_matches(&begin("book", 7), &dv));
+        assert!(!a.label_matches(&begin("book", 1), &dv));
+    }
+
+    #[test]
+    fn closure_self_loop_accepts_any_begin_below() {
+        let a = arc(ArcLabel::ClosureSelfLoop);
+        let dv = DepthVector::from_depths(&[0, 3]);
+        assert!(a.label_matches(&begin("anything", 4), &dv));
+        assert!(a.label_matches(&begin("x", 9), &dv));
+        assert!(!a.label_matches(&begin("x", 3), &dv));
+        assert!(!a.label_matches(&text("x", "t", 5), &dv));
+    }
+
+    #[test]
+    fn text_self_vs_text_child_depths() {
+        let dv = DepthVector::from_depths(&[0, 2]);
+        let self_arc = arc(ArcLabel::TextSelf(NamePat::Name("year".into())));
+        let child_arc = arc(ArcLabel::TextChild(NamePat::Name("year".into())));
+        assert!(self_arc.label_matches(&text("year", "2002", 2), &dv));
+        assert!(!self_arc.label_matches(&text("year", "2002", 3), &dv));
+        assert!(child_arc.label_matches(&text("year", "2002", 3), &dv));
+        assert!(!child_arc.label_matches(&text("other", "2002", 3), &dv));
+    }
+
+    #[test]
+    fn catchall_matches_strict_descendants_of_any_kind() {
+        let a = arc(ArcLabel::Catchall);
+        let dv = DepthVector::from_depths(&[0, 1]);
+        assert!(a.label_matches(&begin("x", 2), &dv));
+        assert!(a.label_matches(&text("x", "t", 2), &dv));
+        assert!(a.label_matches(
+            &SaxEvent::End {
+                name: "x".into(),
+                depth: 2
+            },
+            &dv
+        ));
+        // The anchor's own events are not descendants.
+        assert!(!a.label_matches(&text("a", "t", 1), &dv));
+        assert!(!a.label_matches(
+            &SaxEvent::End {
+                name: "a".into(),
+                depth: 1
+            },
+            &dv
+        ));
+    }
+
+    #[test]
+    fn attr_guard_checks_existence_and_comparison() {
+        let mut a = arc(ArcLabel::BeginChild(NamePat::Any));
+        a.guard = Some(Guard::Attr {
+            name: "id".into(),
+            cmp: None,
+        });
+        assert!(a.guard_passes(&begin("b", 1)));
+        a.guard = Some(Guard::Attr {
+            name: "id".into(),
+            cmp: Some(Comparison {
+                op: CmpOp::Le,
+                rhs: XPathValue::number(10.0),
+            }),
+        });
+        assert!(a.guard_passes(&begin("b", 1))); // id=5 <= 10
+        a.guard = Some(Guard::Attr {
+            name: "missing".into(),
+            cmp: None,
+        });
+        assert!(!a.guard_passes(&begin("b", 1)));
+    }
+
+    #[test]
+    fn text_guard_evaluates_content() {
+        let mut a = arc(ArcLabel::TextSelf(NamePat::Any));
+        a.guard = Some(Guard::Text {
+            cmp: Some(Comparison {
+                op: CmpOp::Gt,
+                rhs: XPathValue::number(2000.0),
+            }),
+        });
+        assert!(a.guard_passes(&text("year", "2002", 1)));
+        assert!(!a.guard_passes(&text("year", "1999", 1)));
+        assert!(!a.guard_passes(&begin("year", 1)));
+    }
+
+    #[test]
+    fn end_label_matches_at_anchor_depth() {
+        let a = arc(ArcLabel::End(NamePat::Name("pub".into())));
+        let dv = DepthVector::from_depths(&[0, 1]);
+        assert!(a.label_matches(
+            &SaxEvent::End {
+                name: "pub".into(),
+                depth: 1
+            },
+            &dv
+        ));
+        assert!(!a.label_matches(
+            &SaxEvent::End {
+                name: "pub".into(),
+                depth: 2
+            },
+            &dv
+        ));
+    }
+}

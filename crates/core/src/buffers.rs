@@ -1,0 +1,218 @@
+//! The per-BPDT buffers and their depth-scoped operations (§3.3, §4.3).
+//!
+//! Each BPDT owns a queue of references to shared items. The operations
+//! are exactly the paper's: `enqueue`, `clear`, `flush`, and `upload` —
+//! all scoped by depth vector, so that a predicate resolving for one
+//! match path never disturbs items buffered under a different path
+//! (Example 6). There is deliberately no `dequeue`: items leave a queue
+//! only wholesale, via flush, clear, or upload.
+//!
+//! Emission *order* is handled globally by [`crate::items::ItemStore`]
+//! (items are anchored in document order), so queues here are unordered
+//! reference bags; `flush` marks rather than writes.
+
+use crate::depth_vector::DepthVector;
+use crate::items::{ItemId, ItemStore};
+
+/// One buffered reference: an item plus the depth vector under which it
+/// was enqueued.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub item: ItemId,
+    pub dv: DepthVector,
+}
+
+/// All BPDT queues, indexed densely (see `Hpdt::queue_index`).
+#[derive(Debug)]
+pub struct QueueSet {
+    queues: Vec<Vec<Entry>>,
+    live_entries: usize,
+    peak_entries: usize,
+}
+
+impl QueueSet {
+    pub fn new(count: usize) -> Self {
+        QueueSet {
+            queues: (0..count).map(|_| Vec::new()).collect(),
+            live_entries: 0,
+            peak_entries: 0,
+        }
+    }
+
+    /// `Q.enqueue(v)` — add a reference under the given depth vector.
+    pub fn enqueue(&mut self, queue: usize, item: ItemId, dv: DepthVector, items: &mut ItemStore) {
+        items.add_ref(item);
+        self.queues[queue].push(Entry { item, dv });
+        self.live_entries += 1;
+        self.peak_entries = self.peak_entries.max(self.live_entries);
+    }
+
+    /// `Q.flush()` — mark every depth-matching item as output and drop
+    /// the references (they are "sent to the output", §3.3; actual
+    /// emission order is the item store's job).
+    pub fn flush_matching(
+        &mut self,
+        queue: usize,
+        dv: &DepthVector,
+        prefix: usize,
+        items: &mut ItemStore,
+    ) {
+        let q = &mut self.queues[queue];
+        let mut kept = Vec::with_capacity(q.len());
+        for entry in q.drain(..) {
+            if entry.dv.prefix_matches(dv, prefix) {
+                items.mark_output(entry.item);
+                items.release_ref(entry.item);
+                self.live_entries -= 1;
+            } else {
+                kept.push(entry);
+            }
+        }
+        *q = kept;
+    }
+
+    /// `Q.clear()` — drop the depth-matching references; items with no
+    /// remaining references die.
+    pub fn clear_matching(
+        &mut self,
+        queue: usize,
+        dv: &DepthVector,
+        prefix: usize,
+        items: &mut ItemStore,
+    ) {
+        let q = &mut self.queues[queue];
+        let mut kept = Vec::with_capacity(q.len());
+        for entry in q.drain(..) {
+            if entry.dv.prefix_matches(dv, prefix) {
+                items.release_ref(entry.item);
+                self.live_entries -= 1;
+            } else {
+                kept.push(entry);
+            }
+        }
+        *q = kept;
+    }
+
+    /// `Q.upload()` — move the depth-matching references to the target
+    /// queue (the nearest ancestor BPDT whose predicate is undecided,
+    /// §4.3). Reference counts are unchanged.
+    pub fn upload_matching(&mut self, from: usize, to: usize, dv: &DepthVector, prefix: usize) {
+        debug_assert_ne!(from, to);
+        // Split without borrowing two queues mutably at once.
+        let moved: Vec<Entry> = {
+            let q = &mut self.queues[from];
+            let mut kept = Vec::with_capacity(q.len());
+            let mut moved = Vec::new();
+            for entry in q.drain(..) {
+                if entry.dv.prefix_matches(dv, prefix) {
+                    moved.push(entry);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            *q = kept;
+            moved
+        };
+        self.queues[to].extend(moved);
+    }
+
+    /// Number of references currently buffered across all queues.
+    pub fn live_entries(&self) -> usize {
+        self.live_entries
+    }
+
+    /// Peak simultaneous buffered references.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Entries in one queue (tests, invariant checks).
+    pub fn len(&self, queue: usize) -> usize {
+        self.queues[queue].len()
+    }
+
+    /// Are all queues empty? (Must hold at end of document.)
+    pub fn all_empty(&self) -> bool {
+        self.live_entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(depths: &[u32]) -> DepthVector {
+        DepthVector::from_depths(depths)
+    }
+
+    fn setup() -> (QueueSet, ItemStore, ItemId, ItemId) {
+        let mut qs = QueueSet::new(3);
+        let mut items = ItemStore::new();
+        items.begin_event(1);
+        let a = items.anchor("A", true);
+        items.begin_event(2);
+        let b = items.anchor("B", true);
+        qs.enqueue(0, a, dv(&[0, 1, 3]), &mut items);
+        qs.enqueue(0, b, dv(&[0, 2, 3]), &mut items);
+        (qs, items, a, b)
+    }
+
+    #[test]
+    fn flush_is_depth_scoped() {
+        let (mut qs, mut items, a, b) = setup();
+        qs.flush_matching(0, &dv(&[0, 1]), 2, &mut items);
+        assert_eq!(items.state(a), crate::items::ItemState::Output);
+        assert_eq!(items.state(b), crate::items::ItemState::Pending);
+        assert_eq!(qs.len(0), 1);
+    }
+
+    #[test]
+    fn clear_is_depth_scoped_and_kills() {
+        let (mut qs, mut items, a, b) = setup();
+        qs.clear_matching(0, &dv(&[0, 2]), 2, &mut items);
+        assert_eq!(items.state(a), crate::items::ItemState::Pending);
+        assert_eq!(items.state(b), crate::items::ItemState::Dead);
+        assert_eq!(qs.live_entries(), 1);
+    }
+
+    #[test]
+    fn upload_moves_without_changing_refs() {
+        let (mut qs, mut items, a, _b) = setup();
+        qs.upload_matching(0, 1, &dv(&[0, 1]), 2);
+        assert_eq!(qs.len(0), 1);
+        assert_eq!(qs.len(1), 1);
+        assert_eq!(items.state(a), crate::items::ItemState::Pending);
+        // Now a flush on the target queue resolves the moved item.
+        qs.flush_matching(1, &dv(&[0, 1]), 2, &mut items);
+        assert_eq!(items.state(a), crate::items::ItemState::Output);
+    }
+
+    #[test]
+    fn peak_entries_track_high_water_mark() {
+        let (mut qs, mut items, _, _) = setup();
+        assert_eq!(qs.peak_entries(), 2);
+        qs.clear_matching(0, &dv(&[0]), 1, &mut items);
+        assert!(qs.all_empty());
+        assert_eq!(qs.peak_entries(), 2);
+    }
+
+    #[test]
+    fn example_6_scenario() {
+        // Item Z is referenced under two match paths: (1,2,10,11) via the
+        // pub on line 2, and (1,9,10,11) via the pub on line 9. Clearing
+        // at </pub> of line 9 (config dv (1,9)) must keep the other
+        // reference alive.
+        let mut qs = QueueSet::new(1);
+        let mut items = ItemStore::new();
+        items.begin_event(1);
+        let z = items.anchor("Z", true);
+        qs.enqueue(0, z, dv(&[1, 2, 10, 11]), &mut items);
+        qs.enqueue(0, z, dv(&[1, 9, 10, 11]), &mut items);
+        qs.clear_matching(0, &dv(&[1, 9]), 2, &mut items);
+        assert_eq!(items.state(z), crate::items::ItemState::Pending);
+        // The correct match later flushes with config dv (1,2).
+        qs.flush_matching(0, &dv(&[1, 2]), 2, &mut items);
+        assert_eq!(items.state(z), crate::items::ItemState::Output);
+        assert!(qs.all_empty());
+    }
+}

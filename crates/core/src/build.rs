@@ -1,0 +1,773 @@
+//! HPDT construction from an XPath query (§4.2).
+//!
+//! The builder generates a root BPDT (Fig. 12), then for each location
+//! step `Ni` expands every BPDT of the previous layer: a **right child**
+//! `bpdt(i, 2k)` grows out of the parent's NA state (if it has one) and a
+//! **left child** `bpdt(i, 2k+1)` out of its TRUE state. Each BPDT is
+//! instantiated from the template for its predicate category (Figs. 5–9),
+//! closure steps get the `//` self-loop and `=`-marked any-depth entry
+//! arcs, and the lowest layer gets the output machinery (direct output in
+//! `bpdt(n, 2^n − 1)`, buffered output elsewhere — Fig. 11).
+//!
+//! Every buffer decision is precomputed from the BPDT id: whether a
+//! predicate-true transition flushes (all ancestor bits set) or uploads
+//! (to the nearest zero bit), and where produced values are routed.
+
+use std::collections::HashMap;
+
+use xsq_xpath::classify::{classify, StepCategory};
+use xsq_xpath::{AggFunc, Axis, NodeTest, Output, Predicate, Query, Step};
+
+use crate::arcs::{
+    Action, Arc, ArcLabel, Disposition, Guard, NamePat, StateId, StateInfo, StateRole, ValueSource,
+};
+use crate::error::CompileError;
+use crate::ids::BpdtId;
+
+/// Hard cap on generated states. The binary tree of BPDTs is exponential
+/// in the number of *predicated* steps, which is tiny for real queries;
+/// the cap turns pathological inputs into a clean error.
+const MAX_STATES: usize = 100_000;
+
+/// A compiled hierarchical pushdown transducer.
+#[derive(Debug)]
+pub struct Hpdt {
+    pub states: Vec<StateInfo>,
+    /// Outgoing arcs per state.
+    pub arcs: Vec<Vec<Arc>>,
+    /// Per state: `true` when several arcs might accept the same event,
+    /// so a runtime must scan all arcs even in deterministic mode.
+    pub scan_all: Vec<bool>,
+    /// The global start state.
+    pub start: StateId,
+    /// Dense queue index for every BPDT (buffer storage at runtime).
+    pub queue_index: HashMap<BpdtId, usize>,
+    /// Number of BPDTs (= number of queues).
+    pub bpdt_count: usize,
+    /// Number of location steps.
+    pub layers: u16,
+    /// The query this HPDT answers.
+    pub query: Query,
+    /// True when the query has no closure axis: the HPDT is deterministic
+    /// (§3.4) and eligible for the XSQ-NC runtime.
+    pub deterministic: bool,
+}
+
+impl Hpdt {
+    /// Total number of transition arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.iter().map(Vec::len).sum()
+    }
+
+    /// Human-readable dump of states and arcs (debugging, tests).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "HPDT for {} — {} states, {} arcs, {} BPDTs{}",
+            self.query,
+            self.states.len(),
+            self.arc_count(),
+            self.bpdt_count,
+            if self.deterministic {
+                " (deterministic)"
+            } else {
+                ""
+            }
+        );
+        for (i, info) in self.states.iter().enumerate() {
+            let _ = writeln!(s, "  ${i} {:?} of {}", info.role, info.owner);
+            for a in &self.arcs[i] {
+                let _ = writeln!(
+                    s,
+                    "    --{:?}{}--> ${} {:?}",
+                    a.label,
+                    if a.guard.is_some() { " [guarded]" } else { "" },
+                    a.target,
+                    a.actions
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Build the HPDT for a parsed query.
+pub fn build_hpdt(query: &Query) -> Result<Hpdt, CompileError> {
+    Builder::new(query.clone()).build()
+}
+
+struct Builder {
+    query: Query,
+    states: Vec<StateInfo>,
+    arcs: Vec<Vec<Arc>>,
+    queue_index: HashMap<BpdtId, usize>,
+}
+
+/// The externally visible states of a freshly built BPDT.
+struct BuiltBpdt {
+    na: Option<StateId>,
+    true_state: StateId,
+}
+
+impl Builder {
+    fn new(query: Query) -> Self {
+        Builder {
+            query,
+            states: Vec::new(),
+            arcs: Vec::new(),
+            queue_index: HashMap::new(),
+        }
+    }
+
+    fn add_state(&mut self, owner: BpdtId, role: StateRole) -> Result<StateId, CompileError> {
+        if self.states.len() >= MAX_STATES {
+            return Err(CompileError::Unsupported {
+                feature: format!("queries compiling to more than {MAX_STATES} states"),
+                engine: "XSQ".into(),
+            });
+        }
+        let id = self.states.len() as StateId;
+        self.states.push(StateInfo { owner, role });
+        self.arcs.push(Vec::new());
+        Ok(id)
+    }
+
+    fn add_arc(
+        &mut self,
+        from: StateId,
+        label: ArcLabel,
+        guard: Option<Guard>,
+        target: StateId,
+        owner: BpdtId,
+        actions: Vec<Action>,
+    ) {
+        self.arcs[from as usize].push(Arc {
+            label,
+            guard,
+            target,
+            owner_layer: owner.layer,
+            owner,
+            actions,
+        });
+    }
+
+    fn register_queue(&mut self, id: BpdtId) {
+        let next = self.queue_index.len();
+        self.queue_index.entry(id).or_insert(next);
+    }
+
+    fn build(mut self) -> Result<Hpdt, CompileError> {
+        let steps = self.query.steps.clone();
+        let n = steps.len() as u16;
+        debug_assert!(n > 0, "parser guarantees at least one step");
+
+        // Root BPDT (Fig. 12): START --StartDoc--> TRUE; TRUE --EndDoc--> START.
+        let start = self.add_state(BpdtId::ROOT, StateRole::Start)?;
+        let root_true = self.add_state(BpdtId::ROOT, StateRole::True)?;
+        self.add_arc(
+            start,
+            ArcLabel::StartDoc,
+            None,
+            root_true,
+            BpdtId::ROOT,
+            vec![],
+        );
+        self.add_arc(
+            root_true,
+            ArcLabel::EndDoc,
+            None,
+            start,
+            BpdtId::ROOT,
+            vec![],
+        );
+        self.register_queue(BpdtId::ROOT);
+
+        // Layer-by-layer expansion. The root has no NA state, so its right
+        // child is NULL and layer 1 contains only bpdt(1,1).
+        let mut frontier: Vec<(BpdtId, StateId)> = vec![(BpdtId::ROOT.left_child(), root_true)];
+        for (i, step) in steps.iter().enumerate() {
+            let layer = i as u16 + 1;
+            let is_leaf = layer == n;
+            let mut next = Vec::new();
+            for (id, start_state) in frontier {
+                debug_assert_eq!(id.layer, layer);
+                self.register_queue(id);
+                let built = self.build_bpdt(step, id, start_state, is_leaf)?;
+                if !is_leaf {
+                    if let Some(na) = built.na {
+                        next.push((id.right_child(), na));
+                    }
+                    next.push((id.left_child(), built.true_state));
+                }
+            }
+            frontier = next;
+        }
+
+        let scan_all = compute_scan_all(&self.arcs);
+        let deterministic = !self.query.has_closure();
+        Ok(Hpdt {
+            bpdt_count: self.queue_index.len(),
+            start,
+            scan_all,
+            states: self.states,
+            arcs: self.arcs,
+            queue_index: self.queue_index,
+            layers: n,
+            deterministic,
+            query: self.query,
+        })
+    }
+
+    /// Instantiate the template for one location step as `bpdt(id)`,
+    /// entered from `start` (the parent's TRUE or NA state).
+    fn build_bpdt(
+        &mut self,
+        step: &Step,
+        id: BpdtId,
+        start: StateId,
+        is_leaf: bool,
+    ) -> Result<BuiltBpdt, CompileError> {
+        let tag = name_pat(&step.test);
+        let closure = step.axis == Axis::Closure;
+        let category = classify(step);
+
+        // Closure steps: `//` self-loop on the START state so the search
+        // keeps descending, and any-depth (`=`-marked) entry arcs.
+        if closure {
+            self.add_arc(start, ArcLabel::ClosureSelfLoop, None, start, id, vec![]);
+        }
+        let entry_label = if closure {
+            ArcLabel::BeginAnyDepth(tag.clone())
+        } else {
+            ArcLabel::BeginChild(tag.clone())
+        };
+
+        // Dispositions and the predicate-true resolution action are fixed
+        // by the BPDT's position (§4.2).
+        let resolution = if id.all_ancestors_true() {
+            Action::FlushSelf
+        } else {
+            Action::UploadSelf(id.upload_target().expect("not all ancestors true"))
+        };
+        let disp_true = if id.all_ancestors_true() {
+            Disposition::Direct
+        } else {
+            Disposition::Queue(id.upload_target().expect("not all ancestors true"))
+        };
+
+        // Value-producing actions for the leaf layer: attached to the
+        // entry arcs (begin-anchored values) or as text self-loops.
+        let output = self.query.output.clone();
+        let entry_value = |disp: Disposition| entry_value_actions(&output, is_leaf, disp);
+
+        // --- instantiate the category template --------------------------
+        let built = match category {
+            StepCategory::NoPredicate => {
+                let t = self.add_state(id, StateRole::True)?;
+                self.add_arc(start, entry_label, None, t, id, entry_value(disp_true));
+                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                BuiltBpdt {
+                    na: None,
+                    true_state: t,
+                }
+            }
+            StepCategory::AttrOfSelf => {
+                let Some(Predicate::Attr { name, cmp }) = &step.predicate else {
+                    unreachable!("classified AttrOfSelf");
+                };
+                let guard = Guard::Attr {
+                    name: name.clone(),
+                    cmp: cmp.clone(),
+                };
+                let t = self.add_state(id, StateRole::True)?;
+                self.add_arc(
+                    start,
+                    entry_label,
+                    Some(guard),
+                    t,
+                    id,
+                    entry_value(disp_true),
+                );
+                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                BuiltBpdt {
+                    na: None,
+                    true_state: t,
+                }
+            }
+            StepCategory::TextOfSelf => {
+                let Some(Predicate::Text { cmp }) = &step.predicate else {
+                    unreachable!("classified TextOfSelf");
+                };
+                let na = self.add_state(id, StateRole::Na)?;
+                let t = self.add_state(id, StateRole::True)?;
+                self.add_arc(
+                    start,
+                    entry_label,
+                    None,
+                    na,
+                    id,
+                    entry_value(Disposition::OwnQueue),
+                );
+                // Witness: the element's own text satisfying the test.
+                self.add_arc(
+                    na,
+                    ArcLabel::TextSelf(tag.clone()),
+                    Some(Guard::Text { cmp: cmp.clone() }),
+                    t,
+                    id,
+                    vec![resolution.clone()],
+                );
+                self.add_arc(
+                    na,
+                    ArcLabel::End(tag.clone()),
+                    None,
+                    start,
+                    id,
+                    vec![Action::ClearSelf],
+                );
+                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                BuiltBpdt {
+                    na: Some(na),
+                    true_state: t,
+                }
+            }
+            StepCategory::ChildExists | StepCategory::AttrOfChild => {
+                let (child, guard) = match &step.predicate {
+                    Some(Predicate::Child { name }) => (name.clone(), None),
+                    Some(Predicate::ChildAttr { child, attr, cmp }) => (
+                        child.clone(),
+                        Some(Guard::Attr {
+                            name: attr.clone(),
+                            cmp: cmp.clone(),
+                        }),
+                    ),
+                    _ => unreachable!("classified child-witness category"),
+                };
+                let na = self.add_state(id, StateRole::Na)?;
+                let wit = self.add_state(id, StateRole::Witness)?;
+                let t = self.add_state(id, StateRole::True)?;
+                self.add_arc(
+                    start,
+                    entry_label,
+                    None,
+                    na,
+                    id,
+                    entry_value(Disposition::OwnQueue),
+                );
+                // Witness child: enter at its begin event (guard checks
+                // the attribute for category 4), resolve at its end event
+                // so that same-event uploads from the child's subtree are
+                // already in this queue (Fig. 8 places the upload on
+                // `</child>`).
+                self.add_arc(
+                    na,
+                    ArcLabel::BeginChild(NamePat::Name(child.clone())),
+                    guard,
+                    wit,
+                    id,
+                    vec![],
+                );
+                self.add_arc(
+                    wit,
+                    ArcLabel::End(NamePat::Name(child.clone())),
+                    None,
+                    t,
+                    id,
+                    vec![resolution.clone()],
+                );
+                self.add_arc(
+                    na,
+                    ArcLabel::End(tag.clone()),
+                    None,
+                    start,
+                    id,
+                    vec![Action::ClearSelf],
+                );
+                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                BuiltBpdt {
+                    na: Some(na),
+                    true_state: t,
+                }
+            }
+            StepCategory::TextOfChild => {
+                let Some(Predicate::ChildText { child, cmp }) = &step.predicate else {
+                    unreachable!("classified TextOfChild");
+                };
+                let na = self.add_state(id, StateRole::Na)?;
+                let child_na = self.add_state(id, StateRole::Witness)?;
+                let child_true = self.add_state(id, StateRole::Witness)?;
+                let t = self.add_state(id, StateRole::True)?;
+                self.add_arc(
+                    start,
+                    entry_label,
+                    None,
+                    na,
+                    id,
+                    entry_value(Disposition::OwnQueue),
+                );
+                // Fig. 9: descend into each child, test its text, come
+                // back. Descending through its own states (rather than a
+                // flat text-at-depth+1 arc) matters when the predicate
+                // child carries the same tag as the next location step:
+                // the begin event then nondeterministically both enters
+                // the witness and continues the path.
+                self.add_arc(
+                    na,
+                    ArcLabel::BeginChild(NamePat::Name(child.clone())),
+                    None,
+                    child_na,
+                    id,
+                    vec![],
+                );
+                self.add_arc(
+                    child_na,
+                    ArcLabel::TextSelf(NamePat::Name(child.clone())),
+                    Some(Guard::Text {
+                        cmp: Some(cmp.clone()),
+                    }),
+                    child_true,
+                    id,
+                    vec![resolution.clone()],
+                );
+                self.add_arc(
+                    child_na,
+                    ArcLabel::End(NamePat::Name(child.clone())),
+                    None,
+                    na,
+                    id,
+                    vec![],
+                );
+                // The second resolution on `</child>` is Example 7 / the
+                // Fig. 10 flush on $5→$6: it catches result items
+                // enqueued *between* the witness text event and the end
+                // of the witness child (mixed content, nested matches
+                // under closure).
+                self.add_arc(
+                    child_true,
+                    ArcLabel::End(NamePat::Name(child.clone())),
+                    None,
+                    t,
+                    id,
+                    vec![resolution.clone()],
+                );
+                self.add_arc(
+                    na,
+                    ArcLabel::End(tag.clone()),
+                    None,
+                    start,
+                    id,
+                    vec![Action::ClearSelf],
+                );
+                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                BuiltBpdt {
+                    na: Some(na),
+                    true_state: t,
+                }
+            }
+        };
+
+        if is_leaf {
+            self.attach_leaf_output(id, start, &built, &tag, disp_true)?;
+        }
+        Ok(built)
+    }
+
+    /// Attach value-producing arcs to a lowest-layer BPDT.
+    fn attach_leaf_output(
+        &mut self,
+        id: BpdtId,
+        start: StateId,
+        built: &BuiltBpdt,
+        tag: &NamePat,
+        disp_true: Disposition,
+    ) -> Result<(), CompileError> {
+        let output = self.query.output.clone();
+        // Text-anchored values (`text()`, `sum()`, …): self-loops on the
+        // NA state (buffer in own queue, pending the own predicate) and
+        // the TRUE state (direct or to the nearest undecided ancestor).
+        if let Some(actions) = text_value_actions(&output, true, Disposition::OwnQueue) {
+            if let Some(na) = built.na {
+                self.add_arc(na, ArcLabel::TextSelf(tag.clone()), None, na, id, actions);
+            }
+        }
+        if let Some(actions) = text_value_actions(&output, true, disp_true) {
+            let t = built.true_state;
+            self.add_arc(t, ArcLabel::TextSelf(tag.clone()), None, t, id, actions);
+        }
+        // Whole-element output (`*̄` catchall, Fig. 10): every event
+        // strictly inside the matched element is appended, plus the
+        // element's own text (which shares its depth), plus the closing
+        // tag on the exit arcs. The exit from the NA side also clears —
+        // the ClearSelf added by the category template already handles
+        // that; here we only append/close.
+        if self.query.output == Output::Element {
+            let mut exit_states = vec![built.true_state];
+            if let Some(na) = built.na {
+                exit_states.push(na);
+            }
+            for &s in &exit_states {
+                self.add_arc(
+                    s,
+                    ArcLabel::Catchall,
+                    None,
+                    s,
+                    id,
+                    vec![Action::ElementAppend],
+                );
+                self.add_arc(
+                    s,
+                    ArcLabel::TextSelf(tag.clone()),
+                    None,
+                    s,
+                    id,
+                    vec![Action::ElementAppend],
+                );
+            }
+            // Close the element item on the way back to START. The
+            // template's end arcs already exist; prepend the close action
+            // to each end(tag) arc leaving NA or TRUE toward START.
+            for &s in &exit_states {
+                for arc in self.arcs[s as usize].iter_mut() {
+                    if arc.target == start && matches!(arc.label, ArcLabel::End(_)) {
+                        arc.actions.insert(0, Action::ElementEnd);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Actions producing begin-anchored values (`@attr`, `count()`, element
+/// output) on a leaf BPDT's entry arcs.
+fn entry_value_actions(output: &Output, is_leaf: bool, disp: Disposition) -> Vec<Action> {
+    if !is_leaf {
+        return vec![];
+    }
+    match output {
+        Output::Attr(a) => vec![Action::Emit {
+            source: ValueSource::Attr(a.clone()),
+            to: disp,
+        }],
+        Output::Aggregate(AggFunc::Count) => vec![Action::Emit {
+            source: ValueSource::Unit,
+            to: disp,
+        }],
+        Output::Element => vec![Action::ElementStart { to: disp }],
+        _ => vec![],
+    }
+}
+
+/// Actions producing text-anchored values (`text()`, numeric aggregates)
+/// as self-loops on a leaf BPDT's NA/TRUE states.
+fn text_value_actions(output: &Output, is_leaf: bool, disp: Disposition) -> Option<Vec<Action>> {
+    if !is_leaf {
+        return None;
+    }
+    match output {
+        Output::Text
+        | Output::Aggregate(AggFunc::Sum)
+        | Output::Aggregate(AggFunc::Avg)
+        | Output::Aggregate(AggFunc::Min)
+        | Output::Aggregate(AggFunc::Max) => Some(vec![Action::Emit {
+            source: ValueSource::Text,
+            to: disp,
+        }]),
+        _ => None,
+    }
+}
+
+fn name_pat(test: &NodeTest) -> NamePat {
+    match test {
+        NodeTest::Name(n) => NamePat::Name(n.clone()),
+        NodeTest::Wildcard => NamePat::Any,
+    }
+}
+
+/// Conservative static check: for each state, could two outgoing arcs
+/// accept the same event? If not, a deterministic runtime may stop at the
+/// first matching arc (the XSQ-NC fast path of §6.2).
+fn compute_scan_all(arcs: &[Vec<Arc>]) -> Vec<bool> {
+    arcs.iter()
+        .map(|outgoing| {
+            for (i, a) in outgoing.iter().enumerate() {
+                for b in &outgoing[i + 1..] {
+                    if labels_may_overlap(a, b) {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+        .collect()
+}
+
+fn labels_may_overlap(a: &Arc, b: &Arc) -> bool {
+    use ArcLabel::*;
+    let names_overlap = |x: &NamePat, y: &NamePat| match (x, y) {
+        (NamePat::Any, _) | (_, NamePat::Any) => true,
+        (NamePat::Name(p), NamePat::Name(q)) => p == q,
+    };
+    match (&a.label, &b.label) {
+        // Catchall overlaps everything except the document brackets and
+        // anchor-depth labels… being conservative, treat it as
+        // overlapping all element/text labels.
+        (Catchall, l) | (l, Catchall) => !matches!(l, StartDoc | EndDoc),
+        (ClosureSelfLoop, BeginChild(_) | BeginAnyDepth(_) | ClosureSelfLoop)
+        | (BeginChild(_) | BeginAnyDepth(_), ClosureSelfLoop) => true,
+        (BeginChild(x), BeginChild(y)) => names_overlap(x, y),
+        (BeginAnyDepth(x), BeginAnyDepth(y)) => names_overlap(x, y),
+        (BeginChild(x), BeginAnyDepth(y)) | (BeginAnyDepth(x), BeginChild(y)) => {
+            names_overlap(x, y)
+        }
+        (End(x), End(y)) => names_overlap(x, y),
+        (TextSelf(x), TextSelf(y)) => names_overlap(x, y),
+        (TextChild(x), TextChild(y)) => names_overlap(x, y),
+        // TextSelf and TextChild differ in depth: disjoint.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xpath::parse_query;
+
+    fn hpdt(q: &str) -> Hpdt {
+        build_hpdt(&parse_query(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig11_structure_has_expected_bpdts() {
+        let h = hpdt("//pub[year>2000]//book[author]//name/text()");
+        // Fig. 11: root, (1,1), (2,2), (2,3), (3,4), (3,5), (3,6), (3,7).
+        assert_eq!(h.bpdt_count, 8);
+        assert!(!h.deterministic);
+        assert_eq!(h.layers, 3);
+        for id in [
+            BpdtId::ROOT,
+            BpdtId::new(1, 1),
+            BpdtId::new(2, 2),
+            BpdtId::new(2, 3),
+            BpdtId::new(3, 4),
+            BpdtId::new(3, 5),
+            BpdtId::new(3, 6),
+            BpdtId::new(3, 7),
+        ] {
+            assert!(h.queue_index.contains_key(&id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn no_predicate_steps_spawn_no_right_children() {
+        let h = hpdt("/a/b/c/text()");
+        // Root + one BPDT per layer: no predicates, so no NA states.
+        assert_eq!(h.bpdt_count, 4);
+        assert!(h.deterministic);
+    }
+
+    #[test]
+    fn attr_predicates_have_no_na_state() {
+        let h = hpdt("/a[@id]/b/text()");
+        // Category 1 is decided at begin: right child of layer 1 is NULL.
+        assert_eq!(h.bpdt_count, 3); // root, (1,1), (2,3)
+        assert!(h.queue_index.contains_key(&BpdtId::new(2, 3)));
+        assert!(!h.queue_index.contains_key(&BpdtId::new(2, 2)));
+    }
+
+    #[test]
+    fn closure_adds_self_loops() {
+        let h = hpdt("//a/text()");
+        let self_loops = h
+            .arcs
+            .iter()
+            .flatten()
+            .filter(|a| a.label == ArcLabel::ClosureSelfLoop)
+            .count();
+        assert_eq!(self_loops, 1);
+        assert!(!h.deterministic);
+    }
+
+    #[test]
+    fn deterministic_query_mostly_avoids_scan_all() {
+        let h = hpdt("/pub[year=2002]/book[price<11]/author/text()");
+        // A few states may be conservatively flagged, but the majority of
+        // states of a closure-free query are first-match safe.
+        let flagged = h.scan_all.iter().filter(|b| **b).count();
+        assert!(
+            flagged * 2 <= h.states.len(),
+            "too many scan-all states: {flagged}/{}",
+            h.states.len()
+        );
+    }
+
+    #[test]
+    fn element_output_adds_catchall() {
+        let h = hpdt("//book[author]");
+        assert!(h
+            .arcs
+            .iter()
+            .flatten()
+            .any(|a| a.label == ArcLabel::Catchall));
+        assert!(h
+            .arcs
+            .iter()
+            .flatten()
+            .any(|a| a.actions.contains(&Action::ElementEnd)));
+    }
+
+    #[test]
+    fn state_count_is_modest_for_paper_queries() {
+        for q in [
+            "/pub[year=2002]/book[price<11]/author",
+            "//pub[year>2000]//book[author]//name/text()",
+            "/PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text()",
+            "/dblp/inproceedings[author]/title/text()",
+            "//pub[year]//book[@id]/title/text()",
+        ] {
+            let h = hpdt(q);
+            assert!(h.states.len() < 100, "{q}: {} states", h.states.len());
+        }
+    }
+
+    #[test]
+    fn flush_vs_upload_follows_id_bits() {
+        let h = hpdt("//pub[year>2000]//book[author]//name/text()");
+        // bpdt(2,3) (all ancestors true) resolves with FlushSelf;
+        // bpdt(2,2) uploads to bpdt(1,1).
+        let mut saw_flush = false;
+        let mut saw_upload_to_11 = false;
+        for a in h.arcs.iter().flatten() {
+            if a.owner == BpdtId::new(2, 3) && a.actions.contains(&Action::FlushSelf) {
+                saw_flush = true;
+            }
+            if a.owner == BpdtId::new(2, 2)
+                && a.actions.contains(&Action::UploadSelf(BpdtId::new(1, 1)))
+            {
+                saw_upload_to_11 = true;
+            }
+        }
+        assert!(saw_flush && saw_upload_to_11);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let h = hpdt("/a[b]/c/text()");
+        let d = h.dump();
+        assert!(d.contains("HPDT for /a[b]/c/text()"));
+        assert!(d.contains("bpdt(1,1)"));
+    }
+
+    #[test]
+    fn deep_predicate_queries_hit_the_state_cap() {
+        // 20 predicated closure steps would want 2^20 BPDTs.
+        let q = "//a[b]".repeat(20) + "/text()";
+        let parsed = parse_query(&q).unwrap();
+        assert!(matches!(
+            build_hpdt(&parsed),
+            Err(CompileError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! Depth vectors (§4.3), as bitmaps.
+//!
+//! With closures and recursive data, several paths through the HPDT can
+//! lead to the same state. Each runtime configuration carries a *depth
+//! vector*: the depths of the begin events that triggered the transitions
+//! on its path. Because ancestors of the current stream position have
+//! strictly increasing depths, the depth uniquely identifies which open
+//! element anchored each step — the depth vector "simulates the stack
+//! operations for every possible path" (paper, §4.3).
+//!
+//! Buffer operations are *scoped* by depth vector: an operation performed
+//! by a configuration on the queue of `bpdt(l, k)` affects exactly the
+//! buffered items whose depth vector agrees with the configuration's on
+//! the first `l + 1` entries (the anchors of layers `0..=l`). This is the
+//! paper's "only operate the items with the depth vector that is equal to
+//! the depth vector of the current state", generalized to buffers that
+//! hold items uploaded from deeper layers.
+//!
+//! **Representation.** The paper: "the operations on depth vector are
+//! implemented using bitmap vectors. All the operations and comparisons
+//! are done using integer and bit operations." The entries of a depth
+//! vector are strictly increasing (each transition anchors strictly
+//! deeper), so the vector *is* a set of depths: bit `d` set ⇔ depth `d`
+//! present, and the stack order is the numeric order. For depths ≤ 63 a
+//! single `u64` gives O(1) push (set bit), pop (clear the highest bit),
+//! top (highest bit), and prefix comparison (XOR + trailing-zeros);
+//! deeper documents fall back to an explicit vector. Representations are
+//! canonical: any vector whose depths all fit 0..=63 is stored as bits,
+//! so equality and ordering are representation-independent.
+
+use std::fmt;
+
+const BITS_MAX_DEPTH: u32 = 63;
+
+/// A depth vector: a strictly increasing stack of event depths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Repr {
+    /// Depths ≤ 63 as a bitmask (the common case; the paper's bitmaps).
+    Bits(u64),
+    /// Documents nested deeper than 64 levels.
+    Wide(Vec<u32>),
+}
+
+/// See module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DepthVector(Repr);
+
+impl Default for DepthVector {
+    fn default() -> Self {
+        DepthVector(Repr::Bits(0))
+    }
+}
+
+impl DepthVector {
+    /// The empty vector (every state's vector is initialized empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit depths (must be strictly increasing).
+    pub fn from_depths(depths: &[u32]) -> Self {
+        debug_assert!(
+            depths.windows(2).all(|w| w[0] < w[1]),
+            "strictly increasing"
+        );
+        if depths.last().copied().unwrap_or(0) <= BITS_MAX_DEPTH {
+            let mut bits = 0u64;
+            for &d in depths {
+                bits |= 1 << d;
+            }
+            DepthVector(Repr::Bits(bits))
+        } else {
+            DepthVector(Repr::Wide(depths.to_vec()))
+        }
+    }
+
+    /// `s'.dv = s.dv + e.d` — append the depth of a begin event.
+    pub fn push(&self, depth: u32) -> Self {
+        let mut v = self.clone();
+        v.push_mut(depth);
+        v
+    }
+
+    /// `s'.dv = s.dv − e.d` — remove the last depth at an end event.
+    pub fn pop(&self) -> Self {
+        let mut v = self.clone();
+        v.pop_mut();
+        v
+    }
+
+    /// In-place push (hot path: a configuration moving, not forking).
+    pub fn push_mut(&mut self, depth: u32) {
+        debug_assert!(
+            self.is_empty() || depth > self.top(),
+            "depth-vector entries are strictly increasing: push {depth} on top {}",
+            self.top()
+        );
+        match &mut self.0 {
+            Repr::Bits(bits) if depth <= BITS_MAX_DEPTH => *bits |= 1 << depth,
+            Repr::Bits(bits) => {
+                // Overflow into the wide representation.
+                let mut v = depths_of(*bits);
+                v.push(depth);
+                self.0 = Repr::Wide(v);
+            }
+            Repr::Wide(v) => v.push(depth),
+        }
+    }
+
+    /// In-place pop. Falls back to the canonical bitmap when a wide
+    /// vector shrinks into range again.
+    pub fn pop_mut(&mut self) {
+        match &mut self.0 {
+            Repr::Bits(bits) => {
+                if *bits != 0 {
+                    let top = 63 - bits.leading_zeros();
+                    *bits &= !(1u64 << top);
+                }
+            }
+            Repr::Wide(v) => {
+                v.pop();
+                if v.last().copied().unwrap_or(0) <= BITS_MAX_DEPTH {
+                    *self = DepthVector::from_depths(v);
+                }
+            }
+        }
+    }
+
+    /// The last depth in the vector (`top` in the paper); 0 when empty so
+    /// that the document element (depth 1) satisfies `e.d == top + 1`.
+    pub fn top(&self) -> u32 {
+        match &self.0 {
+            Repr::Bits(0) => 0,
+            Repr::Bits(bits) => 63 - bits.leading_zeros(),
+            Repr::Wide(v) => v.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Bits(bits) => bits.count_ones() as usize,
+            Repr::Wide(v) => v.len(),
+        }
+    }
+
+    /// True when no transition has pushed yet.
+    pub fn is_empty(&self) -> bool {
+        match &self.0 {
+            Repr::Bits(bits) => *bits == 0,
+            Repr::Wide(v) => v.is_empty(),
+        }
+    }
+
+    /// Do the first `n` entries agree? Both vectors must have at least `n`
+    /// entries for a scoped buffer operation to apply.
+    pub fn prefix_matches(&self, other: &DepthVector, n: usize) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Bits(a), Repr::Bits(b)) => {
+                // The n smallest set bits must coincide. Below the lowest
+                // differing bit the masks agree, so it suffices that each
+                // side has ≥ n bits below that point (or the masks are
+                // identical with ≥ n bits).
+                let x = a ^ b;
+                if x == 0 {
+                    return a.count_ones() as usize >= n;
+                }
+                let low_mask = (1u64 << x.trailing_zeros()) - 1;
+                (a & low_mask).count_ones() as usize >= n
+                    && (b & low_mask).count_ones() as usize >= n
+            }
+            _ => {
+                // Mixed or wide: compare explicit prefixes.
+                let a = self.to_depths();
+                let b = other.to_depths();
+                a.len() >= n && b.len() >= n && a[..n] == b[..n]
+            }
+        }
+    }
+
+    /// Explicit depths, in stack order (diagnostics, wide-path compares).
+    pub fn to_depths(&self) -> Vec<u32> {
+        match &self.0 {
+            Repr::Bits(bits) => depths_of(*bits),
+            Repr::Wide(v) => v.clone(),
+        }
+    }
+
+    /// Raw access for diagnostics (allocates; prefer `to_depths`).
+    pub fn as_slice(&self) -> Vec<u32> {
+        self.to_depths()
+    }
+}
+
+fn depths_of(mut bits: u64) -> Vec<u32> {
+    let mut v = Vec::with_capacity(bits.count_ones() as usize);
+    while bits != 0 {
+        let d = bits.trailing_zeros();
+        v.push(d);
+        bits &= bits - 1;
+    }
+    v
+}
+
+impl fmt::Display for DepthVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.to_depths().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_pop_top() {
+        let dv = DepthVector::new();
+        assert_eq!(dv.top(), 0);
+        assert!(dv.is_empty());
+        let dv = dv.push(0).push(1).push(4);
+        assert_eq!(dv.top(), 4);
+        assert_eq!(dv.len(), 3);
+        let dv = dv.pop();
+        assert_eq!(dv.top(), 1);
+        assert_eq!(dv.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn push_does_not_mutate_original() {
+        let a = DepthVector::from_depths(&[0, 1]);
+        let b = a.push(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn prefix_matching_scopes_operations() {
+        // Example 6 of the paper: clearing with configuration vector
+        // (1,9) must not delete an item tagged (1,2,…).
+        let config = DepthVector::from_depths(&[1, 9]);
+        let item_wrong_pub = DepthVector::from_depths(&[1, 9, 10, 11]);
+        let item_right_pub = DepthVector::from_depths(&[1, 2, 10, 11]);
+        assert!(config.prefix_matches(&item_wrong_pub, 2));
+        assert!(!config.prefix_matches(&item_right_pub, 2));
+    }
+
+    #[test]
+    fn prefix_requires_enough_entries() {
+        let short = DepthVector::from_depths(&[1]);
+        let long = DepthVector::from_depths(&[1, 2]);
+        assert!(!short.prefix_matches(&long, 2));
+        assert!(long.prefix_matches(&long, 2));
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        assert_eq!(DepthVector::from_depths(&[1, 2]).to_string(), "(1,2)");
+        assert_eq!(DepthVector::new().to_string(), "()");
+    }
+
+    #[test]
+    fn deep_documents_overflow_into_wide_and_back() {
+        let mut dv = DepthVector::new();
+        for d in 0..=70 {
+            dv.push_mut(d);
+        }
+        assert_eq!(dv.len(), 71);
+        assert_eq!(dv.top(), 70);
+        // Pop back below 64: must renormalize to bits and equal a fresh
+        // bitmap vector (canonical representation).
+        for _ in 0..8 {
+            dv.pop_mut();
+        }
+        assert_eq!(dv.top(), 62);
+        let fresh = DepthVector::from_depths(&(0..=62).collect::<Vec<_>>());
+        assert_eq!(dv, fresh);
+    }
+
+    #[test]
+    fn prefix_across_representations() {
+        let mut deep = DepthVector::new();
+        for d in [1, 2, 100] {
+            deep.push_mut(d);
+        }
+        let shallow = DepthVector::from_depths(&[1, 2]);
+        assert!(shallow.prefix_matches(&deep, 2));
+        assert!(deep.prefix_matches(&shallow, 2));
+        assert!(!deep.prefix_matches(&shallow, 3));
+    }
+
+    /// Model-based check: the bitmap implementation behaves exactly like
+    /// a plain vector under arbitrary push/pop sequences, including
+    /// around the 64-depth boundary.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u32),
+        Pop,
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![(1u32..10).prop_map(Op::Push), Just(Op::Pop)],
+            0..120,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn matches_the_vec_model(ops in ops(), probe_n in 0usize..6) {
+            let mut dv = DepthVector::new();
+            let mut model: Vec<u32> = Vec::new();
+            let mut snapshots: Vec<(DepthVector, Vec<u32>)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Push(step) => {
+                        // Keep entries strictly increasing like real runs.
+                        let d = model.last().copied().unwrap_or(0) + step;
+                        if d > 200 { continue; }
+                        dv.push_mut(d);
+                        model.push(d);
+                    }
+                    Op::Pop => {
+                        dv.pop_mut();
+                        model.pop();
+                    }
+                }
+                prop_assert_eq!(dv.len(), model.len());
+                prop_assert_eq!(dv.top(), model.last().copied().unwrap_or(0));
+                prop_assert_eq!(dv.to_depths(), model.clone());
+                snapshots.push((dv.clone(), model.clone()));
+            }
+            // Cross-compare prefix_matches on saved states against the
+            // model definition.
+            for (dva, ma) in snapshots.iter().rev().take(8) {
+                for (dvb, mb) in snapshots.iter().take(8) {
+                    let expect = ma.len() >= probe_n
+                        && mb.len() >= probe_n
+                        && ma[..probe_n] == mb[..probe_n];
+                    prop_assert_eq!(
+                        dva.prefix_matches(dvb, probe_n),
+                        expect,
+                        "prefix {} of {:?} vs {:?}", probe_n, ma, mb
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The public engine API: XSQ-F (full) and XSQ-NC (no closures).
+//!
+//! The paper ships two versions of the system (§6): **XSQ-F** supports
+//! multiple predicates, aggregations, and closures via a nondeterministic
+//! HPDT; **XSQ-NC** supports everything except closures and exploits the
+//! resulting determinism — one current state, first matching arc, results
+//! written out as soon as they are known. Both are instances of
+//! [`XsqEngine`] here and share the HPDT compiler and runtime.
+
+use std::io::BufRead;
+use std::time::Instant;
+
+use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xpath::{parse_query, Query};
+
+use crate::build::{build_hpdt, Hpdt};
+use crate::error::{CompileError, EngineError};
+use crate::report::{Capabilities, PhaseTimings, RunReport, XPathEngine};
+use crate::runtime::{RunStats, Runner};
+use crate::sink::{Sink, VecSink};
+
+/// Which XSQ variant to compile for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XsqMode {
+    /// XSQ-F: nondeterministic, supports closures.
+    Full,
+    /// XSQ-NC: deterministic, rejects closure axes at compile time.
+    NoClosure,
+}
+
+/// The XSQ engine: compiles XPath queries into HPDTs.
+#[derive(Debug, Clone, Copy)]
+pub struct XsqEngine {
+    mode: XsqMode,
+}
+
+impl XsqEngine {
+    /// The full engine (XSQ-F).
+    pub fn full() -> Self {
+        XsqEngine {
+            mode: XsqMode::Full,
+        }
+    }
+
+    /// The deterministic engine (XSQ-NC).
+    pub fn no_closure() -> Self {
+        XsqEngine {
+            mode: XsqMode::NoClosure,
+        }
+    }
+
+    pub fn mode(&self) -> XsqMode {
+        self.mode
+    }
+
+    /// Compile a query string.
+    pub fn compile_str(&self, query: &str) -> Result<CompiledQuery, CompileError> {
+        self.compile(&parse_query(query)?)
+    }
+
+    /// Compile a parsed query.
+    pub fn compile(&self, query: &Query) -> Result<CompiledQuery, CompileError> {
+        if self.mode == XsqMode::NoClosure && query.has_closure() {
+            return Err(CompileError::Unsupported {
+                feature: "the closure axis //".into(),
+                engine: "XSQ-NC".into(),
+            });
+        }
+        let hpdt = build_hpdt(query)?;
+        Ok(CompiledQuery {
+            hpdt,
+            mode: self.mode,
+        })
+    }
+}
+
+/// A query compiled to an HPDT, ready to run over any number of streams.
+#[derive(Debug)]
+pub struct CompiledQuery {
+    hpdt: Hpdt,
+    mode: XsqMode,
+}
+
+impl CompiledQuery {
+    /// The compiled automaton (dumps, invariant tests).
+    pub fn hpdt(&self) -> &Hpdt {
+        &self.hpdt
+    }
+
+    /// Start an incremental run — the streaming interface. Feed events as
+    /// they arrive; results reach the sink as soon as the semantics
+    /// permit.
+    pub fn runner(&self) -> Runner<'_> {
+        // XSQ-F scans every arc of a state; XSQ-NC stops at the first
+        // match where the compiler proved that safe (§6.2).
+        Runner::new(&self.hpdt, self.mode == XsqMode::Full)
+    }
+
+    /// Run over a complete serialized document.
+    pub fn run_document(
+        &self,
+        document: &[u8],
+        sink: &mut dyn Sink,
+    ) -> Result<RunStats, EngineError> {
+        self.run_reader(document, sink)
+    }
+
+    /// Run over any buffered reader (files, sockets).
+    pub fn run_reader<R: BufRead>(
+        &self,
+        reader: R,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStats, EngineError> {
+        let mut parser = StreamParser::new(reader);
+        let mut runner = self.runner();
+        while let Some(ev) = parser.next_event()? {
+            runner.feed(&ev, sink);
+        }
+        Ok(runner.finish(sink))
+    }
+
+    /// Run over pre-parsed events (benchmarks that exclude parse cost).
+    pub fn run_events(&self, events: &[SaxEvent], sink: &mut dyn Sink) -> RunStats {
+        let mut runner = self.runner();
+        for ev in events {
+            runner.feed(ev, sink);
+        }
+        runner.finish(sink)
+    }
+}
+
+/// One-call convenience: evaluate `query` over `document` with XSQ-F.
+///
+/// ```
+/// let results = xsq_core::evaluate(
+///     "//book[year>2000]/name/text()",
+///     b"<pub><book><year>2002</year><name>N</name></book></pub>",
+/// ).unwrap();
+/// assert_eq!(results, ["N"]);
+/// ```
+pub fn evaluate(query: &str, document: &[u8]) -> Result<Vec<String>, EngineError> {
+    let compiled = XsqEngine::full().compile_str(query)?;
+    let mut sink = VecSink::new();
+    compiled.run_document(document, &mut sink)?;
+    Ok(sink.results)
+}
+
+// ---- the uniform cross-engine interface for the experiment harness ----
+
+/// XSQ-F as a study participant.
+#[derive(Debug, Default)]
+pub struct XsqF;
+
+/// XSQ-NC as a study participant.
+#[derive(Debug, Default)]
+pub struct XsqNc;
+
+fn run_report(
+    engine: XsqEngine,
+    query: &str,
+    document: &[u8],
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let compiled = engine.compile_str(query)?;
+    let compile = t0.elapsed();
+    let t1 = Instant::now();
+    let mut sink = VecSink::new();
+    let stats = compiled.run_document(document, &mut sink)?;
+    let query_time = t1.elapsed();
+    Ok(RunReport {
+        results: sink.results,
+        timings: PhaseTimings {
+            compile,
+            preprocess: std::time::Duration::ZERO,
+            query: query_time,
+        },
+        memory: stats.memory,
+        events: stats.events,
+    })
+}
+
+impl XPathEngine for XsqF {
+    fn name(&self) -> &'static str {
+        "XSQ-F"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            language: "XPath",
+            streaming: true,
+            multiple_predicates: true,
+            closures: true,
+            aggregation: true,
+            buffered_predicate_eval: true,
+        }
+    }
+
+    fn run(&self, query: &str, document: &[u8]) -> Result<RunReport, Box<dyn std::error::Error>> {
+        run_report(XsqEngine::full(), query, document)
+    }
+}
+
+impl XPathEngine for XsqNc {
+    fn name(&self) -> &'static str {
+        "XSQ-NC"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            language: "XPath",
+            streaming: true,
+            multiple_predicates: true,
+            closures: false,
+            aggregation: true,
+            buffered_predicate_eval: true,
+        }
+    }
+
+    fn run(&self, query: &str, document: &[u8]) -> Result<RunReport, Box<dyn std::error::Error>> {
+        run_report(XsqEngine::no_closure(), query, document)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_convenience_works() {
+        let r = evaluate("/a/b/text()", b"<a><b>x</b></a>").unwrap();
+        assert_eq!(r, ["x"]);
+    }
+
+    #[test]
+    fn nc_rejects_closures() {
+        let err = XsqEngine::no_closure()
+            .compile_str("//a/text()")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn nc_and_f_agree_on_closure_free_queries() {
+        let q = "/pub[year=2002]/book[author]/name/text()";
+        let doc = b"<pub><book><name>First</name><author>A</author></book>\
+                    <book><name>Second</name></book><year>2002</year></pub>";
+        let f: &dyn XPathEngine = &XsqF;
+        let nc: &dyn XPathEngine = &XsqNc;
+        let rf = f.run(q, doc).unwrap();
+        let rnc = nc.run(q, doc).unwrap();
+        assert_eq!(rf.results, rnc.results);
+        assert_eq!(rf.results, ["First"]);
+    }
+
+    #[test]
+    fn run_report_carries_memory_and_events() {
+        let r = XsqF.run("/a/b/text()", b"<a><b>x</b></a>").unwrap();
+        assert!(r.events >= 5);
+        assert!(r.memory.peak_configs >= 1);
+    }
+
+    #[test]
+    fn malformed_document_is_an_error() {
+        let compiled = XsqEngine::full().compile_str("/a/text()").unwrap();
+        let mut sink = VecSink::new();
+        assert!(compiled.run_document(b"<a><b></a>", &mut sink).is_err());
+    }
+
+    #[test]
+    fn capabilities_match_fig_14() {
+        assert!(XsqF.capabilities().closures);
+        assert!(!XsqNc.capabilities().closures);
+        assert!(XsqF.capabilities().streaming && XsqNc.capabilities().streaming);
+    }
+}

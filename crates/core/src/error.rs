@@ -1,0 +1,94 @@
+//! Errors for query compilation and engine runs.
+
+use std::fmt;
+
+/// Errors raised when compiling a query to an HPDT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The query text failed to parse.
+    Parse(String),
+    /// A feature is not supported by the selected engine mode — e.g. a
+    /// closure axis handed to XSQ-NC.
+    Unsupported { feature: String, engine: String },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(m) => write!(f, "query parse error: {m}"),
+            CompileError::Unsupported { feature, engine } => {
+                write!(f, "{engine} does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<xsq_xpath::ParseError> for CompileError {
+    fn from(e: xsq_xpath::ParseError) -> Self {
+        CompileError::Parse(e.to_string())
+    }
+}
+
+/// Errors raised while running a compiled query over a stream.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// The XML stream was malformed.
+    Xml(xsq_xml::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Xml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Compile(e) => Some(e),
+            EngineError::Xml(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<xsq_xml::Error> for EngineError {
+    fn from(e: xsq_xml::Error) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let c = CompileError::Unsupported {
+            feature: "closure axis //".into(),
+            engine: "XSQ-NC".into(),
+        };
+        assert!(c.to_string().contains("XSQ-NC"));
+        let e: EngineError = c.into();
+        assert!(e.to_string().contains("closure"));
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let pe = xsq_xpath::parse_query("/a[").unwrap_err();
+        let ce: CompileError = pe.into();
+        assert!(matches!(ce, CompileError::Parse(_)));
+    }
+}

@@ -1,0 +1,170 @@
+//! BPDT identifiers and the positional encoding of predicate results
+//! (§4.2).
+//!
+//! Each BPDT gets an id `(l, k)`: `l` is its layer (location step index;
+//! the root BPDT is layer 0) and `k` its sequence number in the layer.
+//! Children are assigned so that `bpdt(l−1, k)`'s *right* child (hanging
+//! off its NA state) is `bpdt(l, 2k)` and its *left* child (off its TRUE
+//! state) is `bpdt(l, 2k+1)`.
+//!
+//! Writing `k = (b1 b2 … bl)₂`, bit `bi` is 1 **iff the predicate of the
+//! layer-(i−1) BPDT on the path is known true** whenever the run is inside
+//! this BPDT. (`b1` corresponds to the root BPDT, whose "predicate" is
+//! vacuously true, so `b1 = 1` always.) All buffer decisions — flush
+//! directly vs. upload, and where to upload — are derived statically from
+//! this id, which is the paper's central trick.
+
+use std::fmt;
+
+/// Identifier of a BPDT in the HPDT: layer and in-layer sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BpdtId {
+    pub layer: u16,
+    pub seq: u64,
+}
+
+impl BpdtId {
+    /// The root BPDT `(0, 0)`.
+    pub const ROOT: BpdtId = BpdtId { layer: 0, seq: 0 };
+
+    pub fn new(layer: u16, seq: u64) -> Self {
+        BpdtId { layer, seq }
+    }
+
+    /// Right child `(l+1, 2k)` — attached to this BPDT's NA state.
+    pub fn right_child(&self) -> BpdtId {
+        BpdtId::new(self.layer + 1, self.seq << 1)
+    }
+
+    /// Left child `(l+1, 2k+1)` — attached to this BPDT's TRUE state.
+    pub fn left_child(&self) -> BpdtId {
+        BpdtId::new(self.layer + 1, (self.seq << 1) | 1)
+    }
+
+    /// Parent id (undefined for the root).
+    pub fn parent(&self) -> Option<BpdtId> {
+        if self.layer == 0 {
+            None
+        } else {
+            Some(BpdtId::new(self.layer - 1, self.seq >> 1))
+        }
+    }
+
+    /// Is this BPDT the left (TRUE-side) child of its parent?
+    pub fn is_left_child(&self) -> bool {
+        self.layer > 0 && (self.seq & 1) == 1
+    }
+
+    /// Are the predicates of *all* ancestor layers known true here?
+    /// (`k = 2^l − 1`, all id bits set.)
+    pub fn all_ancestors_true(&self) -> bool {
+        self.seq == (1u64 << self.layer) - 1
+    }
+
+    /// The destination of `queue.upload()` issued from this BPDT: the
+    /// nearest ancestor that has this BPDT in its **right** subtree —
+    /// i.e. the deepest ancestor whose predicate is still undecided on
+    /// this path (§4.3). `None` when every ancestor predicate is true, in
+    /// which case the operation is a flush to output instead.
+    pub fn upload_target(&self) -> Option<BpdtId> {
+        // Bit i (0-indexed from the least-significant end) of `seq`
+        // records whether the layer-(l−1−i) ancestor's predicate is true.
+        // The nearest undecided ancestor is the lowest zero bit.
+        for i in 0..self.layer {
+            if (self.seq >> i) & 1 == 0 {
+                let target_layer = self.layer - 1 - i;
+                return Some(BpdtId::new(target_layer, self.seq >> (i + 1)));
+            }
+        }
+        None
+    }
+
+    /// When the run is inside this BPDT, is the predicate of the ancestor
+    /// at `layer` known true? (Reads the id bit; `layer` must be `<
+    /// self.layer`.)
+    pub fn ancestor_true(&self, layer: u16) -> bool {
+        debug_assert!(layer < self.layer);
+        let bit = self.layer - 1 - layer;
+        (self.seq >> bit) & 1 == 1
+    }
+}
+
+impl fmt::Display for BpdtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bpdt({},{})", self.layer, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_follow_fig_11() {
+        // Root (0,0) → left child (1,1); (1,1) → right (2,2), left (2,3);
+        // (2,2) → right (3,4), left (3,5); (2,3) → right (3,6), left (3,7).
+        let root = BpdtId::ROOT;
+        let pub_ = root.left_child();
+        assert_eq!(pub_, BpdtId::new(1, 1));
+        assert_eq!(pub_.right_child(), BpdtId::new(2, 2));
+        assert_eq!(pub_.left_child(), BpdtId::new(2, 3));
+        assert_eq!(BpdtId::new(2, 2).right_child(), BpdtId::new(3, 4));
+        assert_eq!(BpdtId::new(2, 2).left_child(), BpdtId::new(3, 5));
+        assert_eq!(BpdtId::new(2, 3).right_child(), BpdtId::new(3, 6));
+        assert_eq!(BpdtId::new(2, 3).left_child(), BpdtId::new(3, 7));
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        let id = BpdtId::new(3, 5);
+        assert_eq!(id.parent(), Some(BpdtId::new(2, 2)));
+        assert!(id.is_left_child());
+        assert!(!BpdtId::new(3, 4).is_left_child());
+        assert_eq!(BpdtId::ROOT.parent(), None);
+    }
+
+    #[test]
+    fn all_ancestors_true_is_the_all_ones_id() {
+        assert!(BpdtId::ROOT.all_ancestors_true());
+        assert!(BpdtId::new(3, 7).all_ancestors_true());
+        assert!(!BpdtId::new(3, 6).all_ancestors_true());
+        assert!(!BpdtId::new(3, 4).all_ancestors_true());
+    }
+
+    #[test]
+    fn upload_targets_match_the_papers_examples() {
+        // bpdt(3,4) = (100)₂: book and pub undecided → upload to bpdt(2,2)
+        // (Example 5: name text is uploaded to the book BPDT first).
+        assert_eq!(BpdtId::new(3, 4).upload_target(), Some(BpdtId::new(2, 2)));
+        // bpdt(3,5) = (101)₂: book true, pub undecided → upload straight to
+        // bpdt(1,1), skipping bpdt(2,2) (Example 7).
+        assert_eq!(BpdtId::new(3, 5).upload_target(), Some(BpdtId::new(1, 1)));
+        // bpdt(3,6) = (110)₂: pub true, book undecided → bpdt(2,3).
+        assert_eq!(BpdtId::new(3, 6).upload_target(), Some(BpdtId::new(2, 3)));
+        // All-true BPDTs flush to output instead.
+        assert_eq!(BpdtId::new(3, 7).upload_target(), None);
+        assert_eq!(BpdtId::new(1, 1).upload_target(), None);
+        // bpdt(2,2) = (10)₂: pub undecided → bpdt(1,1) (Example 5: the
+        // author witness uploads the items to bpdt(1,1)).
+        assert_eq!(BpdtId::new(2, 2).upload_target(), Some(BpdtId::new(1, 1)));
+    }
+
+    #[test]
+    fn ancestor_bits_read_correctly() {
+        // bpdt(3,4) = (100)₂: root true, pub unknown, book unknown.
+        let id = BpdtId::new(3, 4);
+        assert!(id.ancestor_true(0));
+        assert!(!id.ancestor_true(1));
+        assert!(!id.ancestor_true(2));
+        // bpdt(3,5) = (101)₂: root true, pub unknown, book true.
+        let id = BpdtId::new(3, 5);
+        assert!(id.ancestor_true(0));
+        assert!(!id.ancestor_true(1));
+        assert!(id.ancestor_true(2));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(BpdtId::new(2, 3).to_string(), "bpdt(2,3)");
+    }
+}

@@ -1,0 +1,355 @@
+//! Shared result items and the output-marking discipline of §4.3.
+//!
+//! With closures, the same stream element can be matched along several
+//! HPDT paths at once. The paper's solution: buffer *references* to one
+//! shared item; the first match whose predicates all hold marks the item
+//! as **output**; once marked, later `clear` operations cannot retract it,
+//! and the item is emitted exactly when it reaches the head of the output
+//! queue — giving duplicate-free results in document order.
+//!
+//! Here the "output queue" is realized as the item store itself: items are
+//! created in document order (each is *anchored* at the stream event that
+//! produced its value), and an emission cursor advances over them,
+//! emitting `Output` items and skipping `Dead` ones (items all of whose
+//! buffered references were cleared). An item still `Pending` (or an
+//! element item still being serialized) blocks the cursor — exactly the
+//! paper's "remain unchanged … until it becomes the first item in the
+//! queue".
+
+/// Index of an item in the store.
+pub type ItemId = u32;
+
+/// Lifecycle of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemState {
+    /// Some match may still make this item a result.
+    Pending,
+    /// A match with all predicates true claimed it; it will be emitted.
+    Output,
+    /// Every reference was cleared; it can never be a result.
+    Dead,
+}
+
+#[derive(Debug)]
+struct Item {
+    value: String,
+    state: ItemState,
+    /// Element items are open while their element is being serialized;
+    /// scalar items are created closed.
+    closed: bool,
+    /// Number of buffer entries referencing this item.
+    refs: u32,
+    /// Ordinal of the last event appended (deduplicates appends when
+    /// several configurations feed the same element item).
+    last_append_event: u64,
+}
+
+/// The store of result items plus the emission cursor.
+#[derive(Debug, Default)]
+pub struct ItemStore {
+    items: Vec<Item>,
+    cursor: usize,
+    /// Anchor for the event being processed: all value productions during
+    /// one input event share one item (duplicate matches, §4.3).
+    current_event: u64,
+    current_item: Option<ItemId>,
+    live_bytes: usize,
+    peak_bytes: usize,
+    peak_live_items: usize,
+    emitted: u64,
+    died: u64,
+}
+
+impl ItemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start processing a new input event (resets the anchor).
+    pub fn begin_event(&mut self, ordinal: u64) {
+        self.current_event = ordinal;
+        self.current_item = None;
+    }
+
+    /// Get the item anchored at the current event, creating it with
+    /// `value` if this is the first production. `closed` is false for
+    /// element items that will grow by appends.
+    pub fn anchor(&mut self, value: &str, closed: bool) -> ItemId {
+        if let Some(id) = self.current_item {
+            return id;
+        }
+        let id = self.items.len() as ItemId;
+        self.items.push(Item {
+            value: value.to_string(),
+            state: ItemState::Pending,
+            closed,
+            refs: 0,
+            last_append_event: self.current_event,
+        });
+        self.live_bytes += value.len();
+        self.note_peaks();
+        self.current_item = Some(id);
+        id
+    }
+
+    /// A buffer entry now references the item.
+    pub fn add_ref(&mut self, id: ItemId) {
+        self.items[id as usize].refs += 1;
+    }
+
+    /// A buffer entry referencing the item was removed (cleared or
+    /// flushed). A pending item with no remaining references is dead.
+    pub fn release_ref(&mut self, id: ItemId) {
+        let item = &mut self.items[id as usize];
+        debug_assert!(item.refs > 0, "release without ref");
+        item.refs -= 1;
+        if item.refs == 0 && item.state == ItemState::Pending {
+            item.state = ItemState::Dead;
+            self.live_bytes -= item.value.len();
+            item.value = String::new();
+            self.died += 1;
+        }
+    }
+
+    /// Mark the item as output (idempotent; never downgraded).
+    pub fn mark_output(&mut self, id: ItemId) {
+        let item = &mut self.items[id as usize];
+        if item.state == ItemState::Pending {
+            item.state = ItemState::Output;
+        }
+        debug_assert_ne!(item.state, ItemState::Dead, "flush of a dead item");
+    }
+
+    /// Append serialized content to an open element item. Appends are
+    /// deduplicated per input event, so two configurations feeding the
+    /// same item add its content once.
+    pub fn append(&mut self, id: ItemId, content: &str) {
+        let item = &mut self.items[id as usize];
+        if item.last_append_event == self.current_event {
+            return;
+        }
+        item.last_append_event = self.current_event;
+        if item.state != ItemState::Dead {
+            item.value.push_str(content);
+            self.live_bytes += content.len();
+            self.note_peaks();
+        }
+    }
+
+    /// Close an open element item (idempotent).
+    pub fn close(&mut self, id: ItemId) {
+        self.items[id as usize].closed = true;
+    }
+
+    /// Is the item already closed? (Used to deduplicate the closing-tag
+    /// append across configurations.)
+    pub fn is_closed(&self, id: ItemId) -> bool {
+        self.items[id as usize].closed
+    }
+
+    pub fn state(&self, id: ItemId) -> ItemState {
+        self.items[id as usize].state
+    }
+
+    /// Advance the emission cursor: emit every resolved item at the head
+    /// in document order. `f` receives the values of emitted items.
+    pub fn drain(&mut self, mut f: impl FnMut(&str)) {
+        while let Some(item) = self.items.get_mut(self.cursor) {
+            match item.state {
+                ItemState::Output if item.closed => {
+                    let value = std::mem::take(&mut item.value);
+                    self.live_bytes -= value.len();
+                    self.emitted += 1;
+                    self.cursor += 1;
+                    f(&value);
+                }
+                ItemState::Dead => {
+                    self.cursor += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// End-of-stream cleanup: anything still pending can no longer become
+    /// a result (all elements are closed), so it dies; then drain.
+    pub fn finish(&mut self, f: impl FnMut(&str)) {
+        for item in &mut self.items[self.cursor..] {
+            if item.state == ItemState::Pending {
+                item.state = ItemState::Dead;
+                self.live_bytes -= item.value.len();
+                item.value = String::new();
+                self.died += 1;
+            }
+        }
+        self.drain(f);
+    }
+
+    /// Number of items not yet emitted or dead.
+    pub fn pending_items(&self) -> usize {
+        self.items[self.cursor..]
+            .iter()
+            .filter(|i| i.state == ItemState::Pending)
+            .count()
+    }
+
+    fn note_peaks(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        let live = self.items.len() - (self.emitted + self.died) as usize;
+        self.peak_live_items = self.peak_live_items.max(live);
+    }
+
+    /// Peak bytes held in item values at any point.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Peak number of live (unemitted, undead) items.
+    pub fn peak_live_items(&self) -> usize {
+        self.peak_live_items
+    }
+
+    /// Total items ever created.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_shares_one_item_per_event() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("x", true);
+        let b = s.anchor("ignored", true);
+        assert_eq!(a, b);
+        s.begin_event(2);
+        let c = s.anchor("y", true);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_then_drain_in_document_order() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("first", true);
+        s.add_ref(a);
+        s.begin_event(2);
+        let b = s.anchor("second", true);
+        s.add_ref(b);
+        // Second resolves before first: nothing emits until first does.
+        s.mark_output(b);
+        s.release_ref(b);
+        let mut out = Vec::new();
+        s.drain(|v| out.push(v.to_string()));
+        assert!(out.is_empty());
+        s.mark_output(a);
+        s.release_ref(a);
+        s.drain(|v| out.push(v.to_string()));
+        assert_eq!(out, ["first", "second"]);
+    }
+
+    #[test]
+    fn cleared_references_kill_pending_items() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("dead", true);
+        s.add_ref(a);
+        s.add_ref(a);
+        s.release_ref(a);
+        assert_eq!(s.state(a), ItemState::Pending);
+        s.release_ref(a);
+        assert_eq!(s.state(a), ItemState::Dead);
+        let mut out = Vec::new();
+        s.drain(|v| out.push(v.to_string()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_mark_wins_over_clear() {
+        // The crux of §4.3: one match outputs, another clears — the item
+        // must survive and be emitted exactly once.
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("kept", true);
+        s.add_ref(a); // reference from path 1
+        s.add_ref(a); // reference from path 2
+        s.mark_output(a); // path 2's predicates all true
+        s.release_ref(a); // flush removed path 2's entry
+        s.release_ref(a); // path 1 cleared
+        assert_eq!(s.state(a), ItemState::Output);
+        let mut out = Vec::new();
+        s.drain(|v| out.push(v.to_string()));
+        assert_eq!(out, ["kept"]);
+    }
+
+    #[test]
+    fn element_items_block_emission_until_closed() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("<a>", false);
+        s.mark_output(a);
+        let mut out = Vec::new();
+        s.drain(|v| out.push(v.to_string()));
+        assert!(out.is_empty());
+        s.begin_event(2);
+        s.append(a, "text");
+        s.begin_event(3);
+        s.append(a, "</a>");
+        s.close(a);
+        s.drain(|v| out.push(v.to_string()));
+        assert_eq!(out, ["<a>text</a>"]);
+    }
+
+    #[test]
+    fn appends_are_deduplicated_per_event() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("<a>", false);
+        s.begin_event(2);
+        s.append(a, "x");
+        s.append(a, "x"); // second configuration, same event
+        s.mark_output(a);
+        s.close(a);
+        let mut out = Vec::new();
+        s.drain(|v| out.push(v.to_string()));
+        assert_eq!(out, ["<a>x"]);
+    }
+
+    #[test]
+    fn finish_kills_stragglers() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("stuck", true);
+        s.add_ref(a);
+        s.begin_event(2);
+        let b = s.anchor("good", true);
+        s.mark_output(b);
+        let mut out = Vec::new();
+        s.finish(|v| out.push(v.to_string()));
+        assert_eq!(out, ["good"]);
+        assert_eq!(s.pending_items(), 0);
+    }
+
+    #[test]
+    fn memory_peaks_track_live_values() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor("aaaa", true);
+        s.add_ref(a);
+        s.begin_event(2);
+        let b = s.anchor("bb", true);
+        s.add_ref(b);
+        assert_eq!(s.peak_bytes(), 6);
+        s.mark_output(a);
+        s.release_ref(a);
+        s.drain(|_| {});
+        // Peak stays even after emission.
+        assert_eq!(s.peak_bytes(), 6);
+        assert_eq!(s.peak_live_items(), 2);
+        assert_eq!(s.total_items(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Uniform reporting types and the cross-engine trait used by the
+//! experiment harness (Figs. 14 and 16–22).
+//!
+//! Every system in the paper's study — XSQ-F, XSQ-NC, and the baselines —
+//! is driven through [`XPathEngine`]: compile a query, run it over a
+//! document, and report results plus per-phase timings (Fig. 18) and
+//! memory (Figs. 19–20). Timings are measured by the harness around the
+//! trait calls; memory is engine-internal accounting, since what the
+//! paper's claim concerns is *what the engine must hold on to*.
+
+use std::time::Duration;
+
+/// Feature matrix row (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Query language the real system used (for the Fig. 14 column).
+    pub language: &'static str,
+    /// Processes the document as a stream (bounded memory)?
+    pub streaming: bool,
+    /// Supports predicates on multiple location steps?
+    pub multiple_predicates: bool,
+    /// Supports the closure axis `//`?
+    pub closures: bool,
+    /// Supports aggregation output (`count()`, `sum()`)?
+    pub aggregation: bool,
+    /// Supports predicates whose evaluation requires buffering (data
+    /// arriving before the predicate decides)?
+    pub buffered_predicate_eval: bool,
+}
+
+/// Peak memory held by an engine during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Peak bytes of buffered/materialized data.
+    pub peak_bytes: u64,
+    /// Peak number of live buffered items (0 for unbuffered engines).
+    pub peak_items: u64,
+    /// Peak simultaneous runtime configurations (automaton engines).
+    pub peak_configs: u64,
+    /// Bytes of resident preprocessed structure (DOM tree, full-text
+    /// index) that lives for the whole query, not just transiently.
+    pub resident_structure_bytes: u64,
+}
+
+impl MemoryStats {
+    /// Total peak footprint: transient buffering plus resident structure.
+    pub fn total_peak_bytes(&self) -> u64 {
+        self.peak_bytes + self.resident_structure_bytes
+    }
+}
+
+/// Per-phase wall-clock times (Fig. 18's stacked bars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Parsing the query and building the engine ("Building").
+    pub compile: Duration,
+    /// Loading/indexing before evaluation can start ("Preprocessing" —
+    /// zero for streaming engines).
+    pub preprocess: Duration,
+    /// Evaluating the query over the data ("Querying").
+    pub query: Duration,
+}
+
+impl PhaseTimings {
+    pub fn total(&self) -> Duration {
+        self.compile + self.preprocess + self.query
+    }
+}
+
+/// Everything a single engine run reports back to the harness.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub results: Vec<String>,
+    pub timings: PhaseTimings,
+    pub memory: MemoryStats,
+    /// SAX events processed (0 where not applicable).
+    pub events: u64,
+}
+
+/// Why an engine declined to run a query (Fig. 14's empty cells).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported: {}", self.0)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// The uniform interface every system in the study implements.
+pub trait XPathEngine {
+    /// Display name (matches the paper's Fig. 14 where applicable).
+    fn name(&self) -> &'static str;
+
+    /// Feature matrix row.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Evaluate `query` over `document`, or explain why it cannot.
+    fn run(&self, query: &str, document: &[u8]) -> Result<RunReport, Box<dyn std::error::Error>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_total_adds_resident() {
+        let m = MemoryStats {
+            peak_bytes: 100,
+            resident_structure_bytes: 1000,
+            ..Default::default()
+        };
+        assert_eq!(m.total_peak_bytes(), 1100);
+    }
+
+    #[test]
+    fn timings_total() {
+        let t = PhaseTimings {
+            compile: Duration::from_millis(1),
+            preprocess: Duration::from_millis(2),
+            query: Duration::from_millis(3),
+        };
+        assert_eq!(t.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn unsupported_displays_reason() {
+        let u = Unsupported("predicates".into());
+        assert!(u.to_string().contains("predicates"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The HPDT runtime (§4.3): configurations, transitions, buffer actions.
+//!
+//! A *configuration* is a `(state, depth-vector)` pair plus, for
+//! whole-element output, the item currently being serialized. The
+//! nondeterministic runtime (XSQ-F) keeps a set of configurations: every
+//! arc whose label, depth discipline, and guard accept the event fires,
+//! each producing a successor; configurations that match nothing simply
+//! ignore the event (the paper's rule).
+//!
+//! Two orderings matter:
+//!
+//! * Within one input event, matched arcs execute **deepest layer first**,
+//!   so that an inner element's upload lands in an ancestor's queue before
+//!   that ancestor's own flush/clear runs on the same event (this is why
+//!   Fig. 8 resolves `[child]` on `</child>`).
+//! * Result emission is globally ordered by the item store (document
+//!   order), independent of when predicates resolve.
+//!
+//! The deterministic fast path (XSQ-NC, §6.2) runs the same machinery but
+//! stops scanning a state's arcs at the first match whenever the builder
+//! proved the state deterministic — the paper's "XSQ-NC can stop searching
+//! after it finds one match".
+
+use xsq_xml::SaxEvent;
+use xsq_xpath::Output;
+
+use crate::aggregate::Aggregator;
+use crate::arcs::{Action, Disposition, StateId, ValueSource};
+use crate::buffers::QueueSet;
+use crate::build::Hpdt;
+use crate::depth_vector::DepthVector;
+use crate::items::{ItemId, ItemStore};
+use crate::report::MemoryStats;
+use crate::sink::Sink;
+use crate::trace::TraceStep;
+
+/// One runtime configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Config {
+    state: StateId,
+    dv: DepthVector,
+    /// Open element item being serialized (whole-element output only).
+    item: Option<ItemId>,
+}
+
+/// Statistics of one completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// SAX events processed (including the document brackets).
+    pub events: u64,
+    /// Results emitted (for aggregations: 1, the final value).
+    pub results: u64,
+    /// Peak memory held by the engine.
+    pub memory: MemoryStats,
+}
+
+/// An incremental evaluator: feed it SAX events, results stream out of
+/// the sink as soon as the paper's semantics allow.
+pub struct Runner<'q> {
+    hpdt: &'q Hpdt,
+    /// When false (XSQ-NC), deterministic states stop at the first match.
+    scan_all_mode: bool,
+    configs: Vec<Config>,
+    items: ItemStore,
+    queues: QueueSet,
+    agg: Option<Aggregator>,
+    ordinal: u64,
+    events: u64,
+    results: u64,
+    peak_configs: usize,
+    // Scratch buffers reused across events (the hot loop allocates
+    // nothing on the no-match and single-match paths).
+    scratch_matches: Vec<(usize, StateId, u32)>,
+    scratch_uses: Vec<u32>,
+    spare_configs: Vec<Config>,
+    /// Optional execution tracer (`--trace`; see [`crate::trace`]).
+    tracer: Option<&'q mut dyn FnMut(TraceStep)>,
+}
+
+impl<'q> Runner<'q> {
+    /// Create a runner over a compiled HPDT. `scan_all_mode` selects the
+    /// nondeterministic (XSQ-F) arc scan; pass `false` only for
+    /// closure-free queries (XSQ-NC).
+    pub fn new(hpdt: &'q Hpdt, scan_all_mode: bool) -> Self {
+        let agg = match &hpdt.query.output {
+            Output::Aggregate(f) => Some(Aggregator::new(*f)),
+            _ => None,
+        };
+        Runner {
+            hpdt,
+            scan_all_mode,
+            configs: vec![Config {
+                state: hpdt.start,
+                dv: DepthVector::new(),
+                item: None,
+            }],
+            items: ItemStore::new(),
+            queues: QueueSet::new(hpdt.bpdt_count),
+            agg,
+            ordinal: 0,
+            events: 0,
+            results: 0,
+            peak_configs: 1,
+            scratch_matches: Vec::new(),
+            scratch_uses: Vec::new(),
+            spare_configs: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Reset the runner to its start state for a fresh document,
+    /// keeping the allocated scratch buffers (multi-document feeds).
+    pub fn reset(&mut self) {
+        self.configs.clear();
+        self.configs.push(Config {
+            state: self.hpdt.start,
+            dv: DepthVector::new(),
+            item: None,
+        });
+        self.items = ItemStore::new();
+        self.queues = QueueSet::new(self.hpdt.bpdt_count);
+        self.agg = match &self.hpdt.query.output {
+            xsq_xpath::Output::Aggregate(f) => Some(Aggregator::new(*f)),
+            _ => None,
+        };
+        self.ordinal = 0;
+        self.results = 0;
+    }
+
+    /// Install an execution tracer: it receives one [`TraceStep`] per
+    /// input event (the Example 5-style walkthrough). Zero cost when
+    /// unset.
+    pub fn set_tracer(&mut self, tracer: &'q mut dyn FnMut(TraceStep)) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Process one SAX event, pushing any newly determined results into
+    /// the sink.
+    pub fn feed(&mut self, event: &SaxEvent, sink: &mut dyn Sink) {
+        // `hpdt` is a shared borrow for the whole compiled query's
+        // lifetime; pulling it out of `self` lets us hold arcs across the
+        // mutable buffer operations below.
+        let hpdt = self.hpdt;
+        self.ordinal += 1;
+        self.events += 1;
+        self.items.begin_event(self.ordinal);
+
+        // Phase 1: find every (configuration, arc) match.
+        let mut matches = std::mem::take(&mut self.scratch_matches);
+        let mut uses = std::mem::take(&mut self.scratch_uses);
+        matches.clear();
+        uses.clear();
+        uses.resize(self.configs.len(), 0);
+        for (ci, cfg) in self.configs.iter().enumerate() {
+            let arcs = &hpdt.arcs[cfg.state as usize];
+            let stop_early = !self.scan_all_mode && !hpdt.scan_all[cfg.state as usize];
+            for (ai, arc) in arcs.iter().enumerate() {
+                if arc.label_matches(event, &cfg.dv) && arc.guard_passes(event) {
+                    matches.push((ci, cfg.state, ai as u32));
+                    uses[ci] += 1;
+                    if stop_early {
+                        break;
+                    }
+                }
+            }
+        }
+        if matches.is_empty() {
+            // Every configuration ignores the event (the common case on
+            // data the query does not touch): nothing moves.
+            self.scratch_matches = matches;
+            self.scratch_uses = uses;
+            self.drain(sink);
+            self.emit_trace(event, Vec::new());
+            return;
+        }
+
+        // Phase 2: execute matches deepest-layer-first (uploads from a
+        // closing inner element precede the enclosing flush/clear on the
+        // same event); within a layer, value production → flush/upload →
+        // clear (see `Arc::priority`).
+        matches.sort_by_key(|&(_, state, ai)| {
+            let arc = &hpdt.arcs[state as usize][ai as usize];
+            (std::cmp::Reverse(arc.owner_layer), arc.priority())
+        });
+
+        let mut fired: Vec<crate::trace::FiredArc> = Vec::new();
+        let mut cur = std::mem::take(&mut self.configs);
+        let mut next = std::mem::take(&mut self.spare_configs);
+        next.clear();
+        // Unmatched configurations survive unchanged; move them over.
+        for (ci, &n) in uses.iter().enumerate() {
+            if n == 0 {
+                next.push(std::mem::take(&mut cur[ci]));
+            }
+        }
+        for &(ci, state, ai) in &matches {
+            let arc = &hpdt.arcs[state as usize][ai as usize];
+            // Last use of this configuration moves its depth vector;
+            // earlier (forking) uses clone it.
+            uses[ci] -= 1;
+            let (cfg_item, mut dv) = if uses[ci] == 0 {
+                let c = &mut cur[ci];
+                (c.item, std::mem::take(&mut c.dv))
+            } else {
+                let c = &cur[ci];
+                (c.item, c.dv.clone())
+            };
+            // Depth-vector discipline (§4.3): real transitions push the
+            // depth of a begin event and pop at an end event; self-loops
+            // and text events leave the vector unchanged. Actions see the
+            // "inside" vector — after the push, before the pop.
+            let changes = arc.changes_state(state);
+            if changes {
+                match event {
+                    SaxEvent::StartDocument => dv.push_mut(0),
+                    SaxEvent::Begin { depth, .. } => dv.push_mut(*depth),
+                    _ => {}
+                }
+            }
+            if self.tracer.is_some() {
+                fired.push(crate::trace::fired_arc(arc, state, &dv));
+            }
+            let mut new_item = cfg_item;
+            for action in &arc.actions {
+                self.execute(action, arc.owner, event, &dv, cfg_item, &mut new_item);
+            }
+            if changes && matches!(event, SaxEvent::End { .. } | SaxEvent::EndDocument) {
+                dv.pop_mut();
+            }
+            next.push(Config {
+                state: arc.target,
+                dv,
+                item: new_item,
+            });
+        }
+        // Deduplicate successors (closures can re-derive the same
+        // (state, dv) along several arcs). Sort+dedup keeps the per-event
+        // cost O(n log n) even when recursion inflates the set.
+        if next.len() > 1 {
+            next.sort_unstable();
+            next.dedup();
+        }
+        self.spare_configs = cur;
+        self.configs = next;
+        self.peak_configs = self.peak_configs.max(self.configs.len());
+        self.scratch_matches = matches;
+        self.scratch_uses = uses;
+
+        // Phase 3: emit whatever is now determined, in document order.
+        self.drain(sink);
+        self.emit_trace(event, fired);
+    }
+
+    fn emit_trace(&mut self, event: &SaxEvent, fired: Vec<crate::trace::FiredArc>) {
+        let configs_after = self.configs.len();
+        let buffered_after = self.queues.live_entries();
+        let ordinal = self.ordinal;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer(TraceStep {
+                ordinal,
+                event: event.to_string(),
+                fired,
+                configs_after,
+                buffered_after,
+            });
+        }
+    }
+
+    fn execute(
+        &mut self,
+        action: &Action,
+        owner: crate::ids::BpdtId,
+        event: &SaxEvent,
+        inside_dv: &DepthVector,
+        current_item: Option<ItemId>,
+        new_item: &mut Option<ItemId>,
+    ) {
+        let own = self.queue_idx(owner);
+        let prefix = owner.layer as usize + 1;
+        match action {
+            Action::FlushSelf => {
+                self.queues
+                    .flush_matching(own, inside_dv, prefix, &mut self.items);
+            }
+            Action::UploadSelf(target) => {
+                let dst = self.queue_idx(*target);
+                self.queues.upload_matching(own, dst, inside_dv, prefix);
+            }
+            Action::ClearSelf => {
+                self.queues
+                    .clear_matching(own, inside_dv, prefix, &mut self.items);
+            }
+            Action::Emit { source, to } => {
+                let value: Option<&str> = match source {
+                    ValueSource::Text => match event {
+                        SaxEvent::Text { text, .. } => Some(text.as_str()),
+                        _ => None,
+                    },
+                    ValueSource::Attr(a) => event.attribute(a),
+                    ValueSource::Unit => Some("1"),
+                };
+                if let Some(v) = value {
+                    let item = self.items.anchor(v, true);
+                    self.route(item, to, own, inside_dv);
+                }
+            }
+            Action::ElementStart { to } => {
+                let mut ser = String::new();
+                xsq_xml::writer::write_event_into(event, &mut ser);
+                let item = self.items.anchor(&ser, false);
+                *new_item = Some(item);
+                self.route(item, to, own, inside_dv);
+            }
+            Action::ElementAppend => {
+                if let Some(item) = current_item {
+                    let mut ser = String::new();
+                    xsq_xml::writer::write_event_into(event, &mut ser);
+                    self.items.append(item, &ser);
+                }
+            }
+            Action::ElementEnd => {
+                if let Some(item) = current_item {
+                    if !self.items.is_closed(item) {
+                        let mut ser = String::new();
+                        xsq_xml::writer::write_event_into(event, &mut ser);
+                        self.items.append(item, &ser);
+                        self.items.close(item);
+                    }
+                    *new_item = None;
+                }
+            }
+        }
+    }
+
+    fn queue_idx(&self, id: crate::ids::BpdtId) -> usize {
+        *self
+            .hpdt
+            .queue_index
+            .get(&id)
+            .expect("compiled disposition targets an existing BPDT")
+    }
+
+    fn route(&mut self, item: ItemId, to: &Disposition, own_queue: usize, inside_dv: &DepthVector) {
+        match to {
+            Disposition::Direct => self.items.mark_output(item),
+            Disposition::OwnQueue => {
+                self.queues
+                    .enqueue(own_queue, item, inside_dv.clone(), &mut self.items)
+            }
+            Disposition::Queue(id) => {
+                let q = self.queue_idx(*id);
+                self.queues
+                    .enqueue(q, item, inside_dv.clone(), &mut self.items)
+            }
+        }
+    }
+
+    fn drain(&mut self, sink: &mut dyn Sink) {
+        if let Some(agg) = &mut self.agg {
+            let items = &mut self.items;
+            items.drain(|v| agg.add(v));
+            if agg.take_dirty() {
+                sink.aggregate_update(agg.current());
+            }
+        } else {
+            let results = &mut self.results;
+            self.items.drain(|v| {
+                *results += 1;
+                sink.result(v);
+            });
+        }
+    }
+
+    /// Finish the stream: resolve stragglers, emit the aggregation
+    /// result, and return run statistics. For complete documents
+    /// (`EndDocument` was fed) there are never stragglers — the paper's
+    /// invariant that all buffers resolve by the closing tag of the
+    /// outermost queried element.
+    pub fn finish(mut self, sink: &mut dyn Sink) -> RunStats {
+        if let Some(agg) = &mut self.agg {
+            let items = &mut self.items;
+            items.finish(|v| agg.add(v));
+            sink.result(&agg.render());
+            self.results += 1;
+        } else {
+            let results = &mut self.results;
+            self.items.finish(|v| {
+                *results += 1;
+                sink.result(v);
+            });
+        }
+        RunStats {
+            events: self.events,
+            results: self.results,
+            memory: self.memory(),
+        }
+    }
+
+    /// Current memory accounting.
+    pub fn memory(&self) -> MemoryStats {
+        MemoryStats {
+            peak_bytes: (self.items.peak_bytes()
+                + self.queues.peak_entries() * std::mem::size_of::<crate::buffers::Entry>())
+                as u64,
+            peak_items: self.items.peak_live_items() as u64,
+            peak_configs: self.peak_configs as u64,
+            resident_structure_bytes: 0,
+        }
+    }
+
+    /// Buffered references right now (diagnostics; must be 0 after
+    /// `EndDocument`).
+    pub fn buffered_entries(&self) -> usize {
+        self.queues.live_entries()
+    }
+
+    /// Live configurations right now.
+    pub fn config_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The running aggregate value, if this is an aggregation query.
+    pub fn aggregate_value(&self) -> Option<f64> {
+        self.agg.as_ref().map(|a| a.current())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_hpdt;
+    use crate::sink::VecSink;
+    use xsq_xpath::parse_query;
+
+    fn run(query: &str, doc: &str) -> Vec<String> {
+        let hpdt = build_hpdt(&parse_query(query).unwrap()).unwrap();
+        let mut runner = Runner::new(&hpdt, true);
+        let mut sink = VecSink::new();
+        let events = xsq_xml::parse_to_events(doc.as_bytes()).unwrap();
+        for e in &events {
+            runner.feed(e, &mut sink);
+        }
+        assert_eq!(runner.buffered_entries(), 0, "buffers must drain");
+        runner.finish(&mut sink);
+        sink.results
+    }
+
+    #[test]
+    fn simple_path_text() {
+        assert_eq!(
+            run("/a/b/text()", "<a><b>one</b><c><b>no</b></c><b>two</b></a>"),
+            ["one", "two"]
+        );
+    }
+
+    #[test]
+    fn predicate_buffers_until_decided() {
+        // Value arrives before the deciding year element.
+        assert_eq!(
+            run(
+                "/pub[year=2002]/name/text()",
+                "<pub><name>N</name><year>2002</year></pub>"
+            ),
+            ["N"]
+        );
+        assert_eq!(
+            run(
+                "/pub[year=2002]/name/text()",
+                "<pub><name>N</name><year>1999</year></pub>"
+            ),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn closure_matches_all_depths() {
+        assert_eq!(
+            run(
+                "//b/text()",
+                "<a><b>1</b><c><b>2</b><d><b>3</b></d></c></a>"
+            ),
+            ["1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn recursive_closure_no_duplicates() {
+        // <b> nested in <b>: //b//c must return c once per distinct c.
+        assert_eq!(run("//b//c/text()", "<a><b><b><c>x</c></b></b></a>"), ["x"]);
+    }
+
+    #[test]
+    fn attribute_output() {
+        assert_eq!(
+            run("/a/b/@id", r#"<a><b id="1"/><b/><b id="3"/></a>"#),
+            ["1", "3"]
+        );
+    }
+
+    #[test]
+    fn count_aggregation() {
+        assert_eq!(run("//b/count()", "<a><b/><c><b/></c></a>"), ["2"]);
+    }
+
+    #[test]
+    fn sum_aggregation() {
+        assert_eq!(
+            run(
+                "//price/sum()",
+                "<a><price>1.5</price><price>2.5</price></a>"
+            ),
+            ["4"]
+        );
+    }
+
+    #[test]
+    fn element_output() {
+        assert_eq!(
+            run("/a/b", r#"<a><b id="1"><c>x</c></b></a>"#),
+            [r#"<b id="1"><c>x</c></b>"#]
+        );
+    }
+
+    #[test]
+    fn deterministic_mode_matches_full_mode() {
+        let q = "/pub[year=2002]/book[price<11]/author/text()";
+        let doc = "<pub><book><price>10</price><author>A</author></book>\
+                   <book><price>14</price><author>B</author></book>\
+                   <year>2002</year></pub>";
+        let hpdt = build_hpdt(&parse_query(q).unwrap()).unwrap();
+        assert!(hpdt.deterministic);
+        let events = xsq_xml::parse_to_events(doc.as_bytes()).unwrap();
+        let mut outs = Vec::new();
+        for scan_all in [true, false] {
+            let mut runner = Runner::new(&hpdt, scan_all);
+            let mut sink = VecSink::new();
+            for e in &events {
+                runner.feed(e, &mut sink);
+            }
+            runner.finish(&mut sink);
+            outs.push(sink.results);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], ["A"]);
+    }
+
+    #[test]
+    fn streaming_results_appear_before_document_end() {
+        let hpdt = build_hpdt(&parse_query("/a/b/text()").unwrap()).unwrap();
+        let mut runner = Runner::new(&hpdt, true);
+        let mut sink = VecSink::new();
+        let events = xsq_xml::parse_to_events(b"<a><b>early</b><c/></a>").unwrap();
+        // Feed only through </b>.
+        for e in &events[..5] {
+            runner.feed(e, &mut sink);
+        }
+        assert_eq!(sink.results, ["early"]);
+    }
+
+    #[test]
+    fn running_aggregate_updates_stream() {
+        let hpdt = build_hpdt(&parse_query("//b/count()").unwrap()).unwrap();
+        let mut runner = Runner::new(&hpdt, true);
+        let mut sink = VecSink::new();
+        for e in xsq_xml::parse_to_events(b"<a><b/><b/><b/></a>").unwrap() {
+            runner.feed(&e, &mut sink);
+        }
+        runner.finish(&mut sink);
+        assert_eq!(sink.updates, vec![1.0, 2.0, 3.0]);
+        assert_eq!(sink.results, ["3"]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Schema-aware query analysis and optimization — the paper's stated
+//! future work ("automatically incorporate schema information, if
+//! available, into the system for optimization", §5).
+//!
+//! Given a [`Dtd`], this module computes, per location step, the set of
+//! element tags that can actually occupy it. Two optimizations follow:
+//!
+//! * **emptiness** — if some step's tag set is empty, the query can never
+//!   produce a result on schema-valid documents; the engine can skip the
+//!   stream entirely;
+//! * **closure elimination** — a `//tag` step whose matches are provably
+//!   all *direct children* of the previous step's elements rewrites to
+//!   `/tag`. A fully rewritten query has a deterministic HPDT and runs on
+//!   the XSQ-NC fast path; it also drops the `//` self-loops, shrinking
+//!   the configuration set on recursive data.
+
+use std::collections::BTreeSet;
+
+use xsq_xml::dtd::Dtd;
+use xsq_xpath::{Axis, NodeTest, Query};
+
+/// Result of analyzing a query against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaAnalysis {
+    /// Tags that can occupy each location step on schema-valid input.
+    pub step_tags: Vec<BTreeSet<String>>,
+    /// True when every step can be occupied.
+    pub satisfiable: bool,
+    /// Steps (indices) whose closure axis was proven equivalent to the
+    /// child axis.
+    pub removable_closures: Vec<usize>,
+}
+
+/// Analyze `query` against `dtd`. `roots` are the possible document
+/// elements; pass the empty set to use `dtd.root_candidates()`, or all
+/// declared elements when the root is unknown.
+pub fn analyze(query: &Query, dtd: &Dtd, roots: &BTreeSet<String>) -> SchemaAnalysis {
+    let default_roots;
+    let roots = if roots.is_empty() {
+        default_roots = dtd.root_candidates();
+        if default_roots.is_empty() {
+            // Recursive schemas may have no unparented element; fall back
+            // to "any declared element may be the root".
+            &dtd.elements().map(str::to_string).collect()
+        } else {
+            &default_roots
+        }
+    } else {
+        roots
+    };
+
+    let mut step_tags: Vec<BTreeSet<String>> = Vec::with_capacity(query.steps.len());
+    let mut removable = Vec::new();
+    // Context: tags that can hold the previous step's elements; None at
+    // the start means "the document node".
+    let mut context: Option<BTreeSet<String>> = None;
+    for (i, step) in query.steps.iter().enumerate() {
+        let candidates: BTreeSet<String> = match (&context, step.axis) {
+            (None, Axis::Child) => roots.clone(),
+            (None, Axis::Closure) => {
+                let mut all: BTreeSet<String> = roots.clone();
+                for r in roots {
+                    all.extend(dtd.descendants_of(r));
+                }
+                all
+            }
+            (Some(ctx), Axis::Child) => ctx
+                .iter()
+                .flat_map(|c| dtd.children_of(c).map(str::to_string))
+                .collect(),
+            (Some(ctx), Axis::Closure) => {
+                let mut all = BTreeSet::new();
+                for c in ctx {
+                    all.extend(dtd.descendants_of(c));
+                }
+                all
+            }
+        };
+        let matched: BTreeSet<String> = candidates
+            .into_iter()
+            .filter(|t| match &step.test {
+                NodeTest::Name(n) => n == t,
+                NodeTest::Wildcard => true,
+            })
+            .collect();
+
+        // Closure-elimination check: every matching tag occurs only as a
+        // direct child of the context, never at depth ≥ 2 below it.
+        if step.axis == Axis::Closure && !matched.is_empty() {
+            let deep: BTreeSet<String> = match &context {
+                None => roots.iter().flat_map(|r| dtd.descendants_of(r)).collect(),
+                Some(ctx) => ctx
+                    .iter()
+                    .flat_map(|c| dtd.deep_descendants_of(c))
+                    .collect(),
+            };
+            // For a first step, depth-1 candidates are the roots
+            // themselves; deeper occurrences disqualify.
+            if matched.iter().all(|t| !deep.contains(t)) {
+                removable.push(i);
+            }
+        }
+
+        context = Some(matched.clone());
+        step_tags.push(matched);
+    }
+    let satisfiable = step_tags.iter().all(|s| !s.is_empty());
+    SchemaAnalysis {
+        step_tags,
+        satisfiable,
+        removable_closures: removable,
+    }
+}
+
+/// Rewrite a query using the analysis: provably-child closures become
+/// child steps. Returns the rewritten query and whether it changed.
+pub fn rewrite(query: &Query, analysis: &SchemaAnalysis) -> (Query, bool) {
+    let mut q = query.clone();
+    let mut changed = false;
+    for &i in &analysis.removable_closures {
+        if q.steps[i].axis == Axis::Closure {
+            q.steps[i].axis = Axis::Child;
+            changed = true;
+        }
+    }
+    (q, changed)
+}
+
+/// Convenience: analyze + rewrite against a DTD in one call.
+///
+/// ```
+/// use xsq_core::schema::optimize;
+/// use xsq_xml::dtd::Dtd;
+///
+/// let dtd = Dtd::parse(
+///     "<!ELEMENT dblp (article*)> <!ELEMENT article (title)>\
+///      <!ELEMENT title (#PCDATA)>",
+/// ).unwrap();
+/// let q = xsq_xpath::parse_query("//dblp//article//title/text()").unwrap();
+/// let (optimized, analysis) = optimize(&q, &dtd);
+/// assert!(analysis.satisfiable);
+/// assert_eq!(optimized.to_string(), "/dblp/article/title/text()");
+/// ```
+pub fn optimize(query: &Query, dtd: &Dtd) -> (Query, SchemaAnalysis) {
+    let analysis = analyze(query, dtd, &BTreeSet::new());
+    let (q, _) = rewrite(query, &analysis);
+    (q, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xpath::parse_query;
+
+    fn flat_dtd() -> Dtd {
+        // Non-recursive: dblp-like.
+        Dtd::from_edges(&[
+            ("dblp", &["article", "inproceedings"]),
+            ("article", &["author", "title", "year"]),
+            ("inproceedings", &["author", "title", "year", "booktitle"]),
+            ("author", &[]),
+            ("title", &[]),
+            ("year", &[]),
+            ("booktitle", &[]),
+        ])
+    }
+
+    fn recursive_dtd() -> Dtd {
+        // pub may nest inside book inside pub (Fig. 2's shape).
+        Dtd::from_edges(&[
+            ("pub", &["year", "book", "pub"]),
+            ("book", &["name", "author", "pub"]),
+            ("year", &[]),
+            ("name", &[]),
+            ("author", &[]),
+        ])
+    }
+
+    #[test]
+    fn satisfiable_queries_have_nonempty_step_sets() {
+        let q = parse_query("/dblp/article/title/text()").unwrap();
+        let a = analyze(&q, &flat_dtd(), &BTreeSet::new());
+        assert!(a.satisfiable);
+        assert_eq!(a.step_tags[2].iter().collect::<Vec<_>>(), ["title"]);
+    }
+
+    #[test]
+    fn impossible_paths_are_unsatisfiable() {
+        // booktitle never occurs under article.
+        let q = parse_query("/dblp/article/booktitle/text()").unwrap();
+        let a = analyze(&q, &flat_dtd(), &BTreeSet::new());
+        assert!(!a.satisfiable);
+        // Nor does a bogus tag anywhere.
+        let q = parse_query("//nosuch/text()").unwrap();
+        assert!(!analyze(&q, &flat_dtd(), &BTreeSet::new()).satisfiable);
+    }
+
+    #[test]
+    fn closures_rewrite_to_children_on_flat_schemas() {
+        // In the dblp DTD, title only ever occurs as a direct child of a
+        // record, and records as direct children of dblp.
+        let q = parse_query("//dblp//article//title/text()").unwrap();
+        let (optimized, a) = optimize(&q, &flat_dtd());
+        assert!(a.satisfiable);
+        assert_eq!(a.removable_closures, vec![0, 1, 2]);
+        assert_eq!(optimized.to_string(), "/dblp/article/title/text()");
+        assert!(
+            !optimized.has_closure(),
+            "fully deterministic after rewrite"
+        );
+    }
+
+    #[test]
+    fn recursive_schemas_keep_their_closures() {
+        let q = parse_query("//pub//book//name/text()").unwrap();
+        let (optimized, a) = optimize(&q, &recursive_dtd());
+        assert!(a.satisfiable);
+        // Every closure must survive: pub nests in book nests in pub, and
+        // even name, though only ever a *direct* child of book, is
+        // reachable at depth ≥ 2 below a book via book/pub/book/name —
+        // so `//name ≡ /name` does NOT hold and the analyzer must not
+        // claim it.
+        assert!(a.removable_closures.is_empty());
+        assert_eq!(optimized.to_string(), q.to_string());
+    }
+
+    #[test]
+    fn rewritten_query_returns_identical_results() {
+        let doc = br#"<dblp><article><title>T1</title></article>
+            <inproceedings><author>A</author><title>T2</title></inproceedings></dblp>"#;
+        let q = parse_query("//article//title/text()").unwrap();
+        let (optimized, a) = optimize(&q, &flat_dtd());
+        // `//article` must stay a closure — as the first step it matches
+        // at depth 2 while `/article` would demand it as the document
+        // element. `//title` under article rewrites.
+        assert_eq!(a.removable_closures, vec![1]);
+        assert_eq!(optimized.to_string(), "//article/title/text()");
+        let before = crate::engine::evaluate(&q.to_string(), doc).unwrap();
+        let after = crate::engine::evaluate(&optimized.to_string(), doc).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(before, ["T1"]);
+    }
+
+    #[test]
+    fn explicit_roots_override_candidates() {
+        let dtd = recursive_dtd(); // no unparented element
+        let q = parse_query("/pub/year/text()").unwrap();
+        let roots: BTreeSet<String> = ["pub".to_string()].into();
+        assert!(analyze(&q, &dtd, &roots).satisfiable);
+        let roots: BTreeSet<String> = ["book".to_string()].into();
+        assert!(!analyze(&q, &dtd, &roots).satisfiable);
+    }
+
+    #[test]
+    fn wildcard_steps_collect_all_candidates() {
+        let q = parse_query("/dblp/*/title/text()").unwrap();
+        let a = analyze(&q, &flat_dtd(), &BTreeSet::new());
+        assert!(a.satisfiable);
+        assert_eq!(a.step_tags[1].len(), 2); // article, inproceedings
+    }
+
+    #[test]
+    fn first_step_closure_rewrites_when_root_only() {
+        // dblp occurs only as the root: //dblp ≡ /dblp.
+        let q = parse_query("//dblp/article/title/text()").unwrap();
+        let (optimized, a) = optimize(&q, &flat_dtd());
+        assert_eq!(a.removable_closures, vec![0]);
+        assert!(!optimized.has_closure());
+    }
+}

@@ -1,0 +1,105 @@
+//! Output sinks: where query results go.
+//!
+//! A streaming engine's distinguishing feature is that results leave the
+//! system as soon as their membership is determined; the sink abstraction
+//! lets callers observe exactly that (the examples stream results from an
+//! unbounded feed, the benches count them without allocating).
+
+/// Receives results as the engine determines them.
+pub trait Sink {
+    /// One result item (text value, attribute value, serialized element,
+    /// or — once, at end of stream — the final aggregation value).
+    fn result(&mut self, value: &str);
+
+    /// A running aggregation update (§4.4: the stat buffer emits a new
+    /// value whenever it changes, so aggregations work over unbounded
+    /// streams). Default: ignored.
+    fn aggregate_update(&mut self, _value: f64) {}
+}
+
+/// Collects everything into vectors — the default for tests and small
+/// result sets.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    pub results: Vec<String>,
+    pub updates: Vec<f64>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for VecSink {
+    fn result(&mut self, value: &str) {
+        self.results.push(value.to_string());
+    }
+
+    fn aggregate_update(&mut self, value: f64) {
+        self.updates.push(value);
+    }
+}
+
+/// Counts results and bytes without storing them — used by the benchmark
+/// harness so sink allocation does not distort throughput.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    pub results: u64,
+    pub bytes: u64,
+}
+
+impl CountingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for CountingSink {
+    fn result(&mut self, value: &str) {
+        self.results += 1;
+        self.bytes += value.len() as u64;
+    }
+}
+
+/// A sink that calls a closure per result (streaming consumers).
+pub struct FnSink<F: FnMut(&str)>(pub F);
+
+impl<F: FnMut(&str)> Sink for FnSink<F> {
+    fn result(&mut self, value: &str) {
+        (self.0)(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut s = VecSink::new();
+        s.result("a");
+        s.aggregate_update(1.0);
+        assert_eq!(s.results, ["a"]);
+        assert_eq!(s.updates, [1.0]);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::new();
+        s.result("abc");
+        s.result("d");
+        assert_eq!(s.results, 2);
+        assert_eq!(s.bytes, 4);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink(|v: &str| seen.push(v.to_string()));
+            s.result("x");
+        }
+        assert_eq!(seen, ["x"]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Edge-case battery for the XSQ engine: every output kind × every
+//! predicate category, tag collisions between predicates and steps,
+//! recursion, mixed content, and failure paths.
+
+use xsq_core::{evaluate, CompileError, VecSink, XsqEngine};
+
+fn eval(q: &str, doc: &str) -> Vec<String> {
+    evaluate(q, doc.as_bytes()).unwrap()
+}
+
+// ---- every predicate category × buffered and unbuffered orders --------
+
+#[test]
+fn attr_predicate_orders() {
+    let doc = r#"<r><e id="5"><v>yes</v></e><e><v>no-attr</v></e><e id="9"><v>big</v></e></r>"#;
+    assert_eq!(eval("/r/e[@id]/v/text()", doc), ["yes", "big"]);
+    assert_eq!(eval("/r/e[@id<=5]/v/text()", doc), ["yes"]);
+    assert_eq!(eval("/r/e[@id!=5]/v/text()", doc), ["big"]);
+}
+
+#[test]
+fn text_predicate_value_before_and_after() {
+    // Value (the attribute) is available at begin; text witness comes later.
+    let doc = r#"<r><e id="a">match</e><e id="b">other</e></r>"#;
+    assert_eq!(eval("/r/e[text()=\"match\"]/@id", doc), ["a"]);
+    assert_eq!(eval("/r/e[text()]/@id", doc), ["a", "b"]);
+}
+
+#[test]
+fn child_exists_witness_after_value() {
+    let doc = "<r><e><v>kept</v><w/></e><e><v>dropped</v></e></r>";
+    assert_eq!(eval("/r/e[w]/v/text()", doc), ["kept"]);
+}
+
+#[test]
+fn child_attr_predicate_both_orders() {
+    let doc = r#"<r>
+        <e><v>after</v><c k="1"/></e>
+        <e><c k="2"/><v>before</v></e>
+        <e><c/><v>no-attr</v></e>
+    </r>"#;
+    assert_eq!(eval("/r/e[c@k]/v/text()", doc), ["after", "before"]);
+    assert_eq!(eval("/r/e[c@k=2]/v/text()", doc), ["before"]);
+}
+
+#[test]
+fn child_text_predicate_multiple_children() {
+    // Only one of several price children needs to satisfy the test
+    // (Example 1's logic), and failure is only known at the end tag.
+    let doc = "<r><b><p>14</p><v>x</v><p>10</p></b><b><p>14</p><v>y</v></b></r>";
+    assert_eq!(eval("/r/b[p<11]/v/text()", doc), ["x"]);
+}
+
+// ---- tag collisions: predicate child = step tag ------------------------
+
+#[test]
+fn predicate_child_is_also_the_step() {
+    let doc = "<r><b><p>10</p><p>99</p></b><b><p>50</p></b></r>";
+    // The p elements are both witness and result.
+    assert_eq!(eval("/r/b[p<11]/p/text()", doc), ["10", "99"]);
+    assert_eq!(eval("//b[p<11]/p/text()", doc), ["10", "99"]);
+}
+
+#[test]
+fn child_exists_witness_is_also_the_step() {
+    let doc = "<r><b><a>1</a><a>2</a></b><c><a>3</a></c></r>";
+    assert_eq!(eval("/r/b[a]/a/text()", doc), ["1", "2"]);
+}
+
+#[test]
+fn element_named_like_its_parent() {
+    // /a[a=1]/a — nested same-name elements everywhere.
+    let doc = "<a><a>1</a><a>2</a></a>";
+    assert_eq!(eval("/a[a=1]/a/text()", doc), ["1", "2"]);
+    assert_eq!(eval("/a[a=9]/a/text()", doc), Vec::<String>::new());
+}
+
+// ---- outputs ------------------------------------------------------------
+
+#[test]
+fn element_output_under_each_category() {
+    assert_eq!(
+        eval("/r/e[@id]", r#"<r><e id="1"><x>a</x></e><e/></r>"#),
+        [r#"<e id="1"><x>a</x></e>"#]
+    );
+    assert_eq!(
+        eval("/r/e[text()=\"t\"]", "<r><e>t</e><e>u</e></r>"),
+        ["<e>t</e>"]
+    );
+    assert_eq!(
+        eval("/r/e[w]", "<r><e><w/>tail</e><e>plain</e></r>"),
+        ["<e><w></w>tail</e>"]
+    );
+    assert_eq!(
+        eval("/r/e[c=1]", "<r><e><c>1</c></e><e><c>2</c></e></r>"),
+        ["<e><c>1</c></e>"]
+    );
+}
+
+#[test]
+fn element_output_nested_closure_matches_serialize_independently() {
+    let doc = "<r><a><a>x</a></a></r>";
+    assert_eq!(eval("//a", doc), ["<a><a>x</a></a>", "<a>x</a>"]);
+}
+
+#[test]
+fn element_output_escapes_content() {
+    let doc = "<r><e>1 &lt; 2 &amp; 3</e></r>";
+    assert_eq!(eval("/r/e", doc), ["<e>1 &lt; 2 &amp; 3</e>"]);
+}
+
+#[test]
+fn attribute_output_with_late_predicate() {
+    // @id is read at begin; the predicate resolves at the end of e.
+    let doc = r#"<r><e id="keep"><w/></e><e id="drop"/></r>"#;
+    assert_eq!(eval("/r/e[w]/@id", doc), ["keep"]);
+}
+
+#[test]
+fn mixed_content_text_runs_are_separate_results() {
+    let doc = "<r><e>one<sub/>two<sub/>three</e></r>";
+    assert_eq!(eval("/r/e/text()", doc), ["one", "two", "three"]);
+}
+
+#[test]
+fn aggregations_with_predicates() {
+    let doc = "<r><b><ok/><p>1</p></b><b><p>2</p></b><b><ok/><p>4</p></b></r>";
+    assert_eq!(eval("/r/b[ok]/p/sum()", doc), ["5"]);
+    assert_eq!(eval("/r/b[ok]/p/count()", doc), ["2"]);
+    assert_eq!(eval("//b/p/avg()", doc), [format!("{}", 7.0 / 3.0)]);
+    assert_eq!(eval("//b[ok]/p/min()", doc), ["1"]);
+    assert_eq!(eval("//b[ok]/p/max()", doc), ["4"]);
+}
+
+#[test]
+fn count_counts_elements_not_text_runs() {
+    let doc = "<r><e>a<x/>b</e><e/></r>";
+    assert_eq!(eval("/r/e/count()", doc), ["2"]);
+}
+
+#[test]
+fn sum_of_cleared_items_excludes_them() {
+    // Values buffered under a predicate that fails must not be counted.
+    let doc = "<r><b><p>100</p></b><b><ok/><p>1</p></b></r>";
+    assert_eq!(eval("/r/b[ok]/p/sum()", doc), ["1"]);
+}
+
+// ---- wildcards and closures ---------------------------------------------
+
+#[test]
+fn wildcard_with_predicate() {
+    let doc = r#"<r><x id="1">a</x><y id="2">b</y><z>c</z></r>"#;
+    assert_eq!(eval("/r/*[@id]/text()", doc), ["a", "b"]);
+    assert_eq!(eval("//*[@id=2]/text()", doc), ["b"]);
+}
+
+#[test]
+fn closure_on_first_and_last_steps() {
+    let doc = "<r><m><b>1</b></m><b>2</b></r>";
+    assert_eq!(eval("//b/text()", doc), ["1", "2"]);
+    assert_eq!(eval("/r//b/text()", doc), ["1", "2"]);
+    assert_eq!(eval("//m//b/text()", doc), ["1"]);
+}
+
+#[test]
+fn deep_recursion_stress() {
+    // 60 levels of <a>, query //a//a//a/text() — many overlapping paths.
+    let mut doc = String::new();
+    for _ in 0..60 {
+        doc.push_str("<a>");
+    }
+    doc.push('x');
+    for _ in 0..60 {
+        doc.push_str("</a>");
+    }
+    // Only the innermost a has direct text; it matches via many paths
+    // but must appear exactly once.
+    assert_eq!(eval("//a//a//a/text()", &doc), ["x"]);
+    assert_eq!(eval("//a//a//a/count()", &doc), ["58"]);
+}
+
+#[test]
+fn sibling_recursion_duplicate_freedom() {
+    let doc = "<a><a><c>1</c></a><a><a><c>2</c></a></a></a>";
+    assert_eq!(eval("//a//c/text()", doc), ["1", "2"]);
+    assert_eq!(eval("//a//a//c/text()", doc), ["1", "2"]);
+    assert_eq!(eval("//a//a//a//c/text()", doc), ["2"]);
+}
+
+#[test]
+fn closure_predicates_on_recursive_pubs() {
+    // Figure 2 shape with the inner pub satisfying and the outer failing.
+    let doc = "<root><pub><year>1980</year><pub><year>2005</year>\
+               <book><name>Inner</name></book></pub>\
+               <book><name>Outer</name></book></pub></root>";
+    assert_eq!(eval("//pub[year>2000]//name/text()", doc), ["Inner"]);
+    assert_eq!(
+        eval("//pub[year<2000]//name/text()", doc),
+        ["Inner", "Outer"]
+    );
+}
+
+// ---- empty and degenerate documents -------------------------------------
+
+#[test]
+fn no_matches_everywhere() {
+    assert_eq!(
+        eval("/nope/x/text()", "<a><x>1</x></a>"),
+        Vec::<String>::new()
+    );
+    assert_eq!(eval("//nothing", "<a/>"), Vec::<String>::new());
+    assert_eq!(eval("//nothing/count()", "<a/>"), ["0"]);
+    assert_eq!(eval("//nothing/sum()", "<a/>"), ["0"]);
+}
+
+#[test]
+fn root_element_itself_matches() {
+    assert_eq!(eval("/a/text()", "<a>t</a>"), ["t"]);
+    assert_eq!(eval("//a/text()", "<a>t</a>"), ["t"]);
+    assert_eq!(eval("/a", "<a>t</a>"), ["<a>t</a>"]);
+    assert_eq!(eval("/a/@id", "<a id=\"7\">t</a>"), ["7"]);
+}
+
+#[test]
+fn self_closing_elements() {
+    let doc = r#"<r><e id="1"/><e id="2"/></r>"#;
+    assert_eq!(eval("/r/e/@id", doc), ["1", "2"]);
+    assert_eq!(eval("/r/e", doc), ["<e id=\"1\"></e>", "<e id=\"2\"></e>"]);
+    assert_eq!(eval("/r/e/text()", doc), Vec::<String>::new());
+}
+
+// ---- numeric comparison semantics at the engine level -------------------
+
+#[test]
+fn padded_and_decimal_numbers_compare_numerically() {
+    let doc = "<r><b><p> 10.00 </p><v>x</v></b></r>";
+    assert_eq!(eval("/r/b[p=10]/v/text()", doc), ["x"]);
+    assert_eq!(eval("/r/b[p<10.5]/v/text()", doc), ["x"]);
+}
+
+#[test]
+fn string_comparison_is_exact() {
+    let doc = "<r><b><n>First</n><v>x</v></b></r>";
+    assert_eq!(eval("/r/b[n=\"First\"]/v/text()", doc), ["x"]);
+    assert_eq!(
+        eval("/r/b[n=\"first\"]/v/text()", doc),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn contains_predicate() {
+    let doc = "<r><s><l>my love is</l><who>A</who></s><s><l>none</l><who>B</who></s></r>";
+    assert_eq!(eval("/r/s[l%love]/who/text()", doc), ["A"]);
+    assert_eq!(eval("/r/s[l contains 'one']/who/text()", doc), ["B"]);
+}
+
+// ---- engine API failure paths -------------------------------------------
+
+#[test]
+fn nc_rejects_closures_everywhere_in_the_path() {
+    for q in ["//a/text()", "/a//b", "/a/b//c/count()"] {
+        assert!(matches!(
+            XsqEngine::no_closure().compile_str(q),
+            Err(CompileError::Unsupported { .. })
+        ));
+    }
+}
+
+#[test]
+fn parse_errors_surface_as_compile_errors() {
+    assert!(matches!(
+        XsqEngine::full().compile_str("/a[["),
+        Err(CompileError::Parse(_))
+    ));
+}
+
+#[test]
+fn malformed_xml_mid_stream_is_an_error_after_partial_results() {
+    let compiled = XsqEngine::full().compile_str("//b/text()").unwrap();
+    let mut sink = VecSink::new();
+    let err = compiled.run_document(b"<a><b>ok</b><b>bad</a>", &mut sink);
+    assert!(err.is_err());
+    // The valid prefix already streamed out.
+    assert_eq!(sink.results, ["ok"]);
+}
+
+#[test]
+fn document_order_across_interleaved_buffers() {
+    // Two books resolve in reverse order; emission must be in document
+    // order regardless.
+    let doc = "<r>\
+        <b><v>1</v><k>yes</k></b>\
+        <b><v>2</v><k>yes</k></b>\
+        <b><v>3</v><k>yes</k></b>\
+        </r>";
+    assert_eq!(eval("/r/b[k]/v/text()", doc), ["1", "2", "3"]);
+}
+
+#[test]
+fn long_location_paths() {
+    let doc = "<a><b><c><d><e><f>deep</f></e></d></c></b></a>";
+    assert_eq!(eval("/a/b/c/d/e/f/text()", doc), ["deep"]);
+    assert_eq!(eval("//a//b//c//d//e//f/text()", doc), ["deep"]);
+    assert_eq!(eval("/a/*/c/*/e/*/text()", doc), ["deep"]);
+}
+
+#[test]
+fn documents_deeper_than_64_levels_exercise_wide_depth_vectors() {
+    // Depth vectors use a u64 bitmap up to depth 63 and a wide fallback
+    // beyond; drive a real query across the boundary.
+    let depth = 100;
+    let mut doc = String::new();
+    for _ in 0..depth {
+        doc.push_str("<n>");
+    }
+    doc.push_str("<leaf>deep</leaf>");
+    for _ in 0..depth {
+        doc.push_str("</n>");
+    }
+    assert_eq!(eval("//leaf/text()", &doc), ["deep"]);
+    assert_eq!(eval("//n//leaf/text()", &doc), ["deep"]);
+    assert_eq!(eval("//n[leaf]/leaf/text()", &doc), ["deep"]);
+    assert_eq!(eval("//n//n//leaf/count()", &doc), ["1"]);
+    // And a predicate witnessed across the boundary.
+    let mut doc = String::new();
+    for _ in 0..70 {
+        doc.push_str("<n>");
+    }
+    doc.push_str("<v>x</v><k>1</k>");
+    for _ in 0..70 {
+        doc.push_str("</n>");
+    }
+    assert_eq!(eval("//n[k=1]/v/text()", &doc), ["x"]);
+}
+
+// ---- regressions found by the differential property tests ---------------
+
+#[test]
+fn regression_witness_and_value_share_one_text_event() {
+    // Found by proptest: the text event is simultaneously the predicate
+    // witness and the output value; the emit must execute before the
+    // same-layer flush (Arc::priority).
+    assert_eq!(eval("//a[text()=2]/text()", "<a><a>2</a></a>"), ["2"]);
+    assert_eq!(eval("//a[text()=2]/text()", "<a>2</a>"), ["2"]);
+}
+
+#[test]
+fn regression_result_inside_the_witness_child() {
+    // Found by proptest: a result element nested inside the predicate's
+    // witness child, arriving after the witness text — needs the second
+    // resolution on `</child>` (the paper's Example 7).
+    assert_eq!(
+        eval("/*[d!=0]//a/text()", "<a><d>-2<a>0</a></d></a>"),
+        ["0"]
+    );
+    // Variants around the same mechanism.
+    assert_eq!(
+        eval("/*[d!=0]//a", "<a><d>-2<a>0</a></d></a>"),
+        ["<a>0</a>"]
+    );
+    assert_eq!(
+        eval("/*[d=5]//a/text()", "<a><d>5<a>in</a></d><a>out</a></a>"),
+        ["in", "out"]
+    );
+}
+
+#[test]
+fn predicates_on_every_step() {
+    let doc = r#"<a id="1"><b><w/><c><p>5</p><v>hit</v></c></b></a>"#;
+    assert_eq!(eval("/a[@id]/b[w]/c[p=5]/v/text()", doc), ["hit"]);
+    assert_eq!(
+        eval("/a[@id=2]/b[w]/c[p=5]/v/text()", doc),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        eval("/a[@id]/b[nope]/c[p=5]/v/text()", doc),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        eval("/a[@id]/b[w]/c[p=6]/v/text()", doc),
+        Vec::<String>::new()
+    );
+}

@@ -1,0 +1,147 @@
+//! Integration tests for the extension modules: multi-query evaluation,
+//! schema analysis, tracing, and dot export working together.
+
+use std::collections::BTreeSet;
+
+use xsq_core::schema::{analyze, optimize, rewrite};
+use xsq_core::{QuerySet, VecSink, XsqEngine};
+use xsq_xml::dtd::Dtd;
+use xsq_xpath::parse_query;
+
+#[test]
+fn a_subscription_workload_over_one_stream() {
+    // A YFilter-style scenario: many subscribers, one document feed.
+    let subscriptions = [
+        "//book[author]/name/text()",
+        "//book[price<12]/name/text()",
+        "//book/@id",
+        "//pub[year=2002]//name/text()",
+        "//price/sum()",
+        "//book/count()",
+        "//pub[year=1999]//name/text()",
+    ];
+    let doc = br#"<root><pub>
+        <book id="1"><price>12.00</price><name>First</name><author>A</author>
+          <price type="discount">10.00</price></book>
+        <book id="2"><price>14.00</price><name>Second</name><author>A</author>
+          <author>B</author><price type="discount">12.00</price></book>
+        <year>2002</year>
+    </pub></root>"#;
+    let set = QuerySet::compile(XsqEngine::full(), &subscriptions).unwrap();
+    let results = set.run_document(doc).unwrap();
+    assert_eq!(results[0], ["First", "Second"]);
+    assert_eq!(results[1], ["First"]);
+    assert_eq!(results[2], ["1", "2"]);
+    assert_eq!(results[3], ["First", "Second"]);
+    assert_eq!(results[4], ["48"]);
+    assert_eq!(results[5], ["2"]);
+    assert!(results[6].is_empty());
+}
+
+#[test]
+fn multi_runner_memory_is_additive_and_bounded() {
+    let set =
+        QuerySet::compile(XsqEngine::full(), &["//a[z]/v/text()", "//a[z]/w/text()"]).unwrap();
+    let doc = "<r><a><v>1</v><w>2</w><z/></a></r>".to_string();
+    let doc = format!("<all>{doc}</all>");
+    // Invalid nesting? <all><r>... is fine.
+    let mut runner = set.runner();
+    let mut sinks = vec![VecSink::new(), VecSink::new()];
+    for ev in xsq_xml::parse_to_events(doc.as_bytes()).unwrap() {
+        runner.feed_all(&ev, &mut sinks);
+    }
+    let mem = runner.memory();
+    assert!(mem.peak_configs >= 2);
+    let stats = runner.finish_all(&mut sinks);
+    assert_eq!(stats.len(), 2);
+    assert_eq!(sinks[0].results, ["1"]);
+    assert_eq!(sinks[1].results, ["2"]);
+}
+
+#[test]
+fn schema_pipeline_end_to_end() {
+    // DTD text → analysis → rewrite → identical results, fewer configs.
+    let dtd = Dtd::parse(
+        "<!ELEMENT lib (shelf*)> <!ELEMENT shelf (book*)>\
+         <!ELEMENT book (title, author*)> <!ELEMENT title (#PCDATA)>\
+         <!ELEMENT author (#PCDATA)>",
+    )
+    .unwrap();
+    assert!(!dtd.is_recursive());
+    let q = parse_query("//lib//shelf//book[author]//title/text()").unwrap();
+    let (optimized, analysis) = optimize(&q, &dtd);
+    assert!(analysis.satisfiable);
+    assert_eq!(
+        optimized.to_string(),
+        "/lib/shelf/book[author]/title/text()"
+    );
+
+    let doc = b"<lib><shelf><book><title>T</title><author>A</author></book>\
+                <book><title>U</title></book></shelf></lib>";
+    let full = xsq_core::evaluate(&q.to_string(), doc).unwrap();
+    let opt = xsq_core::evaluate(&optimized.to_string(), doc).unwrap();
+    assert_eq!(full, opt);
+    assert_eq!(full, ["T"]);
+
+    // The rewritten automaton is smaller (no closure self-loops).
+    let h_full = XsqEngine::full().compile(&q).unwrap();
+    let h_opt = XsqEngine::full().compile(&optimized).unwrap();
+    assert!(h_opt.hpdt().arc_count() < h_full.hpdt().arc_count());
+}
+
+#[test]
+fn partial_rewrite_preserves_unprovable_closures() {
+    let dtd = Dtd::from_edges(&[("r", &["s", "a"]), ("s", &["a"]), ("a", &["t"]), ("t", &[])]);
+    // a occurs at depths 2 and 3 under r → //a is NOT a child step; t
+    // occurs only directly under a → //t rewrites.
+    let q = parse_query("//a//t/text()").unwrap();
+    let analysis = analyze(&q, &dtd, &BTreeSet::new());
+    let (optimized, changed) = rewrite(&q, &analysis);
+    assert!(changed);
+    assert_eq!(optimized.to_string(), "//a/t/text()");
+    let doc = b"<r><s><a><t>deep</t></a></s><a><t>shallow</t></a></r>";
+    assert_eq!(
+        xsq_core::evaluate("//a//t/text()", doc).unwrap(),
+        xsq_core::evaluate(&optimized.to_string(), doc).unwrap()
+    );
+}
+
+#[test]
+fn dot_export_for_every_template_category() {
+    for q in [
+        "/a/b/text()",
+        "/a[@x]/b",
+        "/a[text()=1]/b/@id",
+        "/a[b]/c/count()",
+        "/a[b@x=1]/c/text()",
+        "/a[b=1]/c/text()",
+        "//a[b]//c",
+    ] {
+        let compiled = XsqEngine::full().compile_str(q).unwrap();
+        let dot = xsq_core::dot::to_dot(compiled.hpdt());
+        assert!(dot.contains("digraph"), "{q}");
+        // Sanity: balanced braces.
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "unbalanced dot for {q}"
+        );
+    }
+}
+
+#[test]
+fn trace_step_counts_match_events_for_multi_runner_queries() {
+    let compiled = XsqEngine::full().compile_str("//b/text()").unwrap();
+    let mut steps = 0usize;
+    let mut tracer = |_s: xsq_core::trace::TraceStep| steps += 1;
+    let mut runner = compiled.runner();
+    runner.set_tracer(&mut tracer);
+    let mut sink = VecSink::new();
+    let events = xsq_xml::parse_to_events(b"<a><b>1</b><c/></a>").unwrap();
+    for e in &events {
+        runner.feed(e, &mut sink);
+    }
+    runner.finish(&mut sink);
+    assert_eq!(steps, events.len());
+    assert_eq!(sink.results, ["1"]);
+}

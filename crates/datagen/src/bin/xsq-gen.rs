@@ -1,0 +1,83 @@
+//! `xsq-gen` — write the study's synthetic datasets to files.
+//!
+//! ```text
+//! xsq-gen DATASET SIZE_KB [OUTPUT] [--seed N]
+//!
+//! DATASET: shake | nasa | dblp | psd | recursive | ordering | colors | xmark
+//! OUTPUT defaults to stdout.
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use xsq_datagen::{dblp, nasa, psd, shake, toxgene, xmlgen};
+
+fn main() -> ExitCode {
+    let mut seed = 2003u64;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ => positional.push(a),
+        }
+    }
+    let (Some(dataset), Some(size_kb)) = (positional.first(), positional.get(1)) else {
+        return usage("missing DATASET and SIZE_KB");
+    };
+    let Ok(size_kb) = size_kb.parse::<usize>() else {
+        return usage("SIZE_KB must be a number");
+    };
+    let bytes = size_kb * 1024;
+    let doc = match dataset.as_str() {
+        "shake" => shake::generate(seed, bytes),
+        "nasa" => nasa::generate(seed, bytes),
+        "dblp" => dblp::generate(seed, bytes),
+        "psd" => psd::generate(seed, bytes),
+        "recursive" => xmlgen::generate(
+            xmlgen::XmlGenParams {
+                seed,
+                ..Default::default()
+            },
+            bytes,
+        ),
+        "ordering" => toxgene::ordering_dataset(bytes, 10_000.min(bytes / 160).max(50)),
+        "colors" => toxgene::color_dataset(seed, bytes),
+        "xmark" => xsq_datagen::xmark::generate(seed, bytes),
+        other => return usage(&format!("unknown dataset '{other}'")),
+    };
+    match positional.get(2) {
+        None => {
+            if std::io::stdout().write_all(doc.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} bytes to {path}", doc.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: xsq-gen DATASET SIZE_KB [OUTPUT] [--seed N]\n\
+         datasets: shake nasa dblp psd recursive ordering colors xmark"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,117 @@
+//! NASA: an astronomical-data-repository-like dataset.
+//!
+//! Shape targets from Fig. 15 (NASA, 25.0 MB): ~477 K elements (≈19
+//! elements/KB), text ≈ 60%, average depth 5.58, maximum 8, average tag
+//! length 6.31 — medium-depth records with nested reference metadata:
+//!
+//! ```text
+//! datasets / dataset / ( title | altname | reference / source /
+//!     other / ( name | author / ( initial | lastname ) | year ) |
+//!     tableHead / field* )
+//! ```
+//!
+//! The Fig. 17 query
+//! `/datasets/dataset/reference/source/other/name/text()` runs against it
+//! unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::{name, sentence};
+
+/// Generate a NASA-like document of roughly `target_bytes`.
+pub fn generate(seed: u64, target_bytes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(target_bytes + 2048);
+    out.push_str("<datasets>");
+    while out.len() < target_bytes {
+        dataset(&mut rng, &mut out);
+    }
+    out.push_str("</datasets>");
+    out
+}
+
+fn dataset(rng: &mut StdRng, out: &mut String) {
+    out.push_str("<dataset subject=\"astronomy\">");
+    out.push_str("<title>");
+    let n = rng.gen_range(4..9);
+    out.push_str(&sentence(rng, n));
+    out.push_str("</title>");
+    out.push_str("<altname type=\"ADC\">");
+    out.push_str(&format!("A{}", rng.gen_range(1000..9999)));
+    out.push_str("</altname>");
+    for _ in 0..rng.gen_range(1..4) {
+        reference(rng, out);
+    }
+    out.push_str("<tableHead>");
+    for _ in 0..rng.gen_range(2..6) {
+        out.push_str("<field><name>");
+        out.push_str(&sentence(rng, 1));
+        out.push_str("</name><units>deg</units></field>");
+    }
+    out.push_str("</tableHead>");
+    out.push_str("</dataset>");
+}
+
+fn reference(rng: &mut StdRng, out: &mut String) {
+    out.push_str("<reference><source><other>");
+    out.push_str("<name>");
+    let n = rng.gen_range(2..5);
+    out.push_str(&sentence(rng, n));
+    out.push_str("</name>");
+    for _ in 0..rng.gen_range(1..3) {
+        let full = name(rng);
+        let mut parts = full.split(' ');
+        let first = parts.next().unwrap_or("X");
+        let last = parts.next().unwrap_or("Y");
+        out.push_str("<author><initial>");
+        out.push(first.chars().next().unwrap_or('X'));
+        out.push_str("</initial><lastname>");
+        out.push_str(last);
+        out.push_str("</lastname></author>");
+    }
+    out.push_str("<year>");
+    out.push_str(&(1970 + rng.gen_range(0..35)).to_string());
+    out.push_str("</year>");
+    out.push_str("</other></source></reference>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xml::dataset_stats;
+
+    #[test]
+    fn shape_matches_fig_15() {
+        let doc = generate(42, 200_000);
+        let s = dataset_stats(doc.as_bytes()).unwrap();
+        // author parts sit at depth 7; the paper reports avg 5.58 / max 8.
+        assert!(
+            s.max_depth >= 6 && s.max_depth <= 8,
+            "max depth {}",
+            s.max_depth
+        );
+        assert!(
+            s.avg_depth > 4.0 && s.avg_depth < 6.5,
+            "avg depth {}",
+            s.avg_depth
+        );
+        assert!(s.avg_tag_length > 4.5 && s.avg_tag_length < 7.5);
+    }
+
+    #[test]
+    fn paper_query_runs() {
+        let doc = generate(9, 100_000);
+        let names = xsq_core::evaluate(
+            "/datasets/dataset/reference/source/other/name/text()",
+            doc.as_bytes(),
+        )
+        .unwrap();
+        assert!(!names.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(4, 20_000), generate(4, 20_000));
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared word sampling for the synthetic datasets.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A small English-ish vocabulary. Includes "love" so the SHAKE dataset
+//  exercises Q1's `[LINE%love]` contains-predicate realistically.
+pub const WORDS: &[&str] = &[
+    "the", "and", "of", "to", "in", "that", "is", "with", "as", "for", "his", "her", "king",
+    "lord", "night", "day", "come", "go", "speak", "hear", "love", "death", "life", "crown",
+    "battle", "honor", "sweet", "noble", "fair", "good", "stars", "moon", "data", "stream",
+    "query", "path", "node", "value", "result", "protein", "sequence", "archive", "record",
+    "system", "index", "letter", "word", "time", "heart", "hand",
+];
+
+/// Sample `n` words joined by spaces.
+pub fn sentence(rng: &mut StdRng, n: usize) -> String {
+    let mut s = String::with_capacity(n * 6);
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+/// A capitalized name-like token (author names, speakers).
+pub fn name(rng: &mut StdRng) -> String {
+    const FIRST: &[&str] = &[
+        "Alice", "Bob", "Carol", "David", "Eve", "Frank", "Grace", "Henry", "Iris", "John", "Kate",
+        "Liam", "Mary", "Nora", "Oscar", "Pat",
+    ];
+    const LAST: &[&str] = &[
+        "Smith", "Jones", "Chen", "Kumar", "Garcia", "Mueller", "Tanaka", "Okoro", "Silva",
+        "Novak", "Haddad", "Berg",
+    ];
+    format!(
+        "{} {}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        LAST[rng.gen_range(0..LAST.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentence_has_requested_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sentence(&mut StdRng::seed_from_u64(7), 10);
+        let b = sentence(&mut StdRng::seed_from_u64(7), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_have_two_parts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(name(&mut rng).split(' ').count(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! XMark-like auction-site dataset.
+//!
+//! XMark (Schmidt et al., VLDB 2002) was the standard XML benchmark of
+//! the paper's era; streaming-XPath follow-up work evaluates on it
+//! routinely. This generator reproduces its characteristic shape at any
+//! size: an auction `site` with regional `item`s, `person` profiles, and
+//! `open_auction`s with bidder histories — including XMark's signature
+//! **recursive description markup** (`parlist`/`listitem` nesting), which
+//! makes closure queries genuinely multi-path.
+//!
+//! ```text
+//! site / ( regions / <region> / item (@id, name, quantity,
+//!            description / parlist / listitem ( text | parlist … ) )
+//!        | people / person (@id, name, emailaddress?, watches)
+//!        | open_auctions / open_auction (@id, initial, bidder*
+//!            (date, increase), current, itemref@item ) )
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::{name, sentence};
+
+const REGIONS: [&str; 4] = ["africa", "asia", "europe", "namerica"];
+
+/// Generate an XMark-like document of roughly `target_bytes`.
+pub fn generate(seed: u64, target_bytes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(target_bytes + 4096);
+    out.push_str("<site>");
+    // Thirds: regions, people, open auctions.
+    out.push_str("<regions>");
+    let region_budget = target_bytes * 4 / 10;
+    let mut item_id = 0u64;
+    'regions: loop {
+        for region in REGIONS {
+            if out.len() >= region_budget {
+                break 'regions;
+            }
+            out.push_str(&format!("<{region}>"));
+            for _ in 0..rng.gen_range(1..5) {
+                item_id += 1;
+                item(&mut rng, &mut out, item_id);
+            }
+            out.push_str(&format!("</{region}>"));
+        }
+    }
+    out.push_str("</regions><people>");
+    let people_budget = target_bytes * 7 / 10;
+    let mut person_id = 0u64;
+    while out.len() < people_budget {
+        person_id += 1;
+        person(&mut rng, &mut out, person_id);
+    }
+    out.push_str("</people><open_auctions>");
+    let mut auction_id = 0u64;
+    while out.len() < target_bytes {
+        auction_id += 1;
+        auction(&mut rng, &mut out, auction_id, item_id.max(1), person_id.max(1));
+    }
+    out.push_str("</open_auctions></site>");
+    out
+}
+
+fn item(rng: &mut StdRng, out: &mut String, id: u64) {
+    out.push_str(&format!("<item id=\"item{id}\"><name>"));
+    let n = rng.gen_range(2..5);
+    out.push_str(&sentence(rng, n));
+    out.push_str("</name><quantity>");
+    out.push_str(&rng.gen_range(1..10).to_string());
+    out.push_str("</quantity><description>");
+    parlist(rng, out, 0);
+    out.push_str("</description></item>");
+}
+
+/// XMark's recursive description markup: listitems may nest parlists.
+fn parlist(rng: &mut StdRng, out: &mut String, depth: u32) {
+    out.push_str("<parlist>");
+    for _ in 0..rng.gen_range(1..4) {
+        out.push_str("<listitem>");
+        if depth < 3 && rng.gen_bool(0.3) {
+            parlist(rng, out, depth + 1);
+        } else {
+            let n = rng.gen_range(3..9);
+            out.push_str("<text>");
+            out.push_str(&sentence(rng, n));
+            out.push_str("</text>");
+        }
+        out.push_str("</listitem>");
+    }
+    out.push_str("</parlist>");
+}
+
+fn person(rng: &mut StdRng, out: &mut String, id: u64) {
+    out.push_str(&format!("<person id=\"person{id}\"><name>"));
+    out.push_str(&name(rng));
+    out.push_str("</name>");
+    // ~80% of people list an email (existence predicates stay selective).
+    if rng.gen_bool(0.8) {
+        out.push_str("<emailaddress>mailto:u");
+        out.push_str(&id.to_string());
+        out.push_str("@example.org</emailaddress>");
+    }
+    out.push_str("<watches>");
+    out.push_str(&rng.gen_range(0..20).to_string());
+    out.push_str("</watches></person>");
+}
+
+fn auction(rng: &mut StdRng, out: &mut String, id: u64, items: u64, people: u64) {
+    out.push_str(&format!("<open_auction id=\"auction{id}\">"));
+    let initial = rng.gen_range(1.0..300.0);
+    out.push_str(&format!("<initial>{initial:.2}</initial>"));
+    let mut current = initial;
+    for _ in 0..rng.gen_range(0..5) {
+        let inc = rng.gen_range(1.0..25.0);
+        current += inc;
+        out.push_str(&format!(
+            "<bidder><date>2002-0{}-1{}</date><personref person=\"person{}\"/>\
+             <increase>{inc:.2}</increase></bidder>",
+            rng.gen_range(1..10),
+            rng.gen_range(0..10),
+            rng.gen_range(1..=people),
+        ));
+    }
+    out.push_str(&format!("<current>{current:.2}</current>"));
+    out.push_str(&format!(
+        "<itemref item=\"item{}\"/></open_auction>",
+        rng.gen_range(1..=items)
+    ));
+}
+
+/// The XMark-flavored query set the integration tests and harness use
+/// (adapted to the Fig. 3 fragment).
+pub const QUERIES: [&str; 6] = [
+    "/site/regions/europe/item/name/text()",
+    "//item[quantity>5]/name/text()",
+    "//person[emailaddress]/name/text()",
+    "//open_auction[initial>100]/current/text()",
+    "//listitem//text/text()",
+    "//bidder/increase/sum()",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xml::dataset_stats;
+
+    #[test]
+    fn shape_is_xmark_like() {
+        let doc = generate(42, 150_000);
+        let s = dataset_stats(doc.as_bytes()).unwrap();
+        // Recursive descriptions push depth well past the base structure.
+        assert!(s.max_depth >= 8, "max depth {}", s.max_depth);
+        // All three sections exist.
+        for probe in ["<regions>", "<people>", "<open_auctions>"] {
+            assert!(doc.contains(probe), "{probe}");
+        }
+        // Recursion really occurs.
+        let nested = xsq_core::evaluate("//parlist//parlist/count()", doc.as_bytes()).unwrap();
+        assert_ne!(nested[0], "0");
+    }
+
+    #[test]
+    fn query_set_runs_and_returns_results() {
+        let doc = generate(7, 100_000);
+        for q in QUERIES {
+            let r = xsq_core::evaluate(q, doc.as_bytes()).unwrap();
+            assert!(!r.is_empty(), "{q} returned nothing");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(3, 30_000), generate(3, 30_000));
+    }
+}

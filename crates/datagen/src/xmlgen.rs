@@ -1,0 +1,162 @@
+//! IBM-XML-Generator-style recursive documents — the Fig. 20 workload.
+//!
+//! The paper generates "datasets of varying size and recursiveness"; for
+//! the 13 MB dataset "the nested level parameter … is set to 15 and the
+//! maximum repeats parameter is set to 20". This generator reproduces
+//! those knobs: a random tree over a small tag pool in which `pub` can
+//! recursively contain `pub` (like Fig. 2's data), deep enough that the
+//! closure query `//pub[year]//book[@id]/title/text()` produces many
+//! simultaneous match paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::sentence;
+
+/// Generator parameters (the IBM tool's knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct XmlGenParams {
+    /// Maximum nesting level (the paper's 13 MB dataset uses 15).
+    pub nested_levels: u32,
+    /// Maximum children repeats per element (the paper uses 20).
+    pub max_repeats: u32,
+    pub seed: u64,
+}
+
+impl Default for XmlGenParams {
+    fn default() -> Self {
+        XmlGenParams {
+            nested_levels: 15,
+            max_repeats: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a recursive document of roughly `target_bytes`.
+///
+/// The document contains *many* top-level `pub` subtrees (each capped at
+/// ~64 KB): the streaming-memory experiments (Fig. 20) measure buffering
+/// against the largest element extent, which must stay bounded as the
+/// document grows — matching the shape of the paper's generated data,
+/// where XSQ's memory is constant while DOM engines grow linearly.
+pub fn generate(params: XmlGenParams, target_bytes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut out = String::with_capacity(target_bytes + 4096);
+    out.push_str("<site>");
+    // Fixed top-level element extent: as the document grows, it gains
+    // *more* subtrees, not bigger ones, so a streaming engine's buffering
+    // requirement is independent of document size.
+    let chunk = (32 * 1024).min(target_bytes.max(4096));
+    while out.len() < target_bytes {
+        let budget = (out.len() + chunk).min(target_bytes);
+        pub_element(&mut rng, &params, &mut out, 1, budget);
+    }
+    out.push_str("</site>");
+    out
+}
+
+fn pub_element(
+    rng: &mut StdRng,
+    params: &XmlGenParams,
+    out: &mut String,
+    level: u32,
+    target: usize,
+) {
+    out.push_str("<pub>");
+    // ~70% of pubs carry a year (so `[year]` is selective but common).
+    if rng.gen_bool(0.7) {
+        out.push_str("<year>");
+        out.push_str(&(1990 + rng.gen_range(0..20)).to_string());
+        out.push_str("</year>");
+    }
+    let repeats = rng.gen_range(1..=params.max_repeats.max(1));
+    for _ in 0..repeats {
+        if out.len() >= target {
+            break;
+        }
+        // Recurse into a nested pub (the recursive structure of Fig. 2)
+        // or emit a book.
+        if level < params.nested_levels && rng.gen_bool(0.25) {
+            pub_element(rng, params, out, level + 1, target);
+        } else {
+            book(rng, out);
+        }
+    }
+    out.push_str("</pub>");
+}
+
+fn book(rng: &mut StdRng, out: &mut String) {
+    // ~80% of books have an id attribute.
+    if rng.gen_bool(0.8) {
+        out.push_str(&format!("<book id=\"{}\">", rng.gen_range(0..100_000)));
+    } else {
+        out.push_str("<book>");
+    }
+    out.push_str("<title>");
+    let n = rng.gen_range(2..6);
+    out.push_str(&sentence(rng, n));
+    out.push_str("</title>");
+    if rng.gen_bool(0.5) {
+        out.push_str("<price>");
+        out.push_str(&format!("{:.2}", rng.gen_range(5.0..80.0)));
+        out.push_str("</price>");
+    }
+    out.push_str("</book>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xml::dataset_stats;
+
+    #[test]
+    fn produces_recursive_structure() {
+        let doc = generate(
+            XmlGenParams {
+                nested_levels: 15,
+                max_repeats: 20,
+                seed: 42,
+            },
+            200_000,
+        );
+        let s = dataset_stats(doc.as_bytes()).unwrap();
+        assert!(
+            s.max_depth > 6,
+            "expected deep recursion, got {}",
+            s.max_depth
+        );
+        // Recursive: some pub contains a pub.
+        let nested = xsq_core::evaluate("//pub//pub/count()", doc.as_bytes()).unwrap();
+        assert_ne!(nested[0], "0");
+    }
+
+    #[test]
+    fn fig_20_query_runs() {
+        let doc = generate(XmlGenParams::default(), 100_000);
+        let titles =
+            xsq_core::evaluate("//pub[year]//book[@id]/title/text()", doc.as_bytes()).unwrap();
+        assert!(!titles.is_empty());
+    }
+
+    #[test]
+    fn nesting_parameter_bounds_depth() {
+        let shallow = generate(
+            XmlGenParams {
+                nested_levels: 2,
+                max_repeats: 10,
+                seed: 1,
+            },
+            50_000,
+        );
+        let s = dataset_stats(shallow.as_bytes()).unwrap();
+        // site(1) / pub(2) / pub(3) / book(4) / title(5).
+        assert!(s.max_depth <= 5, "depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = XmlGenParams::default();
+        assert_eq!(generate(p, 10_000), generate(p, 10_000));
+    }
+}

@@ -1,0 +1,271 @@
+//! A small DTD reader: element declarations and the parent→child graph.
+//!
+//! The XSQ paper leaves schema awareness as future work ("it is an
+//! interesting topic to automatically incorporate schema information, if
+//! available, into the system for optimization", §5) and cites Choi's
+//! survey that 35 of 60 real DTDs are *recursive* — the property that
+//! makes closures expensive. This module parses the `<!ELEMENT …>`
+//! declarations of a DTD (standalone text or a DOCTYPE internal subset)
+//! into a child graph, with reachability and recursion queries that the
+//! schema optimizer in `xsq-core` builds on.
+//!
+//! Content-model *structure* (sequencing, repetition) is deliberately
+//! ignored: the optimizer only needs "which tags may appear (anywhere)
+//! inside which", so `(a, (b | c)*, d?)` reads as the set `{a, b, c, d}`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::{Error, Result};
+
+/// A parsed DTD: for each declared element, the set of child element
+/// tags its content model allows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dtd {
+    children: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Dtd {
+    /// Parse DTD text: every `<!ELEMENT name (content)>` declaration is
+    /// read; other declarations (`ATTLIST`, `ENTITY`, comments, PIs) are
+    /// skipped.
+    pub fn parse(text: &str) -> Result<Dtd> {
+        let mut dtd = Dtd::default();
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' if text[i..].starts_with("<!--") => {
+                    i = text[i..]
+                        .find("-->")
+                        .map(|j| i + j + 3)
+                        .ok_or(Error::UnexpectedEof {
+                            offset: i as u64,
+                            context: "DTD comment",
+                        })?;
+                }
+                b'<' if text[i..].starts_with("<!ELEMENT") => {
+                    let end = text[i..].find('>').ok_or(Error::UnexpectedEof {
+                        offset: i as u64,
+                        context: "ELEMENT declaration",
+                    })?;
+                    dtd.read_element(&text[i + "<!ELEMENT".len()..i + end], i as u64)?;
+                    i += end + 1;
+                }
+                b'<' => {
+                    // Some other declaration or PI: skip to '>'.
+                    i = text[i..]
+                        .find('>')
+                        .map(|j| i + j + 1)
+                        .ok_or(Error::UnexpectedEof {
+                            offset: i as u64,
+                            context: "DTD declaration",
+                        })?;
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(dtd)
+    }
+
+    fn read_element(&mut self, body: &str, offset: u64) -> Result<()> {
+        let mut parts = body.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| Error::syntax(offset, "ELEMENT declaration without a name"))?;
+        let content: String = parts.collect::<Vec<_>>().join(" ");
+        let mut kids = BTreeSet::new();
+        // Tag names are the identifier tokens of the content model,
+        // minus the keywords.
+        let mut token = String::new();
+        for c in content.chars().chain(Some(' ')) {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' || c == '#' {
+                token.push(c);
+            } else {
+                if !token.is_empty() && !matches!(token.as_str(), "#PCDATA" | "EMPTY" | "ANY") {
+                    kids.insert(std::mem::take(&mut token));
+                }
+                token.clear();
+            }
+        }
+        self.children
+            .entry(name.to_string())
+            .or_default()
+            .extend(kids);
+        Ok(())
+    }
+
+    /// Build a DTD directly from edges (tests, programmatic schemas).
+    pub fn from_edges(edges: &[(&str, &[&str])]) -> Dtd {
+        let mut dtd = Dtd::default();
+        for (parent, kids) in edges {
+            dtd.children
+                .entry(parent.to_string())
+                .or_default()
+                .extend(kids.iter().map(|s| s.to_string()));
+        }
+        dtd
+    }
+
+    /// Declared element names.
+    pub fn elements(&self) -> impl Iterator<Item = &str> {
+        self.children.keys().map(String::as_str)
+    }
+
+    /// Direct children allowed inside `tag` (empty if undeclared).
+    pub fn children_of(&self, tag: &str) -> impl Iterator<Item = &str> {
+        self.children
+            .get(tag)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Is `tag` declared at all?
+    pub fn declares(&self, tag: &str) -> bool {
+        self.children.contains_key(tag)
+    }
+
+    /// Every tag reachable *strictly below* `tag` (transitive closure of
+    /// the child relation).
+    pub fn descendants_of(&self, tag: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut work: Vec<&str> = self.children_of(tag).collect();
+        while let Some(t) = work.pop() {
+            if seen.insert(t.to_string()) {
+                work.extend(self.children_of(t));
+            }
+        }
+        seen
+    }
+
+    /// Tags reachable at depth ≥ 2 below `tag` (descendants of its
+    /// children) — the test for `//t ≡ /t` rewrites.
+    pub fn deep_descendants_of(&self, tag: &str) -> BTreeSet<String> {
+        let mut deep = BTreeSet::new();
+        for child in self.children_of(tag) {
+            deep.extend(self.descendants_of(child));
+        }
+        deep
+    }
+
+    /// Is the schema recursive — can some element contain itself at any
+    /// depth? (Choi's survey: 35 of 60 real DTDs are.)
+    pub fn is_recursive(&self) -> bool {
+        self.children
+            .keys()
+            .any(|t| self.descendants_of(t).contains(t))
+    }
+
+    /// Elements that never occur as anyone's child: document-element
+    /// candidates.
+    pub fn root_candidates(&self) -> BTreeSet<String> {
+        let mut all: BTreeSet<String> = self.children.keys().cloned().collect();
+        for kids in self.children.values() {
+            for k in kids {
+                all.remove(k);
+            }
+        }
+        all
+    }
+}
+
+/// Extract and parse the internal DTD subset of a document's `DOCTYPE`
+/// declaration, if any: `<!DOCTYPE name [ …subset… ]>`.
+pub fn extract_from_document(input: &[u8]) -> Option<Dtd> {
+    let text = std::str::from_utf8(input).ok()?;
+    let start = text.find("<!DOCTYPE")?;
+    let open = text[start..].find('[')? + start;
+    // Find the matching ']' (the subset itself contains no brackets in
+    // the declarations we read).
+    let close = text[open..].find(']')? + open;
+    Dtd::parse(&text[open + 1..close]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PUB_DTD: &str = r#"
+        <!-- bibliography schema -->
+        <!ELEMENT pub (year?, (book | pub)*)>
+        <!ELEMENT book (name, author*, price*)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        <!ELEMENT year (#PCDATA)>
+        <!ATTLIST book id CDATA #IMPLIED>
+    "#;
+
+    #[test]
+    fn parses_element_declarations() {
+        let dtd = Dtd::parse(PUB_DTD).unwrap();
+        let kids: Vec<&str> = dtd.children_of("pub").collect();
+        assert_eq!(kids, ["book", "pub", "year"]);
+        let kids: Vec<&str> = dtd.children_of("book").collect();
+        assert_eq!(kids, ["author", "name", "price"]);
+        assert!(dtd.declares("name"));
+        assert_eq!(dtd.children_of("name").count(), 0);
+    }
+
+    #[test]
+    fn keywords_are_not_children() {
+        let dtd =
+            Dtd::parse("<!ELEMENT a (#PCDATA | b)*> <!ELEMENT e EMPTY> <!ELEMENT x ANY>").unwrap();
+        assert_eq!(dtd.children_of("a").collect::<Vec<_>>(), ["b"]);
+        assert_eq!(dtd.children_of("e").count(), 0);
+        assert_eq!(dtd.children_of("x").count(), 0);
+    }
+
+    #[test]
+    fn reachability_and_recursion() {
+        let dtd = Dtd::parse(PUB_DTD).unwrap();
+        let desc = dtd.descendants_of("pub");
+        assert!(desc.contains("author") && desc.contains("pub"));
+        assert!(dtd.is_recursive());
+
+        let flat = Dtd::from_edges(&[("r", &["a", "b"]), ("a", &["c"])]);
+        assert!(!flat.is_recursive());
+        assert_eq!(
+            flat.descendants_of("r"),
+            ["a", "b", "c"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn deep_descendants_exclude_direct_only_children() {
+        let dtd = Dtd::from_edges(&[("r", &["a"]), ("a", &["b"]), ("b", &[])]);
+        // 'a' is a direct child of r and nothing deeper re-introduces it.
+        let deep = dtd.deep_descendants_of("r");
+        assert!(deep.contains("b"));
+        assert!(!deep.contains("a"));
+    }
+
+    #[test]
+    fn root_candidates_are_unparented_elements() {
+        let dtd = Dtd::parse(PUB_DTD).unwrap();
+        // pub occurs as its own child, so nothing is unparented except…
+        assert!(dtd.root_candidates().is_empty());
+        let flat = Dtd::from_edges(&[("r", &["a"]), ("a", &[])]);
+        assert_eq!(flat.root_candidates().len(), 1);
+        assert!(flat.root_candidates().contains("r"));
+    }
+
+    #[test]
+    fn unterminated_declarations_error() {
+        assert!(Dtd::parse("<!ELEMENT a (b").is_err());
+        assert!(Dtd::parse("<!-- never closed").is_err());
+    }
+
+    #[test]
+    fn extracts_internal_subset_from_a_document() {
+        let doc = br#"<?xml version="1.0"?>
+            <!DOCTYPE r [
+              <!ELEMENT r (a*)>
+              <!ELEMENT a (#PCDATA)>
+            ]>
+            <r><a>x</a></r>"#;
+        let dtd = extract_from_document(doc).expect("subset present");
+        assert_eq!(dtd.children_of("r").collect::<Vec<_>>(), ["a"]);
+        assert!(extract_from_document(b"<r/>").is_none());
+        assert!(extract_from_document(b"<!DOCTYPE r SYSTEM \"x.dtd\"><r/>").is_none());
+    }
+}

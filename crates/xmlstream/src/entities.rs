@@ -1,0 +1,155 @@
+//! Decoding of the five predefined XML entities and numeric character
+//! references, and the inverse escaping used by the serializer.
+
+use crate::error::{Error, Result};
+
+/// Decode a single entity *name* (the text between `&` and `;`).
+///
+/// Supports the five predefined entities (`amp`, `lt`, `gt`, `apos`,
+/// `quot`) and decimal/hexadecimal character references (`#65`, `#x41`).
+pub fn decode_entity(name: &str, offset: u64) -> Result<char> {
+    match name {
+        "amp" => Ok('&'),
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            if let Some(rest) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(rest, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| bad(name, offset))
+            } else if let Some(rest) = name.strip_prefix('#') {
+                rest.parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| bad(name, offset))
+            } else {
+                Err(bad(name, offset))
+            }
+        }
+    }
+}
+
+fn bad(name: &str, offset: u64) -> Error {
+    Error::BadEntity {
+        offset,
+        entity: name.to_string(),
+    }
+}
+
+/// Decode all entity references in `raw`, appending to `out`.
+///
+/// `offset` is the byte offset of `raw` in the input, used for error
+/// positions. Returns an error on malformed references (`&` not followed by
+/// a terminated, known entity).
+pub fn decode_into(raw: &str, offset: u64, out: &mut String) -> Result<()> {
+    let mut rest = raw;
+    let mut consumed = 0u64;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + 1..];
+        let semi = after.find(';').ok_or_else(|| Error::BadEntity {
+            offset: offset + consumed + pos as u64,
+            entity: after.chars().take(12).collect(),
+        })?;
+        let name = &after[..semi];
+        out.push(decode_entity(name, offset + consumed + pos as u64)?);
+        let advanced = pos + 1 + semi + 1;
+        consumed += advanced as u64;
+        rest = &rest[advanced..];
+    }
+    out.push_str(rest);
+    Ok(())
+}
+
+/// Escape `text` for use as element character content (escapes `&`, `<`,
+/// `>`), appending to `out`.
+pub fn escape_text_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape `value` for use inside a double-quoted attribute value.
+pub fn escape_attr_into(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(raw: &str) -> String {
+        let mut s = String::new();
+        decode_into(raw, 0, &mut s).unwrap();
+        s
+    }
+
+    #[test]
+    fn predefined_entities_decode() {
+        assert_eq!(
+            decode("a &amp; b &lt; c &gt; d &apos;&quot;"),
+            "a & b < c > d '\""
+        );
+    }
+
+    #[test]
+    fn numeric_references_decode() {
+        assert_eq!(decode("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(decode("&#x1F600;"), "\u{1F600}");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let mut s = String::new();
+        let err = decode_into("&nbsp;", 10, &mut s).unwrap_err();
+        assert!(matches!(err, Error::BadEntity { offset: 10, .. }));
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        let mut s = String::new();
+        assert!(decode_into("x &amp y", 0, &mut s).is_err());
+    }
+
+    #[test]
+    fn bad_codepoint_is_an_error() {
+        let mut s = String::new();
+        assert!(decode_into("&#xD800;", 0, &mut s).is_err()); // surrogate
+        assert!(decode_into("&#99999999;", 0, &mut s).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_through_decode() {
+        let original = "a<b>&c \"quoted\" 'single'";
+        let mut escaped = String::new();
+        escape_text_into(original, &mut escaped);
+        assert_eq!(decode(&escaped), original);
+        let mut attr = String::new();
+        escape_attr_into(original, &mut attr);
+        assert!(!attr.contains('"') || !attr.contains("\" "));
+        assert_eq!(decode(&attr), original);
+    }
+
+    #[test]
+    fn error_offset_points_at_the_ampersand() {
+        let mut s = String::new();
+        let err = decode_into("abc&bogus;x", 100, &mut s).unwrap_err();
+        assert_eq!(err.offset(), 103);
+    }
+}

@@ -1,0 +1,196 @@
+//! The depth-extended SAX event model of §2.1.
+//!
+//! An XML stream is a sequence `{e1, e2, …}` where each event is a begin
+//! event `(a, attrs, d)`, an end event `(/a, d)`, or a text event
+//! `(a, text(), d)` — `a` the element tag and `d` its depth. The document
+//! element has depth 1; `StartDocument`/`EndDocument` bracket the stream at
+//! depth 0 and are consumed by the root BPDT (Fig. 12 of the paper).
+
+use std::fmt;
+
+/// A single attribute on a begin event: `name="value"` with the value
+/// already entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+impl Attribute {
+    /// Construct an attribute from anything string-like.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A depth-extended SAX event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaxEvent {
+    /// Start of the document; the paper's synthetic `<root>` event.
+    StartDocument,
+    /// End of the document; the paper's synthetic `</root>` event.
+    EndDocument,
+    /// `(a, attrs, d)` — opening tag of element `a` at depth `d ≥ 1`.
+    Begin {
+        name: String,
+        attributes: Vec<Attribute>,
+        depth: u32,
+    },
+    /// `(/a, d)` — closing tag of element `a` at depth `d ≥ 1`.
+    End { name: String, depth: u32 },
+    /// `(a, text(), d)` — character content directly inside element `a`
+    /// (which is at depth `d`). Adjacent character data is coalesced into a
+    /// single event; entity references are decoded.
+    Text {
+        /// Tag of the enclosing element (the paper's text events carry the
+        /// element name so a transition arc can match `<tag.text()>`).
+        element: String,
+        text: String,
+        depth: u32,
+    },
+}
+
+impl SaxEvent {
+    /// Depth of the event as defined in §2.1 (document events are depth 0).
+    pub fn depth(&self) -> u32 {
+        match self {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => 0,
+            SaxEvent::Begin { depth, .. }
+            | SaxEvent::End { depth, .. }
+            | SaxEvent::Text { depth, .. } => *depth,
+        }
+    }
+
+    /// The element tag the event refers to, if any.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            SaxEvent::Begin { name, .. } | SaxEvent::End { name, .. } => Some(name),
+            SaxEvent::Text { element, .. } => Some(element),
+            _ => None,
+        }
+    }
+
+    /// True for begin events (`e ∈ B` in the paper's notation).
+    pub fn is_begin(&self) -> bool {
+        matches!(self, SaxEvent::Begin { .. })
+    }
+
+    /// True for end events (`e ∈ E`).
+    pub fn is_end(&self) -> bool {
+        matches!(self, SaxEvent::End { .. })
+    }
+
+    /// True for text events (`e ∈ T`).
+    pub fn is_text(&self) -> bool {
+        matches!(self, SaxEvent::Text { .. })
+    }
+
+    /// Look up an attribute value on a begin event.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        match self {
+            SaxEvent::Begin { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint of the event, used by the memory
+    /// accounting of the experiment harness (Figs. 19–20).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => 0,
+            SaxEvent::Begin {
+                name, attributes, ..
+            } => {
+                name.len()
+                    + attributes
+                        .iter()
+                        .map(|a| a.name.len() + a.value.len())
+                        .sum::<usize>()
+            }
+            SaxEvent::End { name, .. } => name.len(),
+            SaxEvent::Text { element, text, .. } => element.len() + text.len(),
+        }
+    }
+}
+
+impl fmt::Display for SaxEvent {
+    /// Renders the event in the paper's notation, e.g. `(book,{id=1},2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxEvent::StartDocument => write!(f, "(<root>,0)"),
+            SaxEvent::EndDocument => write!(f, "(</root>,0)"),
+            SaxEvent::Begin {
+                name,
+                attributes,
+                depth,
+            } => {
+                write!(f, "({name},{{")?;
+                for (i, a) in attributes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}={}", a.name, a.value)?;
+                }
+                write!(f, "}},{depth})")
+            }
+            SaxEvent::End { name, depth } => write!(f, "(/{name},{depth})"),
+            SaxEvent::Text { element, depth, .. } => {
+                write!(f, "({element},text(),{depth})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(name: &str, depth: u32) -> SaxEvent {
+        SaxEvent::Begin {
+            name: name.into(),
+            attributes: vec![Attribute::new("id", "1")],
+            depth,
+        }
+    }
+
+    #[test]
+    fn depth_and_name_accessors() {
+        let b = begin("book", 2);
+        assert_eq!(b.depth(), 2);
+        assert_eq!(b.name(), Some("book"));
+        assert!(b.is_begin() && !b.is_end() && !b.is_text());
+        assert_eq!(SaxEvent::StartDocument.depth(), 0);
+        assert_eq!(SaxEvent::StartDocument.name(), None);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let b = begin("book", 2);
+        assert_eq!(b.attribute("id"), Some("1"));
+        assert_eq!(b.attribute("missing"), None);
+        assert_eq!(SaxEvent::StartDocument.attribute("id"), None);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let b = begin("book", 2);
+        assert_eq!(b.to_string(), "(book,{id=1},2)");
+        let e = SaxEvent::End {
+            name: "book".into(),
+            depth: 2,
+        };
+        assert_eq!(e.to_string(), "(/book,2)");
+    }
+
+    #[test]
+    fn heap_bytes_counts_strings() {
+        let b = begin("book", 2);
+        assert_eq!(b.heap_bytes(), 4 + 2 + 1);
+    }
+}

@@ -1,0 +1,789 @@
+//! The streaming pull parser: bytes in, depth-extended SAX events out.
+//!
+//! [`StreamParser`] reads from any [`BufRead`] and never materializes the
+//! document: memory use is bounded by the size of a single token (one tag
+//! or one run of character data). Well-formedness is enforced with the tag
+//! stack exactly as the paper's "simple PDA" (§3.1) does: every end event
+//! must match the top of the stack.
+
+use std::collections::VecDeque;
+use std::io::BufRead;
+
+use crate::entities::decode_into;
+use crate::error::{Error, Result};
+use crate::event::{Attribute, SaxEvent};
+
+/// Configuration for [`StreamParser`].
+#[derive(Debug, Clone)]
+pub struct ParserOptions {
+    /// Drop text events consisting only of whitespace (indentation between
+    /// elements). The engines in this reproduction never match on
+    /// whitespace-only text, and skipping it is what SAX-based systems in
+    /// the paper's study effectively do. Default: `true`.
+    pub skip_whitespace_text: bool,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions {
+            skip_whitespace_text: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DocState {
+    /// Nothing emitted yet.
+    Init,
+    /// `StartDocument` emitted, document element not yet seen.
+    BeforeRoot,
+    /// Inside the document element.
+    InRoot,
+    /// Document element closed; only misc content allowed.
+    AfterRoot,
+    /// `EndDocument` emitted.
+    Done,
+}
+
+/// A streaming, pull-based XML parser.
+///
+/// ```
+/// use xsq_xml::{StreamParser, SaxEvent};
+///
+/// let mut p = StreamParser::new(&b"<a x=\"1\"><b>hi</b></a>"[..]);
+/// let mut names = Vec::new();
+/// while let Some(ev) = p.next_event().unwrap() {
+///     if let SaxEvent::Begin { name, depth, .. } = &ev {
+///         names.push(format!("{name}@{depth}"));
+///     }
+/// }
+/// assert_eq!(names, ["a@1", "b@2"]);
+/// ```
+pub struct StreamParser<R: BufRead> {
+    reader: R,
+    offset: u64,
+    options: ParserOptions,
+    state: DocState,
+    /// Open-element stack; `stack.len()` is the current depth.
+    stack: Vec<String>,
+    /// Events parsed but not yet handed out (a markup token can yield a
+    /// pending text event plus the tag's own event, or Begin+End for
+    /// `<a/>`).
+    pending: VecDeque<SaxEvent>,
+    /// Accumulated character data awaiting a flush.
+    text: String,
+    /// Scratch buffer for raw token bytes.
+    scratch: Vec<u8>,
+}
+
+impl<R: BufRead> StreamParser<R> {
+    /// Create a parser with default options.
+    pub fn new(reader: R) -> Self {
+        Self::with_options(reader, ParserOptions::default())
+    }
+
+    /// Create a parser with explicit options.
+    pub fn with_options(reader: R, options: ParserOptions) -> Self {
+        StreamParser {
+            reader,
+            offset: 0,
+            options,
+            state: DocState::Init,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+            text: String::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current byte offset in the input.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Pull the next event, or `Ok(None)` after `EndDocument`.
+    pub fn next_event(&mut self) -> Result<Option<SaxEvent>> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(Some(ev));
+            }
+            match self.state {
+                DocState::Init => {
+                    self.state = DocState::BeforeRoot;
+                    return Ok(Some(SaxEvent::StartDocument));
+                }
+                DocState::Done => return Ok(None),
+                _ => self.advance()?,
+            }
+        }
+    }
+
+    /// Parse input until at least one event lands in `pending` (or the
+    /// document ends).
+    fn advance(&mut self) -> Result<()> {
+        loop {
+            match self.next_byte()? {
+                None => return self.finish(),
+                Some(b'<') => {
+                    self.parse_markup()?;
+                    if !self.pending.is_empty() {
+                        return Ok(());
+                    }
+                    // Comments/PIs produce no events; keep scanning.
+                }
+                Some(b) => {
+                    self.read_text(b)?;
+                    // Text is flushed lazily when markup or EOF arrives, so
+                    // keep scanning: the loop re-enters at the '<'.
+                }
+            }
+        }
+    }
+
+    /// Accumulate character data starting with byte `b` until the next `<`.
+    fn read_text(&mut self, b: u8) -> Result<()> {
+        let start_offset = self.offset - 1;
+        self.scratch.clear();
+        self.scratch.push(b);
+        self.take_until(|c| c == b'<')?;
+        let raw = std::str::from_utf8(&self.scratch)
+            .map_err(|_| Error::syntax(start_offset, "invalid UTF-8 in character data"))?;
+        if self.state != DocState::InRoot {
+            if raw.chars().all(char::is_whitespace) {
+                return Ok(());
+            }
+            return Err(Error::ContentOutsideRoot {
+                offset: start_offset,
+            });
+        }
+        // Decode into a temporary because `decode_into` borrows `raw`,
+        // which aliases `self.scratch`.
+        let mut decoded = String::new();
+        decode_into(raw, start_offset, &mut decoded)?;
+        self.text.push_str(&decoded);
+        Ok(())
+    }
+
+    /// Emit any buffered text as a `Text` event.
+    fn flush_text(&mut self) {
+        if self.text.is_empty() {
+            return;
+        }
+        let keep =
+            !self.options.skip_whitespace_text || !self.text.chars().all(char::is_whitespace);
+        if keep && !self.stack.is_empty() {
+            let element = self.stack.last().expect("in root").clone();
+            let depth = self.stack.len() as u32;
+            self.pending.push_back(SaxEvent::Text {
+                element,
+                text: std::mem::take(&mut self.text),
+                depth,
+            });
+        } else {
+            self.text.clear();
+        }
+    }
+
+    /// Handle a token that begins with `<` (the `<` is already consumed).
+    fn parse_markup(&mut self) -> Result<()> {
+        let markup_offset = self.offset - 1;
+        match self.peek_byte()? {
+            None => Err(Error::UnexpectedEof {
+                offset: self.offset,
+                context: "markup after '<'",
+            }),
+            Some(b'/') => {
+                self.next_byte()?;
+                self.flush_text();
+                self.parse_end_tag(markup_offset)
+            }
+            Some(b'!') => {
+                self.next_byte()?;
+                self.parse_declaration(markup_offset)
+            }
+            Some(b'?') => {
+                self.next_byte()?;
+                self.skip_until(b"?>", "processing instruction")
+            }
+            Some(_) => {
+                self.flush_text();
+                self.parse_start_tag(markup_offset)
+            }
+        }
+    }
+
+    /// `<name attr="v" …>` or `<name/>`.
+    fn parse_start_tag(&mut self, markup_offset: u64) -> Result<()> {
+        match self.state {
+            DocState::BeforeRoot => self.state = DocState::InRoot,
+            DocState::InRoot => {}
+            DocState::AfterRoot => {
+                // Peek the name for the error message.
+                let name = self.read_name(markup_offset)?;
+                return Err(Error::MultipleRoots {
+                    offset: markup_offset,
+                    tag: name,
+                });
+            }
+            _ => unreachable!("start tag in state {:?}", self.state),
+        }
+        let name = self.read_name(markup_offset)?;
+        if name.is_empty() {
+            return Err(Error::syntax(markup_offset, "empty element name"));
+        }
+        let mut attributes = Vec::new();
+        let self_closing = self.parse_attributes(&mut attributes, markup_offset)?;
+        self.stack.push(name.clone());
+        let depth = self.stack.len() as u32;
+        self.pending.push_back(SaxEvent::Begin {
+            name: name.clone(),
+            attributes,
+            depth,
+        });
+        if self_closing {
+            self.stack.pop();
+            self.pending.push_back(SaxEvent::End { name, depth });
+            if self.stack.is_empty() {
+                self.state = DocState::AfterRoot;
+            }
+        }
+        Ok(())
+    }
+
+    /// `</name>` — must match the innermost open element.
+    fn parse_end_tag(&mut self, markup_offset: u64) -> Result<()> {
+        let name = self.read_name(markup_offset)?;
+        self.skip_whitespace()?;
+        match self.next_byte()? {
+            Some(b'>') => {}
+            Some(_) => return Err(Error::syntax(markup_offset, "junk in closing tag")),
+            None => {
+                return Err(Error::UnexpectedEof {
+                    offset: self.offset,
+                    context: "closing tag",
+                })
+            }
+        }
+        match self.stack.pop() {
+            None => Err(Error::UnbalancedClose {
+                offset: markup_offset,
+                tag: name,
+            }),
+            Some(open) if open != name => Err(Error::TagMismatch {
+                offset: markup_offset,
+                expected: open,
+                found: name,
+            }),
+            Some(_) => {
+                let depth = self.stack.len() as u32 + 1;
+                self.pending.push_back(SaxEvent::End { name, depth });
+                if self.stack.is_empty() {
+                    self.state = DocState::AfterRoot;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `<!--…-->`, `<![CDATA[…]]>`, or `<!DOCTYPE …>`.
+    fn parse_declaration(&mut self, markup_offset: u64) -> Result<()> {
+        if self.try_consume(b"--")? {
+            return self.skip_until(b"-->", "comment");
+        }
+        if self.try_consume(b"[CDATA[")? {
+            return self.read_cdata(markup_offset);
+        }
+        // DOCTYPE or other declaration: skip to the matching '>', honoring
+        // nested '[' … ']' internal subsets.
+        let mut bracket_depth = 0i32;
+        loop {
+            match self.next_byte()? {
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        offset: self.offset,
+                        context: "declaration",
+                    })
+                }
+                Some(b'[') => bracket_depth += 1,
+                Some(b']') => bracket_depth -= 1,
+                Some(b'>') if bracket_depth <= 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// CDATA content is raw character data (no entity decoding).
+    fn read_cdata(&mut self, markup_offset: u64) -> Result<()> {
+        if self.state != DocState::InRoot {
+            return Err(Error::ContentOutsideRoot {
+                offset: markup_offset,
+            });
+        }
+        self.scratch.clear();
+        loop {
+            match self.next_byte()? {
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        offset: self.offset,
+                        context: "CDATA section",
+                    })
+                }
+                Some(b) => {
+                    self.scratch.push(b);
+                    if self.scratch.ends_with(b"]]>") {
+                        self.scratch.truncate(self.scratch.len() - 3);
+                        break;
+                    }
+                }
+            }
+        }
+        let raw = std::str::from_utf8(&self.scratch)
+            .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in CDATA"))?;
+        self.text.push_str(raw);
+        Ok(())
+    }
+
+    /// Read an element or attribute name.
+    fn read_name(&mut self, markup_offset: u64) -> Result<String> {
+        self.scratch.clear();
+        self.take_until(|b| !is_name_byte(b))?;
+        if self.scratch.is_empty() {
+            return Err(Error::syntax(markup_offset, "expected a name"));
+        }
+        String::from_utf8(std::mem::take(&mut self.scratch))
+            .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in name"))
+    }
+
+    /// Parse attributes up to `>` or `/>`. Returns `true` if self-closing.
+    fn parse_attributes(
+        &mut self,
+        attributes: &mut Vec<Attribute>,
+        markup_offset: u64,
+    ) -> Result<bool> {
+        loop {
+            self.skip_whitespace()?;
+            match self.peek_byte()? {
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        offset: self.offset,
+                        context: "start tag",
+                    })
+                }
+                Some(b'>') => {
+                    self.next_byte()?;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.next_byte()?;
+                    match self.next_byte()? {
+                        Some(b'>') => return Ok(true),
+                        _ => return Err(Error::syntax(markup_offset, "expected '>' after '/'")),
+                    }
+                }
+                Some(_) => {
+                    let name = self.read_name(markup_offset)?;
+                    self.skip_whitespace()?;
+                    match self.next_byte()? {
+                        Some(b'=') => {}
+                        _ => {
+                            return Err(Error::syntax(
+                                markup_offset,
+                                format!("attribute '{name}' missing '='"),
+                            ))
+                        }
+                    }
+                    self.skip_whitespace()?;
+                    let quote = match self.next_byte()? {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => {
+                            return Err(Error::syntax(
+                                markup_offset,
+                                format!("attribute '{name}' value must be quoted"),
+                            ))
+                        }
+                    };
+                    let value_offset = self.offset;
+                    self.scratch.clear();
+                    self.take_until(|b| b == quote || b == b'<')?;
+                    match self.next_byte()? {
+                        Some(b) if b == quote => {}
+                        Some(_) => {
+                            return Err(Error::syntax(
+                                value_offset,
+                                "'<' not allowed in attribute value",
+                            ))
+                        }
+                        None => {
+                            return Err(Error::UnexpectedEof {
+                                offset: self.offset,
+                                context: "attribute value",
+                            })
+                        }
+                    }
+                    let raw = std::str::from_utf8(&self.scratch).map_err(|_| {
+                        Error::syntax(value_offset, "invalid UTF-8 in attribute value")
+                    })?;
+                    let mut value = String::new();
+                    decode_into(raw, value_offset, &mut value)?;
+                    attributes.push(Attribute { name, value });
+                }
+            }
+        }
+    }
+
+    /// End of input: verify balance and emit `EndDocument`.
+    fn finish(&mut self) -> Result<()> {
+        if !self.stack.is_empty() {
+            return Err(Error::UnclosedElements {
+                offset: self.offset,
+                open: self.stack.clone(),
+            });
+        }
+        if self.state == DocState::BeforeRoot {
+            return Err(Error::UnexpectedEof {
+                offset: self.offset,
+                context: "document element",
+            });
+        }
+        self.state = DocState::Done;
+        self.pending.push_back(SaxEvent::EndDocument);
+        Ok(())
+    }
+
+    // ---- byte-level helpers -------------------------------------------
+
+    /// Bulk-append input bytes into `scratch` until `stop` matches (the
+    /// stopping byte is left unconsumed) or the input ends. Scans whole
+    /// `fill_buf` slices instead of byte-at-a-time — the parser's hot
+    /// path for character data, names, and attribute values.
+    fn take_until(&mut self, stop: impl Fn(u8) -> bool) -> Result<()> {
+        loop {
+            let buf = self
+                .reader
+                .fill_buf()
+                .map_err(|e| Error::io(self.offset, e))?;
+            if buf.is_empty() {
+                return Ok(());
+            }
+            match buf.iter().position(|&b| stop(b)) {
+                Some(0) => return Ok(()),
+                Some(n) => {
+                    self.scratch.extend_from_slice(&buf[..n]);
+                    self.reader.consume(n);
+                    self.offset += n as u64;
+                    return Ok(());
+                }
+                None => {
+                    let n = buf.len();
+                    self.scratch.extend_from_slice(buf);
+                    self.reader.consume(n);
+                    self.offset += n as u64;
+                }
+            }
+        }
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        let buf = self
+            .reader
+            .fill_buf()
+            .map_err(|e| Error::io(self.offset, e))?;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let b = buf[0];
+        self.reader.consume(1);
+        self.offset += 1;
+        Ok(Some(b))
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>> {
+        let buf = self
+            .reader
+            .fill_buf()
+            .map_err(|e| Error::io(self.offset, e))?;
+        Ok(buf.first().copied())
+    }
+
+    fn skip_whitespace(&mut self) -> Result<()> {
+        while let Some(b) = self.peek_byte()? {
+            if b.is_ascii_whitespace() {
+                self.next_byte()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume `expected` if it is next in the input; single-byte lookahead
+    /// is not enough, so this backtracks by buffering into `pending`? No —
+    /// it is only called right after a known prefix where a partial match
+    /// cannot occur in valid XML, so a mismatch mid-way is a syntax error.
+    fn try_consume(&mut self, expected: &[u8]) -> Result<bool> {
+        match self.peek_byte()? {
+            Some(b) if b == expected[0] => {}
+            _ => return Ok(false),
+        }
+        for (i, &e) in expected.iter().enumerate() {
+            match self.next_byte()? {
+                Some(b) if b == e => {}
+                _ => {
+                    return Err(Error::syntax(
+                        self.offset,
+                        format!("malformed declaration (expected byte {i} of marker)"),
+                    ))
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn skip_until(&mut self, terminator: &[u8], context: &'static str) -> Result<()> {
+        let mut window: Vec<u8> = Vec::with_capacity(terminator.len());
+        loop {
+            match self.next_byte()? {
+                None => {
+                    return Err(Error::UnexpectedEof {
+                        offset: self.offset,
+                        context,
+                    })
+                }
+                Some(b) => {
+                    window.push(b);
+                    if window.len() > terminator.len() {
+                        window.remove(0);
+                    }
+                    if window == terminator {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    !b.is_ascii_whitespace() && !matches!(b, b'>' | b'/' | b'=' | b'<' | b'"' | b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_to_events;
+
+    fn events(input: &str) -> Vec<SaxEvent> {
+        parse_to_events(input.as_bytes()).unwrap()
+    }
+
+    fn err(input: &str) -> Error {
+        parse_to_events(input.as_bytes()).unwrap_err()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>hi</b></a>");
+        assert_eq!(evs[0], SaxEvent::StartDocument);
+        assert_eq!(
+            evs[1],
+            SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 1
+            }
+        );
+        assert_eq!(
+            evs[3],
+            SaxEvent::Text {
+                element: "b".into(),
+                text: "hi".into(),
+                depth: 2
+            }
+        );
+        assert_eq!(evs[6], SaxEvent::EndDocument);
+    }
+
+    #[test]
+    fn attributes_are_decoded() {
+        let evs = events(r#"<a id="1" name='x &amp; y'/>"#);
+        let SaxEvent::Begin { attributes, .. } = &evs[1] else {
+            panic!("expected begin");
+        };
+        assert_eq!(attributes[0], Attribute::new("id", "1"));
+        assert_eq!(attributes[1], Attribute::new("name", "x & y"));
+        // Self-closing yields an immediate end event at the same depth.
+        assert_eq!(
+            evs[2],
+            SaxEvent::End {
+                name: "a".into(),
+                depth: 1
+            }
+        );
+    }
+
+    #[test]
+    fn whitespace_only_text_is_skipped_by_default() {
+        let evs = events("<a>\n  <b>x</b>\n</a>");
+        assert!(evs
+            .iter()
+            .filter(|e| e.is_text())
+            .all(|e| matches!(e, SaxEvent::Text { text, .. } if text == "x")));
+    }
+
+    #[test]
+    fn whitespace_text_kept_when_requested() {
+        let opts = ParserOptions {
+            skip_whitespace_text: false,
+        };
+        let mut p = StreamParser::with_options(&b"<a> <b>x</b></a>"[..], opts);
+        let mut texts = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            if let SaxEvent::Text { text, .. } = ev {
+                texts.push(text);
+            }
+        }
+        assert_eq!(texts, vec![" ".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn text_entities_are_decoded() {
+        let evs = events("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn cdata_is_raw_text_and_coalesces() {
+        let evs = events("<a>x<![CDATA[<not-a-tag> & raw]]>y</a>");
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "x<not-a-tag> & rawy");
+    }
+
+    #[test]
+    fn comments_and_pis_are_skipped() {
+        let evs = events("<?xml version=\"1.0\"?><!-- c --><a><!-- inner -->t<?pi d?></a>");
+        assert_eq!(evs.len(), 5);
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "t");
+    }
+
+    #[test]
+    fn doctype_with_internal_subset_is_skipped() {
+        let evs = events("<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>x</a>");
+        assert_eq!(evs.len(), 5);
+    }
+
+    #[test]
+    fn depths_follow_nesting() {
+        let evs = events("<a><b><c/></b><b/></a>");
+        let depths: Vec<(Option<String>, u32)> = evs
+            .iter()
+            .map(|e| (e.name().map(String::from), e.depth()))
+            .collect();
+        assert_eq!(
+            depths,
+            vec![
+                (None, 0),
+                (Some("a".into()), 1),
+                (Some("b".into()), 2),
+                (Some("c".into()), 3),
+                (Some("c".into()), 3),
+                (Some("b".into()), 2),
+                (Some("b".into()), 2),
+                (Some("b".into()), 2),
+                (Some("a".into()), 1),
+                (None, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_close_is_detected() {
+        assert!(matches!(err("<a><b></a></b>"), Error::TagMismatch { .. }));
+    }
+
+    #[test]
+    fn unbalanced_close_is_detected() {
+        assert!(matches!(err("<a></a></b>"), Error::UnbalancedClose { .. }));
+    }
+
+    #[test]
+    fn unclosed_elements_detected_at_eof() {
+        assert!(matches!(err("<a><b>"), Error::UnclosedElements { .. }));
+    }
+
+    #[test]
+    fn content_outside_root_is_rejected() {
+        assert!(matches!(err("hello<a/>"), Error::ContentOutsideRoot { .. }));
+        assert!(matches!(
+            err("<a/>trailing"),
+            Error::ContentOutsideRoot { .. }
+        ));
+    }
+
+    #[test]
+    fn multiple_roots_are_rejected() {
+        assert!(matches!(err("<a/><b/>"), Error::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(err(""), Error::UnexpectedEof { .. }));
+        assert!(matches!(err("   \n "), Error::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn bad_attribute_syntax_is_rejected() {
+        assert!(matches!(err("<a id=1/>"), Error::Syntax { .. }));
+        assert!(matches!(err("<a id></a>"), Error::Syntax { .. }));
+    }
+
+    #[test]
+    fn unterminated_comment_is_rejected() {
+        assert!(matches!(
+            err("<a><!-- oops</a>"),
+            Error::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn offsets_advance() {
+        let mut p = StreamParser::new(&b"<a>x</a>"[..]);
+        while p.next_event().unwrap().is_some() {}
+        assert_eq!(p.offset(), 8);
+    }
+
+    #[test]
+    fn mixed_content_produces_multiple_text_events() {
+        let evs = events("<a>one<b/>two</a>");
+        let texts: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SaxEvent::Text { text, .. } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn deeply_nested_document_parses() {
+        let mut doc = String::new();
+        for _ in 0..200 {
+            doc.push_str("<d>");
+        }
+        doc.push('x');
+        for _ in 0..200 {
+            doc.push_str("</d>");
+        }
+        let evs = events(&doc);
+        let max_depth = evs.iter().map(|e| e.depth()).max().unwrap();
+        assert_eq!(max_depth, 200);
+    }
+}

@@ -1,0 +1,221 @@
+//! The "simple PDA" of Fig. 4(a): a pushdown automaton over SAX events
+//! that accepts exactly the well-formed XML streams.
+//!
+//! For each begin event it pushes the tag onto the stack; for each end
+//! event it pops and requires a match. After `EndDocument` the stack must
+//! be empty and the machine is in its final state. The paper uses this PDA
+//! both to motivate the PDT design (§3.1) and as the well-formedness layer
+//! every BPDT inherits; here it is also used as a property-test oracle for
+//! the parser.
+
+use crate::event::SaxEvent;
+
+/// Current status of the PDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdaStatus {
+    /// Stream consumed so far is a prefix of some well-formed stream.
+    Running,
+    /// Stream is complete and well-formed (final state, empty stack).
+    Accepted,
+    /// Stream can no longer be well-formed.
+    Rejected,
+}
+
+/// A streaming well-formedness checker over [`SaxEvent`]s.
+#[derive(Debug, Default)]
+pub struct WellFormednessPda {
+    stack: Vec<String>,
+    started: bool,
+    root_seen: bool,
+    status: Option<PdaStatus>,
+}
+
+impl WellFormednessPda {
+    /// Fresh PDA in its start state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one event; returns the status after consuming it.
+    pub fn feed(&mut self, event: &SaxEvent) -> PdaStatus {
+        if matches!(self.status, Some(PdaStatus::Accepted | PdaStatus::Rejected)) {
+            // Anything after acceptance, or after rejection, is a reject.
+            self.status = Some(PdaStatus::Rejected);
+            return PdaStatus::Rejected;
+        }
+        let st = match event {
+            SaxEvent::StartDocument => {
+                if self.started {
+                    PdaStatus::Rejected
+                } else {
+                    self.started = true;
+                    PdaStatus::Running
+                }
+            }
+            SaxEvent::EndDocument => {
+                if self.started && self.stack.is_empty() && self.root_seen {
+                    PdaStatus::Accepted
+                } else {
+                    PdaStatus::Rejected
+                }
+            }
+            SaxEvent::Begin { name, depth, .. } => {
+                if !self.started
+                    || (self.stack.is_empty() && self.root_seen)
+                    || *depth as usize != self.stack.len() + 1
+                {
+                    PdaStatus::Rejected
+                } else {
+                    self.root_seen = true;
+                    self.stack.push(name.clone());
+                    PdaStatus::Running
+                }
+            }
+            SaxEvent::End { name, depth } => match self.stack.last() {
+                Some(top) if top == name && *depth as usize == self.stack.len() => {
+                    self.stack.pop();
+                    PdaStatus::Running
+                }
+                _ => PdaStatus::Rejected,
+            },
+            SaxEvent::Text { depth, .. } => {
+                if self.stack.is_empty() || *depth as usize != self.stack.len() {
+                    PdaStatus::Rejected
+                } else {
+                    PdaStatus::Running
+                }
+            }
+        };
+        self.status = Some(st);
+        st
+    }
+
+    /// Current status without feeding anything.
+    pub fn status(&self) -> PdaStatus {
+        self.status.unwrap_or(PdaStatus::Running)
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Run the PDA over a whole event sequence.
+    pub fn accepts(events: &[SaxEvent]) -> bool {
+        let mut pda = WellFormednessPda::new();
+        let mut last = PdaStatus::Running;
+        for e in events {
+            last = pda.feed(e);
+            if last == PdaStatus::Rejected {
+                return false;
+            }
+        }
+        last == PdaStatus::Accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_to_events;
+
+    #[test]
+    fn accepts_parser_output() {
+        let evs = parse_to_events(b"<a><b>t</b><b/></a>").unwrap();
+        assert!(WellFormednessPda::accepts(&evs));
+    }
+
+    #[test]
+    fn rejects_mismatched_end() {
+        let evs = vec![
+            SaxEvent::StartDocument,
+            SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 1,
+            },
+            SaxEvent::End {
+                name: "b".into(),
+                depth: 1,
+            },
+        ];
+        assert!(!WellFormednessPda::accepts(&evs));
+    }
+
+    #[test]
+    fn rejects_wrong_depth() {
+        let evs = vec![
+            SaxEvent::StartDocument,
+            SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 2, // should be 1
+            },
+        ];
+        assert!(!WellFormednessPda::accepts(&evs));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let evs = vec![
+            SaxEvent::StartDocument,
+            SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 1,
+            },
+        ];
+        assert!(!WellFormednessPda::accepts(&evs)); // never accepted
+    }
+
+    #[test]
+    fn rejects_second_root() {
+        let evs = vec![
+            SaxEvent::StartDocument,
+            SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 1,
+            },
+            SaxEvent::End {
+                name: "a".into(),
+                depth: 1,
+            },
+            SaxEvent::Begin {
+                name: "b".into(),
+                attributes: vec![],
+                depth: 1,
+            },
+        ];
+        assert!(!WellFormednessPda::accepts(&evs));
+    }
+
+    #[test]
+    fn rejects_events_after_end_document() {
+        let mut pda = WellFormednessPda::new();
+        pda.feed(&SaxEvent::StartDocument);
+        pda.feed(&SaxEvent::Begin {
+            name: "a".into(),
+            attributes: vec![],
+            depth: 1,
+        });
+        pda.feed(&SaxEvent::End {
+            name: "a".into(),
+            depth: 1,
+        });
+        assert_eq!(pda.feed(&SaxEvent::EndDocument), PdaStatus::Accepted);
+        assert_eq!(pda.feed(&SaxEvent::StartDocument), PdaStatus::Rejected);
+    }
+
+    #[test]
+    fn depth_tracks_stack() {
+        let mut pda = WellFormednessPda::new();
+        pda.feed(&SaxEvent::StartDocument);
+        pda.feed(&SaxEvent::Begin {
+            name: "a".into(),
+            attributes: vec![],
+            depth: 1,
+        });
+        assert_eq!(pda.depth(), 1);
+    }
+}

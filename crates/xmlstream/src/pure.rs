@@ -1,0 +1,78 @@
+//! The paper's `PureParser` (§6.2): parse the stream and do nothing else.
+//!
+//! The throughput of a pure parser is the upper bound for any streaming
+//! query system built on the same parser; the paper reports every system's
+//! throughput *relative* to its PureParser. The experiment harness in this
+//! reproduction does the same, so parser cost is factored out of the
+//! engine comparison exactly as in the paper.
+
+use std::io::BufRead;
+
+use crate::error::Result;
+use crate::event::SaxEvent;
+use crate::parser::StreamParser;
+
+/// Summary of a PureParser run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseCounts {
+    pub begin_events: u64,
+    pub end_events: u64,
+    pub text_events: u64,
+    pub attributes: u64,
+    pub text_bytes: u64,
+}
+
+impl ParseCounts {
+    /// Total number of SAX events (excluding the document brackets).
+    pub fn total_events(&self) -> u64 {
+        self.begin_events + self.end_events + self.text_events
+    }
+}
+
+/// Parses a stream, counts events, and discards them.
+#[derive(Debug, Default)]
+pub struct PureParser;
+
+impl PureParser {
+    /// Run over a reader and return the event counts.
+    pub fn run<R: BufRead>(reader: R) -> Result<ParseCounts> {
+        let mut parser = StreamParser::new(reader);
+        let mut counts = ParseCounts::default();
+        while let Some(ev) = parser.next_event()? {
+            match ev {
+                SaxEvent::Begin { attributes, .. } => {
+                    counts.begin_events += 1;
+                    counts.attributes += attributes.len() as u64;
+                }
+                SaxEvent::End { .. } => counts.end_events += 1,
+                SaxEvent::Text { text, .. } => {
+                    counts.text_events += 1;
+                    counts.text_bytes += text.len() as u64;
+                }
+                _ => {}
+            }
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_document() {
+        let counts = PureParser::run(&b"<a p=\"1\"><b>xy</b><c/></a>"[..]).unwrap();
+        assert_eq!(counts.begin_events, 3);
+        assert_eq!(counts.end_events, 3);
+        assert_eq!(counts.text_events, 1);
+        assert_eq!(counts.attributes, 1);
+        assert_eq!(counts.text_bytes, 2);
+        assert_eq!(counts.total_events(), 7);
+    }
+
+    #[test]
+    fn malformed_input_propagates_error() {
+        assert!(PureParser::run(&b"<a><b></a>"[..]).is_err());
+    }
+}

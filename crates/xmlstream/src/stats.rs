@@ -1,0 +1,118 @@
+//! Dataset statistics — the columns of the paper's Fig. 15.
+//!
+//! For each dataset the paper reports: size (MB), text size (MB), number
+//! of elements, average/maximum depth, and average tag length. This module
+//! computes the same quantities in one streaming pass so the experiment
+//! harness can print its own Fig. 15 for the generated datasets.
+
+use crate::error::Result;
+use crate::event::SaxEvent;
+use crate::parser::StreamParser;
+
+/// The Fig. 15 statistics for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Total size of the serialized document in bytes.
+    pub size_bytes: u64,
+    /// Bytes of character data (text content, after entity decoding).
+    pub text_bytes: u64,
+    /// Number of elements.
+    pub elements: u64,
+    /// Mean depth over all elements.
+    pub avg_depth: f64,
+    /// Maximum element depth.
+    pub max_depth: u32,
+    /// Mean tag-name length over all elements.
+    pub avg_tag_length: f64,
+    /// Number of attributes (not in Fig. 15, useful for generator tuning).
+    pub attributes: u64,
+}
+
+impl DatasetStats {
+    /// Render one row in the layout of Fig. 15.
+    pub fn to_row(&self, name: &str) -> String {
+        format!(
+            "{:<8} {:>9.2} {:>9.2} {:>12} {:>6.2}/{:<4} {:>8.2}",
+            name,
+            self.size_bytes as f64 / (1024.0 * 1024.0),
+            self.text_bytes as f64 / (1024.0 * 1024.0),
+            self.elements,
+            self.avg_depth,
+            self.max_depth,
+            self.avg_tag_length,
+        )
+    }
+}
+
+/// Compute [`DatasetStats`] for a serialized document.
+pub fn dataset_stats(input: &[u8]) -> Result<DatasetStats> {
+    let mut parser = StreamParser::new(input);
+    let mut elements = 0u64;
+    let mut attributes = 0u64;
+    let mut text_bytes = 0u64;
+    let mut depth_sum = 0u64;
+    let mut max_depth = 0u32;
+    let mut tag_len_sum = 0u64;
+    while let Some(ev) = parser.next_event()? {
+        match ev {
+            SaxEvent::Begin {
+                name,
+                attributes: attrs,
+                depth,
+            } => {
+                elements += 1;
+                attributes += attrs.len() as u64;
+                depth_sum += depth as u64;
+                max_depth = max_depth.max(depth);
+                tag_len_sum += name.len() as u64;
+            }
+            SaxEvent::Text { text, .. } => {
+                text_bytes += text.len() as u64;
+            }
+            _ => {}
+        }
+    }
+    let n = elements.max(1) as f64;
+    Ok(DatasetStats {
+        size_bytes: input.len() as u64,
+        text_bytes,
+        elements,
+        avg_depth: depth_sum as f64 / n,
+        max_depth,
+        avg_tag_length: tag_len_sum as f64 / n,
+        attributes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_for_tiny_document() {
+        let doc = b"<aa><bb x=\"1\">hello</bb><bb>world</bb></aa>";
+        let s = dataset_stats(doc).unwrap();
+        assert_eq!(s.size_bytes, doc.len() as u64);
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.attributes, 1);
+        assert_eq!(s.text_bytes, 10);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.avg_depth - (1 + 2 + 2) as f64 / 3.0).abs() < 1e-9);
+        assert!((s.avg_tag_length - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_element_document() {
+        let s = dataset_stats(b"<a/>").unwrap();
+        assert_eq!(s.elements, 1);
+        assert_eq!(s.text_bytes, 0);
+        assert_eq!(s.max_depth, 1);
+    }
+
+    #[test]
+    fn row_formatting_contains_name() {
+        let s = dataset_stats(b"<a>x</a>").unwrap();
+        let row = s.to_row("TINY");
+        assert!(row.starts_with("TINY"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Serializing SAX events back to XML text.
+//!
+//! Used by the engines for the paper's catchall (`*̄`) output expression —
+//! when a query has no output expression, each matching *element* is
+//! emitted whole (§3.4) — and by the round-trip property tests.
+
+use crate::entities::{escape_attr_into, escape_text_into};
+use crate::event::SaxEvent;
+
+/// An incremental XML serializer writing into an owned `String`.
+///
+/// Feed it the event subsequence corresponding to an element (begin,
+/// descendants, end) and it produces the textual form of that element.
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    out: String,
+}
+
+impl XmlWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event's textual form.
+    ///
+    /// `StartDocument`/`EndDocument` produce nothing: the writer serializes
+    /// fragments, not documents.
+    pub fn write_event(&mut self, event: &SaxEvent) {
+        write_event_into(event, &mut self.out);
+    }
+
+    /// The accumulated text.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consume the writer, returning the accumulated text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Append the textual form of `event` to `out`.
+pub fn write_event_into(event: &SaxEvent, out: &mut String) {
+    match event {
+        SaxEvent::StartDocument | SaxEvent::EndDocument => {}
+        SaxEvent::Begin {
+            name, attributes, ..
+        } => {
+            out.push('<');
+            out.push_str(name);
+            for a in attributes {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                escape_attr_into(&a.value, out);
+                out.push('"');
+            }
+            out.push('>');
+        }
+        SaxEvent::End { name, .. } => {
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        SaxEvent::Text { text, .. } => escape_text_into(text, out),
+    }
+}
+
+/// Serialize a slice of events (e.g. one whole element) to a `String`.
+pub fn events_to_string(events: &[SaxEvent]) -> String {
+    let mut w = XmlWriter::new();
+    for e in events {
+        w.write_event(&e.clone());
+    }
+    w.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Attribute;
+    use crate::parse_to_events;
+
+    #[test]
+    fn writes_element_with_escaped_attribute() {
+        let mut w = XmlWriter::new();
+        w.write_event(&SaxEvent::Begin {
+            name: "a".into(),
+            attributes: vec![Attribute::new("t", "x\"<&")],
+            depth: 1,
+        });
+        w.write_event(&SaxEvent::Text {
+            element: "a".into(),
+            text: "1 < 2".into(),
+            depth: 1,
+        });
+        w.write_event(&SaxEvent::End {
+            name: "a".into(),
+            depth: 1,
+        });
+        assert_eq!(w.as_str(), "<a t=\"x&quot;&lt;&amp;\">1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn document_events_write_nothing() {
+        let mut w = XmlWriter::new();
+        w.write_event(&SaxEvent::StartDocument);
+        w.write_event(&SaxEvent::EndDocument);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_parse_write_parse_is_identity_on_events() {
+        let doc = "<pub><book id=\"1\"><name>A &amp; B</name></book></pub>";
+        let evs = parse_to_events(doc.as_bytes()).unwrap();
+        let rewritten = events_to_string(&evs);
+        let evs2 = parse_to_events(rewritten.as_bytes()).unwrap();
+        assert_eq!(evs, evs2);
+    }
+}

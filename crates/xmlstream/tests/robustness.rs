@@ -1,0 +1,123 @@
+//! Parser robustness: chunked reads (buffer-boundary independence),
+//! arbitrary-bytes no-panic fuzzing, and idempotent re-serialization.
+
+use std::io::{BufRead, Read};
+
+use proptest::prelude::*;
+use xsq_xml::{parse_to_events, SaxEvent, StreamParser};
+
+/// A reader that yields at most `chunk` bytes per `fill_buf` call —
+/// exercises every token-straddles-a-chunk-boundary path.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for Trickle<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        let end = (self.pos + self.chunk).min(self.data.len());
+        Ok(&self.data[self.pos..end])
+    }
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+fn parse_trickled(data: &[u8], chunk: usize) -> Result<Vec<SaxEvent>, xsq_xml::Error> {
+    let mut p = StreamParser::new(Trickle {
+        data,
+        pos: 0,
+        chunk,
+    });
+    let mut out = Vec::new();
+    while let Some(ev) = p.next_event()? {
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+const SAMPLE: &str = r#"<?xml version="1.0"?><!-- c --><pub>
+  <book id="1" cat="a&amp;b"><name>First &lt;ed.&gt;</name>
+  <![CDATA[raw <stuff> here]]><price>10.00</price></book>
+  <empty/><year>2002</year>
+</pub>"#;
+
+#[test]
+fn one_byte_chunks_equal_whole_buffer() {
+    let whole = parse_to_events(SAMPLE.as_bytes()).unwrap();
+    for chunk in [1, 2, 3, 7, 64] {
+        let trickled = parse_trickled(SAMPLE.as_bytes(), chunk).unwrap();
+        assert_eq!(trickled, whole, "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn errors_are_chunk_size_independent() {
+    let bad = b"<a><b>text</a></b>";
+    let e1 = parse_trickled(bad, 1).unwrap_err();
+    let e2 = parse_trickled(bad, 1024).unwrap_err();
+    assert_eq!(e1, e2);
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine; panicking or looping is not.
+        let _ = parse_to_events(&data);
+    }
+
+    #[test]
+    fn arbitrary_ascii_never_panics(s in "[ -~]{0,256}") {
+        let _ = parse_to_events(s.as_bytes());
+    }
+
+    #[test]
+    fn xmlish_soup_never_panics(s in r#"[<>/a-c ="'&;!\[\]-]{0,200}"#) {
+        let _ = parse_to_events(s.as_bytes());
+    }
+
+    #[test]
+    fn valid_docs_parse_identically_at_every_chunk_size(
+        texts in prop::collection::vec("[a-z ]{0,8}", 1..6),
+        chunk in 1usize..32,
+    ) {
+        let mut doc = String::from("<r>");
+        for t in &texts {
+            doc.push_str(&format!("<e>{t}</e>"));
+        }
+        doc.push_str("</r>");
+        let whole = parse_to_events(doc.as_bytes()).unwrap();
+        let trickled = parse_trickled(doc.as_bytes(), chunk).unwrap();
+        prop_assert_eq!(whole, trickled);
+    }
+
+    #[test]
+    fn reserialization_is_idempotent(
+        texts in prop::collection::vec("[a-z<&>\" ]{0,10}", 0..5),
+    ) {
+        // Build a doc with escaped content, parse, write, parse, write:
+        // the second and later serializations must be a fixed point.
+        let mut doc = String::from("<r>");
+        for t in &texts {
+            doc.push_str("<e>");
+            xsq_xml::entities::escape_text_into(t, &mut doc);
+            doc.push_str("</e>");
+        }
+        doc.push_str("</r>");
+        let ev1 = parse_to_events(doc.as_bytes()).unwrap();
+        let s1 = xsq_xml::writer::events_to_string(&ev1);
+        let ev2 = parse_to_events(s1.as_bytes()).unwrap();
+        let s2 = xsq_xml::writer::events_to_string(&ev2);
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Abstract syntax for the paper's XPath subset (Fig. 3).
+//!
+//! A query is `N1 N2 … Nn [/O]`: a location path of steps plus an optional
+//! output expression. Each step has an axis (`/` child or `//`
+//! descendant-or-self, the *closure* axis), a node test, and at most one
+//! predicate. The predicate shapes mirror the five categories of §3.2
+//! one-to-one, since each category instantiates a different BPDT template.
+
+use std::fmt;
+
+use crate::value::XPathValue;
+
+/// The axis of a location step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/tag` — child axis.
+    Child,
+    /// `//tag` — descendant-or-self, the paper's *closure* axis.
+    Closure,
+}
+
+/// The node test of a location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A tag name.
+    Name(String),
+    /// `*` — matches any element.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Does this test accept an element with the given tag?
+    pub fn matches(&self, tag: &str) -> bool {
+        match self {
+            NodeTest::Name(n) => n == tag,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+/// Comparison operators (`OP` in Fig. 3). `Contains` is spelled `%` in the
+/// paper's example queries (e.g. `SPEECH[LINE%love]`) and also accepted as
+/// the word `contains`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ge,
+    Gt,
+    Ne,
+    Contains,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Ne => "!=",
+            CmpOp::Contains => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `OP constant` — the right-hand side of a predicate test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub op: CmpOp,
+    pub rhs: XPathValue,
+}
+
+impl Comparison {
+    /// Evaluate the comparison against a left-hand-side string taken from
+    /// the stream (attribute value or text content).
+    pub fn eval(&self, lhs: &str) -> bool {
+        crate::value::compare(lhs, self.op, &self.rhs)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.op, self.rhs)
+    }
+}
+
+/// A predicate, one of the five categories of §3.2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Category 1: `[@attr]` / `[@attr op v]` — decided at the begin event
+    /// of the element itself.
+    Attr {
+        name: String,
+        cmp: Option<Comparison>,
+    },
+    /// Category 2: `[text()]` / `[text() op v]` — decided at a text event
+    /// of the element (true) or its end event (false).
+    Text { cmp: Option<Comparison> },
+    /// Category 3: `[child]` — true at the begin event of a matching
+    /// child, false at the end event of the element.
+    Child { name: String },
+    /// Category 4: `[child@attr]` / `[child@attr op v]` — decided at the
+    /// begin events of `child` children.
+    ChildAttr {
+        child: String,
+        attr: String,
+        cmp: Option<Comparison>,
+    },
+    /// Category 5: `[child op v]` — decided at text events of `child`
+    /// children (true) or the end event of the element (false).
+    ChildText { child: String, cmp: Comparison },
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Attr { name, cmp } => {
+                write!(f, "[@{name}")?;
+                if let Some(c) = cmp {
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+            Predicate::Text { cmp } => {
+                write!(f, "[text()")?;
+                if let Some(c) = cmp {
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+            Predicate::Child { name } => write!(f, "[{name}]"),
+            Predicate::ChildAttr { child, attr, cmp } => {
+                write!(f, "[{child}@{attr}")?;
+                if let Some(c) = cmp {
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+            Predicate::ChildText { child, cmp } => write!(f, "[{child}{cmp}]"),
+        }
+    }
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicate: Option<Predicate>,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => write!(f, "/")?,
+            Axis::Closure => write!(f, "//")?,
+        }
+        match &self.test {
+            NodeTest::Name(n) => write!(f, "{n}")?,
+            NodeTest::Wildcard => write!(f, "*")?,
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregation functions usable as output expressions (§4.4). `count` and
+/// `sum` appear in Fig. 3; `avg`, `min`, `max` are the natural extensions
+/// implemented on the same stat buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// The output expression `O` of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// No output expression: emit each matching element whole (the
+    /// catchall `*̄` transitions of §3.4).
+    Element,
+    /// `text()` — text content of the matching element.
+    Text,
+    /// `@attr` — an attribute of the matching element.
+    Attr(String),
+    /// An aggregation over the matches.
+    Aggregate(AggFunc),
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::Element => Ok(()),
+            Output::Text => write!(f, "/text()"),
+            Output::Attr(a) => write!(f, "/@{a}"),
+            Output::Aggregate(func) => write!(f, "/{}()", func.name()),
+        }
+    }
+}
+
+/// A complete query: location path plus output expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub steps: Vec<Step>,
+    pub output: Output,
+}
+
+impl Query {
+    /// Number of location steps (`n` in the paper's `N1…Nn/O`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if there are no steps (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Does any step use the closure axis `//`? Queries without closures
+    /// compile to a *deterministic* HPDT and can run on the XSQ-NC fast
+    /// path (§6.2).
+    pub fn has_closure(&self) -> bool {
+        self.steps.iter().any(|s| s.axis == Axis::Closure)
+    }
+
+    /// Does any step carry a predicate?
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| s.predicate.is_some())
+    }
+
+    /// Is the output expression an aggregation?
+    pub fn is_aggregation(&self) -> bool {
+        matches!(self.output, Output::Aggregate(_))
+    }
+
+    /// Does any step use a wildcard node test?
+    pub fn has_wildcard(&self) -> bool {
+        self.steps.iter().any(|s| s.test == NodeTest::Wildcard)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        write!(f, "{}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(axis: Axis, name: &str, predicate: Option<Predicate>) -> Step {
+        Step {
+            axis,
+            test: NodeTest::Name(name.into()),
+            predicate,
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let q = Query {
+            steps: vec![
+                step(
+                    Axis::Child,
+                    "pub",
+                    Some(Predicate::ChildText {
+                        child: "year".into(),
+                        cmp: Comparison {
+                            op: CmpOp::Gt,
+                            rhs: XPathValue::number(2000.0),
+                        },
+                    }),
+                ),
+                step(
+                    Axis::Closure,
+                    "book",
+                    Some(Predicate::Child {
+                        name: "author".into(),
+                    }),
+                ),
+                step(Axis::Child, "name", None),
+            ],
+            output: Output::Text,
+        };
+        assert_eq!(q.to_string(), "/pub[year>2000]//book[author]/name/text()");
+        assert!(q.has_closure());
+        assert!(q.has_predicates());
+        assert!(!q.is_aggregation());
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert!(!q.has_wildcard());
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(NodeTest::Wildcard.matches("anything"));
+        assert!(NodeTest::Name("a".into()).matches("a"));
+        assert!(!NodeTest::Name("a".into()).matches("b"));
+    }
+
+    #[test]
+    fn output_display_forms() {
+        assert_eq!(Output::Element.to_string(), "");
+        assert_eq!(Output::Attr("id".into()).to_string(), "/@id");
+        assert_eq!(Output::Aggregate(AggFunc::Count).to_string(), "/count()");
+    }
+
+    #[test]
+    fn predicate_display_forms() {
+        let p = Predicate::ChildAttr {
+            child: "book".into(),
+            attr: "id".into(),
+            cmp: Some(Comparison {
+                op: CmpOp::Le,
+                rhs: XPathValue::number(10.0),
+            }),
+        };
+        assert_eq!(p.to_string(), "[book@id<=10]");
+        let p = Predicate::Attr {
+            name: "id".into(),
+            cmp: None,
+        };
+        assert_eq!(p.to_string(), "[@id]");
+    }
+}

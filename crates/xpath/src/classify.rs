@@ -1,0 +1,117 @@
+//! Classification of location steps into the five BPDT template
+//! categories of §3.2.
+//!
+//! The paper derives one pushdown-transducer template per category, based
+//! on *when* the predicate can be evaluated:
+//!
+//! 1. attribute of the element — at its **begin** event;
+//! 2. text of the element — at its **text** event (false at **end**);
+//! 3. existence of a child — at the child's **begin** event (false at end);
+//! 4. attribute of a child — at the child's **begin** event (false at end);
+//! 5. text of a child — at the child's **text** event (false at end).
+
+use crate::ast::{Predicate, Step};
+
+/// The template category a step compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepCategory {
+    /// No predicate: the step is satisfied by structure alone, at the
+    /// element's begin event.
+    NoPredicate,
+    /// Category 1 (Fig. 5): `/tag[@attr…]`.
+    AttrOfSelf,
+    /// Category 2 (Fig. 6): `/tag[text()…]`.
+    TextOfSelf,
+    /// Category 3 (Fig. 8): `/tag[child]`.
+    ChildExists,
+    /// Category 4 (Fig. 7): `/tag[child@attr…]`.
+    AttrOfChild,
+    /// Category 5 (Fig. 9): `/tag[child op v]`.
+    TextOfChild,
+}
+
+impl StepCategory {
+    /// Can the predicate still be *undecided* after the begin event of the
+    /// element? (Categories whose BPDTs have an NA state.)
+    ///
+    /// Category 1 is decided instantly at the begin event, so its BPDT has
+    /// no NA state — which in turn means the HPDT generation of §4.2 sets
+    /// its right child to `NULL`.
+    pub fn has_na_state(&self) -> bool {
+        !matches!(self, StepCategory::NoPredicate | StepCategory::AttrOfSelf)
+    }
+
+    /// Human-readable name used in diagnostics and the HPDT dump.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepCategory::NoPredicate => "no-predicate",
+            StepCategory::AttrOfSelf => "attr-of-self (Fig. 5)",
+            StepCategory::TextOfSelf => "text-of-self (Fig. 6)",
+            StepCategory::ChildExists => "child-exists (Fig. 8)",
+            StepCategory::AttrOfChild => "attr-of-child (Fig. 7)",
+            StepCategory::TextOfChild => "text-of-child (Fig. 9)",
+        }
+    }
+}
+
+/// Classify a step.
+pub fn classify(step: &Step) -> StepCategory {
+    match &step.predicate {
+        None => StepCategory::NoPredicate,
+        Some(Predicate::Attr { .. }) => StepCategory::AttrOfSelf,
+        Some(Predicate::Text { .. }) => StepCategory::TextOfSelf,
+        Some(Predicate::Child { .. }) => StepCategory::ChildExists,
+        Some(Predicate::ChildAttr { .. }) => StepCategory::AttrOfChild,
+        Some(Predicate::ChildText { .. }) => StepCategory::TextOfChild,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn category_of(q: &str) -> StepCategory {
+        let query = parse_query(q).unwrap();
+        classify(&query.steps[0])
+    }
+
+    #[test]
+    fn each_category_is_detected() {
+        assert_eq!(category_of("/book"), StepCategory::NoPredicate);
+        assert_eq!(category_of("/book[@id]"), StepCategory::AttrOfSelf);
+        assert_eq!(category_of("/year[text()=2000]"), StepCategory::TextOfSelf);
+        assert_eq!(category_of("/book[author]"), StepCategory::ChildExists);
+        assert_eq!(category_of("/pub[book@id<=10]"), StepCategory::AttrOfChild);
+        assert_eq!(category_of("/book[year<=2000]"), StepCategory::TextOfChild);
+    }
+
+    #[test]
+    fn na_states_match_the_paper() {
+        // Attribute-of-self predicates are decided at the begin event and
+        // have no NA state; everything else can stay undecided.
+        assert!(!StepCategory::NoPredicate.has_na_state());
+        assert!(!StepCategory::AttrOfSelf.has_na_state());
+        assert!(StepCategory::TextOfSelf.has_na_state());
+        assert!(StepCategory::ChildExists.has_na_state());
+        assert!(StepCategory::AttrOfChild.has_na_state());
+        assert!(StepCategory::TextOfChild.has_na_state());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = [
+            StepCategory::NoPredicate,
+            StepCategory::AttrOfSelf,
+            StepCategory::TextOfSelf,
+            StepCategory::ChildExists,
+            StepCategory::AttrOfChild,
+            StepCategory::TextOfChild,
+        ]
+        .iter()
+        .map(|c| c.name())
+        .collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,48 @@
+//! Parse errors for the XPath front end.
+
+use std::fmt;
+
+/// Result alias for query parsing.
+pub type ParseResult<T> = std::result::Result<T, ParseError>;
+
+/// An error encountered while lexing or parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Character offset into the query string.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XPath parse error at position {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position_and_message() {
+        let e = ParseError::new(3, "expected a tag name");
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("tag name"));
+    }
+}

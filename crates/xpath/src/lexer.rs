@@ -1,0 +1,277 @@
+//! Tokenizer for the Fig. 3 query grammar.
+
+use crate::error::{ParseError, ParseResult};
+
+/// A lexical token with its character offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `@`
+    At,
+    /// `*` used as a node test (wildcard).
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A name: tag, attribute, or function identifier.
+    Name(String),
+    /// A numeric literal; the raw spelling is preserved.
+    Number { value: f64, raw: String },
+    /// A quoted string literal (quotes removed).
+    Str(String),
+    /// A comparison operator. `%` and the word `contains` both lex to
+    /// `Op("%")` at the parser level via [`crate::ast::CmpOp::Contains`].
+    Op(crate::ast::CmpOp),
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    TokenKind::DoubleSlash
+                } else {
+                    i += 1;
+                    TokenKind::Slash
+                }
+            }
+            b'[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            b'@' => {
+                i += 1;
+                TokenKind::At
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            b'%' => {
+                i += 1;
+                TokenKind::Op(crate::ast::CmpOp::Contains)
+            }
+            b'=' => {
+                i += 1;
+                // Accept both `=` and `==` (the figures use `==`).
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+                TokenKind::Op(crate::ast::CmpOp::Eq)
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Op(crate::ast::CmpOp::Ne)
+                } else {
+                    return Err(ParseError::new(start, "expected '=' after '!'"));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Op(crate::ast::CmpOp::Le)
+                } else {
+                    i += 1;
+                    TokenKind::Op(crate::ast::CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Op(crate::ast::CmpOp::Ge)
+                } else {
+                    i += 1;
+                    TokenKind::Op(crate::ast::CmpOp::Gt)
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                let s = input[lit_start..i].to_string();
+                i += 1;
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let raw = &input[start..i];
+                let value = raw
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::new(start, format!("bad number '{raw}'")))?;
+                TokenKind::Number {
+                    value,
+                    raw: raw.to_string(),
+                }
+            }
+            b'-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let raw = &input[start..i];
+                let value = raw
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::new(start, format!("bad number '{raw}'")))?;
+                TokenKind::Number {
+                    value,
+                    raw: raw.to_string(),
+                }
+            }
+            _ if is_name_start(b) => {
+                while i < bytes.len() && is_name_byte(bytes[i]) {
+                    i += 1;
+                }
+                TokenKind::Name(input[start..i].to_string())
+            }
+            _ => {
+                return Err(ParseError::new(
+                    start,
+                    format!(
+                        "unexpected character '{}'",
+                        input[start..].chars().next().unwrap()
+                    ),
+                ))
+            }
+        };
+        tokens.push(Token {
+            kind,
+            position: start,
+        });
+    }
+    Ok(tokens)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn kinds(q: &str) -> Vec<TokenKind> {
+        tokenize(q).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let ks = kinds("//pub[year>2000]//book[author]//name/text()");
+        assert_eq!(ks[0], TokenKind::DoubleSlash);
+        assert_eq!(ks[1], TokenKind::Name("pub".into()));
+        assert_eq!(ks[2], TokenKind::LBracket);
+        assert_eq!(ks[3], TokenKind::Name("year".into()));
+        assert_eq!(ks[4], TokenKind::Op(CmpOp::Gt));
+        assert!(matches!(&ks[5], TokenKind::Number { value, .. } if *value == 2000.0));
+        assert_eq!(*ks.last().unwrap(), TokenKind::RParen);
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        let ks = kinds("< <= = == >= > != %");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Op(CmpOp::Lt),
+                TokenKind::Op(CmpOp::Le),
+                TokenKind::Op(CmpOp::Eq),
+                TokenKind::Op(CmpOp::Eq),
+                TokenKind::Op(CmpOp::Ge),
+                TokenKind::Op(CmpOp::Gt),
+                TokenKind::Op(CmpOp::Ne),
+                TokenKind::Op(CmpOp::Contains),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_keeps_raw_spelling() {
+        let ks = kinds("10.00");
+        assert!(matches!(&ks[0], TokenKind::Number { raw, .. } if raw == "10.00"));
+    }
+
+    #[test]
+    fn negative_number() {
+        let ks = kinds("[x=-5]");
+        assert!(matches!(&ks[3], TokenKind::Number { value, .. } if *value == -5.0));
+    }
+
+    #[test]
+    fn string_literals_both_quote_styles() {
+        assert_eq!(kinds("'abc'")[0], TokenKind::Str("abc".into()));
+        assert_eq!(kinds("\"a b\"")[0], TokenKind::Str("a b".into()));
+    }
+
+    #[test]
+    fn names_allow_xml_chars() {
+        assert_eq!(
+            kinds("ns:tag-name_1.x")[0],
+            TokenKind::Name("ns:tag-name_1.x".into())
+        );
+    }
+
+    #[test]
+    fn errors_on_junk() {
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let ts = tokenize("/a[b]").unwrap();
+        let positions: Vec<usize> = ts.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # xsq-xpath — the XPath front end
+//!
+//! Implements the XPath 1.0 subset of the paper's Fig. 3 grammar (§2.2):
+//! location paths of child (`/`) and descendant-or-self (`//`) steps with
+//! optional predicates, and an optional output expression
+//! (`text()`, `@attr`, or an aggregation).
+//!
+//! The five predicate categories of §3.2 — attribute, own-text, child
+//! existence, child-attribute, and child-text — are first-class AST
+//! variants, because each maps to its own BPDT template in `xsq-core`.
+
+pub mod ast;
+pub mod classify;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Step};
+pub use error::{ParseError, ParseResult};
+pub use parser::parse_query;
+pub use value::{compare, XPathValue};

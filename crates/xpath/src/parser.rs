@@ -1,0 +1,433 @@
+//! Recursive-descent parser for the Fig. 3 grammar.
+//!
+//! `Q ::= N+ [/O]` — one or more location steps, then an optional output
+//! expression. The parser is total over the token stream produced by
+//! [`crate::lexer::tokenize`]; every query the paper's examples and
+//! experiments use parses here.
+
+use crate::ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Step};
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::XPathValue;
+
+/// Parse a query string into a [`Query`].
+///
+/// ```
+/// use xsq_xpath::{parse_query, Axis, Output};
+///
+/// let q = parse_query("//pub[year>2000]//book[author]//name/text()").unwrap();
+/// assert_eq!(q.steps.len(), 3);
+/// assert_eq!(q.steps[0].axis, Axis::Closure);
+/// assert_eq!(q.output, Output::Text);
+/// ```
+pub fn parse_query(input: &str) -> ParseResult<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    p.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.position)
+            .unwrap_or(self.input_len)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.here(), msg)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> ParseResult<()> {
+        match self.next() {
+            Some(t) if t.kind == *kind => Ok(()),
+            Some(t) => Err(ParseError::new(t.position, format!("expected {what}"))),
+            None => Err(ParseError::new(self.input_len, format!("expected {what}"))),
+        }
+    }
+
+    fn query(&mut self) -> ParseResult<Query> {
+        let mut steps = Vec::new();
+        let mut output = Output::Element;
+        loop {
+            let axis = match self.peek() {
+                Some(TokenKind::Slash) => {
+                    self.next();
+                    Axis::Child
+                }
+                Some(TokenKind::DoubleSlash) => {
+                    self.next();
+                    Axis::Closure
+                }
+                None if !steps.is_empty() => break,
+                _ => return Err(self.err("expected '/' or '//'")),
+            };
+            // After a slash, either a node test (continuing the path) or
+            // the output expression (which terminates the query).
+            match self.peek() {
+                Some(TokenKind::At) => {
+                    if axis == Axis::Closure {
+                        return Err(self.err("output expression must follow '/', not '//'"));
+                    }
+                    self.next();
+                    let name = self.name("attribute name")?;
+                    output = Output::Attr(name);
+                    self.end_of_query()?;
+                    break;
+                }
+                Some(TokenKind::Name(n))
+                    if self.peek2() == Some(&TokenKind::LParen) && output_function(n).is_some() =>
+                {
+                    if axis == Axis::Closure {
+                        return Err(self.err("output expression must follow '/', not '//'"));
+                    }
+                    let func = output_function(n).expect("checked");
+                    self.next();
+                    self.expect(&TokenKind::LParen, "'('")?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    output = func;
+                    self.end_of_query()?;
+                    break;
+                }
+                Some(TokenKind::Star) => {
+                    self.next();
+                    let predicate = self.maybe_predicate()?;
+                    steps.push(Step {
+                        axis,
+                        test: NodeTest::Wildcard,
+                        predicate,
+                    });
+                }
+                Some(TokenKind::Name(_)) => {
+                    let name = self.name("tag name")?;
+                    let predicate = self.maybe_predicate()?;
+                    steps.push(Step {
+                        axis,
+                        test: NodeTest::Name(name),
+                        predicate,
+                    });
+                }
+                _ => return Err(self.err("expected a node test or output expression")),
+            }
+            if self.peek().is_none() {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err("query must contain at least one location step"));
+        }
+        Ok(Query { steps, output })
+    }
+
+    fn end_of_query(&mut self) -> ParseResult<()> {
+        if let Some(t) = self.tokens.get(self.pos) {
+            return Err(ParseError::new(
+                t.position,
+                "output expression must end the query",
+            ));
+        }
+        Ok(())
+    }
+
+    fn name(&mut self, what: &str) -> ParseResult<String> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Name(n),
+                ..
+            }) => Ok(n),
+            Some(t) => Err(ParseError::new(t.position, format!("expected {what}"))),
+            None => Err(ParseError::new(self.input_len, format!("expected {what}"))),
+        }
+    }
+
+    fn maybe_predicate(&mut self) -> ParseResult<Option<Predicate>> {
+        if self.peek() != Some(&TokenKind::LBracket) {
+            return Ok(None);
+        }
+        self.next();
+        let pred = self.predicate_body()?;
+        self.expect(&TokenKind::RBracket, "']'")?;
+        Ok(Some(pred))
+    }
+
+    /// `F ::= [ FO [OP constant] ]` with
+    /// `FO ::= @attr | tag[@attr] | text()`.
+    fn predicate_body(&mut self) -> ParseResult<Predicate> {
+        match self.peek() {
+            Some(TokenKind::At) => {
+                self.next();
+                let name = self.name("attribute name")?;
+                let cmp = self.maybe_comparison()?;
+                Ok(Predicate::Attr { name, cmp })
+            }
+            Some(TokenKind::Name(n)) if n == "text" && self.peek2() == Some(&TokenKind::LParen) => {
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let cmp = self.maybe_comparison()?;
+                Ok(Predicate::Text { cmp })
+            }
+            Some(TokenKind::Name(_)) => {
+                let child = self.name("child tag")?;
+                match self.peek() {
+                    Some(TokenKind::At) => {
+                        self.next();
+                        let attr = self.name("attribute name")?;
+                        let cmp = self.maybe_comparison()?;
+                        Ok(Predicate::ChildAttr { child, attr, cmp })
+                    }
+                    Some(TokenKind::RBracket) => Ok(Predicate::Child { name: child }),
+                    _ => {
+                        let cmp = self
+                            .maybe_comparison()?
+                            .ok_or_else(|| self.err("expected an operator or ']'"))?;
+                        Ok(Predicate::ChildText { child, cmp })
+                    }
+                }
+            }
+            _ => Err(self.err("expected a predicate")),
+        }
+    }
+
+    fn maybe_comparison(&mut self) -> ParseResult<Option<Comparison>> {
+        let op = match self.peek() {
+            Some(TokenKind::Op(op)) => {
+                let op = *op;
+                self.next();
+                op
+            }
+            Some(TokenKind::Name(n)) if n == "contains" => {
+                self.next();
+                CmpOp::Contains
+            }
+            _ => return Ok(None),
+        };
+        let rhs = match self.next() {
+            Some(Token {
+                kind: TokenKind::Number { value, raw },
+                ..
+            }) => XPathValue::number_raw(value, raw),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => XPathValue::Text(s),
+            // Bareword constants, as in the paper's `SPEECH[LINE%love]`.
+            Some(Token {
+                kind: TokenKind::Name(n),
+                ..
+            }) => XPathValue::Text(n),
+            Some(t) => return Err(ParseError::new(t.position, "expected a constant")),
+            None => return Err(ParseError::new(self.input_len, "expected a constant")),
+        };
+        Ok(Some(Comparison { op, rhs }))
+    }
+}
+
+fn output_function(name: &str) -> Option<Output> {
+    match name {
+        "text" => Some(Output::Text),
+        "count" => Some(Output::Aggregate(AggFunc::Count)),
+        "sum" => Some(Output::Aggregate(AggFunc::Sum)),
+        "avg" => Some(Output::Aggregate(AggFunc::Avg)),
+        "min" => Some(Output::Aggregate(AggFunc::Min)),
+        "max" => Some(Output::Aggregate(AggFunc::Max)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_headline_query() {
+        let q = parse_query("//book[year>2000]/name/text()").unwrap();
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.steps[0].axis, Axis::Closure);
+        assert_eq!(
+            q.steps[0].predicate,
+            Some(Predicate::ChildText {
+                child: "year".into(),
+                cmp: Comparison {
+                    op: CmpOp::Gt,
+                    rhs: XPathValue::number_raw(2000.0, "2000"),
+                },
+            })
+        );
+        assert_eq!(q.output, Output::Text);
+    }
+
+    #[test]
+    fn parses_example_1_query() {
+        let q = parse_query("/pub[year=2002]/book[price<11]/author").unwrap();
+        assert_eq!(q.steps.len(), 3);
+        assert_eq!(q.output, Output::Element);
+        assert!(!q.has_closure());
+    }
+
+    #[test]
+    fn parses_example_2_query() {
+        let q = parse_query("//pub[year=2002]//book[author]//name").unwrap();
+        assert!(q.has_closure());
+        assert_eq!(
+            q.steps[1].predicate,
+            Some(Predicate::Child {
+                name: "author".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parses_all_five_predicate_categories() {
+        let cases = [
+            ("/book[@id]", "Attr exists"),
+            ("/book[@id<=10]", "Attr cmp"),
+            ("/year[text()=2000]", "Text cmp"),
+            ("/book[author]", "Child"),
+            ("/pub[book@id<=10]", "ChildAttr cmp"),
+            ("/book[year<=2000]", "ChildText"),
+        ];
+        for (q, what) in cases {
+            assert!(parse_query(q).is_ok(), "failed to parse {what}: {q}");
+        }
+    }
+
+    #[test]
+    fn parses_output_expressions() {
+        assert_eq!(
+            parse_query("/a/b/@id").unwrap().output,
+            Output::Attr("id".into())
+        );
+        assert_eq!(
+            parse_query("/a/b/count()").unwrap().output,
+            Output::Aggregate(AggFunc::Count)
+        );
+        assert_eq!(
+            parse_query("/a/b/sum()").unwrap().output,
+            Output::Aggregate(AggFunc::Sum)
+        );
+        assert_eq!(parse_query("/a/b").unwrap().output, Output::Element);
+    }
+
+    #[test]
+    fn element_named_like_a_function_is_a_step() {
+        // `text` without parens is an ordinary tag.
+        let q = parse_query("/a/text").unwrap();
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.steps[1].test, NodeTest::Name("text".into()));
+    }
+
+    #[test]
+    fn contains_via_percent_and_word() {
+        let q1 = parse_query("/SPEECH[LINE%love]/SPEAKER/text()").unwrap();
+        let q2 = parse_query("/SPEECH[LINE contains 'love']/SPEAKER/text()").unwrap();
+        assert_eq!(q1.steps[0].predicate, q2.steps[0].predicate);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let q = parse_query("/*/name/text()").unwrap();
+        assert_eq!(q.steps[0].test, NodeTest::Wildcard);
+        assert!(q.has_wildcard());
+    }
+
+    #[test]
+    fn quoted_string_constants() {
+        let q = parse_query("/book[name=\"First\"]").unwrap();
+        assert_eq!(
+            q.steps[0].predicate,
+            Some(Predicate::ChildText {
+                child: "name".into(),
+                cmp: Comparison {
+                    op: CmpOp::Eq,
+                    rhs: XPathValue::text("First"),
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn double_equals_is_accepted() {
+        let q = parse_query("/year[text()==2000]").unwrap();
+        assert!(matches!(
+            q.steps[0].predicate,
+            Some(Predicate::Text { cmp: Some(_) })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "book",
+            "/",
+            "//",
+            "/a[",
+            "/a[]",
+            "/a[@]",
+            "/a[b<]",
+            "/a/text()/b",
+            "/a/@id/b",
+            "/a/count()/text()",
+            "//@id",
+            "//text()",
+            "/a[b=]",
+            "/a]",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn display_then_reparse_is_identity() {
+        let queries = [
+            "/pub[year=2002]/book[price<11]/author",
+            "//pub[year>2000]//book[author]//name/text()",
+            "/a/*[b%c]/d/@id",
+            "/dblp/article/title/text()",
+            "//ACT//SPEAKER/count()",
+            "/a[@id!=3]/b[text()%x]",
+        ];
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let shown = parsed.to_string();
+            let reparsed = parse_query(&shown).unwrap();
+            assert_eq!(
+                parsed, reparsed,
+                "roundtrip failed for {q} (shown as {shown})"
+            );
+        }
+    }
+
+    #[test]
+    fn error_positions_point_into_the_query() {
+        let err = parse_query("/a[b<]").unwrap_err();
+        assert_eq!(err.position, 5); // the ']' where a constant was expected
+    }
+}

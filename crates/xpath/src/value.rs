@@ -1,0 +1,189 @@
+//! XPath 1.0 value semantics for predicate comparisons.
+//!
+//! A predicate's right-hand side is a constant: a number (`[year>2000]`) or
+//! a string (`[name="First"]`, `[LINE%love]`). The left-hand side always
+//! arrives from the stream as a string (attribute value or text content).
+//! Following XPath 1.0:
+//!
+//! * if the constant is a **number**, the stream value is converted to a
+//!   number; a failed conversion yields NaN, and NaN makes every
+//!   comparison false except `!=`, which is true (IEEE semantics);
+//! * if the constant is a **string**, `=`/`!=`/`contains` compare as
+//!   strings, while the relational operators `<`/`<=`/`>`/`>=` convert
+//!   *both* sides to numbers (XPath 1.0 relational operators are numeric).
+
+use std::fmt;
+
+use crate::ast::CmpOp;
+
+/// A typed constant in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathValue {
+    /// Numeric constant; the original spelling is kept for display.
+    Number { value: f64, raw: String },
+    /// String constant.
+    Text(String),
+}
+
+impl XPathValue {
+    /// A numeric constant with canonical spelling.
+    pub fn number(value: f64) -> Self {
+        XPathValue::Number {
+            value,
+            raw: canonical_number(value),
+        }
+    }
+
+    /// A numeric constant that remembers how it was written (`10.00`).
+    pub fn number_raw(value: f64, raw: impl Into<String>) -> Self {
+        XPathValue::Number {
+            value,
+            raw: raw.into(),
+        }
+    }
+
+    /// A string constant.
+    pub fn text(s: impl Into<String>) -> Self {
+        XPathValue::Text(s.into())
+    }
+
+    /// The value as a number (strings convert per XPath `number()`:
+    /// trimmed, else NaN).
+    pub fn as_number(&self) -> f64 {
+        match self {
+            XPathValue::Number { value, .. } => *value,
+            XPathValue::Text(s) => str_to_number(s),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            XPathValue::Number { raw, .. } => raw,
+            XPathValue::Text(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for XPathValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathValue::Number { raw, .. } => f.write_str(raw),
+            XPathValue::Text(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// XPath 1.0 `number()` on a string: trim whitespace, parse, NaN on failure.
+pub fn str_to_number(s: &str) -> f64 {
+    s.trim().parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// Render a number the way XPath's `string()` would for the common cases:
+/// integers without a fractional part, others in shortest `f64` form.
+pub fn canonical_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Evaluate `lhs OP rhs` where `lhs` is a raw string from the stream.
+pub fn compare(lhs: &str, op: CmpOp, rhs: &XPathValue) -> bool {
+    match (op, rhs) {
+        (CmpOp::Contains, rhs) => lhs.contains(rhs.as_str()),
+        (CmpOp::Eq, XPathValue::Text(s)) => lhs == s,
+        (CmpOp::Ne, XPathValue::Text(s)) => lhs != s,
+        (CmpOp::Eq, XPathValue::Number { value, .. }) => {
+            num_cmp(str_to_number(lhs), CmpOp::Eq, *value)
+        }
+        (CmpOp::Ne, XPathValue::Number { value, .. }) => {
+            num_cmp(str_to_number(lhs), CmpOp::Ne, *value)
+        }
+        // Relational: always numeric in XPath 1.0.
+        (op, rhs) => num_cmp(str_to_number(lhs), op, rhs.as_number()),
+    }
+}
+
+fn num_cmp(l: f64, op: CmpOp, r: f64) -> bool {
+    match op {
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Eq => l == r,
+        CmpOp::Ge => l >= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ne => l != r,
+        CmpOp::Contains => unreachable!("contains handled as string op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparisons() {
+        let n = XPathValue::number(2000.0);
+        assert!(compare("2002", CmpOp::Gt, &n));
+        assert!(compare(" 2002 ", CmpOp::Gt, &n)); // paper data has padding
+        assert!(!compare("1999", CmpOp::Gt, &n));
+        assert!(compare("2000", CmpOp::Ge, &n));
+        assert!(compare("2000.0", CmpOp::Eq, &n));
+        assert!(compare("1999", CmpOp::Ne, &n));
+    }
+
+    #[test]
+    fn nan_semantics() {
+        let n = XPathValue::number(10.0);
+        assert!(!compare("abc", CmpOp::Lt, &n));
+        assert!(!compare("abc", CmpOp::Gt, &n));
+        assert!(!compare("abc", CmpOp::Eq, &n));
+        assert!(compare("abc", CmpOp::Ne, &n)); // NaN != 10 is true
+    }
+
+    #[test]
+    fn string_equality_is_exact() {
+        let s = XPathValue::text("First");
+        assert!(compare("First", CmpOp::Eq, &s));
+        assert!(!compare("first", CmpOp::Eq, &s));
+        assert!(compare("Second", CmpOp::Ne, &s));
+    }
+
+    #[test]
+    fn relational_on_string_constant_is_numeric() {
+        let s = XPathValue::text("11");
+        assert!(compare("10.00", CmpOp::Lt, &s));
+        assert!(!compare("12.00", CmpOp::Lt, &s));
+        assert!(!compare("abc", CmpOp::Lt, &s)); // NaN
+    }
+
+    #[test]
+    fn contains_is_substring() {
+        let s = XPathValue::text("love");
+        assert!(compare("my love is", CmpOp::Contains, &s));
+        assert!(!compare("LOVE", CmpOp::Contains, &s));
+        // Contains against a number constant uses its spelling.
+        let n = XPathValue::number_raw(10.0, "10");
+        assert!(compare("costs 10 dollars", CmpOp::Contains, &n));
+    }
+
+    #[test]
+    fn canonical_number_forms() {
+        assert_eq!(canonical_number(2000.0), "2000");
+        assert_eq!(canonical_number(10.5), "10.5");
+        assert_eq!(canonical_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let n = XPathValue::number_raw(10.0, "10.00");
+        assert_eq!(n.as_number(), 10.0);
+        assert_eq!(n.as_str(), "10.00");
+        assert_eq!(n.to_string(), "10.00");
+        let t = XPathValue::text("12");
+        assert_eq!(t.as_number(), 12.0);
+        assert_eq!(t.to_string(), "\"12\"");
+        assert!(XPathValue::text("x").as_number().is_nan());
+    }
+}

@@ -1,0 +1,68 @@
+//! Front-end robustness: the lexer/parser must never panic, and every
+//! successfully parsed query must survive a display → reparse round trip.
+
+use proptest::prelude::*;
+use xsq_xpath::parse_query;
+
+proptest! {
+    #[test]
+    fn arbitrary_strings_never_panic(s in ".{0,128}") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn query_shaped_soup_never_panics(s in r#"[/@\[\]()a-z0-9%<>=!."' ]{0,80}"#) {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn parsed_queries_roundtrip_through_display(s in r#"[/@\[\]()a-z0-9%<>=!."' ]{0,80}"#) {
+        if let Ok(q) = parse_query(&s) {
+            let shown = q.to_string();
+            let reparsed = parse_query(&shown)
+                .unwrap_or_else(|e| panic!("display of {s:?} -> {shown:?} fails to reparse: {e}"));
+            prop_assert_eq!(q, reparsed);
+        }
+    }
+
+    #[test]
+    fn error_positions_are_in_bounds(s in ".{0,128}") {
+        if let Err(e) = parse_query(&s) {
+            prop_assert!(e.position <= s.len());
+        }
+    }
+}
+
+#[test]
+fn every_paper_query_parses() {
+    for q in [
+        "//book[year>2000]/name/text()",
+        "/pub[year=2002]/book[price<11]/author",
+        "//pub[year=2002]//book[author]//name",
+        "/pub[year>2000]/book[author]/name/text()",
+        "//pub[year>2000]//book[author]//name/text()",
+        "//pub[year>2000]//book[author]//name/count()",
+        "/pub[year>2000]",
+        "/PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text()",
+        "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()",
+        "//ACT//SPEAKER/text()",
+        "/datasets/dataset/reference/source/other/name/text()",
+        "/dblp/article/title/text()",
+        "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/dblp/inproceedings/title/text()",
+        "//pub[year]//book[@id]/title/text()",
+        "/a[prior=0]",
+        "/a[posterior=0]",
+        "/a[@id=0]",
+        "/a/Blue",
+        "/book[@id]",
+        "/book[@id<=10]",
+        "/year[text()=2000]",
+        "/book[author]",
+        "/pub[book@id<=10]",
+        "/book[year<=2000]",
+    ] {
+        assert!(parse_query(q).is_ok(), "paper query must parse: {q}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Querying a bibliographic catalog — the DBLP-style workload of §6 —
+//! and comparing XSQ against the study's other evaluation strategies.
+//!
+//! ```sh
+//! cargo run --release --example library_catalog
+//! ```
+
+use std::time::Instant;
+
+use xsq::baselines::{SaxonLike, XmltkLike};
+use xsq::datagen::dblp;
+use xsq::engine::{CountingSink, XPathEngine, XsqEngine};
+use xsq::xml::PureParser;
+
+fn main() {
+    // A ~2 MB catalog (seeded: reruns are identical).
+    let catalog = dblp::generate(2003, 2 << 20);
+    println!("catalog: {} KB", catalog.len() / 1024);
+
+    // -- 1. Ad-hoc queries with the one-call API -------------------------
+    let queries = [
+        "/dblp/article/title/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/dblp/article[year>=2000]/title/text()",
+        "/dblp/inproceedings/@key",
+        "//author/count()",
+    ];
+    for q in queries {
+        let r = xsq::engine::evaluate(q, catalog.as_bytes()).unwrap();
+        let preview: Vec<&String> = r.iter().take(2).collect();
+        println!("{q}\n  {} result(s), first: {preview:?}", r.len());
+    }
+
+    // -- 2. Compile once, run many times ---------------------------------
+    let compiled = XsqEngine::no_closure()
+        .compile_str("/dblp/inproceedings[author]/title/text()")
+        .unwrap();
+    println!(
+        "\ncompiled HPDT: {} states, {} arcs, deterministic = {}",
+        compiled.hpdt().states.len(),
+        compiled.hpdt().arc_count(),
+        compiled.hpdt().deterministic,
+    );
+
+    // -- 3. The §6.2 comparison in miniature ------------------------------
+    let t = Instant::now();
+    PureParser::run(catalog.as_bytes()).unwrap();
+    let pure = t.elapsed();
+    println!("\nrelative throughput on this catalog (PureParser = 1.0):");
+    let query = "/dblp/inproceedings[author]/title/text()";
+    for engine in [
+        &xsq::engine::XsqNc as &dyn XPathEngine,
+        &xsq::engine::XsqF,
+        &SaxonLike,
+    ] {
+        let t = Instant::now();
+        let r = engine.run(query, catalog.as_bytes()).unwrap();
+        let total = t.elapsed();
+        println!(
+            "  {:8} {:.3}  ({} results, peak memory {} KB)",
+            engine.name(),
+            pure.as_secs_f64() / total.as_secs_f64(),
+            r.results.len(),
+            r.memory.total_peak_bytes() / 1024,
+        );
+    }
+    // XMLTK runs the predicate-free variant, as in the paper's Fig. 19.
+    let t = Instant::now();
+    let r = XmltkLike
+        .run("/dblp/inproceedings/title/text()", catalog.as_bytes())
+        .unwrap();
+    println!(
+        "  {:8} {:.3}  ({} results, no predicate support)",
+        "XMLTK",
+        pure.as_secs_f64() / t.elapsed().as_secs_f64(),
+        r.results.len(),
+    );
+
+    // -- 4. Streaming into a sink without materializing results ----------
+    let mut sink = CountingSink::new();
+    let stats = compiled
+        .run_document(catalog.as_bytes(), &mut sink)
+        .unwrap();
+    println!(
+        "\nstreamed {} results ({} KB of text) through a counting sink; \
+         engine buffered at most {} KB",
+        sink.results,
+        sink.bytes / 1024,
+        stats.memory.peak_bytes / 1024,
+    );
+}

@@ -1,0 +1,60 @@
+//! Many standing queries over one stream (§5's YFilter-style grouping),
+//! plus stream projection.
+//!
+//! A publish/subscribe scenario: several subscribers register XPath
+//! queries over a document feed; the engine parses each document once
+//! and evaluates the whole query set against it. A projector shows how
+//! much of the stream a selective query even needs to see.
+//!
+//! ```sh
+//! cargo run --release --example multi_subscriber
+//! ```
+
+use xsq::engine::{projector::Projector, QuerySet, XsqEngine};
+use xsq::xpath::parse_query;
+
+fn main() {
+    let subscriptions = [
+        "//book[author]/name/text()",    // notify on attributed books
+        "//book[price<11]/name/text()",  // bargain watcher
+        "//pub[year=2002]//name/text()", // current-year digest
+        "//price/sum()",                 // spend tracker
+        "//book/count()",                // volume metric
+    ];
+    let set =
+        QuerySet::compile(XsqEngine::full(), &subscriptions).expect("all subscriptions compile");
+
+    // Three documents arrive on the feed.
+    let feed: [&[u8]; 3] = [
+        br#"<root><pub><book id="1"><price>12.00</price><name>First</name>
+            <author>A</author><price type="discount">10.00</price></book>
+            <book id="2"><price>14.00</price><name>Second</name><author>A</author>
+            <author>B</author><price type="discount">12.00</price></book>
+            <year>2002</year></pub></root>"#,
+        br#"<root><pub><book><name>Anonymous</name><price>8.00</price></book>
+            <year>1999</year></pub></root>"#,
+        br#"<root><pub><year>2002</year></pub></root>"#,
+    ];
+
+    for (d, doc) in feed.iter().enumerate() {
+        println!("document {d}: one parse, {} queries", set.len());
+        let results = set.run_document(doc).expect("well-formed feed");
+        for (q, r) in set.texts().zip(&results) {
+            println!("  {q:<34} -> {r:?}");
+        }
+    }
+
+    // Projection: how much of the stream does a selective subscription
+    // actually need?
+    let query = parse_query("/root/pub/book[author]/name/text()").unwrap();
+    let mut projector = Projector::new(&query);
+    let events = xsq::xml::parse_to_events(feed[0]).unwrap();
+    let kept: Vec<_> = events.iter().filter(|e| projector.keep(e)).collect();
+    println!(
+        "\nprojection for {}: kept {} of {} events ({:.0}% dropped)",
+        query,
+        kept.len(),
+        events.len(),
+        projector.selectivity() * 100.0
+    );
+}

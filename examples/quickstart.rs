@@ -1,0 +1,67 @@
+//! Quickstart: evaluate XPath over streaming XML with XSQ.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xsq::engine::{evaluate, VecSink, XsqEngine};
+
+fn main() {
+    // Figure 1 of the paper, lightly reformatted.
+    let document = br#"<root>
+      <pub>
+        <book id="1">
+          <price>12.00</price>
+          <name>First</name>
+          <author>A</author>
+          <price type="discount">10.00</price>
+        </book>
+        <book id="2">
+          <price>14.00</price>
+          <name>Second</name>
+          <author>A</author>
+          <author>B</author>
+          <price type="discount">12.00</price>
+        </book>
+        <year>2002</year>
+      </pub>
+    </root>"#;
+
+    // One-call evaluation: Example 1's query. The authors are buffered
+    // until <year>2002 proves the first predicate, then released.
+    let query = "/root/pub[year=2002]/book[price<11]/author/text()";
+    let results = evaluate(query, document).expect("well-formed document and query");
+    println!("{query}");
+    println!("  -> {results:?}");
+    assert_eq!(results, ["A"]);
+
+    // Closures + multiple predicates, the paper's headline combination.
+    let query = "//pub[year>2000]//book[author]//name/text()";
+    let results = evaluate(query, document).unwrap();
+    println!("{query}");
+    println!("  -> {results:?}");
+    assert_eq!(results, ["First", "Second"]);
+
+    // Aggregation with running updates (§4.4): compile once, inspect
+    // the sink's update trail.
+    let query = "//book/price/sum()";
+    let compiled = XsqEngine::full().compile_str(query).unwrap();
+    let mut sink = VecSink::new();
+    let stats = compiled.run_document(document, &mut sink).unwrap();
+    println!("{query}");
+    println!(
+        "  -> final {:?}, running updates {:?}",
+        sink.results, sink.updates
+    );
+    println!(
+        "  processed {} events; peak buffered bytes: {}",
+        stats.events, stats.memory.peak_bytes
+    );
+
+    // XSQ-NC: the deterministic engine for closure-free queries.
+    let nc = XsqEngine::no_closure();
+    let compiled = nc.compile_str("/root/pub/book/@id").unwrap();
+    let mut sink = VecSink::new();
+    compiled.run_document(document, &mut sink).unwrap();
+    println!("/root/pub/book/@id (XSQ-NC)\n  -> {:?}", sink.results);
+}

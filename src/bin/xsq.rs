@@ -1,0 +1,393 @@
+//! `xsq` — command-line streaming XPath over XML files or stdin.
+//!
+//! ```text
+//! xsq [OPTIONS] QUERY [FILE...]        evaluate QUERY (stdin if no FILE)
+//! xsq --dataset-stats FILE...          print Fig. 15-style statistics
+//! xsq --dump QUERY                     print the compiled HPDT
+//!
+//! Options:
+//!   --engine NAME   xsq-f (default) | xsq-nc | saxon | galax | xmltk |
+//!                   joost | xqengine
+//!   --stats         print events / results / memory / time to stderr
+//!   --running       for aggregations, print running updates as they occur
+//!   --quiet         suppress result output (timing runs)
+//!   --json          emit results as JSON lines ({"result": …})
+//!   --schema-optimize  use the document's internal DTD (if any) to
+//!                   rewrite provably-child closures and skip provably
+//!                   empty queries
+//! xsq --dot QUERY                      print the HPDT as Graphviz
+//! ```
+
+use std::io::{BufReader, Read};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use xsq::baselines::{GalaxLike, JoostLike, SaxonLike, XmltkLike, XqEngineLike};
+use xsq::engine::{Sink, XPathEngine, XsqEngine};
+
+struct Options {
+    engine: String,
+    stats: bool,
+    running: bool,
+    quiet: bool,
+    json: bool,
+    dump: bool,
+    dot: bool,
+    trace: bool,
+    schema_optimize: bool,
+    dataset_stats: bool,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        engine: "xsq-f".into(),
+        stats: false,
+        running: false,
+        quiet: false,
+        json: false,
+        dump: false,
+        dot: false,
+        trace: false,
+        schema_optimize: false,
+        dataset_stats: false,
+        positional: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => {
+                o.engine = args.next().ok_or("--engine needs a name")?;
+            }
+            "--stats" => o.stats = true,
+            "--running" => o.running = true,
+            "--quiet" => o.quiet = true,
+            "--json" => o.json = true,
+            "--dump" => o.dump = true,
+            "--dot" => o.dot = true,
+            "--trace" => o.trace = true,
+            "--schema-optimize" => o.schema_optimize = true,
+            "--dataset-stats" => o.dataset_stats = true,
+            "--help" | "-h" => return Err(String::new()),
+            _ => o.positional.push(a),
+        }
+    }
+    Ok(o)
+}
+
+struct StdoutSink {
+    quiet: bool,
+    running: bool,
+    json: bool,
+    results: u64,
+}
+
+/// Minimal JSON string escaping (the result values are arbitrary text).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Sink for StdoutSink {
+    fn result(&mut self, value: &str) {
+        self.results += 1;
+        if self.quiet {
+            return;
+        }
+        if self.json {
+            println!("{{\"result\":\"{}\"}}", json_escape(value));
+        } else {
+            println!("{value}");
+        }
+    }
+    fn aggregate_update(&mut self, value: f64) {
+        if !self.running || self.quiet {
+            return;
+        }
+        if self.json {
+            println!("{{\"running\":{value}}}");
+        } else {
+            println!("# running: {value}");
+        }
+    }
+}
+
+fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
+    match path {
+        None => {
+            let mut buf = Vec::new();
+            BufReader::new(std::io::stdin())
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(buf)
+        }
+        Some(p) => std::fs::read(p).map_err(|e| format!("reading {p}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+
+    if opts.dataset_stats {
+        if opts.positional.is_empty() {
+            return usage("--dataset-stats needs at least one file");
+        }
+        println!(
+            "{:<24} {:>9} {:>9} {:>10} {:>12} {:>8}",
+            "file", "size(MB)", "text(MB)", "elements", "avg/max dep", "tag len"
+        );
+        for f in &opts.positional {
+            let data = match read_input(Some(f)) {
+                Ok(d) => d,
+                Err(e) => return fail(&e),
+            };
+            match xsq::xml::dataset_stats(&data) {
+                Ok(s) => println!(
+                    "{:<24} {:>9.2} {:>9.2} {:>10} {:>7.2}/{:<4} {:>8.2}",
+                    f,
+                    s.size_bytes as f64 / 1048576.0,
+                    s.text_bytes as f64 / 1048576.0,
+                    s.elements,
+                    s.avg_depth,
+                    s.max_depth,
+                    s.avg_tag_length
+                ),
+                Err(e) => return fail(&format!("{f}: {e}")),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(query) = opts.positional.first().cloned() else {
+        return usage("missing QUERY");
+    };
+
+    if opts.dump || opts.dot {
+        return match XsqEngine::full().compile_str(&query) {
+            Ok(c) => {
+                if opts.dot {
+                    print!("{}", xsq::engine::dot::to_dot(c.hpdt()));
+                } else {
+                    print!("{}", c.hpdt().dump());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e.to_string()),
+        };
+    }
+
+    let files: Vec<Option<String>> = if opts.positional.len() > 1 {
+        opts.positional[1..].iter().cloned().map(Some).collect()
+    } else {
+        vec![None]
+    };
+
+    for file in files {
+        let t0 = Instant::now();
+        // The native engines stream directly from the source in constant
+        // memory unless a feature needs the whole document (DTD
+        // extraction for --schema-optimize) or another engine runs.
+        let streamable = matches!(opts.engine.as_str(), "xsq-f" | "xsq-nc")
+            && !opts.schema_optimize
+            && !opts.trace;
+        if streamable {
+            let engine = if opts.engine == "xsq-f" {
+                XsqEngine::full()
+            } else {
+                XsqEngine::no_closure()
+            };
+            let compiled = match engine.compile_str(&query) {
+                Ok(c) => c,
+                Err(e) => return fail(&e.to_string()),
+            };
+            let mut sink = StdoutSink {
+                quiet: opts.quiet,
+                running: opts.running,
+                json: opts.json,
+                results: 0,
+            };
+            let run = match &file {
+                None => compiled.run_reader(BufReader::new(std::io::stdin()), &mut sink),
+                Some(p) => match std::fs::File::open(p) {
+                    Ok(f) => compiled.run_reader(BufReader::new(f), &mut sink),
+                    Err(e) => return fail(&format!("reading {p}: {e}")),
+                },
+            };
+            match run {
+                Err(e) => return fail(&e.to_string()),
+                Ok(stats) => {
+                    if opts.stats {
+                        eprintln!(
+                            "# {}: {} results in {:.1} ms [{}] engine={} events={} \
+                             peak_buffered_bytes={} peak_configs={}",
+                            file.as_deref().unwrap_or("<stdin>"),
+                            sink.results,
+                            t0.elapsed().as_secs_f64() * 1e3,
+                            query,
+                            opts.engine,
+                            stats.events,
+                            stats.memory.peak_bytes,
+                            stats.memory.peak_configs,
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        let data = match read_input(file.as_deref()) {
+            Ok(d) => d,
+            Err(e) => return fail(&e),
+        };
+        let outcome: Result<(u64, String), String> = match opts.engine.as_str() {
+            // The native engines stream through a sink (results appear as
+            // soon as they are determined).
+            "xsq-f" | "xsq-nc" => {
+                let engine = if opts.engine == "xsq-f" {
+                    XsqEngine::full()
+                } else {
+                    XsqEngine::no_closure()
+                };
+                // Schema-aware rewrite (paper §5's future-work item):
+                // prove emptiness or remove redundant closures using the
+                // document's internal DTD.
+                let mut effective = query.clone();
+                if opts.schema_optimize {
+                    if let Some(dtd) = xsq::xml::dtd::extract_from_document(&data) {
+                        if let Ok(parsed) = xsq::xpath::parse_query(&query) {
+                            let (optimized, analysis) =
+                                xsq::engine::schema::optimize(&parsed, &dtd);
+                            if !analysis.satisfiable {
+                                eprintln!("# schema: query can never match; skipping stream");
+                                continue;
+                            }
+                            if optimized.to_string() != query {
+                                eprintln!("# schema: rewrote to {optimized}");
+                                effective = optimized.to_string();
+                            }
+                        }
+                    }
+                }
+                engine
+                    .compile_str(&effective)
+                    .map_err(|e| e.to_string())
+                    .and_then(|compiled| {
+                        let mut sink = StdoutSink {
+                            quiet: opts.quiet,
+                            running: opts.running,
+                            json: opts.json,
+                            results: 0,
+                        };
+                        let run = |sink: &mut StdoutSink| -> Result<_, String> {
+                            if opts.trace {
+                                // Example 5-style walkthrough on stderr.
+                                let mut tracer =
+                                    |step: xsq::engine::trace::TraceStep| eprintln!("{step}");
+                                let mut parser = xsq::xml::StreamParser::new(&data[..]);
+                                let mut runner = compiled.runner();
+                                runner.set_tracer(&mut tracer);
+                                while let Some(ev) =
+                                    parser.next_event().map_err(|e| e.to_string())?
+                                {
+                                    runner.feed(&ev, sink);
+                                }
+                                Ok(runner.finish(sink))
+                            } else {
+                                compiled
+                                    .run_document(&data, sink)
+                                    .map_err(|e| e.to_string())
+                            }
+                        };
+                        run(&mut sink).map(|stats| {
+                            (
+                                sink.results,
+                                format!(
+                                    "events={} peak_buffered_bytes={} peak_configs={}",
+                                    stats.events,
+                                    stats.memory.peak_bytes,
+                                    stats.memory.peak_configs
+                                ),
+                            )
+                        })
+                    })
+            }
+            // The study baselines run whole-document.
+            name => {
+                let engine: &dyn XPathEngine = match name {
+                    "saxon" => &SaxonLike,
+                    "galax" => &GalaxLike,
+                    "xmltk" => &XmltkLike,
+                    "joost" => &JoostLike,
+                    "xqengine" => &XqEngineLike,
+                    other => return usage(&format!("unknown engine '{other}'")),
+                };
+                engine
+                    .run(&query, &data)
+                    .map_err(|e| e.to_string())
+                    .map(|r| {
+                        if !opts.quiet {
+                            for v in &r.results {
+                                println!("{v}");
+                            }
+                        }
+                        (
+                            r.results.len() as u64,
+                            format!("peak_bytes={}", r.memory.total_peak_bytes()),
+                        )
+                    })
+            }
+        };
+        match outcome {
+            Err(e) => return fail(&e),
+            Ok((results, mem)) => {
+                if opts.stats {
+                    eprintln!(
+                        "# {}: {} results in {:.1} ms [{}] engine={} {}",
+                        file.as_deref().unwrap_or("<stdin>"),
+                        results,
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        query,
+                        opts.engine,
+                        mem
+                    );
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::FAILURE
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: xsq [--engine NAME] [--stats] [--running] [--quiet] QUERY [FILE...]\n\
+         \u{20}      xsq --dataset-stats FILE...\n\
+         \u{20}      xsq --dump QUERY\n\
+         engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,16 @@
+//! # xsq — facade crate for the XSQ reproduction
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`xml`] — streaming SAX substrate (`xsq-xml`)
+//! * [`xpath`] — query front end (`xsq-xpath`)
+//! * [`engine`] — the XSQ-F / XSQ-NC engines (`xsq-core`)
+//! * [`baselines`] — comparison systems (`xsq-baselines`)
+//! * [`datagen`] — synthetic dataset generators (`xsq-datagen`)
+
+pub use xsq_baselines as baselines;
+pub use xsq_core as engine;
+pub use xsq_datagen as datagen;
+pub use xsq_xml as xml;
+pub use xsq_xpath as xpath;

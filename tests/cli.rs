@@ -1,0 +1,152 @@
+//! End-to-end tests of the `xsq` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn xsq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xsq"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = xsq()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // The binary may exit before reading stdin (e.g. a bad query fails at
+    // compile time); a broken pipe here is fine.
+    let _ = child.stdin.as_mut().unwrap().write_all(stdin.as_bytes());
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+        out.status.success(),
+    )
+}
+
+const DOC: &str =
+    "<pub><book id=\"1\"><name>N</name><author>A</author></book><year>2002</year></pub>";
+
+#[test]
+fn evaluates_query_over_stdin() {
+    let (stdout, _, ok) = run_with_stdin(&["//pub[year=2002]//name/text()"], DOC);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "N");
+}
+
+#[test]
+fn engine_selection() {
+    for engine in ["xsq-f", "xsq-nc", "saxon", "galax", "joost"] {
+        let (stdout, stderr, ok) = run_with_stdin(&["--engine", engine, "/pub/book/@id"], DOC);
+        assert!(ok, "{engine} failed: {stderr}");
+        assert_eq!(stdout.trim(), "1", "{engine}");
+    }
+}
+
+#[test]
+fn xmltk_engine_runs_plain_paths() {
+    let (stdout, _, ok) = run_with_stdin(&["--engine", "xmltk", "/pub/book/name/text()"], DOC);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "N");
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let (stdout, stderr, ok) = run_with_stdin(&["--stats", "//name/text()"], DOC);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "N");
+    assert!(stderr.contains("results"), "stderr: {stderr}");
+    assert!(stderr.contains("peak_buffered_bytes"));
+}
+
+#[test]
+fn quiet_suppresses_results() {
+    let (stdout, _, ok) = run_with_stdin(&["--quiet", "--stats", "//name/text()"], DOC);
+    assert!(ok);
+    assert!(stdout.is_empty());
+}
+
+#[test]
+fn running_aggregates_stream() {
+    let (stdout, _, ok) = run_with_stdin(&["--running", "//book/count()"], DOC);
+    assert!(ok);
+    assert!(stdout.contains("# running: 1"));
+    assert!(stdout.trim_end().ends_with('1'));
+}
+
+#[test]
+fn dump_and_dot_print_the_automaton() {
+    let (stdout, _, ok) = run_with_stdin(&["--dump", "/a[b]/c/text()"], "");
+    assert!(ok);
+    assert!(stdout.contains("HPDT for /a[b]/c/text()"));
+    let (stdout, _, ok) = run_with_stdin(&["--dot", "/a[b]/c/text()"], "");
+    assert!(ok);
+    assert!(stdout.starts_with("digraph hpdt {"));
+}
+
+#[test]
+fn schema_optimize_rewrites_and_skips() {
+    let doc = "<!DOCTYPE r [ <!ELEMENT r (a*)> <!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)> ]>\
+               <r><a><b>1</b></a></r>";
+    let (stdout, stderr, ok) = run_with_stdin(&["--schema-optimize", "//a//b/text()"], doc);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "1");
+    assert!(
+        stderr.contains("rewrote to //a/b/text()"),
+        "stderr: {stderr}"
+    );
+    let (stdout, stderr, ok) = run_with_stdin(&["--schema-optimize", "//zzz/text()"], doc);
+    assert!(ok);
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("never match"));
+}
+
+#[test]
+fn json_output_escapes_values() {
+    let doc = r#"<a><b>say "hi"</b></a>"#;
+    let (stdout, _, ok) = run_with_stdin(&["--json", "//b/text()"], doc);
+    assert!(ok);
+    assert_eq!(stdout.trim(), r#"{"result":"say \"hi\""}"#);
+    let (stdout, _, ok) = run_with_stdin(&["--json", "--running", "//b/count()"], doc);
+    assert!(ok);
+    assert!(stdout.contains(r#"{"running":1}"#));
+}
+
+#[test]
+fn bad_query_fails_with_nonzero_exit() {
+    let (_, stderr, ok) = run_with_stdin(&["/a[["], "<a/>");
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn malformed_document_fails() {
+    let (_, stderr, ok) = run_with_stdin(&["/a/text()"], "<a><b></a>");
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn unknown_engine_is_a_usage_error() {
+    let (_, stderr, ok) = run_with_stdin(&["--engine", "nope", "/a"], "<a/>");
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"));
+}
+
+#[test]
+fn dataset_stats_prints_fig15_row() {
+    let dir = std::env::temp_dir().join("xsq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("stats.xml");
+    std::fs::write(&file, DOC).unwrap();
+    let out = xsq()
+        .args(["--dataset-stats", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("elements"));
+    assert!(stdout.contains("stats.xml"));
+}

@@ -1,0 +1,378 @@
+//! Differential property tests: XSQ against the DOM oracle.
+//!
+//! Random documents × random queries; the streaming engines must return
+//! exactly what the in-memory evaluators return, in the same order:
+//!
+//! * XSQ-F ≡ DOM (stepwise) ≡ DOM (pathcheck) on *everything*;
+//! * XSQ-NC ≡ DOM on closure-free queries;
+//! * XMLTK ≡ DOM on predicate-free `text()`/`@attr`/`count()` queries;
+//! * the well-formedness PDA accepts every generated document's events.
+
+use proptest::prelude::*;
+
+use xsq::baselines::dom::{eval_pathcheck, eval_stepwise, Document};
+use xsq::engine::{VecSink, XsqEngine};
+use xsq::xpath::parse_query;
+
+// ---- random document generation ---------------------------------------
+
+/// A small element tree over a tiny alphabet, so tag collisions (the hard
+/// cases: predicate child = next step, recursive nesting) are frequent.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        tag: usize,
+        attr: Option<(usize, i32)>,
+        children: Vec<Tree>,
+    },
+    Text(i32),
+    /// Non-numeric character data (string comparisons, NaN paths).
+    Word(usize),
+}
+
+/// Small word pool; includes substrings of each other so `contains`
+/// has interesting cases.
+const WORDS: [&str; 4] = ["x", "xy", "love", "lovely"];
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const ATTRS: [&str; 2] = ["x", "y"];
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (-3..4i32).prop_map(Tree::Text),
+        (0..WORDS.len()).prop_map(Tree::Word),
+        (
+            0..TAGS.len(),
+            proptest::option::of((0..ATTRS.len(), -3..4i32))
+        )
+            .prop_map(|(tag, attr)| Tree::Element {
+                tag,
+                attr,
+                children: vec![],
+            }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::option::of((0..ATTRS.len(), -3..4i32)),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, attr, children)| Tree::Element {
+                tag,
+                attr,
+                children,
+            })
+    })
+}
+
+fn render(tree: &Tree, out: &mut String) {
+    match tree {
+        Tree::Text(v) => out.push_str(&v.to_string()),
+        Tree::Word(w) => out.push_str(WORDS[*w]),
+        Tree::Element {
+            tag,
+            attr,
+            children,
+        } => {
+            out.push('<');
+            out.push_str(TAGS[*tag]);
+            if let Some((a, v)) = attr {
+                out.push_str(&format!(" {}=\"{}\"", ATTRS[*a], v));
+            }
+            out.push('>');
+            for c in children {
+                render(c, out);
+            }
+            out.push_str("</");
+            out.push_str(TAGS[*tag]);
+            out.push('>');
+        }
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    (0..TAGS.len(), prop::collection::vec(tree_strategy(), 0..5)).prop_map(|(tag, children)| {
+        let mut s = String::new();
+        render(
+            &Tree::Element {
+                tag,
+                attr: None,
+                children,
+            },
+            &mut s,
+        );
+        s
+    })
+}
+
+// ---- random query generation -------------------------------------------
+
+fn pred_strategy() -> impl Strategy<Value = String> {
+    let op = prop_oneof![
+        Just("="),
+        Just("!="),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+    ];
+    prop_oneof![
+        // String-valued comparisons and substring tests.
+        (
+            0..TAGS.len(),
+            prop_oneof![Just("="), Just("!="), Just("%")],
+            0..WORDS.len()
+        )
+            .prop_map(|(t, op, w)| format!("[{}{}\"{}\"]", TAGS[t], op, WORDS[w])),
+        (prop_oneof![Just("="), Just("%")], 0..WORDS.len())
+            .prop_map(|(op, w)| format!("[text(){}\"{}\"]", op, WORDS[w])),
+        (0..ATTRS.len()).prop_map(|a| format!("[@{}]", ATTRS[a])),
+        (0..ATTRS.len(), op.clone(), -2..3i32)
+            .prop_map(|(a, op, v)| format!("[@{}{}{}]", ATTRS[a], op, v)),
+        (op.clone(), -2..3i32).prop_map(|(op, v)| format!("[text(){}{}]", op, v)),
+        (0..TAGS.len()).prop_map(|t| format!("[{}]", TAGS[t])),
+        (0..TAGS.len(), 0..ATTRS.len(), op.clone(), -2..3i32)
+            .prop_map(|(t, a, op, v)| format!("[{}@{}{}{}]", TAGS[t], ATTRS[a], op, v)),
+        (0..TAGS.len(), op, -2..3i32).prop_map(|(t, op, v)| format!("[{}{}{}]", TAGS[t], op, v)),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = String> {
+    (
+        prop::bool::ANY,
+        prop_oneof![
+            (0..TAGS.len()).prop_map(|t| TAGS[t].to_string()),
+            Just("*".to_string())
+        ],
+        proptest::option::of(pred_strategy()),
+    )
+        .prop_map(|(closure, test, pred)| {
+            format!(
+                "{}{}{}",
+                if closure { "//" } else { "/" },
+                test,
+                pred.unwrap_or_default()
+            )
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(step_strategy(), 1..4),
+        prop_oneof![
+            Just("".to_string()),
+            Just("/text()".to_string()),
+            (0..ATTRS.len()).prop_map(|a| format!("/@{}", ATTRS[a])),
+            Just("/count()".to_string()),
+            Just("/sum()".to_string()),
+        ],
+    )
+        .prop_map(|(steps, output)| format!("{}{}", steps.concat(), output))
+}
+
+/// Closure-free queries (the XSQ-NC fragment): child axes only.
+fn closure_free_query_strategy() -> impl Strategy<Value = String> {
+    let step = (
+        prop_oneof![
+            (0..TAGS.len()).prop_map(|t| TAGS[t].to_string()),
+            Just("*".to_string())
+        ],
+        proptest::option::of(pred_strategy()),
+    )
+        .prop_map(|(test, pred)| format!("/{}{}", test, pred.unwrap_or_default()));
+    (
+        prop::collection::vec(step, 1..4),
+        prop_oneof![
+            Just("".to_string()),
+            Just("/text()".to_string()),
+            (0..ATTRS.len()).prop_map(|a| format!("/@{}", ATTRS[a])),
+            Just("/count()".to_string()),
+            Just("/sum()".to_string()),
+        ],
+    )
+        .prop_map(|(steps, output)| format!("{}{}", steps.concat(), output))
+}
+
+/// Predicate-free path queries with scalar outputs (the XMLTK fragment).
+fn path_query_strategy() -> impl Strategy<Value = String> {
+    let step = (
+        prop::bool::ANY,
+        prop_oneof![
+            (0..TAGS.len()).prop_map(|t| TAGS[t].to_string()),
+            Just("*".to_string())
+        ],
+    )
+        .prop_map(|(closure, test)| format!("{}{}", if closure { "//" } else { "/" }, test));
+    (
+        prop::collection::vec(step, 1..4),
+        prop_oneof![
+            Just("/text()".to_string()),
+            (0..ATTRS.len()).prop_map(|a| format!("/@{}", ATTRS[a])),
+            Just("/count()".to_string()),
+        ],
+    )
+        .prop_map(|(steps, output)| format!("{}{}", steps.concat(), output))
+}
+
+fn xsq_run(engine: XsqEngine, query: &str, doc: &[u8]) -> Option<Vec<String>> {
+    let compiled = engine.compile_str(query).ok()?;
+    let mut sink = VecSink::new();
+    compiled
+        .run_document(doc, &mut sink)
+        .expect("well-formed doc");
+    Some(sink.results)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn xsq_f_matches_the_dom_oracle(doc in doc_strategy(), query in query_strategy()) {
+        let parsed = parse_query(&query).expect("generated queries parse");
+        let tree = Document::parse(doc.as_bytes()).expect("generated docs are well-formed");
+        let expected = eval_stepwise(&tree, &parsed);
+        // The two DOM strategies must agree with each other…
+        prop_assert_eq!(&eval_pathcheck(&tree, &parsed), &expected,
+            "DOM strategies disagree on {} over {}", query, doc);
+        // …and the streaming engine with both.
+        let got = xsq_run(XsqEngine::full(), &query, doc.as_bytes()).expect("XSQ-F supports all");
+        prop_assert_eq!(&got, &expected, "XSQ-F disagrees on {} over {}", query, doc);
+    }
+
+    #[test]
+    fn xsq_nc_matches_on_closure_free_queries(
+        doc in doc_strategy(),
+        query in closure_free_query_strategy(),
+    ) {
+        let parsed = parse_query(&query).expect("generated queries parse");
+        debug_assert!(!parsed.has_closure());
+        let tree = Document::parse(doc.as_bytes()).expect("well-formed");
+        let expected = eval_stepwise(&tree, &parsed);
+        let got = xsq_run(XsqEngine::no_closure(), &query, doc.as_bytes()).expect("closure-free");
+        prop_assert_eq!(&got, &expected, "XSQ-NC disagrees on {} over {}", query, doc);
+    }
+
+    #[test]
+    fn xmltk_matches_on_predicate_free_queries(
+        doc in doc_strategy(),
+        query in path_query_strategy(),
+    ) {
+        // XMLTK emits whole elements at their *end* tag (completion
+        // order), so the strategy restricts outputs to scalars.
+        let parsed = parse_query(&query).expect("generated queries parse");
+        let tree = Document::parse(doc.as_bytes()).expect("well-formed");
+        let expected = eval_stepwise(&tree, &parsed);
+        use xsq::engine::XPathEngine as _;
+        let report = xsq::baselines::XmltkLike.run(&query, doc.as_bytes());
+        let got = report.expect("path query supported").results;
+        prop_assert_eq!(&got, &expected, "XMLTK disagrees on {} over {}", query, doc);
+    }
+
+    #[test]
+    fn naive_flags_engine_matches_on_text_queries(
+        doc in doc_strategy(),
+        query in prop::collection::vec(step_strategy(), 1..4)
+            .prop_map(|steps| format!("{}/text()", steps.concat())),
+    ) {
+        use xsq::engine::XPathEngine as _;
+        let naive = xsq::baselines::NaiveFlags
+            .run(&query, doc.as_bytes())
+            .expect("text queries supported")
+            .results;
+        let expected = xsq_run(XsqEngine::full(), &query, doc.as_bytes()).expect("supported");
+        prop_assert_eq!(&naive, &expected, "naive disagrees on {} over {}", query, doc);
+    }
+
+    #[test]
+    fn projection_is_lossless(doc in doc_strategy(), query in query_strategy()) {
+        // Running the query on the projected stream must be identical to
+        // running it on the full stream — for every query class, with
+        // the kept set staying a well-formed event sequence.
+        let parsed = parse_query(&query).expect("generated queries parse");
+        let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
+        let projected = xsq::engine::projector::project_events(&parsed, &events);
+        prop_assert!(xsq::xml::WellFormednessPda::accepts(&projected),
+            "projection broke well-formedness on {} over {}", query, doc);
+        let compiled = XsqEngine::full().compile(&parsed).expect("compiles");
+        let mut full = VecSink::new();
+        compiled.run_events(&events, &mut full);
+        let mut proj = VecSink::new();
+        compiled.run_events(&projected, &mut proj);
+        prop_assert_eq!(full.results, proj.results,
+            "projection lost results on {} over {}", query, doc);
+    }
+
+    #[test]
+    fn multi_query_runs_equal_single_runs(
+        doc in doc_strategy(),
+        queries in prop::collection::vec(query_strategy(), 1..5),
+    ) {
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let set = xsq::engine::QuerySet::compile(XsqEngine::full(), &refs)
+            .expect("generated queries compile");
+        let multi = set.run_document(doc.as_bytes()).expect("well-formed");
+        for (i, q) in refs.iter().enumerate() {
+            let single = xsq_run(XsqEngine::full(), q, doc.as_bytes()).expect("supported");
+            prop_assert_eq!(&multi[i], &single, "multi vs single on {} over {}", q, doc);
+        }
+    }
+
+    #[test]
+    fn emission_is_prefix_stable(
+        doc in doc_strategy(),
+        query in query_strategy(),
+        cut_seed in any::<u32>(),
+    ) {
+        // Streaming monotonicity: whatever has been emitted after any
+        // event prefix must be a prefix of the final result list — the
+        // engine never emits something it would later retract or
+        // reorder.
+        let parsed = parse_query(&query).expect("generated queries parse");
+        prop_assume!(!parsed.is_aggregation()); // running updates differ by design
+        let compiled = XsqEngine::full().compile(&parsed).expect("compiles");
+        let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
+        let mut full = VecSink::new();
+        compiled.run_events(&events, &mut full);
+        let cut = (cut_seed as usize) % (events.len() + 1);
+        let mut partial = VecSink::new();
+        let mut runner = compiled.runner();
+        for e in &events[..cut] {
+            runner.feed(e, &mut partial);
+        }
+        prop_assert!(
+            partial.results.len() <= full.results.len()
+                && partial.results[..] == full.results[..partial.results.len()],
+            "prefix after {} events {:?} is not a prefix of {:?} ({} over {})",
+            cut, partial.results, full.results, query, doc
+        );
+    }
+
+    #[test]
+    fn parser_writer_roundtrip_and_pda(doc in doc_strategy()) {
+        let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
+        prop_assert!(xsq::xml::WellFormednessPda::accepts(&events));
+        let rewritten = xsq::xml::writer::events_to_string(&events);
+        let events2 = xsq::xml::parse_to_events(rewritten.as_bytes()).expect("round-trip");
+        prop_assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn buffers_drain_by_end_of_document(doc in doc_strategy(), query in query_strategy()) {
+        let compiled = XsqEngine::full().compile_str(&query).expect("parses");
+        let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
+        let mut runner = compiled.runner();
+        let mut sink = VecSink::new();
+        for e in &events {
+            runner.feed(e, &mut sink);
+        }
+        // The paper's invariant: every buffered item resolves by the end
+        // event of the element named in the first location step — a
+        // fortiori by end of document.
+        prop_assert_eq!(runner.buffered_entries(), 0,
+            "buffers leak on {} over {}", query, doc);
+        prop_assert_eq!(runner.config_count(), 1, "one start configuration must remain");
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-engine agreement on the experiment workloads themselves: every
+//! study participant that supports a query must return identical results
+//! on the generated datasets (Joost excepted where forward-only
+//! evaluation legitimately diverges — checked separately).
+
+use xsq::baselines::{all_engines, JoostLike, SaxonLike};
+use xsq::datagen;
+use xsq::engine::XPathEngine;
+
+fn agree(query: &str, doc: &[u8], context: &str) {
+    let mut reference: Option<(String, Vec<String>)> = None;
+    for engine in all_engines() {
+        // Joost's forward-only predicate semantics differ by design.
+        if engine.name() == "Joost" {
+            continue;
+        }
+        match engine.run(query, doc) {
+            Err(_) => continue,
+            Ok(r) => match &reference {
+                None => reference = Some((engine.name().to_string(), r.results)),
+                Some((ref_name, expected)) => {
+                    assert_eq!(
+                        &r.results,
+                        expected,
+                        "{} vs {} on {query} ({context})",
+                        engine.name(),
+                        ref_name
+                    );
+                }
+            },
+        }
+    }
+    assert!(reference.is_some(), "no engine supported {query}");
+}
+
+#[test]
+fn shake_queries_agree() {
+    let doc = datagen::shake::generate(1, 60_000);
+    for q in [
+        "/PLAYS/PLAY/ACT/SCENE/SPEECH[LINE%love]/SPEAKER/text()",
+        "/PLAYS/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()",
+        "//ACT//SPEAKER/text()",
+        "//SPEECH/count()",
+    ] {
+        agree(q, doc.as_bytes(), "SHAKE");
+    }
+}
+
+#[test]
+fn dblp_queries_agree() {
+    let doc = datagen::dblp::generate(2, 60_000);
+    for q in [
+        "/dblp/article/title/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/dblp/article/@key",
+        "//article/year/sum()",
+    ] {
+        agree(q, doc.as_bytes(), "DBLP");
+    }
+}
+
+#[test]
+fn nasa_and_psd_queries_agree() {
+    let nasa = datagen::nasa::generate(3, 60_000);
+    agree(
+        "/datasets/dataset/reference/source/other/name/text()",
+        nasa.as_bytes(),
+        "NASA",
+    );
+    let psd = datagen::psd::generate(4, 60_000);
+    agree(
+        "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author/text()",
+        psd.as_bytes(),
+        "PSD",
+    );
+}
+
+#[test]
+fn recursive_closure_workload_agrees() {
+    let doc = datagen::xmlgen::generate(
+        datagen::xmlgen::XmlGenParams {
+            nested_levels: 8,
+            max_repeats: 6,
+            seed: 5,
+        },
+        60_000,
+    );
+    for q in [
+        "//pub[year]//book[@id]/title/text()",
+        "//pub//book/title/text()",
+        "//book[@id]/count()",
+        "//pub[year>2000]//book/title/text()",
+    ] {
+        agree(q, doc.as_bytes(), "recursive");
+    }
+}
+
+#[test]
+fn ordering_and_color_workloads_agree() {
+    let ordering = datagen::toxgene::ordering_dataset(40_000, 50);
+    for q in [
+        "/doc/a[prior=0]",
+        "/doc/a[posterior=0]",
+        "/doc/a[@id=0]",
+        "/doc/a[@id=3]/prior/text()",
+    ] {
+        agree(q, ordering.as_bytes(), "ordering");
+    }
+    let colors = datagen::toxgene::color_dataset(6, 40_000);
+    for q in ["/a/red", "/a/green/text()", "/a/blue/count()"] {
+        agree(q, colors.as_bytes(), "colors");
+    }
+}
+
+#[test]
+fn xmark_workload_agrees() {
+    // The XMark-like auction data: recursive descriptions, numeric
+    // predicates, existence predicates, aggregation.
+    for seed in [1, 9] {
+        let doc = datagen::xmark::generate(seed, 80_000);
+        for q in datagen::xmark::QUERIES {
+            agree(q, doc.as_bytes(), "XMark");
+        }
+    }
+}
+
+#[test]
+fn joost_agrees_exactly_when_predicates_precede_values() {
+    // On the ordering dataset, prior comes before the a-group's content…
+    let doc = datagen::toxgene::ordering_dataset(20_000, 20);
+    let q = "/doc/a[prior=1]/posterior/text()";
+    let joost = JoostLike.run(q, doc.as_bytes()).unwrap().results;
+    let saxon = SaxonLike.run(q, doc.as_bytes()).unwrap().results;
+    assert_eq!(joost, saxon, "prior-gated results are forward-decidable");
+    // …but a posterior-gated query silently loses results in Joost.
+    let q = "/doc/a[posterior=1]/prior/text()";
+    let joost = JoostLike.run(q, doc.as_bytes()).unwrap().results;
+    let saxon = SaxonLike.run(q, doc.as_bytes()).unwrap().results;
+    assert!(joost.is_empty());
+    assert!(!saxon.is_empty());
+}

@@ -1,0 +1,116 @@
+//! Property tests for the schema optimizer: on documents *conforming* to
+//! a DTD, (a) queries proven unsatisfiable return nothing, and (b) the
+//! closure-elimination rewrite never changes results.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use xsq::engine::schema::{analyze, optimize};
+use xsq::xml::dtd::Dtd;
+use xsq::xpath::parse_query;
+
+const TAGS: [&str; 5] = ["t0", "t1", "t2", "t3", "t4"];
+
+/// A random *acyclic* child relation: tag i may contain only tags > i
+/// (so conforming documents always terminate), rooted at t0.
+fn dtd_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    // children[i] ⊆ {i+1..5}
+    (
+        prop::collection::vec(prop::bool::ANY, 4), // t0 -> t1..t4
+        prop::collection::vec(prop::bool::ANY, 3), // t1 -> t2..t4
+        prop::collection::vec(prop::bool::ANY, 2), // t2 -> t3..t4
+        prop::collection::vec(prop::bool::ANY, 1), // t3 -> t4
+    )
+        .prop_map(|(a, b, c, d)| {
+            let pick = |flags: &[bool], base: usize| -> Vec<usize> {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &on)| on.then_some(base + i))
+                    .collect()
+            };
+            vec![pick(&a, 1), pick(&b, 2), pick(&c, 3), pick(&d, 4), vec![]]
+        })
+}
+
+fn build_dtd(children: &[Vec<usize>]) -> Dtd {
+    let edges: Vec<(&str, Vec<&str>)> = children
+        .iter()
+        .enumerate()
+        .map(|(i, kids)| (TAGS[i], kids.iter().map(|&k| TAGS[k]).collect()))
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = edges.iter().map(|(t, k)| (*t, k.as_slice())).collect();
+    Dtd::from_edges(&borrowed)
+}
+
+/// Generate a document conforming to the child relation, rooted at t0.
+fn conforming_doc(children: &[Vec<usize>], choices: &mut impl Iterator<Item = u8>) -> String {
+    fn emit(
+        tag: usize,
+        children: &[Vec<usize>],
+        choices: &mut impl Iterator<Item = u8>,
+        out: &mut String,
+        budget: &mut u32,
+    ) {
+        out.push_str(&format!("<{}>", TAGS[tag]));
+        let c = choices.next().unwrap_or(0);
+        out.push_str(&(c % 10).to_string());
+        let kid_count = (choices.next().unwrap_or(0) % 3) as usize;
+        for _ in 0..kid_count {
+            if *budget == 0 || children[tag].is_empty() {
+                break;
+            }
+            *budget -= 1;
+            let pick = choices.next().unwrap_or(0) as usize % children[tag].len();
+            emit(children[tag][pick], children, choices, out, budget);
+        }
+        out.push_str(&format!("</{}>", TAGS[tag]));
+    }
+    let mut out = String::new();
+    let mut budget = 40;
+    emit(0, children, choices, &mut out, &mut budget);
+    out
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    let step = (prop::bool::ANY, 0..TAGS.len(), prop::bool::ANY).prop_map(|(closure, t, pred)| {
+        format!(
+            "{}{}{}",
+            if closure { "//" } else { "/" },
+            TAGS[t],
+            if pred { "[text()>=0]" } else { "" }
+        )
+    });
+    prop::collection::vec(step, 1..4).prop_map(|steps| format!("{}/text()", steps.concat()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimizer_is_sound_on_conforming_documents(
+        children in dtd_strategy(),
+        raw_choices in prop::collection::vec(any::<u8>(), 0..160),
+        query in query_strategy(),
+    ) {
+        let dtd = build_dtd(&children);
+        let mut choices = raw_choices.into_iter();
+        let doc = conforming_doc(&children, &mut choices);
+        let parsed = parse_query(&query).expect("generated queries parse");
+        let roots: BTreeSet<String> = [TAGS[0].to_string()].into();
+        let analysis = analyze(&parsed, &dtd, &roots);
+
+        let original = xsq::engine::evaluate(&query, doc.as_bytes()).expect("conforming doc");
+        if !analysis.satisfiable {
+            prop_assert!(original.is_empty(),
+                "proven-empty query {} returned {:?} on {}", query, original, doc);
+        }
+
+        // The default-roots rewrite must also be sound (root inference).
+        let (optimized, _) = optimize(&parsed, &dtd);
+        let rewritten = xsq::engine::evaluate(&optimized.to_string(), doc.as_bytes())
+            .expect("rewritten query runs");
+        prop_assert_eq!(&original, &rewritten,
+            "rewrite {} -> {} changed results on {}", query, optimized, doc);
+    }
+}
