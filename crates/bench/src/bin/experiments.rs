@@ -49,9 +49,7 @@ fn main() -> ExitCode {
                 }
             }
             "--help" | "-h" => return usage(""),
-            a if a.starts_with("fig") || a == "all" || a == "xmark" => {
-                figures.push(a.to_string())
-            }
+            a if a.starts_with("fig") || a == "all" || a == "xmark" => figures.push(a.to_string()),
             other => return usage(&format!("unknown argument '{other}'")),
         }
         i += 1;

@@ -1,0 +1,232 @@
+//! Dispatch ablation for the multi-query index (dependency-free).
+//!
+//! Measures N ∈ {8, 64, 512} standing queries over a low tag-selectivity
+//! stream — each query watches its own element tag, so any one event can
+//! interest at most a handful of queries. This is the workload where
+//! per-event cost separates the two multi-query paths:
+//!
+//! - **loop**: `MultiRunner::feed_all` steps all N runners per event
+//!   (touches = events × N);
+//! - **index**: `QueryIndex` routes each event through the inverted
+//!   dispatch index to interested runners only.
+//!
+//! Writes machine-readable results to `BENCH_multi.json` at the repo
+//! root (override with the first CLI argument) and prints a table.
+//! Run with `cargo run --release -p xsq-bench --bin multi-bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xsq_core::{CountingSink, QuerySet, QuerySink, XsqEngine};
+use xsq_xml::SaxEvent;
+
+/// Result-counting shared sink for the index path.
+#[derive(Default)]
+struct CountingQuerySink {
+    results: u64,
+}
+
+impl QuerySink for CountingQuerySink {
+    fn result(&mut self, _id: xsq_core::QueryId, _value: &str) {
+        self.results += 1;
+    }
+}
+
+/// A feed of `records` elements cycling over `tags` distinct tag names:
+/// `<feed><t17><f17>v</f17></t17><t18>…</feed>`. With N queries each
+/// watching one tag, an inner event interests at most one query.
+fn generate_feed(tags: usize, records: usize) -> String {
+    let mut out = String::with_capacity(records * 32);
+    out.push_str("<feed>");
+    for r in 0..records {
+        let k = r % tags;
+        let _ = write!(out, "<t{k}><f{k}>v{r}</f{k}></t{k}>");
+    }
+    out.push_str("</feed>");
+    out
+}
+
+struct Measurement {
+    n: usize,
+    events: u64,
+    results: u64,
+    loop_touches: u64,
+    /// Index with prefix sharing (QuerySet plan: here one merged group).
+    index_touches: u64,
+    /// Index with one group per query — isolates the dispatch win from
+    /// the prefix-sharing win.
+    solo_touches: u64,
+    loop_events_per_sec: f64,
+    index_events_per_sec: f64,
+    solo_events_per_sec: f64,
+    groups: usize,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.unwrap())
+}
+
+fn measure(n: usize, events: &[SaxEvent], queries: &[String]) -> Measurement {
+    let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let set = QuerySet::compile(XsqEngine::full(), &texts).expect("queries compile");
+    let reps = 3;
+
+    // Loop path: every event steps every runner.
+    let (loop_secs, loop_results) = best_of(reps, || {
+        let mut runner = set.runner();
+        let mut sinks: Vec<CountingSink> = (0..n).map(|_| CountingSink::new()).collect();
+        for ev in events {
+            runner.feed_all(ev, &mut sinks);
+        }
+        runner.finish_all(&mut sinks);
+        sinks.iter().map(|s| s.results).sum::<u64>()
+    });
+
+    // Index path: dispatch-routed.
+    let (index_secs, (index_results, index_touches)) = best_of(reps, || {
+        let mut index = set.index();
+        let mut sink = CountingQuerySink::default();
+        for ev in events {
+            index.feed(ev, &mut sink);
+        }
+        index.finish(&mut sink);
+        (sink.results, index.touches())
+    });
+
+    // Index path without prefix sharing: every query its own group, so
+    // any reduction in touches is the dispatch index alone.
+    let (solo_secs, (solo_results, solo_touches)) = best_of(reps, || {
+        let mut index = xsq_core::QueryIndex::new(XsqEngine::full());
+        for q in &texts {
+            index.subscribe(q).expect("query compiles");
+        }
+        let mut sink = CountingQuerySink::default();
+        for ev in events {
+            index.feed(ev, &mut sink);
+        }
+        index.finish(&mut sink);
+        (sink.results, index.touches())
+    });
+
+    assert_eq!(
+        loop_results, index_results,
+        "paths disagree on result count at N={n}"
+    );
+    assert_eq!(
+        loop_results, solo_results,
+        "solo index disagrees on result count at N={n}"
+    );
+
+    let ev = events.len() as u64;
+    Measurement {
+        n,
+        events: ev,
+        results: loop_results,
+        loop_touches: ev * n as u64,
+        index_touches,
+        solo_touches,
+        loop_events_per_sec: ev as f64 / loop_secs,
+        index_events_per_sec: ev as f64 / index_secs,
+        solo_events_per_sec: ev as f64 / solo_secs,
+        groups: set.group_count(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multi.json").to_string()
+    });
+
+    // One stream shape for all N: 512 distinct tags, so even the N=8 set
+    // watches a sparse slice of the stream.
+    const TAGS: usize = 512;
+    let doc = generate_feed(TAGS, 8192);
+    let events = xsq_xml::parse_to_events(doc.as_bytes()).expect("feed parses");
+
+    println!(
+        "{:>5} {:>9} {:>13} {:>13} {:>13} {:>9} {:>12} {:>12} {:>12}",
+        "N",
+        "events",
+        "loop touches",
+        "solo touches",
+        "idx touches",
+        "solo win",
+        "loop ev/s",
+        "solo ev/s",
+        "idx ev/s"
+    );
+    let mut rows = Vec::new();
+    for n in [8usize, 64, 512] {
+        let queries: Vec<String> = (0..n)
+            .map(|k| format!("/feed/t{}/f{}/text()", k % TAGS, k % TAGS))
+            .collect();
+        let m = measure(n, &events, &queries);
+        let solo_win = m.loop_touches as f64 / m.solo_touches as f64;
+        println!(
+            "{:>5} {:>9} {:>13} {:>13} {:>13} {:>8.1}x {:>12.0} {:>12.0} {:>12.0}",
+            m.n,
+            m.events,
+            m.loop_touches,
+            m.solo_touches,
+            m.index_touches,
+            solo_win,
+            m.loop_events_per_sec,
+            m.solo_events_per_sec,
+            m.index_events_per_sec
+        );
+        if m.n == 512 {
+            assert!(
+                solo_win >= 5.0,
+                "dispatch must beat the loop ≥5× on runner touches at N=512, got {solo_win:.1}x"
+            );
+        }
+        rows.push(m);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"multi_query_dispatch\",\n");
+    let _ = writeln!(
+        json,
+        "  \"stream\": {{\"tags\": {TAGS}, \"events\": {}}},",
+        events.len()
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"events\": {}, \"results\": {}, \"groups\": {}, \
+             \"loop_touches\": {}, \"solo_touches\": {}, \"index_touches\": {}, \
+             \"solo_touch_win\": {:.2}, \"shared_touch_win\": {:.2}, \
+             \"loop_events_per_sec\": {:.0}, \"solo_events_per_sec\": {:.0}, \
+             \"index_events_per_sec\": {:.0}, \
+             \"loop_touches_per_event\": {:.2}, \"solo_touches_per_event\": {:.2}, \
+             \"index_touches_per_event\": {:.2}}}",
+            m.n,
+            m.events,
+            m.results,
+            m.groups,
+            m.loop_touches,
+            m.solo_touches,
+            m.index_touches,
+            m.loop_touches as f64 / m.solo_touches as f64,
+            m.loop_touches as f64 / m.index_touches as f64,
+            m.loop_events_per_sec,
+            m.solo_events_per_sec,
+            m.index_events_per_sec,
+            m.loop_touches as f64 / m.events as f64,
+            m.solo_touches as f64 / m.events as f64,
+            m.index_touches as f64 / m.events as f64,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_multi.json");
+    println!("\nwrote {out_path}");
+}

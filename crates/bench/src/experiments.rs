@@ -551,7 +551,10 @@ mod tests {
         let nc = t.rows.iter().find(|r| r[0] == "XSQ-NC").unwrap();
         let red: f64 = nc[1].parse().unwrap();
         let blue: f64 = nc[3].parse().unwrap();
-        assert!(red > blue, "10% results must be faster than 60% ({red} vs {blue})");
+        assert!(
+            red > blue,
+            "10% results must be faster than 60% ({red} vs {blue})"
+        );
     }
 
     #[test]

@@ -140,14 +140,18 @@ pub enum Action {
     /// Predicate resolved false (end event from the NA side): drop the
     /// depth-matching items from this BPDT's queue.
     ClearSelf,
-    /// Produce a result value from the current event.
+    /// Produce a result value from the current event, attributed to the
+    /// query `tag` (0 for single-query HPDTs; the member index in a
+    /// merged multi-query HPDT, where different leaves emit for
+    /// different queries).
     Emit {
         source: ValueSource,
         to: Disposition,
+        tag: u32,
     },
     /// Whole-element output: open a new element item at the begin event
     /// of the matched element (serializing the begin tag into it).
-    ElementStart { to: Disposition },
+    ElementStart { to: Disposition, tag: u32 },
     /// Whole-element output: append the current event to the
     /// configuration's open element item.
     ElementAppend,

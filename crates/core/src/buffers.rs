@@ -149,9 +149,9 @@ mod tests {
         let mut qs = QueueSet::new(3);
         let mut items = ItemStore::new();
         items.begin_event(1);
-        let a = items.anchor("A", true);
+        let a = items.anchor(0, "A", true);
         items.begin_event(2);
-        let b = items.anchor("B", true);
+        let b = items.anchor(0, "B", true);
         qs.enqueue(0, a, dv(&[0, 1, 3]), &mut items);
         qs.enqueue(0, b, dv(&[0, 2, 3]), &mut items);
         (qs, items, a, b)
@@ -205,7 +205,7 @@ mod tests {
         let mut qs = QueueSet::new(1);
         let mut items = ItemStore::new();
         items.begin_event(1);
-        let z = items.anchor("Z", true);
+        let z = items.anchor(0, "Z", true);
         qs.enqueue(0, z, dv(&[1, 2, 10, 11]), &mut items);
         qs.enqueue(0, z, dv(&[1, 9, 10, 11]), &mut items);
         qs.clear_matching(0, &dv(&[1, 9]), 2, &mut items);

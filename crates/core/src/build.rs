@@ -44,10 +44,16 @@ pub struct Hpdt {
     pub queue_index: HashMap<BpdtId, usize>,
     /// Number of BPDTs (= number of queues).
     pub bpdt_count: usize,
-    /// Number of location steps.
+    /// Number of location steps (for a merged HPDT: the longest path).
     pub layers: u16,
-    /// The query this HPDT answers.
+    /// The query this HPDT answers (for a merged HPDT: the first member,
+    /// kept for display purposes).
     pub query: Query,
+    /// All queries this HPDT answers, in tag order: `merged[t]` is the
+    /// query whose results carry tag `t`. A single-query HPDT has exactly
+    /// one entry. Built by [`build_merged_hpdt`] for prefix-shared
+    /// multi-query evaluation.
+    pub merged: Vec<Query>,
     /// True when the query has no closure axis: the HPDT is deterministic
     /// (§3.4) and eligible for the XSQ-NC runtime.
     pub deterministic: bool,
@@ -109,6 +115,43 @@ struct Builder {
 struct BuiltBpdt {
     na: Option<StateId>,
     true_state: StateId,
+}
+
+/// Predicate context of a BPDT: which buffer operations its position in
+/// the tree dictates (§4.2). For the binary tree of a single query this
+/// is exactly what [`BpdtId::all_ancestors_true`] / [`BpdtId::upload_target`]
+/// read off the id bits; carrying it explicitly lets the same templates
+/// build *merged* trees whose fan-out is no longer binary (prefix-shared
+/// multi-query HPDTs), where the bit encoding breaks down.
+#[derive(Debug, Clone, Copy)]
+struct PredCx {
+    /// Every ancestor predicate on this path is known true.
+    all_true: bool,
+    /// Nearest ancestor whose predicate is undecided (upload target);
+    /// `None` iff `all_true`.
+    upload: Option<BpdtId>,
+}
+
+impl PredCx {
+    const ROOT: PredCx = PredCx {
+        all_true: true,
+        upload: None,
+    };
+
+    /// Context of a child entered from this BPDT's TRUE state: this
+    /// predicate is true, so the child inherits the context unchanged.
+    fn true_side(self) -> PredCx {
+        self
+    }
+
+    /// Context of a child entered from this BPDT's NA state: this BPDT
+    /// becomes the nearest undecided ancestor.
+    fn na_side(self, parent: BpdtId) -> PredCx {
+        PredCx {
+            all_true: false,
+            upload: Some(parent),
+        }
+    }
 }
 
 impl Builder {
@@ -186,20 +229,23 @@ impl Builder {
 
         // Layer-by-layer expansion. The root has no NA state, so its right
         // child is NULL and layer 1 contains only bpdt(1,1).
-        let mut frontier: Vec<(BpdtId, StateId)> = vec![(BpdtId::ROOT.left_child(), root_true)];
+        let leaf_spec = [(0u32, self.query.output.clone())];
+        let mut frontier: Vec<(BpdtId, PredCx, StateId)> =
+            vec![(BpdtId::ROOT.left_child(), PredCx::ROOT, root_true)];
         for (i, step) in steps.iter().enumerate() {
             let layer = i as u16 + 1;
             let is_leaf = layer == n;
+            let leaf_specs: &[(u32, Output)] = if is_leaf { &leaf_spec } else { &[] };
             let mut next = Vec::new();
-            for (id, start_state) in frontier {
+            for (id, cx, start_state) in frontier {
                 debug_assert_eq!(id.layer, layer);
                 self.register_queue(id);
-                let built = self.build_bpdt(step, id, start_state, is_leaf)?;
+                let built = self.build_bpdt(step, id, cx, start_state, leaf_specs)?;
                 if !is_leaf {
                     if let Some(na) = built.na {
-                        next.push((id.right_child(), na));
+                        next.push((id.right_child(), cx.na_side(id), na));
                     }
-                    next.push((id.left_child(), built.true_state));
+                    next.push((id.left_child(), cx.true_side(), built.true_state));
                 }
             }
             frontier = next;
@@ -216,18 +262,24 @@ impl Builder {
             queue_index: self.queue_index,
             layers: n,
             deterministic,
+            merged: vec![self.query.clone()],
             query: self.query,
         })
     }
 
     /// Instantiate the template for one location step as `bpdt(id)`,
-    /// entered from `start` (the parent's TRUE or NA state).
+    /// entered from `start` (the parent's TRUE or NA state). `leaf_specs`
+    /// lists the queries whose *last* step this is, as `(tag, output)`
+    /// pairs — empty for interior steps, one entry for a plain build, and
+    /// possibly several for a merged HPDT where queries of different
+    /// output kinds end at the same shared step.
     fn build_bpdt(
         &mut self,
         step: &Step,
         id: BpdtId,
+        cx: PredCx,
         start: StateId,
-        is_leaf: bool,
+        leaf_specs: &[(u32, Output)],
     ) -> Result<BuiltBpdt, CompileError> {
         let tag = name_pat(&step.test);
         let closure = step.axis == Axis::Closure;
@@ -245,22 +297,21 @@ impl Builder {
         };
 
         // Dispositions and the predicate-true resolution action are fixed
-        // by the BPDT's position (§4.2).
-        let resolution = if id.all_ancestors_true() {
+        // by the BPDT's position (§4.2), carried in the explicit context.
+        let resolution = if cx.all_true {
             Action::FlushSelf
         } else {
-            Action::UploadSelf(id.upload_target().expect("not all ancestors true"))
+            Action::UploadSelf(cx.upload.expect("not all ancestors true"))
         };
-        let disp_true = if id.all_ancestors_true() {
+        let disp_true = if cx.all_true {
             Disposition::Direct
         } else {
-            Disposition::Queue(id.upload_target().expect("not all ancestors true"))
+            Disposition::Queue(cx.upload.expect("not all ancestors true"))
         };
 
         // Value-producing actions for the leaf layer: attached to the
         // entry arcs (begin-anchored values) or as text self-loops.
-        let output = self.query.output.clone();
-        let entry_value = |disp: Disposition| entry_value_actions(&output, is_leaf, disp);
+        let entry_value = |disp: Disposition| entry_value_actions(leaf_specs, disp);
 
         // --- instantiate the category template --------------------------
         let built = match category {
@@ -468,13 +519,14 @@ impl Builder {
             }
         };
 
-        if is_leaf {
-            self.attach_leaf_output(id, start, &built, &tag, disp_true)?;
+        if !leaf_specs.is_empty() {
+            self.attach_leaf_output(id, start, &built, &tag, disp_true, leaf_specs)?;
         }
         Ok(built)
     }
 
-    /// Attach value-producing arcs to a lowest-layer BPDT.
+    /// Attach value-producing arcs to a BPDT that is some query's lowest
+    /// layer.
     fn attach_leaf_output(
         &mut self,
         id: BpdtId,
@@ -482,17 +534,19 @@ impl Builder {
         built: &BuiltBpdt,
         tag: &NamePat,
         disp_true: Disposition,
+        leaf_specs: &[(u32, Output)],
     ) -> Result<(), CompileError> {
-        let output = self.query.output.clone();
         // Text-anchored values (`text()`, `sum()`, …): self-loops on the
         // NA state (buffer in own queue, pending the own predicate) and
         // the TRUE state (direct or to the nearest undecided ancestor).
-        if let Some(actions) = text_value_actions(&output, true, Disposition::OwnQueue) {
+        let actions = text_value_actions(leaf_specs, Disposition::OwnQueue);
+        if !actions.is_empty() {
             if let Some(na) = built.na {
                 self.add_arc(na, ArcLabel::TextSelf(tag.clone()), None, na, id, actions);
             }
         }
-        if let Some(actions) = text_value_actions(&output, true, disp_true) {
+        let actions = text_value_actions(leaf_specs, disp_true);
+        if !actions.is_empty() {
             let t = built.true_state;
             self.add_arc(t, ArcLabel::TextSelf(tag.clone()), None, t, id, actions);
         }
@@ -502,7 +556,7 @@ impl Builder {
         // tag on the exit arcs. The exit from the NA side also clears —
         // the ClearSelf added by the category template already handles
         // that; here we only append/close.
-        if self.query.output == Output::Element {
+        if leaf_specs.iter().any(|(_, o)| *o == Output::Element) {
             let mut exit_states = vec![built.true_state];
             if let Some(na) = built.na {
                 exit_states.push(na);
@@ -541,42 +595,52 @@ impl Builder {
 }
 
 /// Actions producing begin-anchored values (`@attr`, `count()`, element
-/// output) on a leaf BPDT's entry arcs.
-fn entry_value_actions(output: &Output, is_leaf: bool, disp: Disposition) -> Vec<Action> {
-    if !is_leaf {
-        return vec![];
+/// output) on a leaf BPDT's entry arcs — one action per ending query
+/// whose output is begin-anchored, each attributed to its tag.
+fn entry_value_actions(leaf_specs: &[(u32, Output)], disp: Disposition) -> Vec<Action> {
+    let mut actions = Vec::new();
+    for (tag, output) in leaf_specs {
+        match output {
+            Output::Attr(a) => actions.push(Action::Emit {
+                source: ValueSource::Attr(a.clone()),
+                to: disp,
+                tag: *tag,
+            }),
+            Output::Aggregate(AggFunc::Count) => actions.push(Action::Emit {
+                source: ValueSource::Unit,
+                to: disp,
+                tag: *tag,
+            }),
+            Output::Element => actions.push(Action::ElementStart {
+                to: disp,
+                tag: *tag,
+            }),
+            _ => {}
+        }
     }
-    match output {
-        Output::Attr(a) => vec![Action::Emit {
-            source: ValueSource::Attr(a.clone()),
-            to: disp,
-        }],
-        Output::Aggregate(AggFunc::Count) => vec![Action::Emit {
-            source: ValueSource::Unit,
-            to: disp,
-        }],
-        Output::Element => vec![Action::ElementStart { to: disp }],
-        _ => vec![],
-    }
+    actions
 }
 
 /// Actions producing text-anchored values (`text()`, numeric aggregates)
-/// as self-loops on a leaf BPDT's NA/TRUE states.
-fn text_value_actions(output: &Output, is_leaf: bool, disp: Disposition) -> Option<Vec<Action>> {
-    if !is_leaf {
-        return None;
+/// as self-loops on a leaf BPDT's NA/TRUE states — one per ending query
+/// with text-anchored output.
+fn text_value_actions(leaf_specs: &[(u32, Output)], disp: Disposition) -> Vec<Action> {
+    let mut actions = Vec::new();
+    for (tag, output) in leaf_specs {
+        match output {
+            Output::Text
+            | Output::Aggregate(AggFunc::Sum)
+            | Output::Aggregate(AggFunc::Avg)
+            | Output::Aggregate(AggFunc::Min)
+            | Output::Aggregate(AggFunc::Max) => actions.push(Action::Emit {
+                source: ValueSource::Text,
+                to: disp,
+                tag: *tag,
+            }),
+            _ => {}
+        }
     }
-    match output {
-        Output::Text
-        | Output::Aggregate(AggFunc::Sum)
-        | Output::Aggregate(AggFunc::Avg)
-        | Output::Aggregate(AggFunc::Min)
-        | Output::Aggregate(AggFunc::Max) => Some(vec![Action::Emit {
-            source: ValueSource::Text,
-            to: disp,
-        }]),
-        _ => None,
-    }
+    actions
 }
 
 fn name_pat(test: &NodeTest) -> NamePat {
@@ -584,6 +648,143 @@ fn name_pat(test: &NodeTest) -> NamePat {
         NodeTest::Name(n) => NamePat::Name(n.clone()),
         NodeTest::Wildcard => NamePat::Any,
     }
+}
+
+// ---- prefix-shared multi-query construction (§5 remark) ---------------
+
+/// One node of the location-step trie: a step shared by every query whose
+/// path runs through this node.
+struct TrieNode {
+    step: Step,
+    children: Vec<usize>,
+    /// Queries whose last step this is, as `(tag, output)`.
+    leaf: Vec<(u32, Output)>,
+}
+
+/// Build one HPDT answering several queries at once. Queries whose
+/// location-step prefixes coincide (same axis, node test, and predicate)
+/// share a single BPDT chain up to the divergence point and fan out below
+/// it — the grouping the paper's §5 remark says the HPDT's "simple and
+/// regular structure" makes possible. Every emitted result carries the
+/// tag of its originating query (`merged[tag]`), so attribution survives
+/// the merge.
+///
+/// Whole-element output is only supported for a singleton group: its
+/// catchall serialization machinery assumes the configuration's open
+/// item belongs to it alone, which sharing would violate.
+pub fn build_merged_hpdt(queries: &[Query]) -> Result<Hpdt, CompileError> {
+    let Some(first) = queries.first() else {
+        return Err(CompileError::Unsupported {
+            feature: "an empty query group".into(),
+            engine: "XSQ".into(),
+        });
+    };
+    if queries.len() > 1 && queries.iter().any(|q| q.output == Output::Element) {
+        return Err(CompileError::Unsupported {
+            feature: "element output inside a merged query group".into(),
+            engine: "XSQ".into(),
+        });
+    }
+
+    // Build the step trie. Two steps share a node iff they are equal
+    // (axis + node test + predicate), which keeps the shared chain's
+    // buffer semantics identical to each member's private chain.
+    let mut nodes: Vec<TrieNode> = Vec::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let mut parent: Option<usize> = None;
+        for step in &q.steps {
+            let siblings = match parent {
+                Some(p) => nodes[p].children.clone(),
+                None => roots.clone(),
+            };
+            let found = siblings.iter().copied().find(|&c| nodes[c].step == *step);
+            let node = match found {
+                Some(c) => c,
+                None => {
+                    let c = nodes.len();
+                    nodes.push(TrieNode {
+                        step: step.clone(),
+                        children: Vec::new(),
+                        leaf: Vec::new(),
+                    });
+                    match parent {
+                        Some(p) => nodes[p].children.push(c),
+                        None => roots.push(c),
+                    }
+                    c
+                }
+            };
+            parent = Some(node);
+        }
+        let leaf = parent.expect("parser guarantees at least one step");
+        nodes[leaf].leaf.push((i as u32, q.output.clone()));
+    }
+
+    // Expand the trie breadth-first, exactly like the single-query
+    // builder but with (a) fresh sequence numbers per layer — the binary
+    // id encoding cannot describe fan-out beyond two — and (b) the
+    // predicate context carried explicitly.
+    let mut b = Builder::new(first.clone());
+    let start = b.add_state(BpdtId::ROOT, StateRole::Start)?;
+    let root_true = b.add_state(BpdtId::ROOT, StateRole::True)?;
+    b.add_arc(
+        start,
+        ArcLabel::StartDoc,
+        None,
+        root_true,
+        BpdtId::ROOT,
+        vec![],
+    );
+    b.add_arc(
+        root_true,
+        ArcLabel::EndDoc,
+        None,
+        start,
+        BpdtId::ROOT,
+        vec![],
+    );
+    b.register_queue(BpdtId::ROOT);
+
+    let mut layer: u16 = 1;
+    let mut layers: u16 = 0;
+    let mut frontier: Vec<(usize, PredCx, StateId)> = roots
+        .iter()
+        .map(|&r| (r, PredCx::ROOT, root_true))
+        .collect();
+    while !frontier.is_empty() {
+        layers = layer;
+        let mut next = Vec::new();
+        for (seq, (node_idx, cx, start_state)) in frontier.into_iter().enumerate() {
+            let id = BpdtId::new(layer, seq as u64);
+            b.register_queue(id);
+            let node = &nodes[node_idx];
+            let built = b.build_bpdt(&node.step, id, cx, start_state, &node.leaf)?;
+            for &child in &nodes[node_idx].children {
+                if let Some(na) = built.na {
+                    next.push((child, cx.na_side(id), na));
+                }
+                next.push((child, cx.true_side(), built.true_state));
+            }
+        }
+        frontier = next;
+        layer += 1;
+    }
+
+    let scan_all = compute_scan_all(&b.arcs);
+    let deterministic = queries.iter().all(|q| !q.has_closure());
+    Ok(Hpdt {
+        bpdt_count: b.queue_index.len(),
+        start,
+        scan_all,
+        states: b.states,
+        arcs: b.arcs,
+        queue_index: b.queue_index,
+        layers,
+        deterministic,
+        query: first.clone(),
+        merged: queries.to_vec(),
+    })
 }
 
 /// Conservative static check: for each state, could two outgoing arcs

@@ -218,7 +218,6 @@ impl fmt::Display for DepthVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn push_pop_top() {
@@ -298,57 +297,64 @@ mod tests {
 
     /// Model-based check: the bitmap implementation behaves exactly like
     /// a plain vector under arbitrary push/pop sequences, including
-    /// around the 64-depth boundary.
-    #[derive(Debug, Clone)]
-    enum Op {
-        Push(u32),
-        Pop,
-    }
+    /// around the 64-depth boundary. Opt-in (`--features proptest`):
+    /// the dependency needs network access.
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
 
-    fn ops() -> impl Strategy<Value = Vec<Op>> {
-        prop::collection::vec(
-            prop_oneof![(1u32..10).prop_map(Op::Push), Just(Op::Pop)],
-            0..120,
-        )
-    }
+        #[derive(Debug, Clone)]
+        enum Op {
+            Push(u32),
+            Pop,
+        }
 
-    proptest! {
-        #[test]
-        fn matches_the_vec_model(ops in ops(), probe_n in 0usize..6) {
-            let mut dv = DepthVector::new();
-            let mut model: Vec<u32> = Vec::new();
-            let mut snapshots: Vec<(DepthVector, Vec<u32>)> = Vec::new();
-            for op in ops {
-                match op {
-                    Op::Push(step) => {
-                        // Keep entries strictly increasing like real runs.
-                        let d = model.last().copied().unwrap_or(0) + step;
-                        if d > 200 { continue; }
-                        dv.push_mut(d);
-                        model.push(d);
+        fn ops() -> impl Strategy<Value = Vec<Op>> {
+            prop::collection::vec(
+                prop_oneof![(1u32..10).prop_map(Op::Push), Just(Op::Pop)],
+                0..120,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn matches_the_vec_model(ops in ops(), probe_n in 0usize..6) {
+                let mut dv = DepthVector::new();
+                let mut model: Vec<u32> = Vec::new();
+                let mut snapshots: Vec<(DepthVector, Vec<u32>)> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Push(step) => {
+                            // Keep entries strictly increasing like real runs.
+                            let d = model.last().copied().unwrap_or(0) + step;
+                            if d > 200 { continue; }
+                            dv.push_mut(d);
+                            model.push(d);
+                        }
+                        Op::Pop => {
+                            dv.pop_mut();
+                            model.pop();
+                        }
                     }
-                    Op::Pop => {
-                        dv.pop_mut();
-                        model.pop();
-                    }
+                    prop_assert_eq!(dv.len(), model.len());
+                    prop_assert_eq!(dv.top(), model.last().copied().unwrap_or(0));
+                    prop_assert_eq!(dv.to_depths(), model.clone());
+                    snapshots.push((dv.clone(), model.clone()));
                 }
-                prop_assert_eq!(dv.len(), model.len());
-                prop_assert_eq!(dv.top(), model.last().copied().unwrap_or(0));
-                prop_assert_eq!(dv.to_depths(), model.clone());
-                snapshots.push((dv.clone(), model.clone()));
-            }
-            // Cross-compare prefix_matches on saved states against the
-            // model definition.
-            for (dva, ma) in snapshots.iter().rev().take(8) {
-                for (dvb, mb) in snapshots.iter().take(8) {
-                    let expect = ma.len() >= probe_n
-                        && mb.len() >= probe_n
-                        && ma[..probe_n] == mb[..probe_n];
-                    prop_assert_eq!(
-                        dva.prefix_matches(dvb, probe_n),
-                        expect,
-                        "prefix {} of {:?} vs {:?}", probe_n, ma, mb
-                    );
+                // Cross-compare prefix_matches on saved states against the
+                // model definition.
+                for (dva, ma) in snapshots.iter().rev().take(8) {
+                    for (dvb, mb) in snapshots.iter().take(8) {
+                        let expect = ma.len() >= probe_n
+                            && mb.len() >= probe_n
+                            && ma[..probe_n] == mb[..probe_n];
+                        prop_assert_eq!(
+                            dva.prefix_matches(dvb, probe_n),
+                            expect,
+                            "prefix {} of {:?} vs {:?}", probe_n, ma, mb
+                        );
+                    }
                 }
             }
         }

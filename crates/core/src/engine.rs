@@ -8,6 +8,7 @@
 //! [`XsqEngine`] here and share the HPDT compiler and runtime.
 
 use std::io::BufRead;
+use std::sync::Arc;
 use std::time::Instant;
 
 use xsq_xml::{SaxEvent, StreamParser};
@@ -68,7 +69,7 @@ impl XsqEngine {
         }
         let hpdt = build_hpdt(query)?;
         Ok(CompiledQuery {
-            hpdt,
+            hpdt: Arc::new(hpdt),
             mode: self.mode,
         })
     }
@@ -77,7 +78,7 @@ impl XsqEngine {
 /// A query compiled to an HPDT, ready to run over any number of streams.
 #[derive(Debug)]
 pub struct CompiledQuery {
-    hpdt: Hpdt,
+    hpdt: Arc<Hpdt>,
     mode: XsqMode,
 }
 
@@ -85,6 +86,17 @@ impl CompiledQuery {
     /// The compiled automaton (dumps, invariant tests).
     pub fn hpdt(&self) -> &Hpdt {
         &self.hpdt
+    }
+
+    /// A shared handle to the compiled automaton — what the multi-query
+    /// index stores next to the runtime state it drives.
+    pub fn hpdt_arc(&self) -> Arc<Hpdt> {
+        Arc::clone(&self.hpdt)
+    }
+
+    /// The engine variant this query was compiled for.
+    pub fn mode(&self) -> XsqMode {
+        self.mode
     }
 
     /// Start an incremental run — the streaming interface. Feed events as

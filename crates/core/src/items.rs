@@ -34,6 +34,10 @@ pub enum ItemState {
 struct Item {
     value: String,
     state: ItemState,
+    /// Tag of the query that produced the item (0 for a single-query
+    /// HPDT; the member index for a merged multi-query HPDT). Carried to
+    /// the sink so shared consumers keep attribution.
+    tag: u32,
     /// Element items are open while their element is being serialized;
     /// scalar items are created closed.
     closed: bool,
@@ -49,10 +53,14 @@ struct Item {
 pub struct ItemStore {
     items: Vec<Item>,
     cursor: usize,
-    /// Anchor for the event being processed: all value productions during
-    /// one input event share one item (duplicate matches, §4.3).
+    /// Anchor for the event being processed: all value productions of one
+    /// query during one input event share one item (duplicate matches,
+    /// §4.3). Distinct queries of a merged HPDT anchor distinct items —
+    /// their result streams are independent — so the anchor is per tag
+    /// (the vector is tiny: at most one entry per query that produced a
+    /// value at this very event).
     current_event: u64,
-    current_item: Option<ItemId>,
+    current_items: Vec<(u32, ItemId)>,
     live_bytes: usize,
     peak_bytes: usize,
     peak_live_items: usize,
@@ -65,30 +73,31 @@ impl ItemStore {
         Self::default()
     }
 
-    /// Start processing a new input event (resets the anchor).
+    /// Start processing a new input event (resets the anchors).
     pub fn begin_event(&mut self, ordinal: u64) {
         self.current_event = ordinal;
-        self.current_item = None;
+        self.current_items.clear();
     }
 
-    /// Get the item anchored at the current event, creating it with
-    /// `value` if this is the first production. `closed` is false for
-    /// element items that will grow by appends.
-    pub fn anchor(&mut self, value: &str, closed: bool) -> ItemId {
-        if let Some(id) = self.current_item {
+    /// Get the item anchored at the current event for query `tag`,
+    /// creating it with `value` if this is the tag's first production.
+    /// `closed` is false for element items that will grow by appends.
+    pub fn anchor(&mut self, tag: u32, value: &str, closed: bool) -> ItemId {
+        if let Some(&(_, id)) = self.current_items.iter().find(|(t, _)| *t == tag) {
             return id;
         }
         let id = self.items.len() as ItemId;
         self.items.push(Item {
             value: value.to_string(),
             state: ItemState::Pending,
+            tag,
             closed,
             refs: 0,
             last_append_event: self.current_event,
         });
         self.live_bytes += value.len();
         self.note_peaks();
-        self.current_item = Some(id);
+        self.current_items.push((tag, id));
         id
     }
 
@@ -152,16 +161,17 @@ impl ItemStore {
     }
 
     /// Advance the emission cursor: emit every resolved item at the head
-    /// in document order. `f` receives the values of emitted items.
-    pub fn drain(&mut self, mut f: impl FnMut(&str)) {
+    /// in document order. `f` receives the tag and value of emitted items.
+    pub fn drain(&mut self, mut f: impl FnMut(u32, &str)) {
         while let Some(item) = self.items.get_mut(self.cursor) {
             match item.state {
                 ItemState::Output if item.closed => {
                     let value = std::mem::take(&mut item.value);
+                    let tag = item.tag;
                     self.live_bytes -= value.len();
                     self.emitted += 1;
                     self.cursor += 1;
-                    f(&value);
+                    f(tag, &value);
                 }
                 ItemState::Dead => {
                     self.cursor += 1;
@@ -173,7 +183,7 @@ impl ItemStore {
 
     /// End-of-stream cleanup: anything still pending can no longer become
     /// a result (all elements are closed), so it dies; then drain.
-    pub fn finish(&mut self, f: impl FnMut(&str)) {
+    pub fn finish(&mut self, f: impl FnMut(u32, &str)) {
         for item in &mut self.items[self.cursor..] {
             if item.state == ItemState::Pending {
                 item.state = ItemState::Dead;
@@ -223,11 +233,11 @@ mod tests {
     fn anchor_shares_one_item_per_event() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("x", true);
-        let b = s.anchor("ignored", true);
+        let a = s.anchor(0, "x", true);
+        let b = s.anchor(0, "ignored", true);
         assert_eq!(a, b);
         s.begin_event(2);
-        let c = s.anchor("y", true);
+        let c = s.anchor(0, "y", true);
         assert_ne!(a, c);
     }
 
@@ -235,20 +245,20 @@ mod tests {
     fn output_then_drain_in_document_order() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("first", true);
+        let a = s.anchor(0, "first", true);
         s.add_ref(a);
         s.begin_event(2);
-        let b = s.anchor("second", true);
+        let b = s.anchor(0, "second", true);
         s.add_ref(b);
         // Second resolves before first: nothing emits until first does.
         s.mark_output(b);
         s.release_ref(b);
         let mut out = Vec::new();
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert!(out.is_empty());
         s.mark_output(a);
         s.release_ref(a);
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert_eq!(out, ["first", "second"]);
     }
 
@@ -256,7 +266,7 @@ mod tests {
     fn cleared_references_kill_pending_items() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("dead", true);
+        let a = s.anchor(0, "dead", true);
         s.add_ref(a);
         s.add_ref(a);
         s.release_ref(a);
@@ -264,7 +274,7 @@ mod tests {
         s.release_ref(a);
         assert_eq!(s.state(a), ItemState::Dead);
         let mut out = Vec::new();
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert!(out.is_empty());
     }
 
@@ -274,7 +284,7 @@ mod tests {
         // must survive and be emitted exactly once.
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("kept", true);
+        let a = s.anchor(0, "kept", true);
         s.add_ref(a); // reference from path 1
         s.add_ref(a); // reference from path 2
         s.mark_output(a); // path 2's predicates all true
@@ -282,7 +292,7 @@ mod tests {
         s.release_ref(a); // path 1 cleared
         assert_eq!(s.state(a), ItemState::Output);
         let mut out = Vec::new();
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert_eq!(out, ["kept"]);
     }
 
@@ -290,17 +300,17 @@ mod tests {
     fn element_items_block_emission_until_closed() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("<a>", false);
+        let a = s.anchor(0, "<a>", false);
         s.mark_output(a);
         let mut out = Vec::new();
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert!(out.is_empty());
         s.begin_event(2);
         s.append(a, "text");
         s.begin_event(3);
         s.append(a, "</a>");
         s.close(a);
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert_eq!(out, ["<a>text</a>"]);
     }
 
@@ -308,14 +318,14 @@ mod tests {
     fn appends_are_deduplicated_per_event() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("<a>", false);
+        let a = s.anchor(0, "<a>", false);
         s.begin_event(2);
         s.append(a, "x");
         s.append(a, "x"); // second configuration, same event
         s.mark_output(a);
         s.close(a);
         let mut out = Vec::new();
-        s.drain(|v| out.push(v.to_string()));
+        s.drain(|_, v| out.push(v.to_string()));
         assert_eq!(out, ["<a>x"]);
     }
 
@@ -323,13 +333,13 @@ mod tests {
     fn finish_kills_stragglers() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("stuck", true);
+        let a = s.anchor(0, "stuck", true);
         s.add_ref(a);
         s.begin_event(2);
-        let b = s.anchor("good", true);
+        let b = s.anchor(0, "good", true);
         s.mark_output(b);
         let mut out = Vec::new();
-        s.finish(|v| out.push(v.to_string()));
+        s.finish(|_, v| out.push(v.to_string()));
         assert_eq!(out, ["good"]);
         assert_eq!(s.pending_items(), 0);
     }
@@ -338,15 +348,15 @@ mod tests {
     fn memory_peaks_track_live_values() {
         let mut s = ItemStore::new();
         s.begin_event(1);
-        let a = s.anchor("aaaa", true);
+        let a = s.anchor(0, "aaaa", true);
         s.add_ref(a);
         s.begin_event(2);
-        let b = s.anchor("bb", true);
+        let b = s.anchor(0, "bb", true);
         s.add_ref(b);
         assert_eq!(s.peak_bytes(), 6);
         s.mark_output(a);
         s.release_ref(a);
-        s.drain(|_| {});
+        s.drain(|_, _| {});
         // Peak stays even after emission.
         assert_eq!(s.peak_bytes(), 6);
         assert_eq!(s.peak_live_items(), 2);

@@ -48,6 +48,7 @@ pub mod ids;
 pub mod items;
 pub mod multi;
 pub mod projector;
+pub mod qindex;
 pub mod report;
 pub mod runtime;
 pub mod schema;
@@ -61,6 +62,7 @@ pub use error::{CompileError, EngineError};
 pub use ids::BpdtId;
 pub use multi::{MultiRunner, QuerySet};
 pub use projector::Projector;
+pub use qindex::{QueryId, QueryIndex, QuerySink, VecQuerySink};
 pub use report::{Capabilities, MemoryStats, PhaseTimings, RunReport, Unsupported, XPathEngine};
-pub use runtime::{RunStats, Runner};
-pub use sink::{CountingSink, FnSink, Sink, VecSink};
+pub use runtime::{RunStats, Runner, RunnerCore};
+pub use sink::{CountingSink, FnSink, IgnoreTags, Sink, TaggedSink, TaggedVecSink, VecSink};

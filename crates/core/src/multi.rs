@@ -3,25 +3,30 @@
 //! The paper notes (§5) that "the HPDT used by XSQ has a simple and
 //! regular structure, so that multiple HPDTs can be grouped using methods
 //! suggested by \[YFilter\]". This module provides that workload shape: a
-//! [`QuerySet`] compiles any number of queries once, and a
-//! [`MultiRunner`] drives all of them over a single pass of the stream —
-//! one parse, N evaluations, with per-query sinks and shared event
-//! dispatch.
+//! [`QuerySet`] compiles any number of queries once, and evaluation runs
+//! all of them over a single pass of the stream — one parse, N
+//! evaluations, with per-query result attribution.
 //!
-//! The dominating win of grouping is parsing the stream once instead of
-//! once per query (the `multi_query` ablation in the `micro` bench
-//! measures ≈3× for eight standing queries); per-event work is one HPDT
-//! step per query, each of which ignores irrelevant events in O(arcs of
-//! one state). Full YFilter-style prefix sharing *across* HPDTs is
-//! possible thanks to their regular structure (the paper's §5 remark)
-//! and would compose naturally on top of this interface.
+//! Two execution paths share this interface:
+//!
+//! - The **grouped path** (default, used by [`QuerySet::run_document`]):
+//!   the set is planned into prefix-sharing groups and driven through a
+//!   [`QueryIndex`], so each event touches only the runners whose
+//!   dispatch buckets match it — see [`crate::qindex`].
+//! - The **loop path** ([`QuerySet::runner`] → [`MultiRunner`]): one
+//!   independent runner per query, every event stepped through all of
+//!   them. It is the baseline the `multi_query` ablation measures the
+//!   index against, and remains available for callers that need one
+//!   runner per query (e.g. per-query tracers).
 
 use std::io::BufRead;
 
-use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xml::SaxEvent;
 
 use crate::engine::{CompiledQuery, XsqEngine};
 use crate::error::{CompileError, EngineError};
+use crate::qindex::prefix::{plan_groups, QueryGroup};
+use crate::qindex::{QueryId, QueryIndex, QuerySink, VecQuerySink};
 use crate::report::MemoryStats;
 use crate::runtime::{RunStats, Runner};
 use crate::sink::Sink;
@@ -43,7 +48,10 @@ use crate::sink::Sink;
 /// ```
 #[derive(Debug)]
 pub struct QuerySet {
+    engine: XsqEngine,
     queries: Vec<(String, CompiledQuery)>,
+    /// Prefix-sharing group plan (compiled once, instantiated per run).
+    plan: Vec<QueryGroup>,
 }
 
 impl QuerySet {
@@ -51,13 +59,25 @@ impl QuerySet {
     /// first malformed or unsupported query, naming it.
     pub fn compile(engine: XsqEngine, queries: &[&str]) -> Result<QuerySet, (usize, CompileError)> {
         let mut compiled = Vec::with_capacity(queries.len());
+        let mut parsed = Vec::with_capacity(queries.len());
         for (i, q) in queries.iter().enumerate() {
+            match xsq_xpath::parse_query(q) {
+                Ok(p) => parsed.push(p),
+                Err(e) => return Err((i, e.into())),
+            }
             match engine.compile_str(q) {
                 Ok(c) => compiled.push((q.to_string(), c)),
                 Err(e) => return Err((i, e)),
             }
         }
-        Ok(QuerySet { queries: compiled })
+        // Every query compiled individually, so planning can only fail on
+        // pathological inputs; attribute such an error to the whole set.
+        let plan = plan_groups(&parsed).map_err(|e| (0, e))?;
+        Ok(QuerySet {
+            engine,
+            queries: compiled,
+            plan,
+        })
     }
 
     /// Number of queries.
@@ -75,7 +95,20 @@ impl QuerySet {
         self.queries.iter().map(|(s, _)| s.as_str())
     }
 
-    /// Start a shared run.
+    /// Number of runner groups after prefix sharing (≤ [`Self::len`]).
+    pub fn group_count(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Start a grouped run: fresh runtime state over the precompiled
+    /// prefix-sharing plan, with dispatch-indexed event routing. This is
+    /// the default execution path.
+    pub fn index(&self) -> QueryIndex {
+        let texts: Vec<String> = self.queries.iter().map(|(s, _)| s.clone()).collect();
+        QueryIndex::from_plan(self.engine, &texts, &self.plan)
+    }
+
+    /// Start a loop-path run: one independent runner per query.
     pub fn runner(&self) -> MultiRunner<'_> {
         MultiRunner {
             runners: self.queries.iter().map(|(_, c)| c.runner()).collect(),
@@ -89,22 +122,38 @@ impl QuerySet {
         self.run_reader(document)
     }
 
-    /// Single-pass evaluation over any reader.
+    /// Single-pass evaluation over any reader, through the query index.
     pub fn run_reader<R: BufRead>(&self, reader: R) -> Result<Vec<Vec<String>>, EngineError> {
-        let mut parser = StreamParser::new(reader);
-        let mut runner = self.runner();
-        let mut sinks: Vec<crate::sink::VecSink> = (0..self.len())
-            .map(|_| crate::sink::VecSink::new())
-            .collect();
-        while let Some(ev) = parser.next_event()? {
-            runner.feed_all(&ev, &mut sinks);
+        let mut index = self.index();
+        let mut sink = VecQuerySink::new();
+        index.run_reader(reader, &mut sink)?;
+        let mut per_query: Vec<Vec<String>> = (0..self.len()).map(|_| Vec::new()).collect();
+        for (id, value) in sink.results {
+            per_query[id.0 as usize].push(value);
         }
-        runner.finish_all(&mut sinks);
-        Ok(sinks.into_iter().map(|s| s.results).collect())
+        Ok(per_query)
     }
 }
 
-/// Incremental multi-query evaluation state.
+/// Tags one runner's output with its query id before it reaches the
+/// shared [`QuerySink`] — how the loop path keeps attribution.
+struct AttributeAs<'a> {
+    id: QueryId,
+    inner: &'a mut dyn QuerySink,
+}
+
+impl Sink for AttributeAs<'_> {
+    fn result(&mut self, value: &str) {
+        self.inner.result(self.id, value);
+    }
+
+    fn aggregate_update(&mut self, value: f64) {
+        self.inner.aggregate_update(self.id, value);
+    }
+}
+
+/// Incremental multi-query evaluation state (the loop path: every event
+/// steps every runner).
 pub struct MultiRunner<'q> {
     runners: Vec<Runner<'q>>,
     events: u64,
@@ -120,11 +169,16 @@ impl<'q> MultiRunner<'q> {
         }
     }
 
-    /// Feed one event, routing every query's results to one shared sink.
-    pub fn feed_shared(&mut self, event: &SaxEvent, sink: &mut dyn Sink) {
+    /// Feed one event, routing every query's results to one shared sink,
+    /// each tagged with the query's id (its index in the set).
+    pub fn feed_shared(&mut self, event: &SaxEvent, sink: &mut dyn QuerySink) {
         self.events += 1;
-        for runner in self.runners.iter_mut() {
-            runner.feed(event, sink);
+        for (i, runner) in self.runners.iter_mut().enumerate() {
+            let mut tagged = AttributeAs {
+                id: QueryId(i as u32),
+                inner: &mut *sink,
+            };
+            runner.feed(event, &mut tagged);
         }
     }
 
@@ -134,6 +188,21 @@ impl<'q> MultiRunner<'q> {
             .into_iter()
             .zip(sinks.iter_mut())
             .map(|(r, s)| r.finish(s))
+            .collect()
+    }
+
+    /// Finish all runs into one shared sink, keeping attribution.
+    pub fn finish_shared(self, sink: &mut dyn QuerySink) -> Vec<RunStats> {
+        self.runners
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut tagged = AttributeAs {
+                    id: QueryId(i as u32),
+                    inner: &mut *sink,
+                };
+                r.finish(&mut tagged)
+            })
             .collect()
     }
 
@@ -201,6 +270,25 @@ mod tests {
     }
 
     #[test]
+    fn grouped_path_shares_prefixes() {
+        let set = QuerySet::compile(
+            XsqEngine::full(),
+            &[
+                "/pub/book/name/text()",
+                "/pub/book/price/text()",
+                "/pub/year/text()",
+            ],
+        )
+        .unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.group_count(), 1);
+        let results = set.run_document(DOC).unwrap();
+        assert_eq!(results[0], ["First", "Second"]);
+        assert_eq!(results[1], ["10", "14"]);
+        assert_eq!(results[2], ["2002"]);
+    }
+
+    #[test]
     fn bad_query_is_reported_with_its_index() {
         let err = QuerySet::compile(XsqEngine::full(), &["/a/b", "/a[", "/c"]).unwrap_err();
         assert_eq!(err.0, 1);
@@ -218,14 +306,21 @@ mod tests {
         let set =
             QuerySet::compile(XsqEngine::full(), &["//name/text()", "//author/text()"]).unwrap();
         let mut runner = set.runner();
-        let mut sink = crate::sink::VecSink::new();
+        let mut sink = VecQuerySink::new();
         for ev in xsq_xml::parse_to_events(DOC).unwrap() {
             runner.feed_shared(&ev, &mut sink);
         }
         assert!(runner.events() > 0);
         assert!(runner.memory().peak_configs >= 2);
-        // Both queries' results interleave in stream order.
-        assert_eq!(sink.results, ["First", "A", "Second"]);
+        runner.finish_shared(&mut sink);
+        // Both queries' results interleave in stream order, and every
+        // value says which query produced it.
+        let tagged: Vec<(u32, &str)> = sink
+            .results
+            .iter()
+            .map(|(id, v)| (id.0, v.as_str()))
+            .collect();
+        assert_eq!(tagged, [(0, "First"), (1, "A"), (0, "Second")]);
     }
 
     #[test]

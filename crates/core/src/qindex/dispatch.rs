@@ -1,0 +1,299 @@
+//! The inverted dispatch index: event name → interested runners.
+//!
+//! `MultiRunner::feed_all` steps every query's HPDT on every event, so
+//! per-event cost is O(N queries) even when almost no query cares about
+//! the element name — the exact failure mode Koch et al.'s schema-based
+//! scheduling work identifies for structured-stream engines at scale.
+//! This index inverts the question: for each (event kind, element name)
+//! it keeps the set of runner groups whose *current* frontier states
+//! have an arc that could accept such an event. A `Begin`/`End`/`Text`
+//! event then touches only the groups in its bucket (plus the wildcard
+//! bucket for closure self-loops, `*` tests, and catchalls), instead of
+//! all N.
+//!
+//! The index is maintained incrementally: a runner's interest only
+//! changes when one of its arcs fires (its configuration set moves), so
+//! the common skipped event costs one hash lookup total. Interest is a
+//! deliberate *over*-approximation — it ignores the depth discipline and
+//! guards that [`crate::arcs::Arc::label_matches`] enforces — so a
+//! dispatched group may still match nothing; skipping a group is safe
+//! precisely because a no-match feed is a no-op.
+
+use std::collections::{BTreeSet, HashMap};
+
+use xsq_xml::SaxEvent;
+
+use crate::arcs::{ArcLabel, NamePat, StateId};
+use crate::build::Hpdt;
+
+/// Event-kind component of a dispatch key.
+const KIND_BEGIN: usize = 0;
+const KIND_END: usize = 1;
+const KIND_TEXT: usize = 2;
+
+/// Interns element/attribute names to dense symbols so dispatch keys are
+/// integer comparisons, not string hashing per arc.
+#[derive(Debug, Default)]
+struct Interner {
+    map: HashMap<String, u32>,
+    count: u32,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = self.count;
+        self.map.insert(name.to_string(), s);
+        self.count += 1;
+        s
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+}
+
+fn key(kind: usize, symbol: u32) -> u64 {
+    ((kind as u64) << 32) | symbol as u64
+}
+
+/// What events one HPDT state could react to, precomputed from its arcs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StateInterest {
+    keys: Vec<u64>,
+    wild: [bool; 3],
+}
+
+/// A runner group's currently registered interest (union over its
+/// frontier states).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupInterest {
+    keys: BTreeSet<u64>,
+    wild: [bool; 3],
+}
+
+/// The inverted index over all registered groups.
+#[derive(Debug, Default)]
+pub struct DispatchIndex {
+    interner: Interner,
+    by_key: HashMap<u64, BTreeSet<u32>>,
+    wildcard: [BTreeSet<u32>; 3],
+    /// Every registered group: document brackets go to all of them, and
+    /// candidate iteration for unnamed events starts here.
+    all: BTreeSet<u32>,
+}
+
+impl DispatchIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of named buckets currently populated (diagnostics).
+    pub fn named_buckets(&self) -> usize {
+        self.by_key.values().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Compute one state's interest from its outgoing arcs.
+    fn state_interest(&mut self, hpdt: &Hpdt, state: StateId) -> StateInterest {
+        let mut si = StateInterest::default();
+        for arc in &hpdt.arcs[state as usize] {
+            match &arc.label {
+                // Document brackets reach every group unconditionally.
+                ArcLabel::StartDoc | ArcLabel::EndDoc => {}
+                ArcLabel::BeginChild(pat) | ArcLabel::BeginAnyDepth(pat) => match pat {
+                    NamePat::Name(n) => si.keys.push(key(KIND_BEGIN, self.interner.intern(n))),
+                    NamePat::Any => si.wild[KIND_BEGIN] = true,
+                },
+                ArcLabel::ClosureSelfLoop => si.wild[KIND_BEGIN] = true,
+                ArcLabel::End(pat) => match pat {
+                    NamePat::Name(n) => si.keys.push(key(KIND_END, self.interner.intern(n))),
+                    NamePat::Any => si.wild[KIND_END] = true,
+                },
+                ArcLabel::TextSelf(pat) | ArcLabel::TextChild(pat) => match pat {
+                    NamePat::Name(n) => si.keys.push(key(KIND_TEXT, self.interner.intern(n))),
+                    NamePat::Any => si.wild[KIND_TEXT] = true,
+                },
+                // The catchall accepts begin, end, and text events alike.
+                ArcLabel::Catchall => si.wild = [true, true, true],
+            }
+        }
+        si.keys.sort_unstable();
+        si.keys.dedup();
+        si
+    }
+
+    /// (Re)register a group's interest for its current frontier states,
+    /// diffing against what is currently in the index so only changed
+    /// buckets are touched. `cache` memoizes per-state interest for the
+    /// group's HPDT (states never change interest once compiled);
+    /// `current` is updated in place to the new interest.
+    pub(crate) fn reindex(
+        &mut self,
+        group: u32,
+        hpdt: &Hpdt,
+        frontier: &[StateId],
+        cache: &mut Vec<Option<StateInterest>>,
+        current: &mut GroupInterest,
+    ) {
+        if cache.len() < hpdt.arcs.len() {
+            cache.resize(hpdt.arcs.len(), None);
+        }
+        let mut next = GroupInterest::default();
+        for &s in frontier {
+            let slot = &mut cache[s as usize];
+            if slot.is_none() {
+                let si = self.state_interest(hpdt, s);
+                *slot = Some(si);
+            }
+            let si = slot.as_ref().unwrap();
+            next.keys.extend(si.keys.iter().copied());
+            for k in 0..3 {
+                next.wild[k] |= si.wild[k];
+            }
+        }
+
+        // Apply the diff.
+        for &k in next.keys.difference(&current.keys) {
+            self.by_key.entry(k).or_default().insert(group);
+        }
+        for &k in current.keys.difference(&next.keys) {
+            if let Some(set) = self.by_key.get_mut(&k) {
+                set.remove(&group);
+            }
+        }
+        for k in 0..3 {
+            if next.wild[k] && !current.wild[k] {
+                self.wildcard[k].insert(group);
+            } else if !next.wild[k] && current.wild[k] {
+                self.wildcard[k].remove(&group);
+            }
+        }
+        self.all.insert(group);
+        *current = next;
+    }
+
+    /// Remove a group entirely (unsubscription of its last member).
+    pub(crate) fn remove_group(&mut self, group: u32, current: &GroupInterest) {
+        for &k in &current.keys {
+            if let Some(set) = self.by_key.get_mut(&k) {
+                set.remove(&group);
+            }
+        }
+        for k in 0..3 {
+            self.wildcard[k].remove(&group);
+        }
+        self.all.remove(&group);
+    }
+
+    /// Collect the groups that might react to `event`, in ascending group
+    /// order (deterministic feed order ⇒ deterministic result
+    /// interleaving in shared sinks).
+    pub fn candidates(&self, event: &SaxEvent, out: &mut Vec<u32>) {
+        out.clear();
+        let (kind, name) = match event {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => {
+                out.extend(self.all.iter().copied());
+                return;
+            }
+            SaxEvent::Begin { name, .. } => (KIND_BEGIN, name.as_str()),
+            SaxEvent::End { name, .. } => (KIND_END, name.as_str()),
+            SaxEvent::Text { element, .. } => (KIND_TEXT, element.as_str()),
+        };
+        if let Some(sym) = self.interner.get(name) {
+            if let Some(set) = self.by_key.get(&key(kind, sym)) {
+                out.extend(set.iter().copied());
+            }
+        }
+        if !self.wildcard[kind].is_empty() {
+            out.extend(self.wildcard[kind].iter().copied());
+            out.sort_unstable();
+            out.dedup();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_hpdt;
+    use xsq_xpath::parse_query;
+
+    fn begin(name: &str, depth: u32) -> SaxEvent {
+        SaxEvent::Begin {
+            name: name.into(),
+            attributes: vec![],
+            depth,
+        }
+    }
+
+    #[test]
+    fn start_state_interest_routes_only_matching_names() {
+        let hpdt = build_hpdt(&parse_query("/a/b/text()").unwrap()).unwrap();
+        let mut idx = DispatchIndex::new();
+        let mut cache = Vec::new();
+        let mut cur = GroupInterest::default();
+        idx.reindex(0, &hpdt, &[hpdt.start], &mut cache, &mut cur);
+
+        let mut out = Vec::new();
+        idx.candidates(&begin("a", 1), &mut out);
+        // The start state only has the StartDoc arc: no element interest
+        // yet, but document brackets always dispatch.
+        assert!(out.is_empty());
+        idx.candidates(&SaxEvent::StartDocument, &mut out);
+        assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn frontier_moves_change_the_buckets() {
+        let hpdt = build_hpdt(&parse_query("/a/b/text()").unwrap()).unwrap();
+        let mut idx = DispatchIndex::new();
+        let mut cache = Vec::new();
+        let mut cur = GroupInterest::default();
+        // Frontier at the root TRUE state (after StartDocument): the
+        // entry arc on `a` is live.
+        let root_true = hpdt.arcs[hpdt.start as usize][0].target;
+        idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
+        let mut out = Vec::new();
+        idx.candidates(&begin("a", 1), &mut out);
+        assert_eq!(out, [0]);
+        idx.candidates(&begin("zzz", 1), &mut out);
+        assert!(out.is_empty());
+
+        // Move the frontier somewhere with no `a` interest: bucket empties.
+        idx.reindex(0, &hpdt, &[hpdt.start], &mut cache, &mut cur);
+        idx.candidates(&begin("a", 1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closures_and_wildcards_land_in_the_wildcard_bucket() {
+        let hpdt = build_hpdt(&parse_query("//b/text()").unwrap()).unwrap();
+        let mut idx = DispatchIndex::new();
+        let mut cache = Vec::new();
+        let mut cur = GroupInterest::default();
+        let root_true = hpdt.arcs[hpdt.start as usize][0].target;
+        idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
+        let mut out = Vec::new();
+        // The closure self-loop accepts any begin event.
+        idx.candidates(&begin("anything", 3), &mut out);
+        assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn remove_group_clears_every_bucket() {
+        let hpdt = build_hpdt(&parse_query("//b/text()").unwrap()).unwrap();
+        let mut idx = DispatchIndex::new();
+        let mut cache = Vec::new();
+        let mut cur = GroupInterest::default();
+        let root_true = hpdt.arcs[hpdt.start as usize][0].target;
+        idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
+        idx.remove_group(0, &cur);
+        let mut out = Vec::new();
+        idx.candidates(&begin("b", 1), &mut out);
+        assert!(out.is_empty());
+        idx.candidates(&SaxEvent::StartDocument, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Prefix-sharing group planner.
+//!
+//! Standing query sets are usually templated — hundreds of subscriptions
+//! differing only in a trailing step or predicate constant. Compiling
+//! each one to a private HPDT repeats the shared prefix N times: N
+//! copies of the same BPDT chain, N buffer queues holding the same
+//! items, N arcs scanned per event. [`plan_groups`] instead partitions
+//! the set so queries that share a leading location step compile into
+//! one merged HPDT (see [`crate::build::build_merged_hpdt`]): the trie
+//! underneath shares every common step prefix, fanning out only at the
+//! divergence point, and tags each query's leaves so results stay
+//! attributed.
+//!
+//! Element-output queries get singleton groups — their catchall
+//! serialization machinery assumes sole ownership of a config's item
+//! slot, so they never merge (and lose nothing: sharing only pays when
+//! a prefix repeats).
+
+use std::sync::Arc;
+
+use xsq_xpath::{Output, Query};
+
+use crate::build::{build_hpdt, build_merged_hpdt, Hpdt};
+use crate::error::CompileError;
+
+/// One compiled group: a (possibly merged) HPDT plus the indices of the
+/// queries it answers, in tag order — `members[t]` is the original
+/// index of the query whose results carry tag `t`.
+#[derive(Debug, Clone)]
+pub struct QueryGroup {
+    pub hpdt: Arc<Hpdt>,
+    pub members: Vec<usize>,
+}
+
+/// Partition `queries` into prefix-sharing groups and compile each.
+///
+/// Grouping is by equality of the first location step (axis, node test,
+/// predicate): queries that don't even agree on step one share no
+/// prefix worth merging, and separate groups keep the dispatch index's
+/// buckets fine-grained. Group order follows first appearance, and
+/// members keep their input order inside a group, so result attribution
+/// is stable across runs.
+pub fn plan_groups(queries: &[Query]) -> Result<Vec<QueryGroup>, CompileError> {
+    // (representative first step, member indices) in first-seen order.
+    let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        if q.output == Output::Element || q.is_empty() {
+            singles.push(i);
+            continue;
+        }
+        match buckets
+            .iter_mut()
+            .find(|(rep, _)| queries[*rep].steps[0] == q.steps[0])
+        {
+            Some((_, members)) => members.push(i),
+            None => buckets.push((i, vec![i])),
+        }
+    }
+
+    let mut groups = Vec::with_capacity(buckets.len() + singles.len());
+    for (_, members) in buckets {
+        let hpdt = if members.len() == 1 {
+            // A lone query compiles on the classic single-query path,
+            // bit-identical to what `XsqEngine::compile` produces.
+            build_hpdt(&queries[members[0]])?
+        } else {
+            let group: Vec<Query> = members.iter().map(|&i| queries[i].clone()).collect();
+            build_merged_hpdt(&group)?
+        };
+        groups.push(QueryGroup {
+            hpdt: Arc::new(hpdt),
+            members,
+        });
+    }
+    for i in singles {
+        groups.push(QueryGroup {
+            hpdt: Arc::new(build_hpdt(&queries[i])?),
+            members: vec![i],
+        });
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xpath::parse_query;
+
+    fn queries(texts: &[&str]) -> Vec<Query> {
+        texts.iter().map(|t| parse_query(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn shared_first_step_merges_into_one_group() {
+        let qs = queries(&["/a/b/text()", "/a/c/text()", "/a/b/@id"]);
+        let groups = plan_groups(&qs).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, [0, 1, 2]);
+        assert_eq!(groups[0].hpdt.merged.len(), 3);
+    }
+
+    #[test]
+    fn distinct_first_steps_stay_separate() {
+        let qs = queries(&["/a/b/text()", "/x/y/text()"]);
+        let groups = plan_groups(&qs).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, [0]);
+        assert_eq!(groups[1].members, [1]);
+    }
+
+    #[test]
+    fn predicate_differences_on_step_one_split_groups() {
+        let qs = queries(&["/a[b]/c/text()", "/a/c/text()"]);
+        let groups = plan_groups(&qs).unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn element_output_queries_get_singleton_groups() {
+        let qs = queries(&["/a/b", "/a/b/text()", "/a/c"]);
+        let groups = plan_groups(&qs).unwrap();
+        // text() query groups alone (nothing shares its category), the
+        // two element queries each stand alone at the end.
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].members, [1]);
+        assert_eq!(groups[1].members, [0]);
+        assert_eq!(groups[2].members, [2]);
+    }
+
+    #[test]
+    fn lone_member_compiles_on_the_single_query_path() {
+        let qs = queries(&["/a/b/text()"]);
+        let groups = plan_groups(&qs).unwrap();
+        let direct = build_hpdt(&qs[0]).unwrap();
+        assert_eq!(groups[0].hpdt.states.len(), direct.states.len());
+        assert_eq!(groups[0].hpdt.bpdt_count, direct.bpdt_count);
+    }
+}

@@ -1,0 +1,690 @@
+//! The query index proper: dynamic subscriptions over grouped runners.
+//!
+//! [`QueryIndex`] is the streaming facade over any number of standing
+//! XPath queries. It owns the compiled groups ([`super::prefix`]), their
+//! runtime state, and the inverted dispatch index
+//! ([`super::dispatch`]); callers interact only in terms of
+//! [`QueryId`]s:
+//!
+//! - [`QueryIndex::subscribe`] / [`QueryIndex::subscribe_group`] add
+//!   queries (a batch compiles with prefix sharing),
+//! - [`QueryIndex::feed`] pushes one SAX event to every *interested*
+//!   runner,
+//! - results land either in a per-subscriber [`Sink`] or in the shared
+//!   [`QuerySink`], tagged with the originating `QueryId`,
+//! - [`QueryIndex::unsubscribe`] mutes a query immediately, without
+//!   recompiling anything.
+//!
+//! A subscription made mid-document stays silent until the next
+//! document: its runner starts at the HPDT start state, whose only arc
+//! consumes the document-start event. [`QueryIndex::finish`] emits
+//! pending aggregates, then resets every runner so the same index can
+//! process the next document in the stream.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xpath::Query;
+
+use crate::arcs::StateId;
+use crate::build::Hpdt;
+use crate::engine::{XsqEngine, XsqMode};
+use crate::error::{CompileError, EngineError};
+use crate::report::MemoryStats;
+use crate::runtime::{RunStats, RunnerCore};
+use crate::sink::{Sink, TaggedSink};
+
+use super::dispatch::{DispatchIndex, GroupInterest, StateInterest};
+use super::prefix::plan_groups;
+
+/// Stable handle for one subscribed query. Ids are never reused, so a
+/// stale handle after `unsubscribe` is harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u32);
+
+/// Where shared-mode results go: like [`Sink`], but every callback says
+/// which query produced the value.
+pub trait QuerySink {
+    fn result(&mut self, id: QueryId, value: &str);
+    /// Running aggregate update (count/sum/… queries only).
+    fn aggregate_update(&mut self, _id: QueryId, _value: f64) {}
+}
+
+/// Shared sink that collects `(id, value)` pairs in arrival order.
+#[derive(Debug, Default)]
+pub struct VecQuerySink {
+    pub results: Vec<(QueryId, String)>,
+    pub updates: Vec<(QueryId, f64)>,
+}
+
+impl VecQuerySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The values one query produced, in document order.
+    pub fn of(&self, id: QueryId) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|(i, _)| *i == id)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+impl QuerySink for VecQuerySink {
+    fn result(&mut self, id: QueryId, value: &str) {
+        self.results.push((id, value.to_string()));
+    }
+
+    fn aggregate_update(&mut self, id: QueryId, value: f64) {
+        self.updates.push((id, value));
+    }
+}
+
+/// One subscription.
+struct Sub {
+    text: String,
+    group: u32,
+    /// This query's tag inside its group's (possibly merged) HPDT.
+    tag: u32,
+    active: bool,
+    sink: Option<Box<dyn Sink>>,
+}
+
+/// One compiled group and its runtime state.
+struct Group {
+    hpdt: Arc<Hpdt>,
+    core: RunnerCore,
+    /// `members[tag]` = the QueryId whose results carry that tag.
+    members: Vec<QueryId>,
+    interest: GroupInterest,
+    state_cache: Vec<Option<StateInterest>>,
+    /// Active member count; at 0 the group leaves the dispatch index.
+    live: usize,
+}
+
+/// Routes a group's tagged results to the owning subscription's private
+/// sink, or to the shared [`QuerySink`] with the `QueryId` attached.
+struct RouteSink<'a> {
+    members: &'a [QueryId],
+    subs: &'a mut [Sub],
+    shared: &'a mut dyn QuerySink,
+}
+
+impl TaggedSink for RouteSink<'_> {
+    fn result(&mut self, tag: u32, value: &str) {
+        let id = self.members[tag as usize];
+        let sub = &mut self.subs[id.0 as usize];
+        if !sub.active {
+            return;
+        }
+        match &mut sub.sink {
+            Some(s) => s.result(value),
+            None => self.shared.result(id, value),
+        }
+    }
+
+    fn aggregate_update(&mut self, tag: u32, value: f64) {
+        let id = self.members[tag as usize];
+        let sub = &mut self.subs[id.0 as usize];
+        if !sub.active {
+            return;
+        }
+        match &mut sub.sink {
+            Some(s) => s.aggregate_update(value),
+            None => self.shared.aggregate_update(id, value),
+        }
+    }
+}
+
+/// A set of standing queries behind one streaming interface.
+pub struct QueryIndex {
+    engine: XsqEngine,
+    groups: Vec<Group>,
+    subs: Vec<Sub>,
+    dispatch: DispatchIndex,
+    scratch_candidates: Vec<u32>,
+    scratch_states: Vec<StateId>,
+    events: u64,
+    touches: u64,
+}
+
+impl QueryIndex {
+    /// An empty index for the given engine variant (XSQ-F or XSQ-NC).
+    pub fn new(engine: XsqEngine) -> Self {
+        QueryIndex {
+            engine,
+            groups: Vec::new(),
+            subs: Vec::new(),
+            dispatch: DispatchIndex::new(),
+            scratch_candidates: Vec::new(),
+            scratch_states: Vec::new(),
+            events: 0,
+            touches: 0,
+        }
+    }
+
+    fn scan_all_mode(&self) -> bool {
+        self.engine.mode() == XsqMode::Full
+    }
+
+    /// Build an index from an already-compiled plan — the
+    /// [`crate::multi::QuerySet`] grouped path, which plans once at
+    /// compile time and instantiates fresh runtime state per run.
+    /// `plan[g].members` index into `texts`.
+    pub(crate) fn from_plan(
+        engine: XsqEngine,
+        texts: &[String],
+        plan: &[super::prefix::QueryGroup],
+    ) -> Self {
+        let mut index = QueryIndex::new(engine);
+        for t in texts {
+            index.subs.push(Sub {
+                text: t.clone(),
+                group: 0,
+                tag: 0,
+                active: true,
+                sink: None,
+            });
+        }
+        for g in plan {
+            let members = g.members.iter().map(|&i| QueryId(i as u32)).collect();
+            index.add_group(Arc::clone(&g.hpdt), members);
+        }
+        index
+    }
+
+    /// Register `hpdt` as a new group answering `members` (already
+    /// appended to `subs`, in tag order) and index its start frontier.
+    fn add_group(&mut self, hpdt: Arc<Hpdt>, members: Vec<QueryId>) {
+        let gi = self.groups.len() as u32;
+        for (tag, &id) in members.iter().enumerate() {
+            let sub = &mut self.subs[id.0 as usize];
+            sub.group = gi;
+            sub.tag = tag as u32;
+        }
+        let core = RunnerCore::new(&hpdt, self.scan_all_mode());
+        let mut group = Group {
+            live: members.len(),
+            hpdt,
+            core,
+            members,
+            interest: GroupInterest::default(),
+            state_cache: Vec::new(),
+        };
+        group.core.frontier_states(&mut self.scratch_states);
+        self.dispatch.reindex(
+            gi,
+            &group.hpdt,
+            &self.scratch_states,
+            &mut group.state_cache,
+            &mut group.interest,
+        );
+        self.groups.push(group);
+    }
+
+    /// Subscribe one query; results go to the shared sink passed to
+    /// [`QueryIndex::feed`]. Compiles a private HPDT — use
+    /// [`QueryIndex::subscribe_group`] to share prefixes across a batch.
+    pub fn subscribe(&mut self, query: &str) -> Result<QueryId, CompileError> {
+        let compiled = self.engine.compile_str(query)?;
+        let id = QueryId(self.subs.len() as u32);
+        self.subs.push(Sub {
+            text: query.to_string(),
+            group: 0,
+            tag: 0,
+            active: true,
+            sink: None,
+        });
+        self.add_group(compiled.hpdt_arc(), vec![id]);
+        Ok(id)
+    }
+
+    /// Subscribe one query with a private sink: its results bypass the
+    /// shared sink entirely.
+    pub fn subscribe_with_sink(
+        &mut self,
+        query: &str,
+        sink: Box<dyn Sink>,
+    ) -> Result<QueryId, CompileError> {
+        let id = self.subscribe(query)?;
+        self.subs[id.0 as usize].sink = Some(sink);
+        Ok(id)
+    }
+
+    /// Subscribe a batch at once: queries sharing a leading location-step
+    /// prefix compile into one merged HPDT, sharing states and buffers up
+    /// to the divergence point. Returns one id per query, in input order.
+    /// On error nothing is registered.
+    pub fn subscribe_group(&mut self, queries: &[&str]) -> Result<Vec<QueryId>, CompileError> {
+        let parsed: Vec<Query> = queries
+            .iter()
+            .map(|q| {
+                let query = xsq_xpath::parse_query(q)?;
+                if self.engine.mode() == XsqMode::NoClosure && query.has_closure() {
+                    return Err(CompileError::Unsupported {
+                        feature: "the closure axis //".into(),
+                        engine: "XSQ-NC".into(),
+                    });
+                }
+                Ok(query)
+            })
+            .collect::<Result<_, CompileError>>()?;
+        let plan = plan_groups(&parsed)?;
+
+        let base = self.subs.len() as u32;
+        for q in queries {
+            self.subs.push(Sub {
+                text: q.to_string(),
+                group: 0,
+                tag: 0,
+                active: true,
+                sink: None,
+            });
+        }
+        for g in plan {
+            let members = g
+                .members
+                .iter()
+                .map(|&i| QueryId(base + i as u32))
+                .collect();
+            self.add_group(g.hpdt, members);
+        }
+        Ok((0..queries.len())
+            .map(|i| QueryId(base + i as u32))
+            .collect())
+    }
+
+    /// Attach (or replace) a private sink on an existing subscription.
+    pub fn attach_sink(&mut self, id: QueryId, sink: Box<dyn Sink>) {
+        self.subs[id.0 as usize].sink = Some(sink);
+    }
+
+    /// Detach a private sink, returning it; the query reverts to the
+    /// shared sink.
+    pub fn detach_sink(&mut self, id: QueryId) -> Option<Box<dyn Sink>> {
+        self.subs[id.0 as usize].sink.take()
+    }
+
+    /// Mute a query immediately. Its group keeps running while other
+    /// members need it; once the last member unsubscribes the group is
+    /// dropped from the dispatch index and costs nothing per event.
+    /// Returns false if the id was already unsubscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        let sub = &mut self.subs[id.0 as usize];
+        if !sub.active {
+            return false;
+        }
+        sub.active = false;
+        let gi = sub.group;
+        let group = &mut self.groups[gi as usize];
+        group.live -= 1;
+        if group.live == 0 {
+            self.dispatch.remove_group(gi, &group.interest);
+        }
+        true
+    }
+
+    /// Push one event. Only runners whose dispatch buckets match the
+    /// event are stepped; everyone else pays nothing.
+    pub fn feed(&mut self, event: &SaxEvent, shared: &mut dyn QuerySink) {
+        self.events += 1;
+        let Self {
+            groups,
+            subs,
+            dispatch,
+            scratch_candidates,
+            scratch_states,
+            touches,
+            ..
+        } = self;
+        dispatch.candidates(event, scratch_candidates);
+        for &gi in scratch_candidates.iter() {
+            let Group {
+                hpdt,
+                core,
+                members,
+                interest,
+                state_cache,
+                ..
+            } = &mut groups[gi as usize];
+            *touches += 1;
+            let mut route = RouteSink {
+                members,
+                subs,
+                shared: &mut *shared,
+            };
+            let fired = core.feed(hpdt, event, &mut route);
+            if fired {
+                // The configuration set moved: re-derive what this group
+                // can react to next and update the buckets by diff.
+                core.frontier_states(scratch_states);
+                dispatch.reindex(gi, hpdt, scratch_states, state_cache, interest);
+            }
+        }
+    }
+
+    /// End of document: emit pending aggregates, then reset every runner
+    /// (and its dispatch interest) so the index is ready for the next
+    /// document. Stats aggregate over all live groups.
+    pub fn finish(&mut self, shared: &mut dyn QuerySink) -> RunStats {
+        let mut total = RunStats {
+            events: self.events,
+            results: 0,
+            memory: MemoryStats::default(),
+        };
+        let Self {
+            groups,
+            subs,
+            dispatch,
+            scratch_states,
+            ..
+        } = self;
+        for (gi, group) in groups.iter_mut().enumerate() {
+            if group.live == 0 {
+                continue;
+            }
+            let Group {
+                hpdt,
+                core,
+                members,
+                interest,
+                state_cache,
+                ..
+            } = group;
+            let mut route = RouteSink {
+                members,
+                subs,
+                shared: &mut *shared,
+            };
+            let stats = core.finish(&mut route);
+            total.results += stats.results;
+            total.memory.peak_bytes += stats.memory.peak_bytes;
+            total.memory.peak_items += stats.memory.peak_items;
+            total.memory.peak_configs += stats.memory.peak_configs;
+            core.reset(hpdt);
+            core.frontier_states(scratch_states);
+            dispatch.reindex(gi as u32, hpdt, scratch_states, state_cache, interest);
+        }
+        total
+    }
+
+    /// Run one complete serialized document through the index.
+    pub fn run_document(
+        &mut self,
+        document: &[u8],
+        shared: &mut dyn QuerySink,
+    ) -> Result<RunStats, EngineError> {
+        self.run_reader(document, shared)
+    }
+
+    /// Run one complete document from any buffered reader.
+    pub fn run_reader<R: BufRead>(
+        &mut self,
+        reader: R,
+        shared: &mut dyn QuerySink,
+    ) -> Result<RunStats, EngineError> {
+        let mut parser = StreamParser::new(reader);
+        while let Some(ev) = parser.next_event()? {
+            self.feed(&ev, shared);
+        }
+        Ok(self.finish(shared))
+    }
+
+    /// Total subscriptions ever made (including unsubscribed ones).
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Active (unmuted) subscriptions.
+    pub fn active_len(&self) -> usize {
+        self.subs.iter().filter(|s| s.active).count()
+    }
+
+    /// Number of compiled runner groups (≤ number of subscriptions when
+    /// prefix sharing merged some).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The query text behind an id.
+    pub fn text(&self, id: QueryId) -> &str {
+        &self.subs[id.0 as usize].text
+    }
+
+    pub fn is_active(&self, id: QueryId) -> bool {
+        self.subs[id.0 as usize].active
+    }
+
+    /// Events fed so far (cumulative across documents).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Runner-group feeds performed so far. `feed_all` over N separate
+    /// queries would accumulate `events × N`; the dispatch index keeps
+    /// this close to the number of events that actually matter.
+    pub fn touches(&self) -> u64 {
+        self.touches
+    }
+}
+
+impl std::fmt::Debug for QueryIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryIndex")
+            .field("subscriptions", &self.subs.len())
+            .field("groups", &self.groups.len())
+            .field("events", &self.events)
+            .field("touches", &self.touches)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::evaluate;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const DOC: &[u8] = b"<pub><book id=\"1\"><name>First</name><author>A</author>\
+                         <price>10</price></book><book id=\"2\"><name>Second</name>\
+                         <price>14</price></book><year>2002</year></pub>";
+
+    #[test]
+    fn shared_sink_results_match_individual_engines() {
+        let queries = [
+            "/pub/book/name/text()",
+            "/pub/book/@id",
+            "/pub/book[author]/name/text()",
+            "/pub/year/text()",
+        ];
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let ids = index.subscribe_group(&queries).unwrap();
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        for (q, &id) in queries.iter().zip(&ids) {
+            let expected = evaluate(q, DOC).unwrap();
+            assert_eq!(index.text(id), *q);
+            assert_eq!(sink.of(id), expected, "mismatch for {q}");
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_group_count() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        index
+            .subscribe_group(&[
+                "/pub/book/name/text()",
+                "/pub/book/price/text()",
+                "/pub/year/text()",
+            ])
+            .unwrap();
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.group_count(), 1);
+    }
+
+    #[test]
+    fn private_sinks_bypass_the_shared_sink() {
+        #[derive(Default)]
+        struct Shared(Rc<RefCell<Vec<String>>>);
+        impl Sink for Shared {
+            fn result(&mut self, value: &str) {
+                self.0.borrow_mut().push(value.to_string());
+            }
+        }
+
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let private = Rc::new(RefCell::new(Vec::new()));
+        index
+            .subscribe_with_sink(
+                "/pub/book/name/text()",
+                Box::new(Shared(Rc::clone(&private))),
+            )
+            .unwrap();
+        let years = index.subscribe("/pub/year/text()").unwrap();
+        let mut shared = VecQuerySink::new();
+        index.run_document(DOC, &mut shared).unwrap();
+        assert_eq!(*private.borrow(), ["First", "Second"]);
+        assert_eq!(shared.results, [(years, "2002".to_string())]);
+    }
+
+    #[test]
+    fn unsubscribe_mutes_immediately_and_forever() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let names = index.subscribe("/pub/book/name/text()").unwrap();
+        let years = index.subscribe("/pub/year/text()").unwrap();
+        assert!(index.unsubscribe(names));
+        assert!(!index.unsubscribe(names));
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        assert_eq!(sink.of(names), Vec::<&str>::new());
+        assert_eq!(sink.of(years), ["2002"]);
+        assert_eq!(index.active_len(), 1);
+    }
+
+    #[test]
+    fn the_index_survives_multiple_documents() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let id = index.subscribe("/a/b/text()").unwrap();
+        let mut sink = VecQuerySink::new();
+        index.run_document(b"<a><b>one</b></a>", &mut sink).unwrap();
+        index.run_document(b"<a><b>two</b></a>", &mut sink).unwrap();
+        assert_eq!(sink.of(id), ["one", "two"]);
+    }
+
+    #[test]
+    fn aggregation_queries_report_through_the_index() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let total = index.subscribe("/pub/book/price/sum()").unwrap();
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        assert_eq!(sink.of(total), ["24"]);
+        assert!(!sink.updates.is_empty());
+    }
+
+    #[test]
+    fn dispatch_skips_uninterested_runners() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        // 8 standing queries on tags that never appear in the document.
+        for i in 0..8 {
+            index.subscribe(&format!("/pub/ghost{i}/text()")).unwrap();
+        }
+        let watched = index.subscribe("/pub/year/text()").unwrap();
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        assert_eq!(sink.of(watched), ["2002"]);
+        // feed_all would touch 9 runners per event; dispatch must do far
+        // better. Brackets and `pub` begin/end touch everyone, but inner
+        // book/name/... events only the matching bucket.
+        assert!(
+            index.touches() < index.events() * 9 / 2,
+            "touches {} not < half of events*N {}",
+            index.touches(),
+            index.events() * 9
+        );
+    }
+
+    #[test]
+    fn closure_queries_stay_reachable_through_the_wildcard_bucket() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let deep = index.subscribe("//name/text()").unwrap();
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        assert_eq!(sink.of(deep), ["First", "Second"]);
+    }
+
+    #[test]
+    fn nc_mode_rejects_closures_in_groups() {
+        let mut index = QueryIndex::new(XsqEngine::no_closure());
+        let err = index
+            .subscribe_group(&["/a/b/text()", "//c/text()"])
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Unsupported { .. }));
+        // The failed batch registered nothing.
+        assert_eq!(index.len(), 0);
+    }
+
+    #[test]
+    fn mid_stream_subscription_waits_for_the_next_document() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let first = index.subscribe("/a/b/text()").unwrap();
+        let mut sink = VecQuerySink::new();
+        index.feed(&SaxEvent::StartDocument, &mut sink);
+        index.feed(
+            &SaxEvent::Begin {
+                name: "a".into(),
+                attributes: vec![],
+                depth: 1,
+            },
+            &mut sink,
+        );
+        // Late subscriber: misses this document entirely.
+        let late = index.subscribe("/a/b/text()").unwrap();
+        index.feed(
+            &SaxEvent::Begin {
+                name: "b".into(),
+                attributes: vec![],
+                depth: 2,
+            },
+            &mut sink,
+        );
+        index.feed(
+            &SaxEvent::Text {
+                element: "b".into(),
+                text: "x".into(),
+                depth: 2,
+            },
+            &mut sink,
+        );
+        index.feed(
+            &SaxEvent::End {
+                name: "b".into(),
+                depth: 2,
+            },
+            &mut sink,
+        );
+        index.feed(
+            &SaxEvent::End {
+                name: "a".into(),
+                depth: 1,
+            },
+            &mut sink,
+        );
+        index.feed(&SaxEvent::EndDocument, &mut sink);
+        index.finish(&mut sink);
+        assert_eq!(sink.of(first), ["x"]);
+        assert_eq!(sink.of(late), Vec::<&str>::new());
+
+        // The next document reaches both.
+        index.run_document(b"<a><b>y</b></a>", &mut sink).unwrap();
+        assert_eq!(sink.of(first), ["x", "y"]);
+        assert_eq!(sink.of(late), ["y"]);
+    }
+}

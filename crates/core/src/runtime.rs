@@ -20,6 +20,12 @@
 //! stops scanning a state's arcs at the first match whenever the builder
 //! proved the state deterministic — the paper's "XSQ-NC can stop searching
 //! after it finds one match".
+//!
+//! The runtime state lives in [`RunnerCore`], which borrows the compiled
+//! [`Hpdt`] only for the duration of each call — that is what lets the
+//! multi-query index own `Arc<Hpdt>`s and runner states side by side with
+//! no self-referential borrows. [`Runner`] is the single-query facade
+//! that pairs a core with one `&Hpdt` for the classic borrowed API.
 
 use xsq_xml::SaxEvent;
 use xsq_xpath::Output;
@@ -31,7 +37,7 @@ use crate::build::Hpdt;
 use crate::depth_vector::DepthVector;
 use crate::items::{ItemId, ItemStore};
 use crate::report::MemoryStats;
-use crate::sink::Sink;
+use crate::sink::{IgnoreTags, Sink, TaggedSink};
 use crate::trace::TraceStep;
 
 /// One runtime configuration.
@@ -48,22 +54,31 @@ struct Config {
 pub struct RunStats {
     /// SAX events processed (including the document brackets).
     pub events: u64,
-    /// Results emitted (for aggregations: 1, the final value).
+    /// Results emitted (for aggregations: 1 per aggregation query, the
+    /// final value).
     pub results: u64,
     /// Peak memory held by the engine.
     pub memory: MemoryStats,
 }
 
-/// An incremental evaluator: feed it SAX events, results stream out of
-/// the sink as soon as the paper's semantics allow.
-pub struct Runner<'q> {
-    hpdt: &'q Hpdt,
+/// The runtime state of one HPDT evaluation, decoupled from the compiled
+/// automaton: every method takes the `Hpdt` as a parameter, so callers
+/// decide how the automaton is owned (plain borrow in [`Runner`],
+/// `Arc<Hpdt>` in the multi-query index).
+///
+/// Results leave through a [`TaggedSink`]; for an ordinary single-query
+/// HPDT every result carries tag 0, while a merged multi-query HPDT tags
+/// each result with the index of its originating query in `hpdt.merged`.
+pub struct RunnerCore {
     /// When false (XSQ-NC), deterministic states stop at the first match.
     scan_all_mode: bool,
     configs: Vec<Config>,
     items: ItemStore,
     queues: QueueSet,
-    agg: Option<Aggregator>,
+    /// Per-tag aggregation state (`aggs[t]` is `Some` iff `merged[t]` is
+    /// an aggregation query).
+    aggs: Vec<Option<Aggregator>>,
+    agg_count: usize,
     ordinal: u64,
     events: u64,
     results: u64,
@@ -73,21 +88,28 @@ pub struct Runner<'q> {
     scratch_matches: Vec<(usize, StateId, u32)>,
     scratch_uses: Vec<u32>,
     spare_configs: Vec<Config>,
-    /// Optional execution tracer (`--trace`; see [`crate::trace`]).
-    tracer: Option<&'q mut dyn FnMut(TraceStep)>,
 }
 
-impl<'q> Runner<'q> {
-    /// Create a runner over a compiled HPDT. `scan_all_mode` selects the
-    /// nondeterministic (XSQ-F) arc scan; pass `false` only for
-    /// closure-free queries (XSQ-NC).
-    pub fn new(hpdt: &'q Hpdt, scan_all_mode: bool) -> Self {
-        let agg = match &hpdt.query.output {
+fn make_aggs(hpdt: &Hpdt) -> (Vec<Option<Aggregator>>, usize) {
+    let aggs: Vec<Option<Aggregator>> = hpdt
+        .merged
+        .iter()
+        .map(|q| match &q.output {
             Output::Aggregate(f) => Some(Aggregator::new(*f)),
             _ => None,
-        };
-        Runner {
-            hpdt,
+        })
+        .collect();
+    let count = aggs.iter().filter(|a| a.is_some()).count();
+    (aggs, count)
+}
+
+impl RunnerCore {
+    /// Create runtime state for a compiled HPDT. `scan_all_mode` selects
+    /// the nondeterministic (XSQ-F) arc scan; pass `false` only for
+    /// closure-free queries (XSQ-NC).
+    pub fn new(hpdt: &Hpdt, scan_all_mode: bool) -> Self {
+        let (aggs, agg_count) = make_aggs(hpdt);
+        RunnerCore {
             scan_all_mode,
             configs: vec![Config {
                 state: hpdt.start,
@@ -96,7 +118,8 @@ impl<'q> Runner<'q> {
             }],
             items: ItemStore::new(),
             queues: QueueSet::new(hpdt.bpdt_count),
-            agg,
+            aggs,
+            agg_count,
             ordinal: 0,
             events: 0,
             results: 0,
@@ -104,43 +127,44 @@ impl<'q> Runner<'q> {
             scratch_matches: Vec::new(),
             scratch_uses: Vec::new(),
             spare_configs: Vec::new(),
-            tracer: None,
         }
     }
 
-    /// Reset the runner to its start state for a fresh document,
-    /// keeping the allocated scratch buffers (multi-document feeds).
-    pub fn reset(&mut self) {
+    /// Reset to the start state for a fresh document, keeping the
+    /// allocated scratch buffers (multi-document feeds).
+    pub fn reset(&mut self, hpdt: &Hpdt) {
         self.configs.clear();
         self.configs.push(Config {
-            state: self.hpdt.start,
+            state: hpdt.start,
             dv: DepthVector::new(),
             item: None,
         });
         self.items = ItemStore::new();
-        self.queues = QueueSet::new(self.hpdt.bpdt_count);
-        self.agg = match &self.hpdt.query.output {
-            xsq_xpath::Output::Aggregate(f) => Some(Aggregator::new(*f)),
-            _ => None,
-        };
+        self.queues = QueueSet::new(hpdt.bpdt_count);
+        let (aggs, agg_count) = make_aggs(hpdt);
+        self.aggs = aggs;
+        self.agg_count = agg_count;
         self.ordinal = 0;
         self.results = 0;
     }
 
-    /// Install an execution tracer: it receives one [`TraceStep`] per
-    /// input event (the Example 5-style walkthrough). Zero cost when
-    /// unset.
-    pub fn set_tracer(&mut self, tracer: &'q mut dyn FnMut(TraceStep)) {
-        self.tracer = Some(tracer);
+    /// Process one SAX event, pushing any newly determined results into
+    /// the sink. Returns `true` when at least one arc fired — i.e. the
+    /// configuration set may have moved (the dispatch index uses this to
+    /// know when a runner's frontier needs re-indexing).
+    pub fn feed(&mut self, hpdt: &Hpdt, event: &SaxEvent, sink: &mut dyn TaggedSink) -> bool {
+        self.feed_traced(hpdt, event, sink, None)
     }
 
-    /// Process one SAX event, pushing any newly determined results into
-    /// the sink.
-    pub fn feed(&mut self, event: &SaxEvent, sink: &mut dyn Sink) {
-        // `hpdt` is a shared borrow for the whole compiled query's
-        // lifetime; pulling it out of `self` lets us hold arcs across the
-        // mutable buffer operations below.
-        let hpdt = self.hpdt;
+    /// [`Self::feed`] with an optional execution tracer (`--trace`; see
+    /// [`crate::trace`]). Zero cost when `tracer` is `None`.
+    pub fn feed_traced(
+        &mut self,
+        hpdt: &Hpdt,
+        event: &SaxEvent,
+        sink: &mut dyn TaggedSink,
+        tracer: Option<&mut dyn FnMut(TraceStep)>,
+    ) -> bool {
         self.ordinal += 1;
         self.events += 1;
         self.items.begin_event(self.ordinal);
@@ -170,8 +194,8 @@ impl<'q> Runner<'q> {
             self.scratch_matches = matches;
             self.scratch_uses = uses;
             self.drain(sink);
-            self.emit_trace(event, Vec::new());
-            return;
+            self.emit_trace(event, Vec::new(), tracer);
+            return false;
         }
 
         // Phase 2: execute matches deepest-layer-first (uploads from a
@@ -217,12 +241,12 @@ impl<'q> Runner<'q> {
                     _ => {}
                 }
             }
-            if self.tracer.is_some() {
+            if tracer.is_some() {
                 fired.push(crate::trace::fired_arc(arc, state, &dv));
             }
             let mut new_item = cfg_item;
             for action in &arc.actions {
-                self.execute(action, arc.owner, event, &dv, cfg_item, &mut new_item);
+                self.execute(hpdt, action, arc.owner, event, &dv, cfg_item, &mut new_item);
             }
             if changes && matches!(event, SaxEvent::End { .. } | SaxEvent::EndDocument) {
                 dv.pop_mut();
@@ -248,26 +272,31 @@ impl<'q> Runner<'q> {
 
         // Phase 3: emit whatever is now determined, in document order.
         self.drain(sink);
-        self.emit_trace(event, fired);
+        self.emit_trace(event, fired, tracer);
+        true
     }
 
-    fn emit_trace(&mut self, event: &SaxEvent, fired: Vec<crate::trace::FiredArc>) {
-        let configs_after = self.configs.len();
-        let buffered_after = self.queues.live_entries();
-        let ordinal = self.ordinal;
-        if let Some(tracer) = self.tracer.as_mut() {
+    fn emit_trace(
+        &mut self,
+        event: &SaxEvent,
+        fired: Vec<crate::trace::FiredArc>,
+        tracer: Option<&mut dyn FnMut(TraceStep)>,
+    ) {
+        if let Some(tracer) = tracer {
             tracer(TraceStep {
-                ordinal,
+                ordinal: self.ordinal,
                 event: event.to_string(),
                 fired,
-                configs_after,
-                buffered_after,
+                configs_after: self.configs.len(),
+                buffered_after: self.queues.live_entries(),
             });
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &mut self,
+        hpdt: &Hpdt,
         action: &Action,
         owner: crate::ids::BpdtId,
         event: &SaxEvent,
@@ -275,7 +304,7 @@ impl<'q> Runner<'q> {
         current_item: Option<ItemId>,
         new_item: &mut Option<ItemId>,
     ) {
-        let own = self.queue_idx(owner);
+        let own = queue_idx(hpdt, owner);
         let prefix = owner.layer as usize + 1;
         match action {
             Action::FlushSelf => {
@@ -283,14 +312,14 @@ impl<'q> Runner<'q> {
                     .flush_matching(own, inside_dv, prefix, &mut self.items);
             }
             Action::UploadSelf(target) => {
-                let dst = self.queue_idx(*target);
+                let dst = queue_idx(hpdt, *target);
                 self.queues.upload_matching(own, dst, inside_dv, prefix);
             }
             Action::ClearSelf => {
                 self.queues
                     .clear_matching(own, inside_dv, prefix, &mut self.items);
             }
-            Action::Emit { source, to } => {
+            Action::Emit { source, to, tag } => {
                 let value: Option<&str> = match source {
                     ValueSource::Text => match event {
                         SaxEvent::Text { text, .. } => Some(text.as_str()),
@@ -300,16 +329,16 @@ impl<'q> Runner<'q> {
                     ValueSource::Unit => Some("1"),
                 };
                 if let Some(v) = value {
-                    let item = self.items.anchor(v, true);
-                    self.route(item, to, own, inside_dv);
+                    let item = self.items.anchor(*tag, v, true);
+                    self.route(hpdt, item, to, own, inside_dv);
                 }
             }
-            Action::ElementStart { to } => {
+            Action::ElementStart { to, tag } => {
                 let mut ser = String::new();
                 xsq_xml::writer::write_event_into(event, &mut ser);
-                let item = self.items.anchor(&ser, false);
+                let item = self.items.anchor(*tag, &ser, false);
                 *new_item = Some(item);
-                self.route(item, to, own, inside_dv);
+                self.route(hpdt, item, to, own, inside_dv);
             }
             Action::ElementAppend => {
                 if let Some(item) = current_item {
@@ -332,15 +361,14 @@ impl<'q> Runner<'q> {
         }
     }
 
-    fn queue_idx(&self, id: crate::ids::BpdtId) -> usize {
-        *self
-            .hpdt
-            .queue_index
-            .get(&id)
-            .expect("compiled disposition targets an existing BPDT")
-    }
-
-    fn route(&mut self, item: ItemId, to: &Disposition, own_queue: usize, inside_dv: &DepthVector) {
+    fn route(
+        &mut self,
+        hpdt: &Hpdt,
+        item: ItemId,
+        to: &Disposition,
+        own_queue: usize,
+        inside_dv: &DepthVector,
+    ) {
         match to {
             Disposition::Direct => self.items.mark_output(item),
             Disposition::OwnQueue => {
@@ -348,46 +376,59 @@ impl<'q> Runner<'q> {
                     .enqueue(own_queue, item, inside_dv.clone(), &mut self.items)
             }
             Disposition::Queue(id) => {
-                let q = self.queue_idx(*id);
+                let q = queue_idx(hpdt, *id);
                 self.queues
                     .enqueue(q, item, inside_dv.clone(), &mut self.items)
             }
         }
     }
 
-    fn drain(&mut self, sink: &mut dyn Sink) {
-        if let Some(agg) = &mut self.agg {
-            let items = &mut self.items;
-            items.drain(|v| agg.add(v));
-            if agg.take_dirty() {
-                sink.aggregate_update(agg.current());
-            }
-        } else {
-            let results = &mut self.results;
-            self.items.drain(|v| {
+    fn drain(&mut self, sink: &mut dyn TaggedSink) {
+        let aggs = &mut self.aggs;
+        let results = &mut self.results;
+        self.items.drain(|tag, v| {
+            if let Some(Some(agg)) = aggs.get_mut(tag as usize) {
+                agg.add(v);
+            } else {
                 *results += 1;
-                sink.result(v);
-            });
+                sink.result(tag, v);
+            }
+        });
+        if self.agg_count > 0 {
+            for (t, agg) in aggs.iter_mut().enumerate() {
+                if let Some(agg) = agg {
+                    if agg.take_dirty() {
+                        sink.aggregate_update(t as u32, agg.current());
+                    }
+                }
+            }
         }
     }
 
     /// Finish the stream: resolve stragglers, emit the aggregation
-    /// result, and return run statistics. For complete documents
+    /// results, and return run statistics. For complete documents
     /// (`EndDocument` was fed) there are never stragglers — the paper's
     /// invariant that all buffers resolve by the closing tag of the
-    /// outermost queried element.
-    pub fn finish(mut self, sink: &mut dyn Sink) -> RunStats {
-        if let Some(agg) = &mut self.agg {
-            let items = &mut self.items;
-            items.finish(|v| agg.add(v));
-            sink.result(&agg.render());
-            self.results += 1;
-        } else {
-            let results = &mut self.results;
-            self.items.finish(|v| {
+    /// outermost queried element. The core stays usable (call
+    /// [`Self::reset`] for the next document).
+    pub fn finish(&mut self, sink: &mut dyn TaggedSink) -> RunStats {
+        let aggs = &mut self.aggs;
+        let results = &mut self.results;
+        self.items.finish(|tag, v| {
+            if let Some(Some(agg)) = aggs.get_mut(tag as usize) {
+                agg.add(v);
+            } else {
                 *results += 1;
-                sink.result(v);
-            });
+                sink.result(tag, v);
+            }
+        });
+        if self.agg_count > 0 {
+            for (t, agg) in self.aggs.iter().enumerate() {
+                if let Some(agg) = agg {
+                    sink.result(t as u32, &agg.render());
+                    self.results += 1;
+                }
+            }
         }
         RunStats {
             events: self.events,
@@ -419,10 +460,105 @@ impl<'q> Runner<'q> {
         self.configs.len()
     }
 
+    /// The states of the live configurations, deduplicated — the frontier
+    /// the dispatch index derives a runner's event interest from.
+    pub fn frontier_states(&self, out: &mut Vec<StateId>) {
+        out.clear();
+        out.extend(self.configs.iter().map(|c| c.state));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// The running aggregate value of query `tag`, if it aggregates.
+    pub fn aggregate_value(&self, tag: u32) -> Option<f64> {
+        self.aggs
+            .get(tag as usize)
+            .and_then(|a| a.as_ref())
+            .map(|a| a.current())
+    }
+
+    /// Events fed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+/// An incremental evaluator: feed it SAX events, results stream out of
+/// the sink as soon as the paper's semantics allow. The single-query
+/// facade over [`RunnerCore`].
+pub struct Runner<'q> {
+    hpdt: &'q Hpdt,
+    core: RunnerCore,
+    /// Optional execution tracer (`--trace`; see [`crate::trace`]).
+    tracer: Option<&'q mut dyn FnMut(TraceStep)>,
+}
+
+impl<'q> Runner<'q> {
+    /// Create a runner over a compiled HPDT. `scan_all_mode` selects the
+    /// nondeterministic (XSQ-F) arc scan; pass `false` only for
+    /// closure-free queries (XSQ-NC).
+    pub fn new(hpdt: &'q Hpdt, scan_all_mode: bool) -> Self {
+        Runner {
+            hpdt,
+            core: RunnerCore::new(hpdt, scan_all_mode),
+            tracer: None,
+        }
+    }
+
+    /// Reset the runner to its start state for a fresh document,
+    /// keeping the allocated scratch buffers (multi-document feeds).
+    pub fn reset(&mut self) {
+        self.core.reset(self.hpdt);
+    }
+
+    /// Install an execution tracer: it receives one [`TraceStep`] per
+    /// input event (the Example 5-style walkthrough). Zero cost when
+    /// unset.
+    pub fn set_tracer(&mut self, tracer: &'q mut dyn FnMut(TraceStep)) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Process one SAX event, pushing any newly determined results into
+    /// the sink.
+    pub fn feed(&mut self, event: &SaxEvent, sink: &mut dyn Sink) {
+        let mut tagged = IgnoreTags(sink);
+        let tracer: Option<&mut dyn FnMut(TraceStep)> = self.tracer.as_mut().map(|t| &mut **t as _);
+        self.core.feed_traced(self.hpdt, event, &mut tagged, tracer);
+    }
+
+    /// Finish the stream: resolve stragglers, emit the aggregation
+    /// result, and return run statistics.
+    pub fn finish(mut self, sink: &mut dyn Sink) -> RunStats {
+        self.core.finish(&mut IgnoreTags(sink))
+    }
+
+    /// Current memory accounting.
+    pub fn memory(&self) -> MemoryStats {
+        self.core.memory()
+    }
+
+    /// Buffered references right now (diagnostics; must be 0 after
+    /// `EndDocument`).
+    pub fn buffered_entries(&self) -> usize {
+        self.core.buffered_entries()
+    }
+
+    /// Live configurations right now.
+    pub fn config_count(&self) -> usize {
+        self.core.config_count()
+    }
+
     /// The running aggregate value, if this is an aggregation query.
     pub fn aggregate_value(&self) -> Option<f64> {
-        self.agg.as_ref().map(|a| a.current())
+        self.core.aggregate_value(0)
     }
+}
+
+fn queue_idx(hpdt: &Hpdt, id: crate::ids::BpdtId) -> usize {
+    *hpdt
+        .queue_index
+        .get(&id)
+        .expect("compiled disposition targets an existing BPDT")
 }
 
 #[cfg(test)]
@@ -568,5 +704,57 @@ mod tests {
         runner.finish(&mut sink);
         assert_eq!(sink.updates, vec![1.0, 2.0, 3.0]);
         assert_eq!(sink.results, ["3"]);
+    }
+
+    #[test]
+    fn core_feed_reports_whether_arcs_fired() {
+        let hpdt = build_hpdt(&parse_query("/a/b/text()").unwrap()).unwrap();
+        let mut core = RunnerCore::new(&hpdt, true);
+        let mut sink = crate::sink::TaggedVecSink::new();
+        let events = xsq_xml::parse_to_events(b"<a><z>skip</z><b>hit</b></a>").unwrap();
+        let mut fired = Vec::new();
+        for e in &events {
+            fired.push(core.feed(&hpdt, e, &mut sink));
+        }
+        // StartDocument, <a>, <b>, text, </b>, </a>, EndDocument all move
+        // configurations; <z> and its text do not.
+        assert!(fired[0] && fired[1]);
+        assert!(!fired[2] && !fired[3], "irrelevant element must not fire");
+        assert_eq!(sink.of(0), ["hit"]);
+    }
+
+    #[test]
+    fn core_reset_supports_multiple_documents() {
+        let hpdt = build_hpdt(&parse_query("//b/count()").unwrap()).unwrap();
+        let mut core = RunnerCore::new(&hpdt, true);
+        for _ in 0..2 {
+            let mut sink = crate::sink::TaggedVecSink::new();
+            for e in xsq_xml::parse_to_events(b"<a><b/><b/></a>").unwrap() {
+                core.feed(&hpdt, &e, &mut sink);
+            }
+            core.finish(&mut sink);
+            assert_eq!(sink.of(0), ["2"]);
+            core.reset(&hpdt);
+        }
+    }
+
+    #[test]
+    fn merged_hpdt_tags_results_by_query() {
+        use crate::build::build_merged_hpdt;
+        let queries: Vec<_> = ["/a/b/text()", "/a/b/@id", "/a/c/text()"]
+            .iter()
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        let hpdt = build_merged_hpdt(&queries).unwrap();
+        let mut core = RunnerCore::new(&hpdt, true);
+        let mut sink = crate::sink::TaggedVecSink::new();
+        let doc = br#"<a><b id="7">x</b><c>y</c></a>"#;
+        for e in xsq_xml::parse_to_events(doc).unwrap() {
+            core.feed(&hpdt, &e, &mut sink);
+        }
+        core.finish(&mut sink);
+        assert_eq!(sink.of(0), ["x"]);
+        assert_eq!(sink.of(1), ["7"]);
+        assert_eq!(sink.of(2), ["y"]);
     }
 }

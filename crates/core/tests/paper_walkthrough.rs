@@ -70,13 +70,10 @@ fn example_5_walkthrough_operations_fire_at_the_narrated_events() {
     // this implementation follows the figure.
     let author_end = find_step(&|s| s.event.starts_with("(/author"));
     assert!(
-        author_end
-            .fired
-            .iter()
-            .any(|f| f.owner.contains("bpdt(2,")
-                && f.actions
-                    .iter()
-                    .any(|a| a.contains("upload") && a.contains("bpdt(1,1)"))),
+        author_end.fired.iter().any(|f| f.owner.contains("bpdt(2,")
+            && f.actions
+                .iter()
+                .any(|a| a.contains("upload") && a.contains("bpdt(1,1)"))),
         "the author witness uploads book-level buffers to bpdt(1,1): {author_end}"
     );
 
@@ -130,10 +127,7 @@ fn failed_predicate_path_clears_at_the_end_tag() {
     }
     runner.finish(&mut sink);
     assert!(sink.results.is_empty());
-    let pub_end = steps
-        .iter()
-        .find(|s| s.event.starts_with("(/pub"))
-        .unwrap();
+    let pub_end = steps.iter().find(|s| s.event.starts_with("(/pub")).unwrap();
     assert!(
         pub_end
             .fired

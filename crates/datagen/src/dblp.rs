@@ -15,8 +15,7 @@
 //! As in the paper's Fig. 19 methodology, `excerpt` produces prefixes of
 //! one big document at multiple sizes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::{name, sentence};
 

@@ -21,6 +21,7 @@
 pub mod dblp;
 pub mod nasa;
 pub mod psd;
+pub mod rng;
 pub mod shake;
 pub mod toxgene;
 pub mod words;

@@ -14,8 +14,7 @@
 //! `/datasets/dataset/reference/source/other/name/text()` runs against it
 //! unchanged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::{name, sentence};
 

@@ -15,8 +15,7 @@
 //! authors/author/text()` runs against it unchanged. The paper runs PSD
 //! at 716 MB; the same generator scales to any target size.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::{name, sentence};
 

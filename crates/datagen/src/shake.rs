@@ -16,8 +16,7 @@
 //! `/PLAYS` or uses `//`, exactly as the study adapted queries per
 //! system.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::{name, sentence};
 

@@ -19,8 +19,7 @@
 //!   character, so `/a/red`, `/a/green`, `/a/blue` return 10/30/60% of
 //!   the data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// The Fig. 21 template dataset. One `<a>` group is ~160 KB with the
 /// paper's `foo_repeats = 10_000`; pass smaller repeats for quick runs.

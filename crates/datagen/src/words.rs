@@ -1,7 +1,6 @@
 //! Shared word sampling for the synthetic datasets.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 
 /// A small English-ish vocabulary. Includes "love" so the SHAKE dataset
 //  exercises Q1's `[LINE%love]` contains-predicate realistically.
@@ -45,7 +44,6 @@ pub fn name(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn sentence_has_requested_words() {

@@ -16,8 +16,7 @@
 //!            (date, increase), current, itemref@item ) )
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::{name, sentence};
 
@@ -56,7 +55,13 @@ pub fn generate(seed: u64, target_bytes: usize) -> String {
     let mut auction_id = 0u64;
     while out.len() < target_bytes {
         auction_id += 1;
-        auction(&mut rng, &mut out, auction_id, item_id.max(1), person_id.max(1));
+        auction(
+            &mut rng,
+            &mut out,
+            auction_id,
+            item_id.max(1),
+            person_id.max(1),
+        );
     }
     out.push_str("</open_auctions></site>");
     out

@@ -8,8 +8,7 @@
 //! closure query `//pub[year]//book[@id]/title/text()` produces many
 //! simultaneous match paths.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::words::sentence;
 

@@ -3,7 +3,6 @@
 
 use std::io::{BufRead, Read};
 
-use proptest::prelude::*;
 use xsq_xml::{parse_to_events, SaxEvent, StreamParser};
 
 /// A reader that yields at most `chunk` bytes per `fill_buf` call —
@@ -69,55 +68,62 @@ fn errors_are_chunk_size_independent() {
     assert_eq!(e1, e2);
 }
 
-proptest! {
-    #[test]
-    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..512)) {
-        // Any outcome is fine; panicking or looping is not.
-        let _ = parse_to_events(&data);
-    }
+// Opt-in (`--features proptest`): the dependency needs network access.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
 
-    #[test]
-    fn arbitrary_ascii_never_panics(s in "[ -~]{0,256}") {
-        let _ = parse_to_events(s.as_bytes());
-    }
-
-    #[test]
-    fn xmlish_soup_never_panics(s in r#"[<>/a-c ="'&;!\[\]-]{0,200}"#) {
-        let _ = parse_to_events(s.as_bytes());
-    }
-
-    #[test]
-    fn valid_docs_parse_identically_at_every_chunk_size(
-        texts in prop::collection::vec("[a-z ]{0,8}", 1..6),
-        chunk in 1usize..32,
-    ) {
-        let mut doc = String::from("<r>");
-        for t in &texts {
-            doc.push_str(&format!("<e>{t}</e>"));
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+            // Any outcome is fine; panicking or looping is not.
+            let _ = parse_to_events(&data);
         }
-        doc.push_str("</r>");
-        let whole = parse_to_events(doc.as_bytes()).unwrap();
-        let trickled = parse_trickled(doc.as_bytes(), chunk).unwrap();
-        prop_assert_eq!(whole, trickled);
-    }
 
-    #[test]
-    fn reserialization_is_idempotent(
-        texts in prop::collection::vec("[a-z<&>\" ]{0,10}", 0..5),
-    ) {
-        // Build a doc with escaped content, parse, write, parse, write:
-        // the second and later serializations must be a fixed point.
-        let mut doc = String::from("<r>");
-        for t in &texts {
-            doc.push_str("<e>");
-            xsq_xml::entities::escape_text_into(t, &mut doc);
-            doc.push_str("</e>");
+        #[test]
+        fn arbitrary_ascii_never_panics(s in "[ -~]{0,256}") {
+            let _ = parse_to_events(s.as_bytes());
         }
-        doc.push_str("</r>");
-        let ev1 = parse_to_events(doc.as_bytes()).unwrap();
-        let s1 = xsq_xml::writer::events_to_string(&ev1);
-        let ev2 = parse_to_events(s1.as_bytes()).unwrap();
-        let s2 = xsq_xml::writer::events_to_string(&ev2);
-        prop_assert_eq!(s1, s2);
+
+        #[test]
+        fn xmlish_soup_never_panics(s in r#"[<>/a-c ="'&;!\[\]-]{0,200}"#) {
+            let _ = parse_to_events(s.as_bytes());
+        }
+
+        #[test]
+        fn valid_docs_parse_identically_at_every_chunk_size(
+            texts in prop::collection::vec("[a-z ]{0,8}", 1..6),
+            chunk in 1usize..32,
+        ) {
+            let mut doc = String::from("<r>");
+            for t in &texts {
+                doc.push_str(&format!("<e>{t}</e>"));
+            }
+            doc.push_str("</r>");
+            let whole = parse_to_events(doc.as_bytes()).unwrap();
+            let trickled = parse_trickled(doc.as_bytes(), chunk).unwrap();
+            prop_assert_eq!(whole, trickled);
+        }
+
+        #[test]
+        fn reserialization_is_idempotent(
+            texts in prop::collection::vec("[a-z<&>\" ]{0,10}", 0..5),
+        ) {
+            // Build a doc with escaped content, parse, write, parse, write:
+            // the second and later serializations must be a fixed point.
+            let mut doc = String::from("<r>");
+            for t in &texts {
+                doc.push_str("<e>");
+                xsq_xml::entities::escape_text_into(t, &mut doc);
+                doc.push_str("</e>");
+            }
+            doc.push_str("</r>");
+            let ev1 = parse_to_events(doc.as_bytes()).unwrap();
+            let s1 = xsq_xml::writer::events_to_string(&ev1);
+            let ev2 = parse_to_events(s1.as_bytes()).unwrap();
+            let s2 = xsq_xml::writer::events_to_string(&ev2);
+            prop_assert_eq!(s1, s2);
+        }
     }
 }

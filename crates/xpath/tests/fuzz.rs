@@ -1,6 +1,10 @@
 //! Front-end robustness: the lexer/parser must never panic, and every
 //! successfully parsed query must survive a display → reparse round trip.
 
+// Property tests are opt-in (`--features proptest`): the proptest
+// dependency needs network access, and the default test run is hermetic.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use xsq_xpath::parse_query;
 

@@ -44,6 +44,48 @@ fn main() {
         }
     }
 
+    // The same workload through the dynamic subscription API: subscribers
+    // come and go between documents, the index recompiles nothing, and
+    // the dispatch index steps only the runners each event can affect.
+    use xsq::{QueryId, QueryIndex, QuerySink};
+
+    struct Notify;
+    impl QuerySink for Notify {
+        fn result(&mut self, id: QueryId, value: &str) {
+            println!("  notify subscriber {}: {value}", id.0);
+        }
+    }
+
+    let mut index = QueryIndex::new(XsqEngine::full());
+    let ids = index
+        .subscribe_group(&subscriptions)
+        .expect("all subscriptions compile");
+    println!(
+        "\nquery index: {} subscriptions in {} runner groups",
+        index.len(),
+        index.group_count()
+    );
+    let mut notify = Notify;
+    for (d, doc) in feed.iter().enumerate() {
+        println!("document {d}:");
+        index
+            .run_document(doc, &mut notify)
+            .expect("well-formed feed");
+        if d == 0 {
+            // The bargain watcher churns out after the first document …
+            index.unsubscribe(ids[1]);
+            // … and a new subscriber joins for the rest of the feed.
+            index.subscribe("//pub/year/text()").expect("compiles");
+        }
+    }
+    println!(
+        "dispatch: {} runner touches for {} events × {} queries (loop path: {})",
+        index.touches(),
+        index.events(),
+        index.len(),
+        index.events() * index.len() as u64
+    );
+
     // Projection: how much of the stream does a selective subscription
     // actually need?
     let query = parse_query("/root/pub/book[author]/name/text()").unwrap();

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! xsq [OPTIONS] QUERY [FILE...]        evaluate QUERY (stdin if no FILE)
+//! xsq --queries FILE [FILE...]         evaluate a whole query set (one
+//!                                      query per line) in a single pass,
+//!                                      results tagged with the query index
 //! xsq --dataset-stats FILE...          print Fig. 15-style statistics
 //! xsq --dump QUERY                     print the compiled HPDT
 //!
@@ -23,10 +26,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use xsq::baselines::{GalaxLike, JoostLike, SaxonLike, XmltkLike, XqEngineLike};
-use xsq::engine::{Sink, XPathEngine, XsqEngine};
+use xsq::engine::{QueryId, QuerySet, QuerySink, Sink, XPathEngine, XsqEngine};
 
 struct Options {
     engine: String,
+    queries: Option<String>,
     stats: bool,
     running: bool,
     quiet: bool,
@@ -42,6 +46,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         engine: "xsq-f".into(),
+        queries: None,
         stats: false,
         running: false,
         quiet: false,
@@ -58,6 +63,9 @@ fn parse_args() -> Result<Options, String> {
         match a.as_str() {
             "--engine" => {
                 o.engine = args.next().ok_or("--engine needs a name")?;
+            }
+            "--queries" => {
+                o.queries = Some(args.next().ok_or("--queries needs a file")?);
             }
             "--stats" => o.stats = true,
             "--running" => o.running = true,
@@ -123,6 +131,114 @@ impl Sink for StdoutSink {
     }
 }
 
+/// Shared sink for `--queries` mode: every line says which query matched.
+struct QueryStdoutSink {
+    quiet: bool,
+    running: bool,
+    json: bool,
+    results: u64,
+}
+
+impl QuerySink for QueryStdoutSink {
+    fn result(&mut self, id: QueryId, value: &str) {
+        self.results += 1;
+        if self.quiet {
+            return;
+        }
+        if self.json {
+            println!(
+                "{{\"query\":{},\"result\":\"{}\"}}",
+                id.0,
+                json_escape(value)
+            );
+        } else {
+            println!("{}\t{}", id.0, value);
+        }
+    }
+
+    fn aggregate_update(&mut self, id: QueryId, value: f64) {
+        if !self.running || self.quiet {
+            return;
+        }
+        if self.json {
+            println!("{{\"query\":{},\"running\":{value}}}", id.0);
+        } else {
+            println!("# running[{}]: {value}", id.0);
+        }
+    }
+}
+
+/// `--queries FILE` mode: the whole standing query set evaluates in one
+/// pass per document via the query index (prefix-shared compilation,
+/// dispatch-indexed event routing).
+fn run_query_file(path: &str, opts: &Options) -> ExitCode {
+    let engine = match opts.engine.as_str() {
+        "xsq-f" => XsqEngine::full(),
+        "xsq-nc" => XsqEngine::no_closure(),
+        other => return usage(&format!("--queries runs on xsq-f or xsq-nc, not '{other}'")),
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {path}: {e}")),
+    };
+    let queries: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if queries.is_empty() {
+        return fail(&format!("{path} contains no queries"));
+    }
+    let set = match QuerySet::compile(engine, &queries) {
+        Ok(s) => s,
+        Err((i, e)) => return fail(&format!("query {} ({}): {e}", i + 1, queries[i])),
+    };
+
+    let files: Vec<Option<String>> = if opts.positional.is_empty() {
+        vec![None]
+    } else {
+        opts.positional.iter().cloned().map(Some).collect()
+    };
+    for file in files {
+        let t0 = Instant::now();
+        let mut index = set.index();
+        let mut sink = QueryStdoutSink {
+            quiet: opts.quiet,
+            running: opts.running,
+            json: opts.json,
+            results: 0,
+        };
+        let run = match &file {
+            None => index.run_reader(BufReader::new(std::io::stdin()), &mut sink),
+            Some(p) => match std::fs::File::open(p) {
+                Ok(f) => index.run_reader(BufReader::new(f), &mut sink),
+                Err(e) => return fail(&format!("reading {p}: {e}")),
+            },
+        };
+        match run {
+            Err(e) => return fail(&e.to_string()),
+            Ok(stats) => {
+                if opts.stats {
+                    eprintln!(
+                        "# {}: {} results in {:.1} ms [{} queries, {} groups] engine={} \
+                         events={} touches={} (loop path: {})",
+                        file.as_deref().unwrap_or("<stdin>"),
+                        sink.results,
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        set.len(),
+                        set.group_count(),
+                        opts.engine,
+                        stats.events,
+                        index.touches(),
+                        stats.events * set.len() as u64,
+                    );
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     match path {
         None => {
@@ -170,6 +286,10 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(qfile) = &opts.queries {
+        return run_query_file(qfile, &opts);
     }
 
     let Some(query) = opts.positional.first().cloned() else {
@@ -381,6 +501,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: xsq [--engine NAME] [--stats] [--running] [--quiet] QUERY [FILE...]\n\
+         \u{20}      xsq --queries QFILE [FILE...]   (one query per line, '#' comments)\n\
          \u{20}      xsq --dataset-stats FILE...\n\
          \u{20}      xsq --dump QUERY\n\
          engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine"

@@ -14,3 +14,7 @@ pub use xsq_core as engine;
 pub use xsq_datagen as datagen;
 pub use xsq_xml as xml;
 pub use xsq_xpath as xpath;
+
+// The multi-query surface, re-exported at the root: most downstream
+// users hold a standing query set and only need these names.
+pub use xsq_core::{QueryId, QueryIndex, QuerySet, QuerySink, VecQuerySink, XsqEngine};

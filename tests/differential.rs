@@ -8,6 +8,10 @@
 //! * XMLTK ≡ DOM on predicate-free `text()`/`@attr`/`count()` queries;
 //! * the well-formedness PDA accepts every generated document's events.
 
+// Property tests are opt-in (`--features proptest`): the proptest
+// dependency needs network access, and the default test run is hermetic.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use xsq::baselines::dom::{eval_pathcheck, eval_stepwise, Document};

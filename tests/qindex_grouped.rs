@@ -1,0 +1,178 @@
+//! Differential tests for the multi-query paths: the grouped `QuerySet`
+//! (prefix-shared, dispatch-indexed) and the dynamic `QueryIndex` must
+//! produce exactly the per-query result vectors that N independent
+//! `XsqEngine` runs produce — same values, same document order — over
+//! generated documents, including deeply recursive ones where closures
+//! create many simultaneous match paths.
+
+use xsq::datagen::{xmark, xmlgen, xmlgen::XmlGenParams};
+use xsq::engine::evaluate;
+use xsq::{QueryIndex, QuerySet, VecQuerySink, XsqEngine};
+
+/// Per-query expected results from N independent single-query runs.
+fn individually(queries: &[&str], doc: &[u8]) -> Vec<Vec<String>> {
+    queries
+        .iter()
+        .map(|q| evaluate(q, doc).expect("single-query run"))
+        .collect()
+}
+
+/// Assert both grouped paths against the per-query oracle.
+fn check_grouped(queries: &[&str], doc: &[u8], label: &str) {
+    let expected = individually(queries, doc);
+
+    // Path 1: QuerySet::run_document (plans groups once, runs through
+    // the query index).
+    let set = QuerySet::compile(XsqEngine::full(), queries).expect("set compiles");
+    let grouped = set.run_document(doc).expect("grouped run");
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            grouped[i], expected[i],
+            "[{label}] QuerySet vs single on {q}"
+        );
+    }
+
+    // Path 2: the subscription API with a shared, id-tagging sink.
+    let mut index = QueryIndex::new(XsqEngine::full());
+    let ids = index
+        .subscribe_group(queries)
+        .expect("subscriptions compile");
+    let mut sink = VecQuerySink::new();
+    index.run_document(doc, &mut sink).expect("index run");
+    for (i, q) in queries.iter().enumerate() {
+        let got: Vec<String> = sink.of(ids[i]).iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, expected[i], "[{label}] QueryIndex vs single on {q}");
+    }
+}
+
+#[test]
+fn grouped_paths_match_single_runs_on_recursive_xmlgen_data() {
+    // Recursive documents: `pub` nests inside `pub`, so `//` queries keep
+    // many configurations alive at once — the hard case for any shared
+    // evaluation that might confuse runners' state.
+    let queries = [
+        "//pub[year]//book[@id]/title/text()",
+        "//pub/book/title/text()",
+        "//pub/book/@id",
+        "//book/price/text()",
+        "//book/count()",
+        "/site/pub/year/text()",
+        "//price/sum()",
+    ];
+    for seed in [1u64, 7, 42] {
+        let doc = xmlgen::generate(
+            XmlGenParams {
+                nested_levels: 6,
+                max_repeats: 4,
+                seed,
+            },
+            20_000,
+        );
+        check_grouped(&queries, doc.as_bytes(), &format!("xmlgen seed {seed}"));
+    }
+}
+
+#[test]
+fn grouped_paths_match_single_runs_on_xmark_data() {
+    let queries = [
+        "/site/regions/region/item/name/text()",
+        "/site/regions/region/item/quantity/text()",
+        "/site/people/person/name/text()",
+        "/site/people/person/@id",
+        "//item[quantity]/name/text()",
+        "//bidder/increase/text()",
+        "//increase/sum()",
+        "/site/open_auctions/open_auction/@id",
+    ];
+    for seed in [3u64, 11] {
+        let doc = xmark::generate(seed, 30_000);
+        check_grouped(&queries, doc.as_bytes(), &format!("xmark seed {seed}"));
+    }
+}
+
+#[test]
+fn prefix_shared_groups_match_on_templated_query_sets() {
+    // The prefix-sharing sweet spot: one shared chain, many divergent
+    // tails, including predicates at the divergence point.
+    let queries = [
+        "/site/pub/book/title/text()",
+        "/site/pub/book/price/text()",
+        "/site/pub/book/@id",
+        "/site/pub/year/text()",
+        "/site/pub/book[price]/title/text()",
+        "/site/pub/book/count()",
+    ];
+    let set = QuerySet::compile(XsqEngine::full(), &queries).expect("set compiles");
+    assert!(
+        set.group_count() < queries.len(),
+        "expected prefix sharing to merge some of the {} queries, got {} groups",
+        queries.len(),
+        set.group_count()
+    );
+    let doc = xmlgen::generate(
+        XmlGenParams {
+            nested_levels: 5,
+            max_repeats: 5,
+            seed: 99,
+        },
+        15_000,
+    );
+    check_grouped(&queries, doc.as_bytes(), "templated set");
+}
+
+#[test]
+fn unsubscribed_queries_do_not_disturb_the_others() {
+    let queries = [
+        "//pub/book/title/text()",
+        "//pub/book/@id",
+        "//pub/year/text()",
+    ];
+    let doc = xmlgen::generate(XmlGenParams::default(), 10_000);
+    let expected = individually(&queries, doc.as_bytes());
+
+    let mut index = QueryIndex::new(XsqEngine::full());
+    let ids = index
+        .subscribe_group(&queries)
+        .expect("subscriptions compile");
+    index.unsubscribe(ids[1]);
+    let mut sink = VecQuerySink::new();
+    index.run_document(doc.as_bytes(), &mut sink).expect("run");
+    assert_eq!(
+        sink.of(ids[0])
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        expected[0]
+    );
+    assert_eq!(sink.of(ids[1]), Vec::<&str>::new());
+    assert_eq!(
+        sink.of(ids[2])
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        expected[2]
+    );
+}
+
+#[test]
+fn the_index_is_reusable_across_a_document_feed() {
+    let mut index = QueryIndex::new(XsqEngine::full());
+    let id = index.subscribe("//book/title/text()").expect("compiles");
+    let mut sink = VecQuerySink::new();
+    let mut expected: Vec<String> = Vec::new();
+    for seed in 0..4u64 {
+        let doc = xmlgen::generate(
+            XmlGenParams {
+                nested_levels: 4,
+                max_repeats: 3,
+                seed,
+            },
+            5_000,
+        );
+        expected.extend(evaluate("//book/title/text()", doc.as_bytes()).unwrap());
+        index.run_document(doc.as_bytes(), &mut sink).expect("run");
+    }
+    let got: Vec<String> = sink.of(id).iter().map(|s| s.to_string()).collect();
+    assert_eq!(got, expected);
+    assert_eq!(sink.results.iter().filter(|(i, _)| *i != id).count(), 0);
+}

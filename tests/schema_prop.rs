@@ -2,6 +2,10 @@
 //! a DTD, (a) queries proven unsatisfiable return nothing, and (b) the
 //! closure-elimination rewrite never changes results.
 
+// Property tests are opt-in (`--features proptest`): the proptest
+// dependency needs network access, and the default test run is hermetic.
+#![cfg(feature = "proptest")]
+
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
