@@ -103,15 +103,17 @@ impl Document {
                     attributes,
                     depth,
                 } => {
-                    payload_bytes += name.len() as u64
+                    payload_bytes += name.as_str().len() as u64
                         + attributes
                             .iter()
-                            .map(|a| (a.name.len() + a.value.len()) as u64)
+                            .map(|a| (a.name.as_str().len() + a.value.len()) as u64)
                             .sum::<u64>();
                     let id = nodes.len();
                     nodes.push(Node {
                         kind: NodeKind::Element {
-                            name,
+                            // A DOM materializes every tag name as its
+                            // own string object; model that cost.
+                            name: name.as_str().to_string(),
                             attributes,
                             children: Vec::new(),
                         },
@@ -220,7 +222,7 @@ impl Document {
                 out.push_str(name);
                 for a in attributes {
                     out.push(' ');
-                    out.push_str(&a.name);
+                    out.push_str(a.name.as_str());
                     out.push_str("=\"");
                     xsq_xml::entities::escape_attr_into(&a.value, out);
                     out.push('"');

@@ -175,7 +175,7 @@ impl XPathEngine for XmltkLike {
             match &ev {
                 SaxEvent::Begin { name, depth, .. } => {
                     let s = *stack.last().expect("stack never empty");
-                    let t = dfa.step(s, name);
+                    let t = dfa.step(s, name.as_str());
                     let acc = dfa.accepting(t);
                     stack.push(t);
                     accept_stack.push(acc);

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use xsq_core::{Capabilities, MemoryStats, PhaseTimings, RunReport, Unsupported, XPathEngine};
-use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xml::{SaxEvent, StreamParser, Sym};
 use xsq_xpath::{parse_query, Axis, Output, Predicate, Query};
 
 /// Unique id of an open (or closed) element instance.
@@ -38,7 +38,7 @@ struct BufferedItem {
 
 struct OpenElem {
     id: ElemId,
-    name: String,
+    name: Sym,
     /// Steps this element structurally matches.
     matched_steps: Vec<usize>,
 }
@@ -83,7 +83,7 @@ impl<'q> NaiveRun<'q> {
         self.next_id += 1;
         let mut matched_steps = Vec::new();
         for (i, step) in self.query.steps.iter().enumerate() {
-            if !step.test.matches(name) {
+            if !step.test.matches(name.as_str()) {
                 continue;
             }
             let structurally = if i == 0 {
@@ -151,7 +151,7 @@ impl<'q> NaiveRun<'q> {
         }
         self.stack.push(OpenElem {
             id,
-            name: name.clone(),
+            name: *name,
             matched_steps,
         });
         if dirty {

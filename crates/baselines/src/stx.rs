@@ -19,12 +19,12 @@
 use std::time::Instant;
 
 use xsq_core::{Capabilities, MemoryStats, PhaseTimings, RunReport, XPathEngine};
-use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xml::{SaxEvent, StreamParser, Sym};
 use xsq_xpath::{parse_query, AggFunc, Axis, Output, Predicate, Query};
 
 /// One open element on the stack.
 struct Frame {
-    name: String,
+    name: Sym,
     /// `matched[i]` = Some(flag): this element matches steps `0..=i` of
     /// the location path structurally; `flag` = predicate of step `i`
     /// known satisfied (from preceding data only).
@@ -80,11 +80,11 @@ impl<'q> StxRun<'q> {
         let SaxEvent::Begin { name, depth, .. } = ev else {
             unreachable!()
         };
-        let (name, depth) = (name.clone(), *depth);
+        let (name, depth) = (*name, *depth);
         let n = self.query.steps.len();
         let mut matched = vec![None; n];
         for (i, step) in self.query.steps.iter().enumerate() {
-            if !step.test.matches(&name) {
+            if !step.test.matches(name.as_str()) {
                 continue;
             }
             let structurally = if i == 0 {

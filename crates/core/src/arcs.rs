@@ -8,6 +8,7 @@
 //! their tag at any depth, and the catchall `*̄` that accepts any event
 //! strictly below the current anchor (used for whole-element output).
 
+use xsq_xml::{RawEvent, Sym};
 use xsq_xpath::Comparison;
 
 use crate::depth_vector::DepthVector;
@@ -39,18 +40,20 @@ pub struct StateInfo {
     pub role: StateRole,
 }
 
-/// Tag pattern on begin/end/text labels.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Tag pattern on begin/end/text labels. Names are interned at query
+/// compile time, so matching an event tag is a single `u32` compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NamePat {
-    Name(String),
+    Name(Sym),
     /// `*` — any tag.
     Any,
 }
 
 impl NamePat {
-    pub fn matches(&self, tag: &str) -> bool {
+    #[inline]
+    pub fn matches(&self, tag: Sym) -> bool {
         match self {
-            NamePat::Name(n) => n == tag,
+            NamePat::Name(n) => *n == tag,
             NamePat::Any => true,
         }
     }
@@ -92,10 +95,7 @@ pub enum ArcLabel {
 pub enum Guard {
     /// On a begin event: the named attribute exists and (if present)
     /// satisfies the comparison.
-    Attr {
-        name: String,
-        cmp: Option<Comparison>,
-    },
+    Attr { name: Sym, cmp: Option<Comparison> },
     /// On a text event: the content satisfies the comparison (`None`
     /// means any text, for bare `[text()]`).
     Text { cmp: Option<Comparison> },
@@ -122,7 +122,7 @@ pub enum ValueSource {
     /// The text of the current text event (`text()` output, `sum()`…).
     Text,
     /// An attribute of the current begin event (`@attr` output).
-    Attr(String),
+    Attr(Sym),
     /// The constant `1` anchored at the begin event (`count()`).
     Unit,
 }
@@ -178,25 +178,29 @@ pub struct Arc {
 
 impl Arc {
     /// Does this arc accept `event` for a configuration whose depth
-    /// vector is `dv`? (Guards are evaluated separately.)
-    pub fn label_matches(&self, event: &xsq_xml::SaxEvent, dv: &DepthVector) -> bool {
-        use xsq_xml::SaxEvent as E;
+    /// vector is `dv`? (Guards are evaluated separately.) Tag checks are
+    /// `u32` compares on interned symbols.
+    #[inline]
+    pub fn label_matches(&self, event: &RawEvent<'_>, dv: &DepthVector) -> bool {
+        use RawEvent as E;
         match (&self.label, event) {
             (ArcLabel::StartDoc, E::StartDocument) => true,
             (ArcLabel::EndDoc, E::EndDocument) => true,
             (ArcLabel::BeginChild(pat), E::Begin { name, depth, .. }) => {
-                *depth == dv.top() + 1 && pat.matches(name)
+                *depth == dv.top() + 1 && pat.matches(*name)
             }
             (ArcLabel::BeginAnyDepth(pat), E::Begin { name, depth, .. }) => {
-                *depth > dv.top() && pat.matches(name)
+                *depth > dv.top() && pat.matches(*name)
             }
             (ArcLabel::ClosureSelfLoop, E::Begin { depth, .. }) => *depth > dv.top(),
-            (ArcLabel::End(pat), E::End { name, depth }) => *depth == dv.top() && pat.matches(name),
+            (ArcLabel::End(pat), E::End { name, depth }) => {
+                *depth == dv.top() && pat.matches(*name)
+            }
             (ArcLabel::TextSelf(pat), E::Text { element, depth, .. }) => {
-                *depth == dv.top() && pat.matches(element)
+                *depth == dv.top() && pat.matches(*element)
             }
             (ArcLabel::TextChild(pat), E::Text { element, depth, .. }) => {
-                *depth == dv.top() + 1 && pat.matches(element)
+                *depth == dv.top() + 1 && pat.matches(*element)
             }
             (ArcLabel::Catchall, e) => e.depth() > dv.top(),
             _ => false,
@@ -204,15 +208,16 @@ impl Arc {
     }
 
     /// Evaluate the guard against the event (label already matched).
-    pub fn guard_passes(&self, event: &xsq_xml::SaxEvent) -> bool {
+    #[inline]
+    pub fn guard_passes(&self, event: &RawEvent<'_>) -> bool {
         match &self.guard {
             None => true,
-            Some(Guard::Attr { name, cmp }) => match event.attribute(name) {
+            Some(Guard::Attr { name, cmp }) => match event.attribute_sym(*name) {
                 None => false,
                 Some(v) => cmp.as_ref().is_none_or(|c| c.eval(v)),
             },
             Some(Guard::Text { cmp }) => match event {
-                xsq_xml::SaxEvent::Text { text, .. } => cmp.as_ref().is_none_or(|c| c.eval(text)),
+                RawEvent::Text { text, .. } => cmp.as_ref().is_none_or(|c| c.eval(text)),
                 _ => false,
             },
         }
@@ -267,6 +272,13 @@ mod tests {
         }
     }
 
+    fn end(name: &str, depth: u32) -> SaxEvent {
+        SaxEvent::End {
+            name: name.into(),
+            depth,
+        }
+    }
+
     fn arc(label: ArcLabel) -> Arc {
         Arc {
             label,
@@ -278,32 +290,40 @@ mod tests {
         }
     }
 
+    fn matches(a: &Arc, ev: &SaxEvent, dv: &DepthVector) -> bool {
+        a.label_matches(&ev.as_raw(), dv)
+    }
+
+    fn passes(a: &Arc, ev: &SaxEvent) -> bool {
+        a.guard_passes(&ev.as_raw())
+    }
+
     #[test]
     fn begin_child_requires_exact_depth() {
         let a = arc(ArcLabel::BeginChild(NamePat::Name("book".into())));
         let dv = DepthVector::from_depths(&[0, 1]);
-        assert!(a.label_matches(&begin("book", 2), &dv));
-        assert!(!a.label_matches(&begin("book", 3), &dv));
-        assert!(!a.label_matches(&begin("pub", 2), &dv));
+        assert!(matches(&a, &begin("book", 2), &dv));
+        assert!(!matches(&a, &begin("book", 3), &dv));
+        assert!(!matches(&a, &begin("pub", 2), &dv));
     }
 
     #[test]
     fn begin_any_depth_accepts_deeper_descendants() {
         let a = arc(ArcLabel::BeginAnyDepth(NamePat::Name("book".into())));
         let dv = DepthVector::from_depths(&[0, 1]);
-        assert!(a.label_matches(&begin("book", 2), &dv));
-        assert!(a.label_matches(&begin("book", 7), &dv));
-        assert!(!a.label_matches(&begin("book", 1), &dv));
+        assert!(matches(&a, &begin("book", 2), &dv));
+        assert!(matches(&a, &begin("book", 7), &dv));
+        assert!(!matches(&a, &begin("book", 1), &dv));
     }
 
     #[test]
     fn closure_self_loop_accepts_any_begin_below() {
         let a = arc(ArcLabel::ClosureSelfLoop);
         let dv = DepthVector::from_depths(&[0, 3]);
-        assert!(a.label_matches(&begin("anything", 4), &dv));
-        assert!(a.label_matches(&begin("x", 9), &dv));
-        assert!(!a.label_matches(&begin("x", 3), &dv));
-        assert!(!a.label_matches(&text("x", "t", 5), &dv));
+        assert!(matches(&a, &begin("anything", 4), &dv));
+        assert!(matches(&a, &begin("x", 9), &dv));
+        assert!(!matches(&a, &begin("x", 3), &dv));
+        assert!(!matches(&a, &text("x", "t", 5), &dv));
     }
 
     #[test]
@@ -311,34 +331,22 @@ mod tests {
         let dv = DepthVector::from_depths(&[0, 2]);
         let self_arc = arc(ArcLabel::TextSelf(NamePat::Name("year".into())));
         let child_arc = arc(ArcLabel::TextChild(NamePat::Name("year".into())));
-        assert!(self_arc.label_matches(&text("year", "2002", 2), &dv));
-        assert!(!self_arc.label_matches(&text("year", "2002", 3), &dv));
-        assert!(child_arc.label_matches(&text("year", "2002", 3), &dv));
-        assert!(!child_arc.label_matches(&text("other", "2002", 3), &dv));
+        assert!(matches(&self_arc, &text("year", "2002", 2), &dv));
+        assert!(!matches(&self_arc, &text("year", "2002", 3), &dv));
+        assert!(matches(&child_arc, &text("year", "2002", 3), &dv));
+        assert!(!matches(&child_arc, &text("other", "2002", 3), &dv));
     }
 
     #[test]
     fn catchall_matches_strict_descendants_of_any_kind() {
         let a = arc(ArcLabel::Catchall);
         let dv = DepthVector::from_depths(&[0, 1]);
-        assert!(a.label_matches(&begin("x", 2), &dv));
-        assert!(a.label_matches(&text("x", "t", 2), &dv));
-        assert!(a.label_matches(
-            &SaxEvent::End {
-                name: "x".into(),
-                depth: 2
-            },
-            &dv
-        ));
+        assert!(matches(&a, &begin("x", 2), &dv));
+        assert!(matches(&a, &text("x", "t", 2), &dv));
+        assert!(matches(&a, &end("x", 2), &dv));
         // The anchor's own events are not descendants.
-        assert!(!a.label_matches(&text("a", "t", 1), &dv));
-        assert!(!a.label_matches(
-            &SaxEvent::End {
-                name: "a".into(),
-                depth: 1
-            },
-            &dv
-        ));
+        assert!(!matches(&a, &text("a", "t", 1), &dv));
+        assert!(!matches(&a, &end("a", 1), &dv));
     }
 
     #[test]
@@ -348,7 +356,7 @@ mod tests {
             name: "id".into(),
             cmp: None,
         });
-        assert!(a.guard_passes(&begin("b", 1)));
+        assert!(passes(&a, &begin("b", 1)));
         a.guard = Some(Guard::Attr {
             name: "id".into(),
             cmp: Some(Comparison {
@@ -356,12 +364,12 @@ mod tests {
                 rhs: XPathValue::number(10.0),
             }),
         });
-        assert!(a.guard_passes(&begin("b", 1))); // id=5 <= 10
+        assert!(passes(&a, &begin("b", 1))); // id=5 <= 10
         a.guard = Some(Guard::Attr {
             name: "missing".into(),
             cmp: None,
         });
-        assert!(!a.guard_passes(&begin("b", 1)));
+        assert!(!passes(&a, &begin("b", 1)));
     }
 
     #[test]
@@ -373,28 +381,16 @@ mod tests {
                 rhs: XPathValue::number(2000.0),
             }),
         });
-        assert!(a.guard_passes(&text("year", "2002", 1)));
-        assert!(!a.guard_passes(&text("year", "1999", 1)));
-        assert!(!a.guard_passes(&begin("year", 1)));
+        assert!(passes(&a, &text("year", "2002", 1)));
+        assert!(!passes(&a, &text("year", "1999", 1)));
+        assert!(!passes(&a, &begin("year", 1)));
     }
 
     #[test]
     fn end_label_matches_at_anchor_depth() {
         let a = arc(ArcLabel::End(NamePat::Name("pub".into())));
         let dv = DepthVector::from_depths(&[0, 1]);
-        assert!(a.label_matches(
-            &SaxEvent::End {
-                name: "pub".into(),
-                depth: 1
-            },
-            &dv
-        ));
-        assert!(!a.label_matches(
-            &SaxEvent::End {
-                name: "pub".into(),
-                depth: 2
-            },
-            &dv
-        ));
+        assert!(matches(&a, &end("pub", 1), &dv));
+        assert!(!matches(&a, &end("pub", 2), &dv));
     }
 }

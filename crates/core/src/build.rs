@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use xsq_xml::Sym;
 use xsq_xpath::classify::{classify, StepCategory};
 use xsq_xpath::{AggFunc, Axis, NodeTest, Output, Predicate, Query, Step};
 
@@ -291,9 +292,9 @@ impl Builder {
             self.add_arc(start, ArcLabel::ClosureSelfLoop, None, start, id, vec![]);
         }
         let entry_label = if closure {
-            ArcLabel::BeginAnyDepth(tag.clone())
+            ArcLabel::BeginAnyDepth(tag)
         } else {
-            ArcLabel::BeginChild(tag.clone())
+            ArcLabel::BeginChild(tag)
         };
 
         // Dispositions and the predicate-true resolution action are fixed
@@ -318,7 +319,7 @@ impl Builder {
             StepCategory::NoPredicate => {
                 let t = self.add_state(id, StateRole::True)?;
                 self.add_arc(start, entry_label, None, t, id, entry_value(disp_true));
-                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                self.add_arc(t, ArcLabel::End(tag), None, start, id, vec![]);
                 BuiltBpdt {
                     na: None,
                     true_state: t,
@@ -329,7 +330,7 @@ impl Builder {
                     unreachable!("classified AttrOfSelf");
                 };
                 let guard = Guard::Attr {
-                    name: name.clone(),
+                    name: Sym::intern(name),
                     cmp: cmp.clone(),
                 };
                 let t = self.add_state(id, StateRole::True)?;
@@ -341,7 +342,7 @@ impl Builder {
                     id,
                     entry_value(disp_true),
                 );
-                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                self.add_arc(t, ArcLabel::End(tag), None, start, id, vec![]);
                 BuiltBpdt {
                     na: None,
                     true_state: t,
@@ -364,7 +365,7 @@ impl Builder {
                 // Witness: the element's own text satisfying the test.
                 self.add_arc(
                     na,
-                    ArcLabel::TextSelf(tag.clone()),
+                    ArcLabel::TextSelf(tag),
                     Some(Guard::Text { cmp: cmp.clone() }),
                     t,
                     id,
@@ -372,13 +373,13 @@ impl Builder {
                 );
                 self.add_arc(
                     na,
-                    ArcLabel::End(tag.clone()),
+                    ArcLabel::End(tag),
                     None,
                     start,
                     id,
                     vec![Action::ClearSelf],
                 );
-                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                self.add_arc(t, ArcLabel::End(tag), None, start, id, vec![]);
                 BuiltBpdt {
                     na: Some(na),
                     true_state: t,
@@ -386,11 +387,11 @@ impl Builder {
             }
             StepCategory::ChildExists | StepCategory::AttrOfChild => {
                 let (child, guard) = match &step.predicate {
-                    Some(Predicate::Child { name }) => (name.clone(), None),
+                    Some(Predicate::Child { name }) => (Sym::intern(name), None),
                     Some(Predicate::ChildAttr { child, attr, cmp }) => (
-                        child.clone(),
+                        Sym::intern(child),
                         Some(Guard::Attr {
-                            name: attr.clone(),
+                            name: Sym::intern(attr),
                             cmp: cmp.clone(),
                         }),
                     ),
@@ -414,7 +415,7 @@ impl Builder {
                 // `</child>`).
                 self.add_arc(
                     na,
-                    ArcLabel::BeginChild(NamePat::Name(child.clone())),
+                    ArcLabel::BeginChild(NamePat::Name(child)),
                     guard,
                     wit,
                     id,
@@ -422,7 +423,7 @@ impl Builder {
                 );
                 self.add_arc(
                     wit,
-                    ArcLabel::End(NamePat::Name(child.clone())),
+                    ArcLabel::End(NamePat::Name(child)),
                     None,
                     t,
                     id,
@@ -430,13 +431,13 @@ impl Builder {
                 );
                 self.add_arc(
                     na,
-                    ArcLabel::End(tag.clone()),
+                    ArcLabel::End(tag),
                     None,
                     start,
                     id,
                     vec![Action::ClearSelf],
                 );
-                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                self.add_arc(t, ArcLabel::End(tag), None, start, id, vec![]);
                 BuiltBpdt {
                     na: Some(na),
                     true_state: t,
@@ -446,6 +447,7 @@ impl Builder {
                 let Some(Predicate::ChildText { child, cmp }) = &step.predicate else {
                     unreachable!("classified TextOfChild");
                 };
+                let child = Sym::intern(child);
                 let na = self.add_state(id, StateRole::Na)?;
                 let child_na = self.add_state(id, StateRole::Witness)?;
                 let child_true = self.add_state(id, StateRole::Witness)?;
@@ -466,7 +468,7 @@ impl Builder {
                 // the witness and continues the path.
                 self.add_arc(
                     na,
-                    ArcLabel::BeginChild(NamePat::Name(child.clone())),
+                    ArcLabel::BeginChild(NamePat::Name(child)),
                     None,
                     child_na,
                     id,
@@ -474,7 +476,7 @@ impl Builder {
                 );
                 self.add_arc(
                     child_na,
-                    ArcLabel::TextSelf(NamePat::Name(child.clone())),
+                    ArcLabel::TextSelf(NamePat::Name(child)),
                     Some(Guard::Text {
                         cmp: Some(cmp.clone()),
                     }),
@@ -484,7 +486,7 @@ impl Builder {
                 );
                 self.add_arc(
                     child_na,
-                    ArcLabel::End(NamePat::Name(child.clone())),
+                    ArcLabel::End(NamePat::Name(child)),
                     None,
                     na,
                     id,
@@ -497,7 +499,7 @@ impl Builder {
                 // under closure).
                 self.add_arc(
                     child_true,
-                    ArcLabel::End(NamePat::Name(child.clone())),
+                    ArcLabel::End(NamePat::Name(child)),
                     None,
                     t,
                     id,
@@ -505,13 +507,13 @@ impl Builder {
                 );
                 self.add_arc(
                     na,
-                    ArcLabel::End(tag.clone()),
+                    ArcLabel::End(tag),
                     None,
                     start,
                     id,
                     vec![Action::ClearSelf],
                 );
-                self.add_arc(t, ArcLabel::End(tag.clone()), None, start, id, vec![]);
+                self.add_arc(t, ArcLabel::End(tag), None, start, id, vec![]);
                 BuiltBpdt {
                     na: Some(na),
                     true_state: t,
@@ -542,13 +544,13 @@ impl Builder {
         let actions = text_value_actions(leaf_specs, Disposition::OwnQueue);
         if !actions.is_empty() {
             if let Some(na) = built.na {
-                self.add_arc(na, ArcLabel::TextSelf(tag.clone()), None, na, id, actions);
+                self.add_arc(na, ArcLabel::TextSelf(*tag), None, na, id, actions);
             }
         }
         let actions = text_value_actions(leaf_specs, disp_true);
         if !actions.is_empty() {
             let t = built.true_state;
-            self.add_arc(t, ArcLabel::TextSelf(tag.clone()), None, t, id, actions);
+            self.add_arc(t, ArcLabel::TextSelf(*tag), None, t, id, actions);
         }
         // Whole-element output (`*̄` catchall, Fig. 10): every event
         // strictly inside the matched element is appended, plus the
@@ -572,7 +574,7 @@ impl Builder {
                 );
                 self.add_arc(
                     s,
-                    ArcLabel::TextSelf(tag.clone()),
+                    ArcLabel::TextSelf(*tag),
                     None,
                     s,
                     id,
@@ -602,7 +604,7 @@ fn entry_value_actions(leaf_specs: &[(u32, Output)], disp: Disposition) -> Vec<A
     for (tag, output) in leaf_specs {
         match output {
             Output::Attr(a) => actions.push(Action::Emit {
-                source: ValueSource::Attr(a.clone()),
+                source: ValueSource::Attr(Sym::intern(a)),
                 to: disp,
                 tag: *tag,
             }),
@@ -645,7 +647,7 @@ fn text_value_actions(leaf_specs: &[(u32, Output)], disp: Disposition) -> Vec<Ac
 
 fn name_pat(test: &NodeTest) -> NamePat {
     match test {
-        NodeTest::Name(n) => NamePat::Name(n.clone()),
+        NodeTest::Name(n) => NamePat::Name(Sym::intern(n)),
         NodeTest::Wildcard => NamePat::Any,
     }
 }

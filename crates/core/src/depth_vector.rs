@@ -29,6 +29,7 @@
 //! so equality and ordering are representation-independent.
 
 use std::fmt;
+use std::sync::Arc;
 
 const BITS_MAX_DEPTH: u32 = 63;
 
@@ -37,8 +38,11 @@ const BITS_MAX_DEPTH: u32 = 63;
 enum Repr {
     /// Depths ≤ 63 as a bitmask (the common case; the paper's bitmaps).
     Bits(u64),
-    /// Documents nested deeper than 64 levels.
-    Wide(Vec<u32>),
+    /// Documents nested deeper than 64 levels. Copy-on-write: cloning a
+    /// configuration (forking on a nondeterministic arc, tagging a
+    /// buffered item) shares the vector; `push_mut`/`pop_mut` only copy
+    /// when the storage is actually shared (`Arc::make_mut`).
+    Wide(Arc<Vec<u32>>),
 }
 
 /// See module docs.
@@ -70,7 +74,7 @@ impl DepthVector {
             }
             DepthVector(Repr::Bits(bits))
         } else {
-            DepthVector(Repr::Wide(depths.to_vec()))
+            DepthVector(Repr::Wide(Arc::new(depths.to_vec())))
         }
     }
 
@@ -101,9 +105,9 @@ impl DepthVector {
                 // Overflow into the wide representation.
                 let mut v = depths_of(*bits);
                 v.push(depth);
-                self.0 = Repr::Wide(v);
+                self.0 = Repr::Wide(Arc::new(v));
             }
-            Repr::Wide(v) => v.push(depth),
+            Repr::Wide(v) => Arc::make_mut(v).push(depth),
         }
     }
 
@@ -118,6 +122,7 @@ impl DepthVector {
                 }
             }
             Repr::Wide(v) => {
+                let v = Arc::make_mut(v);
                 v.pop();
                 if v.last().copied().unwrap_or(0) <= BITS_MAX_DEPTH {
                     *self = DepthVector::from_depths(v);
@@ -182,7 +187,7 @@ impl DepthVector {
     pub fn to_depths(&self) -> Vec<u32> {
         match &self.0 {
             Repr::Bits(bits) => depths_of(*bits),
-            Repr::Wide(v) => v.clone(),
+            Repr::Wide(v) => v.as_ref().clone(),
         }
     }
 
@@ -281,6 +286,26 @@ mod tests {
         assert_eq!(dv.top(), 62);
         let fresh = DepthVector::from_depths(&(0..=62).collect::<Vec<_>>());
         assert_eq!(dv, fresh);
+    }
+
+    #[test]
+    fn wide_vectors_share_storage_until_mutation() {
+        let mut dv = DepthVector::new();
+        for d in 0..=70 {
+            dv.push_mut(d);
+        }
+        let copy = dv.clone();
+        let (Repr::Wide(a), Repr::Wide(b)) = (&dv.0, &copy.0) else {
+            panic!("expected wide representation");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share, not copy");
+        // Mutating one side must not disturb the other.
+        let mut fork = copy.clone();
+        fork.push_mut(71);
+        assert_eq!(dv.len(), 71);
+        assert_eq!(copy.len(), 71);
+        assert_eq!(fork.len(), 72);
+        assert_eq!(fork.top(), 71);
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn to_dot(hpdt: &Hpdt) -> String {
 
 fn name_text(pat: &NamePat) -> String {
     match pat {
-        NamePat::Name(n) => n.clone(),
+        NamePat::Name(n) => n.as_str().to_string(),
         NamePat::Any => "*".to_string(),
     }
 }

@@ -125,8 +125,8 @@ impl CompiledQuery {
     ) -> Result<RunStats, EngineError> {
         let mut parser = StreamParser::new(reader);
         let mut runner = self.runner();
-        while let Some(ev) = parser.next_event()? {
-            runner.feed(&ev, sink);
+        while let Some(ev) = parser.next_raw()? {
+            runner.feed_raw(&ev, sink);
         }
         Ok(runner.finish(sink))
     }

@@ -21,7 +21,7 @@
 
 use std::io::BufRead;
 
-use xsq_xml::SaxEvent;
+use xsq_xml::{RawEvent, SaxEvent};
 
 use crate::engine::{CompiledQuery, XsqEngine};
 use crate::error::{CompileError, EngineError};
@@ -160,25 +160,35 @@ pub struct MultiRunner<'q> {
 }
 
 impl<'q> MultiRunner<'q> {
-    /// Feed one event to every query, each with its own sink.
+    /// Feed one owned event to every query, each with its own sink.
     pub fn feed_all<S: Sink>(&mut self, event: &SaxEvent, sinks: &mut [S]) {
+        self.feed_all_raw(&event.as_raw(), sinks);
+    }
+
+    /// Feed one borrowed event to every query, each with its own sink.
+    pub fn feed_all_raw<S: Sink>(&mut self, event: &RawEvent<'_>, sinks: &mut [S]) {
         debug_assert_eq!(self.runners.len(), sinks.len());
         self.events += 1;
         for (runner, sink) in self.runners.iter_mut().zip(sinks.iter_mut()) {
-            runner.feed(event, sink);
+            runner.feed_raw(event, sink);
         }
     }
 
-    /// Feed one event, routing every query's results to one shared sink,
-    /// each tagged with the query's id (its index in the set).
+    /// Feed one owned event, routing every query's results to one shared
+    /// sink, each tagged with the query's id (its index in the set).
     pub fn feed_shared(&mut self, event: &SaxEvent, sink: &mut dyn QuerySink) {
+        self.feed_shared_raw(&event.as_raw(), sink);
+    }
+
+    /// Feed one borrowed event to the shared sink — the zero-copy path.
+    pub fn feed_shared_raw(&mut self, event: &RawEvent<'_>, sink: &mut dyn QuerySink) {
         self.events += 1;
         for (i, runner) in self.runners.iter_mut().enumerate() {
             let mut tagged = AttributeAs {
                 id: QueryId(i as u32),
                 inner: &mut *sink,
             };
-            runner.feed(event, &mut tagged);
+            runner.feed_raw(event, &mut tagged);
         }
     }
 

@@ -112,7 +112,7 @@ impl Projector {
                     if parent.bits & (1 << i) == 0 {
                         continue;
                     }
-                    if self.steps[i].test.matches(name) {
+                    if self.steps[i].test.matches(name.as_str()) {
                         bits |= 1 << (i + 1);
                     }
                     if self.steps[i].closure {
@@ -126,7 +126,7 @@ impl Projector {
                         && self.steps[j - 1]
                             .witness_child
                             .as_deref()
-                            .is_some_and(|w| w == name)
+                            .is_some_and(|w| *name == *w)
                 });
                 let inside_full_match = parent.inside_full_match
                     || (self.element_output && parent.bits & (1 << n) != 0);

@@ -11,17 +11,19 @@
 //! bucket for closure self-loops, `*` tests, and catchalls), instead of
 //! all N.
 //!
-//! The index is maintained incrementally: a runner's interest only
-//! changes when one of its arcs fires (its configuration set moves), so
-//! the common skipped event costs one hash lookup total. Interest is a
-//! deliberate *over*-approximation — it ignores the depth discipline and
-//! guards that [`crate::arcs::Arc::label_matches`] enforces — so a
-//! dispatched group may still match nothing; skipping a group is safe
-//! precisely because a no-match feed is a no-op.
+//! Names are the global [`Sym`] symbols the parser already interned, so
+//! the per-event lookup is a dense `Vec` index — no hashing, no string
+//! comparison. The index is maintained incrementally: a runner's
+//! interest only changes when one of its arcs fires (its configuration
+//! set moves), so the common skipped event costs one array index total.
+//! Interest is a deliberate *over*-approximation — it ignores the depth
+//! discipline and guards that [`crate::arcs::Arc::label_matches`]
+//! enforces — so a dispatched group may still match nothing; skipping a
+//! group is safe precisely because a no-match feed is a no-op.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use xsq_xml::SaxEvent;
+use xsq_xml::{RawEvent, Sym};
 
 use crate::arcs::{ArcLabel, NamePat, StateId};
 use crate::build::Hpdt;
@@ -31,32 +33,12 @@ const KIND_BEGIN: usize = 0;
 const KIND_END: usize = 1;
 const KIND_TEXT: usize = 2;
 
-/// Interns element/attribute names to dense symbols so dispatch keys are
-/// integer comparisons, not string hashing per arc.
-#[derive(Debug, Default)]
-struct Interner {
-    map: HashMap<String, u32>,
-    count: u32,
+fn key(kind: usize, sym: Sym) -> u64 {
+    ((kind as u64) << 32) | sym.index() as u64
 }
 
-impl Interner {
-    fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&s) = self.map.get(name) {
-            return s;
-        }
-        let s = self.count;
-        self.map.insert(name.to_string(), s);
-        self.count += 1;
-        s
-    }
-
-    fn get(&self, name: &str) -> Option<u32> {
-        self.map.get(name).copied()
-    }
-}
-
-fn key(kind: usize, symbol: u32) -> u64 {
-    ((kind as u64) << 32) | symbol as u64
+fn key_parts(k: u64) -> (usize, usize) {
+    ((k >> 32) as usize, (k & u32::MAX as u64) as usize)
 }
 
 /// What events one HPDT state could react to, precomputed from its arcs.
@@ -77,8 +59,9 @@ pub(crate) struct GroupInterest {
 /// The inverted index over all registered groups.
 #[derive(Debug, Default)]
 pub struct DispatchIndex {
-    interner: Interner,
-    by_key: HashMap<u64, BTreeSet<u32>>,
+    /// Interested groups per symbol, indexed by [`Sym::index`]; one set
+    /// per event kind. Grown on demand as arcs mention new names.
+    by_sym: Vec<[BTreeSet<u32>; 3]>,
     wildcard: [BTreeSet<u32>; 3],
     /// Every registered group: document brackets go to all of them, and
     /// candidate iteration for unnamed events starts here.
@@ -92,27 +75,38 @@ impl DispatchIndex {
 
     /// Number of named buckets currently populated (diagnostics).
     pub fn named_buckets(&self) -> usize {
-        self.by_key.values().filter(|s| !s.is_empty()).count()
+        self.by_sym
+            .iter()
+            .flat_map(|kinds| kinds.iter())
+            .filter(|s| !s.is_empty())
+            .count()
+    }
+
+    fn bucket_mut(&mut self, sym_index: usize, kind: usize) -> &mut BTreeSet<u32> {
+        if self.by_sym.len() <= sym_index {
+            self.by_sym.resize_with(sym_index + 1, Default::default);
+        }
+        &mut self.by_sym[sym_index][kind]
     }
 
     /// Compute one state's interest from its outgoing arcs.
-    fn state_interest(&mut self, hpdt: &Hpdt, state: StateId) -> StateInterest {
+    fn state_interest(hpdt: &Hpdt, state: StateId) -> StateInterest {
         let mut si = StateInterest::default();
         for arc in &hpdt.arcs[state as usize] {
             match &arc.label {
                 // Document brackets reach every group unconditionally.
                 ArcLabel::StartDoc | ArcLabel::EndDoc => {}
                 ArcLabel::BeginChild(pat) | ArcLabel::BeginAnyDepth(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_BEGIN, self.interner.intern(n))),
+                    NamePat::Name(n) => si.keys.push(key(KIND_BEGIN, *n)),
                     NamePat::Any => si.wild[KIND_BEGIN] = true,
                 },
                 ArcLabel::ClosureSelfLoop => si.wild[KIND_BEGIN] = true,
                 ArcLabel::End(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_END, self.interner.intern(n))),
+                    NamePat::Name(n) => si.keys.push(key(KIND_END, *n)),
                     NamePat::Any => si.wild[KIND_END] = true,
                 },
                 ArcLabel::TextSelf(pat) | ArcLabel::TextChild(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_TEXT, self.interner.intern(n))),
+                    NamePat::Name(n) => si.keys.push(key(KIND_TEXT, *n)),
                     NamePat::Any => si.wild[KIND_TEXT] = true,
                 },
                 // The catchall accepts begin, end, and text events alike.
@@ -144,7 +138,7 @@ impl DispatchIndex {
         for &s in frontier {
             let slot = &mut cache[s as usize];
             if slot.is_none() {
-                let si = self.state_interest(hpdt, s);
+                let si = Self::state_interest(hpdt, s);
                 *slot = Some(si);
             }
             let si = slot.as_ref().unwrap();
@@ -156,11 +150,13 @@ impl DispatchIndex {
 
         // Apply the diff.
         for &k in next.keys.difference(&current.keys) {
-            self.by_key.entry(k).or_default().insert(group);
+            let (kind, sym) = key_parts(k);
+            self.bucket_mut(sym, kind).insert(group);
         }
         for &k in current.keys.difference(&next.keys) {
-            if let Some(set) = self.by_key.get_mut(&k) {
-                set.remove(&group);
+            let (kind, sym) = key_parts(k);
+            if let Some(kinds) = self.by_sym.get_mut(sym) {
+                kinds[kind].remove(&group);
             }
         }
         for k in 0..3 {
@@ -177,8 +173,9 @@ impl DispatchIndex {
     /// Remove a group entirely (unsubscription of its last member).
     pub(crate) fn remove_group(&mut self, group: u32, current: &GroupInterest) {
         for &k in &current.keys {
-            if let Some(set) = self.by_key.get_mut(&k) {
-                set.remove(&group);
+            let (kind, sym) = key_parts(k);
+            if let Some(kinds) = self.by_sym.get_mut(sym) {
+                kinds[kind].remove(&group);
             }
         }
         for k in 0..3 {
@@ -190,21 +187,19 @@ impl DispatchIndex {
     /// Collect the groups that might react to `event`, in ascending group
     /// order (deterministic feed order ⇒ deterministic result
     /// interleaving in shared sinks).
-    pub fn candidates(&self, event: &SaxEvent, out: &mut Vec<u32>) {
+    pub fn candidates(&self, event: &RawEvent<'_>, out: &mut Vec<u32>) {
         out.clear();
-        let (kind, name) = match event {
-            SaxEvent::StartDocument | SaxEvent::EndDocument => {
+        let (kind, sym) = match event {
+            RawEvent::StartDocument | RawEvent::EndDocument => {
                 out.extend(self.all.iter().copied());
                 return;
             }
-            SaxEvent::Begin { name, .. } => (KIND_BEGIN, name.as_str()),
-            SaxEvent::End { name, .. } => (KIND_END, name.as_str()),
-            SaxEvent::Text { element, .. } => (KIND_TEXT, element.as_str()),
+            RawEvent::Begin { name, .. } => (KIND_BEGIN, *name),
+            RawEvent::End { name, .. } => (KIND_END, *name),
+            RawEvent::Text { element, .. } => (KIND_TEXT, *element),
         };
-        if let Some(sym) = self.interner.get(name) {
-            if let Some(set) = self.by_key.get(&key(kind, sym)) {
-                out.extend(set.iter().copied());
-            }
+        if let Some(kinds) = self.by_sym.get(sym.index() as usize) {
+            out.extend(kinds[kind].iter().copied());
         }
         if !self.wildcard[kind].is_empty() {
             out.extend(self.wildcard[kind].iter().copied());
@@ -218,6 +213,7 @@ impl DispatchIndex {
 mod tests {
     use super::*;
     use crate::build::build_hpdt;
+    use xsq_xml::SaxEvent;
     use xsq_xpath::parse_query;
 
     fn begin(name: &str, depth: u32) -> SaxEvent {
@@ -226,6 +222,10 @@ mod tests {
             attributes: vec![],
             depth,
         }
+    }
+
+    fn candidates(idx: &DispatchIndex, ev: &SaxEvent, out: &mut Vec<u32>) {
+        idx.candidates(&ev.as_raw(), out);
     }
 
     #[test]
@@ -237,11 +237,11 @@ mod tests {
         idx.reindex(0, &hpdt, &[hpdt.start], &mut cache, &mut cur);
 
         let mut out = Vec::new();
-        idx.candidates(&begin("a", 1), &mut out);
+        candidates(&idx, &begin("a", 1), &mut out);
         // The start state only has the StartDoc arc: no element interest
         // yet, but document brackets always dispatch.
         assert!(out.is_empty());
-        idx.candidates(&SaxEvent::StartDocument, &mut out);
+        candidates(&idx, &SaxEvent::StartDocument, &mut out);
         assert_eq!(out, [0]);
     }
 
@@ -256,14 +256,14 @@ mod tests {
         let root_true = hpdt.arcs[hpdt.start as usize][0].target;
         idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
         let mut out = Vec::new();
-        idx.candidates(&begin("a", 1), &mut out);
+        candidates(&idx, &begin("a", 1), &mut out);
         assert_eq!(out, [0]);
-        idx.candidates(&begin("zzz", 1), &mut out);
+        candidates(&idx, &begin("zzz", 1), &mut out);
         assert!(out.is_empty());
 
         // Move the frontier somewhere with no `a` interest: bucket empties.
         idx.reindex(0, &hpdt, &[hpdt.start], &mut cache, &mut cur);
-        idx.candidates(&begin("a", 1), &mut out);
+        candidates(&idx, &begin("a", 1), &mut out);
         assert!(out.is_empty());
     }
 
@@ -277,7 +277,7 @@ mod tests {
         idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
         let mut out = Vec::new();
         // The closure self-loop accepts any begin event.
-        idx.candidates(&begin("anything", 3), &mut out);
+        candidates(&idx, &begin("anything", 3), &mut out);
         assert_eq!(out, [0]);
     }
 
@@ -291,9 +291,9 @@ mod tests {
         idx.reindex(0, &hpdt, &[root_true], &mut cache, &mut cur);
         idx.remove_group(0, &cur);
         let mut out = Vec::new();
-        idx.candidates(&begin("b", 1), &mut out);
+        candidates(&idx, &begin("b", 1), &mut out);
         assert!(out.is_empty());
-        idx.candidates(&SaxEvent::StartDocument, &mut out);
+        candidates(&idx, &SaxEvent::StartDocument, &mut out);
         assert!(out.is_empty());
     }
 }

@@ -24,7 +24,7 @@
 use std::io::BufRead;
 use std::sync::Arc;
 
-use xsq_xml::{SaxEvent, StreamParser};
+use xsq_xml::{RawEvent, SaxEvent, StreamParser};
 use xsq_xpath::Query;
 
 use crate::arcs::StateId;
@@ -101,6 +101,12 @@ struct Group {
     members: Vec<QueryId>,
     interest: GroupInterest,
     state_cache: Vec<Option<StateInterest>>,
+    /// Frontier as of the last reindex. Closure states report "fired" on
+    /// every descent they track, but their frontier (and therefore the
+    /// dispatch buckets) usually hasn't moved — comparing against this
+    /// cache keeps the steady-state loop free of interest rebuilds (and
+    /// their allocations).
+    last_frontier: Vec<StateId>,
     /// Active member count; at 0 the group leaves the dispatch index.
     live: usize,
 }
@@ -213,6 +219,7 @@ impl QueryIndex {
             members,
             interest: GroupInterest::default(),
             state_cache: Vec::new(),
+            last_frontier: Vec::new(),
         };
         group.core.frontier_states(&mut self.scratch_states);
         self.dispatch.reindex(
@@ -222,6 +229,7 @@ impl QueryIndex {
             &mut group.state_cache,
             &mut group.interest,
         );
+        group.last_frontier.clone_from(&self.scratch_states);
         self.groups.push(group);
     }
 
@@ -327,9 +335,16 @@ impl QueryIndex {
         true
     }
 
-    /// Push one event. Only runners whose dispatch buckets match the
-    /// event are stepped; everyone else pays nothing.
+    /// Push one owned event — convenience wrapper over
+    /// [`QueryIndex::feed_raw`].
     pub fn feed(&mut self, event: &SaxEvent, shared: &mut dyn QuerySink) {
+        self.feed_raw(&event.as_raw(), shared);
+    }
+
+    /// Push one borrowed event. Only runners whose dispatch buckets match
+    /// the event are stepped; everyone else pays nothing — a skipped
+    /// event costs one dense symbol-indexed lookup and zero allocations.
+    pub fn feed_raw(&mut self, event: &RawEvent<'_>, shared: &mut dyn QuerySink) {
         self.events += 1;
         let Self {
             groups,
@@ -348,6 +363,7 @@ impl QueryIndex {
                 members,
                 interest,
                 state_cache,
+                last_frontier,
                 ..
             } = &mut groups[gi as usize];
             *touches += 1;
@@ -356,12 +372,19 @@ impl QueryIndex {
                 subs,
                 shared: &mut *shared,
             };
-            let fired = core.feed(hpdt, event, &mut route);
+            let fired = core.feed_raw(hpdt, event, &mut route);
             if fired {
                 // The configuration set moved: re-derive what this group
-                // can react to next and update the buckets by diff.
+                // can react to next and update the buckets by diff — but
+                // only if the frontier actually changed. Closure states
+                // fire on every tracked descent with the same frontier;
+                // skipping the rebuild keeps that loop allocation-free.
                 core.frontier_states(scratch_states);
-                dispatch.reindex(gi, hpdt, scratch_states, state_cache, interest);
+                if scratch_states.as_slice() != last_frontier.as_slice() {
+                    last_frontier.clear();
+                    last_frontier.extend_from_slice(scratch_states);
+                    dispatch.reindex(gi, hpdt, scratch_states, state_cache, interest);
+                }
             }
         }
     }
@@ -392,6 +415,7 @@ impl QueryIndex {
                 members,
                 interest,
                 state_cache,
+                last_frontier,
                 ..
             } = group;
             let mut route = RouteSink {
@@ -406,6 +430,8 @@ impl QueryIndex {
             total.memory.peak_configs += stats.memory.peak_configs;
             core.reset(hpdt);
             core.frontier_states(scratch_states);
+            last_frontier.clear();
+            last_frontier.extend_from_slice(scratch_states);
             dispatch.reindex(gi as u32, hpdt, scratch_states, state_cache, interest);
         }
         total
@@ -427,8 +453,8 @@ impl QueryIndex {
         shared: &mut dyn QuerySink,
     ) -> Result<RunStats, EngineError> {
         let mut parser = StreamParser::new(reader);
-        while let Some(ev) = parser.next_event()? {
-            self.feed(&ev, shared);
+        while let Some(ev) = parser.next_raw()? {
+            self.feed_raw(&ev, shared);
         }
         Ok(self.finish(shared))
     }

@@ -27,7 +27,7 @@
 //! no self-referential borrows. [`Runner`] is the single-query facade
 //! that pairs a core with one `&Hpdt` for the classic borrowed API.
 
-use xsq_xml::SaxEvent;
+use xsq_xml::{RawEvent, SaxEvent};
 use xsq_xpath::Output;
 
 use crate::aggregate::Aggregator;
@@ -148,20 +148,34 @@ impl RunnerCore {
         self.results = 0;
     }
 
-    /// Process one SAX event, pushing any newly determined results into
-    /// the sink. Returns `true` when at least one arc fired — i.e. the
-    /// configuration set may have moved (the dispatch index uses this to
-    /// know when a runner's frontier needs re-indexing).
+    /// Process one owned SAX event — convenience wrapper over
+    /// [`Self::feed_raw`] for callers holding `SaxEvent`s (tests, stored
+    /// event sequences).
     pub fn feed(&mut self, hpdt: &Hpdt, event: &SaxEvent, sink: &mut dyn TaggedSink) -> bool {
+        self.feed_raw(hpdt, &event.as_raw(), sink)
+    }
+
+    /// Process one borrowed SAX event, pushing any newly determined
+    /// results into the sink. Returns `true` when at least one arc fired
+    /// — i.e. the configuration set may have moved (the dispatch index
+    /// uses this to know when a runner's frontier needs re-indexing).
+    /// This is the zero-copy hot path: an event no arc accepts performs
+    /// no heap allocation.
+    pub fn feed_raw(
+        &mut self,
+        hpdt: &Hpdt,
+        event: &RawEvent<'_>,
+        sink: &mut dyn TaggedSink,
+    ) -> bool {
         self.feed_traced(hpdt, event, sink, None)
     }
 
-    /// [`Self::feed`] with an optional execution tracer (`--trace`; see
-    /// [`crate::trace`]). Zero cost when `tracer` is `None`.
+    /// [`Self::feed_raw`] with an optional execution tracer (`--trace`;
+    /// see [`crate::trace`]). Zero cost when `tracer` is `None`.
     pub fn feed_traced(
         &mut self,
         hpdt: &Hpdt,
-        event: &SaxEvent,
+        event: &RawEvent<'_>,
         sink: &mut dyn TaggedSink,
         tracer: Option<&mut dyn FnMut(TraceStep)>,
     ) -> bool {
@@ -236,8 +250,8 @@ impl RunnerCore {
             let changes = arc.changes_state(state);
             if changes {
                 match event {
-                    SaxEvent::StartDocument => dv.push_mut(0),
-                    SaxEvent::Begin { depth, .. } => dv.push_mut(*depth),
+                    RawEvent::StartDocument => dv.push_mut(0),
+                    RawEvent::Begin { depth, .. } => dv.push_mut(*depth),
                     _ => {}
                 }
             }
@@ -248,7 +262,7 @@ impl RunnerCore {
             for action in &arc.actions {
                 self.execute(hpdt, action, arc.owner, event, &dv, cfg_item, &mut new_item);
             }
-            if changes && matches!(event, SaxEvent::End { .. } | SaxEvent::EndDocument) {
+            if changes && matches!(event, RawEvent::End { .. } | RawEvent::EndDocument) {
                 dv.pop_mut();
             }
             next.push(Config {
@@ -278,7 +292,7 @@ impl RunnerCore {
 
     fn emit_trace(
         &mut self,
-        event: &SaxEvent,
+        event: &RawEvent<'_>,
         fired: Vec<crate::trace::FiredArc>,
         tracer: Option<&mut dyn FnMut(TraceStep)>,
     ) {
@@ -299,7 +313,7 @@ impl RunnerCore {
         hpdt: &Hpdt,
         action: &Action,
         owner: crate::ids::BpdtId,
-        event: &SaxEvent,
+        event: &RawEvent<'_>,
         inside_dv: &DepthVector,
         current_item: Option<ItemId>,
         new_item: &mut Option<ItemId>,
@@ -322,10 +336,10 @@ impl RunnerCore {
             Action::Emit { source, to, tag } => {
                 let value: Option<&str> = match source {
                     ValueSource::Text => match event {
-                        SaxEvent::Text { text, .. } => Some(text.as_str()),
+                        RawEvent::Text { text, .. } => Some(text),
                         _ => None,
                     },
-                    ValueSource::Attr(a) => event.attribute(a),
+                    ValueSource::Attr(a) => event.attribute_sym(*a),
                     ValueSource::Unit => Some("1"),
                 };
                 if let Some(v) = value {
@@ -335,7 +349,7 @@ impl RunnerCore {
             }
             Action::ElementStart { to, tag } => {
                 let mut ser = String::new();
-                xsq_xml::writer::write_event_into(event, &mut ser);
+                xsq_xml::writer::write_raw_event_into(event, &mut ser);
                 let item = self.items.anchor(*tag, &ser, false);
                 *new_item = Some(item);
                 self.route(hpdt, item, to, own, inside_dv);
@@ -343,7 +357,7 @@ impl RunnerCore {
             Action::ElementAppend => {
                 if let Some(item) = current_item {
                     let mut ser = String::new();
-                    xsq_xml::writer::write_event_into(event, &mut ser);
+                    xsq_xml::writer::write_raw_event_into(event, &mut ser);
                     self.items.append(item, &ser);
                 }
             }
@@ -351,7 +365,7 @@ impl RunnerCore {
                 if let Some(item) = current_item {
                     if !self.items.is_closed(item) {
                         let mut ser = String::new();
-                        xsq_xml::writer::write_event_into(event, &mut ser);
+                        xsq_xml::writer::write_raw_event_into(event, &mut ser);
                         self.items.append(item, &ser);
                         self.items.close(item);
                     }
@@ -518,9 +532,15 @@ impl<'q> Runner<'q> {
         self.tracer = Some(tracer);
     }
 
-    /// Process one SAX event, pushing any newly determined results into
-    /// the sink.
+    /// Process one owned SAX event, pushing any newly determined results
+    /// into the sink.
     pub fn feed(&mut self, event: &SaxEvent, sink: &mut dyn Sink) {
+        self.feed_raw(&event.as_raw(), sink);
+    }
+
+    /// Process one borrowed SAX event — the zero-copy hot path for
+    /// callers driving [`xsq_xml::StreamParser::next_raw`].
+    pub fn feed_raw(&mut self, event: &RawEvent<'_>, sink: &mut dyn Sink) {
         let mut tagged = IgnoreTags(sink);
         let tracer: Option<&mut dyn FnMut(TraceStep)> = self.tracer.as_mut().map(|t| &mut **t as _);
         self.core.feed_traced(self.hpdt, event, &mut tagged, tracer);

@@ -77,7 +77,7 @@ pub(crate) fn fired_arc(arc: &Arc, from: StateId, dv: &DepthVector) -> FiredArc 
 fn label_str(arc: &Arc) -> String {
     use crate::arcs::{ArcLabel::*, NamePat};
     let name = |p: &NamePat| match p {
-        NamePat::Name(n) => n.clone(),
+        NamePat::Name(n) => n.as_str().to_string(),
         NamePat::Any => "*".to_string(),
     };
     let mut s = match &arc.label {

@@ -5,20 +5,33 @@
 //! `(a, text(), d)` — `a` the element tag and `d` its depth. The document
 //! element has depth 1; `StartDocument`/`EndDocument` bracket the stream at
 //! depth 0 and are consumed by the root BPDT (Fig. 12 of the paper).
+//!
+//! Element and attribute names are interned [`Sym`]s (see
+//! [`crate::symbol`]), so comparing tags downstream is a `u32` compare.
+//! Two event shapes share the model:
+//!
+//! * [`RawEvent`] — the zero-copy view the parser lends out: attribute
+//!   lists and text borrow the parser's scratch buffers, valid until the
+//!   next pull. This is the hot-path currency of the engines.
+//! * [`SaxEvent`] — the owned form, for queues, tests, and any consumer
+//!   that retains events past the next pull. [`RawEvent::to_owned`] and
+//!   [`SaxEvent::as_raw`] convert between them.
 
 use std::fmt;
+
+use crate::symbol::Sym;
 
 /// A single attribute on a begin event: `name="value"` with the value
 /// already entity-decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
-    pub name: String,
+    pub name: Sym,
     pub value: String,
 }
 
 impl Attribute {
-    /// Construct an attribute from anything string-like.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    /// Construct an attribute from anything name-like and value-like.
+    pub fn new(name: impl Into<Sym>, value: impl Into<String>) -> Self {
         Attribute {
             name: name.into(),
             value: value.into(),
@@ -26,7 +39,7 @@ impl Attribute {
     }
 }
 
-/// A depth-extended SAX event.
+/// A depth-extended SAX event (owned form).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SaxEvent {
     /// Start of the document; the paper's synthetic `<root>` event.
@@ -35,20 +48,47 @@ pub enum SaxEvent {
     EndDocument,
     /// `(a, attrs, d)` — opening tag of element `a` at depth `d ≥ 1`.
     Begin {
-        name: String,
+        name: Sym,
         attributes: Vec<Attribute>,
         depth: u32,
     },
     /// `(/a, d)` — closing tag of element `a` at depth `d ≥ 1`.
-    End { name: String, depth: u32 },
+    End { name: Sym, depth: u32 },
     /// `(a, text(), d)` — character content directly inside element `a`
     /// (which is at depth `d`). Adjacent character data is coalesced into a
     /// single event; entity references are decoded.
     Text {
         /// Tag of the enclosing element (the paper's text events carry the
         /// element name so a transition arc can match `<tag.text()>`).
-        element: String,
+        element: Sym,
         text: String,
+        depth: u32,
+    },
+}
+
+/// A depth-extended SAX event borrowed from the parser's scratch buffers.
+///
+/// Valid only until the next [`crate::StreamParser::next_raw`] call; the
+/// attribute slice and text str point into buffers the parser reuses.
+/// Names are [`Sym`]s and therefore `'static`-safe to copy out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawEvent<'a> {
+    /// Start of the document.
+    StartDocument,
+    /// End of the document.
+    EndDocument,
+    /// `(a, attrs, d)`.
+    Begin {
+        name: Sym,
+        attributes: &'a [Attribute],
+        depth: u32,
+    },
+    /// `(/a, d)`.
+    End { name: Sym, depth: u32 },
+    /// `(a, text(), d)`.
+    Text {
+        element: Sym,
+        text: &'a str,
         depth: u32,
     },
 }
@@ -66,9 +106,14 @@ impl SaxEvent {
 
     /// The element tag the event refers to, if any.
     pub fn name(&self) -> Option<&str> {
+        self.name_sym().map(Sym::as_str)
+    }
+
+    /// The element tag as an interned symbol, if any.
+    pub fn name_sym(&self) -> Option<Sym> {
         match self {
-            SaxEvent::Begin { name, .. } | SaxEvent::End { name, .. } => Some(name),
-            SaxEvent::Text { element, .. } => Some(element),
+            SaxEvent::Begin { name, .. } | SaxEvent::End { name, .. } => Some(*name),
+            SaxEvent::Text { element, .. } => Some(*element),
             _ => None,
         }
     }
@@ -93,28 +138,173 @@ impl SaxEvent {
         match self {
             SaxEvent::Begin { attributes, .. } => attributes
                 .iter()
-                .find(|a| a.name == name)
+                .find(|a| a.name == *name)
                 .map(|a| a.value.as_str()),
             _ => None,
         }
     }
 
+    /// The zero-copy view of this owned event.
+    pub fn as_raw(&self) -> RawEvent<'_> {
+        match self {
+            SaxEvent::StartDocument => RawEvent::StartDocument,
+            SaxEvent::EndDocument => RawEvent::EndDocument,
+            SaxEvent::Begin {
+                name,
+                attributes,
+                depth,
+            } => RawEvent::Begin {
+                name: *name,
+                attributes,
+                depth: *depth,
+            },
+            SaxEvent::End { name, depth } => RawEvent::End {
+                name: *name,
+                depth: *depth,
+            },
+            SaxEvent::Text {
+                element,
+                text,
+                depth,
+            } => RawEvent::Text {
+                element: *element,
+                text,
+                depth: *depth,
+            },
+        }
+    }
+
     /// Approximate in-memory footprint of the event, used by the memory
-    /// accounting of the experiment harness (Figs. 19–20).
+    /// accounting of the experiment harness (Figs. 19–20). Interned names
+    /// are charged at their string length so the figures stay comparable
+    /// with the paper's per-event accounting.
     pub fn heap_bytes(&self) -> usize {
         match self {
             SaxEvent::StartDocument | SaxEvent::EndDocument => 0,
             SaxEvent::Begin {
                 name, attributes, ..
             } => {
-                name.len()
+                name.as_str().len()
                     + attributes
                         .iter()
-                        .map(|a| a.name.len() + a.value.len())
+                        .map(|a| a.name.as_str().len() + a.value.len())
                         .sum::<usize>()
             }
-            SaxEvent::End { name, .. } => name.len(),
-            SaxEvent::Text { element, text, .. } => element.len() + text.len(),
+            SaxEvent::End { name, .. } => name.as_str().len(),
+            SaxEvent::Text { element, text, .. } => element.as_str().len() + text.len(),
+        }
+    }
+}
+
+impl<'a> RawEvent<'a> {
+    /// Depth of the event (document events are depth 0).
+    pub fn depth(&self) -> u32 {
+        match self {
+            RawEvent::StartDocument | RawEvent::EndDocument => 0,
+            RawEvent::Begin { depth, .. }
+            | RawEvent::End { depth, .. }
+            | RawEvent::Text { depth, .. } => *depth,
+        }
+    }
+
+    /// The element tag as an interned symbol, if any.
+    pub fn name_sym(&self) -> Option<Sym> {
+        match self {
+            RawEvent::Begin { name, .. } | RawEvent::End { name, .. } => Some(*name),
+            RawEvent::Text { element, .. } => Some(*element),
+            _ => None,
+        }
+    }
+
+    /// The element tag the event refers to, if any.
+    pub fn name(&self) -> Option<&'static str> {
+        self.name_sym().map(Sym::as_str)
+    }
+
+    /// True for begin events.
+    pub fn is_begin(&self) -> bool {
+        matches!(self, RawEvent::Begin { .. })
+    }
+
+    /// True for end events.
+    pub fn is_end(&self) -> bool {
+        matches!(self, RawEvent::End { .. })
+    }
+
+    /// True for text events.
+    pub fn is_text(&self) -> bool {
+        matches!(self, RawEvent::Text { .. })
+    }
+
+    /// Look up an attribute value by interned name — the hot-path lookup,
+    /// a `u32` compare per attribute and no hashing.
+    pub fn attribute_sym(&self, name: Sym) -> Option<&'a str> {
+        match self {
+            RawEvent::Begin { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Look up an attribute value by string name.
+    pub fn attribute(&self, name: &str) -> Option<&'a str> {
+        Sym::lookup(name).and_then(|s| self.attribute_sym(s))
+    }
+
+    /// Materialize an owned event (allocates: attribute vec and text copy).
+    pub fn to_owned(&self) -> SaxEvent {
+        match self {
+            RawEvent::StartDocument => SaxEvent::StartDocument,
+            RawEvent::EndDocument => SaxEvent::EndDocument,
+            RawEvent::Begin {
+                name,
+                attributes,
+                depth,
+            } => SaxEvent::Begin {
+                name: *name,
+                attributes: attributes.to_vec(),
+                depth: *depth,
+            },
+            RawEvent::End { name, depth } => SaxEvent::End {
+                name: *name,
+                depth: *depth,
+            },
+            RawEvent::Text {
+                element,
+                text,
+                depth,
+            } => SaxEvent::Text {
+                element: *element,
+                text: (*text).to_string(),
+                depth: *depth,
+            },
+        }
+    }
+}
+
+fn fmt_event(f: &mut fmt::Formatter<'_>, ev: &RawEvent<'_>) -> fmt::Result {
+    match ev {
+        RawEvent::StartDocument => write!(f, "(<root>,0)"),
+        RawEvent::EndDocument => write!(f, "(</root>,0)"),
+        RawEvent::Begin {
+            name,
+            attributes,
+            depth,
+        } => {
+            write!(f, "({name},{{")?;
+            for (i, a) in attributes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}={}", a.name, a.value)?;
+            }
+            write!(f, "}},{depth})")
+        }
+        RawEvent::End { name, depth } => write!(f, "(/{name},{depth})"),
+        RawEvent::Text { element, depth, .. } => {
+            write!(f, "({element},text(),{depth})")
         }
     }
 }
@@ -122,28 +312,14 @@ impl SaxEvent {
 impl fmt::Display for SaxEvent {
     /// Renders the event in the paper's notation, e.g. `(book,{id=1},2)`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SaxEvent::StartDocument => write!(f, "(<root>,0)"),
-            SaxEvent::EndDocument => write!(f, "(</root>,0)"),
-            SaxEvent::Begin {
-                name,
-                attributes,
-                depth,
-            } => {
-                write!(f, "({name},{{")?;
-                for (i, a) in attributes.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{}={}", a.name, a.value)?;
-                }
-                write!(f, "}},{depth})")
-            }
-            SaxEvent::End { name, depth } => write!(f, "(/{name},{depth})"),
-            SaxEvent::Text { element, depth, .. } => {
-                write!(f, "({element},text(),{depth})")
-            }
-        }
+        fmt_event(f, &self.as_raw())
+    }
+}
+
+impl fmt::Display for RawEvent<'_> {
+    /// Renders the event in the paper's notation, e.g. `(book,{id=1},2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_event(f, self)
     }
 }
 
@@ -192,5 +368,33 @@ mod tests {
     fn heap_bytes_counts_strings() {
         let b = begin("book", 2);
         assert_eq!(b.heap_bytes(), 4 + 2 + 1);
+    }
+
+    #[test]
+    fn raw_and_owned_round_trip() {
+        let owned = begin("book", 2);
+        let raw = owned.as_raw();
+        assert_eq!(raw.depth(), 2);
+        assert_eq!(raw.name(), Some("book"));
+        assert_eq!(raw.attribute("id"), Some("1"));
+        assert_eq!(raw.attribute_sym(Sym::intern("id")), Some("1"));
+        assert_eq!(raw.to_string(), owned.to_string());
+        assert_eq!(raw.to_owned(), owned);
+    }
+
+    #[test]
+    fn raw_text_borrows() {
+        let owned = SaxEvent::Text {
+            element: "b".into(),
+            text: "hi".into(),
+            depth: 2,
+        };
+        let raw = owned.as_raw();
+        let RawEvent::Text { element, text, .. } = raw else {
+            panic!("expected text");
+        };
+        assert_eq!(element, "b");
+        assert_eq!(text, "hi");
+        assert_eq!(raw.to_owned(), owned);
     }
 }

@@ -36,15 +36,18 @@ pub mod event;
 pub mod parser;
 pub mod pda;
 pub mod pure;
+pub mod scan;
 pub mod stats;
+pub mod symbol;
 pub mod writer;
 
 pub use error::{Error, Result};
-pub use event::{Attribute, SaxEvent};
+pub use event::{Attribute, RawEvent, SaxEvent};
 pub use parser::StreamParser;
 pub use pda::WellFormednessPda;
 pub use pure::PureParser;
 pub use stats::{dataset_stats, DatasetStats};
+pub use symbol::Sym;
 pub use writer::XmlWriter;
 
 /// Parse a complete document held in memory into a vector of events.

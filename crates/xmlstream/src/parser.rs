@@ -5,13 +5,24 @@
 //! or one run of character data). Well-formedness is enforced with the tag
 //! stack exactly as the paper's "simple PDA" (§3.1) does: every end event
 //! must match the top of the stack.
+//!
+//! The primary interface is [`StreamParser::next_raw`], which lends out a
+//! [`RawEvent`] borrowing the parser's scratch buffers — element names are
+//! interned [`Sym`]s, attribute storage and the text accumulator are
+//! reused across events, and delimiter scanning runs a SWAR memchr fast
+//! path ([`crate::scan`]). In steady state (all names interned, buffers
+//! grown to the document's token sizes) pulling an event performs **zero
+//! heap allocations**. [`StreamParser::next_event`] is the owned
+//! convenience wrapper for consumers that retain events.
 
 use std::collections::VecDeque;
 use std::io::BufRead;
 
 use crate::entities::decode_into;
 use crate::error::{Error, Result};
-use crate::event::{Attribute, SaxEvent};
+use crate::event::{Attribute, RawEvent, SaxEvent};
+use crate::scan;
+use crate::symbol::Sym;
 
 /// Configuration for [`StreamParser`].
 #[derive(Debug, Clone)]
@@ -45,6 +56,29 @@ enum DocState {
     Done,
 }
 
+/// A parsed-but-not-yet-delivered event descriptor. `Copy`-small: the
+/// variable-size payloads (attributes, text) stay in the parser's scratch
+/// buffers and are attached when the descriptor is materialized as a
+/// [`RawEvent`].
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    EndDocument,
+    /// Attributes are `attrs[..attrs_len]` at materialization time.
+    Begin {
+        name: Sym,
+        depth: u32,
+    },
+    End {
+        name: Sym,
+        depth: u32,
+    },
+    /// Text payload is `text_out` at materialization time.
+    Text {
+        element: Sym,
+        depth: u32,
+    },
+}
+
 /// A streaming, pull-based XML parser.
 ///
 /// ```
@@ -64,16 +98,33 @@ pub struct StreamParser<R: BufRead> {
     offset: u64,
     options: ParserOptions,
     state: DocState,
-    /// Open-element stack; `stack.len()` is the current depth.
-    stack: Vec<String>,
-    /// Events parsed but not yet handed out (a markup token can yield a
-    /// pending text event plus the tag's own event, or Begin+End for
-    /// `<a/>`).
-    pending: VecDeque<SaxEvent>,
+    /// Open-element stack; `stack.len()` is the current depth. Each entry
+    /// carries the interned name's `&'static str` so closing-tag checks
+    /// compare raw bytes without touching the symbol table.
+    stack: Vec<(Sym, &'static str)>,
+    /// Event descriptors parsed but not yet handed out (a markup token can
+    /// yield a pending text event plus the tag's own event, or Begin+End
+    /// for `<a/>`). At most `[Text, Begin, End]` — the scratch buffers
+    /// they reference stay untouched until the queue drains.
+    pending: VecDeque<Pending>,
     /// Accumulated character data awaiting a flush.
-    text: String,
+    text_acc: String,
+    /// Payload of the pending `Text` descriptor (swapped from `text_acc`
+    /// at flush so both buffers keep their capacity).
+    text_out: String,
+    /// Attribute storage for the pending `Begin`; the live prefix is
+    /// `attrs[..attrs_len]`. Slots beyond `attrs_len` keep their `String`
+    /// capacity for reuse by the next tag.
+    attrs: Vec<Attribute>,
+    attrs_len: usize,
     /// Scratch buffer for raw token bytes.
     scratch: Vec<u8>,
+    /// Lock-free fast path for [`Sym::intern`]: names this parser has
+    /// already resolved. Documents repeat a tiny tag vocabulary millions
+    /// of times; hitting this FNV map skips the symbol table's read lock
+    /// entirely. Keys are the table's leaked `&'static str`s, so misses
+    /// allocate nothing here either.
+    sym_cache: std::collections::HashMap<&'static str, Sym, crate::symbol::FnvBuild>,
 }
 
 impl<R: BufRead> StreamParser<R> {
@@ -91,8 +142,12 @@ impl<R: BufRead> StreamParser<R> {
             state: DocState::Init,
             stack: Vec::new(),
             pending: VecDeque::new(),
-            text: String::new(),
+            text_acc: String::new(),
+            text_out: String::new(),
+            attrs: Vec::new(),
+            attrs_len: 0,
             scratch: Vec::new(),
+            sym_cache: std::collections::HashMap::default(),
         }
     }
 
@@ -101,16 +156,25 @@ impl<R: BufRead> StreamParser<R> {
         self.offset
     }
 
-    /// Pull the next event, or `Ok(None)` after `EndDocument`.
+    /// Pull the next event as an owned [`SaxEvent`], or `Ok(None)` after
+    /// `EndDocument`. Allocates for attribute lists and text payloads;
+    /// hot loops should prefer [`next_raw`](Self::next_raw).
     pub fn next_event(&mut self) -> Result<Option<SaxEvent>> {
+        Ok(self.next_raw()?.map(|ev| ev.to_owned()))
+    }
+
+    /// Pull the next event as a zero-copy [`RawEvent`] borrowing the
+    /// parser's scratch buffers, or `Ok(None)` after `EndDocument`. The
+    /// returned view is invalidated by the next call.
+    pub fn next_raw(&mut self) -> Result<Option<RawEvent<'_>>> {
         loop {
-            if let Some(ev) = self.pending.pop_front() {
-                return Ok(Some(ev));
+            if let Some(p) = self.pending.pop_front() {
+                return Ok(Some(self.materialize(p)));
             }
             match self.state {
                 DocState::Init => {
                     self.state = DocState::BeforeRoot;
-                    return Ok(Some(SaxEvent::StartDocument));
+                    return Ok(Some(RawEvent::StartDocument));
                 }
                 DocState::Done => return Ok(None),
                 _ => self.advance()?,
@@ -118,8 +182,27 @@ impl<R: BufRead> StreamParser<R> {
         }
     }
 
+    /// Attach the scratch-buffer payloads to a pending descriptor.
+    fn materialize(&self, p: Pending) -> RawEvent<'_> {
+        match p {
+            Pending::EndDocument => RawEvent::EndDocument,
+            Pending::Begin { name, depth } => RawEvent::Begin {
+                name,
+                attributes: &self.attrs[..self.attrs_len],
+                depth,
+            },
+            Pending::End { name, depth } => RawEvent::End { name, depth },
+            Pending::Text { element, depth } => RawEvent::Text {
+                element,
+                text: &self.text_out,
+                depth,
+            },
+        }
+    }
+
     /// Parse input until at least one event lands in `pending` (or the
-    /// document ends).
+    /// document ends). Only runs when `pending` is empty, so the scratch
+    /// buffers it overwrites are no longer referenced.
     fn advance(&mut self) -> Result<()> {
         loop {
             match self.next_byte()? {
@@ -145,7 +228,7 @@ impl<R: BufRead> StreamParser<R> {
         let start_offset = self.offset - 1;
         self.scratch.clear();
         self.scratch.push(b);
-        self.take_until(|c| c == b'<')?;
+        self.take_until_byte(b'<')?;
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(start_offset, "invalid UTF-8 in character data"))?;
         if self.state != DocState::InRoot {
@@ -156,31 +239,34 @@ impl<R: BufRead> StreamParser<R> {
                 offset: start_offset,
             });
         }
-        // Decode into a temporary because `decode_into` borrows `raw`,
-        // which aliases `self.scratch`.
-        let mut decoded = String::new();
-        decode_into(raw, start_offset, &mut decoded)?;
-        self.text.push_str(&decoded);
+        // Entity references decode straight into the accumulator —
+        // `raw` borrows `scratch`, a disjoint field from `text_acc`.
+        // Most character data carries no references at all; skip the
+        // per-char decode loop for it.
+        if scan::find_byte(raw.as_bytes(), b'&').is_none() {
+            self.text_acc.push_str(raw);
+        } else {
+            decode_into(raw, start_offset, &mut self.text_acc)?;
+        }
         Ok(())
     }
 
     /// Emit any buffered text as a `Text` event.
     fn flush_text(&mut self) {
-        if self.text.is_empty() {
+        if self.text_acc.is_empty() {
             return;
         }
-        let keep =
-            !self.options.skip_whitespace_text || !self.text.chars().all(char::is_whitespace);
+        let keep = !self.options.skip_whitespace_text || !is_all_whitespace(&self.text_acc);
         if keep && !self.stack.is_empty() {
-            let element = self.stack.last().expect("in root").clone();
+            let element = self.stack.last().expect("in root").0;
             let depth = self.stack.len() as u32;
-            self.pending.push_back(SaxEvent::Text {
-                element,
-                text: std::mem::take(&mut self.text),
-                depth,
-            });
+            // Swap instead of clone: `text_out` is free once `pending`
+            // drained, and both buffers keep their capacity.
+            self.text_out.clear();
+            std::mem::swap(&mut self.text_acc, &mut self.text_out);
+            self.pending.push_back(Pending::Text { element, depth });
         } else {
-            self.text.clear();
+            self.text_acc.clear();
         }
     }
 
@@ -219,30 +305,23 @@ impl<R: BufRead> StreamParser<R> {
             DocState::InRoot => {}
             DocState::AfterRoot => {
                 // Peek the name for the error message.
-                let name = self.read_name(markup_offset)?;
+                let (_, name) = self.read_name(markup_offset)?;
                 return Err(Error::MultipleRoots {
                     offset: markup_offset,
-                    tag: name,
+                    tag: name.to_string(),
                 });
             }
             _ => unreachable!("start tag in state {:?}", self.state),
         }
-        let name = self.read_name(markup_offset)?;
-        if name.is_empty() {
-            return Err(Error::syntax(markup_offset, "empty element name"));
-        }
-        let mut attributes = Vec::new();
-        let self_closing = self.parse_attributes(&mut attributes, markup_offset)?;
-        self.stack.push(name.clone());
+        let (name, name_str) = self.read_name(markup_offset)?;
+        self.attrs_len = 0;
+        let self_closing = self.parse_attributes(markup_offset)?;
+        self.stack.push((name, name_str));
         let depth = self.stack.len() as u32;
-        self.pending.push_back(SaxEvent::Begin {
-            name: name.clone(),
-            attributes,
-            depth,
-        });
+        self.pending.push_back(Pending::Begin { name, depth });
         if self_closing {
             self.stack.pop();
-            self.pending.push_back(SaxEvent::End { name, depth });
+            self.pending.push_back(Pending::End { name, depth });
             if self.stack.is_empty() {
                 self.state = DocState::AfterRoot;
             }
@@ -252,8 +331,20 @@ impl<R: BufRead> StreamParser<R> {
 
     /// `</name>` — must match the innermost open element.
     fn parse_end_tag(&mut self, markup_offset: u64) -> Result<()> {
-        let name = self.read_name(markup_offset)?;
-        self.skip_whitespace()?;
+        self.scratch.clear();
+        self.take_until(|b| !is_name_byte(b))?;
+        // Well-formed XML closes the innermost open element, whose symbol
+        // sits on top of the stack: one byte compare against its cached
+        // name resolves the tag without hashing or a table lookup.
+        let name = match self.stack.last().copied() {
+            Some((open, open_name)) if self.scratch.as_slice() == open_name.as_bytes() => open,
+            _ => self.resolve_scratch_name(markup_offset)?.0,
+        };
+        // `</name>` with no trailing space is the only shape real
+        // documents produce; skip the whitespace scan when `>` is next.
+        if self.peek_byte()? != Some(b'>') {
+            self.skip_whitespace()?;
+        }
         match self.next_byte()? {
             Some(b'>') => {}
             Some(_) => return Err(Error::syntax(markup_offset, "junk in closing tag")),
@@ -267,16 +358,16 @@ impl<R: BufRead> StreamParser<R> {
         match self.stack.pop() {
             None => Err(Error::UnbalancedClose {
                 offset: markup_offset,
-                tag: name,
+                tag: name.as_str().to_string(),
             }),
-            Some(open) if open != name => Err(Error::TagMismatch {
+            Some((open, _)) if open != name => Err(Error::TagMismatch {
                 offset: markup_offset,
-                expected: open,
-                found: name,
+                expected: open.as_str().to_string(),
+                found: name.as_str().to_string(),
             }),
             Some(_) => {
                 let depth = self.stack.len() as u32 + 1;
-                self.pending.push_back(SaxEvent::End { name, depth });
+                self.pending.push_back(Pending::End { name, depth });
                 if self.stack.is_empty() {
                     self.state = DocState::AfterRoot;
                 }
@@ -339,27 +430,45 @@ impl<R: BufRead> StreamParser<R> {
         }
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in CDATA"))?;
-        self.text.push_str(raw);
+        self.text_acc.push_str(raw);
         Ok(())
     }
 
-    /// Read an element or attribute name.
-    fn read_name(&mut self, markup_offset: u64) -> Result<String> {
+    /// Read an element or attribute name and intern it. Interning
+    /// allocates only the first time a name is seen process-wide.
+    fn read_name(&mut self, markup_offset: u64) -> Result<(Sym, &'static str)> {
         self.scratch.clear();
         self.take_until(|b| !is_name_byte(b))?;
+        self.resolve_scratch_name(markup_offset)
+    }
+
+    /// Resolve the name sitting in `scratch` through the parser-local
+    /// cache, returning the symbol together with the table's interned
+    /// `&'static str` (so callers never pay a table lookup for it).
+    fn resolve_scratch_name(&mut self, markup_offset: u64) -> Result<(Sym, &'static str)> {
         if self.scratch.is_empty() {
             return Err(Error::syntax(markup_offset, "expected a name"));
         }
-        String::from_utf8(std::mem::take(&mut self.scratch))
-            .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in name"))
+        let raw = std::str::from_utf8(&self.scratch)
+            .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in name"))?;
+        if let Some((&name, &sym)) = self.sym_cache.get_key_value(raw) {
+            return Ok((sym, name));
+        }
+        let sym = Sym::intern(raw);
+        let name = sym.as_str();
+        self.sym_cache.insert(name, sym);
+        Ok((sym, name))
     }
 
-    /// Parse attributes up to `>` or `/>`. Returns `true` if self-closing.
-    fn parse_attributes(
-        &mut self,
-        attributes: &mut Vec<Attribute>,
-        markup_offset: u64,
-    ) -> Result<bool> {
+    /// Parse attributes up to `>` or `/>` into the reusable `attrs`
+    /// buffer (`attrs[..attrs_len]`). Returns `true` if self-closing.
+    fn parse_attributes(&mut self, markup_offset: u64) -> Result<bool> {
+        // The overwhelmingly common shape is `<name>` with no attributes:
+        // settle it with a single buffered read before the general loop.
+        if self.peek_byte()? == Some(b'>') {
+            self.next_byte()?;
+            return Ok(false);
+        }
         loop {
             self.skip_whitespace()?;
             match self.peek_byte()? {
@@ -381,7 +490,7 @@ impl<R: BufRead> StreamParser<R> {
                     }
                 }
                 Some(_) => {
-                    let name = self.read_name(markup_offset)?;
+                    let (name, _) = self.read_name(markup_offset)?;
                     self.skip_whitespace()?;
                     match self.next_byte()? {
                         Some(b'=') => {}
@@ -404,7 +513,7 @@ impl<R: BufRead> StreamParser<R> {
                     };
                     let value_offset = self.offset;
                     self.scratch.clear();
-                    self.take_until(|b| b == quote || b == b'<')?;
+                    self.take_until_byte2(quote, b'<')?;
                     match self.next_byte()? {
                         Some(b) if b == quote => {}
                         Some(_) => {
@@ -423,9 +532,23 @@ impl<R: BufRead> StreamParser<R> {
                     let raw = std::str::from_utf8(&self.scratch).map_err(|_| {
                         Error::syntax(value_offset, "invalid UTF-8 in attribute value")
                     })?;
-                    let mut value = String::new();
-                    decode_into(raw, value_offset, &mut value)?;
-                    attributes.push(Attribute { name, value });
+                    // Reuse the slot (and its value's capacity) past the
+                    // live prefix if one exists; decode straight into it.
+                    if self.attrs_len == self.attrs.len() {
+                        self.attrs.push(Attribute {
+                            name,
+                            value: String::new(),
+                        });
+                    }
+                    let slot = &mut self.attrs[self.attrs_len];
+                    slot.name = name;
+                    slot.value.clear();
+                    if scan::find_byte(raw.as_bytes(), b'&').is_none() {
+                        slot.value.push_str(raw);
+                    } else {
+                        decode_into(raw, value_offset, &mut slot.value)?;
+                    }
+                    self.attrs_len += 1;
                 }
             }
         }
@@ -436,7 +559,7 @@ impl<R: BufRead> StreamParser<R> {
         if !self.stack.is_empty() {
             return Err(Error::UnclosedElements {
                 offset: self.offset,
-                open: self.stack.clone(),
+                open: self.stack.iter().map(|&(_, n)| n.to_string()).collect(),
             });
         }
         if self.state == DocState::BeforeRoot {
@@ -446,7 +569,7 @@ impl<R: BufRead> StreamParser<R> {
             });
         }
         self.state = DocState::Done;
-        self.pending.push_back(SaxEvent::EndDocument);
+        self.pending.push_back(Pending::EndDocument);
         Ok(())
     }
 
@@ -454,9 +577,26 @@ impl<R: BufRead> StreamParser<R> {
 
     /// Bulk-append input bytes into `scratch` until `stop` matches (the
     /// stopping byte is left unconsumed) or the input ends. Scans whole
-    /// `fill_buf` slices instead of byte-at-a-time — the parser's hot
-    /// path for character data, names, and attribute values.
+    /// `fill_buf` slices instead of byte-at-a-time. Used for names, where
+    /// the stop set is a predicate; the single/double-delimiter hot paths
+    /// go through the SWAR variants below.
     fn take_until(&mut self, stop: impl Fn(u8) -> bool) -> Result<()> {
+        self.take_until_with(|buf| buf.iter().position(|&b| stop(b)))
+    }
+
+    /// [`take_until`](Self::take_until) specialized to one delimiter,
+    /// scanning 8 bytes per step — the character-data hot path.
+    fn take_until_byte(&mut self, stop: u8) -> Result<()> {
+        self.take_until_with(|buf| scan::find_byte(buf, stop))
+    }
+
+    /// [`take_until`](Self::take_until) specialized to two delimiters —
+    /// the attribute-value hot path (closing quote or stray `<`).
+    fn take_until_byte2(&mut self, s1: u8, s2: u8) -> Result<()> {
+        self.take_until_with(|buf| scan::find_byte2(buf, s1, s2))
+    }
+
+    fn take_until_with(&mut self, find: impl Fn(&[u8]) -> Option<usize>) -> Result<()> {
         loop {
             let buf = self
                 .reader
@@ -465,7 +605,7 @@ impl<R: BufRead> StreamParser<R> {
             if buf.is_empty() {
                 return Ok(());
             }
-            match buf.iter().position(|&b| stop(b)) {
+            match find(buf) {
                 Some(0) => return Ok(()),
                 Some(n) => {
                     self.scratch.extend_from_slice(&buf[..n]);
@@ -506,14 +646,27 @@ impl<R: BufRead> StreamParser<R> {
     }
 
     fn skip_whitespace(&mut self) -> Result<()> {
-        while let Some(b) = self.peek_byte()? {
-            if b.is_ascii_whitespace() {
-                self.next_byte()?;
-            } else {
-                break;
+        loop {
+            let buf = self
+                .reader
+                .fill_buf()
+                .map_err(|e| Error::io(self.offset, e))?;
+            if buf.is_empty() {
+                return Ok(());
+            }
+            let len = buf.len();
+            let run = buf
+                .iter()
+                .position(|b| !b.is_ascii_whitespace())
+                .unwrap_or(len);
+            if run > 0 {
+                self.reader.consume(run);
+                self.offset += run as u64;
+            }
+            if run < len {
+                return Ok(());
             }
         }
-        Ok(())
     }
 
     /// Consume `expected` if it is next in the input; single-byte lookahead
@@ -539,8 +692,14 @@ impl<R: BufRead> StreamParser<R> {
         Ok(true)
     }
 
+    /// Skip to (and past) `terminator` using a fixed rolling window — no
+    /// per-call allocation. Terminators here are at most 3 bytes (`?>`,
+    /// `-->`).
     fn skip_until(&mut self, terminator: &[u8], context: &'static str) -> Result<()> {
-        let mut window: Vec<u8> = Vec::with_capacity(terminator.len());
+        debug_assert!(terminator.len() <= 4);
+        let tlen = terminator.len();
+        let mut window = [0u8; 4];
+        let mut filled = 0usize;
         loop {
             match self.next_byte()? {
                 None => {
@@ -550,11 +709,14 @@ impl<R: BufRead> StreamParser<R> {
                     })
                 }
                 Some(b) => {
-                    window.push(b);
-                    if window.len() > terminator.len() {
-                        window.remove(0);
+                    if filled < tlen {
+                        window[filled] = b;
+                        filled += 1;
+                    } else {
+                        window.copy_within(1..tlen, 0);
+                        window[tlen - 1] = b;
                     }
-                    if window == terminator {
+                    if filled == tlen && &window[..tlen] == terminator {
                         return Ok(());
                     }
                 }
@@ -565,6 +727,13 @@ impl<R: BufRead> StreamParser<R> {
 
 fn is_name_byte(b: u8) -> bool {
     !b.is_ascii_whitespace() && !matches!(b, b'>' | b'/' | b'=' | b'<' | b'"' | b'\'')
+}
+
+/// Whitespace-only test with a byte-wise ASCII fast path; the `chars()`
+/// pass only runs when a non-ASCII-whitespace byte shows up (it could
+/// still be Unicode whitespace, which `char::is_whitespace` accepts).
+fn is_all_whitespace(s: &str) -> bool {
+    s.bytes().all(|b| b.is_ascii_whitespace()) || s.chars().all(char::is_whitespace)
 }
 
 #[cfg(test)]
@@ -604,6 +773,31 @@ mod tests {
     }
 
     #[test]
+    fn raw_events_match_owned_events() {
+        let doc = b"<a id=\"1\"><b>hi &amp; bye</b><c x='2' y='3'/></a>";
+        let owned = parse_to_events(doc).unwrap();
+        let mut p = StreamParser::new(&doc[..]);
+        let mut raws = Vec::new();
+        while let Some(ev) = p.next_raw().unwrap() {
+            raws.push(ev.to_owned());
+        }
+        assert_eq!(owned, raws);
+    }
+
+    #[test]
+    fn raw_text_borrows_scratch() {
+        let mut p = StreamParser::new(&b"<a>hello</a>"[..]);
+        p.next_raw().unwrap(); // StartDocument
+        p.next_raw().unwrap(); // <a>
+        let ev = p.next_raw().unwrap().unwrap();
+        let RawEvent::Text { element, text, .. } = ev else {
+            panic!("expected text, got {ev}");
+        };
+        assert_eq!(element, "a");
+        assert_eq!(text, "hello");
+    }
+
+    #[test]
     fn attributes_are_decoded() {
         let evs = events(r#"<a id="1" name='x &amp; y'/>"#);
         let SaxEvent::Begin { attributes, .. } = &evs[1] else {
@@ -619,6 +813,26 @@ mod tests {
                 depth: 1
             }
         );
+    }
+
+    #[test]
+    fn attribute_buffer_is_reused_not_leaked_across_tags() {
+        // Second tag has fewer attributes than the first: the stale third
+        // slot must not resurface.
+        let evs = events(r#"<a p="1" q="2" r="3"><b s="4"/></a>"#);
+        let SaxEvent::Begin { attributes, .. } = &evs[1] else {
+            panic!();
+        };
+        assert_eq!(attributes.len(), 3);
+        let SaxEvent::Begin {
+            name, attributes, ..
+        } = &evs[2]
+        else {
+            panic!();
+        };
+        assert_eq!(*name, "b");
+        assert_eq!(attributes.len(), 1);
+        assert_eq!(attributes[0], Attribute::new("s", "4"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the parser.
 
 use crate::event::SaxEvent;
+use crate::symbol::Sym;
 
 /// Current status of the PDA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +25,7 @@ pub enum PdaStatus {
 /// A streaming well-formedness checker over [`SaxEvent`]s.
 #[derive(Debug, Default)]
 pub struct WellFormednessPda {
-    stack: Vec<String>,
+    stack: Vec<Sym>,
     started: bool,
     root_seen: bool,
     status: Option<PdaStatus>,
@@ -67,12 +68,12 @@ impl WellFormednessPda {
                     PdaStatus::Rejected
                 } else {
                     self.root_seen = true;
-                    self.stack.push(name.clone());
+                    self.stack.push(*name);
                     PdaStatus::Running
                 }
             }
             SaxEvent::End { name, depth } => match self.stack.last() {
-                Some(top) if top == name && *depth as usize == self.stack.len() => {
+                Some(top) if *top == *name && *depth as usize == self.stack.len() => {
                     self.stack.pop();
                     PdaStatus::Running
                 }

@@ -9,7 +9,7 @@
 use std::io::BufRead;
 
 use crate::error::Result;
-use crate::event::SaxEvent;
+use crate::event::RawEvent;
 use crate::parser::StreamParser;
 
 /// Summary of a PureParser run.
@@ -34,18 +34,20 @@ impl ParseCounts {
 pub struct PureParser;
 
 impl PureParser {
-    /// Run over a reader and return the event counts.
+    /// Run over a reader and return the event counts. Drives the
+    /// zero-copy [`StreamParser::next_raw`] path, so the yardstick
+    /// measures tokenization, not allocation.
     pub fn run<R: BufRead>(reader: R) -> Result<ParseCounts> {
         let mut parser = StreamParser::new(reader);
         let mut counts = ParseCounts::default();
-        while let Some(ev) = parser.next_event()? {
+        while let Some(ev) = parser.next_raw()? {
             match ev {
-                SaxEvent::Begin { attributes, .. } => {
+                RawEvent::Begin { attributes, .. } => {
                     counts.begin_events += 1;
                     counts.attributes += attributes.len() as u64;
                 }
-                SaxEvent::End { .. } => counts.end_events += 1,
-                SaxEvent::Text { text, .. } => {
+                RawEvent::End { .. } => counts.end_events += 1,
+                RawEvent::Text { text, .. } => {
                     counts.text_events += 1;
                     counts.text_bytes += text.len() as u64;
                 }

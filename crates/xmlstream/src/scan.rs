@@ -1,0 +1,144 @@
+//! SWAR byte scanning: the tokenizer's memchr-style fast path.
+//!
+//! The parser spends most of its time finding the next `<` in character
+//! data and the closing quote of an attribute value. Scanning those runs
+//! byte-at-a-time leaves 7/8 of every load on the floor; these helpers
+//! process 8 bytes per iteration with SIMD-within-a-register bit tricks
+//! (the classic "haszero" word trick), with no dependency on the
+//! `memchr` crate. A `std::simd` upgrade is an open ROADMAP item.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// `Some(word_with_high_bits)` if any byte of `w` equals `needle`'s
+/// broadcast; each matching byte position has its high bit set.
+#[inline(always)]
+fn match_mask(w: u64, broadcast: u64) -> u64 {
+    let x = w ^ broadcast;
+    x.wrapping_sub(LO) & !x & HI
+}
+
+#[inline(always)]
+fn broadcast(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Position of the first occurrence of `needle` in `haystack`.
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let bc = broadcast(needle);
+    let mut chunks = haystack.chunks_exact(8);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap());
+        let m = match_mask(w, bc);
+        if m != 0 {
+            return Some(base + (m.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| base + i)
+}
+
+/// Position of the first occurrence of either `n1` or `n2` in `haystack`.
+#[inline]
+pub fn find_byte2(haystack: &[u8], n1: u8, n2: u8) -> Option<usize> {
+    let b1 = broadcast(n1);
+    let b2 = broadcast(n2);
+    let mut chunks = haystack.chunks_exact(8);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap());
+        let m = match_mask(w, b1) | match_mask(w, b2);
+        if m != 0 {
+            return Some(base + (m.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|i| base + i)
+}
+
+/// Position of the first occurrence of `n1`, `n2`, or `n3`.
+#[inline]
+pub fn find_byte3(haystack: &[u8], n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    let b1 = broadcast(n1);
+    let b2 = broadcast(n2);
+    let b3 = broadcast(n3);
+    let mut chunks = haystack.chunks_exact(8);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap());
+        let m = match_mask(w, b1) | match_mask(w, b2) | match_mask(w, b3);
+        if m != 0 {
+            return Some(base + (m.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|i| base + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_matches_naive_scan() {
+        let data = b"abcdefghijklmnop<qrstuvwxyz";
+        for needle in [b'<', b'a', b'p', b'z', b'!'] {
+            assert_eq!(
+                find_byte(data, needle),
+                data.iter().position(|&b| b == needle),
+                "needle {:?}",
+                needle as char
+            );
+        }
+    }
+
+    #[test]
+    fn find_byte_handles_all_offsets_and_lengths() {
+        for len in 0..40 {
+            for pos in 0..len {
+                let mut v = vec![b'x'; len];
+                v[pos] = b'<';
+                assert_eq!(find_byte(&v, b'<'), Some(pos), "len={len} pos={pos}");
+            }
+            let v = vec![b'x'; len];
+            assert_eq!(find_byte(&v, b'<'), None, "len={len} absent");
+        }
+    }
+
+    #[test]
+    fn find_byte2_returns_earliest_of_either() {
+        let data = b"aaaaaaaaaaaa\"bbb<ccc";
+        assert_eq!(find_byte2(data, b'<', b'"'), Some(12));
+        assert_eq!(find_byte2(data, b'<', b'!'), Some(16));
+        assert_eq!(find_byte2(data, b'!', b'?'), None);
+        for len in 0..25 {
+            for pos in 0..len {
+                let mut v = vec![b'x'; len];
+                v[pos] = b'&';
+                assert_eq!(find_byte2(&v, b'<', b'&'), Some(pos));
+            }
+        }
+    }
+
+    #[test]
+    fn find_byte3_returns_earliest_of_three() {
+        let data = b"0123456789'0123<45&67";
+        assert_eq!(find_byte3(data, b'<', b'&', b'\''), Some(10));
+        assert_eq!(find_byte3(data, b'<', b'&', b'%'), Some(15));
+        assert_eq!(find_byte3(data, b'%', b'@', b'~'), None);
+    }
+}

@@ -6,7 +6,7 @@
 //! harness can print its own Fig. 15 for the generated datasets.
 
 use crate::error::Result;
-use crate::event::SaxEvent;
+use crate::event::RawEvent;
 use crate::parser::StreamParser;
 
 /// The Fig. 15 statistics for one dataset.
@@ -53,9 +53,9 @@ pub fn dataset_stats(input: &[u8]) -> Result<DatasetStats> {
     let mut depth_sum = 0u64;
     let mut max_depth = 0u32;
     let mut tag_len_sum = 0u64;
-    while let Some(ev) = parser.next_event()? {
+    while let Some(ev) = parser.next_raw()? {
         match ev {
-            SaxEvent::Begin {
+            RawEvent::Begin {
                 name,
                 attributes: attrs,
                 depth,
@@ -64,9 +64,9 @@ pub fn dataset_stats(input: &[u8]) -> Result<DatasetStats> {
                 attributes += attrs.len() as u64;
                 depth_sum += depth as u64;
                 max_depth = max_depth.max(depth);
-                tag_len_sum += name.len() as u64;
+                tag_len_sum += name.as_str().len() as u64;
             }
-            SaxEvent::Text { text, .. } => {
+            RawEvent::Text { text, .. } => {
                 text_bytes += text.len() as u64;
             }
             _ => {}

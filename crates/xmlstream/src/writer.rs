@@ -5,7 +5,7 @@
 //! emitted whole (§3.4) — and by the round-trip property tests.
 
 use crate::entities::{escape_attr_into, escape_text_into};
-use crate::event::SaxEvent;
+use crate::event::{RawEvent, SaxEvent};
 
 /// An incremental XML serializer writing into an owned `String`.
 ///
@@ -53,28 +53,34 @@ impl XmlWriter {
 
 /// Append the textual form of `event` to `out`.
 pub fn write_event_into(event: &SaxEvent, out: &mut String) {
+    write_raw_event_into(&event.as_raw(), out);
+}
+
+/// Append the textual form of a borrowed [`RawEvent`] to `out` — the
+/// zero-copy serialization path used by the engines' `*̄` catchall output.
+pub fn write_raw_event_into(event: &RawEvent<'_>, out: &mut String) {
     match event {
-        SaxEvent::StartDocument | SaxEvent::EndDocument => {}
-        SaxEvent::Begin {
+        RawEvent::StartDocument | RawEvent::EndDocument => {}
+        RawEvent::Begin {
             name, attributes, ..
         } => {
             out.push('<');
-            out.push_str(name);
-            for a in attributes {
+            out.push_str(name.as_str());
+            for a in attributes.iter() {
                 out.push(' ');
-                out.push_str(&a.name);
+                out.push_str(a.name.as_str());
                 out.push_str("=\"");
                 escape_attr_into(&a.value, out);
                 out.push('"');
             }
             out.push('>');
         }
-        SaxEvent::End { name, .. } => {
+        RawEvent::End { name, .. } => {
             out.push_str("</");
-            out.push_str(name);
+            out.push_str(name.as_str());
             out.push('>');
         }
-        SaxEvent::Text { text, .. } => escape_text_into(text, out),
+        RawEvent::Text { text, .. } => escape_text_into(text, out),
     }
 }
 

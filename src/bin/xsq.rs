@@ -419,10 +419,8 @@ fn main() -> ExitCode {
                                 let mut parser = xsq::xml::StreamParser::new(&data[..]);
                                 let mut runner = compiled.runner();
                                 runner.set_tracer(&mut tracer);
-                                while let Some(ev) =
-                                    parser.next_event().map_err(|e| e.to_string())?
-                                {
-                                    runner.feed(&ev, sink);
+                                while let Some(ev) = parser.next_raw().map_err(|e| e.to_string())? {
+                                    runner.feed_raw(&ev, sink);
                                 }
                                 Ok(runner.finish(sink))
                             } else {
