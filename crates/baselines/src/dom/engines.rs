@@ -49,6 +49,11 @@ fn run_dom(
             ..Default::default()
         },
         events: 0,
+        engine: match strategy {
+            Strategy::Stepwise => "Saxon",
+            Strategy::Pathcheck => "Galax",
+        }
+        .to_string(),
     })
 }
 

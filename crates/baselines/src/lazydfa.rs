@@ -233,6 +233,7 @@ impl XPathEngine for XmltkLike {
                 ..Default::default()
             },
             events,
+            engine: self.name().to_string(),
         })
     }
 }

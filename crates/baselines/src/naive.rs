@@ -364,6 +364,7 @@ impl XPathEngine for NaiveFlags {
                 ..Default::default()
             },
             events: 0,
+            engine: self.name().to_string(),
         })
     }
 }

@@ -306,6 +306,7 @@ impl XPathEngine for JoostLike {
                 ..Default::default()
             },
             events,
+            engine: self.name().to_string(),
         })
     }
 }

@@ -168,6 +168,7 @@ impl XPathEngine for XqEngineLike {
                 ..Default::default()
             },
             events: 0,
+            engine: self.name().to_string(),
         })
     }
 }

@@ -60,6 +60,11 @@ struct Measurement {
     index_events_per_sec: f64,
     solo_events_per_sec: f64,
     groups: usize,
+    /// Merged-HPDT size before/after dead-state pruning. The query set
+    /// plants statically dead subscriptions (relational predicates
+    /// against non-numeric constants), so the analyzer must shrink it.
+    states_before: usize,
+    states_after: usize,
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -78,6 +83,15 @@ fn measure(n: usize, events: &[SaxEvent], queries: &[String]) -> Measurement {
     let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
     let set = QuerySet::compile(XsqEngine::full(), &texts).expect("queries compile");
     let reps = 3;
+
+    // Analyzer ablation: merge the whole set into one HPDT and prune it.
+    // (The engine prunes internally; this measures how much it removes.)
+    let parsed: Vec<_> = texts
+        .iter()
+        .map(|q| xsq_xpath::parse_query(q).expect("queries parse"))
+        .collect();
+    let merged = xsq_core::build::build_merged_hpdt(&parsed).expect("set merges");
+    let (_, prune_stats) = xsq_core::prune(&merged);
 
     // Loop path: every event steps every runner.
     let (loop_secs, loop_results) = best_of(reps, || {
@@ -137,6 +151,8 @@ fn measure(n: usize, events: &[SaxEvent], queries: &[String]) -> Measurement {
         index_events_per_sec: ev as f64 / index_secs,
         solo_events_per_sec: ev as f64 / solo_secs,
         groups: set.group_count(),
+        states_before: prune_stats.states_before,
+        states_after: prune_stats.states_after,
     }
 }
 
@@ -165,8 +181,21 @@ fn main() {
     );
     let mut rows = Vec::new();
     for n in [8usize, 64, 512] {
+        // Every 8th subscription is a tombstone: its relational predicate
+        // compares against a non-numeric constant, so it can never match.
+        // Templated standing sets accumulate these (stale thresholds,
+        // misconfigured feeds); the analyzer prunes their subtrees out of
+        // the merged transducer. The first step stays /feed so grouping
+        // is unchanged, and a dead query emits nothing on any path.
         let queries: Vec<String> = (0..n)
-            .map(|k| format!("/feed/t{}/f{}/text()", k % TAGS, k % TAGS))
+            .map(|k| {
+                let t = k % TAGS;
+                if k % 8 == 7 {
+                    format!("/feed/t{t}[@sev>none]/f{t}/text()")
+                } else {
+                    format!("/feed/t{t}/f{t}/text()")
+                }
+            })
             .collect();
         let m = measure(n, &events, &queries);
         let solo_win = m.loop_touches as f64 / m.solo_touches as f64;
@@ -182,10 +211,20 @@ fn main() {
             m.solo_events_per_sec,
             m.index_events_per_sec
         );
+        println!(
+            "      merged HPDT states: {} -> {} after pruning",
+            m.states_before, m.states_after
+        );
         if m.n == 512 {
             assert!(
                 solo_win >= 5.0,
                 "dispatch must beat the loop ≥5× on runner touches at N=512, got {solo_win:.1}x"
+            );
+            assert!(
+                m.states_after < m.states_before,
+                "pruning must shrink the tombstoned merged HPDT at N=512: {} -> {}",
+                m.states_before,
+                m.states_after
             );
         }
         rows.push(m);
@@ -207,7 +246,8 @@ fn main() {
              \"loop_events_per_sec\": {:.0}, \"solo_events_per_sec\": {:.0}, \
              \"index_events_per_sec\": {:.0}, \
              \"loop_touches_per_event\": {:.2}, \"solo_touches_per_event\": {:.2}, \
-             \"index_touches_per_event\": {:.2}}}",
+             \"index_touches_per_event\": {:.2}, \
+             \"merged_states_before_prune\": {}, \"merged_states_after_prune\": {}}}",
             m.n,
             m.events,
             m.results,
@@ -223,6 +263,8 @@ fn main() {
             m.loop_touches as f64 / m.events as f64,
             m.solo_touches as f64 / m.events as f64,
             m.index_touches as f64 / m.events as f64,
+            m.states_before,
+            m.states_after,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

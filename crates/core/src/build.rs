@@ -58,6 +58,10 @@ pub struct Hpdt {
     /// True when the query has no closure axis: the HPDT is deterministic
     /// (§3.4) and eligible for the XSQ-NC runtime.
     pub deterministic: bool,
+    /// True when some action enqueues into a buffer (§3.3). When false,
+    /// every predicate resolves before its output node closes, so results
+    /// are emitted directly and the runner allocates no queues at all.
+    pub buffered: bool,
 }
 
 impl Hpdt {
@@ -258,6 +262,7 @@ impl Builder {
             bpdt_count: self.queue_index.len(),
             start,
             scan_all,
+            buffered: uses_buffers(&self.arcs),
             states: self.states,
             arcs: self.arcs,
             queue_index: self.queue_index,
@@ -779,6 +784,7 @@ pub fn build_merged_hpdt(queries: &[Query]) -> Result<Hpdt, CompileError> {
         bpdt_count: b.queue_index.len(),
         start,
         scan_all,
+        buffered: uses_buffers(&b.arcs),
         states: b.states,
         arcs: b.arcs,
         queue_index: b.queue_index,
@@ -789,10 +795,24 @@ pub fn build_merged_hpdt(queries: &[Query]) -> Result<Hpdt, CompileError> {
     })
 }
 
+/// Does any action enqueue a value into a buffer? When nothing ever
+/// enqueues, the flush/upload/clear machinery is provably a no-op and the
+/// runner can skip allocating queues entirely (buffer-necessity analysis).
+pub(crate) fn uses_buffers(arcs: &[Vec<Arc>]) -> bool {
+    arcs.iter().flatten().any(|arc| {
+        arc.actions.iter().any(|a| match a {
+            Action::Emit { to, .. } | Action::ElementStart { to, .. } => {
+                !matches!(to, Disposition::Direct)
+            }
+            _ => false,
+        })
+    })
+}
+
 /// Conservative static check: for each state, could two outgoing arcs
 /// accept the same event? If not, a deterministic runtime may stop at the
 /// first matching arc (the XSQ-NC fast path of §6.2).
-fn compute_scan_all(arcs: &[Vec<Arc>]) -> Vec<bool> {
+pub(crate) fn compute_scan_all(arcs: &[Vec<Arc>]) -> Vec<bool> {
     arcs.iter()
         .map(|outgoing| {
             for (i, a) in outgoing.iter().enumerate() {

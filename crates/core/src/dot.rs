@@ -17,13 +17,20 @@ use crate::ids::BpdtId;
 
 /// Render the HPDT as a Graphviz `digraph`.
 pub fn to_dot(hpdt: &Hpdt) -> String {
+    to_dot_named(hpdt, "hpdt", &format!("HPDT for {}", hpdt.query))
+}
+
+/// Render with an explicit graph name and title — the analyzer emits the
+/// original and the pruned transducer side by side, and both must be
+/// distinguishable (and concatenable into one Graphviz input).
+pub fn to_dot_named(hpdt: &Hpdt, graph_name: &str, title: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph hpdt {{");
+    let _ = writeln!(out, "digraph {graph_name} {{");
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(
         out,
-        "  label=\"HPDT for {}\"; labelloc=t; fontsize=16;",
-        escape(&hpdt.query.to_string())
+        "  label=\"{}\"; labelloc=t; fontsize=16;",
+        escape(title)
     );
     let _ = writeln!(out, "  node [fontname=\"monospace\", fontsize=10];");
     let _ = writeln!(out, "  edge [fontname=\"monospace\", fontsize=9];");
@@ -148,6 +155,14 @@ mod tests {
         assert!(dot.contains("queue.clear()"));
         // Closure machinery rendered.
         assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn named_rendering_controls_graph_name_and_title() {
+        let hpdt = build_hpdt(&parse_query("/a/b/text()").unwrap()).unwrap();
+        let dot = to_dot_named(&hpdt, "pruned", "pruned HPDT");
+        assert!(dot.starts_with("digraph pruned {"));
+        assert!(dot.contains("label=\"pruned HPDT\""));
     }
 
     #[test]

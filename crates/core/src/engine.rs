@@ -59,7 +59,9 @@ impl XsqEngine {
         self.compile(&parse_query(query)?)
     }
 
-    /// Compile a parsed query.
+    /// Compile a parsed query: build the HPDT, verify the builder's
+    /// structural invariants, prune dead states/arcs, and prove (or fail
+    /// to prove) determinism for automatic XSQ-NC routing.
     pub fn compile(&self, query: &Query) -> Result<CompiledQuery, CompileError> {
         if self.mode == XsqMode::NoClosure && query.has_closure() {
             return Err(CompileError::Unsupported {
@@ -68,9 +70,13 @@ impl XsqEngine {
             });
         }
         let hpdt = build_hpdt(query)?;
+        crate::analyze::reject_malformed(&crate::analyze::verify(&hpdt))?;
+        let (hpdt, _) = crate::analyze::prune(&hpdt);
+        let auto_nc = crate::analyze::prove_deterministic(&hpdt);
         Ok(CompiledQuery {
             hpdt: Arc::new(hpdt),
             mode: self.mode,
+            auto_nc,
         })
     }
 }
@@ -80,6 +86,9 @@ impl XsqEngine {
 pub struct CompiledQuery {
     hpdt: Arc<Hpdt>,
     mode: XsqMode,
+    /// The analyzer proved the pruned automaton free of closure arcs, so
+    /// first-match execution is exact even under `XsqMode::Full`.
+    auto_nc: bool,
 }
 
 impl CompiledQuery {
@@ -99,13 +108,32 @@ impl CompiledQuery {
         self.mode
     }
 
+    /// Did the analyzer prove this query deterministic, auto-routing it
+    /// to the XSQ-NC fast path despite `XsqMode::Full`?
+    pub fn auto_nc(&self) -> bool {
+        self.mode == XsqMode::Full && self.auto_nc
+    }
+
+    /// The engine that actually runs this query: `"XSQ-NC"` when the
+    /// caller asked for it, `"XSQ-NC (auto)"` when the determinism proof
+    /// routed a full-mode query onto the fast path, `"XSQ-F"` otherwise.
+    pub fn engine_label(&self) -> &'static str {
+        match self.mode {
+            XsqMode::NoClosure => "XSQ-NC",
+            XsqMode::Full if self.auto_nc => "XSQ-NC (auto)",
+            XsqMode::Full => "XSQ-F",
+        }
+    }
+
     /// Start an incremental run — the streaming interface. Feed events as
     /// they arrive; results reach the sink as soon as the semantics
     /// permit.
     pub fn runner(&self) -> Runner<'_> {
         // XSQ-F scans every arc of a state; XSQ-NC stops at the first
-        // match where the compiler proved that safe (§6.2).
-        Runner::new(&self.hpdt, self.mode == XsqMode::Full)
+        // match where the compiler proved that safe (§6.2). Full-mode
+        // queries the analyzer proved deterministic take the same fast
+        // path automatically.
+        Runner::new(&self.hpdt, self.mode == XsqMode::Full && !self.auto_nc)
     }
 
     /// Run over a complete serialized document.
@@ -188,6 +216,7 @@ fn run_report(
         },
         memory: stats.memory,
         events: stats.events,
+        engine: compiled.engine_label().to_string(),
     })
 }
 
@@ -276,6 +305,28 @@ mod tests {
         let compiled = XsqEngine::full().compile_str("/a/text()").unwrap();
         let mut sink = VecSink::new();
         assert!(compiled.run_document(b"<a><b></a>", &mut sink).is_err());
+    }
+
+    #[test]
+    fn closure_free_queries_auto_route_to_nc() {
+        let c = XsqEngine::full().compile_str("/a/b/text()").unwrap();
+        assert!(c.auto_nc());
+        assert_eq!(c.engine_label(), "XSQ-NC (auto)");
+        let c = XsqEngine::full().compile_str("//a/text()").unwrap();
+        assert!(!c.auto_nc());
+        assert_eq!(c.engine_label(), "XSQ-F");
+        let c = XsqEngine::no_closure().compile_str("/a/b/text()").unwrap();
+        assert_eq!(c.engine_label(), "XSQ-NC");
+    }
+
+    #[test]
+    fn run_report_names_the_engine_that_ran() {
+        let r = XsqF.run("/a/b/text()", b"<a><b>x</b></a>").unwrap();
+        assert_eq!(r.engine, "XSQ-NC (auto)");
+        let r = XsqF.run("//b/text()", b"<a><b>x</b></a>").unwrap();
+        assert_eq!(r.engine, "XSQ-F");
+        let r = XsqNc.run("/a/b/text()", b"<a><b>x</b></a>").unwrap();
+        assert_eq!(r.engine, "XSQ-NC");
     }
 
     #[test]

@@ -10,6 +10,10 @@ pub enum CompileError {
     /// A feature is not supported by the selected engine mode — e.g. a
     /// closure axis handed to XSQ-NC.
     Unsupported { feature: String, engine: String },
+    /// The compiled transducer failed static verification (`analyze::verify`)
+    /// — a builder invariant is broken and running it could panic or
+    /// misbehave. Carries the first error-severity diagnostic.
+    Malformed { diagnostic: String },
 }
 
 impl fmt::Display for CompileError {
@@ -18,6 +22,9 @@ impl fmt::Display for CompileError {
             CompileError::Parse(m) => write!(f, "query parse error: {m}"),
             CompileError::Unsupported { feature, engine } => {
                 write!(f, "{engine} does not support {feature}")
+            }
+            CompileError::Malformed { diagnostic } => {
+                write!(f, "malformed HPDT: {diagnostic}")
             }
         }
     }

@@ -37,6 +37,7 @@
 //! membership is decided.
 
 pub mod aggregate;
+pub mod analyze;
 pub mod arcs;
 pub mod buffers;
 pub mod build;
@@ -55,6 +56,9 @@ pub mod schema;
 pub mod sink;
 pub mod trace;
 
+pub use analyze::{
+    analyze, prune, verify, Analysis, BufferClass, BufferPlan, Diagnostic, PruneStats, Severity,
+};
 pub use build::{build_hpdt, Hpdt};
 pub use depth_vector::DepthVector;
 pub use engine::{evaluate, CompiledQuery, XsqEngine, XsqF, XsqMode, XsqNc};

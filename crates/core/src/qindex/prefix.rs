@@ -69,17 +69,26 @@ pub fn plan_groups(queries: &[Query]) -> Result<Vec<QueryGroup>, CompileError> {
             build_merged_hpdt(&group)?
         };
         groups.push(QueryGroup {
-            hpdt: Arc::new(hpdt),
+            hpdt: Arc::new(checked(hpdt)?),
             members,
         });
     }
     for i in singles {
         groups.push(QueryGroup {
-            hpdt: Arc::new(build_hpdt(&queries[i])?),
+            hpdt: Arc::new(checked(build_hpdt(&queries[i])?)?),
             members: vec![i],
         });
     }
     Ok(groups)
+}
+
+/// Verify a freshly built group HPDT and prune dead structure — merged
+/// transducers accumulate duplicate closure self-loops (one per trie
+/// child expanding a shared state) that pruning folds back to one.
+fn checked(hpdt: Hpdt) -> Result<Hpdt, CompileError> {
+    crate::analyze::reject_malformed(&crate::analyze::verify(&hpdt))?;
+    let (pruned, _) = crate::analyze::prune(&hpdt);
+    Ok(pruned)
 }
 
 #[cfg(test)]

@@ -305,6 +305,37 @@ impl QueryIndex {
             .collect())
     }
 
+    /// Subscribe an externally compiled (possibly merged) HPDT. The
+    /// transducer is re-verified before registration: a malformed
+    /// artifact — hand-built, corrupted in transit, or produced by a
+    /// buggy external compiler — is rejected with
+    /// [`CompileError::Malformed`] instead of panicking mid-stream.
+    /// Returns one id per merged query, in tag order.
+    pub fn subscribe_compiled(&mut self, hpdt: Arc<Hpdt>) -> Result<Vec<QueryId>, CompileError> {
+        crate::analyze::reject_malformed(&crate::analyze::verify(&hpdt))?;
+        if self.engine.mode() == XsqMode::NoClosure && !hpdt.deterministic {
+            return Err(CompileError::Unsupported {
+                feature: "the closure axis //".into(),
+                engine: "XSQ-NC".into(),
+            });
+        }
+        let base = self.subs.len() as u32;
+        let ids: Vec<QueryId> = (0..hpdt.merged.len())
+            .map(|i| QueryId(base + i as u32))
+            .collect();
+        for q in &hpdt.merged {
+            self.subs.push(Sub {
+                text: q.to_string(),
+                group: 0,
+                tag: 0,
+                active: true,
+                sink: None,
+            });
+        }
+        self.add_group(hpdt, ids.clone());
+        Ok(ids)
+    }
+
     /// Attach (or replace) a private sink on an existing subscription.
     pub fn attach_sink(&mut self, id: QueryId, sink: Box<dyn Sink>) {
         self.subs[id.0 as usize].sink = Some(sink);
@@ -655,6 +686,40 @@ mod tests {
         assert!(matches!(err, CompileError::Unsupported { .. }));
         // The failed batch registered nothing.
         assert_eq!(index.len(), 0);
+    }
+
+    #[test]
+    fn subscribe_compiled_accepts_verified_hpdts() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let compiled = XsqEngine::full()
+            .compile_str("/pub/book/name/text()")
+            .unwrap();
+        let ids = index.subscribe_compiled(compiled.hpdt_arc()).unwrap();
+        assert_eq!(ids.len(), 1);
+        let mut sink = VecQuerySink::new();
+        index.run_document(DOC, &mut sink).unwrap();
+        assert_eq!(sink.of(ids[0]), ["First", "Second"]);
+        assert_eq!(index.text(ids[0]), "/pub/book/name/text()");
+    }
+
+    #[test]
+    fn subscribe_compiled_rejects_corrupted_hpdts() {
+        let mut index = QueryIndex::new(XsqEngine::full());
+        let compiled = XsqEngine::full().compile_str("/a[b]/c/text()").unwrap();
+        let mut hpdt =
+            crate::build::build_hpdt(&xsq_xpath::parse_query("/a[b]/c/text()").unwrap()).unwrap();
+        // Drop a queue slot the runtime would `expect` on: the verifier
+        // must catch this before any event is fed.
+        let victim = *hpdt.queue_index.keys().max_by_key(|id| id.layer).unwrap();
+        hpdt.queue_index.remove(&victim);
+        let err = index.subscribe_compiled(Arc::new(hpdt)).unwrap_err();
+        assert!(
+            matches!(&err, CompileError::Malformed { diagnostic } if diagnostic.contains("queue")),
+            "unexpected error: {err}"
+        );
+        // The clean twin still subscribes fine.
+        assert!(index.subscribe_compiled(compiled.hpdt_arc()).is_ok());
+        assert_eq!(index.len(), 1);
     }
 
     #[test]

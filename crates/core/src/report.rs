@@ -75,6 +75,11 @@ pub struct RunReport {
     pub memory: MemoryStats,
     /// SAX events processed (0 where not applicable).
     pub events: u64,
+    /// The engine that actually ran — for XSQ this reflects automatic
+    /// fast-path selection (`"XSQ-NC (auto)"` when the analyzer proved a
+    /// full-mode query deterministic), so benches and tests can assert
+    /// which path was taken.
+    pub engine: String,
 }
 
 /// Why an engine declined to run a query (Fig. 14's empty cells).

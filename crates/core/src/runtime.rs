@@ -72,6 +72,11 @@ pub struct RunStats {
 pub struct RunnerCore {
     /// When false (XSQ-NC), deterministic states stop at the first match.
     scan_all_mode: bool,
+    /// Mirror of `hpdt.buffered`: when false, buffer-necessity analysis
+    /// proved no action ever enqueues, so no queues are allocated and the
+    /// flush/upload/clear actions (which still exist on some arcs) are
+    /// statically known no-ops.
+    buffered: bool,
     configs: Vec<Config>,
     items: ItemStore,
     queues: QueueSet,
@@ -111,13 +116,14 @@ impl RunnerCore {
         let (aggs, agg_count) = make_aggs(hpdt);
         RunnerCore {
             scan_all_mode,
+            buffered: hpdt.buffered,
             configs: vec![Config {
                 state: hpdt.start,
                 dv: DepthVector::new(),
                 item: None,
             }],
             items: ItemStore::new(),
-            queues: QueueSet::new(hpdt.bpdt_count),
+            queues: QueueSet::new(if hpdt.buffered { hpdt.bpdt_count } else { 0 }),
             aggs,
             agg_count,
             ordinal: 0,
@@ -140,7 +146,8 @@ impl RunnerCore {
             item: None,
         });
         self.items = ItemStore::new();
-        self.queues = QueueSet::new(hpdt.bpdt_count);
+        self.buffered = hpdt.buffered;
+        self.queues = QueueSet::new(if hpdt.buffered { hpdt.bpdt_count } else { 0 });
         let (aggs, agg_count) = make_aggs(hpdt);
         self.aggs = aggs;
         self.agg_count = agg_count;
@@ -321,17 +328,25 @@ impl RunnerCore {
         let own = queue_idx(hpdt, owner);
         let prefix = owner.layer as usize + 1;
         match action {
+            // The three pure buffer operations are no-ops when nothing
+            // ever enqueues (`!self.buffered` — no queues are allocated).
             Action::FlushSelf => {
-                self.queues
-                    .flush_matching(own, inside_dv, prefix, &mut self.items);
+                if self.buffered {
+                    self.queues
+                        .flush_matching(own, inside_dv, prefix, &mut self.items);
+                }
             }
             Action::UploadSelf(target) => {
-                let dst = queue_idx(hpdt, *target);
-                self.queues.upload_matching(own, dst, inside_dv, prefix);
+                if self.buffered {
+                    let dst = queue_idx(hpdt, *target);
+                    self.queues.upload_matching(own, dst, inside_dv, prefix);
+                }
             }
             Action::ClearSelf => {
-                self.queues
-                    .clear_matching(own, inside_dv, prefix, &mut self.items);
+                if self.buffered {
+                    self.queues
+                        .clear_matching(own, inside_dv, prefix, &mut self.items);
+                }
             }
             Action::Emit { source, to, tag } => {
                 let value: Option<&str> = match source {

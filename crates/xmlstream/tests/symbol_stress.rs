@@ -1,0 +1,80 @@
+//! Multi-thread stress test for the global tag symbol table.
+//!
+//! The interner backs the zero-copy event path: every tokenizer thread
+//! interns tag names into one global table, and the multi-query dispatch
+//! index relies on `Sym` identity being stable — the same name must map
+//! to the same symbol from every thread, forever. N threads intern
+//! overlapping tag sets concurrently and every assignment is checked for
+//! stability and round-tripping.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use xsq_xml::Sym;
+
+#[test]
+fn concurrent_interning_is_stable_across_threads() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 50;
+
+    // Overlapping tag sets: every thread shares the `common*` tags and
+    // owns a private `t{i}-*` family, so the table sees both racing
+    // inserts of the same name and disjoint inserts.
+    let names: Vec<Vec<String>> = (0..THREADS)
+        .map(|t| {
+            let mut v: Vec<String> = (0..32).map(|i| format!("common{i}")).collect();
+            v.extend((0..16).map(|i| format!("t{t}-tag{i}")));
+            v
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = names
+        .into_iter()
+        .map(|mine| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut seen: HashMap<String, Sym> = HashMap::new();
+                for _ in 0..ROUNDS {
+                    for name in &mine {
+                        let sym = Sym::intern(name);
+                        // Same name -> same symbol, on every re-intern.
+                        let prev = seen.entry(name.clone()).or_insert(sym);
+                        assert_eq!(*prev, sym, "unstable symbol for {name}");
+                        // The symbol round-trips to its exact name.
+                        assert_eq!(sym.as_str(), name.as_str());
+                        // And lookup agrees with intern.
+                        assert_eq!(Sym::lookup(name), Some(sym));
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let per_thread: Vec<HashMap<String, Sym>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Cross-thread agreement on the shared tags.
+    for maps in per_thread.windows(2) {
+        for (name, sym) in &maps[0] {
+            if let Some(other) = maps[1].get(name) {
+                assert_eq!(sym, other, "threads disagree on {name}");
+            }
+        }
+    }
+
+    // Distinct names got distinct symbols.
+    let mut by_sym: HashMap<Sym, &str> = HashMap::new();
+    for map in &per_thread {
+        for (name, sym) in map {
+            let prior = by_sym.insert(*sym, name);
+            assert!(
+                prior.is_none() || prior == Some(name.as_str()),
+                "symbol collision: {sym:?} maps to both {prior:?} and {name}"
+            );
+        }
+    }
+}

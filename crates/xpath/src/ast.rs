@@ -145,12 +145,48 @@ impl fmt::Display for Predicate {
     }
 }
 
+/// A byte range in the source query string, attached to each step so
+/// diagnostics (`xsq analyze`) can point back into the query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// True for the zero span used by synthesized steps.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// One location step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Step {
     pub axis: Axis,
     pub test: NodeTest,
     pub predicate: Option<Predicate>,
+    /// Source span of this step; metadata only (ignored by `PartialEq`).
+    pub span: Span,
+}
+
+/// Spans are diagnostics metadata: two steps parsed from different query
+/// strings must still compare equal for the multi-query index to share
+/// common prefixes, so equality looks only at axis, test, and predicate.
+impl PartialEq for Step {
+    fn eq(&self, other: &Self) -> bool {
+        self.axis == other.axis && self.test == other.test && self.predicate == other.predicate
+    }
 }
 
 impl fmt::Display for Step {
@@ -278,7 +314,19 @@ mod tests {
             axis,
             test: NodeTest::Name(name.into()),
             predicate,
+            span: Span::default(),
         }
+    }
+
+    #[test]
+    fn spans_are_ignored_by_step_equality() {
+        let a = step(Axis::Child, "book", None);
+        let mut b = a.clone();
+        b.span = Span::new(3, 8);
+        assert_eq!(a, b);
+        assert!(a.span.is_empty());
+        assert!(!b.span.is_empty());
+        assert_eq!(b.span.to_string(), "3..8");
     }
 
     #[test]

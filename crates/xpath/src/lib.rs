@@ -16,7 +16,7 @@ pub mod lexer;
 pub mod parser;
 pub mod value;
 
-pub use ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Step};
+pub use ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Span, Step};
 pub use error::{ParseError, ParseResult};
 pub use parser::parse_query;
 pub use value::{compare, XPathValue};

@@ -5,7 +5,9 @@
 //! [`crate::lexer::tokenize`]; every query the paper's examples and
 //! experiments use parses here.
 
-use crate::ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Step};
+use crate::ast::{
+    AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Span, Step,
+};
 use crate::error::{ParseError, ParseResult};
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::value::XPathValue;
@@ -76,6 +78,7 @@ impl Parser {
         let mut steps = Vec::new();
         let mut output = Output::Element;
         loop {
+            let step_start = self.here();
             let axis = match self.peek() {
                 Some(TokenKind::Slash) => {
                     self.next();
@@ -122,6 +125,7 @@ impl Parser {
                         axis,
                         test: NodeTest::Wildcard,
                         predicate,
+                        span: Span::new(step_start, self.here()),
                     });
                 }
                 Some(TokenKind::Name(_)) => {
@@ -131,6 +135,7 @@ impl Parser {
                         axis,
                         test: NodeTest::Name(name),
                         predicate,
+                        span: Span::new(step_start, self.here()),
                     });
                 }
                 _ => return Err(self.err("expected a node test or output expression")),
@@ -423,6 +428,22 @@ mod tests {
                 "roundtrip failed for {q} (shown as {shown})"
             );
         }
+    }
+
+    #[test]
+    fn steps_carry_source_spans() {
+        let text = "/pub[year=2002]/book[price<11]/author/text()";
+        let q = parse_query(text).unwrap();
+        assert_eq!(q.steps[0].span, Span::new(0, 15));
+        assert_eq!(
+            &text[q.steps[0].span.start..q.steps[0].span.end],
+            "/pub[year=2002]"
+        );
+        assert_eq!(
+            &text[q.steps[1].span.start..q.steps[1].span.end],
+            "/book[price<11]"
+        );
+        assert_eq!(&text[q.steps[2].span.start..q.steps[2].span.end], "/author");
     }
 
     #[test]

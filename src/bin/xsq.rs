@@ -7,6 +7,12 @@
 //!                                      results tagged with the query index
 //! xsq --dataset-stats FILE...          print Fig. 15-style statistics
 //! xsq --dump QUERY                     print the compiled HPDT
+//! xsq analyze [--json] [--dot] [--dtd FILE] QUERY
+//!                                      static analysis: verifier
+//!                                      diagnostics, dead-state pruning,
+//!                                      buffer-necessity classes, engine
+//!                                      auto-selection; exits nonzero if
+//!                                      any diagnostic is an error
 //!
 //! Options:
 //!   --engine NAME   xsq-f (default) | xsq-nc | saxon | galax | xmltk |
@@ -40,6 +46,8 @@ struct Options {
     trace: bool,
     schema_optimize: bool,
     dataset_stats: bool,
+    analyze: bool,
+    dtd: Option<String>,
     positional: Vec<String>,
 }
 
@@ -56,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
         trace: false,
         schema_optimize: false,
         dataset_stats: false,
+        analyze: false,
+        dtd: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -76,6 +86,10 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => o.trace = true,
             "--schema-optimize" => o.schema_optimize = true,
             "--dataset-stats" => o.dataset_stats = true,
+            "--analyze" => o.analyze = true,
+            "--dtd" => {
+                o.dtd = Some(args.next().ok_or("--dtd needs a file")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             _ => o.positional.push(a),
         }
@@ -239,6 +253,162 @@ fn run_query_file(path: &str, opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `xsq analyze QUERY`: run the full static-analysis pipeline (verify,
+/// lint, prune, buffer classification, determinism proof) and report it.
+/// Exit status is nonzero iff any diagnostic is an error — the smoke-test
+/// contract CI relies on.
+fn run_analyze(query: &str, opts: &Options) -> ExitCode {
+    let parsed = match xsq::xpath::parse_query(query) {
+        Ok(q) => q,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut analysis = match xsq::engine::analyze(&parsed) {
+        Ok(a) => a,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if let Some(path) = &opts.dtd {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {path}: {e}")),
+        };
+        match xsq::xml::dtd::Dtd::parse(&text) {
+            Ok(dtd) => analysis
+                .diagnostics
+                .extend(xsq::engine::analyze::lint_schema(&parsed, &dtd)),
+            Err(e) => return fail(&format!("parsing {path}: {e}")),
+        }
+    }
+
+    let errors = xsq::engine::analyze::has_errors(&analysis.diagnostics);
+    if opts.dot {
+        // Both transducers, concatenable into one Graphviz input; the
+        // summary still goes to stderr so pipelines stay clean.
+        print!(
+            "{}",
+            xsq::engine::dot::to_dot_named(
+                &analysis.original,
+                "original",
+                &format!("original HPDT for {query}")
+            )
+        );
+        print!(
+            "{}",
+            xsq::engine::dot::to_dot_named(
+                &analysis.pruned,
+                "pruned",
+                &format!("pruned HPDT for {query}")
+            )
+        );
+        for d in &analysis.diagnostics {
+            eprintln!("{d}");
+        }
+    } else if opts.json {
+        let buffers: Vec<String> = analysis
+            .plan
+            .buffers
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"bpdt\":\"{}\",\"class\":\"{}\"}}",
+                    b.bpdt,
+                    b.class.label()
+                )
+            })
+            .collect();
+        let diags: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut obj = format!(
+                    "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"",
+                    d.severity.label(),
+                    d.code,
+                    json_escape(&d.message)
+                );
+                if let Some(s) = d.step {
+                    obj.push_str(&format!(",\"step\":{s}"));
+                }
+                if let Some(s) = d.state {
+                    obj.push_str(&format!(",\"state\":{s}"));
+                }
+                if let Some(b) = d.bpdt {
+                    obj.push_str(&format!(",\"bpdt\":\"{b}\""));
+                }
+                obj.push('}');
+                obj
+            })
+            .collect();
+        println!(
+            "{{\"query\":\"{}\",\"engine\":\"{}\",\"deterministic\":{},\
+             \"states_before\":{},\"states_after\":{},\
+             \"arcs_before\":{},\"arcs_after\":{},\
+             \"buffered\":{},\"live_buffers\":{},\
+             \"buffers\":[{}],\"diagnostics\":[{}]}}",
+            json_escape(query),
+            analysis.engine,
+            analysis.proven_deterministic,
+            analysis.stats.states_before,
+            analysis.stats.states_after,
+            analysis.stats.arcs_before,
+            analysis.stats.arcs_after,
+            analysis.plan.buffered,
+            analysis.plan.live_buffers(),
+            buffers.join(","),
+            diags.join(","),
+        );
+    } else {
+        println!("query:         {query}");
+        println!("engine:        {}", analysis.engine);
+        println!(
+            "deterministic: {}",
+            if analysis.proven_deterministic {
+                "proven (first-match execution is exact)"
+            } else {
+                "not proven (closure arcs present; scan-all execution)"
+            }
+        );
+        println!(
+            "states:        {} -> {}{}",
+            analysis.stats.states_before,
+            analysis.stats.states_after,
+            if analysis.stats.changed() {
+                "  (pruned)"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "arcs:          {} -> {}",
+            analysis.stats.arcs_before, analysis.stats.arcs_after
+        );
+        if analysis.plan.buffered {
+            println!(
+                "buffers:       {} live of {}",
+                analysis.plan.live_buffers(),
+                analysis.plan.buffers.len()
+            );
+        } else {
+            println!("buffers:       none (buffering statically elided)");
+        }
+        for b in &analysis.plan.buffers {
+            println!("  {}: {}", b.bpdt, b.class.label());
+        }
+        if analysis.diagnostics.is_empty() {
+            println!("diagnostics:   none");
+        } else {
+            println!("diagnostics:");
+            for d in &analysis.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+    if errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     match path {
         None => {
@@ -292,9 +462,22 @@ fn main() -> ExitCode {
         return run_query_file(qfile, &opts);
     }
 
-    let Some(query) = opts.positional.first().cloned() else {
+    let Some(mut query) = opts.positional.first().cloned() else {
         return usage("missing QUERY");
     };
+
+    // `xsq analyze QUERY` is an alias for `xsq --analyze QUERY`.
+    let mut analyze_mode = opts.analyze;
+    if query == "analyze" {
+        analyze_mode = true;
+        match opts.positional.get(1) {
+            Some(q) => query = q.clone(),
+            None => return usage("analyze needs a QUERY"),
+        }
+    }
+    if analyze_mode {
+        return run_analyze(&query, &opts);
+    }
 
     if opts.dump || opts.dot {
         return match XsqEngine::full().compile_str(&query) {
@@ -502,6 +685,9 @@ fn usage(err: &str) -> ExitCode {
          \u{20}      xsq --queries QFILE [FILE...]   (one query per line, '#' comments)\n\
          \u{20}      xsq --dataset-stats FILE...\n\
          \u{20}      xsq --dump QUERY\n\
+         \u{20}      xsq analyze [--json] [--dot] [--dtd FILE] QUERY\n\
+         \u{20}          static analysis: verifier diagnostics, dead-state pruning,\n\
+         \u{20}          buffer classes, engine auto-selection; exits nonzero on errors\n\
          engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine"
     );
     if err.is_empty() {

@@ -355,6 +355,35 @@ proptest! {
     }
 
     #[test]
+    fn pruned_hpdt_results_equal_unpruned(doc in doc_strategy(), query in query_strategy()) {
+        // Dead-state pruning must be invisible: the raw builder output
+        // (which `XsqEngine::compile` never exposes anymore) and its
+        // pruned twin produce identical result streams on every
+        // document. The generated predicate pool includes relational
+        // comparisons against non-numeric words, so genuinely prunable
+        // automata appear regularly.
+        let parsed = parse_query(&query).expect("generated queries parse");
+        let original = xsq::engine::build_hpdt(&parsed).expect("builds");
+        let (pruned, stats) = xsq::engine::prune(&original);
+        prop_assert!(stats.states_after <= stats.states_before);
+        let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
+        let mut before = VecSink::new();
+        let mut runner = xsq::engine::Runner::new(&original, true);
+        for e in &events {
+            runner.feed(e, &mut before);
+        }
+        runner.finish(&mut before);
+        let mut after = VecSink::new();
+        let mut runner = xsq::engine::Runner::new(&pruned, true);
+        for e in &events {
+            runner.feed(e, &mut after);
+        }
+        runner.finish(&mut after);
+        prop_assert_eq!(&before.results, &after.results,
+            "pruning changed results on {} over {}", query, doc);
+    }
+
+    #[test]
     fn parser_writer_roundtrip_and_pda(doc in doc_strategy()) {
         let events = xsq::xml::parse_to_events(doc.as_bytes()).expect("well-formed");
         prop_assert!(xsq::xml::WellFormednessPda::accepts(&events));
