@@ -10,6 +10,14 @@
 //! - **index**: `QueryIndex` routes each event through the inverted
 //!   dispatch index to interested runners only.
 //!
+//! A second section ablates the **sharded multi-document driver**
+//! (`xsq_core::shard`): a fixed corpus fanned over worker pools of
+//! 1/2/4/8 threads versus the sequential reference driver, gated on the
+//! merged output hashing identically to the sequential run. Wall-clock
+//! speedup is recorded alongside the machine's core count; the ≥2.5×
+//! speedup assertion at 4 workers only fires on machines with ≥4 cores
+//! (a 1-core container can prove equivalence, not parallelism).
+//!
 //! Writes machine-readable results to `BENCH_multi.json` at the repo
 //! root (override with the first CLI argument) and prints a table.
 //! Run with `cargo run --release -p xsq-bench --bin multi-bench`.
@@ -17,7 +25,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use xsq_core::{CountingSink, QuerySet, QuerySink, XsqEngine};
+use xsq_core::{
+    run_sequential_with, run_sharded_with, CountingSink, DocOutput, QuerySet, QuerySink,
+    ShardOptions, XsqEngine,
+};
 use xsq_xml::SaxEvent;
 
 /// Result-counting shared sink for the index path.
@@ -156,6 +167,109 @@ fn measure(n: usize, events: &[SaxEvent], queries: &[String]) -> Measurement {
     }
 }
 
+/// FNV-1a, folded over the canonical serialization of the merged output
+/// stream. Any reordering, dropped result, or changed value flips it.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn hash_doc_output(hash: &mut u64, di: usize, out: &DocOutput) {
+    let mut line = String::new();
+    let _ = writeln!(line, "doc {di} ev {}", out.events);
+    for (id, value) in &out.results {
+        let _ = writeln!(line, "r {} {value}", id.0);
+    }
+    for (id, value) in &out.updates {
+        let _ = writeln!(line, "u {} {value}", id.0);
+    }
+    fnv1a(hash, line.as_bytes());
+}
+
+struct ShardMeasurement {
+    workers: usize,
+    secs: f64,
+    docs_per_sec: f64,
+    speedup: f64,
+    hash: u64,
+}
+
+/// The sharded-driver ablation: corpus of recursive documents, paper-
+/// vocabulary standing queries, pools of 1/2/4/8 workers vs sequential.
+fn shard_ablation() -> (Vec<ShardMeasurement>, usize, usize, usize) {
+    const DOCS: usize = 24;
+    const DOC_BYTES: usize = 48 * 1024;
+    let corpus: Vec<Vec<u8>> = (0..DOCS)
+        .map(|i| {
+            let params = xsq_datagen::xmlgen::XmlGenParams {
+                nested_levels: 4 + (i as u32 % 4),
+                max_repeats: 6 + (i as u32 % 5),
+                seed: i as u64,
+            };
+            xsq_datagen::xmlgen::generate(params, DOC_BYTES).into_bytes()
+        })
+        .collect();
+    let corpus_bytes: usize = corpus.iter().map(Vec::len).sum();
+
+    let queries = [
+        "//pub[year]//book[@id]/title/text()",
+        "//pub/book/title/text()",
+        "//book/@id",
+        "//book/price/text()",
+        "//price/sum()",
+        "//book/count()",
+    ];
+    let set = QuerySet::compile(XsqEngine::full(), &queries).expect("queries compile");
+    let reps = 3;
+
+    let (seq_secs, seq_hash) = best_of(reps, || {
+        let mut hash = FNV_OFFSET;
+        run_sequential_with(&set, &corpus, |di, out| {
+            hash_doc_output(&mut hash, di, &out)
+        })
+        .expect("sequential corpus run");
+        hash
+    });
+    let mut rows = vec![ShardMeasurement {
+        workers: 1,
+        secs: seq_secs,
+        docs_per_sec: DOCS as f64 / seq_secs,
+        speedup: 1.0,
+        hash: seq_hash,
+    }];
+
+    for workers in [2usize, 4, 8] {
+        let opts = ShardOptions::with_workers(workers);
+        let (secs, hash) = best_of(reps, || {
+            let mut hash = FNV_OFFSET;
+            run_sharded_with(&set, &corpus, &opts, |di, out| {
+                hash_doc_output(&mut hash, di, &out)
+            })
+            .expect("sharded corpus run");
+            hash
+        });
+        // The hard gate: the merged sharded output must hash identically
+        // to the sequential reference, at every worker count, always.
+        assert_eq!(
+            hash, seq_hash,
+            "sharded output diverged from sequential at {workers} workers"
+        );
+        rows.push(ShardMeasurement {
+            workers,
+            secs,
+            docs_per_sec: DOCS as f64 / secs,
+            speedup: seq_secs / secs,
+            hash,
+        });
+    }
+    (rows, DOCS, corpus_bytes, queries.len())
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multi.json").to_string()
@@ -268,7 +382,70 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // ---- Sharded multi-document driver ablation ----
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (shard_rows, docs, corpus_bytes, shard_queries) = shard_ablation();
+    println!("\nshard: {docs} docs, {corpus_bytes} bytes, {shard_queries} queries, {cores} cores");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>18}",
+        "workers", "secs", "docs/s", "speedup", "output hash"
+    );
+    for m in &shard_rows {
+        println!(
+            "{:>8} {:>10.4} {:>10.1} {:>7.2}x {:>18}",
+            m.workers,
+            m.secs,
+            m.docs_per_sec,
+            m.speedup,
+            format!("{:016x}", m.hash)
+        );
+    }
+    let at4 = shard_rows
+        .iter()
+        .find(|m| m.workers == 4)
+        .expect("4-worker row");
+    if cores >= 4 {
+        assert!(
+            at4.speedup >= 2.5,
+            "sharded driver must be ≥2.5× sequential at 4 workers on a \
+             {cores}-core machine, got {:.2}x",
+            at4.speedup
+        );
+    } else {
+        println!(
+            "      (speedup gate skipped: {cores} core(s) < 4 — equivalence \
+             gate still enforced)"
+        );
+    }
+
+    let _ = writeln!(
+        json,
+        "  \"shard\": {{\n    \"docs\": {docs}, \"corpus_bytes\": {corpus_bytes}, \
+         \"queries\": {shard_queries}, \"cores\": {cores},\n    \"rows\": ["
+    );
+    for (i, m) in shard_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workers\": {}, \"secs\": {:.6}, \"docs_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"output_hash\": \"{:016x}\", \
+             \"matches_sequential\": true}}",
+            m.workers, m.secs, m.docs_per_sec, m.speedup, m.hash
+        );
+        json.push_str(if i + 1 < shard_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        json,
+        "    ],\n    \"speedup_gate\": {{\"threshold\": 2.5, \"at_workers\": 4, \
+         \"enforced\": {}}}\n  }}",
+        cores >= 4
+    );
+    json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_multi.json");
     println!("\nwrote {out_path}");
 }

@@ -140,6 +140,33 @@ mod tests {
     }
 
     #[test]
+    fn avg_is_nan_poisoned_and_renders_nan() {
+        // One non-numeric value poisons the sum, hence the average —
+        // XPath 1.0 number() semantics — and renders as the literal
+        // string "NaN" (canonical number formatting).
+        let mut a = Aggregator::new(AggFunc::Avg);
+        a.add("10");
+        a.add("NaN");
+        a.add("30");
+        assert!(a.current().is_nan());
+        assert_eq!(a.render(), "NaN");
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn min_max_all_nan_inputs_render_nan() {
+        // If *every* input is non-numeric there is nothing to skip to:
+        // min/max report NaN rather than a fabricated number.
+        for func in [AggFunc::Min, AggFunc::Max] {
+            let mut a = Aggregator::new(func);
+            a.add("junk");
+            a.add("NaN");
+            assert!(a.current().is_nan(), "{func:?}");
+            assert_eq!(a.render(), "NaN", "{func:?}");
+        }
+    }
+
+    #[test]
     fn empty_aggregates() {
         assert_eq!(Aggregator::new(AggFunc::Count).current(), 0.0);
         assert_eq!(Aggregator::new(AggFunc::Sum).current(), 0.0);

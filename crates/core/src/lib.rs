@@ -53,6 +53,7 @@ pub mod qindex;
 pub mod report;
 pub mod runtime;
 pub mod schema;
+pub mod shard;
 pub mod sink;
 pub mod trace;
 
@@ -69,4 +70,8 @@ pub use projector::Projector;
 pub use qindex::{QueryId, QueryIndex, QuerySink, VecQuerySink};
 pub use report::{Capabilities, MemoryStats, PhaseTimings, RunReport, Unsupported, XPathEngine};
 pub use runtime::{RunStats, Runner, RunnerCore};
+pub use shard::{
+    run_sequential, run_sequential_with, run_sharded, run_sharded_with, DocOutput, ShardError,
+    ShardOptions, ShardRun,
+};
 pub use sink::{CountingSink, FnSink, IgnoreTags, Sink, TaggedSink, TaggedVecSink, VecSink};

@@ -100,6 +100,17 @@ impl QuerySet {
         self.plan.len()
     }
 
+    /// The engine variant the set compiled for.
+    pub(crate) fn engine(&self) -> XsqEngine {
+        self.engine
+    }
+
+    /// The compiled prefix-sharing plan — what the sharded driver hands
+    /// each worker to instantiate its own runtime state from.
+    pub(crate) fn plan(&self) -> &[QueryGroup] {
+        &self.plan
+    }
+
     /// Start a grouped run: fresh runtime state over the precompiled
     /// prefix-sharing plan, with dispatch-indexed event routing. This is
     /// the default execution path.

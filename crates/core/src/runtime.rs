@@ -153,6 +153,10 @@ impl RunnerCore {
         self.agg_count = agg_count;
         self.ordinal = 0;
         self.results = 0;
+        // The config high-water mark is per-document, like the item and
+        // queue peaks the fresh stores reset above; without this a
+        // reused runner reports the previous document's peak.
+        self.peak_configs = 1;
     }
 
     /// Process one owned SAX event — convenience wrapper over

@@ -156,6 +156,28 @@ impl<R: BufRead> StreamParser<R> {
         self.offset
     }
 
+    /// Rearm the parser for a new document, keeping every warmed scratch
+    /// buffer and the interned-name cache. Returns the old reader.
+    ///
+    /// A long-lived consumer (one worker of the sharded multi-document
+    /// driver, a socket server handling documents back to back) parses
+    /// thousands of documents on one thread; constructing a fresh parser
+    /// each time would re-grow the text/attribute/token buffers and
+    /// re-resolve every tag name through the global symbol table. After
+    /// the first few documents of a corpus this method restores the
+    /// zero-allocation steady state immediately.
+    pub fn reset_with(&mut self, reader: R) -> R {
+        let old = std::mem::replace(&mut self.reader, reader);
+        self.offset = 0;
+        self.state = DocState::Init;
+        self.stack.clear();
+        self.pending.clear();
+        self.text_acc.clear();
+        self.text_out.clear();
+        self.attrs_len = 0;
+        old
+    }
+
     /// Pull the next event as an owned [`SaxEvent`], or `Ok(None)` after
     /// `EndDocument`. Allocates for attribute lists and text payloads;
     /// hot loops should prefer [`next_raw`](Self::next_raw).
@@ -229,6 +251,7 @@ impl<R: BufRead> StreamParser<R> {
         self.scratch.clear();
         self.scratch.push(b);
         self.take_until_byte(b'<')?;
+        normalize_line_endings(&mut self.scratch);
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(start_offset, "invalid UTF-8 in character data"))?;
         if self.state != DocState::InRoot {
@@ -428,6 +451,7 @@ impl<R: BufRead> StreamParser<R> {
                 }
             }
         }
+        normalize_line_endings(&mut self.scratch);
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in CDATA"))?;
         self.text_acc.push_str(raw);
@@ -529,6 +553,7 @@ impl<R: BufRead> StreamParser<R> {
                             })
                         }
                     }
+                    normalize_attr_whitespace(&mut self.scratch);
                     let raw = std::str::from_utf8(&self.scratch).map_err(|_| {
                         Error::syntax(value_offset, "invalid UTF-8 in attribute value")
                     })?;
@@ -729,6 +754,62 @@ fn is_name_byte(b: u8) -> bool {
     !b.is_ascii_whitespace() && !matches!(b, b'>' | b'/' | b'=' | b'<' | b'"' | b'\'')
 }
 
+/// XML 1.0 §2.11: `\r\n` and bare `\r` become `\n` in character data.
+/// Runs on the raw bytes of one accumulated run (names and markup never
+/// contain `\r`), before entity decoding so `&#13;` stays a literal CR.
+/// In-place compaction; a run with no `\r` — the overwhelming majority —
+/// costs one SWAR scan and no writes.
+fn normalize_line_endings(buf: &mut Vec<u8>) {
+    let Some(first) = scan::find_byte(buf, b'\r') else {
+        return;
+    };
+    let len = buf.len();
+    let (mut r, mut w) = (first, first);
+    while r < len {
+        let b = buf[r];
+        r += 1;
+        if b == b'\r' {
+            buf[w] = b'\n';
+            if r < len && buf[r] == b'\n' {
+                r += 1;
+            }
+        } else {
+            buf[w] = b;
+        }
+        w += 1;
+    }
+    buf.truncate(w);
+}
+
+/// XML 1.0 §3.3.3 (CDATA-type attributes): after line-ending
+/// normalization, every literal whitespace character in an attribute
+/// value becomes a single space — so `\r\n` collapses to one space, and
+/// `\t`/`\n`/`\r` each become one. Character references (`&#10;`, `&#9;`)
+/// are exempt: they decode after this pass and stay literal.
+fn normalize_attr_whitespace(buf: &mut Vec<u8>) {
+    let Some(first) = buf.iter().position(|&b| matches!(b, b'\t' | b'\r' | b'\n')) else {
+        return;
+    };
+    let len = buf.len();
+    let (mut r, mut w) = (first, first);
+    while r < len {
+        let b = buf[r];
+        r += 1;
+        match b {
+            b'\r' => {
+                buf[w] = b' ';
+                if r < len && buf[r] == b'\n' {
+                    r += 1;
+                }
+            }
+            b'\t' | b'\n' => buf[w] = b' ',
+            _ => buf[w] = b,
+        }
+        w += 1;
+    }
+    buf.truncate(w);
+}
+
 /// Whitespace-only test with a byte-wise ASCII fast path; the `chars()`
 /// pass only runs when a non-ASCII-whitespace byte shows up (it could
 /// still be Unicode whitespace, which `char::is_whitespace` accepts).
@@ -878,6 +959,75 @@ mod tests {
     }
 
     #[test]
+    fn crlf_and_bare_cr_normalize_to_lf_in_text() {
+        // XML 1.0 §2.11: the three line-ending spellings are one.
+        let evs = events("<a>line1\r\nline2\rline3\nline4</a>");
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "line1\nline2\nline3\nline4");
+    }
+
+    #[test]
+    fn crlf_normalizes_in_cdata() {
+        let evs = events("<a><![CDATA[x\r\ny\rz]]></a>");
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "x\ny\nz");
+    }
+
+    #[test]
+    fn char_ref_cr_stays_literal() {
+        // §2.11 normalizes the input stream, not decoded references.
+        let evs = events("<a>x&#13;y&#xD;&#10;z</a>");
+        let SaxEvent::Text { text, .. } = &evs[2] else {
+            panic!()
+        };
+        assert_eq!(text, "x\ry\r\nz");
+    }
+
+    #[test]
+    fn crlf_only_text_is_whitespace_skipped() {
+        let evs = events("<a>\r\n  <b>x</b>\r\n</a>");
+        assert!(evs
+            .iter()
+            .filter(|e| e.is_text())
+            .all(|e| matches!(e, SaxEvent::Text { text, .. } if text == "x")));
+    }
+
+    #[test]
+    fn attribute_whitespace_normalizes_to_spaces() {
+        // XML 1.0 §3.3.3: literal tab/CR/LF become spaces (one per \r\n
+        // pair, since line-ending normalization runs first).
+        let evs = events("<a v=\"a\tb\nc\rd\r\ne\"/>");
+        let SaxEvent::Begin { attributes, .. } = &evs[1] else {
+            panic!()
+        };
+        assert_eq!(attributes[0], Attribute::new("v", "a b c d e"));
+    }
+
+    #[test]
+    fn attribute_char_refs_stay_literal_whitespace() {
+        let evs = events("<a v='x&#10;y&#9;z&#13;'/>");
+        let SaxEvent::Begin { attributes, .. } = &evs[1] else {
+            panic!()
+        };
+        assert_eq!(attributes[0], Attribute::new("v", "x\ny\tz\r"));
+    }
+
+    #[test]
+    fn wrapped_attribute_equality_predicate_shape() {
+        // The conformance bug this fixes: a value wrapped across lines
+        // must compare equal to its single-space spelling.
+        let evs = events("<a v=\"two\r\nwords\"/>");
+        let SaxEvent::Begin { attributes, .. } = &evs[1] else {
+            panic!()
+        };
+        assert_eq!(attributes[0].value, "two words");
+    }
+
+    #[test]
     fn comments_and_pis_are_skipped() {
         let evs = events("<?xml version=\"1.0\"?><!-- c --><a><!-- inner -->t<?pi d?></a>");
         assert_eq!(evs.len(), 5);
@@ -971,6 +1121,26 @@ mod tests {
         let mut p = StreamParser::new(&b"<a>x</a>"[..]);
         while p.next_event().unwrap().is_some() {}
         assert_eq!(p.offset(), 8);
+    }
+
+    #[test]
+    fn reset_with_reuses_a_parser_across_documents() {
+        let mut p = StreamParser::new(&b"<a x=\"1\"><b>one</b></a>"[..]);
+        let mut first = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            first.push(ev);
+        }
+        // Rearm mid-state too: abandon a half-read document cleanly.
+        p.reset_with(&b"<a><b>ignored"[..]);
+        p.next_raw().unwrap();
+        p.next_raw().unwrap();
+        p.reset_with(&b"<a x=\"1\"><b>one</b></a>"[..]);
+        let mut second = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            second.push(ev);
+        }
+        assert_eq!(first, second);
+        assert_eq!(p.offset(), 23);
     }
 
     #[test]

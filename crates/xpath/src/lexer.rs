@@ -137,32 +137,16 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
                 i += 1;
                 TokenKind::Str(s)
             }
-            b'0'..=b'9' => {
-                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
-                    i += 1;
-                }
-                let raw = &input[start..i];
-                let value = raw
-                    .parse::<f64>()
-                    .map_err(|_| ParseError::new(start, format!("bad number '{raw}'")))?;
-                TokenKind::Number {
-                    value,
-                    raw: raw.to_string(),
-                }
+            b'0'..=b'9' => lex_number(input, bytes, &mut i, start)?,
+            b'.' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                lex_number(input, bytes, &mut i, start)?
             }
-            b'-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+            b'-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                || (bytes.get(i + 1) == Some(&b'.')
+                    && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)) =>
+            {
                 i += 1;
-                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
-                    i += 1;
-                }
-                let raw = &input[start..i];
-                let value = raw
-                    .parse::<f64>()
-                    .map_err(|_| ParseError::new(start, format!("bad number '{raw}'")))?;
-                TokenKind::Number {
-                    value,
-                    raw: raw.to_string(),
-                }
+                lex_number(input, bytes, &mut i, start)?
             }
             _ if is_name_start(b) => {
                 while i < bytes.len() && is_name_byte(bytes[i]) {
@@ -186,6 +170,39 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
         });
     }
     Ok(tokens)
+}
+
+/// Lex a numeric literal per XPath 1.0: `Digits ('.' Digits?)? | '.' Digits`.
+/// `*i` sits on the first digit (or the leading `.`); any `-` sign was
+/// already consumed, and `start` covers it so `raw` keeps the spelling.
+/// A second `.` gets a positioned error instead of being swallowed into
+/// a string `f64::parse` can only reject generically.
+fn lex_number(input: &str, bytes: &[u8], i: &mut usize, start: usize) -> ParseResult<TokenKind> {
+    let mut seen_dot = false;
+    while let Some(&b) = bytes.get(*i) {
+        match b {
+            b'0'..=b'9' => *i += 1,
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                *i += 1;
+            }
+            b'.' => {
+                return Err(ParseError::new(
+                    *i,
+                    format!("unexpected second '.' in number '{}'", &input[start..*i]),
+                ))
+            }
+            _ => break,
+        }
+    }
+    let raw = &input[start..*i];
+    let value = raw
+        .parse::<f64>()
+        .map_err(|_| ParseError::new(start, format!("bad number '{raw}'")))?;
+    Ok(TokenKind::Number {
+        value,
+        raw: raw.to_string(),
+    })
 }
 
 fn is_name_start(b: u8) -> bool {
@@ -259,6 +276,40 @@ mod tests {
             kinds("ns:tag-name_1.x")[0],
             TokenKind::Name("ns:tag-name_1.x".into())
         );
+    }
+
+    #[test]
+    fn leading_dot_numbers_lex() {
+        assert!(
+            matches!(&kinds(".5")[0], TokenKind::Number { value, raw } if *value == 0.5 && raw == ".5")
+        );
+        assert!(matches!(&kinds("[x=.25]")[3], TokenKind::Number { value, .. } if *value == 0.25));
+        assert!(
+            matches!(&kinds("[x=-.5]")[3], TokenKind::Number { value, raw } if *value == -0.5 && raw == "-.5")
+        );
+    }
+
+    #[test]
+    fn trailing_dot_number_lexes() {
+        assert!(
+            matches!(&kinds("1.")[0], TokenKind::Number { value, raw } if *value == 1.0 && raw == "1.")
+        );
+    }
+
+    #[test]
+    fn multi_dot_number_is_a_positioned_error() {
+        let err = tokenize("1.2.3").unwrap_err();
+        assert_eq!(err.position, 3, "error should sit on the second dot");
+        assert!(err.message.contains("second '.'"), "got: {}", err.message);
+        let err = tokenize("[x=10.0.1]").unwrap_err();
+        assert_eq!(err.position, 7);
+        assert!(tokenize("-1.2.3").is_err());
+    }
+
+    #[test]
+    fn bare_dot_is_still_rejected() {
+        assert!(tokenize(".").is_err());
+        assert!(tokenize("/a[. = 1]").is_err());
     }
 
     #[test]

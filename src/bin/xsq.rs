@@ -5,6 +5,11 @@
 //! xsq --queries FILE [FILE...]         evaluate a whole query set (one
 //!                                      query per line) in a single pass,
 //!                                      results tagged with the query index
+//! xsq multi [--shard N] (QUERY | --queries QFILE) FILE...
+//!                                      evaluate over a document corpus on
+//!                                      an N-worker pool (0 = one per CPU),
+//!                                      output merged in document order and
+//!                                      tagged doc<TAB>query<TAB>value
 //! xsq --dataset-stats FILE...          print Fig. 15-style statistics
 //! xsq --dump QUERY                     print the compiled HPDT
 //! xsq analyze [--json] [--dot] [--dtd FILE] QUERY
@@ -32,11 +37,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use xsq::baselines::{GalaxLike, JoostLike, SaxonLike, XmltkLike, XqEngineLike};
-use xsq::engine::{QueryId, QuerySet, QuerySink, Sink, XPathEngine, XsqEngine};
+use xsq::engine::{
+    run_sharded_with, QueryId, QuerySet, QuerySink, ShardOptions, Sink, XPathEngine, XsqEngine,
+};
 
 struct Options {
     engine: String,
     queries: Option<String>,
+    /// Worker threads for `xsq multi` (0 = one per CPU).
+    shard: usize,
     stats: bool,
     running: bool,
     quiet: bool,
@@ -55,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         engine: "xsq-f".into(),
         queries: None,
+        shard: 0,
         stats: false,
         running: false,
         quiet: false,
@@ -76,6 +86,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--queries" => {
                 o.queries = Some(args.next().ok_or("--queries needs a file")?);
+            }
+            "--shard" => {
+                o.shard = args
+                    .next()
+                    .ok_or("--shard needs a worker count")?
+                    .parse()
+                    .map_err(|_| "--shard needs a number (0 = one per CPU)".to_string())?;
             }
             "--stats" => o.stats = true,
             "--running" => o.running = true,
@@ -251,6 +268,105 @@ fn run_query_file(path: &str, opts: &Options) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `xsq multi [--shard N] (QUERY | --queries QFILE) FILE...`: evaluate
+/// the query (or query set) over a corpus of documents on a worker pool,
+/// results merged back in global document order. Each output line is
+/// tagged with the document index and the query index. `--shard 0` (the
+/// default) sizes the pool to the machine; `--shard 1` is the sequential
+/// driver with identical output.
+fn run_multi(opts: &Options) -> ExitCode {
+    let engine = match opts.engine.as_str() {
+        "xsq-f" => XsqEngine::full(),
+        "xsq-nc" => XsqEngine::no_closure(),
+        other => return usage(&format!("multi runs on xsq-f or xsq-nc, not '{other}'")),
+    };
+    let rest = &opts.positional[1..];
+    let (query_text, files): (String, &[String]) = match &opts.queries {
+        Some(qfile) => match std::fs::read_to_string(qfile) {
+            Ok(t) => (t, rest),
+            Err(e) => return fail(&format!("reading {qfile}: {e}")),
+        },
+        None => match rest.split_first() {
+            Some((q, files)) => (q.clone(), files),
+            None => return usage("multi needs a QUERY (or --queries QFILE)"),
+        },
+    };
+    let queries: Vec<&str> = query_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if queries.is_empty() {
+        return usage("multi needs at least one query");
+    }
+    if files.is_empty() {
+        return usage("multi needs at least one FILE");
+    }
+    let set = match QuerySet::compile(engine, &queries) {
+        Ok(s) => s,
+        Err((i, e)) => return fail(&format!("query {} ({}): {e}", i + 1, queries[i])),
+    };
+    let mut docs = Vec::with_capacity(files.len());
+    for f in files {
+        match std::fs::read(f) {
+            Ok(d) => docs.push(d),
+            Err(e) => return fail(&format!("reading {f}: {e}")),
+        }
+    }
+
+    let t0 = Instant::now();
+    let shard_opts = ShardOptions::with_workers(opts.shard);
+    let mut results = 0u64;
+    let mut events = 0u64;
+    let run = run_sharded_with(&set, &docs, &shard_opts, |di, out| {
+        events += out.events;
+        results += out.results.len() as u64;
+        if opts.quiet {
+            return;
+        }
+        if opts.running {
+            for (id, v) in &out.updates {
+                if opts.json {
+                    println!("{{\"doc\":{di},\"query\":{},\"running\":{v}}}", id.0);
+                } else {
+                    println!("# running[{di}:{}]: {v}", id.0);
+                }
+            }
+        }
+        for (id, v) in &out.results {
+            if opts.json {
+                println!(
+                    "{{\"doc\":{di},\"query\":{},\"result\":\"{}\"}}",
+                    id.0,
+                    json_escape(v)
+                );
+            } else {
+                println!("{di}\t{}\t{v}", id.0);
+            }
+        }
+    });
+    match run {
+        Err(e) => fail(&e.to_string()),
+        Ok(workers) => {
+            if opts.stats {
+                eprintln!(
+                    "# multi: {} docs, {} results in {:.1} ms [{} queries, {} groups] \
+                     engine={} workers={} events={}",
+                    docs.len(),
+                    results,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    set.len(),
+                    set.group_count(),
+                    opts.engine,
+                    workers,
+                    events,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 /// `xsq analyze QUERY`: run the full static-analysis pipeline (verify,
@@ -456,6 +572,11 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    // `xsq multi` owns --queries when present, so route it first.
+    if opts.positional.first().map(String::as_str) == Some("multi") {
+        return run_multi(&opts);
     }
 
     if let Some(qfile) = &opts.queries {
@@ -683,6 +804,9 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: xsq [--engine NAME] [--stats] [--running] [--quiet] QUERY [FILE...]\n\
          \u{20}      xsq --queries QFILE [FILE...]   (one query per line, '#' comments)\n\
+         \u{20}      xsq multi [--shard N] (QUERY | --queries QFILE) FILE...\n\
+         \u{20}          corpus evaluation on an N-worker pool (0 = one per CPU);\n\
+         \u{20}          output merged in document order, doc<TAB>query<TAB>value\n\
          \u{20}      xsq --dataset-stats FILE...\n\
          \u{20}      xsq --dump QUERY\n\
          \u{20}      xsq analyze [--json] [--dot] [--dtd FILE] QUERY\n\
