@@ -1,0 +1,218 @@
+//! Server-path ablation for the streaming query server (dependency-free).
+//!
+//! Measures what the wire costs: the same corpus and standing query set
+//! evaluated (a) **in-process** through the sequential reference driver
+//! and (b) **over loopback TCP** through `xsq-server`, with 1, 8, and
+//! 64 concurrent client sessions (one accept-worker per session). Each
+//! session replays the full corpus, so the server rows scale offered
+//! load with session count while the in-process row is the zero-copy
+//! lower bound.
+//!
+//! Correctness is gated, throughput is not: the single-session client
+//! transcript must be byte-identical to the reference driver's output,
+//! but no speedup assertion fires — on a 1-core container the server
+//! rows measure framing + syscall overhead, not parallelism. The
+//! machine's core count is recorded in the output for that reason.
+//!
+//! Writes machine-readable results to `BENCH_serve.json` at the repo
+//! root (override with the first CLI argument) and prints a table.
+//! Run with `cargo run --release -p xsq-bench --bin serve-bench`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use xsq_core::{run_sequential_with, QuerySet, XsqEngine};
+use xsq_server::{reference_output, run_corpus, serve, ConnectOptions, ServeOptions};
+
+const DOCS: usize = 12;
+const DOC_BYTES: usize = 24 * 1024;
+const SESSION_COUNTS: &[usize] = &[1, 8, 64];
+
+/// The paper-vocabulary standing set the shard ablation uses: structural
+/// paths, predicates, closures, attributes, aggregations.
+const QUERIES: &[&str] = &[
+    "//pub[year]//book[@id]/title/text()",
+    "//pub/book/title/text()",
+    "//book/@id",
+    "//book/price/text()",
+    "//price/sum()",
+    "//book/count()",
+];
+
+fn corpus() -> Vec<Vec<u8>> {
+    (0..DOCS)
+        .map(|i| {
+            let params = xsq_datagen::xmlgen::XmlGenParams {
+                nested_levels: 4 + (i as u32 % 4),
+                max_repeats: 6 + (i as u32 % 5),
+                seed: 100 + i as u64,
+            };
+            xsq_datagen::xmlgen::generate(params, DOC_BYTES).into_bytes()
+        })
+        .collect()
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.unwrap())
+}
+
+struct Row {
+    sessions: usize,
+    secs: f64,
+    /// Corpus replays completed (== sessions; each replays everything).
+    replays: usize,
+    events_per_sec: f64,
+    results_per_sec: f64,
+    relative: f64,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let docs = corpus();
+    let corpus_bytes: usize = docs.iter().map(Vec::len).sum();
+    let reps = 3;
+
+    // ---- In-process baseline: the zero-copy sequential driver ----
+    let set = QuerySet::compile(XsqEngine::full(), QUERIES).expect("queries compile");
+    let (seq_secs, (seq_events, seq_results)) = best_of(reps, || {
+        let mut events = 0u64;
+        let mut results = 0u64;
+        run_sequential_with(&set, &docs, |_, out| {
+            events += out.events;
+            results += (out.results.len() + out.updates.len()) as u64;
+        })
+        .expect("sequential corpus run");
+        (events, results)
+    });
+    let in_events_per_sec = seq_events as f64 / seq_secs;
+    let in_results_per_sec = seq_results as f64 / seq_secs;
+
+    println!(
+        "corpus: {DOCS} docs, {corpus_bytes} bytes, {} queries, {cores} cores",
+        QUERIES.len()
+    );
+    println!(
+        "in-process: {seq_events} events, {seq_results} results in {seq_secs:.4}s \
+         ({in_events_per_sec:.0} ev/s, {in_results_per_sec:.0} res/s)"
+    );
+
+    // ---- Correctness gate: 1-session transcript == reference driver ----
+    let expected =
+        reference_output(XsqEngine::full(), QUERIES, &docs, true).expect("reference run");
+    {
+        let mut opts = ServeOptions::new("127.0.0.1:0");
+        opts.workers = 1;
+        serve_and_check(opts, &docs, &expected);
+    }
+    println!("gate: 1-session loopback transcript matches the sequential driver");
+
+    // ---- Server rows: S sessions, each replaying the full corpus ----
+    println!(
+        "\n{:>9} {:>10} {:>9} {:>13} {:>13} {:>9}",
+        "sessions", "secs", "replays", "events/s", "results/s", "vs inproc"
+    );
+    let mut rows = Vec::new();
+    for &sessions in SESSION_COUNTS {
+        let mut opts = ServeOptions::new("127.0.0.1:0");
+        opts.workers = sessions;
+        opts.idle_timeout = Duration::from_secs(60);
+        let server = serve(opts).expect("server binds");
+        let addr = server.addr().to_string();
+        let docs_ref = &docs;
+        let (secs, ()) = best_of(reps, || {
+            std::thread::scope(|scope| {
+                for _ in 0..sessions {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let copts = ConnectOptions {
+                            chunk: 64 * 1024,
+                            running: true,
+                            want_stats: false,
+                        };
+                        let mut out = Vec::new();
+                        run_corpus(&addr, QUERIES, docs_ref, &copts, &mut out)
+                            .expect("session replay");
+                    });
+                }
+            });
+        });
+        server.shutdown();
+        let total_events = seq_events * sessions as u64;
+        let total_results = seq_results * sessions as u64;
+        let events_per_sec = total_events as f64 / secs;
+        let results_per_sec = total_results as f64 / secs;
+        let relative = events_per_sec / in_events_per_sec;
+        println!(
+            "{:>9} {:>10.4} {:>9} {:>13.0} {:>13.0} {:>8.2}x",
+            sessions, secs, sessions, events_per_sec, results_per_sec, relative
+        );
+        rows.push(Row {
+            sessions,
+            secs,
+            replays: sessions,
+            events_per_sec,
+            results_per_sec,
+            relative,
+        });
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"serve_loopback\",\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"docs\": {DOCS}, \"bytes\": {corpus_bytes}, \
+         \"queries\": {}, \"cores\": {cores}}},",
+        QUERIES.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"in_process\": {{\"secs\": {seq_secs:.6}, \"events\": {seq_events}, \
+         \"results\": {seq_results}, \"events_per_sec\": {in_events_per_sec:.0}, \
+         \"results_per_sec\": {in_results_per_sec:.0}}},"
+    );
+    json.push_str("  \"sessions\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sessions\": {}, \"secs\": {:.6}, \"corpus_replays\": {}, \
+             \"events_per_sec\": {:.0}, \"results_per_sec\": {:.0}, \
+             \"relative_to_in_process\": {:.3}}}",
+            r.sessions, r.secs, r.replays, r.events_per_sec, r.results_per_sec, r.relative
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"gates\": {\"single_session_byte_identical\": true, \
+         \"speedup_asserted\": false}\n}\n",
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("\nwrote {out_path}");
+}
+
+fn serve_and_check(opts: ServeOptions, docs: &[Vec<u8>], expected: &str) {
+    let server = serve(opts).expect("server binds");
+    let copts = ConnectOptions {
+        chunk: 64 * 1024,
+        running: true,
+        want_stats: false,
+    };
+    let mut out = Vec::new();
+    run_corpus(&server.addr().to_string(), QUERIES, docs, &copts, &mut out).expect("gate replay");
+    assert_eq!(
+        String::from_utf8(out).expect("client output is UTF-8"),
+        expected,
+        "loopback transcript diverged from the sequential driver"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,248 @@
+//! The reference client: replays a corpus over the wire and renders
+//! the replies in exactly the sequential driver's output format.
+//!
+//! `xsq connect` is built on this module, and so is the loopback
+//! conformance gate: [`run_corpus`] prints each document's updates
+//! then results as `doc<TAB>query<TAB>value` lines — byte-identical to
+//! `xsq multi --shard 1` — while [`reference_output`] renders the same
+//! corpus through [`run_sequential_with`] in process. Comparing the
+//! two strings proves the whole network path (framing, push parsing,
+//! per-session index, result streaming) is an identity transform on
+//! the engine's output.
+
+use std::fmt::Write as _;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use xsq_core::{run_sequential_with, QuerySet, XsqEngine};
+
+use crate::proto::{err_code, op, read_frame, write_frame, Frame, MAX_FRAME};
+
+/// How one corpus replay went.
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    pub docs: usize,
+    pub results: u64,
+    pub updates: u64,
+    /// The server's STAT JSON, when requested.
+    pub stats_json: Option<String>,
+}
+
+/// Client-side failures, split for distinct CLI exit codes.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server broke the protocol (unexpected opcode, bad payload).
+    Protocol(String),
+    /// The server replied with a framed error.
+    Remote {
+        code: String,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Corpus replay settings.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// FEED chunk size in bytes (1 exercises every token split).
+    pub chunk: usize,
+    /// Print running aggregate updates (`# running[d:q]: v` lines).
+    pub running: bool,
+    /// Request STAT before BYE and carry it in the report.
+    pub want_stats: bool,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            chunk: 64 * 1024,
+            running: false,
+            want_stats: false,
+        }
+    }
+}
+
+fn remote_err(payload: &[u8]) -> ClientError {
+    let code = err_code(payload).unwrap_or("unknown").to_string();
+    let message = String::from_utf8_lossy(payload).into_owned();
+    ClientError::Remote { code, message }
+}
+
+/// Replay `docs` against a server, writing rendered results to `out`.
+///
+/// One SUB carries the whole query set, so the server's prefix-shared
+/// plan is structurally identical to the in-process [`QuerySet`] plan
+/// and results arrive in the same order the sequential driver emits
+/// them. Per document the client batches RESULT/UPDATE frames until
+/// DOC_OK, then renders updates (if enabled) before results — the
+/// `run_sequential_with` presentation.
+pub fn run_corpus(
+    addr: &str,
+    queries: &[&str],
+    docs: &[impl AsRef<[u8]>],
+    opts: &ConnectOptions,
+    out: &mut impl Write,
+) -> Result<ClientReport, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // A correctness client, not a soak client: a stuck server should
+    // fail the run rather than hang it.
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let mut next = |writer: &mut BufWriter<TcpStream>| -> Result<Frame, ClientError> {
+        writer.flush()?;
+        match read_frame(&mut reader, MAX_FRAME)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Protocol(
+                "server closed the connection mid-conversation".into(),
+            )),
+        }
+    };
+
+    write_frame(&mut writer, op::SUB, queries.join("\n").as_bytes())?;
+    let reply = next(&mut writer)?;
+    let ids = match reply.op {
+        op::SUB_OK => {
+            if reply.payload.len() < 4 {
+                return Err(ClientError::Protocol("short SUB_OK".into()));
+            }
+            u32::from_le_bytes(reply.payload[..4].try_into().unwrap())
+        }
+        op::ERR => return Err(remote_err(&reply.payload)),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected SUB_OK, got opcode 0x{other:02x}"
+            )))
+        }
+    };
+    if ids as usize != queries.len() {
+        return Err(ClientError::Protocol(format!(
+            "subscribed {} queries, server acked {ids}",
+            queries.len()
+        )));
+    }
+
+    let mut report = ClientReport::default();
+    let chunk = opts.chunk.max(1);
+    for (di, doc) in docs.iter().enumerate() {
+        for piece in doc.as_ref().chunks(chunk) {
+            write_frame(&mut writer, op::FEED, piece)?;
+        }
+        write_frame(&mut writer, op::END_DOC, &[])?;
+        let mut results: Vec<(u32, String)> = Vec::new();
+        let mut updates: Vec<(u32, f64)> = Vec::new();
+        loop {
+            let frame = next(&mut writer)?;
+            match frame.op {
+                op::RESULT => {
+                    if frame.payload.len() < 4 {
+                        return Err(ClientError::Protocol("short RESULT".into()));
+                    }
+                    let id = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+                    let value = String::from_utf8_lossy(&frame.payload[4..]).into_owned();
+                    results.push((id, value));
+                }
+                op::UPDATE => {
+                    if frame.payload.len() != 12 {
+                        return Err(ClientError::Protocol("short UPDATE".into()));
+                    }
+                    let id = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+                    let value = f64::from_le_bytes(frame.payload[4..].try_into().unwrap());
+                    updates.push((id, value));
+                }
+                op::DOC_OK => break,
+                op::ERR => return Err(remote_err(&frame.payload)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected opcode 0x{other:02x} during document"
+                    )))
+                }
+            }
+        }
+        report.docs += 1;
+        report.results += results.len() as u64;
+        report.updates += updates.len() as u64;
+        if opts.running {
+            for (id, v) in &updates {
+                writeln!(out, "# running[{di}:{id}]: {v}").map_err(ClientError::Io)?;
+            }
+        }
+        for (id, v) in &results {
+            writeln!(out, "{di}\t{id}\t{v}").map_err(ClientError::Io)?;
+        }
+    }
+
+    if opts.want_stats {
+        write_frame(&mut writer, op::STAT, &[])?;
+        let frame = next(&mut writer)?;
+        match frame.op {
+            op::STAT_OK => {
+                report.stats_json = Some(String::from_utf8_lossy(&frame.payload).into_owned());
+            }
+            op::ERR => return Err(remote_err(&frame.payload)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected STAT_OK, got opcode 0x{other:02x}"
+                )))
+            }
+        }
+    }
+
+    write_frame(&mut writer, op::BYE, &[])?;
+    let frame = next(&mut writer)?;
+    if frame.op != op::OK {
+        return Err(ClientError::Protocol(format!(
+            "expected OK for BYE, got opcode 0x{:02x}",
+            frame.op
+        )));
+    }
+    Ok(report)
+}
+
+/// Render the corpus through the in-process sequential driver in the
+/// exact format [`run_corpus`] prints — the byte-comparison oracle.
+pub fn reference_output(
+    engine: XsqEngine,
+    queries: &[&str],
+    docs: &[impl AsRef<[u8]>],
+    running: bool,
+) -> Result<String, String> {
+    let set = QuerySet::compile(engine, queries)
+        .map_err(|(i, e)| format!("query {} ({}): {e}", i + 1, queries[i]))?;
+    let mut text = String::new();
+    run_sequential_with(&set, docs, |di, out| {
+        if running {
+            for (id, v) in &out.updates {
+                let _ = writeln!(text, "# running[{di}:{}]: {v}", id.0);
+            }
+        }
+        for (id, v) in &out.results {
+            let _ = writeln!(text, "{di}\t{}\t{v}", id.0);
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(text)
+}

@@ -1,0 +1,32 @@
+//! # xsq-server — the streaming query server
+//!
+//! The paper evaluates XPath over data that *arrives as a stream*;
+//! this crate supplies the network front end that makes that literal:
+//! clients subscribe standing queries over TCP and push XML
+//! incrementally, results stream back the moment their membership is
+//! decided. Everything is `std`-only — `std::net` sockets plus the
+//! fixed thread-pool patterns of `xsq_core::shard`; no async runtime,
+//! no external crates.
+//!
+//! * [`proto`] — the length-prefixed binary framing (SUB / UNSUB /
+//!   FEED / END-DOC / STAT / BYE requests; SUB_OK / RESULT / UPDATE /
+//!   DOC_OK / STAT_OK / OK / ERR replies). The wire contract is
+//!   specified in `DESIGN.md`.
+//! * [`session`] — the per-connection state machine: a private
+//!   [`xsq_core::QueryIndex`] partition fed through the zero-copy
+//!   `RawEvent` path by a [`xsq_xml::PushParser`], so FEED chunks may
+//!   split tokens, UTF-8 sequences, or `]]>` at any byte boundary.
+//! * [`server`] — accept workers, bounded per-connection reply queues
+//!   (backpressure), idle timeouts, graceful drain on shutdown.
+//! * [`client`] — the reference client: replays a corpus and renders
+//!   replies byte-identically to the sequential in-process driver.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{reference_output, run_corpus, ClientError, ClientReport, ConnectOptions};
+pub use proto::{read_frame, write_frame, Frame, MAX_FRAME};
+pub use server::{serve, ServeOptions, ServerHandle};
+pub use session::{Action, Outbox, Session, SessionStats};

@@ -1,0 +1,280 @@
+//! The XSQ wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is `u32` little-endian *length* (counting the opcode
+//! byte and the payload, not the prefix itself), one *opcode* byte,
+//! then `length - 1` payload bytes:
+//!
+//! ```text
+//! +----------------+--------+----------------------+
+//! | length: u32 LE | opcode | payload (length - 1) |
+//! +----------------+--------+----------------------+
+//! ```
+//!
+//! Client → server opcodes live in `0x01..=0x7F`, server → client
+//! replies in `0x81..=0xFF`; see [`op`]. The framing layer enforces a
+//! maximum frame length ([`MAX_FRAME`] by default) so a hostile or
+//! broken client cannot make the server buffer unbounded input, and
+//! rejects zero-length frames (every frame carries at least its
+//! opcode). The full protocol contract — per-opcode payloads, error
+//! codes, ordering guarantees — is specified in `DESIGN.md`.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame: opcode + payload. FEED chunks larger than
+/// this must be split by the client (the reference client never sends
+/// frames this big; the cap exists to bound a session's memory).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Frame opcodes. Requests use the low range, replies have the high
+/// bit set; the values are part of the wire contract and never reused.
+pub mod op {
+    /// Subscribe queries (payload: newline-separated XPath texts).
+    pub const SUB: u8 = 0x01;
+    /// Unsubscribe one query (payload: `u32` LE query id).
+    pub const UNSUB: u8 = 0x02;
+    /// One chunk of document bytes (payload: raw XML, any split).
+    pub const FEED: u8 = 0x03;
+    /// End of the current document (empty payload).
+    pub const END_DOC: u8 = 0x04;
+    /// Request session metrics (empty payload).
+    pub const STAT: u8 = 0x05;
+    /// Graceful goodbye (empty payload).
+    pub const BYE: u8 = 0x06;
+
+    /// Subscription accepted (payload: `u32` LE count, then ids).
+    pub const SUB_OK: u8 = 0x81;
+    /// One result value (payload: `u32` LE query id + UTF-8 value).
+    pub const RESULT: u8 = 0x82;
+    /// One running aggregate update (payload: `u32` LE id + `f64` LE).
+    pub const UPDATE: u8 = 0x83;
+    /// Document finished cleanly (payload: `u32` LE document index).
+    pub const DOC_OK: u8 = 0x84;
+    /// Metrics reply (payload: UTF-8 JSON object).
+    pub const STAT_OK: u8 = 0x85;
+    /// Generic acknowledgement (payload: the acked request opcode).
+    pub const OK: u8 = 0x86;
+    /// Error reply (payload: UTF-8 JSON, see [`super::err_payload`]).
+    pub const ERR: u8 = 0x8F;
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub op: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Serialize a frame into a standalone byte buffer (what the writer
+/// thread queues and sends).
+pub fn frame_bytes(op: u8, payload: &[u8]) -> Vec<u8> {
+    let len = (payload.len() + 1) as u32;
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(op);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame_bytes(op, payload))
+}
+
+/// Read one frame from a blocking stream. Returns `Ok(None)` on clean
+/// EOF at a frame boundary; EOF inside a frame is an error (a torn
+/// frame — the peer died mid-write).
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
+            while n < 4 {
+                match r.read(&mut header[n..])? {
+                    0 => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed inside a frame header",
+                        ))
+                    }
+                    m => n += m,
+                }
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-length frame (every frame carries an opcode)",
+        ));
+    }
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed inside a frame body",
+        )
+    })?;
+    let op = body[0];
+    body.copy_within(1.., 0);
+    body.truncate(len - 1);
+    Ok(Some(Frame { op, payload: body }))
+}
+
+/// Minimal JSON string escaping for protocol payloads.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stable machine-readable error codes carried in ERR frames. Fatal
+/// codes close the connection after the reply; recoverable ones leave
+/// the session usable.
+pub mod errcode {
+    /// A SUB payload failed to compile (recoverable).
+    pub const BAD_QUERY: &str = "bad-query";
+    /// An UNSUB named an id that was never issued (recoverable).
+    pub const BAD_ID: &str = "bad-id";
+    /// A request violated the protocol state machine (recoverable
+    /// unless the framing itself is broken).
+    pub const PROTOCOL: &str = "protocol";
+    /// Unknown opcode (fatal — the byte stream may be desynced).
+    pub const UNKNOWN_OP: &str = "unknown-op";
+    /// Frame length over the limit (fatal).
+    pub const TOO_LARGE: &str = "too-large";
+    /// The fed document failed to parse (fatal for the session: the
+    /// stream position is unrecoverable).
+    pub const PARSE: &str = "parse";
+    /// No complete frame arrived within the idle window (fatal).
+    pub const IDLE_TIMEOUT: &str = "idle-timeout";
+    /// The server is draining for shutdown (fatal).
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// One machine-readable diagnostic inside an ERR payload.
+pub struct ErrDiagnostic {
+    pub severity: &'static str,
+    pub code: String,
+    pub message: String,
+    pub step: Option<usize>,
+}
+
+/// Build an ERR frame payload:
+/// `{"code":…,"message":…,"diagnostics":[{severity,code,message,step?}…]}`.
+pub fn err_payload(code: &str, message: &str, diagnostics: &[ErrDiagnostic]) -> Vec<u8> {
+    let mut json = format!(
+        "{{\"code\":\"{}\",\"message\":\"{}\",\"diagnostics\":[",
+        json_escape(code),
+        json_escape(message)
+    );
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"",
+            d.severity,
+            json_escape(&d.code),
+            json_escape(&d.message)
+        ));
+        if let Some(s) = d.step {
+            json.push_str(&format!(",\"step\":{s}"));
+        }
+        json.push('}');
+    }
+    json.push_str("]}");
+    json.into_bytes()
+}
+
+/// Pull the `"code"` field back out of an ERR payload (clients report
+/// it; tests assert on it). Scanning is enough: the field is always
+/// first and its value is a known token that needs no unescaping.
+pub fn err_code(payload: &[u8]) -> Option<&str> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let rest = text.strip_prefix("{\"code\":\"")?;
+    rest.split('"').next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let bytes = frame_bytes(op::SUB, b"/a/b/text()");
+        let frame = read_frame(&mut &bytes[..], MAX_FRAME).unwrap().unwrap();
+        assert_eq!(frame.op, op::SUB);
+        assert_eq!(frame.payload, b"/a/b/text()");
+        assert!(read_frame(&mut &bytes[bytes.len()..], MAX_FRAME)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = frame_bytes(op::END_DOC, b"");
+        let frame = read_frame(&mut &bytes[..], MAX_FRAME).unwrap().unwrap();
+        assert_eq!(frame.op, op::END_DOC);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let bytes = frame_bytes(op::FEED, &[b'x'; 64]);
+        let err = read_frame(&mut &bytes[..], 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let bytes = 0u32.to_le_bytes();
+        let err = read_frame(&mut &bytes[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_frame_is_unexpected_eof() {
+        let bytes = frame_bytes(op::FEED, b"<doc>");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut], MAX_FRAME).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn err_payload_carries_code_and_diagnostics() {
+        let payload = err_payload(
+            errcode::BAD_QUERY,
+            "query 1: no such axis",
+            &[ErrDiagnostic {
+                severity: "error",
+                code: "parse-error".into(),
+                message: "no such axis \"child::\"".into(),
+                step: Some(2),
+            }],
+        );
+        let text = std::str::from_utf8(&payload).unwrap();
+        assert!(text.contains("\"code\":\"bad-query\""));
+        assert!(text.contains("\\\"child::\\\""));
+        assert!(text.contains("\"step\":2"));
+        assert_eq!(err_code(&payload), Some(errcode::BAD_QUERY));
+    }
+}

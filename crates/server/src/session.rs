@@ -1,0 +1,628 @@
+//! One client session: a protocol state machine around a
+//! [`QueryIndex`] partition and a push-fed parser.
+//!
+//! The session is transport-agnostic — it consumes decoded
+//! [`Frame`]s and emits reply frames through an [`Outbox`], so the
+//! same state machine runs under the TCP server and under in-process
+//! tests with no socket at all. Per connection it owns:
+//!
+//! * a private [`QueryIndex`] (sessions never share compiled state, so
+//!   one slow client cannot stall another's dispatch),
+//! * a [`PushParser`] fed FEED payloads exactly as they arrive off the
+//!   wire — chunks may split tokens, multi-byte UTF-8 sequences, or
+//!   `]]>` anywhere; the push layer guarantees the event stream is
+//!   identical to a one-shot parse,
+//! * the metrics reported by STAT.
+//!
+//! Subscription changes that arrive *mid-document* (between the first
+//! FEED and its END-DOC) are deferred to the document boundary: the
+//! ids are promised immediately (SUB_OK) after the queries are
+//! validated, but the index only changes once the in-flight document
+//! finishes, so a document's result set is always produced by one
+//! consistent query set.
+
+use xsq_core::{CompileError, QueryId, QueryIndex, QuerySet, QuerySink, XsqEngine, XsqMode};
+use xsq_xml::{ParsePoll, PushParser, StreamParser};
+
+use crate::proto::{err_payload, errcode, json_escape, op, ErrDiagnostic, Frame};
+
+/// Where a session's reply frames go. The TCP server backs this with a
+/// bounded queue to a writer thread (backpressure); tests back it with
+/// a `Vec`.
+pub trait Outbox {
+    fn send(&mut self, op: u8, payload: &[u8]);
+}
+
+impl<F: FnMut(u8, &[u8])> Outbox for F {
+    fn send(&mut self, op: u8, payload: &[u8]) {
+        self(op, payload)
+    }
+}
+
+/// What the transport should do after a frame is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep reading frames.
+    Continue,
+    /// Close the connection (after flushing queued replies).
+    Close,
+}
+
+/// Emits RESULT/UPDATE frames as the engine determines results — the
+/// streaming path: a result reaches the outbox (and from there the
+/// wire) the moment its membership is decided, not at END-DOC.
+struct FrameSink<'a> {
+    out: &'a mut dyn Outbox,
+    results: u64,
+    updates: u64,
+}
+
+impl QuerySink for FrameSink<'_> {
+    fn result(&mut self, id: QueryId, value: &str) {
+        self.results += 1;
+        let mut payload = Vec::with_capacity(4 + value.len());
+        payload.extend_from_slice(&id.0.to_le_bytes());
+        payload.extend_from_slice(value.as_bytes());
+        self.out.send(op::RESULT, &payload);
+    }
+
+    fn aggregate_update(&mut self, id: QueryId, value: f64) {
+        self.updates += 1;
+        let mut payload = [0u8; 12];
+        payload[..4].copy_from_slice(&id.0.to_le_bytes());
+        payload[4..].copy_from_slice(&value.to_le_bytes());
+        self.out.send(op::UPDATE, &payload);
+    }
+}
+
+/// Session metrics (the STAT reply), accumulated across documents.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStats {
+    pub bytes_in: u64,
+    pub frames_in: u64,
+    pub docs: u32,
+    pub results: u64,
+    pub updates: u64,
+    pub peak_buffered_bytes: u64,
+    pub peak_configs: u64,
+}
+
+/// One connection's protocol state machine.
+pub struct Session {
+    engine: XsqEngine,
+    index: QueryIndex,
+    parser: PushParser,
+    engine_name: &'static str,
+    stats: SessionStats,
+    /// A FEED arrived since the last document boundary.
+    doc_active: bool,
+    /// SUB batches promised mid-document, applied at the next boundary.
+    pending_subs: Vec<Vec<String>>,
+    /// UNSUBs received mid-document, applied after pending subs.
+    pending_unsubs: Vec<QueryId>,
+    /// Ids promised to pending subs but not yet allocated by the index.
+    promised: u32,
+}
+
+impl Session {
+    pub fn new(engine: XsqEngine) -> Session {
+        Session {
+            engine,
+            index: QueryIndex::new(engine),
+            parser: StreamParser::push_mode(),
+            engine_name: match engine.mode() {
+                XsqMode::Full => "xsq-f",
+                XsqMode::NoClosure => "xsq-nc",
+            },
+            stats: SessionStats::default(),
+            doc_active: false,
+            pending_subs: Vec::new(),
+            pending_unsubs: Vec::new(),
+            promised: 0,
+        }
+    }
+
+    /// A document is currently in flight (FEED seen, END-DOC not yet).
+    /// The server uses this to decide how hard it may drain on
+    /// shutdown.
+    pub fn doc_active(&self) -> bool {
+        self.doc_active
+    }
+
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Handle one decoded frame, emitting replies through `out`.
+    pub fn handle_frame(&mut self, frame: &Frame, out: &mut dyn Outbox) -> Action {
+        self.stats.frames_in += 1;
+        match frame.op {
+            op::SUB => self.on_sub(&frame.payload, out),
+            op::UNSUB => self.on_unsub(&frame.payload, out),
+            op::FEED => self.on_feed(&frame.payload, out),
+            op::END_DOC => self.on_end_doc(out),
+            op::STAT => {
+                let json = self.stat_json();
+                out.send(op::STAT_OK, json.as_bytes());
+                Action::Continue
+            }
+            op::BYE => {
+                out.send(op::OK, &[op::BYE]);
+                Action::Close
+            }
+            other => {
+                out.send(
+                    op::ERR,
+                    &err_payload(
+                        errcode::UNKNOWN_OP,
+                        &format!("unknown opcode 0x{other:02x}"),
+                        &[],
+                    ),
+                );
+                Action::Close
+            }
+        }
+    }
+
+    fn on_sub(&mut self, payload: &[u8], out: &mut dyn Outbox) -> Action {
+        let Ok(text) = std::str::from_utf8(payload) else {
+            out.send(
+                op::ERR,
+                &err_payload(errcode::PROTOCOL, "SUB payload is not UTF-8", &[]),
+            );
+            return Action::Continue;
+        };
+        let queries: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if queries.is_empty() {
+            out.send(
+                op::ERR,
+                &err_payload(errcode::BAD_QUERY, "SUB carried no queries", &[]),
+            );
+            return Action::Continue;
+        }
+        // Validate the whole batch up front (the same compilation the
+        // index will perform), so a promised id can never fail later.
+        if let Err((i, e)) = QuerySet::compile(self.engine, &queries) {
+            out.send(
+                op::ERR,
+                &err_payload(
+                    errcode::BAD_QUERY,
+                    &format!("query {} ({}): {e}", i + 1, queries[i]),
+                    &query_diagnostics(queries[i], &e),
+                ),
+            );
+            return Action::Continue;
+        }
+        let ids: Vec<QueryId> = if self.doc_active {
+            let base = self.index.len() as u32 + self.promised;
+            let ids = (0..queries.len() as u32)
+                .map(|k| QueryId(base + k))
+                .collect();
+            self.promised += queries.len() as u32;
+            self.pending_subs
+                .push(queries.iter().map(|q| q.to_string()).collect());
+            ids
+        } else {
+            match self.index.subscribe_group(&queries) {
+                Ok(ids) => ids,
+                Err(e) => {
+                    // Unreachable after validation, but never trust it.
+                    out.send(
+                        op::ERR,
+                        &err_payload(errcode::BAD_QUERY, &e.to_string(), &[]),
+                    );
+                    return Action::Continue;
+                }
+            }
+        };
+        let mut reply = Vec::with_capacity(4 + 4 * ids.len());
+        reply.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in &ids {
+            reply.extend_from_slice(&id.0.to_le_bytes());
+        }
+        out.send(op::SUB_OK, &reply);
+        Action::Continue
+    }
+
+    fn on_unsub(&mut self, payload: &[u8], out: &mut dyn Outbox) -> Action {
+        let Ok(bytes) = <[u8; 4]>::try_from(payload) else {
+            out.send(
+                op::ERR,
+                &err_payload(errcode::PROTOCOL, "UNSUB payload must be a u32 id", &[]),
+            );
+            return Action::Continue;
+        };
+        let id = QueryId(u32::from_le_bytes(bytes));
+        if id.0 >= self.index.len() as u32 + self.promised {
+            out.send(
+                op::ERR,
+                &err_payload(
+                    errcode::BAD_ID,
+                    &format!("query id {} was never issued", id.0),
+                    &[],
+                ),
+            );
+            return Action::Continue;
+        }
+        if self.doc_active {
+            self.pending_unsubs.push(id);
+        } else {
+            self.index.unsubscribe(id);
+        }
+        out.send(op::OK, &[op::UNSUB]);
+        Action::Continue
+    }
+
+    fn on_feed(&mut self, payload: &[u8], out: &mut dyn Outbox) -> Action {
+        self.doc_active = true;
+        self.stats.bytes_in += payload.len() as u64;
+        self.parser.push(payload);
+        self.pump(out)
+    }
+
+    fn on_end_doc(&mut self, out: &mut dyn Outbox) -> Action {
+        if !self.doc_active {
+            out.send(
+                op::ERR,
+                &err_payload(errcode::PROTOCOL, "END-DOC without any FEED", &[]),
+            );
+            return Action::Continue;
+        }
+        self.parser.finish();
+        if self.pump(out) == Action::Close {
+            return Action::Close;
+        }
+        let mut sink = FrameSink {
+            out,
+            results: 0,
+            updates: 0,
+        };
+        let run = self.index.finish(&mut sink);
+        self.stats.results += sink.results;
+        self.stats.updates += sink.updates;
+        self.stats.peak_buffered_bytes = self.stats.peak_buffered_bytes.max(run.memory.peak_bytes);
+        self.stats.peak_configs = self.stats.peak_configs.max(run.memory.peak_configs);
+        out.send(op::DOC_OK, &self.stats.docs.to_le_bytes());
+        self.stats.docs += 1;
+        self.doc_active = false;
+        self.parser.reset_push();
+        // Deferred subscription changes: promised subs first (their ids
+        // must exist before an interleaved UNSUB can name them).
+        for batch in std::mem::take(&mut self.pending_subs) {
+            let texts: Vec<&str> = batch.iter().map(String::as_str).collect();
+            if let Err(e) = self.index.subscribe_group(&texts) {
+                out.send(
+                    op::ERR,
+                    &err_payload(
+                        errcode::BAD_QUERY,
+                        &format!("deferred subscription failed: {e}"),
+                        &[],
+                    ),
+                );
+                return Action::Close;
+            }
+        }
+        self.promised = 0;
+        for id in std::mem::take(&mut self.pending_unsubs) {
+            self.index.unsubscribe(id);
+        }
+        Action::Continue
+    }
+
+    /// Drain every event the parser can currently produce into the
+    /// index. A parse error is fatal for the session: the byte stream
+    /// position is unrecoverable, so the client gets one framed error
+    /// (fail-fast, like the sharded driver's lowest-doc report) and
+    /// the connection closes.
+    fn pump(&mut self, out: &mut dyn Outbox) -> Action {
+        let mut sink = FrameSink {
+            out,
+            results: 0,
+            updates: 0,
+        };
+        let Session { index, parser, .. } = self;
+        let failed = loop {
+            match parser.poll_raw() {
+                Ok(ParsePoll::Event(ev)) => index.feed_raw(&ev, &mut sink),
+                Ok(ParsePoll::NeedMore) | Ok(ParsePoll::End) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        self.stats.results += sink.results;
+        self.stats.updates += sink.updates;
+        match failed {
+            None => Action::Continue,
+            Some(e) => {
+                out.send(
+                    op::ERR,
+                    &err_payload(
+                        errcode::PARSE,
+                        &format!("document {}: {e}", self.stats.docs),
+                        &[],
+                    ),
+                );
+                Action::Close
+            }
+        }
+    }
+
+    /// The STAT reply: RunReport-style counters plus wire totals.
+    fn stat_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"queries\":{},\"active\":{},\"groups\":{},\
+             \"docs\":{},\"doc_active\":{},\"events\":{},\"touches\":{},\
+             \"results\":{},\"updates\":{},\"peak_buffered_bytes\":{},\
+             \"peak_configs\":{},\"bytes_in\":{},\"frames_in\":{}}}",
+            json_escape(self.engine_name),
+            self.index.len(),
+            self.index.active_len(),
+            self.index.group_count(),
+            self.stats.docs,
+            self.doc_active,
+            self.index.events(),
+            self.index.touches(),
+            self.stats.results,
+            self.stats.updates,
+            self.stats.peak_buffered_bytes,
+            self.stats.peak_configs,
+            self.stats.bytes_in,
+            self.stats.frames_in,
+        )
+    }
+}
+
+/// Analyzer-backed diagnostics for a rejected SUB: the compile error
+/// itself first, then whatever the static analyzer can add (it sees
+/// queries that parse but misbuild; a parse failure carries only the
+/// parser's message).
+fn query_diagnostics(query: &str, error: &CompileError) -> Vec<ErrDiagnostic> {
+    let mut out = vec![ErrDiagnostic {
+        severity: "error",
+        code: "compile-error".into(),
+        message: error.to_string(),
+        step: None,
+    }];
+    if let Ok(parsed) = xsq_xpath::parse_query(query) {
+        if let Ok(analysis) = xsq_core::analyze(&parsed) {
+            out.extend(analysis.diagnostics.iter().map(|d| ErrDiagnostic {
+                severity: d.severity.label(),
+                code: d.code.to_string(),
+                message: d.message.clone(),
+                step: d.step,
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::err_code;
+
+    fn sub_frame(queries: &str) -> Frame {
+        Frame {
+            op: op::SUB,
+            payload: queries.as_bytes().to_vec(),
+        }
+    }
+
+    fn feed_frame(bytes: &[u8]) -> Frame {
+        Frame {
+            op: op::FEED,
+            payload: bytes.to_vec(),
+        }
+    }
+
+    const END: Frame = Frame {
+        op: op::END_DOC,
+        payload: Vec::new(),
+    };
+
+    fn drive(session: &mut Session, frames: &[Frame]) -> Vec<(u8, Vec<u8>)> {
+        let mut out: Vec<(u8, Vec<u8>)> = Vec::new();
+        for f in frames {
+            let mut sink = |op: u8, payload: &[u8]| out.push((op, payload.to_vec()));
+            session.handle_frame(f, &mut sink);
+        }
+        out
+    }
+
+    fn results_of(replies: &[(u8, Vec<u8>)]) -> Vec<(u32, String)> {
+        replies
+            .iter()
+            .filter(|(o, _)| *o == op::RESULT)
+            .map(|(_, p)| {
+                (
+                    u32::from_le_bytes(p[..4].try_into().unwrap()),
+                    String::from_utf8(p[4..].to_vec()).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subscribe_feed_and_finish_streams_results() {
+        let mut session = Session::new(XsqEngine::full());
+        let doc = b"<pub><book><name>N</name></book><year>2002</year></pub>";
+        let replies = drive(
+            &mut session,
+            &[
+                sub_frame("//pub[year=2002]//name/text()"),
+                feed_frame(doc),
+                END,
+            ],
+        );
+        assert_eq!(replies[0].0, op::SUB_OK);
+        assert_eq!(results_of(&replies), [(0, "N".to_string())]);
+        assert!(replies.iter().any(|(o, _)| *o == op::DOC_OK));
+        assert_eq!(session.stats().docs, 1);
+    }
+
+    #[test]
+    fn one_byte_feeds_match_single_feed() {
+        let doc: &[u8] =
+            "<pub a=\"x\"><b>caf\u{e9} \u{1F680}</b><b><![CDATA[x]]y]]></b></pub>".as_bytes();
+        let queries = "/pub/b/text()\n//b/count()";
+        let whole = {
+            let mut s = Session::new(XsqEngine::full());
+            drive(&mut s, &[sub_frame(queries), feed_frame(doc), END])
+        };
+        let torn = {
+            let mut s = Session::new(XsqEngine::full());
+            let mut frames = vec![sub_frame(queries)];
+            frames.extend(doc.iter().map(|b| feed_frame(&[*b])));
+            frames.push(END);
+            drive(&mut s, &frames)
+        };
+        let payload_frames = |r: &[(u8, Vec<u8>)]| {
+            r.iter()
+                .filter(|(o, _)| matches!(*o, op::RESULT | op::UPDATE | op::DOC_OK))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(payload_frames(&whole), payload_frames(&torn));
+    }
+
+    #[test]
+    fn bad_query_gets_machine_readable_error() {
+        let mut session = Session::new(XsqEngine::full());
+        let replies = drive(&mut session, &[sub_frame("/a[")]);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, op::ERR);
+        assert_eq!(err_code(&replies[0].1), Some(errcode::BAD_QUERY));
+        let text = std::str::from_utf8(&replies[0].1).unwrap();
+        assert!(text.contains("\"diagnostics\":["), "payload: {text}");
+        // The session survives a rejected SUB.
+        let replies = drive(&mut session, &[sub_frame("/a/text()")]);
+        assert_eq!(replies[0].0, op::SUB_OK);
+    }
+
+    #[test]
+    fn closure_on_nc_engine_is_rejected() {
+        let mut session = Session::new(XsqEngine::no_closure());
+        let replies = drive(&mut session, &[sub_frame("//a/text()")]);
+        assert_eq!(replies[0].0, op::ERR);
+        assert_eq!(err_code(&replies[0].1), Some(errcode::BAD_QUERY));
+    }
+
+    #[test]
+    fn sub_during_feed_defers_to_next_document() {
+        let mut session = Session::new(XsqEngine::full());
+        let doc = b"<a><b>one</b></a>";
+        let replies = drive(
+            &mut session,
+            &[
+                sub_frame("/a/b/text()"),
+                feed_frame(&doc[..5]),
+                // Mid-document: promised id 1, active from the next doc.
+                sub_frame("//b/text()"),
+                feed_frame(&doc[5..]),
+                END,
+            ],
+        );
+        let sub_oks: Vec<_> = replies.iter().filter(|(o, _)| *o == op::SUB_OK).collect();
+        assert_eq!(sub_oks.len(), 2);
+        assert_eq!(
+            u32::from_le_bytes(sub_oks[1].1[4..8].try_into().unwrap()),
+            1
+        );
+        // Document 1 saw only query 0.
+        assert_eq!(results_of(&replies), [(0, "one".to_string())]);
+        // Document 2 is served by both.
+        let replies = drive(&mut session, &[feed_frame(doc), END]);
+        assert_eq!(
+            results_of(&replies),
+            [(0, "one".to_string()), (1, "one".to_string())]
+        );
+    }
+
+    #[test]
+    fn unsub_during_feed_defers_to_next_document() {
+        let mut session = Session::new(XsqEngine::full());
+        let doc = b"<a><b>one</b></a>";
+        let unsub = Frame {
+            op: op::UNSUB,
+            payload: 0u32.to_le_bytes().to_vec(),
+        };
+        let replies = drive(
+            &mut session,
+            &[
+                sub_frame("/a/b/text()"),
+                feed_frame(&doc[..5]),
+                unsub,
+                feed_frame(&doc[5..]),
+                END,
+            ],
+        );
+        // The in-flight document still answers the query…
+        assert_eq!(results_of(&replies), [(0, "one".to_string())]);
+        // …and the next one no longer does.
+        let replies = drive(&mut session, &[feed_frame(doc), END]);
+        assert_eq!(results_of(&replies), []);
+    }
+
+    #[test]
+    fn malformed_document_is_fatal_with_parse_error() {
+        let mut session = Session::new(XsqEngine::full());
+        let replies = drive(
+            &mut session,
+            &[sub_frame("/a/text()"), feed_frame(b"<a><b></a>"), END],
+        );
+        let err = replies
+            .iter()
+            .find(|(o, _)| *o == op::ERR)
+            .expect("ERR frame");
+        assert_eq!(err_code(&err.1), Some(errcode::PARSE));
+        assert!(!replies.iter().any(|(o, _)| *o == op::DOC_OK));
+    }
+
+    #[test]
+    fn stat_reports_counters_as_json() {
+        let mut session = Session::new(XsqEngine::full());
+        let replies = drive(
+            &mut session,
+            &[
+                sub_frame("//b/count()"),
+                feed_frame(b"<a><b/><b/></a>"),
+                END,
+                Frame {
+                    op: op::STAT,
+                    payload: Vec::new(),
+                },
+            ],
+        );
+        let stat = replies.iter().find(|(o, _)| *o == op::STAT_OK).unwrap();
+        let json = std::str::from_utf8(&stat.1).unwrap();
+        for needle in [
+            "\"engine\":\"xsq-f\"",
+            "\"docs\":1",
+            "\"results\":1",
+            "\"bytes_in\":15",
+            "\"frames_in\":",
+            "\"peak_configs\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_closes_the_session() {
+        let mut session = Session::new(XsqEngine::full());
+        let mut out: Vec<(u8, Vec<u8>)> = Vec::new();
+        let mut sink = |op: u8, payload: &[u8]| out.push((op, payload.to_vec()));
+        let action = session.handle_frame(
+            &Frame {
+                op: 0x7E,
+                payload: Vec::new(),
+            },
+            &mut sink,
+        );
+        assert_eq!(action, Action::Close);
+        assert_eq!(err_code(&out[0].1), Some(errcode::UNKNOWN_OP));
+    }
+}

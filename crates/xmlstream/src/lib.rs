@@ -36,6 +36,7 @@ pub mod event;
 pub mod parser;
 pub mod pda;
 pub mod pure;
+pub mod push;
 pub mod scan;
 pub mod stats;
 pub mod symbol;
@@ -43,9 +44,10 @@ pub mod writer;
 
 pub use error::{Error, Result};
 pub use event::{Attribute, RawEvent, SaxEvent};
-pub use parser::StreamParser;
+pub use parser::{ParsePoll, StreamParser};
 pub use pda::WellFormednessPda;
 pub use pure::PureParser;
+pub use push::{ChunkBuf, PushParser};
 pub use stats::{dataset_stats, DatasetStats};
 pub use symbol::Sym;
 pub use writer::XmlWriter;

@@ -56,6 +56,30 @@ enum DocState {
     Done,
 }
 
+/// Outcome of one non-blocking pull on a parser whose input may be
+/// incomplete (see [`crate::push::PushParser`]). Ordinary pull parsers
+/// over a [`BufRead`] never observe `NeedMore`: an empty `fill_buf`
+/// means end of input for them.
+#[derive(Debug)]
+pub enum ParsePoll<'a> {
+    /// The next event.
+    Event(RawEvent<'a>),
+    /// The buffered input ends mid-construct and more may be pushed;
+    /// nothing was lost — poll again after the next push (or after
+    /// end-of-input is signalled).
+    NeedMore,
+    /// `EndDocument` has already been delivered.
+    End,
+}
+
+/// What one [`StreamParser::advance`] call achieved.
+enum Advance {
+    /// Events were queued or the document ended.
+    Progress,
+    /// Soft input ran dry at a resumable point (push mode only).
+    Starved,
+}
+
 /// A parsed-but-not-yet-delivered event descriptor. `Copy`-small: the
 /// variable-size payloads (attributes, text) stay in the parser's scratch
 /// buffers and are attached when the descriptor is materialized as a
@@ -97,6 +121,11 @@ pub struct StreamParser<R: BufRead> {
     reader: R,
     offset: u64,
     options: ParserOptions,
+    /// When true (push mode), an empty `fill_buf` means "no more bytes
+    /// buffered *yet*" rather than end of input: [`Self::poll_raw`]
+    /// reports [`ParsePoll::NeedMore`] instead of finishing the
+    /// document. Flipped off when the push layer signals end-of-input.
+    soft_input: bool,
     state: DocState,
     /// Open-element stack; `stack.len()` is the current depth. Each entry
     /// carries the interned name's `&'static str` so closing-tag checks
@@ -139,6 +168,7 @@ impl<R: BufRead> StreamParser<R> {
             reader,
             offset: 0,
             options,
+            soft_input: false,
             state: DocState::Init,
             stack: Vec::new(),
             pending: VecDeque::new(),
@@ -168,6 +198,15 @@ impl<R: BufRead> StreamParser<R> {
     /// zero-allocation steady state immediately.
     pub fn reset_with(&mut self, reader: R) -> R {
         let old = std::mem::replace(&mut self.reader, reader);
+        self.reset();
+        old
+    }
+
+    /// Rearm the parser for a new document on the *same* reader (see
+    /// [`reset_with`](Self::reset_with) for what is kept). The push
+    /// layer uses this to reuse one parser across the documents of a
+    /// session after clearing its chunk buffer.
+    pub fn reset(&mut self) {
         self.offset = 0;
         self.state = DocState::Init;
         self.stack.clear();
@@ -175,7 +214,23 @@ impl<R: BufRead> StreamParser<R> {
         self.text_acc.clear();
         self.text_out.clear();
         self.attrs_len = 0;
-        old
+    }
+
+    /// Direct access to the underlying reader (the push layer feeds its
+    /// chunk buffer through this).
+    pub(crate) fn reader_mut(&mut self) -> &mut R {
+        &mut self.reader
+    }
+
+    /// Shared access to the underlying reader.
+    pub(crate) fn reader_ref(&self) -> &R {
+        &self.reader
+    }
+
+    /// Switch between soft input (empty buffer = not yet) and final
+    /// input (empty buffer = end of document).
+    pub(crate) fn set_soft_input(&mut self, soft: bool) {
+        self.soft_input = soft;
     }
 
     /// Pull the next event as an owned [`SaxEvent`], or `Ok(None)` after
@@ -188,18 +243,43 @@ impl<R: BufRead> StreamParser<R> {
     /// Pull the next event as a zero-copy [`RawEvent`] borrowing the
     /// parser's scratch buffers, or `Ok(None)` after `EndDocument`. The
     /// returned view is invalidated by the next call.
+    ///
+    /// Requires final input (an empty `fill_buf` is end of document);
+    /// push-fed parsers must use [`poll_raw`](Self::poll_raw) until
+    /// end-of-input has been signalled.
     pub fn next_raw(&mut self) -> Result<Option<RawEvent<'_>>> {
+        let offset = self.offset;
+        match self.poll_raw()? {
+            ParsePoll::Event(ev) => Ok(Some(ev)),
+            ParsePoll::End => Ok(None),
+            ParsePoll::NeedMore => Err(Error::UnexpectedEof {
+                offset,
+                context: "push-mode input not finished (use poll_raw)",
+            }),
+        }
+    }
+
+    /// Pull the next event without treating an empty buffer as end of
+    /// input: in push mode a starved parser reports
+    /// [`ParsePoll::NeedMore`] and resumes cleanly after more bytes are
+    /// pushed. For ordinary pull parsers this behaves like
+    /// [`next_raw`](Self::next_raw) (`NeedMore` never occurs).
+    pub fn poll_raw(&mut self) -> Result<ParsePoll<'_>> {
         loop {
             if let Some(p) = self.pending.pop_front() {
-                return Ok(Some(self.materialize(p)));
+                return Ok(ParsePoll::Event(self.materialize(p)));
             }
             match self.state {
                 DocState::Init => {
                     self.state = DocState::BeforeRoot;
-                    return Ok(Some(RawEvent::StartDocument));
+                    return Ok(ParsePoll::Event(RawEvent::StartDocument));
                 }
-                DocState::Done => return Ok(None),
-                _ => self.advance()?,
+                DocState::Done => return Ok(ParsePoll::End),
+                _ => {
+                    if let Advance::Starved = self.advance()? {
+                        return Ok(ParsePoll::NeedMore);
+                    }
+                }
             }
         }
     }
@@ -225,14 +305,25 @@ impl<R: BufRead> StreamParser<R> {
     /// Parse input until at least one event lands in `pending` (or the
     /// document ends). Only runs when `pending` is empty, so the scratch
     /// buffers it overwrites are no longer referenced.
-    fn advance(&mut self) -> Result<()> {
+    ///
+    /// In push mode the input can run dry only at resumable points: the
+    /// chunk buffer exposes markup tokens whole, so starvation happens
+    /// between tokens (here) or inside a text run — whose accumulated
+    /// prefix persists in `text_acc` across polls.
+    fn advance(&mut self) -> Result<Advance> {
         loop {
             match self.next_byte()? {
-                None => return self.finish(),
+                None => {
+                    if self.soft_input {
+                        return Ok(Advance::Starved);
+                    }
+                    self.end_of_input()?;
+                    return Ok(Advance::Progress);
+                }
                 Some(b'<') => {
                     self.parse_markup()?;
                     if !self.pending.is_empty() {
-                        return Ok(());
+                        return Ok(Advance::Progress);
                     }
                     // Comments/PIs produce no events; keep scanning.
                 }
@@ -580,7 +671,7 @@ impl<R: BufRead> StreamParser<R> {
     }
 
     /// End of input: verify balance and emit `EndDocument`.
-    fn finish(&mut self) -> Result<()> {
+    fn end_of_input(&mut self) -> Result<()> {
         if !self.stack.is_empty() {
             return Err(Error::UnclosedElements {
                 offset: self.offset,

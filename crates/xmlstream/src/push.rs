@@ -1,0 +1,650 @@
+//! Push-based incremental parsing: network chunks in, events out.
+//!
+//! The pull parser ([`StreamParser`]) owns its input and demands the
+//! next byte whenever it wants one — fine for files, wrong for sockets,
+//! where bytes arrive in chunks that split tokens, multi-byte UTF-8
+//! sequences, and the CDATA `]]>` terminator at arbitrary boundaries.
+//! This module inverts the flow without duplicating the tokenizer:
+//!
+//! * [`ChunkBuf`] is a [`BufRead`] the *caller* appends to. A one-pass
+//!   **token-boundary pre-scanner** runs over every appended chunk and
+//!   tracks how far the buffer can safely be exposed to the pull
+//!   parser: markup tokens (`<…>`, `<!--…-->`, `<![CDATA[…]]>`,
+//!   `<?…?>`, `<!DOCTYPE…>`) are exposed only once complete, and a text
+//!   run only once its terminating `<` has arrived. The pull parser
+//!   therefore never begins a token it cannot finish, and never
+//!   processes a text run whose tail (a split UTF-8 sequence, a `\r` of
+//!   a `\r\n` pair, an unterminated `&entity;`) is still in flight.
+//! * [`PushParser`] (= `StreamParser<ChunkBuf>`) adds the push surface:
+//!   [`push`](StreamParser::push) appends a chunk,
+//!   [`poll_raw`](StreamParser::poll_raw) pulls events until it reports
+//!   [`ParsePoll::NeedMore`], and [`finish`](StreamParser::finish)
+//!   marks end-of-input so the final token and well-formedness checks
+//!   run.
+//!
+//! The pre-scanner mirrors the tokenizer's delimiter rules exactly
+//! (quote-aware tags, bracket-aware DOCTYPE, rolling `-->`/`]]>`/`?>`
+//! matches), so a document fed in 1-byte chunks produces the event
+//! stream — and the errors — of a whole-buffer parse. The chunked
+//! differential tests pin that equivalence.
+//!
+//! Memory is bounded by the largest single token plus one chunk, the
+//! same bound the pull parser's scratch buffers already have: consumed
+//! bytes are compacted away as the buffer refills.
+
+use std::io::{BufRead, Read};
+
+use crate::parser::{ParserOptions, StreamParser};
+use crate::scan;
+
+/// Pre-scanner state: where in the raw XML grammar the last appended
+/// byte sits. Only completeness of tokens is tracked — validity is the
+/// pull parser's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Scan {
+    /// Outside markup (character data, or between tokens).
+    #[default]
+    Text,
+    /// Consumed `<`, nothing after it yet.
+    Lt,
+    /// Inside a start/end tag. `quote` is the active attribute-value
+    /// delimiter (`"` / `'`), or 0 outside a value — a `>` inside a
+    /// quoted value does not end the tag.
+    Tag { quote: u8 },
+    /// Consumed `<!`.
+    Bang,
+    /// Consumed `<!-`.
+    BangDash,
+    /// Inside `<!--`; `matched` is the length of the `-->` terminator
+    /// prefix currently pending (0–2).
+    Comment { matched: u8 },
+    /// Inside `<![`, matching the `[CDATA[` opener; `matched` bytes of
+    /// it are confirmed.
+    CdataOpen { matched: u8 },
+    /// Inside `<![CDATA[`; `matched` is the pending `]]>` prefix (0–2).
+    Cdata { matched: u8 },
+    /// Inside `<?`; `qmark` means the previous byte was `?`.
+    Pi { qmark: bool },
+    /// Inside `<!DOCTYPE` (or any other `<!…` declaration); `depth` is
+    /// the internal-subset bracket nesting, mirroring the tokenizer's
+    /// skip loop.
+    Decl { depth: i32 },
+}
+
+/// Compact once the consumed prefix passes this size (or the buffer is
+/// fully drained, which is free).
+const COMPACT_THRESHOLD: usize = 4096;
+
+/// A growable chunk buffer with a token-boundary pre-scanner: the
+/// [`BufRead`] side exposes only bytes that form complete tokens, so
+/// the pull parser layered on top can always run to a resumable point.
+#[derive(Debug, Default)]
+pub struct ChunkBuf {
+    data: Vec<u8>,
+    /// Read position of the consumer side.
+    pos: usize,
+    /// Exposure limit: `data[pos..safe]` is servable. Always a token
+    /// boundary (or the start of the pending token) unless `eof`.
+    safe: usize,
+    /// Pre-scanner progress (`scanned ≥ safe`).
+    scanned: usize,
+    state: Scan,
+    /// End-of-input signalled: expose everything, complete or not.
+    eof: bool,
+}
+
+impl ChunkBuf {
+    pub fn new() -> Self {
+        ChunkBuf::default()
+    }
+
+    /// Append a chunk and advance the pre-scanner over it.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact the consumed prefix before growing: cheap when fully
+        // drained, amortized otherwise.
+        if self.pos == self.data.len() {
+            self.data.clear();
+            self.pos = 0;
+            self.safe = 0;
+            self.scanned = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.data.copy_within(self.pos.., 0);
+            self.data.truncate(self.data.len() - self.pos);
+            self.safe -= self.pos;
+            self.scanned -= self.pos;
+            self.pos = 0;
+        }
+        self.data.extend_from_slice(chunk);
+        self.rescan();
+    }
+
+    /// Signal end of input: everything buffered becomes servable (an
+    /// incomplete trailing token is now the pull parser's error to
+    /// report, exactly as a truncated file would be).
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Rearm for a new input stream, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+        self.safe = 0;
+        self.scanned = 0;
+        self.state = Scan::Text;
+        self.eof = false;
+    }
+
+    /// Bytes appended but not yet consumed by the parser.
+    pub fn buffered(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// End-of-input already signalled?
+    pub fn is_finished(&self) -> bool {
+        self.eof
+    }
+
+    /// Advance the scanner over `data[scanned..]`, moving `safe` past
+    /// every token that completes.
+    fn rescan(&mut self) {
+        let data = &self.data;
+        let len = data.len();
+        let mut i = self.scanned;
+        let mut state = self.state;
+        let mut safe = self.safe;
+        while i < len {
+            state = match state {
+                Scan::Text => match scan::find_byte(&data[i..], b'<') {
+                    None => {
+                        i = len;
+                        Scan::Text
+                    }
+                    Some(j) => {
+                        // Text up to the `<` is a complete run; the `<`
+                        // itself stays unexposed until its token ends.
+                        safe = i + j;
+                        i += j + 1;
+                        Scan::Lt
+                    }
+                },
+                Scan::Lt => match data[i] {
+                    b'!' => {
+                        i += 1;
+                        Scan::Bang
+                    }
+                    b'?' => {
+                        i += 1;
+                        Scan::Pi { qmark: false }
+                    }
+                    // Start/end tag (or junk the tokenizer will reject);
+                    // reprocess this byte in the tag state.
+                    _ => Scan::Tag { quote: 0 },
+                },
+                Scan::Tag { quote: 0 } => {
+                    let b = data[i];
+                    i += 1;
+                    match b {
+                        b'>' => {
+                            safe = i;
+                            Scan::Text
+                        }
+                        b'"' | b'\'' => Scan::Tag { quote: b },
+                        _ => Scan::Tag { quote: 0 },
+                    }
+                }
+                Scan::Tag { quote } => match scan::find_byte(&data[i..], quote) {
+                    None => {
+                        i = len;
+                        Scan::Tag { quote }
+                    }
+                    Some(j) => {
+                        i += j + 1;
+                        Scan::Tag { quote: 0 }
+                    }
+                },
+                Scan::Bang => match data[i] {
+                    b'-' => {
+                        i += 1;
+                        Scan::BangDash
+                    }
+                    b'[' => {
+                        i += 1;
+                        Scan::CdataOpen { matched: 1 }
+                    }
+                    b'>' => {
+                        i += 1;
+                        safe = i;
+                        Scan::Text
+                    }
+                    _ => Scan::Decl { depth: 0 },
+                },
+                Scan::BangDash => match data[i] {
+                    b'-' => {
+                        i += 1;
+                        Scan::Comment { matched: 0 }
+                    }
+                    // `<!-x…` is not a comment; the tokenizer rejects it
+                    // when it reads the token. Scan it like a declaration
+                    // so it still reaches a boundary.
+                    _ => Scan::Decl { depth: 0 },
+                },
+                Scan::Comment { matched } => {
+                    let b = data[i];
+                    i += 1;
+                    if b == b'-' {
+                        Scan::Comment {
+                            matched: (matched + 1).min(2),
+                        }
+                    } else if b == b'>' && matched >= 2 {
+                        safe = i;
+                        Scan::Text
+                    } else {
+                        Scan::Comment { matched: 0 }
+                    }
+                }
+                Scan::CdataOpen { matched } => {
+                    const OPENER: &[u8] = b"[CDATA[";
+                    if data[i] == OPENER[matched as usize] {
+                        i += 1;
+                        if matched as usize + 1 == OPENER.len() {
+                            Scan::Cdata { matched: 0 }
+                        } else {
+                            Scan::CdataOpen {
+                                matched: matched + 1,
+                            }
+                        }
+                    } else {
+                        // Not a CDATA section after all (`<![foo…`): the
+                        // tokenizer rejects it; scan like a declaration
+                        // whose `[` is already open, reprocessing this
+                        // byte there.
+                        Scan::Decl { depth: 1 }
+                    }
+                }
+                Scan::Cdata { matched } => {
+                    let b = data[i];
+                    i += 1;
+                    if b == b']' {
+                        Scan::Cdata {
+                            matched: (matched + 1).min(2),
+                        }
+                    } else if b == b'>' && matched >= 2 {
+                        safe = i;
+                        Scan::Text
+                    } else {
+                        Scan::Cdata { matched: 0 }
+                    }
+                }
+                Scan::Pi { qmark } => {
+                    let b = data[i];
+                    i += 1;
+                    if b == b'>' && qmark {
+                        safe = i;
+                        Scan::Text
+                    } else {
+                        Scan::Pi { qmark: b == b'?' }
+                    }
+                }
+                Scan::Decl { depth } => {
+                    let b = data[i];
+                    i += 1;
+                    match b {
+                        b'[' => Scan::Decl { depth: depth + 1 },
+                        b']' => Scan::Decl { depth: depth - 1 },
+                        b'>' if depth <= 0 => {
+                            safe = i;
+                            Scan::Text
+                        }
+                        _ => Scan::Decl { depth },
+                    }
+                }
+            };
+        }
+        self.scanned = i;
+        self.state = state;
+        self.safe = safe;
+    }
+}
+
+impl Read for ChunkBuf {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let avail = self.fill_buf()?;
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for ChunkBuf {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        let end = if self.eof { self.data.len() } else { self.safe };
+        Ok(&self.data[self.pos..end])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+        debug_assert!(self.pos <= self.data.len());
+    }
+}
+
+/// A push-fed [`StreamParser`]: bytes go in through
+/// [`push`](StreamParser::push), events come out through
+/// [`poll_raw`](StreamParser::poll_raw).
+///
+/// ```
+/// use xsq_xml::{ParsePoll, RawEvent, StreamParser};
+///
+/// let mut p = StreamParser::push_mode();
+/// // A chunk boundary in the middle of a tag, a UTF-8 sequence, …
+/// p.push(b"<a><b>caf\xc3");
+/// let mut names = Vec::new();
+/// loop {
+///     match p.poll_raw().unwrap() {
+///         ParsePoll::Event(RawEvent::Begin { name, .. }) => names.push(name.to_string()),
+///         ParsePoll::Event(_) => {}
+///         ParsePoll::NeedMore => break,
+///         ParsePoll::End => unreachable!(),
+///     }
+/// }
+/// assert_eq!(names, ["a", "b"]);
+/// p.push(b"\xa9</b></a>");
+/// p.finish();
+/// let mut texts = Vec::new();
+/// loop {
+///     match p.poll_raw().unwrap() {
+///         ParsePoll::Event(RawEvent::Text { text, .. }) => texts.push(text.to_string()),
+///         ParsePoll::Event(_) => {}
+///         ParsePoll::NeedMore => unreachable!("input is finished"),
+///         ParsePoll::End => break,
+///     }
+/// }
+/// assert_eq!(texts, ["café"]);
+/// ```
+pub type PushParser = StreamParser<ChunkBuf>;
+
+impl StreamParser<ChunkBuf> {
+    /// A push-fed parser with default options.
+    pub fn push_mode() -> PushParser {
+        Self::push_mode_with_options(ParserOptions::default())
+    }
+
+    /// A push-fed parser with explicit options.
+    pub fn push_mode_with_options(options: ParserOptions) -> PushParser {
+        let mut parser = StreamParser::with_options(ChunkBuf::new(), options);
+        parser.set_soft_input(true);
+        parser
+    }
+
+    /// Append a chunk of the document. Chunks may split anything —
+    /// tags, multi-byte UTF-8 sequences, entity references, `]]>` —
+    /// at any byte boundary.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.reader_mut().push(chunk);
+    }
+
+    /// Signal end of input. After this, [`poll_raw`](Self::poll_raw)
+    /// never reports [`crate::ParsePoll::NeedMore`]: it drains the
+    /// remaining events, reports the errors a truncated document
+    /// deserves, and ends with [`crate::ParsePoll::End`].
+    pub fn finish(&mut self) {
+        self.reader_mut().finish();
+        self.set_soft_input(false);
+    }
+
+    /// Rearm for the next document of the session, keeping every warmed
+    /// scratch buffer, the interned-name cache, and the chunk buffer's
+    /// allocation — the push-mode analogue of
+    /// [`reset_with`](Self::reset_with).
+    pub fn reset_push(&mut self) {
+        self.reader_mut().clear();
+        self.reset();
+        self.set_soft_input(true);
+    }
+
+    /// Bytes pushed but not yet consumed by the tokenizer.
+    pub fn buffered(&self) -> usize {
+        self.reader_ref().buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::event::SaxEvent;
+    use crate::{parse_to_events, ParsePoll};
+
+    /// Drive a push parser over `doc` in `chunk`-byte pieces, polling
+    /// to exhaustion between pushes, and collect owned events.
+    fn push_parse(doc: &[u8], chunk: usize) -> crate::Result<Vec<SaxEvent>> {
+        let mut parser = StreamParser::push_mode();
+        let mut events = Vec::new();
+        for piece in doc.chunks(chunk.max(1)) {
+            parser.push(piece);
+            loop {
+                match parser.poll_raw()? {
+                    ParsePoll::Event(ev) => events.push(ev.to_owned()),
+                    ParsePoll::NeedMore => break,
+                    ParsePoll::End => return Ok(events),
+                }
+            }
+        }
+        parser.finish();
+        loop {
+            match parser.poll_raw()? {
+                ParsePoll::Event(ev) => events.push(ev.to_owned()),
+                ParsePoll::NeedMore => unreachable!("NeedMore after finish"),
+                ParsePoll::End => return Ok(events),
+            }
+        }
+    }
+
+    /// Push-parsing at every tiny chunk size must equal one-shot
+    /// parsing — same events or same error.
+    fn assert_push_equivalent(doc: &str) {
+        let whole = parse_to_events(doc.as_bytes());
+        for chunk in [1, 2, 3, 7, 16, doc.len().max(1)] {
+            let pushed = push_parse(doc.as_bytes(), chunk);
+            match (&whole, &pushed) {
+                (Ok(w), Ok(p)) => assert_eq!(w, p, "chunk {chunk} diverged on {doc:?}"),
+                (Err(w), Err(p)) => assert_eq!(
+                    std::mem::discriminant(w),
+                    std::mem::discriminant(p),
+                    "chunk {chunk} error diverged on {doc:?}: {w:?} vs {p:?}"
+                ),
+                (w, p) => panic!("chunk {chunk} on {doc:?}: one-shot {w:?} vs push {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_split_at_every_boundary() {
+        assert_push_equivalent("<a x=\"1\" y='2'><b>hi &amp; bye</b><c/>tail</a>");
+    }
+
+    #[test]
+    fn multibyte_utf8_split_across_pushes() {
+        assert_push_equivalent("<doc lang=\"日本語\"><t>héllo § — ünïcode</t><t>末尾🚀</t></doc>");
+    }
+
+    #[test]
+    fn cdata_terminator_split_across_pushes() {
+        assert_push_equivalent("<doc><![CDATA[a]b]]x]]]><t>after</t><![CDATA[]]]]><t>b</t></doc>");
+    }
+
+    #[test]
+    fn crlf_and_entities_split_across_pushes() {
+        assert_push_equivalent("<a v=\"two\r\nwords\">x\r\ny&#13;&amp;z\rw</a>");
+    }
+
+    #[test]
+    fn comments_pis_doctype_split_across_pushes() {
+        assert_push_equivalent(
+            "<?xml version=\"1.0\"?><!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]>\
+             <a><!-- c --- comment -->t<?pi d?></a>",
+        );
+    }
+
+    #[test]
+    fn angle_bracket_inside_attribute_value_does_not_end_the_tag() {
+        assert_push_equivalent("<a v=\"x > y\"><b w='>>'/></a>");
+    }
+
+    #[test]
+    fn malformed_documents_error_identically() {
+        for doc in [
+            "<a><b></a></b>",
+            "<a></a></b>",
+            "<a><b>",
+            "hello<a/>",
+            "<a/><b/>",
+            "",
+            "<a id=1/>",
+            "<a><!-- oops</a>",
+            "<a>&bogus;</a>",
+        ] {
+            assert_push_equivalent(doc);
+        }
+    }
+
+    #[test]
+    fn needmore_until_token_completes() {
+        let mut p = StreamParser::push_mode();
+        p.push(b"<roo");
+        // StartDocument is available immediately; the half tag is not.
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::Event(_)));
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::NeedMore));
+        p.push(b"t>");
+        let ParsePoll::Event(ev) = p.poll_raw().unwrap() else {
+            panic!("expected Begin after tag completes");
+        };
+        assert_eq!(ev.name().map(|s| s.to_string()), Some("root".into()));
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::NeedMore));
+        p.push(b"</root>");
+        p.finish();
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::Event(_))); // </root>
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::Event(_))); // EndDocument
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::End));
+    }
+
+    #[test]
+    fn text_held_until_markup_arrives() {
+        // A text run is exposed only when its terminating `<` shows up,
+        // so a split entity or UTF-8 tail is never half-decoded.
+        let mut p = StreamParser::push_mode();
+        p.push(b"<a>x &am");
+        p.poll_raw().unwrap(); // StartDocument
+        p.poll_raw().unwrap(); // <a>
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::NeedMore));
+        p.push(b"p; y<");
+        assert!(matches!(p.poll_raw().unwrap(), ParsePoll::NeedMore));
+        p.push(b"/a>");
+        let ParsePoll::Event(crate::RawEvent::Text { text, .. }) = p.poll_raw().unwrap() else {
+            panic!("expected the complete text run");
+        };
+        assert_eq!(text, "x & y");
+    }
+
+    #[test]
+    fn truncated_document_errors_on_finish() {
+        let mut p = StreamParser::push_mode();
+        p.push(b"<a><b>unclosed");
+        while let ParsePoll::Event(_) = p.poll_raw().unwrap() {}
+        p.finish();
+        let err = loop {
+            match p.poll_raw() {
+                Ok(ParsePoll::Event(_)) => continue,
+                Ok(other) => panic!("expected error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, Error::UnclosedElements { .. }));
+    }
+
+    #[test]
+    fn next_raw_on_starved_push_parser_is_an_error_not_eof() {
+        let mut p = StreamParser::push_mode();
+        p.push(b"<a><b");
+        p.next_raw().unwrap(); // StartDocument
+        p.next_raw().unwrap(); // <a>
+        assert!(matches!(p.next_raw(), Err(Error::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn reset_push_reuses_parser_across_documents() {
+        let mut p = StreamParser::push_mode();
+        let doc = b"<a x=\"1\"><b>one</b></a>";
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            let mut events = Vec::new();
+            for piece in doc.chunks(2) {
+                p.push(piece);
+                while let ParsePoll::Event(ev) = p.poll_raw().unwrap() {
+                    events.push(ev.to_owned());
+                }
+            }
+            p.finish();
+            loop {
+                match p.poll_raw().unwrap() {
+                    ParsePoll::Event(ev) => events.push(ev.to_owned()),
+                    ParsePoll::End => break,
+                    ParsePoll::NeedMore => unreachable!(),
+                }
+            }
+            runs.push(events);
+            p.reset_push();
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        assert_eq!(runs[0], parse_to_events(doc).unwrap());
+    }
+
+    #[test]
+    fn reset_push_recovers_mid_document() {
+        let mut p = StreamParser::push_mode();
+        p.push(b"<a><b>half a doc");
+        while let ParsePoll::Event(_) = p.poll_raw().unwrap() {}
+        p.reset_push();
+        p.push(b"<c/>");
+        p.finish();
+        let mut names = Vec::new();
+        while let ParsePoll::Event(ev) = p.poll_raw().unwrap() {
+            if let Some(n) = ev.name() {
+                names.push(n.to_string());
+            }
+        }
+        assert_eq!(names, ["c", "c"]);
+    }
+
+    #[test]
+    fn buffered_reports_unconsumed_bytes_and_compaction_keeps_them() {
+        let mut p = StreamParser::push_mode();
+        p.push(b"<a>");
+        while let ParsePoll::Event(_) = p.poll_raw().unwrap() {}
+        assert_eq!(p.buffered(), 0);
+        p.push(b"text without markup yet");
+        assert_eq!(p.buffered(), 23);
+        // Exceed the compaction threshold with many consumed tokens; the
+        // held text must survive the buffer shifts intact.
+        let mut texts = Vec::new();
+        let mut drain = |p: &mut PushParser| loop {
+            match p.poll_raw().unwrap() {
+                ParsePoll::Event(crate::RawEvent::Text { text, .. }) => {
+                    texts.push(text.to_string())
+                }
+                ParsePoll::Event(_) => {}
+                _ => break,
+            }
+        };
+        for _ in 0..2048 {
+            p.push(b"<x/>");
+            drain(&mut p);
+        }
+        p.push(b"</a>");
+        p.finish();
+        drain(&mut p);
+        assert_eq!(texts, ["text without markup yet"]);
+    }
+}

@@ -6,10 +6,15 @@
 //! must normalize to a single `\n` — gets split across `fill_buf`
 //! refills, and asserts the event stream is identical to a
 //! whole-buffer parse.
+//!
+//! The same corpus doubles as the conformance oracle for the push API
+//! (ISSUE 5): every document is also fed through
+//! [`StreamParser::push`] in the same chunk sizes, polling between
+//! pushes, and must yield the identical event stream again.
 
 use std::io::{BufRead, Read};
 
-use xsq_xml::{parse_to_events, SaxEvent, StreamParser};
+use xsq_xml::{parse_to_events, ParsePoll, SaxEvent, StreamParser};
 
 /// A reader that yields at most `chunk` bytes per `fill_buf` call.
 struct Chunked<'a> {
@@ -50,12 +55,35 @@ fn parse_chunked(data: &[u8], chunk: usize) -> Vec<SaxEvent> {
     out
 }
 
-/// Every chunk size must produce the event stream of a whole-buffer parse.
+/// Push-feed the document in `chunk`-byte pieces, polling to
+/// exhaustion between pushes.
+fn parse_pushed(data: &[u8], chunk: usize) -> Vec<SaxEvent> {
+    let mut parser = StreamParser::push_mode();
+    let mut out = Vec::new();
+    let mut drain = |p: &mut xsq_xml::PushParser| {
+        while let ParsePoll::Event(ev) = p.poll_raw().expect("pushed parse failed") {
+            out.push(ev.to_owned());
+        }
+    };
+    for piece in data.chunks(chunk) {
+        parser.push(piece);
+        drain(&mut parser);
+    }
+    parser.finish();
+    drain(&mut parser);
+    out
+}
+
+/// Every chunk size must produce the event stream of a whole-buffer
+/// parse — through the pull parser over a starving reader *and*
+/// through the push API.
 fn assert_boundary_independent(doc: &str) {
     let whole = parse_to_events(doc.as_bytes()).unwrap();
     for chunk in [1, 3, 7] {
         let chunked = parse_chunked(doc.as_bytes(), chunk);
         assert_eq!(chunked, whole, "chunk size {chunk} diverged for {doc:?}");
+        let pushed = parse_pushed(doc.as_bytes(), chunk);
+        assert_eq!(pushed, whole, "push chunk {chunk} diverged for {doc:?}");
     }
 }
 

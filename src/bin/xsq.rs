@@ -30,22 +30,54 @@
 //!                   rewrite provably-child closures and skip provably
 //!                   empty queries
 //! xsq --dot QUERY                      print the HPDT as Graphviz
+//! xsq serve [--addr A] [--workers N]   streaming query server: framed
+//!                                      SUB/FEED protocol over TCP; runs
+//!                                      until stdin reaches EOF, then
+//!                                      drains and exits
+//! xsq connect [--addr A] [--chunk N] [--verify]
+//!             (QUERY | --queries QFILE) [FILE...]
+//!                                      replay a corpus over the wire;
+//!                                      --verify byte-compares the replies
+//!                                      against the sequential driver
 //! ```
+//!
+//! Exit codes: 0 success, 1 analysis found errors, 2 usage, 3 I/O,
+//! 4 query compile error, 5 evaluation error, 6 protocol/server error,
+//! 7 --verify mismatch.
 
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use xsq::baselines::{GalaxLike, JoostLike, SaxonLike, XmltkLike, XqEngineLike};
 use xsq::engine::{
     run_sharded_with, QueryId, QuerySet, QuerySink, ShardOptions, Sink, XPathEngine, XsqEngine,
 };
 
+/// Distinct exit codes per error class, so scripts (and CI) can tell
+/// a bad query from a dead server from an unreadable file.
+const EXIT_USAGE: u8 = 2;
+const EXIT_IO: u8 = 3;
+const EXIT_QUERY: u8 = 4;
+const EXIT_RUN: u8 = 5;
+const EXIT_PROTOCOL: u8 = 6;
+const EXIT_VERIFY: u8 = 7;
+
 struct Options {
     engine: String,
     queries: Option<String>,
     /// Worker threads for `xsq multi` (0 = one per CPU).
     shard: usize,
+    /// Bind/connect address for `serve` / `connect`.
+    addr: String,
+    /// Accept workers for `serve` (0 = one per CPU).
+    workers: usize,
+    /// FEED chunk size for `connect`.
+    chunk: usize,
+    /// Idle timeout in seconds for `serve`.
+    idle_timeout: f64,
+    /// `connect`: byte-compare replies against the sequential driver.
+    verify: bool,
     stats: bool,
     running: bool,
     quiet: bool,
@@ -65,6 +97,11 @@ fn parse_args() -> Result<Options, String> {
         engine: "xsq-f".into(),
         queries: None,
         shard: 0,
+        addr: "127.0.0.1:7878".into(),
+        workers: 0,
+        chunk: 64 * 1024,
+        idle_timeout: 30.0,
+        verify: false,
         stats: false,
         running: false,
         quiet: false,
@@ -94,6 +131,35 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--shard needs a number (0 = one per CPU)".to_string())?;
             }
+            "--addr" => {
+                o.addr = args.next().ok_or("--addr needs HOST:PORT")?;
+            }
+            "--workers" => {
+                o.workers = args
+                    .next()
+                    .ok_or("--workers needs a thread count")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number (0 = one per CPU)".to_string())?;
+            }
+            "--chunk" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--chunk needs a byte count")?
+                    .parse()
+                    .map_err(|_| "--chunk needs a positive number".to_string())?;
+                if n == 0 {
+                    return Err("--chunk needs a positive number".into());
+                }
+                o.chunk = n;
+            }
+            "--idle-timeout" => {
+                o.idle_timeout = args
+                    .next()
+                    .ok_or("--idle-timeout needs seconds")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout needs seconds (may be fractional)".to_string())?;
+            }
+            "--verify" => o.verify = true,
             "--stats" => o.stats = true,
             "--running" => o.running = true,
             "--quiet" => o.quiet = true,
@@ -210,7 +276,7 @@ fn run_query_file(path: &str, opts: &Options) -> ExitCode {
     };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
-        Err(e) => return fail(&format!("reading {path}: {e}")),
+        Err(e) => return fail_io(&format!("reading {path}: {e}")),
     };
     let queries: Vec<&str> = text
         .lines()
@@ -218,11 +284,11 @@ fn run_query_file(path: &str, opts: &Options) -> ExitCode {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .collect();
     if queries.is_empty() {
-        return fail(&format!("{path} contains no queries"));
+        return fail_query(&format!("{path} contains no queries"));
     }
     let set = match QuerySet::compile(engine, &queries) {
         Ok(s) => s,
-        Err((i, e)) => return fail(&format!("query {} ({}): {e}", i + 1, queries[i])),
+        Err((i, e)) => return fail_query(&format!("query {} ({}): {e}", i + 1, queries[i])),
     };
 
     let files: Vec<Option<String>> = if opts.positional.is_empty() {
@@ -243,11 +309,11 @@ fn run_query_file(path: &str, opts: &Options) -> ExitCode {
             None => index.run_reader(BufReader::new(std::io::stdin()), &mut sink),
             Some(p) => match std::fs::File::open(p) {
                 Ok(f) => index.run_reader(BufReader::new(f), &mut sink),
-                Err(e) => return fail(&format!("reading {p}: {e}")),
+                Err(e) => return fail_io(&format!("reading {p}: {e}")),
             },
         };
         match run {
-            Err(e) => return fail(&e.to_string()),
+            Err(e) => return fail_run(&e.to_string()),
             Ok(stats) => {
                 if opts.stats {
                     eprintln!(
@@ -286,7 +352,7 @@ fn run_multi(opts: &Options) -> ExitCode {
     let (query_text, files): (String, &[String]) = match &opts.queries {
         Some(qfile) => match std::fs::read_to_string(qfile) {
             Ok(t) => (t, rest),
-            Err(e) => return fail(&format!("reading {qfile}: {e}")),
+            Err(e) => return fail_io(&format!("reading {qfile}: {e}")),
         },
         None => match rest.split_first() {
             Some((q, files)) => (q.clone(), files),
@@ -306,13 +372,13 @@ fn run_multi(opts: &Options) -> ExitCode {
     }
     let set = match QuerySet::compile(engine, &queries) {
         Ok(s) => s,
-        Err((i, e)) => return fail(&format!("query {} ({}): {e}", i + 1, queries[i])),
+        Err((i, e)) => return fail_query(&format!("query {} ({}): {e}", i + 1, queries[i])),
     };
     let mut docs = Vec::with_capacity(files.len());
     for f in files {
         match std::fs::read(f) {
             Ok(d) => docs.push(d),
-            Err(e) => return fail(&format!("reading {f}: {e}")),
+            Err(e) => return fail_io(&format!("reading {f}: {e}")),
         }
     }
 
@@ -348,7 +414,7 @@ fn run_multi(opts: &Options) -> ExitCode {
         }
     });
     match run {
-        Err(e) => fail(&e.to_string()),
+        Err(e) => fail_run(&e.to_string()),
         Ok(workers) => {
             if opts.stats {
                 eprintln!(
@@ -376,22 +442,22 @@ fn run_multi(opts: &Options) -> ExitCode {
 fn run_analyze(query: &str, opts: &Options) -> ExitCode {
     let parsed = match xsq::xpath::parse_query(query) {
         Ok(q) => q,
-        Err(e) => return fail(&e.to_string()),
+        Err(e) => return fail_query(&e.to_string()),
     };
     let mut analysis = match xsq::engine::analyze(&parsed) {
         Ok(a) => a,
-        Err(e) => return fail(&e.to_string()),
+        Err(e) => return fail_query(&e.to_string()),
     };
     if let Some(path) = &opts.dtd {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
-            Err(e) => return fail(&format!("reading {path}: {e}")),
+            Err(e) => return fail_io(&format!("reading {path}: {e}")),
         };
         match xsq::xml::dtd::Dtd::parse(&text) {
             Ok(dtd) => analysis
                 .diagnostics
                 .extend(xsq::engine::analyze::lint_schema(&parsed, &dtd)),
-            Err(e) => return fail(&format!("parsing {path}: {e}")),
+            Err(e) => return fail_run(&format!("parsing {path}: {e}")),
         }
     }
 
@@ -525,6 +591,156 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
     }
 }
 
+/// `xsq serve [--addr A] [--workers N] [--engine E] [--idle-timeout S]`:
+/// run the streaming query server until stdin reaches EOF, then drain
+/// in-flight sessions and exit. The stdin gate is the clean-shutdown
+/// hook: interactively Ctrl-D stops the server; in scripts, holding a
+/// pipe open keeps it serving and closing the pipe shuts it down.
+fn run_serve(opts: &Options) -> ExitCode {
+    let engine = match opts.engine.as_str() {
+        "xsq-f" => XsqEngine::full(),
+        "xsq-nc" => XsqEngine::no_closure(),
+        other => return usage(&format!("serve runs on xsq-f or xsq-nc, not '{other}'")),
+    };
+    let mut sopts = xsq::server::ServeOptions::new(opts.addr.clone());
+    sopts.workers = opts.workers;
+    sopts.engine = engine;
+    sopts.idle_timeout = Duration::from_secs_f64(opts.idle_timeout.max(0.1));
+    let handle = match xsq::server::serve(sopts) {
+        Ok(h) => h,
+        Err(e) => return fail_io(&format!("binding {}: {e}", opts.addr)),
+    };
+    // The bound address goes to stdout (machine-readable: with port 0
+    // a script learns the real port here), status to stderr.
+    println!("{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# xsq serve: listening on {} (workers={}, engine={}, idle={}s); \
+         EOF on stdin shuts down",
+        handle.addr(),
+        if opts.workers == 0 {
+            "auto".to_string()
+        } else {
+            opts.workers.to_string()
+        },
+        opts.engine,
+        opts.idle_timeout,
+    );
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    eprintln!("# xsq serve: stdin closed, draining");
+    handle.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// `xsq connect [--addr A] [--chunk N] [--verify] (QUERY | --queries
+/// QFILE) [FILE...]`: subscribe the query set, replay the corpus as
+/// FEED chunks, and print replies exactly like `xsq multi --shard 1`.
+/// With `--verify`, the output is additionally byte-compared against
+/// the in-process sequential driver.
+fn run_connect(opts: &Options) -> ExitCode {
+    let engine = match opts.engine.as_str() {
+        "xsq-f" => XsqEngine::full(),
+        "xsq-nc" => XsqEngine::no_closure(),
+        other => return usage(&format!("connect runs on xsq-f or xsq-nc, not '{other}'")),
+    };
+    let rest = &opts.positional[1..];
+    let (query_text, files): (String, &[String]) = match &opts.queries {
+        Some(qfile) => match std::fs::read_to_string(qfile) {
+            Ok(t) => (t, rest),
+            Err(e) => return fail_io(&format!("reading {qfile}: {e}")),
+        },
+        None => match rest.split_first() {
+            Some((q, files)) => (q.clone(), files),
+            None => return usage("connect needs a QUERY (or --queries QFILE)"),
+        },
+    };
+    let queries: Vec<&str> = query_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if queries.is_empty() {
+        return usage("connect needs at least one query");
+    }
+    let mut docs = Vec::new();
+    if files.is_empty() {
+        match read_input(None) {
+            Ok(d) => docs.push(d),
+            Err(e) => return fail_io(&e),
+        }
+    } else {
+        for f in files {
+            match std::fs::read(f) {
+                Ok(d) => docs.push(d),
+                Err(e) => return fail_io(&format!("reading {f}: {e}")),
+            }
+        }
+    }
+
+    let copts = xsq::server::ConnectOptions {
+        chunk: opts.chunk,
+        running: opts.running,
+        want_stats: opts.stats,
+    };
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    let report = match xsq::server::run_corpus(&opts.addr, &queries, &docs, &copts, &mut out) {
+        Ok(r) => r,
+        Err(xsq::server::ClientError::Io(e)) => {
+            return fail_io(&format!("talking to {}: {e}", opts.addr))
+        }
+        Err(e) => return fail_protocol(&e.to_string()),
+    };
+    if !opts.quiet {
+        if std::io::stdout().write_all(&out).is_err() {
+            return fail_io("writing results to stdout");
+        }
+        let _ = std::io::stdout().flush();
+    }
+    if opts.stats {
+        eprintln!(
+            "# connect {}: {} docs, {} results, {} updates in {:.1} ms [{} queries] chunk={}",
+            opts.addr,
+            report.docs,
+            report.results,
+            report.updates,
+            t0.elapsed().as_secs_f64() * 1e3,
+            queries.len(),
+            opts.chunk,
+        );
+        if let Some(json) = &report.stats_json {
+            eprintln!("# stat: {json}");
+        }
+    }
+    if opts.verify {
+        let expected = match xsq::server::reference_output(engine, &queries, &docs, opts.running) {
+            Ok(t) => t,
+            Err(e) => return fail_run(&format!("reference run: {e}")),
+        };
+        if out != expected.as_bytes() {
+            eprintln!(
+                "error: server output diverged from the sequential driver \
+                 ({} vs {} bytes)",
+                out.len(),
+                expected.len()
+            );
+            return ExitCode::from(EXIT_VERIFY);
+        }
+        eprintln!(
+            "# verify: output matches the sequential driver ({} bytes)",
+            out.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     match path {
         None => {
@@ -555,7 +771,7 @@ fn main() -> ExitCode {
         for f in &opts.positional {
             let data = match read_input(Some(f)) {
                 Ok(d) => d,
-                Err(e) => return fail(&e),
+                Err(e) => return fail_io(&e),
             };
             match xsq::xml::dataset_stats(&data) {
                 Ok(s) => println!(
@@ -568,15 +784,18 @@ fn main() -> ExitCode {
                     s.max_depth,
                     s.avg_tag_length
                 ),
-                Err(e) => return fail(&format!("{f}: {e}")),
+                Err(e) => return fail_run(&format!("{f}: {e}")),
             }
         }
         return ExitCode::SUCCESS;
     }
 
-    // `xsq multi` owns --queries when present, so route it first.
-    if opts.positional.first().map(String::as_str) == Some("multi") {
-        return run_multi(&opts);
+    // Subcommands own --queries when present, so route them first.
+    match opts.positional.first().map(String::as_str) {
+        Some("multi") => return run_multi(&opts),
+        Some("serve") => return run_serve(&opts),
+        Some("connect") => return run_connect(&opts),
+        _ => {}
     }
 
     if let Some(qfile) = &opts.queries {
@@ -610,7 +829,7 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }
-            Err(e) => fail(&e.to_string()),
+            Err(e) => fail_query(&e.to_string()),
         };
     }
 
@@ -636,7 +855,7 @@ fn main() -> ExitCode {
             };
             let compiled = match engine.compile_str(&query) {
                 Ok(c) => c,
-                Err(e) => return fail(&e.to_string()),
+                Err(e) => return fail_query(&e.to_string()),
             };
             let mut sink = StdoutSink {
                 quiet: opts.quiet,
@@ -648,11 +867,11 @@ fn main() -> ExitCode {
                 None => compiled.run_reader(BufReader::new(std::io::stdin()), &mut sink),
                 Some(p) => match std::fs::File::open(p) {
                     Ok(f) => compiled.run_reader(BufReader::new(f), &mut sink),
-                    Err(e) => return fail(&format!("reading {p}: {e}")),
+                    Err(e) => return fail_io(&format!("reading {p}: {e}")),
                 },
             };
             match run {
-                Err(e) => return fail(&e.to_string()),
+                Err(e) => return fail_run(&e.to_string()),
                 Ok(stats) => {
                     if opts.stats {
                         eprintln!(
@@ -674,7 +893,7 @@ fn main() -> ExitCode {
         }
         let data = match read_input(file.as_deref()) {
             Ok(d) => d,
-            Err(e) => return fail(&e),
+            Err(e) => return fail_io(&e),
         };
         let outcome: Result<(u64, String), String> = match opts.engine.as_str() {
             // The native engines stream through a sink (results appear as
@@ -773,7 +992,7 @@ fn main() -> ExitCode {
             }
         };
         match outcome {
-            Err(e) => return fail(&e),
+            Err(e) => return fail_run(&e),
             Ok((results, mem)) => {
                 if opts.stats {
                     eprintln!(
@@ -792,9 +1011,32 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn fail(err: &str) -> ExitCode {
+/// Print `error: …` to stderr and exit with the class's code. Every
+/// failure path funnels through here — no subcommand panics or
+/// unwraps on bad input.
+fn fail_with(code: u8, err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    ExitCode::FAILURE
+    ExitCode::from(code)
+}
+
+/// Unreadable file, unwritable socket, dead connection.
+fn fail_io(err: &str) -> ExitCode {
+    fail_with(EXIT_IO, err)
+}
+
+/// A query that does not parse or compile.
+fn fail_query(err: &str) -> ExitCode {
+    fail_with(EXIT_QUERY, err)
+}
+
+/// The stream or engine failed during evaluation.
+fn fail_run(err: &str) -> ExitCode {
+    fail_with(EXIT_RUN, err)
+}
+
+/// The server (or a peer) broke the wire protocol.
+fn fail_protocol(err: &str) -> ExitCode {
+    fail_with(EXIT_PROTOCOL, err)
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -812,11 +1054,20 @@ fn usage(err: &str) -> ExitCode {
          \u{20}      xsq analyze [--json] [--dot] [--dtd FILE] QUERY\n\
          \u{20}          static analysis: verifier diagnostics, dead-state pruning,\n\
          \u{20}          buffer classes, engine auto-selection; exits nonzero on errors\n\
-         engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine"
+         \u{20}      xsq serve [--addr A] [--workers N] [--idle-timeout S]\n\
+         \u{20}          streaming query server; prints the bound address, runs\n\
+         \u{20}          until stdin reaches EOF, then drains and exits\n\
+         \u{20}      xsq connect [--addr A] [--chunk N] [--verify] \\\n\
+         \u{20}                  (QUERY | --queries QFILE) [FILE...]\n\
+         \u{20}          replay a corpus against a server; --verify byte-compares\n\
+         \u{20}          the replies with the in-process sequential driver\n\
+         engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine\n\
+         exit codes: 0 ok, 1 analysis errors, 2 usage, 3 io, 4 query,\n\
+         \u{20}           5 runtime, 6 protocol, 7 verify mismatch"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(2)
+        ExitCode::from(EXIT_USAGE)
     }
 }
