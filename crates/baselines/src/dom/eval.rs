@@ -16,12 +16,22 @@
 use std::collections::BTreeSet;
 
 use xsq_core::aggregate::Aggregator;
-use xsq_xpath::{Axis, Output, Predicate, Query};
+use xsq_xpath::value::num_compare;
+use xsq_xpath::{Axis, FnArg, NodeTest, Output, Predicate, Query, Step};
 
 use super::tree::{Document, NodeId};
 
 /// Forward set-at-a-time evaluation (Saxon-like).
 pub fn eval_stepwise(doc: &Document, query: &Query) -> Vec<String> {
+    let matched = select_nodes(doc, query);
+    apply_output(doc, &matched, &query.output)
+}
+
+/// The node set a query's location path selects — the step-at-a-time
+/// core of [`eval_stepwise`], exposed for consumers that need the nodes
+/// themselves (the DOM reference transformer matches elements, not
+/// output strings).
+pub fn select_nodes(doc: &Document, query: &Query) -> BTreeSet<NodeId> {
     // Context starts at the (virtual) document node.
     let mut ctx: BTreeSet<Option<NodeId>> = BTreeSet::new();
     ctx.insert(None);
@@ -37,20 +47,34 @@ pub fn eval_stepwise(doc: &Document, query: &Query) -> Vec<String> {
                     v
                 }
                 (Axis::Closure, Some(id)) => doc.descendant_elements(*id),
+                // Reverse axes: only the DOM (which holds the whole
+                // document) can afford them — the streaming engines
+                // reject them with a streamability diagnostic.
+                (Axis::Parent | Axis::Ancestor | Axis::PrecedingSibling, None) => Vec::new(),
+                (Axis::Parent, Some(id)) => doc.node(*id).parent.into_iter().collect(),
+                (Axis::Ancestor, Some(id)) => {
+                    let mut v = Vec::new();
+                    let mut a = doc.node(*id).parent;
+                    while let Some(p) = a {
+                        v.push(p);
+                        a = doc.node(p).parent;
+                    }
+                    v
+                }
+                (Axis::PrecedingSibling, Some(id)) => match doc.node(*id).parent {
+                    None => Vec::new(),
+                    Some(p) => doc.child_elements(p).take_while(|&s| s != *id).collect(),
+                },
             };
             for n in candidates {
-                let node = doc.node(n);
-                if step.test.matches(node.name().expect("element"))
-                    && predicate_holds(doc, n, step.predicate.as_ref())
-                {
+                if step_matches(doc, n, step) {
                     next.insert(Some(n));
                 }
             }
         }
         ctx = next;
     }
-    let matched: BTreeSet<NodeId> = ctx.into_iter().flatten().collect();
-    apply_output(doc, &matched, &query.output)
+    ctx.into_iter().flatten().collect()
 }
 
 /// Per-element backtracking evaluation (Galax-like). Deliberately naive:
@@ -71,16 +95,16 @@ pub fn eval_pathcheck(doc: &Document, query: &Query) -> Vec<String> {
 fn matches_suffix(doc: &Document, e: NodeId, query: &Query, i: usize) -> bool {
     let step = &query.steps[i];
     let node = doc.node(e);
-    if !step.test.matches(node.name().expect("element"))
-        || !predicate_holds(doc, e, step.predicate.as_ref())
-    {
+    if !step_matches(doc, e, step) {
         return false;
     }
     match (i, step.axis) {
         // First step anchors at the document node: `/tag` must be the
-        // document element, `//tag` may be anywhere.
+        // document element, `//tag` may be anywhere; reverse axes from
+        // the document node have nothing to reach.
         (0, Axis::Child) => node.parent.is_none(),
         (0, Axis::Closure) => true,
+        (0, _) => false,
         (_, Axis::Child) => node
             .parent
             .is_some_and(|p| matches_suffix(doc, p, query, i - 1)),
@@ -94,13 +118,61 @@ fn matches_suffix(doc: &Document, e: NodeId, query: &Query, i: usize) -> bool {
             }
             false
         }
+        // Reverse axes invert the relation: `e` is reached *from* a node
+        // deeper or later in the document, so the previous step must
+        // match a child / descendant / following sibling of `e`.
+        (_, Axis::Parent) => doc
+            .child_elements(e)
+            .any(|c| matches_suffix(doc, c, query, i - 1)),
+        (_, Axis::Ancestor) => doc
+            .descendant_elements(e)
+            .into_iter()
+            .any(|d| matches_suffix(doc, d, query, i - 1)),
+        (_, Axis::PrecedingSibling) => match node.parent {
+            None => false,
+            Some(p) => doc
+                .child_elements(p)
+                .skip_while(|&s| s != e)
+                .skip(1)
+                .any(|s| matches_suffix(doc, s, query, i - 1)),
+        },
     }
 }
 
-/// Does the predicate hold on element `e`? Semantics exactly match the
-/// BPDT templates: existential over children / text runs / attributes.
-pub fn predicate_holds(doc: &Document, e: NodeId, pred: Option<&Predicate>) -> bool {
-    let Some(pred) = pred else { return true };
+/// Does the element pass the step's node test *and* predicate?
+pub fn step_matches(doc: &Document, e: NodeId, step: &Step) -> bool {
+    step.test.matches(doc.node(e).name().expect("element")) && predicate_holds(doc, e, step)
+}
+
+/// `position()` and size of `e` within its matching siblings: the
+/// element children of `e`'s parent that pass `test`, in document order.
+/// The document element counts as position 1 of 1.
+fn sibling_position(doc: &Document, e: NodeId, test: &NodeTest) -> (usize, usize) {
+    match doc.node(e).parent {
+        None => (1, 1),
+        Some(p) => {
+            let (mut pos, mut count) = (0, 0);
+            for c in doc.child_elements(p) {
+                if test.matches(doc.node(c).name().expect("element")) {
+                    count += 1;
+                    if c == e {
+                        pos = count;
+                    }
+                }
+            }
+            (pos, count)
+        }
+    }
+}
+
+/// Does the step's predicate hold on element `e`? Semantics exactly match
+/// the BPDT templates and the transform matcher: existential over
+/// children / text runs / attributes, positions counted among siblings
+/// passing the step's node test.
+pub fn predicate_holds(doc: &Document, e: NodeId, step: &Step) -> bool {
+    let Some(pred) = step.predicate.as_ref() else {
+        return true;
+    };
     let node = doc.node(e);
     match pred {
         Predicate::Attr { name, cmp } => match node.attribute(name) {
@@ -124,6 +196,18 @@ pub fn predicate_holds(doc: &Document, e: NodeId, pred: Option<&Predicate>) -> b
         Predicate::ChildText { child, cmp } => doc.child_elements(e).any(|c| {
             doc.node(c).name() == Some(child.as_str()) && doc.text_runs(c).any(|(t, _)| cmp.eval(t))
         }),
+        Predicate::Position { cmp } => {
+            let (pos, _) = sibling_position(doc, e, &step.test);
+            num_compare(pos as f64, cmp.op, cmp.rhs.as_number())
+        }
+        Predicate::Last => {
+            let (pos, count) = sibling_position(doc, e, &step.test);
+            pos == count
+        }
+        Predicate::Func { arg, test } => match arg {
+            FnArg::Attr(name) => node.attribute(name).is_some_and(|v| test.eval(v)),
+            FnArg::Text => doc.text_runs(e).any(|(t, _)| test.eval(t)),
+        },
     }
 }
 

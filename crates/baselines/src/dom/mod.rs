@@ -2,8 +2,10 @@
 
 pub mod engines;
 pub mod eval;
+pub mod transform;
 pub mod tree;
 
 pub use engines::{GalaxLike, SaxonLike};
-pub use eval::{apply_output, eval_pathcheck, eval_stepwise, predicate_holds};
+pub use eval::{apply_output, eval_pathcheck, eval_stepwise, predicate_holds, select_nodes};
+pub use transform::{transform_bytes, transform_document};
 pub use tree::{Document, Node, NodeId, NodeKind};

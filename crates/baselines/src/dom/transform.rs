@@ -1,0 +1,168 @@
+//! DOM-based reference transformer — the correctness oracle for the
+//! streaming transformation engine (`xsq-transform`).
+//!
+//! Materializes the whole document, selects each rule's match set with
+//! the stepwise DOM evaluator, then serializes the tree top-down applying
+//! the first matching rule per element. This is deliberately the naive
+//! two-pass formulation: no verdict deferral, no buffering — just the
+//! specification, against which the one-pass streaming engine must be
+//! byte-identical.
+//!
+//! The serialization policy (attribute quoting, `<a></a>` never
+//! self-closed, entity escaping) and the attribute-operation semantics
+//! ([`RuleAction::apply_attrs`]) are shared with the streaming engine so
+//! that every divergence a differential test finds is a real semantic
+//! bug, not a formatting artifact.
+
+use std::collections::BTreeSet;
+
+use xsq_xml::entities::{escape_attr_into, escape_text_into};
+use xsq_xpath::{RuleAction, RuleSet, Shape};
+
+use super::eval::select_nodes;
+use super::tree::{Document, NodeId, NodeKind};
+
+/// Transform a parsed document under `rules`, returning the output XML.
+pub fn transform_document(doc: &Document, rules: &RuleSet) -> String {
+    // Match sets, one per rule; first-match-wins resolves per element.
+    let sets: Vec<BTreeSet<NodeId>> = rules
+        .rules
+        .iter()
+        .map(|r| select_nodes(doc, &r.pattern))
+        .collect();
+    let mut out = String::new();
+    render(doc, doc.root, &sets, rules, &mut out);
+    out
+}
+
+/// Parse and transform a serialized document.
+pub fn transform_bytes(input: &[u8], rules: &RuleSet) -> Result<String, xsq_xml::Error> {
+    let doc = Document::parse(input)?;
+    Ok(transform_document(&doc, rules))
+}
+
+fn render(
+    doc: &Document,
+    id: NodeId,
+    sets: &[BTreeSet<NodeId>],
+    rules: &RuleSet,
+    out: &mut String,
+) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => escape_text_into(t, out),
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
+            let action: Option<&RuleAction> = sets
+                .iter()
+                .position(|s| s.contains(&id))
+                .map(|i| &rules.rules[i].action);
+            // A dropped subtree vanishes wholesale; rules matching inside
+            // it never fire (the streaming engine suppresses them too).
+            if matches!(action.map(|a| &a.shape), Some(Shape::Drop)) {
+                return;
+            }
+            let emit_name: &str = match action.map(|a| &a.shape) {
+                Some(Shape::Rename(n)) => n,
+                _ => name,
+            };
+            let wrapper: Option<&str> = match action.map(|a| &a.shape) {
+                Some(Shape::Wrap(w)) => Some(w),
+                _ => None,
+            };
+            let pairs: Vec<(String, String)> = attributes
+                .iter()
+                .map(|a| (a.name.as_str().to_string(), a.value.clone()))
+                .collect();
+            let pairs = match action {
+                Some(a) if !a.attr_ops.is_empty() => a.apply_attrs(&pairs),
+                _ => pairs,
+            };
+            if let Some(w) = wrapper {
+                out.push('<');
+                out.push_str(w);
+                out.push('>');
+            }
+            out.push('<');
+            out.push_str(emit_name);
+            for (n, v) in &pairs {
+                out.push(' ');
+                out.push_str(n);
+                out.push_str("=\"");
+                escape_attr_into(v, out);
+                out.push('"');
+            }
+            out.push('>');
+            for &c in children {
+                render(doc, c, sets, rules, out);
+            }
+            out.push_str("</");
+            out.push_str(emit_name);
+            out.push('>');
+            if let Some(w) = wrapper {
+                out.push_str("</");
+                out.push_str(w);
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rules: &str, doc: &str) -> String {
+        let rules = RuleSet::parse(rules).unwrap();
+        transform_bytes(doc.as_bytes(), &rules).unwrap()
+    }
+
+    #[test]
+    fn identity_without_matches() {
+        assert_eq!(
+            run("/nope => drop", "<a x=\"1\"><b>t &amp; u</b></a>"),
+            "<a x=\"1\"><b>t &amp; u</b></a>"
+        );
+    }
+
+    #[test]
+    fn drop_suppresses_nested_matches() {
+        let out = run("//b => drop\n//c => wrap(w)", "<a><b><c/></b><c/></a>");
+        assert_eq!(out, "<a><w><c></c></w></a>");
+    }
+
+    #[test]
+    fn rename_wrap_and_attr_ops() {
+        let out = run(
+            "//b => rename(x) -@old\n//c => wrap(w) +@seen=\"1\"",
+            "<a><b old=\"v\" keep=\"k\">t</b><c/></a>",
+        );
+        assert_eq!(out, "<a><x keep=\"k\">t</x><w><c seen=\"1\"></c></w></a>");
+    }
+
+    #[test]
+    fn first_match_wins_in_file_order() {
+        let out = run(
+            "//b[@keep] => copy\n//b => drop",
+            "<a><b keep=\"1\">x</b><b>y</b></a>",
+        );
+        assert_eq!(out, "<a><b keep=\"1\">x</b></a>");
+    }
+
+    #[test]
+    fn positional_predicates_select_by_sibling_index() {
+        let out = run(
+            "/a/b[2] => rename(second)",
+            "<a><b>1</b><b>2</b><b>3</b></a>",
+        );
+        assert_eq!(out, "<a><b>1</b><second>2</second><b>3</b></a>");
+    }
+
+    #[test]
+    fn last_predicate_selects_final_sibling() {
+        let out = run("/a/b[last()] => drop", "<a><b>1</b><b>2</b><c/></a>");
+        assert_eq!(out, "<a><b>1</b><c></c></a>");
+    }
+}

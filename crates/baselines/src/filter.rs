@@ -26,6 +26,11 @@ fn path_symbols(query: &Query) -> Result<Vec<(Option<String>, Axis)>, Unsupporte
             "filtering systems match structure only (no predicates)".into(),
         ));
     }
+    if query.has_reverse_axis() {
+        return Err(Unsupported(
+            "filtering systems match forward paths only (no reverse axes)".into(),
+        ));
+    }
     Ok(query
         .steps
         .iter()

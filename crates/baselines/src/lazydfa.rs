@@ -41,6 +41,11 @@ impl LazyDfa {
         if query.steps.len() > 62 {
             return Err(Unsupported("paths longer than 62 steps".into()));
         }
+        if query.has_reverse_axis() {
+            return Err(Unsupported(
+                "XMLTK evaluates forward paths only (no reverse axes)".into(),
+            ));
+        }
         let tests = query
             .steps
             .iter()

@@ -90,6 +90,7 @@ impl<'q> NaiveRun<'q> {
                 match step.axis {
                     Axis::Child => *depth == 1,
                     Axis::Closure => true,
+                    _ => false, // reverse axes are rejected at run entry
                 }
             } else {
                 match step.axis {
@@ -101,6 +102,7 @@ impl<'q> NaiveRun<'q> {
                         .stack
                         .iter()
                         .any(|f| f.matched_steps.contains(&(i - 1))),
+                    _ => false, // reverse axes are rejected at run entry
                 }
             };
             if !structurally {
@@ -228,6 +230,7 @@ impl<'q> NaiveRun<'q> {
         let parents: Vec<usize> = match self.query.steps[s].axis {
             Axis::Child => fi.checked_sub(1).into_iter().collect(),
             Axis::Closure => (0..fi).collect(),
+            _ => Vec::new(), // reverse axes are rejected at run entry
         };
         for p in parents {
             for mut chain in self.collect_chains(p, s - 1) {
@@ -317,6 +320,11 @@ impl NaiveFlags {
             return Err(Box::new(Unsupported(
                 "naive baseline supports text() output only".into(),
             )));
+        }
+        if let Some(feature) = q.extended_feature() {
+            return Err(Box::new(Unsupported(format!(
+                "naive baseline implements the Fig. 3 subset only (query uses {feature})"
+            ))));
         }
         let mut run = NaiveRun::new(&q);
         let mut parser = StreamParser::new(document);

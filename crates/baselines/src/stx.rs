@@ -73,6 +73,7 @@ impl<'q> StxRun<'q> {
         match self.query.steps[step].axis {
             Axis::Child => frame_idx > 0 && self.chain_true(frame_idx - 1, step - 1),
             Axis::Closure => (0..frame_idx).any(|j| self.chain_true(j, step - 1)),
+            _ => false, // reverse axes are rejected at run entry
         }
     }
 
@@ -91,6 +92,7 @@ impl<'q> StxRun<'q> {
                 match step.axis {
                     Axis::Child => depth == 1,
                     Axis::Closure => true,
+                    _ => false, // reverse axes are rejected at run entry
                 }
             } else {
                 match step.axis {
@@ -99,6 +101,7 @@ impl<'q> StxRun<'q> {
                         .last()
                         .is_some_and(|p| p.matched[i - 1].is_some()),
                     Axis::Closure => self.stack.iter().any(|f| f.matched[i - 1].is_some()),
+                    _ => false, // reverse axes are rejected at run entry
                 }
             };
             if !structurally {
@@ -273,6 +276,11 @@ impl XPathEngine for JoostLike {
             return Err(Box::new(xsq_core::report::Unsupported(
                 "STX stand-in supports count() and sum() only".into(),
             )));
+        }
+        if let Some(feature) = q.extended_feature() {
+            return Err(Box::new(xsq_core::report::Unsupported(format!(
+                "STX stand-in implements the Fig. 3 subset only (query uses {feature})"
+            ))));
         }
         let compile = t0.elapsed();
         let t1 = Instant::now();

@@ -94,14 +94,14 @@ impl IndexedDocument {
     fn verify(&self, e: NodeId, query: &Query, i: usize) -> bool {
         let step = &query.steps[i];
         let node = self.doc.node(e);
-        if !step.test.matches(node.name().expect("element"))
-            || !predicate_holds(&self.doc, e, step.predicate.as_ref())
+        if !step.test.matches(node.name().expect("element")) || !predicate_holds(&self.doc, e, step)
         {
             return false;
         }
         match (i, step.axis) {
             (0, Axis::Child) => node.parent.is_none(),
             (0, Axis::Closure) => true,
+            (_, Axis::Parent | Axis::Ancestor | Axis::PrecedingSibling) => false,
             (_, Axis::Child) => node.parent.is_some_and(|p| self.verify(p, query, i - 1)),
             (_, Axis::Closure) => {
                 let mut a = node.parent;

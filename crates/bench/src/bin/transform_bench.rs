@@ -1,0 +1,198 @@
+//! Transformation-engine bench: one-pass streaming rewriter vs the
+//! two-pass DOM reference.
+//!
+//! For each dataset × rule-set pair, both engines transform the same
+//! document. Correctness is **gated**: the streaming output must be
+//! byte-identical to the DOM oracle (and to itself under 4 KB chunked
+//! pushes) or the bench aborts. Throughput is **recorded, not
+//! asserted** — the one-pass engine is expected to win on wall clock
+//! and, structurally, on memory (it buffers only undecided regions;
+//! the DOM holds the whole tree), but the JSON reports whatever the
+//! machine measured.
+//!
+//! Writes `BENCH_transform.json` at the repo root (override with the
+//! first CLI argument; second argument scales document size in bytes).
+//! Run with `cargo run --release -p xsq-bench --bin transform-bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xsq_baselines::dom::transform::transform_bytes;
+use xsq_datagen::{dblp, shake, xmark};
+use xsq_transform::Transformer;
+use xsq_xpath::RuleSet;
+
+struct Workload {
+    name: &'static str,
+    rules: &'static str,
+    doc: String,
+}
+
+struct Row {
+    name: &'static str,
+    bytes: usize,
+    out_bytes: usize,
+    elements: u64,
+    matched: u64,
+    deferred: u64,
+    peak_buffered: usize,
+    dom_estimated_bytes: u64,
+    stream_mb_per_sec: f64,
+    dom_mb_per_sec: f64,
+    speedup: f64,
+}
+
+fn measure(w: &Workload) -> Row {
+    const REPS: usize = 7;
+    let t = Transformer::compile(w.rules).expect("bench rules compile");
+    let rules = RuleSet::parse(w.rules).expect("bench rules parse");
+    let doc = w.doc.as_bytes();
+
+    // Correctness gate: stream == DOM oracle, and chunked == whole.
+    let stream = t.transform(doc).expect("stream transform");
+    let dom = transform_bytes(doc, &rules).expect("dom transform");
+    assert_eq!(
+        stream.xml, dom,
+        "stream/DOM divergence on {} — bench aborted",
+        w.name
+    );
+    let mut session = t.session();
+    let mut chunked = String::new();
+    for piece in doc.chunks(4096) {
+        chunked.push_str(&session.push(piece).expect("push"));
+    }
+    let tail = session.finish().expect("finish");
+    chunked.push_str(&tail.xml);
+    assert_eq!(chunked, stream.xml, "chunked divergence on {}", w.name);
+    let dom_estimated_bytes = xsq_baselines::dom::Document::parse(doc)
+        .expect("document parses")
+        .estimated_bytes;
+
+    // Interleave timed reps; keep each engine's least-disturbed run.
+    let mut stream_secs = f64::INFINITY;
+    let mut dom_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = t.transform(doc).expect("stream transform");
+        stream_secs = stream_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(r.xml.len(), stream.xml.len());
+        let t0 = Instant::now();
+        let r = transform_bytes(doc, &rules).expect("dom transform");
+        dom_secs = dom_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(r.len(), dom.len());
+    }
+
+    let mb = doc.len() as f64 / (1024.0 * 1024.0);
+    Row {
+        name: w.name,
+        bytes: doc.len(),
+        out_bytes: stream.xml.len(),
+        elements: stream.stats.elements,
+        matched: stream.stats.matched,
+        deferred: stream.stats.deferred,
+        peak_buffered: stream.stats.peak_buffered,
+        dom_estimated_bytes,
+        stream_mb_per_sec: mb / stream_secs,
+        dom_mb_per_sec: mb / dom_secs,
+        speedup: dom_secs / stream_secs,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transform.json").to_string()
+    });
+    let size: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("size in bytes"))
+        .unwrap_or(1 << 22);
+    const SEED: u64 = 2003;
+
+    let workloads = [
+        // Immediate verdicts only: the streaming engine never buffers.
+        Workload {
+            name: "dblp-immediate",
+            rules: "//author => rename(who)\n//url => drop",
+            doc: dblp::generate(SEED, size),
+        },
+        // Deferred child predicates: verdicts wait for evidence.
+        Workload {
+            name: "dblp-deferred",
+            rules: "//inproceedings[author] => wrap(talk)\n\
+                    //article[year=2002] => rename(recent)",
+            doc: dblp::generate(SEED, size),
+        },
+        // Recursive structure + closure patterns.
+        Workload {
+            name: "xmark-recursive",
+            rules: "//parlist//text => rename(t)\n//bidder => drop",
+            doc: xmark::generate(SEED, size),
+        },
+        // Text-heavy with function predicates.
+        Workload {
+            name: "shake-functions",
+            rules: "//LINE[contains(text(),the)] => wrap(hit)",
+            doc: shake::generate(SEED, size),
+        },
+    ];
+
+    println!(
+        "{:>16} {:>9} {:>9} {:>8} {:>9} {:>11} {:>10} {:>10} {:>8}",
+        "workload",
+        "bytes",
+        "elements",
+        "matched",
+        "deferred",
+        "peak_buf",
+        "strm MB/s",
+        "dom MB/s",
+        "speedup"
+    );
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let r = measure(w);
+        println!(
+            "{:>16} {:>9} {:>9} {:>8} {:>9} {:>11} {:>10.1} {:>10.1} {:>7.2}x",
+            r.name,
+            r.bytes,
+            r.elements,
+            r.matched,
+            r.deferred,
+            r.peak_buffered,
+            r.stream_mb_per_sec,
+            r.dom_mb_per_sec,
+            r.speedup
+        );
+        rows.push(r);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"transform_stream_vs_dom\",\n");
+    let _ = writeln!(json, "  \"doc_bytes\": {size},");
+    json.push_str("  \"identity\": \"stream output byte-identical to DOM reference (gated)\",\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"bytes\": {}, \"out_bytes\": {}, \
+             \"elements\": {}, \"matched\": {}, \"deferred\": {}, \
+             \"peak_buffered\": {}, \"dom_estimated_bytes\": {}, \
+             \"stream_mb_per_sec\": {:.2}, \"dom_mb_per_sec\": {:.2}, \
+             \"speedup\": {:.2}}}",
+            r.name,
+            r.bytes,
+            r.out_bytes,
+            r.elements,
+            r.matched,
+            r.deferred,
+            r.peak_buffered,
+            r.dom_estimated_bytes,
+            r.stream_mb_per_sec,
+            r.dom_mb_per_sec,
+            r.speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_transform.json");
+    println!("\nwrote {out_path}");
+}

@@ -31,7 +31,7 @@ pub use buffers::{analyze_buffers, BufferClass, BufferInfo, BufferPlan};
 pub use prune::{prune, PruneStats};
 pub use verify::verify;
 
-use xsq_xpath::{CmpOp, Comparison, Predicate, Query};
+use xsq_xpath::{streamability, CmpOp, Comparison, FnTest, IssueKind, Predicate, Query};
 
 use crate::arcs::{ArcLabel, StateId};
 use crate::build::{build_hpdt, Hpdt};
@@ -189,6 +189,10 @@ pub fn lint_query(query: &Query) -> Vec<Diagnostic> {
             | Some(Predicate::Text { cmp: Some(c) })
             | Some(Predicate::ChildAttr { cmp: Some(c), .. })
             | Some(Predicate::ChildText { cmp: c, .. }) => c,
+            Some(Predicate::Func {
+                test: FnTest::StringLength(c) | FnTest::Number(c),
+                ..
+            }) => c,
             _ => continue,
         };
         if comparison_unsatisfiable(cmp) {
@@ -208,6 +212,31 @@ pub fn lint_query(query: &Query) -> Vec<Diagnostic> {
             }
             out.push(d);
         }
+    }
+    out
+}
+
+/// Streamability lints: surface features the query uses that the HPDT
+/// selection engines cannot evaluate in one forward pass. Reverse axes
+/// and `position()`/`last()` under `//` are errors (no engine in this
+/// workspace streams them); `position()`/`last()` on child steps are
+/// informational — the transform matcher (`xsq transform`) handles them,
+/// the selection engines do not. The mapping is pure query analysis, so
+/// it runs (and the CLI reports it) even when `build_hpdt` would refuse
+/// the query — diagnostics instead of a panic or a bare error string.
+pub fn lint_streamability(query: &Query) -> Vec<Diagnostic> {
+    let report = streamability(query);
+    let mut out = Vec::new();
+    for issue in &report.issues {
+        let mut d = match issue.kind {
+            IssueKind::NonStreamable => Diagnostic::error("non-streamable", issue.message.clone()),
+            IssueKind::TransformOnly => Diagnostic::info("transform-only", issue.message.clone()),
+        }
+        .at_step(issue.step + 1);
+        if !issue.span.is_empty() {
+            d.message.push_str(&format!(" (at {})", issue.span));
+        }
+        out.push(d);
     }
     out
 }
@@ -283,6 +312,7 @@ pub struct Analysis {
 pub fn analyze(query: &Query) -> Result<Analysis, CompileError> {
     let original = build_hpdt(query)?;
     let mut diagnostics = verify(&original);
+    diagnostics.extend(lint_streamability(query));
     diagnostics.extend(lint_query(query));
     let (pruned, stats) = prune(&original);
     let proven_deterministic = prove_deterministic(&pruned);
@@ -342,6 +372,57 @@ mod tests {
             let parsed = parse_query(q).unwrap();
             let a = analyze(&parsed).unwrap();
             assert!(!has_errors(&a.diagnostics), "{q}: {:?}", a.diagnostics);
+        }
+    }
+
+    #[test]
+    fn function_predicate_comparisons_are_linted() {
+        let q = parse_query("/a[string-length(text())<abc]/b/text()").unwrap();
+        let lints = lint_query(&q);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "unsatisfiable-predicate");
+
+        let q = parse_query("/a[number(@price)<10]/b/text()").unwrap();
+        assert!(lint_query(&q).is_empty());
+    }
+
+    #[test]
+    fn reverse_axes_lint_as_errors() {
+        let q = parse_query("/a/b/parent::a/text()").unwrap();
+        let lints = lint_streamability(&q);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "non-streamable");
+        assert_eq!(lints[0].step, Some(3));
+        assert!(has_errors(&lints));
+        // The span of the offending step is echoed into the message.
+        assert!(lints[0].message.contains("(at "), "{}", lints[0].message);
+    }
+
+    #[test]
+    fn child_position_lints_as_transform_only_info() {
+        let q = parse_query("/a/b[2]/text()").unwrap();
+        let lints = lint_streamability(&q);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "transform-only");
+        assert!(!has_errors(&lints));
+
+        let q = parse_query("//a/b[last()]/text()").unwrap();
+        // last() under a child step is transform-only; fine as info.
+        assert!(!has_errors(&lint_streamability(&q)));
+
+        let q = parse_query("//b[last()]/text()").unwrap();
+        assert!(has_errors(&lint_streamability(&q)));
+    }
+
+    #[test]
+    fn streamable_queries_have_no_streamability_lints() {
+        for q in [
+            "/a/b/text()",
+            "//pub[year>2000]//name/text()",
+            "/a[contains(text(),x)]/b/text()",
+        ] {
+            let parsed = parse_query(q).unwrap();
+            assert!(lint_streamability(&parsed).is_empty(), "spurious: {q}");
         }
     }
 

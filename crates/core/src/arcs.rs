@@ -9,7 +9,7 @@
 //! strictly below the current anchor (used for whole-element output).
 
 use xsq_xml::{RawEvent, Sym};
-use xsq_xpath::Comparison;
+use xsq_xpath::{Comparison, FnTest};
 
 use crate::depth_vector::DepthVector;
 use crate::ids::BpdtId;
@@ -99,6 +99,12 @@ pub enum Guard {
     /// On a text event: the content satisfies the comparison (`None`
     /// means any text, for bare `[text()]`).
     Text { cmp: Option<Comparison> },
+    /// On a begin event: the named attribute exists and satisfies a
+    /// function test (`contains`, `starts-with`, …). Category-1 timing.
+    AttrFn { name: Sym, test: FnTest },
+    /// On a text event: the content satisfies a function test.
+    /// Category-2 timing.
+    TextFn { test: FnTest },
 }
 
 /// Where a freshly produced result value is routed (the disposition is
@@ -218,6 +224,14 @@ impl Arc {
             },
             Some(Guard::Text { cmp }) => match event {
                 RawEvent::Text { text, .. } => cmp.as_ref().is_none_or(|c| c.eval(text)),
+                _ => false,
+            },
+            Some(Guard::AttrFn { name, test }) => match event.attribute_sym(*name) {
+                None => false,
+                Some(v) => test.eval(v),
+            },
+            Some(Guard::TextFn { test }) => match event {
+                RawEvent::Text { text, .. } => test.eval(text),
                 _ => false,
             },
         }

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use xsq_xml::Sym;
 use xsq_xpath::classify::{classify, StepCategory};
-use xsq_xpath::{AggFunc, Axis, NodeTest, Output, Predicate, Query, Step};
+use xsq_xpath::{AggFunc, Axis, FnArg, NodeTest, Output, Predicate, Query, Step};
 
 use crate::arcs::{
     Action, Arc, ArcLabel, Disposition, Guard, NamePat, StateId, StateInfo, StateRole, ValueSource,
@@ -288,6 +288,16 @@ impl Builder {
         leaf_specs: &[(u32, Output)],
     ) -> Result<BuiltBpdt, CompileError> {
         let tag = name_pat(&step.test);
+        if !step.axis.is_forward() {
+            return Err(CompileError::Unsupported {
+                feature: format!(
+                    "reverse axis `{}` (step `{step}`): a single forward pass \
+                     cannot look backward in the document",
+                    step.axis.prefix()
+                ),
+                engine: "hpdt".into(),
+            });
+        }
         let closure = step.axis == Axis::Closure;
         let category = classify(step);
 
@@ -330,13 +340,37 @@ impl Builder {
                     true_state: t,
                 }
             }
-            StepCategory::AttrOfSelf => {
-                let Some(Predicate::Attr { name, cmp }) = &step.predicate else {
-                    unreachable!("classified AttrOfSelf");
+            StepCategory::PositionOfSelf | StepCategory::LastOfSelf => {
+                // Streamable via sibling counters / parent-end hold-back,
+                // which only the transformation engine implements; the
+                // HPDT machinery has no per-parent counter state.
+                let what = if category == StepCategory::LastOfSelf {
+                    "last()"
+                } else {
+                    "position()"
                 };
-                let guard = Guard::Attr {
-                    name: Sym::intern(name),
-                    cmp: cmp.clone(),
+                return Err(CompileError::Unsupported {
+                    feature: format!(
+                        "`{what}` (step `{step}`): supported in transform match \
+                         patterns (`xsq transform`), not by the HPDT selection engine"
+                    ),
+                    engine: "hpdt".into(),
+                });
+            }
+            StepCategory::AttrOfSelf | StepCategory::FnAttrOfSelf => {
+                let guard = match &step.predicate {
+                    Some(Predicate::Attr { name, cmp }) => Guard::Attr {
+                        name: Sym::intern(name),
+                        cmp: cmp.clone(),
+                    },
+                    Some(Predicate::Func {
+                        arg: FnArg::Attr(name),
+                        test,
+                    }) => Guard::AttrFn {
+                        name: Sym::intern(name),
+                        test: test.clone(),
+                    },
+                    _ => unreachable!("classified attr-of-self category"),
                 };
                 let t = self.add_state(id, StateRole::True)?;
                 self.add_arc(
@@ -353,9 +387,14 @@ impl Builder {
                     true_state: t,
                 }
             }
-            StepCategory::TextOfSelf => {
-                let Some(Predicate::Text { cmp }) = &step.predicate else {
-                    unreachable!("classified TextOfSelf");
+            StepCategory::TextOfSelf | StepCategory::FnTextOfSelf => {
+                let guard = match &step.predicate {
+                    Some(Predicate::Text { cmp }) => Guard::Text { cmp: cmp.clone() },
+                    Some(Predicate::Func {
+                        arg: FnArg::Text,
+                        test,
+                    }) => Guard::TextFn { test: test.clone() },
+                    _ => unreachable!("classified text-of-self category"),
                 };
                 let na = self.add_state(id, StateRole::Na)?;
                 let t = self.add_state(id, StateRole::True)?;
@@ -371,7 +410,7 @@ impl Builder {
                 self.add_arc(
                     na,
                     ArcLabel::TextSelf(tag),
-                    Some(Guard::Text { cmp: cmp.clone() }),
+                    Some(guard),
                     t,
                     id,
                     vec![resolution.clone()],

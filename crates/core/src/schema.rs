@@ -56,6 +56,11 @@ pub fn analyze(query: &Query, dtd: &Dtd, roots: &BTreeSet<String>) -> SchemaAnal
     let mut context: Option<BTreeSet<String>> = None;
     for (i, step) in query.steps.iter().enumerate() {
         let candidates: BTreeSet<String> = match (&context, step.axis) {
+            // Reverse axes never stream; the schema analyzer stays
+            // conservative and keeps every declared element a candidate.
+            (_, Axis::Parent | Axis::Ancestor | Axis::PrecedingSibling) => {
+                dtd.elements().map(str::to_string).collect()
+            }
             (None, Axis::Child) => roots.clone(),
             (None, Axis::Closure) => {
                 let mut all: BTreeSet<String> = roots.clone();

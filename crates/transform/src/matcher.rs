@@ -1,0 +1,707 @@
+//! The streaming pattern matcher: which rule applies to each element?
+//!
+//! An NFA over the event stream, in the spirit of the HPDT's
+//! configuration sets (§3.3 of the paper) but specialized for *per-element
+//! decisions* instead of buffered item selection: every element must be
+//! assigned a verdict — matched by rule `r`, or matched by no rule — and
+//! the verdict must be delivered as early as the stream permits, because
+//! the rewriter buffers output until it arrives.
+//!
+//! Each open element carries a *frontier* of partial-match states
+//! `(rule, next_step, conds)`: the pattern's steps `0..next_step` matched
+//! along the path down to this element, contingent on the condition set
+//! `conds` — deferred predicate instances whose truth the stream has not
+//! yet revealed. This mirrors the BPDT timing table of §3.2:
+//!
+//! * category 1 (`[@attr…]`), `position()`, and attribute functions are
+//!   decided at the begin event itself — no condition is created;
+//! * categories 2/5 (`[text()…]`, `[child op v]`) and text functions wait
+//!   for a text event (true) or the owner's end event (false);
+//! * categories 3/4 (`[child]`, `[child@attr…]`) wait for a child begin
+//!   (true) or the owner's end event (false);
+//! * `last()` inverts the timing: *false* at a later matching sibling's
+//!   begin, *true* at the parent's end — the only condition owned by the
+//!   candidate's parent rather than the step's own element.
+//!
+//! When a pattern completes at an element, the element gets a *candidate*
+//! `(rule, conds)`. The element matches rule `r` iff any of `r`'s
+//! candidates has all conditions true (OR across derivations, AND within
+//! one). Rules apply first-match-wins in file order, so the verdict for
+//! an element is the lowest-numbered matching rule — which may stay
+//! undecided while an earlier rule's conditions are pending even if a
+//! later rule already matched.
+
+use std::collections::HashMap;
+
+use xsq_xml::{Attribute, Sym};
+use xsq_xpath::{Comparison, FnArg, FnTest, NodeTest, Predicate, RuleSet};
+
+/// Index of a condition in the matcher's arena.
+type CondId = u32;
+
+/// Identifier handed to the rewriter for an element whose verdict is
+/// still open; the eventual [`Resolution`] carries it back.
+pub type PendingId = u32;
+
+/// The matcher's verdict for one element, delivered at its begin event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchDecision {
+    /// Verdict known now: `Some(rule)` or `None` for "no rule matches"
+    /// (the identity action).
+    Decided(Option<usize>),
+    /// Verdict depends on events not yet seen; a [`Resolution`] with this
+    /// id will follow, at the latest when the element's last open
+    /// ancestor ends.
+    Pending(PendingId),
+}
+
+/// A deferred verdict coming in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    pub pending: PendingId,
+    /// The matching rule, or `None` for "no rule matches".
+    pub rule: Option<usize>,
+}
+
+/// How a text-owned condition tests a text run.
+#[derive(Debug, Clone)]
+enum TextTest {
+    /// `[text()]` — any text run at all.
+    Exists,
+    /// `[text() op v]`.
+    Cmp(Comparison),
+    /// `contains(text(),v)` etc.
+    Fn(FnTest),
+}
+
+impl TextTest {
+    fn eval(&self, text: &str) -> bool {
+        match self {
+            TextTest::Exists => true,
+            TextTest::Cmp(c) => c.eval(text),
+            TextTest::Fn(f) => f.eval(text),
+        }
+    }
+}
+
+/// A condition watching child begin events of its owner.
+#[derive(Debug, Clone)]
+struct ChildCond {
+    cond: CondId,
+    child: Sym,
+    /// `[child]` when `None`; `[child@attr…]` when `Some`.
+    attr: Option<(Sym, Option<Comparison>)>,
+}
+
+/// A condition watching text events of matching child elements.
+#[derive(Debug, Clone)]
+struct ChildTextCond {
+    cond: CondId,
+    child: Sym,
+    cmp: Comparison,
+}
+
+/// A `last()` condition: owned by the candidate's parent; falsified by a
+/// later sibling begin passing `test`, confirmed at the owner's end.
+#[derive(Debug, Clone)]
+struct LastCond {
+    cond: CondId,
+    test: NodeTest,
+}
+
+/// One partial-match state: pattern steps `0..step` of `rule` matched on
+/// the path to the owning element, contingent on `conds`.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    rule: u32,
+    step: u32,
+    conds: Vec<CondId>,
+}
+
+/// One completed pattern at an element.
+#[derive(Debug, Clone)]
+struct Candidate {
+    rule: u32,
+    conds: Vec<CondId>,
+}
+
+/// An element whose verdict is awaiting condition resolutions.
+#[derive(Debug)]
+struct PendingElem {
+    candidates: Vec<Candidate>,
+}
+
+/// Per-open-element matcher bookkeeping.
+#[derive(Debug, Default)]
+struct Frame {
+    /// States whose next step is matched against this element's children
+    /// (or, for closure steps, any descendant).
+    states: Vec<State>,
+    /// Conditions watching this element's own text runs.
+    text_conds: Vec<(CondId, TextTest)>,
+    /// Conditions watching this element's child begin events.
+    child_conds: Vec<ChildCond>,
+    /// Conditions watching text events of this element's children.
+    child_text_conds: Vec<ChildTextCond>,
+    /// `last()` conditions owned by this element as the candidates'
+    /// parent.
+    last_conds: Vec<LastCond>,
+    /// Element children seen so far, by tag — the `position()` counters.
+    child_counts: HashMap<Sym, u32>,
+    /// Total element children seen so far (wildcard positions).
+    total_children: u32,
+}
+
+/// The streaming matcher. Feed it the begin/text/end events of one
+/// document; it returns verdicts and resolutions.
+pub struct Matcher<'r> {
+    rules: &'r RuleSet,
+    /// `stack[0]` is the virtual document frame; elements above it.
+    stack: Vec<Frame>,
+    /// Condition values; `None` while pending.
+    conds: Vec<Option<bool>>,
+    /// Count of unresolved conditions (tracked incrementally — the arena
+    /// is append-only, so recounting it per event would be quadratic).
+    live_conds: usize,
+    /// Pending elements whose verdict depends on each condition.
+    dependents: HashMap<CondId, Vec<PendingId>>,
+    pending: HashMap<PendingId, PendingElem>,
+    next_pending: PendingId,
+    /// Peak live condition count, for the stats report.
+    pub peak_conds: usize,
+}
+
+impl<'r> Matcher<'r> {
+    pub fn new(rules: &'r RuleSet) -> Self {
+        let mut doc = Frame::default();
+        for (r, _) in rules.rules.iter().enumerate() {
+            doc.states.push(State {
+                rule: r as u32,
+                step: 0,
+                conds: Vec::new(),
+            });
+        }
+        Matcher {
+            rules,
+            stack: vec![doc],
+            conds: Vec::new(),
+            live_conds: 0,
+            dependents: HashMap::new(),
+            pending: HashMap::new(),
+            next_pending: 0,
+            peak_conds: 0,
+        }
+    }
+
+    fn new_cond(&mut self) -> CondId {
+        let id = self.conds.len() as CondId;
+        self.conds.push(None);
+        self.live_conds += 1;
+        self.peak_conds = self.peak_conds.max(self.live_conds);
+        id
+    }
+
+    /// Process a begin event. Returns the verdict for the new element and
+    /// any resolutions of earlier pending elements this event triggered
+    /// (child-condition confirmations, `last()` falsifications).
+    pub fn begin(
+        &mut self,
+        name: Sym,
+        attributes: &[Attribute],
+    ) -> (MatchDecision, Vec<Resolution>) {
+        let mut resolved: Vec<CondId> = Vec::new();
+
+        // Parent bookkeeping: sibling counters, last() falsification,
+        // child-condition confirmation — all *before* this element's own
+        // conditions exist.
+        {
+            let parent = self.stack.last_mut().expect("document frame");
+            parent.total_children += 1;
+            *parent.child_counts.entry(name).or_insert(0) += 1;
+
+            for lc in &parent.last_conds {
+                if self.conds[lc.cond as usize].is_none() && last_test_matches(&lc.test, name) {
+                    self.conds[lc.cond as usize] = Some(false);
+                    self.live_conds -= 1;
+                    resolved.push(lc.cond);
+                }
+            }
+            for cc in &parent.child_conds {
+                if self.conds[cc.cond as usize].is_none() && cc.child == name {
+                    let holds = match &cc.attr {
+                        None => true,
+                        Some((attr, cmp)) => attributes
+                            .iter()
+                            .find(|a| a.name == *attr)
+                            .is_some_and(|a| cmp.as_ref().is_none_or(|c| c.eval(&a.value))),
+                    };
+                    if holds {
+                        self.conds[cc.cond as usize] = Some(true);
+                        self.live_conds -= 1;
+                        resolved.push(cc.cond);
+                    }
+                }
+            }
+        }
+
+        // Advance the frontier into the new element.
+        let tag = name.as_str();
+        let mut frame = Frame::default();
+        let mut candidates: Vec<Candidate> = Vec::new();
+        // One predicate instance per (rule, step) at this element, shared
+        // across derivations: `[b]` asked twice is the same question.
+        let mut pred_cache: HashMap<(u32, u32), PredOutcome> = HashMap::new();
+        // Conditions to attach to the *parent* (last() only), deferred to
+        // dodge the double borrow.
+        let mut parent_last: Vec<LastCond> = Vec::new();
+
+        let parent_idx = self.stack.len() - 1;
+        let parent_states = std::mem::take(&mut self.stack[parent_idx].states);
+        for state in &parent_states {
+            let step = &self.rules.rules[state.rule as usize].pattern.steps[state.step as usize];
+            if step.axis == xsq_xpath::Axis::Closure && !frame.states.contains(state) {
+                // Descendant steps stay live arbitrarily deep.
+                frame.states.push(state.clone());
+            }
+            if !step.test.matches(tag) {
+                continue;
+            }
+            let outcome = match pred_cache.get(&(state.rule, state.step)) {
+                Some(o) => o.clone(),
+                None => {
+                    let o = self.eval_predicate(
+                        state.rule,
+                        state.step,
+                        name,
+                        attributes,
+                        &mut frame,
+                        &mut parent_last,
+                    );
+                    pred_cache.insert((state.rule, state.step), o.clone());
+                    o
+                }
+            };
+            let mut conds = state.conds.clone();
+            match outcome {
+                PredOutcome::False => continue,
+                PredOutcome::True => {}
+                PredOutcome::Deferred(cid) => {
+                    if !conds.contains(&cid) {
+                        conds.push(cid);
+                    }
+                }
+            }
+            let pattern_len = self.rules.rules[state.rule as usize].pattern.steps.len() as u32;
+            if state.step + 1 == pattern_len {
+                candidates.push(Candidate {
+                    rule: state.rule,
+                    conds,
+                });
+            } else {
+                let next = State {
+                    rule: state.rule,
+                    step: state.step + 1,
+                    conds,
+                };
+                if !frame.states.contains(&next) {
+                    frame.states.push(next);
+                }
+            }
+        }
+        self.stack[parent_idx].states = parent_states;
+        self.stack[parent_idx].last_conds.extend(parent_last);
+        self.stack.push(frame);
+
+        // Verdict for the new element.
+        let decision = self.decide(candidates);
+        (decision, self.drain_resolutions(resolved))
+    }
+
+    /// Process a text event, with the owning element's tag (needed to
+    /// check the parent's `[child op v]` conditions).
+    pub fn text_of(&mut self, element: Sym, text: &str) -> Vec<Resolution> {
+        let mut resolved: Vec<CondId> = Vec::new();
+        let top = self.stack.len() - 1;
+        for (cid, test) in &self.stack[top].text_conds {
+            if self.conds[*cid as usize].is_none() && test.eval(text) {
+                self.conds[*cid as usize] = Some(true);
+                self.live_conds -= 1;
+                resolved.push(*cid);
+            }
+        }
+        if top >= 1 {
+            for ctc in &self.stack[top - 1].child_text_conds {
+                if self.conds[ctc.cond as usize].is_none()
+                    && ctc.child == element
+                    && ctc.cmp.eval(text)
+                {
+                    self.conds[ctc.cond as usize] = Some(true);
+                    self.live_conds -= 1;
+                    resolved.push(ctc.cond);
+                }
+            }
+        }
+        self.drain_resolutions(resolved)
+    }
+
+    /// Process the end event of the current element: every condition it
+    /// owns resolves now — text/child conditions that never fired are
+    /// false, `last()` conditions that were never falsified are true.
+    pub fn end(&mut self) -> Vec<Resolution> {
+        let frame = self.stack.pop().expect("balanced events");
+        let mut resolved: Vec<CondId> = Vec::new();
+        let mut settle = |cid: CondId, value: bool| {
+            if self.conds[cid as usize].is_none() {
+                self.conds[cid as usize] = Some(value);
+                self.live_conds -= 1;
+                resolved.push(cid);
+            }
+        };
+        for (cid, _) in &frame.text_conds {
+            settle(*cid, false);
+        }
+        for cc in &frame.child_conds {
+            settle(cc.cond, false);
+        }
+        for ctc in &frame.child_text_conds {
+            settle(ctc.cond, false);
+        }
+        for lc in &frame.last_conds {
+            settle(lc.cond, true);
+        }
+        self.drain_resolutions(resolved)
+    }
+
+    /// Evaluate the predicate of `rules[rule].steps[step]` against the
+    /// element now beginning. Immediate predicates return a boolean;
+    /// deferred ones allocate a condition on the right owner.
+    fn eval_predicate(
+        &mut self,
+        rule: u32,
+        step: u32,
+        name: Sym,
+        attributes: &[Attribute],
+        frame: &mut Frame,
+        parent_last: &mut Vec<LastCond>,
+    ) -> PredOutcome {
+        // Copy the long-lived rules reference out of `self` so predicate
+        // borrows don't pin `self` (deferred arms need `&mut self`).
+        let rules = self.rules;
+        let step_ref = &rules.rules[rule as usize].pattern.steps[step as usize];
+        let Some(pred) = &step_ref.predicate else {
+            return PredOutcome::True;
+        };
+        let attr_value = |n: &str| attributes.iter().find(|a| a.name == *n).map(|a| &a.value);
+        match pred {
+            Predicate::Attr { name: attr, cmp } => match attr_value(attr) {
+                None => PredOutcome::False,
+                Some(v) => bool_outcome(cmp.as_ref().is_none_or(|c| c.eval(v))),
+            },
+            Predicate::Func {
+                arg: FnArg::Attr(attr),
+                test,
+            } => bool_outcome(attr_value(attr).is_some_and(|v| test.eval(v))),
+            Predicate::Position { cmp } => {
+                // Counters were incremented before matching, so the count
+                // for this tag is this element's 1-based position among
+                // siblings passing the step's node test.
+                let parent = &self.stack[self.stack.len() - 1];
+                let pos = match &step_ref.test {
+                    NodeTest::Name(_) => parent.child_counts.get(&name).copied().unwrap_or(1),
+                    NodeTest::Wildcard => parent.total_children,
+                };
+                bool_outcome(xsq_xpath::value::num_compare(
+                    pos as f64,
+                    cmp.op,
+                    cmp.rhs.as_number(),
+                ))
+            }
+            Predicate::Text { cmp } => {
+                let cid = self.new_cond();
+                let test = match cmp {
+                    None => TextTest::Exists,
+                    Some(c) => TextTest::Cmp(c.clone()),
+                };
+                frame.text_conds.push((cid, test));
+                PredOutcome::Deferred(cid)
+            }
+            Predicate::Func {
+                arg: FnArg::Text,
+                test,
+            } => {
+                let cid = self.new_cond();
+                frame.text_conds.push((cid, TextTest::Fn(test.clone())));
+                PredOutcome::Deferred(cid)
+            }
+            Predicate::Child { name: child } => {
+                let cid = self.new_cond();
+                frame.child_conds.push(ChildCond {
+                    cond: cid,
+                    child: Sym::intern(child),
+                    attr: None,
+                });
+                PredOutcome::Deferred(cid)
+            }
+            Predicate::ChildAttr { child, attr, cmp } => {
+                let cid = self.new_cond();
+                frame.child_conds.push(ChildCond {
+                    cond: cid,
+                    child: Sym::intern(child),
+                    attr: Some((Sym::intern(attr), cmp.clone())),
+                });
+                PredOutcome::Deferred(cid)
+            }
+            Predicate::ChildText { child, cmp } => {
+                let cid = self.new_cond();
+                frame.child_text_conds.push(ChildTextCond {
+                    cond: cid,
+                    child: Sym::intern(child),
+                    cmp: cmp.clone(),
+                });
+                PredOutcome::Deferred(cid)
+            }
+            Predicate::Last => {
+                let cid = self.new_cond();
+                parent_last.push(LastCond {
+                    cond: cid,
+                    test: step_ref.test.clone(),
+                });
+                PredOutcome::Deferred(cid)
+            }
+        }
+    }
+
+    /// Turn an element's candidate list into a verdict, registering a
+    /// pending entry when the stream hasn't decided yet.
+    fn decide(&mut self, candidates: Vec<Candidate>) -> MatchDecision {
+        if candidates.is_empty() {
+            return MatchDecision::Decided(None);
+        }
+        match self.verdict(&candidates) {
+            Some(v) => MatchDecision::Decided(v),
+            None => {
+                let id = self.next_pending;
+                self.next_pending += 1;
+                for cand in &candidates {
+                    for &cid in &cand.conds {
+                        if self.conds[cid as usize].is_none() {
+                            self.dependents.entry(cid).or_default().push(id);
+                        }
+                    }
+                }
+                self.pending.insert(id, PendingElem { candidates });
+                MatchDecision::Pending(id)
+            }
+        }
+    }
+
+    /// First-match-wins evaluation over the candidate list. `None` means
+    /// "still pending"; `Some(None)` means "no rule matches".
+    fn verdict(&self, candidates: &[Candidate]) -> Option<Option<usize>> {
+        // Walk rules in priority order; a rule's own candidates OR
+        // together.
+        let mut rules: Vec<u32> = candidates.iter().map(|c| c.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        for rule in rules {
+            let mut any_pending = false;
+            for cand in candidates.iter().filter(|c| c.rule == rule) {
+                let mut all_true = true;
+                let mut dead = false;
+                for &cid in &cand.conds {
+                    match self.conds[cid as usize] {
+                        Some(true) => {}
+                        Some(false) => {
+                            dead = true;
+                            break;
+                        }
+                        None => all_true = false,
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                if all_true {
+                    return Some(Some(rule as usize));
+                }
+                any_pending = true;
+            }
+            if any_pending {
+                // An earlier rule is still undecided; everything after it
+                // must wait (first match wins).
+                return None;
+            }
+        }
+        Some(None)
+    }
+
+    /// Re-evaluate pending elements touched by newly resolved conditions.
+    fn drain_resolutions(&mut self, resolved: Vec<CondId>) -> Vec<Resolution> {
+        let mut out = Vec::new();
+        for cid in resolved {
+            let Some(deps) = self.dependents.remove(&cid) else {
+                continue;
+            };
+            for pid in deps {
+                let Some(pe) = self.pending.get(&pid) else {
+                    continue;
+                };
+                if let Some(v) = self.verdict(&pe.candidates) {
+                    self.pending.remove(&pid);
+                    out.push(Resolution {
+                        pending: pid,
+                        rule: v,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Pending verdicts still open (must be 0 after the root closes).
+    pub fn open_pendings(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Outcome of evaluating one predicate instance at a begin event.
+#[derive(Debug, Clone)]
+enum PredOutcome {
+    True,
+    False,
+    Deferred(CondId),
+}
+
+fn bool_outcome(b: bool) -> PredOutcome {
+    if b {
+        PredOutcome::True
+    } else {
+        PredOutcome::False
+    }
+}
+
+fn last_test_matches(test: &NodeTest, name: Sym) -> bool {
+    match test {
+        NodeTest::Name(n) => name == n.as_str(),
+        NodeTest::Wildcard => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsq_xml::parse_to_events;
+    use xsq_xml::SaxEvent;
+
+    /// Run the matcher over a document, returning each element's final
+    /// verdict in begin-event order.
+    fn verdicts(rules: &str, doc: &str) -> Vec<Option<usize>> {
+        let rs = RuleSet::parse(rules).unwrap();
+        let mut m = Matcher::new(&rs);
+        let events = parse_to_events(doc.as_bytes()).unwrap();
+        let mut order: Vec<MatchDecision> = Vec::new();
+        let mut settled: HashMap<PendingId, Option<usize>> = HashMap::new();
+        for ev in &events {
+            let res = match ev {
+                SaxEvent::Begin {
+                    name, attributes, ..
+                } => {
+                    let (d, res) = m.begin(*name, attributes);
+                    order.push(d);
+                    res
+                }
+                SaxEvent::Text { element, text, .. } => m.text_of(*element, text),
+                SaxEvent::End { .. } => m.end(),
+                _ => Vec::new(),
+            };
+            for r in res {
+                settled.insert(r.pending, r.rule);
+            }
+        }
+        assert_eq!(m.open_pendings(), 0, "verdicts must settle by EOF");
+        order
+            .into_iter()
+            .map(|d| match d {
+                MatchDecision::Decided(v) => v,
+                MatchDecision::Pending(id) => settled[&id],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn immediate_attr_predicates_decide_at_begin() {
+        let v = verdicts(
+            "/a/b[@id=1] => drop",
+            r#"<a><b id="1"/><b id="2"/><c/></a>"#,
+        );
+        assert_eq!(v, [None, Some(0), None, None]);
+    }
+
+    #[test]
+    fn child_predicates_defer_until_seen_or_end() {
+        let v = verdicts("/a/b[c] => rename(x)", "<a><b><c/></b><b><d/></b></a>");
+        assert_eq!(v, [None, Some(0), None, None, None]);
+    }
+
+    #[test]
+    fn closure_matches_all_depths() {
+        let v = verdicts("//x => drop", "<a><x><x/></x><b><x/></b></a>");
+        assert_eq!(v, [None, Some(0), Some(0), None, Some(0)]);
+    }
+
+    #[test]
+    fn first_match_wins_waits_for_earlier_rules() {
+        // Rule 0 (pending on [c]) beats rule 1 (immediate) when c shows.
+        let rules = "/a/b[c] => drop\n/a/b => rename(x)";
+        let v = verdicts(rules, "<a><b><c/></b><b><d/></b></a>");
+        assert_eq!(v, [None, Some(0), None, Some(1), None]);
+    }
+
+    #[test]
+    fn position_and_last_verdicts() {
+        let v = verdicts("/a/b[2] => drop", "<a><b/><b/><b/></a>");
+        assert_eq!(v, [None, None, Some(0), None]);
+        let v = verdicts("/a/b[last()] => drop", "<a><b/><b/><c/></a>");
+        assert_eq!(v, [None, None, Some(0), None]);
+        // last() among a name test ignores other tags.
+        let v = verdicts("/a/b[position()=last()] => drop", "<a><b/><c/></a>");
+        assert_eq!(v, [None, Some(0), None]);
+    }
+
+    #[test]
+    fn text_predicates() {
+        let v = verdicts(
+            "//b[text()%lo] => wrap(hit)",
+            "<a><b>hello</b><b>nope</b></a>",
+        );
+        assert_eq!(v, [None, Some(0), None]);
+        let v = verdicts(
+            "//b[contains(text(),ell)] => drop",
+            "<a><b>hello</b><b>x</b></a>",
+        );
+        assert_eq!(v, [None, Some(0), None]);
+    }
+
+    #[test]
+    fn recursive_document_multiple_derivations() {
+        // //b//c: the inner c matches via either b; one derivation
+        // suffices.
+        let v = verdicts("//b//c => drop", "<a><b><b><c/></b></b></a>");
+        assert_eq!(v, [None, None, None, Some(0)]);
+    }
+
+    #[test]
+    fn pending_conds_on_ancestors_settle_late() {
+        // [year=2002] on the ancestor resolves after the name closed.
+        let v = verdicts(
+            "//pub[year=2002]//name => wrap(hit)",
+            "<pub><book><name>N</name></book><year>2002</year></pub>",
+        );
+        assert_eq!(v, [None, None, Some(0), None]);
+        let v = verdicts(
+            "//pub[year=2002]//name => wrap(hit)",
+            "<pub><book><name>N</name></book><year>1999</year></pub>",
+        );
+        assert_eq!(v, [None, None, None, None]);
+    }
+}

@@ -1,0 +1,454 @@
+//! The output rewriter: turns events plus matcher verdicts into a
+//! serialized document, buffering only what undecided verdicts force it
+//! to buffer.
+//!
+//! This is the transform analogue of the paper's buffered items (§3.4):
+//! where the HPDT's buffers hold *potential output* pending predicate
+//! flags, the rewriter's frames hold *regions of the output document*
+//! pending a rule verdict. The three verdict timings map to three
+//! emission modes:
+//!
+//! * **decided at begin** (the common case — no candidate patterns, or
+//!   only immediate predicates): the rewritten begin tag streams out at
+//!   once, nothing is buffered, and the end event emits the matching
+//!   rewritten end tag;
+//! * **decided `drop` at begin**: the whole subtree is skipped as it
+//!   streams past — zero buffering, the transform analogue of dead-state
+//!   pruning;
+//! * **pending at begin**: a frame buffers the element's rewritten
+//!   content until its [`Resolution`](crate::matcher::Resolution)
+//!   arrives. Frames nest (a pending element inside a pending element),
+//!   and resolve out of order — a frame renders when its verdict is in,
+//!   its end event has been seen, *and* every nested frame has rendered;
+//!   rendering cascades upward and flushes through the root.
+//!
+//! Because verdicts depend only on the event stream — never on how the
+//! input bytes were chunked — the concatenated output of incremental
+//! [`flush`](Rewriter::flush) calls is byte-identical for every chunking
+//! of the same document.
+
+use xsq_xml::entities::{escape_attr_into, escape_text_into};
+use xsq_xml::{Attribute, Sym};
+use xsq_xpath::{RuleAction, Shape};
+
+use crate::matcher::PendingId;
+
+/// Where output of the current element goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sink {
+    Root,
+    Frame(usize),
+}
+
+/// One buffered piece of a frame's content. A `Frame` slot is a
+/// placeholder for a pending child region; the child finds it again via
+/// its own `seg_index`, so the slot itself carries no payload.
+#[derive(Debug)]
+enum Seg {
+    Bytes(String),
+    Frame,
+}
+
+/// A buffered output region awaiting a verdict.
+#[derive(Debug)]
+struct Frame {
+    parent: Sink,
+    /// Index of this frame's `Seg::Frame` slot in the parent's segments.
+    seg_index: usize,
+    name: Sym,
+    attributes: Vec<Attribute>,
+    /// The verdict: `None` until resolved; `Some(None)` = no rule (copy).
+    action: Option<Option<usize>>,
+    closed: bool,
+    /// Nested frames not yet rendered to bytes.
+    pending_children: usize,
+    segs: Vec<Seg>,
+    /// Bytes buffered in this frame's `Bytes` segments.
+    buffered: usize,
+}
+
+/// Stack entry per open input element.
+#[derive(Debug)]
+enum OpenElem {
+    /// Verdict was known at begin: the begin tag went out already; emit
+    /// this end text at the end event.
+    Streamed { end_text: String },
+    /// Verdict `drop`: the whole subtree is suppressed.
+    Dropped,
+    /// Verdict pending: content goes into the frame.
+    Framed { frame: usize },
+}
+
+/// Counters reported with the transform output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// Elements in the input document.
+    pub elements: u64,
+    /// Elements a rule matched (including `drop`).
+    pub matched: u64,
+    /// Elements whose verdict was still open at their begin event.
+    pub deferred: u64,
+    /// Peak bytes buffered awaiting verdicts — the streaming-memory
+    /// figure of merit; 0 when every verdict lands at begin time.
+    pub peak_buffered: usize,
+    /// Total output bytes.
+    pub bytes_out: u64,
+}
+
+/// The rewriter. Drive it with events + verdicts from the matcher; pull
+/// finished output with [`flush`](Self::flush).
+pub struct Rewriter<'r> {
+    rules: &'r [xsq_xpath::Rule],
+    open: Vec<OpenElem>,
+    frames: Vec<Frame>,
+    root_segs: Vec<Seg>,
+    root_pending: usize,
+    /// Root segments already flushed out.
+    root_flushed: usize,
+    /// Map from matcher pending ids to frame indices.
+    by_pending: Vec<(PendingId, usize)>,
+    /// Bytes currently buffered across all frames and queued root
+    /// segments — tracked incrementally; recounting on every push would
+    /// be quadratic in the number of frames.
+    buffered_now: usize,
+    out: String,
+    pub stats: TransformStats,
+}
+
+impl<'r> Rewriter<'r> {
+    pub fn new(rules: &'r [xsq_xpath::Rule]) -> Self {
+        Rewriter {
+            rules,
+            open: Vec::new(),
+            frames: Vec::new(),
+            root_segs: Vec::new(),
+            root_pending: 0,
+            root_flushed: 0,
+            by_pending: Vec::new(),
+            buffered_now: 0,
+            out: String::new(),
+            stats: TransformStats::default(),
+        }
+    }
+
+    /// Is the element stream currently inside a dropped subtree?
+    fn suppressed(&self) -> bool {
+        matches!(self.open.last(), Some(OpenElem::Dropped))
+    }
+
+    /// The innermost unrendered frame enclosing the cursor, if any.
+    fn current_sink(&self) -> Sink {
+        for e in self.open.iter().rev() {
+            if let OpenElem::Framed { frame } = e {
+                return Sink::Frame(*frame);
+            }
+        }
+        Sink::Root
+    }
+
+    /// Append to a sink through `write`, which serializes directly into
+    /// the destination buffer (no intermediate allocation). Byte and
+    /// buffering accounting happens here, from the length delta.
+    fn with_sink(&mut self, sink: Sink, write: impl FnOnce(&mut String)) {
+        match sink {
+            Sink::Root if self.root_flushed == self.root_segs.len() => {
+                // Nothing queued behind a pending frame: stream straight
+                // through.
+                let before = self.out.len();
+                write(&mut self.out);
+                self.stats.bytes_out += (self.out.len() - before) as u64;
+            }
+            Sink::Root => {
+                // An unresolved frame sits earlier in the root; bytes
+                // must queue behind it to keep document order.
+                if !matches!(self.root_segs.last(), Some(Seg::Bytes(_))) {
+                    self.root_segs.push(Seg::Bytes(String::new()));
+                }
+                let Some(Seg::Bytes(s)) = self.root_segs.last_mut() else {
+                    unreachable!("just ensured a byte segment");
+                };
+                let before = s.len();
+                write(s);
+                self.buffered_now += s.len() - before;
+                self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered_now);
+            }
+            Sink::Frame(f) => {
+                let frame = &mut self.frames[f];
+                if !matches!(frame.segs.last(), Some(Seg::Bytes(_))) {
+                    frame.segs.push(Seg::Bytes(String::new()));
+                }
+                let Some(Seg::Bytes(s)) = frame.segs.last_mut() else {
+                    unreachable!("just ensured a byte segment");
+                };
+                let before = s.len();
+                write(s);
+                let added = s.len() - before;
+                frame.buffered += added;
+                self.buffered_now += added;
+                self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered_now);
+            }
+        }
+    }
+
+    /// Process a begin event with the verdict known at begin, or open a
+    /// frame for a pending one.
+    pub fn begin(&mut self, name: Sym, attributes: &[Attribute], decision: BeginDecision) {
+        self.stats.elements += 1;
+        if self.suppressed() {
+            // Anything inside a dropped subtree is dropped with it,
+            // regardless of its own verdict.
+            self.open.push(OpenElem::Dropped);
+            return;
+        }
+        match decision {
+            BeginDecision::Decided(rule) => {
+                if let Some(r) = rule {
+                    self.stats.matched += 1;
+                    if self.rules[r].action.shape == Shape::Drop {
+                        self.open.push(OpenElem::Dropped);
+                        return;
+                    }
+                }
+                let rules = self.rules;
+                let action = rule.map(|r| &rules[r].action);
+                let sink = self.current_sink();
+                self.with_sink(sink, |s| write_begin_tag(s, name, attributes, action));
+                self.open.push(OpenElem::Streamed {
+                    end_text: end_tag(name, action),
+                });
+            }
+            BeginDecision::Pending(pid) => {
+                self.stats.deferred += 1;
+                let sink = self.current_sink();
+                let seg_index = match sink {
+                    Sink::Root => {
+                        self.root_pending += 1;
+                        self.root_segs.push(Seg::Frame);
+                        self.root_segs.len() - 1
+                    }
+                    Sink::Frame(f) => {
+                        self.frames[f].pending_children += 1;
+                        let idx = self.frames[f].segs.len();
+                        self.frames[f].segs.push(Seg::Frame);
+                        idx
+                    }
+                };
+                let frame = Frame {
+                    parent: sink,
+                    seg_index,
+                    name,
+                    attributes: attributes.to_vec(),
+                    action: None,
+                    closed: false,
+                    pending_children: 0,
+                    segs: Vec::new(),
+                    buffered: 0,
+                };
+                self.by_pending.push((pid, self.frames.len()));
+                self.open.push(OpenElem::Framed {
+                    frame: self.frames.len(),
+                });
+                self.frames.push(frame);
+            }
+        }
+    }
+
+    /// Process a text event.
+    pub fn text(&mut self, text: &str) {
+        if self.suppressed() {
+            return;
+        }
+        let sink = self.current_sink();
+        self.with_sink(sink, |s| escape_text_into(text, s));
+    }
+
+    /// Process an end event.
+    pub fn end(&mut self) {
+        match self.open.pop().expect("balanced events") {
+            OpenElem::Dropped => {}
+            OpenElem::Streamed { end_text } => {
+                let sink = self.current_sink();
+                self.with_sink(sink, |s| s.push_str(&end_text));
+            }
+            OpenElem::Framed { frame } => {
+                self.frames[frame].closed = true;
+                self.try_render(frame);
+            }
+        }
+    }
+
+    /// Deliver a matcher resolution for a pending element.
+    pub fn resolve(&mut self, pid: PendingId, rule: Option<usize>) {
+        let Some(pos) = self.by_pending.iter().position(|(p, _)| *p == pid) else {
+            // The element was inside a dropped subtree: no frame exists.
+            return;
+        };
+        let (_, fid) = self.by_pending.swap_remove(pos);
+        if rule.is_some() {
+            self.stats.matched += 1;
+        }
+        self.frames[fid].action = Some(rule);
+        self.try_render(fid);
+    }
+
+    /// Render the frame if its verdict is in, its element closed, and all
+    /// nested frames rendered; cascade into the parent.
+    fn try_render(&mut self, fid: usize) {
+        let f = &self.frames[fid];
+        if f.action.is_none() || !f.closed || f.pending_children > 0 {
+            return;
+        }
+        let rule = f.action.expect("checked");
+        let dropped = rule.is_some_and(|r| self.rules[r].action.shape == Shape::Drop);
+        let mut rendered = String::new();
+        if !dropped {
+            let action = rule.map(|r| &self.rules[r].action);
+            write_begin_tag(&mut rendered, f.name, &f.attributes, action);
+            for seg in &f.segs {
+                match seg {
+                    Seg::Bytes(b) => rendered.push_str(b),
+                    Seg::Frame => unreachable!("pending_children was 0"),
+                }
+            }
+            rendered.push_str(&end_tag(f.name, action));
+        }
+        // Splice into the parent and release this frame's buffer; the
+        // rendered region stays buffered (now in the parent) until it
+        // flushes through the root.
+        let parent = self.frames[fid].parent;
+        let seg_index = self.frames[fid].seg_index;
+        self.buffered_now -= self.frames[fid].buffered;
+        self.buffered_now += rendered.len();
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered_now);
+        self.frames[fid].segs = Vec::new();
+        self.frames[fid].buffered = 0;
+        match parent {
+            Sink::Root => {
+                self.root_segs[seg_index] = Seg::Bytes(rendered);
+                self.root_pending -= 1;
+                self.flush_root();
+            }
+            Sink::Frame(p) => {
+                let pf = &mut self.frames[p];
+                pf.buffered += rendered.len();
+                pf.segs[seg_index] = Seg::Bytes(rendered);
+                pf.pending_children -= 1;
+                self.try_render(p);
+            }
+        }
+    }
+
+    /// Move every leading byte segment of the root into the output.
+    fn flush_root(&mut self) {
+        while self.root_flushed < self.root_segs.len() {
+            match &mut self.root_segs[self.root_flushed] {
+                Seg::Frame => break,
+                Seg::Bytes(b) => {
+                    let b = std::mem::take(b);
+                    self.stats.bytes_out += b.len() as u64;
+                    self.buffered_now -= b.len();
+                    self.out.push_str(&b);
+                    self.root_flushed += 1;
+                }
+            }
+        }
+        if self.root_flushed == self.root_segs.len() {
+            // Fully drained: reclaim the spent segment slots so a long
+            // document with rare pendings doesn't accumulate them.
+            self.root_segs.clear();
+            self.root_flushed = 0;
+        }
+    }
+
+    /// Take the output produced so far.
+    pub fn flush(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Finish the document: everything must have rendered.
+    pub fn finish(mut self) -> (String, TransformStats) {
+        self.flush_root();
+        debug_assert_eq!(self.root_pending, 0, "verdicts settle by document end");
+        debug_assert!(self.open.is_empty(), "events balance by document end");
+        (self.out, self.stats)
+    }
+}
+
+/// A begin-event verdict as the rewriter consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginDecision {
+    Decided(Option<usize>),
+    Pending(PendingId),
+}
+
+/// The element and wrapper names an action rewrites a tag to.
+fn tag_names(name: Sym, action: Option<&RuleAction>) -> (&str, Option<&str>) {
+    let orig = name.as_str();
+    match action.map(|a| &a.shape) {
+        None | Some(Shape::Copy) => (orig, None),
+        Some(Shape::Rename(n)) => (n.as_str(), None),
+        Some(Shape::Wrap(w)) => (orig, Some(w.as_str())),
+        Some(Shape::Drop) => unreachable!("drop emits no tags"),
+    }
+}
+
+/// Serialize the rewritten begin tag for an element under an action
+/// (`None` = identity copy) directly into `buf`. `wrap` puts the wrapper
+/// outside the (possibly attribute-rewritten) original tag. The no-op
+/// attribute path writes straight from the parser's attributes — the
+/// owned pair vector is materialized only when attribute ops apply.
+fn write_begin_tag(
+    buf: &mut String,
+    name: Sym,
+    attributes: &[Attribute],
+    action: Option<&RuleAction>,
+) {
+    let (out_name, wrapper) = tag_names(name, action);
+    if let Some(w) = wrapper {
+        buf.push('<');
+        buf.push_str(w);
+        buf.push('>');
+    }
+    buf.push('<');
+    buf.push_str(out_name);
+    match action {
+        Some(a) if !a.attr_ops.is_empty() => {
+            let plain: Vec<(String, String)> = attributes
+                .iter()
+                .map(|at| (at.name.as_str().to_string(), at.value.clone()))
+                .collect();
+            for (n, v) in &a.apply_attrs(&plain) {
+                buf.push(' ');
+                buf.push_str(n);
+                buf.push_str("=\"");
+                escape_attr_into(v, buf);
+                buf.push('"');
+            }
+        }
+        _ => {
+            for at in attributes {
+                buf.push(' ');
+                buf.push_str(at.name.as_str());
+                buf.push_str("=\"");
+                escape_attr_into(&at.value, buf);
+                buf.push('"');
+            }
+        }
+    }
+    buf.push('>');
+}
+
+/// The matching rewritten end tag.
+fn end_tag(name: Sym, action: Option<&RuleAction>) -> String {
+    let (out_name, wrapper) = tag_names(name, action);
+    let mut end = String::new();
+    end.push_str("</");
+    end.push_str(out_name);
+    end.push('>');
+    if let Some(w) = wrapper {
+        end.push_str("</");
+        end.push_str(w);
+        end.push('>');
+    }
+    end
+}

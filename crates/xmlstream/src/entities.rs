@@ -66,18 +66,27 @@ pub fn decode_into(raw: &str, offset: u64, out: &mut String) -> Result<()> {
 
 /// Escape `text` for use as element character content (escapes `&`, `<`,
 /// `>`), appending to `out`.
+///
+/// A literal CR must become `&#13;`: XML 1.0 §2.11 makes every parser
+/// rewrite raw `\r` to `\n`, so only the character reference survives a
+/// serialize → reparse round trip.
 pub fn escape_text_into(text: &str, out: &mut String) {
     for c in text.chars() {
         match c {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
 }
 
 /// Escape `value` for use inside a double-quoted attribute value.
+///
+/// Tab, LF, and CR must be character references: attribute-value
+/// normalization (XML 1.0 §3.3.3) turns the literal characters into
+/// spaces on reparse, so emitting them raw loses the value.
 pub fn escape_attr_into(value: &str, out: &mut String) {
     for c in value.chars() {
         match c {
@@ -85,6 +94,9 @@ pub fn escape_attr_into(value: &str, out: &mut String) {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
@@ -144,6 +156,19 @@ mod tests {
         escape_attr_into(original, &mut attr);
         assert!(!attr.contains('"') || !attr.contains("\" "));
         assert_eq!(decode(&attr), original);
+    }
+
+    #[test]
+    fn whitespace_that_normalization_would_destroy_is_referenced() {
+        // Text: only CR is at risk (end-of-line normalization).
+        let mut s = String::new();
+        escape_text_into("a\rb\nc\td", &mut s);
+        assert_eq!(s, "a&#13;b\nc\td");
+        // Attributes: tab, LF, and CR all normalize to spaces.
+        let mut a = String::new();
+        escape_attr_into("a\tb\nc\rd", &mut a);
+        assert_eq!(a, "a&#9;b&#10;c&#13;d");
+        assert_eq!(decode(&a), "a\tb\nc\rd");
     }
 
     #[test]

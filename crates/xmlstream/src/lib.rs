@@ -50,7 +50,7 @@ pub use pure::PureParser;
 pub use push::{ChunkBuf, PushParser};
 pub use stats::{dataset_stats, DatasetStats};
 pub use symbol::Sym;
-pub use writer::XmlWriter;
+pub use writer::{DocumentWriter, WriteError, XmlWriter};
 
 /// Parse a complete document held in memory into a vector of events.
 ///

@@ -11,12 +11,42 @@ use std::fmt;
 use crate::value::XPathValue;
 
 /// The axis of a location step.
+///
+/// `Child` and `Closure` are the paper's forward axes; the reverse axes
+/// parse (so diagnostics can point at them by span) but no streaming
+/// engine evaluates them — `classify::streamability` rejects them with a
+/// clear message instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     /// `/tag` — child axis.
     Child,
     /// `//tag` — descendant-or-self, the paper's *closure* axis.
     Closure,
+    /// `/parent::tag` — reverse axis, not streamable.
+    Parent,
+    /// `/ancestor::tag` — reverse axis, not streamable.
+    Ancestor,
+    /// `/preceding-sibling::tag` — reverse axis, not streamable.
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// Does the axis look forward in document order? Only forward axes can
+    /// be evaluated in a single pass over the event stream.
+    pub fn is_forward(&self) -> bool {
+        matches!(self, Axis::Child | Axis::Closure)
+    }
+
+    /// The `name::` spelling of a reverse axis (empty for forward axes,
+    /// which are spelled as `/` and `//`).
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            Axis::Child | Axis::Closure => "",
+            Axis::Parent => "parent::",
+            Axis::Ancestor => "ancestor::",
+            Axis::PrecedingSibling => "preceding-sibling::",
+        }
+    }
 }
 
 /// The node test of a location step.
@@ -88,6 +118,68 @@ impl fmt::Display for Comparison {
     }
 }
 
+/// The argument of a streaming-safe string/number function: `X` in
+/// `contains(X, v)`. Only values already visible at the element — its own
+/// text runs or an attribute — keep the function evaluable in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FnArg {
+    /// `text()` — the element's own text content.
+    Text,
+    /// `@attr` — an attribute of the element.
+    Attr(String),
+}
+
+impl fmt::Display for FnArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FnArg::Text => write!(f, "text()"),
+            FnArg::Attr(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+/// The function tests of the streaming-safe surface subset. Each consumes
+/// one string drawn from the stream (the [`FnArg`]) and decides a boolean
+/// with no lookahead, so the BPDT timing of categories 1 and 2 carries
+/// over unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FnTest {
+    /// `contains(X, v)`.
+    Contains(XPathValue),
+    /// `starts-with(X, v)`.
+    StartsWith(XPathValue),
+    /// `string-length(X) op n` — compared in characters, per XPath 1.0.
+    StringLength(Comparison),
+    /// `number(X) op v` — forces numeric comparison even for string `v`.
+    Number(Comparison),
+}
+
+impl FnTest {
+    /// Evaluate the test against a string taken from the stream.
+    pub fn eval(&self, lhs: &str) -> bool {
+        match self {
+            FnTest::Contains(v) => lhs.contains(v.as_str()),
+            FnTest::StartsWith(v) => lhs.starts_with(v.as_str()),
+            FnTest::StringLength(c) => {
+                crate::value::num_compare(lhs.chars().count() as f64, c.op, c.rhs.as_number())
+            }
+            FnTest::Number(c) => {
+                crate::value::num_compare(crate::value::str_to_number(lhs), c.op, c.rhs.as_number())
+            }
+        }
+    }
+
+    /// Render `name(arg, …)` with the argument spliced in.
+    fn fmt_with_arg(&self, f: &mut fmt::Formatter<'_>, arg: &FnArg) -> fmt::Result {
+        match self {
+            FnTest::Contains(v) => write!(f, "contains({arg},{v})"),
+            FnTest::StartsWith(v) => write!(f, "starts-with({arg},{v})"),
+            FnTest::StringLength(c) => write!(f, "string-length({arg}){c}"),
+            FnTest::Number(c) => write!(f, "number({arg}){c}"),
+        }
+    }
+}
+
 /// A predicate, one of the five categories of §3.2.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
@@ -113,6 +205,16 @@ pub enum Predicate {
     /// Category 5: `[child op v]` — decided at text events of `child`
     /// children (true) or the end event of the element (false).
     ChildText { child: String, cmp: Comparison },
+    /// `[position() op n]` / `[n]` — decided at the begin event from a
+    /// sibling counter kept by the parent. Streamable on child steps only.
+    Position { cmp: Comparison },
+    /// `[last()]` — decided *after* the element: false once a later
+    /// matching sibling begins, true at the parent's end event.
+    /// Streamable on child steps only.
+    Last,
+    /// A string/number function test over the element's own text or an
+    /// attribute: same decision timing as categories 1 and 2.
+    Func { arg: FnArg, test: FnTest },
 }
 
 impl fmt::Display for Predicate {
@@ -141,6 +243,13 @@ impl fmt::Display for Predicate {
                 write!(f, "]")
             }
             Predicate::ChildText { child, cmp } => write!(f, "[{child}{cmp}]"),
+            Predicate::Position { cmp } => write!(f, "[position(){cmp}]"),
+            Predicate::Last => write!(f, "[last()]"),
+            Predicate::Func { arg, test } => {
+                write!(f, "[")?;
+                test.fmt_with_arg(f, arg)?;
+                write!(f, "]")
+            }
         }
     }
 }
@@ -192,8 +301,8 @@ impl PartialEq for Step {
 impl fmt::Display for Step {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.axis {
-            Axis::Child => write!(f, "/")?,
             Axis::Closure => write!(f, "//")?,
+            _ => write!(f, "/{}", self.axis.prefix())?,
         }
         match &self.test {
             NodeTest::Name(n) => write!(f, "{n}")?,
@@ -293,6 +402,32 @@ impl Query {
     /// Does any step use a wildcard node test?
     pub fn has_wildcard(&self) -> bool {
         self.steps.iter().any(|s| s.test == NodeTest::Wildcard)
+    }
+
+    /// Does any step use a reverse axis (`parent::`, `ancestor::`,
+    /// `preceding-sibling::`)? Such queries parse but never stream.
+    pub fn has_reverse_axis(&self) -> bool {
+        self.steps.iter().any(|s| !s.axis.is_forward())
+    }
+
+    /// The first extended-surface feature used by the query (reverse
+    /// axis, `position()`/`last()`, or a function predicate), if any.
+    /// Baseline engines that implement only the paper's Fig. 3 subset
+    /// use this to bail out with a clean `Unsupported` instead of
+    /// silently evaluating the predicate as never-true.
+    pub fn extended_feature(&self) -> Option<String> {
+        for step in &self.steps {
+            if !step.axis.is_forward() {
+                return Some(format!("reverse axis `{}`", step.axis.prefix()));
+            }
+            match &step.predicate {
+                Some(Predicate::Position { .. }) => return Some("position() predicates".into()),
+                Some(Predicate::Last) => return Some("last() predicates".into()),
+                Some(Predicate::Func { .. }) => return Some("function predicates".into()),
+                _ => {}
+            }
+        }
+        None
     }
 }
 

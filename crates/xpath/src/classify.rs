@@ -1,16 +1,23 @@
-//! Classification of location steps into the five BPDT template
-//! categories of §3.2.
+//! Classification of location steps into BPDT template categories, and
+//! the streamability analysis for the extended surface.
 //!
-//! The paper derives one pushdown-transducer template per category, based
-//! on *when* the predicate can be evaluated:
+//! The paper derives one pushdown-transducer template per predicate
+//! category of §3.2, based on *when* the predicate can be evaluated:
 //!
 //! 1. attribute of the element — at its **begin** event;
 //! 2. text of the element — at its **text** event (false at **end**);
 //! 3. existence of a child — at the child's **begin** event (false at end);
 //! 4. attribute of a child — at the child's **begin** event (false at end);
 //! 5. text of a child — at the child's **text** event (false at end).
+//!
+//! The extended surface adds function tests over the same two value
+//! sources (same timing as categories 1 and 2), plus `position()` (decided
+//! at begin from a sibling counter) and `last()` (decided at the *next*
+//! matching sibling's begin or the parent's end). [`streamability`] proves
+//! which expressions can run in one forward pass and says why the rest
+//! cannot.
 
-use crate::ast::{Predicate, Step};
+use crate::ast::{FnArg, Predicate, Query, Span, Step};
 
 /// The template category a step compiles to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +35,15 @@ pub enum StepCategory {
     AttrOfChild,
     /// Category 5 (Fig. 9): `/tag[child op v]`.
     TextOfChild,
+    /// Function test on an attribute: category-1 timing.
+    FnAttrOfSelf,
+    /// Function test on the element's own text: category-2 timing.
+    FnTextOfSelf,
+    /// `[position() op n]`: decided at begin from a sibling counter.
+    PositionOfSelf,
+    /// `[last()]`: decided only after the element — at the next matching
+    /// sibling's begin event (false) or the parent's end event (true).
+    LastOfSelf,
 }
 
 impl StepCategory {
@@ -36,9 +52,16 @@ impl StepCategory {
     ///
     /// Category 1 is decided instantly at the begin event, so its BPDT has
     /// no NA state — which in turn means the HPDT generation of §4.2 sets
-    /// its right child to `NULL`.
+    /// its right child to `NULL`. Function tests on attributes and
+    /// `position()` share that property.
     pub fn has_na_state(&self) -> bool {
-        !matches!(self, StepCategory::NoPredicate | StepCategory::AttrOfSelf)
+        !matches!(
+            self,
+            StepCategory::NoPredicate
+                | StepCategory::AttrOfSelf
+                | StepCategory::FnAttrOfSelf
+                | StepCategory::PositionOfSelf
+        )
     }
 
     /// Human-readable name used in diagnostics and the HPDT dump.
@@ -50,6 +73,10 @@ impl StepCategory {
             StepCategory::ChildExists => "child-exists (Fig. 8)",
             StepCategory::AttrOfChild => "attr-of-child (Fig. 7)",
             StepCategory::TextOfChild => "text-of-child (Fig. 9)",
+            StepCategory::FnAttrOfSelf => "fn-attr-of-self (category-1 timing)",
+            StepCategory::FnTextOfSelf => "fn-text-of-self (category-2 timing)",
+            StepCategory::PositionOfSelf => "position-of-self (sibling counter)",
+            StepCategory::LastOfSelf => "last-of-self (parent-end timing)",
         }
     }
 }
@@ -63,7 +90,122 @@ pub fn classify(step: &Step) -> StepCategory {
         Some(Predicate::Child { .. }) => StepCategory::ChildExists,
         Some(Predicate::ChildAttr { .. }) => StepCategory::AttrOfChild,
         Some(Predicate::ChildText { .. }) => StepCategory::TextOfChild,
+        Some(Predicate::Func {
+            arg: FnArg::Attr(_),
+            ..
+        }) => StepCategory::FnAttrOfSelf,
+        Some(Predicate::Func {
+            arg: FnArg::Text, ..
+        }) => StepCategory::FnTextOfSelf,
+        Some(Predicate::Position { .. }) => StepCategory::PositionOfSelf,
+        Some(Predicate::Last) => StepCategory::LastOfSelf,
     }
+}
+
+/// How a streamability issue affects evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// No single forward pass can evaluate the expression at all.
+    NonStreamable,
+    /// Streamable with sibling counters / bounded hold-back, which only
+    /// the transformation engine implements; the HPDT selection engines
+    /// report it as unsupported.
+    TransformOnly,
+}
+
+/// One streamability finding, anchored to a step's source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamIssue {
+    /// Zero-based step index.
+    pub step: usize,
+    /// Byte range of the step in the query string.
+    pub span: Span,
+    pub kind: IssueKind,
+    pub message: String,
+}
+
+/// The streamability verdict for a whole query.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    pub issues: Vec<StreamIssue>,
+}
+
+impl StreamReport {
+    /// Can *some* one-pass engine evaluate the query?
+    pub fn is_streamable(&self) -> bool {
+        !self
+            .issues
+            .iter()
+            .any(|i| i.kind == IssueKind::NonStreamable)
+    }
+
+    /// Can the HPDT selection engines evaluate the query? (No issues of
+    /// either kind.)
+    pub fn hpdt_supported(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Prove which parts of a query are streamable. Every issue carries the
+/// step span so diagnostics can point back into the query text.
+pub fn streamability(query: &Query) -> StreamReport {
+    let mut issues = Vec::new();
+    for (i, step) in query.steps.iter().enumerate() {
+        if !step.axis.is_forward() {
+            issues.push(StreamIssue {
+                step: i,
+                span: step.span,
+                kind: IssueKind::NonStreamable,
+                message: format!(
+                    "reverse axis `{}` looks backward in the document; \
+                     a single forward pass over the event stream cannot evaluate it",
+                    step.axis.prefix(),
+                ),
+            });
+        }
+        match classify(step) {
+            StepCategory::PositionOfSelf | StepCategory::LastOfSelf
+                if step.axis == crate::ast::Axis::Closure =>
+            {
+                let what = if classify(step) == StepCategory::LastOfSelf {
+                    "last()"
+                } else {
+                    "position()"
+                };
+                issues.push(StreamIssue {
+                    step: i,
+                    span: step.span,
+                    kind: IssueKind::NonStreamable,
+                    message: format!(
+                        "`{what}` on a descendant step has an unbounded candidate set \
+                         under recursive nesting; use a child step (`/`) instead",
+                    ),
+                });
+            }
+            StepCategory::PositionOfSelf => {
+                issues.push(StreamIssue {
+                    step: i,
+                    span: step.span,
+                    kind: IssueKind::TransformOnly,
+                    message: "`position()` is decided from sibling counters; supported in \
+                              transform match patterns, not by the HPDT selection engines"
+                        .into(),
+                });
+            }
+            StepCategory::LastOfSelf => {
+                issues.push(StreamIssue {
+                    step: i,
+                    span: step.span,
+                    kind: IssueKind::TransformOnly,
+                    message: "`last()` is decided at the parent's end event; supported in \
+                              transform match patterns, not by the HPDT selection engines"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+    StreamReport { issues }
 }
 
 #[cfg(test)]
@@ -84,6 +226,20 @@ mod tests {
         assert_eq!(category_of("/book[author]"), StepCategory::ChildExists);
         assert_eq!(category_of("/pub[book@id<=10]"), StepCategory::AttrOfChild);
         assert_eq!(category_of("/book[year<=2000]"), StepCategory::TextOfChild);
+        assert_eq!(
+            category_of("/book[contains(@id,\"x\")]"),
+            StepCategory::FnAttrOfSelf
+        );
+        assert_eq!(
+            category_of("/book[starts-with(text(),\"A\")]"),
+            StepCategory::FnTextOfSelf
+        );
+        assert_eq!(
+            category_of("/book[position()=2]"),
+            StepCategory::PositionOfSelf
+        );
+        assert_eq!(category_of("/book[2]"), StepCategory::PositionOfSelf);
+        assert_eq!(category_of("/book[last()]"), StepCategory::LastOfSelf);
     }
 
     #[test]
@@ -96,6 +252,10 @@ mod tests {
         assert!(StepCategory::ChildExists.has_na_state());
         assert!(StepCategory::AttrOfChild.has_na_state());
         assert!(StepCategory::TextOfChild.has_na_state());
+        assert!(!StepCategory::FnAttrOfSelf.has_na_state());
+        assert!(StepCategory::FnTextOfSelf.has_na_state());
+        assert!(!StepCategory::PositionOfSelf.has_na_state());
+        assert!(StepCategory::LastOfSelf.has_na_state());
     }
 
     #[test]
@@ -108,10 +268,59 @@ mod tests {
             StepCategory::ChildExists,
             StepCategory::AttrOfChild,
             StepCategory::TextOfChild,
+            StepCategory::FnAttrOfSelf,
+            StepCategory::FnTextOfSelf,
+            StepCategory::PositionOfSelf,
+            StepCategory::LastOfSelf,
         ]
         .iter()
         .map(|c| c.name())
         .collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn classic_subset_is_fully_streamable() {
+        let q = parse_query("//pub[year>2000]//book[author]/name/text()").unwrap();
+        let r = streamability(&q);
+        assert!(r.is_streamable() && r.hpdt_supported());
+    }
+
+    #[test]
+    fn functions_are_hpdt_supported() {
+        let q = parse_query("/a[contains(text(),'x')]/b[number(@n)>3]").unwrap();
+        assert!(streamability(&q).hpdt_supported());
+    }
+
+    #[test]
+    fn position_on_child_step_is_transform_only() {
+        let q = parse_query("/a/b[position()=2]").unwrap();
+        let r = streamability(&q);
+        assert!(r.is_streamable());
+        assert!(!r.hpdt_supported());
+        assert_eq!(r.issues[0].kind, IssueKind::TransformOnly);
+        assert_eq!(r.issues[0].step, 1);
+    }
+
+    #[test]
+    fn last_on_descendant_step_is_non_streamable() {
+        let q = parse_query("//b[last()]").unwrap();
+        let r = streamability(&q);
+        assert!(!r.is_streamable());
+        assert!(r.issues[0].message.contains("last()"));
+        // The span points at the offending step.
+        assert_eq!(r.issues[0].span.start, 0);
+    }
+
+    #[test]
+    fn reverse_axes_are_non_streamable_with_spans() {
+        let text = "/a/parent::b";
+        let q = parse_query(text).unwrap();
+        let r = streamability(&q);
+        assert!(!r.is_streamable());
+        let issue = &r.issues[0];
+        assert_eq!(issue.step, 1);
+        assert_eq!(&text[issue.span.start..issue.span.end], "/parent::b");
+        assert!(issue.message.contains("parent::"), "{}", issue.message);
     }
 }

@@ -28,6 +28,8 @@ pub enum TokenKind {
     LParen,
     /// `)`
     RParen,
+    /// `,` — separates function arguments (`contains(text(),"x")`).
+    Comma,
     /// A name: tag, attribute, or function identifier.
     Name(String),
     /// A numeric literal; the raw spelling is preserved.
@@ -84,6 +86,10 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
             b')' => {
                 i += 1;
                 TokenKind::RParen
+            }
+            b',' => {
+                i += 1;
+                TokenKind::Comma
             }
             b'%' => {
                 i += 1;

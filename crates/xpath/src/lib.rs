@@ -14,9 +14,14 @@ pub mod classify;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod rules;
 pub mod value;
 
-pub use ast::{AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Span, Step};
+pub use ast::{
+    AggFunc, Axis, CmpOp, Comparison, FnArg, FnTest, NodeTest, Output, Predicate, Query, Span, Step,
+};
+pub use classify::{streamability, IssueKind, StreamIssue, StreamReport};
 pub use error::{ParseError, ParseResult};
 pub use parser::parse_query;
+pub use rules::{AttrOp, Rule, RuleAction, RuleError, RuleSet, Shape};
 pub use value::{compare, XPathValue};

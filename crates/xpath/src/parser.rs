@@ -6,7 +6,7 @@
 //! experiments use parses here.
 
 use crate::ast::{
-    AggFunc, Axis, CmpOp, Comparison, NodeTest, Output, Predicate, Query, Span, Step,
+    AggFunc, Axis, CmpOp, Comparison, FnArg, FnTest, NodeTest, Output, Predicate, Query, Span, Step,
 };
 use crate::error::{ParseError, ParseResult};
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -129,11 +129,49 @@ impl Parser {
                     });
                 }
                 Some(TokenKind::Name(_)) => {
+                    let name_pos = self.here();
                     let name = self.name("tag name")?;
+                    // The lexer keeps `:` inside names, so an explicit axis
+                    // (`parent::tag`) arrives as a single token; split it.
+                    let (axis, test) = if let Some((ax, rest)) = name.split_once("::") {
+                        let resolved = resolve_axis(ax, axis).ok_or_else(|| {
+                            ParseError::new(name_pos, format!("unsupported axis '{ax}::'"))
+                        })?;
+                        if axis == Axis::Closure && resolved != Axis::Closure {
+                            return Err(ParseError::new(
+                                name_pos,
+                                format!("reverse axis '{ax}::' cannot follow '//'"),
+                            ));
+                        }
+                        let test = if rest.is_empty() {
+                            // `parent::*` — the wildcard lexed separately.
+                            match self.peek() {
+                                Some(TokenKind::Star) => {
+                                    self.next();
+                                    NodeTest::Wildcard
+                                }
+                                _ => {
+                                    return Err(
+                                        self.err("expected a tag name or '*' after the axis")
+                                    )
+                                }
+                            }
+                        } else if rest.contains("::") {
+                            return Err(ParseError::new(
+                                name_pos,
+                                format!("malformed node test '{name}'"),
+                            ));
+                        } else {
+                            NodeTest::Name(rest.to_string())
+                        };
+                        (resolved, test)
+                    } else {
+                        (axis, NodeTest::Name(name))
+                    };
                     let predicate = self.maybe_predicate()?;
                     steps.push(Step {
                         axis,
-                        test: NodeTest::Name(name),
+                        test,
                         predicate,
                         span: Span::new(step_start, self.here()),
                     });
@@ -182,7 +220,8 @@ impl Parser {
     }
 
     /// `F ::= [ FO [OP constant] ]` with
-    /// `FO ::= @attr | tag[@attr] | text()`.
+    /// `FO ::= @attr | tag[@attr] | text() | n | position() | last()
+    ///       | fn(text()|@attr …)` for the streaming-safe function set.
     fn predicate_body(&mut self) -> ParseResult<Predicate> {
         match self.peek() {
             Some(TokenKind::At) => {
@@ -197,6 +236,18 @@ impl Parser {
                 self.expect(&TokenKind::RParen, "')'")?;
                 let cmp = self.maybe_comparison()?;
                 Ok(Predicate::Text { cmp })
+            }
+            // `[3]` — positional shorthand for `[position()=3]`.
+            Some(TokenKind::Number { .. }) => {
+                let rhs = self.constant()?;
+                Ok(Predicate::Position {
+                    cmp: Comparison { op: CmpOp::Eq, rhs },
+                })
+            }
+            Some(TokenKind::Name(n))
+                if self.peek2() == Some(&TokenKind::LParen) && is_predicate_function(n) =>
+            {
+                self.predicate_function()
             }
             Some(TokenKind::Name(_)) => {
                 let child = self.name("child tag")?;
@@ -220,6 +271,122 @@ impl Parser {
         }
     }
 
+    /// Dispatch on a function name at the head of a predicate:
+    /// `position()`, `last()`, and the string/number function set.
+    fn predicate_function(&mut self) -> ParseResult<Predicate> {
+        let name = self.name("function name")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        match name.as_str() {
+            "position" => {
+                self.expect(&TokenKind::RParen, "')'")?;
+                self.position_comparison()
+            }
+            "last" => {
+                self.expect(&TokenKind::RParen, "')'")?;
+                if self.peek() == Some(&TokenKind::RBracket) {
+                    Ok(Predicate::Last)
+                } else {
+                    Err(self
+                        .err("last() takes no comparison; write [last()] or [position()=last()]"))
+                }
+            }
+            "contains" | "starts-with" => {
+                let arg = self.fn_arg()?;
+                self.expect(&TokenKind::Comma, "','")?;
+                let v = self.constant()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let test = if name == "contains" {
+                    FnTest::Contains(v)
+                } else {
+                    FnTest::StartsWith(v)
+                };
+                Ok(Predicate::Func { arg, test })
+            }
+            "string-length" | "number" => {
+                let arg = self.fn_arg()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let cmp = self
+                    .maybe_comparison()?
+                    .ok_or_else(|| self.err(format!("expected a comparison after {name}(…)")))?;
+                let test = if name == "string-length" {
+                    FnTest::StringLength(cmp)
+                } else {
+                    FnTest::Number(cmp)
+                };
+                Ok(Predicate::Func { arg, test })
+            }
+            _ => unreachable!("guarded by is_predicate_function"),
+        }
+    }
+
+    /// After `position()`: `OP n` or `= last()`.
+    fn position_comparison(&mut self) -> ParseResult<Predicate> {
+        let op = match self.peek() {
+            Some(TokenKind::Op(op)) => {
+                let op = *op;
+                self.next();
+                op
+            }
+            _ => return Err(self.err("expected a comparison after position()")),
+        };
+        match self.peek() {
+            Some(TokenKind::Number { .. }) => {
+                let rhs = self.constant()?;
+                Ok(Predicate::Position {
+                    cmp: Comparison { op, rhs },
+                })
+            }
+            Some(TokenKind::Name(n)) if n == "last" && self.peek2() == Some(&TokenKind::LParen) => {
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                if op == CmpOp::Eq {
+                    Ok(Predicate::Last)
+                } else {
+                    Err(self.err("only position()=last() is supported"))
+                }
+            }
+            _ => Err(self.err("expected a number or last() after position()")),
+        }
+    }
+
+    /// The first argument of a predicate function: `text()` or `@attr`.
+    fn fn_arg(&mut self) -> ParseResult<FnArg> {
+        match self.peek() {
+            Some(TokenKind::At) => {
+                self.next();
+                Ok(FnArg::Attr(self.name("attribute name")?))
+            }
+            Some(TokenKind::Name(n)) if n == "text" && self.peek2() == Some(&TokenKind::LParen) => {
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(FnArg::Text)
+            }
+            _ => Err(self.err("expected text() or @attr as the function argument")),
+        }
+    }
+
+    /// A constant: number, quoted string, or bareword (as in `[LINE%love]`).
+    fn constant(&mut self) -> ParseResult<XPathValue> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number { value, raw },
+                ..
+            }) => Ok(XPathValue::number_raw(value, raw)),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(XPathValue::Text(s)),
+            Some(Token {
+                kind: TokenKind::Name(n),
+                ..
+            }) => Ok(XPathValue::Text(n)),
+            Some(t) => Err(ParseError::new(t.position, "expected a constant")),
+            None => Err(ParseError::new(self.input_len, "expected a constant")),
+        }
+    }
+
     fn maybe_comparison(&mut self) -> ParseResult<Option<Comparison>> {
         let op = match self.peek() {
             Some(TokenKind::Op(op)) => {
@@ -233,25 +400,29 @@ impl Parser {
             }
             _ => return Ok(None),
         };
-        let rhs = match self.next() {
-            Some(Token {
-                kind: TokenKind::Number { value, raw },
-                ..
-            }) => XPathValue::number_raw(value, raw),
-            Some(Token {
-                kind: TokenKind::Str(s),
-                ..
-            }) => XPathValue::Text(s),
-            // Bareword constants, as in the paper's `SPEECH[LINE%love]`.
-            Some(Token {
-                kind: TokenKind::Name(n),
-                ..
-            }) => XPathValue::Text(n),
-            Some(t) => return Err(ParseError::new(t.position, "expected a constant")),
-            None => return Err(ParseError::new(self.input_len, "expected a constant")),
-        };
+        let rhs = self.constant()?;
         Ok(Some(Comparison { op, rhs }))
     }
+}
+
+/// Resolve an explicit `axis::` prefix. `child::` keeps the axis implied
+/// by the preceding slash; reverse axes replace it.
+fn resolve_axis(spelled: &str, slash_axis: Axis) -> Option<Axis> {
+    match spelled {
+        "child" => Some(slash_axis),
+        "parent" => Some(Axis::Parent),
+        "ancestor" => Some(Axis::Ancestor),
+        "preceding-sibling" => Some(Axis::PrecedingSibling),
+        _ => None,
+    }
+}
+
+/// Function names recognized at the head of a predicate.
+fn is_predicate_function(name: &str) -> bool {
+    matches!(
+        name,
+        "position" | "last" | "contains" | "starts-with" | "string-length" | "number"
+    )
 }
 
 fn output_function(name: &str) -> Option<Output> {
@@ -450,5 +621,126 @@ mod tests {
     fn error_positions_point_into_the_query() {
         let err = parse_query("/a[b<]").unwrap_err();
         assert_eq!(err.position, 5); // the ']' where a constant was expected
+    }
+
+    #[test]
+    fn parses_the_streaming_safe_function_surface() {
+        let q = parse_query("/a[contains(text(),\"x\")]").unwrap();
+        assert_eq!(
+            q.steps[0].predicate,
+            Some(Predicate::Func {
+                arg: FnArg::Text,
+                test: FnTest::Contains(XPathValue::text("x")),
+            })
+        );
+        let q = parse_query("/a[starts-with(@id,'b')]").unwrap();
+        assert!(matches!(
+            q.steps[0].predicate,
+            Some(Predicate::Func {
+                arg: FnArg::Attr(_),
+                test: FnTest::StartsWith(_),
+            })
+        ));
+        let q = parse_query("/a[string-length(text())>5]").unwrap();
+        assert!(matches!(
+            q.steps[0].predicate,
+            Some(Predicate::Func {
+                test: FnTest::StringLength(_),
+                ..
+            })
+        ));
+        let q = parse_query("/a[number(@n)<=10]").unwrap();
+        assert!(matches!(
+            q.steps[0].predicate,
+            Some(Predicate::Func {
+                test: FnTest::Number(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn parses_position_and_last() {
+        let q = parse_query("/a/b[position()=2]").unwrap();
+        assert!(matches!(
+            q.steps[1].predicate,
+            Some(Predicate::Position { .. })
+        ));
+        // `[2]` is shorthand for `[position()=2]`.
+        let q2 = parse_query("/a/b[2]").unwrap();
+        assert_eq!(q.steps[1].predicate, q2.steps[1].predicate);
+        assert_eq!(
+            parse_query("/a/b[last()]").unwrap().steps[1].predicate,
+            Some(Predicate::Last)
+        );
+        assert_eq!(
+            parse_query("/a/b[position()=last()]").unwrap().steps[1].predicate,
+            Some(Predicate::Last)
+        );
+        assert!(matches!(
+            parse_query("/a/b[position()>=3]").unwrap().steps[1].predicate,
+            Some(Predicate::Position {
+                cmp: Comparison { op: CmpOp::Ge, .. }
+            })
+        ));
+    }
+
+    #[test]
+    fn parses_reverse_axes() {
+        let q = parse_query("/a/parent::b").unwrap();
+        assert_eq!(q.steps[1].axis, Axis::Parent);
+        assert_eq!(q.steps[1].test, NodeTest::Name("b".into()));
+        let q = parse_query("/a/ancestor::*").unwrap();
+        assert_eq!(q.steps[1].axis, Axis::Ancestor);
+        assert_eq!(q.steps[1].test, NodeTest::Wildcard);
+        let q = parse_query("/a/preceding-sibling::b").unwrap();
+        assert_eq!(q.steps[1].axis, Axis::PrecedingSibling);
+        // `child::` keeps the axis implied by the slash.
+        assert_eq!(parse_query("/child::a").unwrap().steps[0].axis, Axis::Child);
+        assert_eq!(
+            parse_query("//child::a").unwrap().steps[0].axis,
+            Axis::Closure
+        );
+        // Namespaced names still lex as plain tags.
+        assert_eq!(
+            parse_query("/ns:tag").unwrap().steps[0].test,
+            NodeTest::Name("ns:tag".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_extended_queries() {
+        for bad in [
+            "/a[position()]",
+            "/a[position()=b]",
+            "/a[last()>2]",
+            "/a[contains(text())]",
+            "/a[contains(b,'x')]",
+            "/a[string-length(text())]",
+            "/a/following::b",
+            "//parent::b",
+            "/a/parent::b::c",
+            "/a[position()!=last()]",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn extended_display_reparses_to_identity() {
+        for q in [
+            "/a[contains(text(),\"x y\")]/b",
+            "/a[starts-with(@id,\"b\")]",
+            "/a[string-length(text())>5]",
+            "/a[number(@n)<=10]/b[position()=2]",
+            "/a/b[last()]",
+            "/a/parent::b",
+            "/a/ancestor::*",
+            "/a/preceding-sibling::b[@id]",
+        ] {
+            let parsed = parse_query(q).unwrap();
+            let reparsed = parse_query(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "roundtrip failed for {q}");
+        }
     }
 }

@@ -106,7 +106,9 @@ pub fn compare(lhs: &str, op: CmpOp, rhs: &XPathValue) -> bool {
     }
 }
 
-fn num_cmp(l: f64, op: CmpOp, r: f64) -> bool {
+/// Numeric comparison with XPath 1.0 NaN semantics. `Contains` against
+/// numbers compares the canonical spellings (substring on strings).
+pub fn num_compare(l: f64, op: CmpOp, r: f64) -> bool {
     match op {
         CmpOp::Lt => l < r,
         CmpOp::Le => l <= r,
@@ -114,9 +116,11 @@ fn num_cmp(l: f64, op: CmpOp, r: f64) -> bool {
         CmpOp::Ge => l >= r,
         CmpOp::Gt => l > r,
         CmpOp::Ne => l != r,
-        CmpOp::Contains => unreachable!("contains handled as string op"),
+        CmpOp::Contains => canonical_number(l).contains(&canonical_number(r)),
     }
 }
+
+use self::num_compare as num_cmp;
 
 #[cfg(test)]
 mod tests {

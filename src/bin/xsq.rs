@@ -39,6 +39,12 @@
 //!                                      replay a corpus over the wire;
 //!                                      --verify byte-compares the replies
 //!                                      against the sequential driver
+//! xsq transform [--engine stream|dom] [--chunk N] [--verify]
+//!               RULES.xfm [FILE...]    rewrite documents under .xfm
+//!                                      template rules; stream engine is
+//!                                      one-pass push-mode, dom is the
+//!                                      two-pass reference; --verify
+//!                                      byte-compares the two
 //! ```
 //!
 //! Exit codes: 0 success, 1 analysis found errors, 2 usage, 3 I/O,
@@ -444,6 +450,52 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
         Ok(q) => q,
         Err(e) => return fail_query(&e.to_string()),
     };
+    // Queries outside the HPDT surface (reverse axes, positional
+    // predicates) can't build a transducer; report the streamability
+    // diagnostics instead of a bare compile error — spanned, never a
+    // panic. Errors exit 1 like any other analysis failure;
+    // transform-only findings alone exit 0 (the query is fine for
+    // `xsq transform`, just not for selection).
+    if !xsq::xpath::streamability(&parsed).hpdt_supported() {
+        let mut diags = xsq::engine::analyze::lint_streamability(&parsed);
+        diags.extend(xsq::engine::analyze::lint_query(&parsed));
+        let errors = xsq::engine::analyze::has_errors(&diags);
+        if opts.json {
+            let rendered: Vec<String> = diags
+                .iter()
+                .map(|d| {
+                    let mut obj = format!(
+                        "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"",
+                        d.severity.label(),
+                        d.code,
+                        json_escape(&d.message)
+                    );
+                    if let Some(s) = d.step {
+                        obj.push_str(&format!(",\"step\":{s}"));
+                    }
+                    obj.push('}');
+                    obj
+                })
+                .collect();
+            println!(
+                "{{\"query\":\"{}\",\"engine\":null,\"diagnostics\":[{}]}}",
+                json_escape(query),
+                rendered.join(","),
+            );
+        } else {
+            println!("query:         {query}");
+            println!("engine:        none (outside the HPDT surface)");
+            println!("diagnostics:");
+            for d in &diags {
+                println!("  {d}");
+            }
+        }
+        return if errors {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let mut analysis = match xsq::engine::analyze(&parsed) {
         Ok(a) => a,
         Err(e) => return fail_query(&e.to_string()),
@@ -741,6 +793,156 @@ fn run_connect(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `xsq transform [--engine stream|dom] [--chunk N] [--verify] [--stats]
+/// RULES.xfm [FILE...]`: rewrite documents under a `.xfm` template rule
+/// file. The default engine is the one-pass streaming transducer, pushed
+/// in `--chunk`-byte pieces with output written as soon as each region's
+/// verdict is known; `--engine dom` runs the two-pass DOM reference
+/// instead; `--verify` runs both and byte-compares them (exit 7 on
+/// mismatch). Rule compile errors carry line:col spans and exit 4.
+fn run_transform(opts: &Options) -> ExitCode {
+    let rest = &opts.positional[1..];
+    let Some((rules_path, files)) = rest.split_first() else {
+        return usage("transform needs a RULES.xfm file");
+    };
+    let rules_text = match std::fs::read_to_string(rules_path) {
+        Ok(t) => t,
+        Err(e) => return fail_io(&format!("reading {rules_path}: {e}")),
+    };
+    let transformer = match xsq::transform::Transformer::compile(&rules_text) {
+        Ok(t) => t,
+        Err(e) => return fail_query(&format!("{rules_path}:{e}")),
+    };
+    for w in &transformer.warnings {
+        eprintln!("warning: {rules_path}: {w}");
+    }
+    let rules = match xsq::xpath::RuleSet::parse(&rules_text) {
+        Ok(r) => r,
+        Err(e) => return fail_query(&format!("{rules_path}:{e}")),
+    };
+    let engine = opts.engine.as_str();
+    // `xsq transform` ignores the query-engine default; only these two
+    // names are meaningful here.
+    let engine = if engine == "xsq-f" { "stream" } else { engine };
+    if !matches!(engine, "stream" | "dom") {
+        return usage(&format!("transform runs on stream or dom, not '{engine}'"));
+    }
+
+    let inputs: Vec<Option<String>> = if files.is_empty() {
+        vec![None]
+    } else {
+        files.iter().cloned().map(Some).collect()
+    };
+    let stdout = std::io::stdout();
+    for file in inputs {
+        let t0 = Instant::now();
+        let data = match read_input(file.as_deref()) {
+            Ok(d) => d,
+            Err(e) => return fail_io(&e),
+        };
+        let label = file.as_deref().unwrap_or("<stdin>");
+        let dom_out = if engine == "dom" || opts.verify {
+            match xsq::baselines::dom::transform::transform_bytes(&data, &rules) {
+                Ok(x) => Some(x),
+                Err(e) => return fail_run(&format!("{label}: {e}")),
+            }
+        } else {
+            None
+        };
+        let written: u64;
+        let mut stats_line = String::new();
+        if engine == "stream" {
+            // Push-mode: output streams out as verdicts are decided, in
+            // `--chunk`-byte input pieces regardless of file size.
+            let mut session = transformer.session();
+            let mut out = stdout.lock();
+            let mut stream_xml = String::new();
+            let mut emit = |piece: &str, out: &mut std::io::StdoutLock<'_>| -> Result<(), String> {
+                if opts.verify {
+                    stream_xml.push_str(piece);
+                }
+                if opts.quiet {
+                    return Ok(());
+                }
+                out.write_all(piece.as_bytes())
+                    .map_err(|e| format!("writing output: {e}"))
+            };
+            for chunk in data.chunks(opts.chunk.max(1)) {
+                match session.push(chunk) {
+                    Ok(piece) => {
+                        if let Err(e) = emit(&piece, &mut out) {
+                            return fail_io(&e);
+                        }
+                    }
+                    Err(e) => return fail_run(&format!("{label}: {e}")),
+                }
+            }
+            let tail = match session.finish() {
+                Ok(t) => t,
+                Err(e) => return fail_run(&format!("{label}: {e}")),
+            };
+            if let Err(e) = emit(&tail.xml, &mut out) {
+                return fail_io(&e);
+            }
+            if !opts.quiet {
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+            }
+            written = tail.stats.bytes_out;
+            stats_line = format!(
+                "elements={} matched={} deferred={} peak_buffered={}",
+                tail.stats.elements,
+                tail.stats.matched,
+                tail.stats.deferred,
+                tail.stats.peak_buffered
+            );
+            if opts.verify {
+                let dom = dom_out.as_deref().unwrap_or_default();
+                if stream_xml != dom {
+                    eprintln!(
+                        "error: {label}: stream output diverged from the DOM \
+                         reference ({} vs {} bytes)",
+                        stream_xml.len(),
+                        dom.len()
+                    );
+                    return ExitCode::from(EXIT_VERIFY);
+                }
+                eprintln!(
+                    "# verify: {label}: stream output matches the DOM reference \
+                     ({} bytes)",
+                    stream_xml.len()
+                );
+            }
+        } else {
+            let xml = dom_out.expect("dom engine always materializes");
+            written = xml.len() as u64;
+            if !opts.quiet {
+                let mut out = stdout.lock();
+                if out
+                    .write_all(xml.as_bytes())
+                    .and_then(|_| out.write_all(b"\n"))
+                    .is_err()
+                {
+                    return fail_io("writing output");
+                }
+                let _ = out.flush();
+            }
+        }
+        if opts.stats {
+            eprintln!(
+                "# {label}: {} -> {} bytes in {:.1} ms [{} rules] engine={engine}{}{}",
+                data.len(),
+                written,
+                t0.elapsed().as_secs_f64() * 1e3,
+                rules.rules.len(),
+                if stats_line.is_empty() { "" } else { " " },
+                stats_line,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn read_input(path: Option<&str>) -> Result<Vec<u8>, String> {
     match path {
         None => {
@@ -795,6 +997,7 @@ fn main() -> ExitCode {
         Some("multi") => return run_multi(&opts),
         Some("serve") => return run_serve(&opts),
         Some("connect") => return run_connect(&opts),
+        Some("transform") => return run_transform(&opts),
         _ => {}
     }
 
@@ -1061,6 +1264,10 @@ fn usage(err: &str) -> ExitCode {
          \u{20}                  (QUERY | --queries QFILE) [FILE...]\n\
          \u{20}          replay a corpus against a server; --verify byte-compares\n\
          \u{20}          the replies with the in-process sequential driver\n\
+         \u{20}      xsq transform [--engine stream|dom] [--chunk N] [--verify] \\\n\
+         \u{20}                    RULES.xfm [FILE...]\n\
+         \u{20}          rewrite documents under .xfm template rules; --verify\n\
+         \u{20}          byte-compares the streaming engine with the DOM reference\n\
          engines: xsq-f (default), xsq-nc, saxon, galax, xmltk, joost, xqengine\n\
          exit codes: 0 ok, 1 analysis errors, 2 usage, 3 io, 4 query,\n\
          \u{20}           5 runtime, 6 protocol, 7 verify mismatch"

@@ -6,6 +6,7 @@
 //! * [`xml`] — streaming SAX substrate (`xsq-xml`)
 //! * [`xpath`] — query front end (`xsq-xpath`)
 //! * [`engine`] — the XSQ-F / XSQ-NC engines (`xsq-core`)
+//! * [`transform`] — streaming transformation engine (`xsq-transform`)
 //! * [`server`] — TCP streaming query server + reference client
 //!   (`xsq-server`)
 //! * [`baselines`] — comparison systems (`xsq-baselines`)
@@ -15,6 +16,7 @@ pub use xsq_baselines as baselines;
 pub use xsq_core as engine;
 pub use xsq_datagen as datagen;
 pub use xsq_server as server;
+pub use xsq_transform as transform;
 pub use xsq_xml as xml;
 pub use xsq_xpath as xpath;
 
