@@ -170,6 +170,12 @@ fn main() {
     let mut json = String::from("{\n  \"benchmark\": \"serve_loopback\",\n");
     let _ = writeln!(
         json,
+        "  \"kernel\": \"{}\",\n  \"cores\": {cores},\n  \"cpu_features\": \"{}\",",
+        xsq_xml::scan::active_kernel(),
+        xsq_xml::scan::cpu_features()
+    );
+    let _ = writeln!(
+        json,
         "  \"corpus\": {{\"docs\": {DOCS}, \"bytes\": {corpus_bytes}, \
          \"queries\": {}, \"cores\": {cores}}},",
         QUERIES.len()

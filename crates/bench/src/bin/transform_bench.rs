@@ -168,6 +168,13 @@ fn main() {
 
     let mut json = String::from("{\n  \"benchmark\": \"transform_stream_vs_dom\",\n");
     let _ = writeln!(json, "  \"doc_bytes\": {size},");
+    let _ = writeln!(
+        json,
+        "  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"cpu_features\": \"{}\",",
+        xsq_xml::scan::active_kernel(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        xsq_xml::scan::cpu_features()
+    );
     json.push_str("  \"identity\": \"stream output byte-identical to DOM reference (gated)\",\n");
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {

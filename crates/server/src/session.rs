@@ -85,6 +85,10 @@ pub struct SessionStats {
     pub updates: u64,
     pub peak_buffered_bytes: u64,
     pub peak_configs: u64,
+    /// Wall time spent inside FEED/END-DOC ingest (push + parse +
+    /// dispatch), so STAT can report ingest MB/s and events/s without
+    /// counting the client's think time between frames.
+    pub ingest_nanos: u64,
 }
 
 /// One connection's protocol state machine.
@@ -260,8 +264,11 @@ impl Session {
     fn on_feed(&mut self, payload: &[u8], out: &mut dyn Outbox) -> Action {
         self.doc_active = true;
         self.stats.bytes_in += payload.len() as u64;
+        let t0 = std::time::Instant::now();
         self.parser.push(payload);
-        self.pump(out)
+        let action = self.pump(out);
+        self.stats.ingest_nanos += t0.elapsed().as_nanos() as u64;
+        action
     }
 
     fn on_end_doc(&mut self, out: &mut dyn Outbox) -> Action {
@@ -272,8 +279,11 @@ impl Session {
             );
             return Action::Continue;
         }
+        let t0 = std::time::Instant::now();
         self.parser.finish();
-        if self.pump(out) == Action::Close {
+        let drained = self.pump(out);
+        self.stats.ingest_nanos += t0.elapsed().as_nanos() as u64;
+        if drained == Action::Close {
             return Action::Close;
         }
         let mut sink = FrameSink {
@@ -350,13 +360,26 @@ impl Session {
         }
     }
 
-    /// The STAT reply: RunReport-style counters plus wire totals.
+    /// The STAT reply: RunReport-style counters plus wire totals and
+    /// ingest throughput (bytes and events over time spent inside
+    /// FEED/END-DOC handling, so kernel wins show up per session).
     fn stat_json(&self) -> String {
+        let secs = self.stats.ingest_nanos as f64 / 1e9;
+        let (mb_per_sec, events_per_sec) = if secs > 0.0 {
+            (
+                self.stats.bytes_in as f64 / (1024.0 * 1024.0) / secs,
+                self.index.events() as f64 / secs,
+            )
+        } else {
+            (0.0, 0.0)
+        };
         format!(
             "{{\"engine\":\"{}\",\"queries\":{},\"active\":{},\"groups\":{},\
              \"docs\":{},\"doc_active\":{},\"events\":{},\"touches\":{},\
              \"results\":{},\"updates\":{},\"peak_buffered_bytes\":{},\
-             \"peak_configs\":{},\"bytes_in\":{},\"frames_in\":{}}}",
+             \"peak_configs\":{},\"bytes_in\":{},\"frames_in\":{},\
+             \"ingest_mb_per_sec\":{:.2},\"events_per_sec\":{:.0},\
+             \"kernel\":\"{}\"}}",
             json_escape(self.engine_name),
             self.index.len(),
             self.index.active_len(),
@@ -371,6 +394,9 @@ impl Session {
             self.stats.peak_configs,
             self.stats.bytes_in,
             self.stats.frames_in,
+            mb_per_sec,
+            events_per_sec,
+            xsq_xml::scan::active_kernel(),
         )
     }
 }
@@ -605,6 +631,9 @@ mod tests {
             "\"bytes_in\":15",
             "\"frames_in\":",
             "\"peak_configs\":",
+            "\"ingest_mb_per_sec\":",
+            "\"events_per_sec\":",
+            "\"kernel\":\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

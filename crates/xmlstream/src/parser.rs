@@ -9,10 +9,10 @@
 //! The primary interface is [`StreamParser::next_raw`], which lends out a
 //! [`RawEvent`] borrowing the parser's scratch buffers — element names are
 //! interned [`Sym`]s, attribute storage and the text accumulator are
-//! reused across events, and delimiter scanning runs a SWAR memchr fast
-//! path ([`crate::scan`]). In steady state (all names interned, buffers
-//! grown to the document's token sizes) pulling an event performs **zero
-//! heap allocations**. [`StreamParser::next_event`] is the owned
+//! reused across events, and delimiter scanning runs the runtime-dispatched
+//! SIMD kernels ([`crate::scan`]). In steady state (all names interned,
+//! buffers grown to the document's token sizes) pulling an event performs
+//! **zero heap allocations**. [`StreamParser::next_event`] is the owned
 //! convenience wrapper for consumers that retain events.
 
 use std::collections::VecDeque;
@@ -154,6 +154,11 @@ pub struct StreamParser<R: BufRead> {
     /// entirely. Keys are the table's leaked `&'static str`s, so misses
     /// allocate nothing here either.
     sym_cache: std::collections::HashMap<&'static str, Sym, crate::symbol::FnvBuild>,
+    /// One-entry memo in front of `sym_cache`: the last name resolved.
+    /// Record-shaped documents repeat the same tag in runs, so a single
+    /// byte compare often replaces the FNV hash + map probe. Interned
+    /// symbols are process-global, so the memo survives `reset` safely.
+    last_name: Option<(&'static str, Sym)>,
 }
 
 impl<R: BufRead> StreamParser<R> {
@@ -178,6 +183,7 @@ impl<R: BufRead> StreamParser<R> {
             attrs_len: 0,
             scratch: Vec::new(),
             sym_cache: std::collections::HashMap::default(),
+            last_name: None,
         }
     }
 
@@ -341,8 +347,16 @@ impl<R: BufRead> StreamParser<R> {
         let start_offset = self.offset - 1;
         self.scratch.clear();
         self.scratch.push(b);
-        self.take_until_byte(b'<')?;
-        normalize_line_endings(&mut self.scratch);
+        let (mut saw_amp, mut saw_cr) = self.take_text_run()?;
+        saw_amp |= b == b'&';
+        saw_cr |= b == b'\r';
+        // The run scan already noted whether any `\r` or `&` occurred, so
+        // the normalization and entity-decode passes are skipped outright
+        // for the overwhelming majority of runs instead of each paying
+        // its own gating scan over the bytes.
+        if saw_cr {
+            normalize_line_endings(&mut self.scratch);
+        }
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(start_offset, "invalid UTF-8 in character data"))?;
         if self.state != DocState::InRoot {
@@ -355,9 +369,7 @@ impl<R: BufRead> StreamParser<R> {
         }
         // Entity references decode straight into the accumulator —
         // `raw` borrows `scratch`, a disjoint field from `text_acc`.
-        // Most character data carries no references at all; skip the
-        // per-char decode loop for it.
-        if scan::find_byte(raw.as_bytes(), b'&').is_none() {
+        if !saw_amp {
             self.text_acc.push_str(raw);
         } else {
             decode_into(raw, start_offset, &mut self.text_acc)?;
@@ -403,7 +415,7 @@ impl<R: BufRead> StreamParser<R> {
             }
             Some(b'?') => {
                 self.next_byte()?;
-                self.skip_until(b"?>", "processing instruction")
+                self.skip_past_terminator(b'?', 1, "processing instruction")
             }
             Some(_) => {
                 self.flush_text();
@@ -493,31 +505,34 @@ impl<R: BufRead> StreamParser<R> {
     /// `<!--…-->`, `<![CDATA[…]]>`, or `<!DOCTYPE …>`.
     fn parse_declaration(&mut self, markup_offset: u64) -> Result<()> {
         if self.try_consume(b"--")? {
-            return self.skip_until(b"-->", "comment");
+            return self.skip_past_terminator(b'-', 2, "comment");
         }
         if self.try_consume(b"[CDATA[")? {
             return self.read_cdata(markup_offset);
         }
         // DOCTYPE or other declaration: skip to the matching '>', honoring
-        // nested '[' … ']' internal subsets.
+        // nested '[' … ']' internal subsets. The kernels bulk-skip to the
+        // next structurally interesting byte instead of inspecting each.
         let mut bracket_depth = 0i32;
         loop {
-            match self.next_byte()? {
-                None => {
-                    return Err(Error::UnexpectedEof {
-                        offset: self.offset,
-                        context: "declaration",
-                    })
+            match self.skip_to_byte3(b'[', b']', b'>', "declaration")? {
+                b'[' => bracket_depth += 1,
+                b']' => bracket_depth -= 1,
+                _ => {
+                    if bracket_depth <= 0 {
+                        return Ok(());
+                    }
                 }
-                Some(b'[') => bracket_depth += 1,
-                Some(b']') => bracket_depth -= 1,
-                Some(b'>') if bracket_depth <= 0 => return Ok(()),
-                Some(_) => {}
             }
         }
     }
 
     /// CDATA content is raw character data (no entity decoding).
+    ///
+    /// The body is copied a bulk run at a time (everything up to the next
+    /// `]`), then runs of consecutive `]` are counted: a `>` arriving with
+    /// two or more pending brackets terminates the section, with any
+    /// brackets beyond the final two restored as literal content.
     fn read_cdata(&mut self, markup_offset: u64) -> Result<()> {
         if self.state != DocState::InRoot {
             return Err(Error::ContentOutsideRoot {
@@ -525,18 +540,32 @@ impl<R: BufRead> StreamParser<R> {
             });
         }
         self.scratch.clear();
-        loop {
-            match self.next_byte()? {
-                None => {
-                    return Err(Error::UnexpectedEof {
-                        offset: self.offset,
-                        context: "CDATA section",
-                    })
-                }
-                Some(b) => {
-                    self.scratch.push(b);
-                    if self.scratch.ends_with(b"]]>") {
-                        self.scratch.truncate(self.scratch.len() - 3);
+        'section: loop {
+            self.take_until_byte(b']')?;
+            if self.next_byte()?.is_none() {
+                return Err(Error::UnexpectedEof {
+                    offset: self.offset,
+                    context: "CDATA section",
+                });
+            }
+            let mut pending = 1usize;
+            loop {
+                match self.peek_byte()? {
+                    Some(b']') => {
+                        self.next_byte()?;
+                        pending += 1;
+                    }
+                    Some(b'>') if pending >= 2 => {
+                        self.next_byte()?;
+                        let keep = self.scratch.len() + pending - 2;
+                        self.scratch.resize(keep, b']');
+                        break 'section;
+                    }
+                    _ => {
+                        // All pending brackets were literal content; a
+                        // trailing EOF surfaces on the next bulk scan.
+                        let keep = self.scratch.len() + pending;
+                        self.scratch.resize(keep, b']');
                         break;
                     }
                 }
@@ -564,14 +593,21 @@ impl<R: BufRead> StreamParser<R> {
         if self.scratch.is_empty() {
             return Err(Error::syntax(markup_offset, "expected a name"));
         }
+        if let Some((name, sym)) = self.last_name {
+            if self.scratch.as_slice() == name.as_bytes() {
+                return Ok((sym, name));
+            }
+        }
         let raw = std::str::from_utf8(&self.scratch)
             .map_err(|_| Error::syntax(markup_offset, "invalid UTF-8 in name"))?;
         if let Some((&name, &sym)) = self.sym_cache.get_key_value(raw) {
+            self.last_name = Some((name, sym));
             return Ok((sym, name));
         }
         let sym = Sym::intern(raw);
         let name = sym.as_str();
         self.sym_cache.insert(name, sym);
+        self.last_name = Some((name, sym));
         Ok((sym, name))
     }
 
@@ -808,41 +844,174 @@ impl<R: BufRead> StreamParser<R> {
         Ok(true)
     }
 
-    /// Skip to (and past) `terminator` using a fixed rolling window — no
-    /// per-call allocation. Terminators here are at most 3 bytes (`?>`,
-    /// `-->`).
-    fn skip_until(&mut self, terminator: &[u8], context: &'static str) -> Result<()> {
-        debug_assert!(terminator.len() <= 4);
-        let tlen = terminator.len();
-        let mut window = [0u8; 4];
-        let mut filled = 0usize;
+    /// Skip to (and past) the terminator `marker`×`min_repeat` followed by
+    /// `>` — the shared shape of `-->` (marker `-`, 2) and `?>` (`?`, 1).
+    /// The kernels bulk-skip to each candidate marker; only the short
+    /// marker run itself is inspected per byte.
+    fn skip_past_terminator(
+        &mut self,
+        marker: u8,
+        min_repeat: usize,
+        context: &'static str,
+    ) -> Result<()> {
         loop {
-            match self.next_byte()? {
-                None => {
-                    return Err(Error::UnexpectedEof {
-                        offset: self.offset,
-                        context,
-                    })
-                }
-                Some(b) => {
-                    if filled < tlen {
-                        window[filled] = b;
-                        filled += 1;
-                    } else {
-                        window.copy_within(1..tlen, 0);
-                        window[tlen - 1] = b;
+            self.skip_to_byte(marker, context)?;
+            let mut run = 1usize;
+            loop {
+                match self.peek_byte()? {
+                    Some(b) if b == marker => {
+                        self.next_byte()?;
+                        run += 1;
                     }
-                    if filled == tlen && &window[..tlen] == terminator {
+                    Some(b'>') if run >= min_repeat => {
+                        self.next_byte()?;
                         return Ok(());
+                    }
+                    Some(_) => break,
+                    None => {
+                        return Err(Error::UnexpectedEof {
+                            offset: self.offset,
+                            context,
+                        })
                     }
                 }
             }
         }
     }
+
+    /// Discard input up to and including the next `needle`.
+    fn skip_to_byte(&mut self, needle: u8, context: &'static str) -> Result<()> {
+        loop {
+            let buf = self
+                .reader
+                .fill_buf()
+                .map_err(|e| Error::io(self.offset, e))?;
+            if buf.is_empty() {
+                return Err(Error::UnexpectedEof {
+                    offset: self.offset,
+                    context,
+                });
+            }
+            match scan::find_byte(buf, needle) {
+                Some(n) => {
+                    self.reader.consume(n + 1);
+                    self.offset += n as u64 + 1;
+                    return Ok(());
+                }
+                None => {
+                    let len = buf.len();
+                    self.reader.consume(len);
+                    self.offset += len as u64;
+                }
+            }
+        }
+    }
+
+    /// Discard input up to and including the next occurrence of any of
+    /// three bytes, returning the byte found.
+    fn skip_to_byte3(&mut self, n1: u8, n2: u8, n3: u8, context: &'static str) -> Result<u8> {
+        loop {
+            let buf = self
+                .reader
+                .fill_buf()
+                .map_err(|e| Error::io(self.offset, e))?;
+            if buf.is_empty() {
+                return Err(Error::UnexpectedEof {
+                    offset: self.offset,
+                    context,
+                });
+            }
+            match scan::find_byte3(buf, n1, n2, n3) {
+                Some(n) => {
+                    let b = buf[n];
+                    self.reader.consume(n + 1);
+                    self.offset += n as u64 + 1;
+                    return Ok(b);
+                }
+                None => {
+                    let len = buf.len();
+                    self.reader.consume(len);
+                    self.offset += len as u64;
+                }
+            }
+        }
+    }
+
+    /// Bulk-append character data into `scratch` until the next `<` (left
+    /// unconsumed) or end of input, reporting whether any `&` or `\r` was
+    /// seen along the way. One fused [`scan::classify_run`] pass settles
+    /// the run boundary *and* the flags that decide whether the line-ending
+    /// normalization and entity-decode passes can be skipped.
+    fn take_text_run(&mut self) -> Result<(bool, bool)> {
+        let mut saw_amp = false;
+        let mut saw_cr = false;
+        loop {
+            let buf = self
+                .reader
+                .fill_buf()
+                .map_err(|e| Error::io(self.offset, e))?;
+            if buf.is_empty() {
+                return Ok((saw_amp, saw_cr));
+            }
+            let mut consumed = 0usize;
+            let mut stop = false;
+            loop {
+                let rest = &buf[consumed..];
+                let n = scan::classify_run(rest);
+                if n == rest.len() {
+                    consumed = buf.len();
+                    break;
+                }
+                match rest[n] {
+                    b'<' => {
+                        consumed += n;
+                        stop = true;
+                        break;
+                    }
+                    b'&' => {
+                        saw_amp = true;
+                        consumed += n + 1;
+                    }
+                    b'\r' => {
+                        saw_cr = true;
+                        consumed += n + 1;
+                    }
+                    // `]` is ordinary content here; it is in the delimiter
+                    // set for the push pre-scanner's `]]>` tracking.
+                    _ => consumed += n + 1,
+                }
+            }
+            self.scratch.extend_from_slice(&buf[..consumed]);
+            self.reader.consume(consumed);
+            self.offset += consumed as u64;
+            if stop {
+                return Ok((saw_amp, saw_cr));
+            }
+        }
+    }
+}
+
+/// Byte-class table for name scanning: a single indexed load per byte
+/// beats re-evaluating the whitespace + delimiter predicate in the
+/// name loop, which runs twice per element (tag name, closing name)
+/// plus once per attribute.
+static NAME_BYTE: [bool; 256] = build_name_byte_table();
+
+const fn build_name_byte_table() -> [bool; 256] {
+    let mut table = [false; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = i as u8;
+        let ws = matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0c);
+        let delim = matches!(b, b'>' | b'/' | b'=' | b'<' | b'"' | b'\'');
+        table[i] = !ws && !delim;
+        i += 1;
+    }
+    table
 }
 
 fn is_name_byte(b: u8) -> bool {
-    !b.is_ascii_whitespace() && !matches!(b, b'>' | b'/' | b'=' | b'<' | b'"' | b'\'')
+    NAME_BYTE[b as usize]
 }
 
 /// XML 1.0 §2.11: `\r\n` and bare `\r` become `\n` in character data.
@@ -878,7 +1047,7 @@ fn normalize_line_endings(buf: &mut Vec<u8>) {
 /// `\t`/`\n`/`\r` each become one. Character references (`&#10;`, `&#9;`)
 /// are exempt: they decode after this pass and stay literal.
 fn normalize_attr_whitespace(buf: &mut Vec<u8>) {
-    let Some(first) = buf.iter().position(|&b| matches!(b, b'\t' | b'\r' | b'\n')) else {
+    let Some(first) = scan::find_byte3(buf, b'\t', b'\r', b'\n') else {
         return;
     };
     let len = buf.len();

@@ -26,7 +26,11 @@
 //! (quote-aware tags, bracket-aware DOCTYPE, rolling `-->`/`]]>`/`?>`
 //! matches), so a document fed in 1-byte chunks produces the event
 //! stream — and the errors — of a whole-buffer parse. The chunked
-//! differential tests pin that equivalence.
+//! differential tests pin that equivalence. It runs on the same
+//! runtime-dispatched scan kernels ([`crate::scan`]) as the tokenizer:
+//! every state bulk-skips to its next structurally interesting byte, so
+//! server and transform ingest pay vector-speed per byte, not a
+//! state-machine step.
 //!
 //! Memory is bounded by the largest single token plus one chunk, the
 //! same bound the pull parser's scratch buffers already have: consumed
@@ -181,18 +185,22 @@ impl ChunkBuf {
                     // reprocess this byte in the tag state.
                     _ => Scan::Tag { quote: 0 },
                 },
-                Scan::Tag { quote: 0 } => {
-                    let b = data[i];
-                    i += 1;
-                    match b {
-                        b'>' => {
+                Scan::Tag { quote: 0 } => match scan::find_byte3(&data[i..], b'>', b'"', b'\'') {
+                    None => {
+                        i = len;
+                        Scan::Tag { quote: 0 }
+                    }
+                    Some(j) => {
+                        let b = data[i + j];
+                        i += j + 1;
+                        if b == b'>' {
                             safe = i;
                             Scan::Text
+                        } else {
+                            Scan::Tag { quote: b }
                         }
-                        b'"' | b'\'' => Scan::Tag { quote: b },
-                        _ => Scan::Tag { quote: 0 },
                     }
-                }
+                },
                 Scan::Tag { quote } => match scan::find_byte(&data[i..], quote) {
                     None => {
                         i = len;
@@ -229,6 +237,18 @@ impl ChunkBuf {
                     // so it still reaches a boundary.
                     _ => Scan::Decl { depth: 0 },
                 },
+                // With no terminator prefix pending, the only interesting
+                // byte is the next `-`: bulk-skip the comment body to it.
+                Scan::Comment { matched: 0 } => match scan::find_byte(&data[i..], b'-') {
+                    None => {
+                        i = len;
+                        Scan::Comment { matched: 0 }
+                    }
+                    Some(j) => {
+                        i += j + 1;
+                        Scan::Comment { matched: 1 }
+                    }
+                },
                 Scan::Comment { matched } => {
                     let b = data[i];
                     i += 1;
@@ -262,6 +282,18 @@ impl ChunkBuf {
                         Scan::Decl { depth: 1 }
                     }
                 }
+                // Same shape as the comment body: bulk-skip to the next
+                // `]` when no `]]>` prefix is pending.
+                Scan::Cdata { matched: 0 } => match scan::find_byte(&data[i..], b']') {
+                    None => {
+                        i = len;
+                        Scan::Cdata { matched: 0 }
+                    }
+                    Some(j) => {
+                        i += j + 1;
+                        Scan::Cdata { matched: 1 }
+                    }
+                },
                 Scan::Cdata { matched } => {
                     let b = data[i];
                     i += 1;
@@ -276,29 +308,45 @@ impl ChunkBuf {
                         Scan::Cdata { matched: 0 }
                     }
                 }
-                Scan::Pi { qmark } => {
+                Scan::Pi { qmark: false } => match scan::find_byte(&data[i..], b'?') {
+                    None => {
+                        i = len;
+                        Scan::Pi { qmark: false }
+                    }
+                    Some(j) => {
+                        i += j + 1;
+                        Scan::Pi { qmark: true }
+                    }
+                },
+                Scan::Pi { qmark: true } => {
                     let b = data[i];
                     i += 1;
-                    if b == b'>' && qmark {
+                    if b == b'>' {
                         safe = i;
                         Scan::Text
                     } else {
                         Scan::Pi { qmark: b == b'?' }
                     }
                 }
-                Scan::Decl { depth } => {
-                    let b = data[i];
-                    i += 1;
-                    match b {
-                        b'[' => Scan::Decl { depth: depth + 1 },
-                        b']' => Scan::Decl { depth: depth - 1 },
-                        b'>' if depth <= 0 => {
-                            safe = i;
-                            Scan::Text
-                        }
-                        _ => Scan::Decl { depth },
+                Scan::Decl { depth } => match scan::find_byte3(&data[i..], b'[', b']', b'>') {
+                    None => {
+                        i = len;
+                        Scan::Decl { depth }
                     }
-                }
+                    Some(j) => {
+                        let b = data[i + j];
+                        i += j + 1;
+                        match b {
+                            b'[' => Scan::Decl { depth: depth + 1 },
+                            b']' => Scan::Decl { depth: depth - 1 },
+                            _ if depth <= 0 => {
+                                safe = i;
+                                Scan::Text
+                            }
+                            _ => Scan::Decl { depth },
+                        }
+                    }
+                },
             };
         }
         self.scanned = i;

@@ -30,8 +30,8 @@ impl Rng {
         (self.next() % n as u64) as usize
     }
 
-    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.below(items.len())]
+    fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        items[self.below(items.len())]
     }
 }
 
@@ -64,10 +64,10 @@ fn gen_document(rng: &mut Rng) -> String {
     }
     let mut w = XmlWriter::new();
     if rng.below(3) == 0 {
-        w.write_comment(*rng.pick(COMMENTS));
+        w.write_comment(rng.pick(COMMENTS));
     }
     if rng.below(3) == 0 {
-        w.write_pi("target", *rng.pick(PI_DATA));
+        w.write_pi("target", rng.pick(PI_DATA));
     }
     out.push_str(w.as_str());
     gen_element(rng, &mut out, 0);
@@ -75,7 +75,7 @@ fn gen_document(rng: &mut Rng) -> String {
 }
 
 fn gen_element(rng: &mut Rng, out: &mut String, depth: usize) {
-    let tag = *rng.pick(TAGS);
+    let tag = rng.pick(TAGS);
     out.push('<');
     out.push_str(tag);
     let chosen: Vec<&str> = ATTRS
@@ -90,7 +90,7 @@ fn gen_element(rng: &mut Rng, out: &mut String, depth: usize) {
         out.push_str(name);
         out.push_str("=\"");
         let mut esc = String::new();
-        xsq_xml::entities::escape_attr_into(*rng.pick(TEXTS), &mut esc);
+        xsq_xml::entities::escape_attr_into(rng.pick(TEXTS), &mut esc);
         out.push_str(&esc);
         out.push('"');
     }
@@ -100,20 +100,20 @@ fn gen_element(rng: &mut Rng, out: &mut String, depth: usize) {
         match rng.below(6) {
             0 | 1 => {
                 let mut esc = String::new();
-                xsq_xml::entities::escape_text_into(*rng.pick(TEXTS), &mut esc);
+                xsq_xml::entities::escape_text_into(rng.pick(TEXTS), &mut esc);
                 out.push_str(&esc);
             }
             2 if depth < 4 => gen_element(rng, out, depth + 1),
             3 => {
-                w.write_cdata(*rng.pick(CDATA));
+                w.write_cdata(rng.pick(CDATA));
                 out.push_str(w.as_str());
             }
             4 => {
-                w.write_comment(*rng.pick(COMMENTS));
+                w.write_comment(rng.pick(COMMENTS));
                 out.push_str(w.as_str());
             }
             _ => {
-                w.write_pi("pi", *rng.pick(PI_DATA));
+                w.write_pi("pi", rng.pick(PI_DATA));
                 out.push_str(w.as_str());
             }
         }

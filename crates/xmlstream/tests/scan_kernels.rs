@@ -1,0 +1,229 @@
+//! Differential property tests for the scan-kernel family.
+//!
+//! Every tier available on this machine (scalar, SWAR, SSE2, AVX2) must
+//! be byte-identical to a naive reference scan across:
+//!
+//! - haystack lengths 0–130 (spans the 8-byte SWAR step, the 16-byte
+//!   two-lane/SSE2 blocks, the 32-byte AVX2 blocks, and every tail
+//!   remainder shape);
+//! - every needle position within each length, including positions that
+//!   land in the final partial block (needle-in-remainder) and the
+//!   needle-absent case;
+//! - misaligned slice starts (offsets 0–31 into a larger buffer), so
+//!   unaligned vector loads are exercised at every phase.
+//!
+//! Under Miri the sweeps shrink (Miri is ~1000× slower) but still cover
+//! each block-size boundary; the vector tiers are compiled out under
+//! Miri, so only scalar and SWAR run there — which is exactly the pair
+//! Miri can check for UB.
+
+use xsq_xml::scan::{available_kernels, Kernel, TEXT_DELIMS};
+
+/// The always-correct reference all tiers are measured against.
+fn naive(haystack: &[u8], needles: &[u8]) -> Option<usize> {
+    haystack.iter().position(|b| needles.contains(b))
+}
+
+/// Invoke `kernel`'s finder of matching arity.
+fn run(kernel: Kernel, haystack: &[u8], needles: &[u8]) -> Option<usize> {
+    match *needles {
+        [a] => kernel.find_byte(haystack, a),
+        [a, b] => kernel.find_byte2(haystack, a, b),
+        [a, b, c] => kernel.find_byte3(haystack, a, b, c),
+        [a, b, c, d] => kernel.find_byte4(haystack, a, b, c, d),
+        _ => unreachable!("finders are arity 1–4"),
+    }
+}
+
+fn max_len() -> usize {
+    if cfg!(miri) {
+        40
+    } else {
+        130
+    }
+}
+
+fn offsets() -> Vec<usize> {
+    if cfg!(miri) {
+        vec![0, 1, 7, 15, 31]
+    } else {
+        (0..32).collect()
+    }
+}
+
+/// For each tier, each length, and each needle position: exactly one
+/// needle planted, the reference and the tier must agree.
+#[test]
+fn every_position_every_length() {
+    let needle_sets: [&[u8]; 4] = [b"<", b"<&", b"<&\r", &TEXT_DELIMS];
+    for kernel in available_kernels() {
+        for needles in needle_sets {
+            for len in 0..=max_len() {
+                let mut buf = vec![b'x'; len];
+                // Needle-absent case first.
+                assert_eq!(
+                    run(kernel, &buf, needles),
+                    None,
+                    "{kernel} len={len} absent"
+                );
+                for pos in 0..len {
+                    buf[pos] = needles[pos % needles.len()];
+                    let got = run(kernel, &buf, needles);
+                    assert_eq!(
+                        got,
+                        Some(pos),
+                        "{kernel} len={len} pos={pos} needles={needles:?}"
+                    );
+                    buf[pos] = b'x';
+                }
+            }
+        }
+    }
+}
+
+/// Misaligned starts: the same sweep but on slices beginning at every
+/// offset 0–31 into a page-ish buffer, so vector loads hit every
+/// alignment phase.
+#[test]
+fn misaligned_slice_starts() {
+    let lens: Vec<usize> = if cfg!(miri) {
+        vec![0, 1, 7, 8, 15, 16, 17, 31, 32, 33]
+    } else {
+        (0..=66).collect()
+    };
+    let mut page = [b'x'; 32 + 130 + 32];
+    for kernel in available_kernels() {
+        for &off in &offsets() {
+            for &len in &lens {
+                // Plant a needle just past the slice end: must NOT be found.
+                page[off + len] = b'<';
+                {
+                    let slice = &page[off..off + len];
+                    assert_eq!(
+                        kernel.find_byte(slice, b'<'),
+                        None,
+                        "{kernel} off={off} len={len} past-end leak"
+                    );
+                }
+                page[off + len] = b'x';
+                // And at the last in-slice byte (the remainder): found.
+                if len > 0 {
+                    page[off + len - 1] = b'<';
+                    let slice = &page[off..off + len];
+                    assert_eq!(
+                        kernel.find_byte(slice, b'<'),
+                        Some(len - 1),
+                        "{kernel} off={off} len={len} remainder"
+                    );
+                    page[off + len - 1] = b'x';
+                }
+            }
+        }
+    }
+}
+
+/// Multiple needles present: the *first* match wins regardless of which
+/// needle it is, for every pair of positions.
+#[test]
+fn first_of_several_matches_wins() {
+    let limit = if cfg!(miri) { 24 } else { 70 };
+    for kernel in available_kernels() {
+        for len in 2..=limit {
+            let mut buf = vec![b'x'; len];
+            for a in 0..len {
+                for b in (a + 1)..len {
+                    buf[a] = b'&';
+                    buf[b] = b'<';
+                    let expect = naive(&buf, b"<&");
+                    assert_eq!(expect, Some(a));
+                    assert_eq!(
+                        run(kernel, &buf, b"<&"),
+                        expect,
+                        "{kernel} len={len} a={a} b={b}"
+                    );
+                    buf[a] = b'x';
+                    buf[b] = b'x';
+                }
+            }
+        }
+    }
+}
+
+/// Randomized-ish content: a pseudo-random byte soup compared against
+/// the reference for all four arities on every tier.
+#[test]
+fn byte_soup_differential() {
+    let total = if cfg!(miri) { 200 } else { 4096 };
+    // xorshift; deterministic so failures reproduce.
+    let mut state = 0x2003_c0ffee_u64;
+    let mut soup = Vec::with_capacity(total);
+    for _ in 0..total {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        soup.push((state >> 33) as u8);
+    }
+    let needle_sets: [&[u8]; 4] = [b"<", b"<&", b"<&\r", &TEXT_DELIMS];
+    for kernel in available_kernels() {
+        for needles in needle_sets {
+            let mut i = 0;
+            while i < soup.len() {
+                let window = &soup[i..];
+                let expect = naive(window, needles);
+                assert_eq!(
+                    run(kernel, window, needles),
+                    expect,
+                    "{kernel} i={i} needles={needles:?}"
+                );
+                i += expect.map_or(window.len(), |p| p + 1);
+            }
+        }
+    }
+}
+
+/// `classify_run` is definitionally `find_byte4` over the text delimiter
+/// set, with `len` standing in for "no delimiter".
+#[test]
+fn classify_run_matches_find_byte4() {
+    let limit = if cfg!(miri) { 40 } else { 130 };
+    let [d1, d2, d3, d4] = TEXT_DELIMS;
+    for kernel in available_kernels() {
+        for len in 0..=limit {
+            let mut buf = vec![b'a'; len];
+            assert_eq!(kernel.classify_run(&buf), len, "{kernel} clean len={len}");
+            for pos in 0..len {
+                for delim in TEXT_DELIMS {
+                    buf[pos] = delim;
+                    assert_eq!(
+                        kernel.classify_run(&buf),
+                        kernel.find_byte4(&buf, d1, d2, d3, d4).unwrap(),
+                        "{kernel} len={len} pos={pos} delim={delim}"
+                    );
+                    assert_eq!(kernel.classify_run(&buf), pos);
+                    buf[pos] = b'a';
+                }
+            }
+        }
+    }
+}
+
+/// The dispatching module-level functions agree with the tier they claim
+/// to be running (the active kernel).
+#[test]
+fn dispatch_matches_active_kernel() {
+    let active = xsq_xml::scan::active_kernel();
+    assert!(available_kernels().contains(&active));
+    let buf: Vec<u8> = (0..160)
+        .map(|i| if i == 97 { b'<' } else { b'x' })
+        .collect();
+    assert_eq!(xsq_xml::scan::find_byte(&buf, b'<'), Some(97));
+    assert_eq!(active.find_byte(&buf, b'<'), Some(97));
+    assert_eq!(xsq_xml::scan::find_byte2(&buf, b'&', b'<'), Some(97));
+    assert_eq!(xsq_xml::scan::find_byte3(&buf, b'&', b']', b'<'), Some(97));
+    assert_eq!(
+        xsq_xml::scan::find_byte4(&buf, b'&', b']', b'\r', b'<'),
+        Some(97)
+    );
+    let clean = vec![b'x'; 33];
+    assert_eq!(xsq_xml::scan::classify_run(&clean), 33);
+}

@@ -423,17 +423,23 @@ fn run_multi(opts: &Options) -> ExitCode {
         Err(e) => fail_run(&e.to_string()),
         Ok(workers) => {
             if opts.stats {
+                let secs = t0.elapsed().as_secs_f64();
+                let corpus_bytes: usize = docs.iter().map(Vec::len).sum();
                 eprintln!(
                     "# multi: {} docs, {} results in {:.1} ms [{} queries, {} groups] \
-                     engine={} workers={} events={}",
+                     engine={} workers={} events={} ingest={:.1} MB/s \
+                     events/s={:.0} kernel={}",
                     docs.len(),
                     results,
-                    t0.elapsed().as_secs_f64() * 1e3,
+                    secs * 1e3,
                     set.len(),
                     set.group_count(),
                     opts.engine,
                     workers,
                     events,
+                    corpus_bytes as f64 / (1024.0 * 1024.0) / secs,
+                    events as f64 / secs,
+                    xsq::xml::scan::active_kernel(),
                 );
             }
             ExitCode::SUCCESS
@@ -667,8 +673,9 @@ fn run_serve(opts: &Options) -> ExitCode {
     println!("{}", handle.addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# xsq serve: listening on {} (workers={}, engine={}, idle={}s); \
-         EOF on stdin shuts down",
+        "# xsq serve: listening on {} (workers={}, engine={}, idle={}s, \
+         scan-kernel={}); EOF on stdin shuts down; STAT replies carry \
+         ingest MB/s and events/s",
         handle.addr(),
         if opts.workers == 0 {
             "auto".to_string()
@@ -677,6 +684,7 @@ fn run_serve(opts: &Options) -> ExitCode {
         },
         opts.engine,
         opts.idle_timeout,
+        xsq::xml::scan::active_kernel(),
     );
     let mut sink = [0u8; 4096];
     let mut stdin = std::io::stdin();

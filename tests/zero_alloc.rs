@@ -16,7 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use xsq::engine::VecSink;
-use xsq::xml::StreamParser;
+use xsq::xml::{ParsePoll, StreamParser};
 use xsq::{QueryIndex, VecQuerySink, XsqEngine};
 
 struct CountingAlloc;
@@ -139,5 +139,45 @@ fn steady_state_no_match_loop_performs_zero_allocations() {
         0,
         "query-index hot loop allocated {grew} times over {} steady-state events",
         total_events - warm_events
+    );
+
+    // --- push-mode parser hot loop ------------------------------------
+    // The push path buffers bytes in a ChunkBuf that the pre-scanner
+    // walks with the same dispatch kernels as the pull path. Feed the
+    // document in 1 KiB chunks, polling to exhaustion between pushes so
+    // the buffer compacts: once the first half has sized the scratch
+    // buffers and the ChunkBuf, the second half must not allocate.
+    let mut parser = StreamParser::push_mode();
+    let mut fed = 0u64;
+    let mut baseline = 0u64;
+    let mut pushed_events = 0u64;
+    let half_bytes = doc.len() / 2;
+    let mut consumed = 0usize;
+    for piece in doc.as_bytes().chunks(1024) {
+        parser.push(piece);
+        while let ParsePoll::Event(ev) = parser.poll_raw().expect("well-formed") {
+            std::hint::black_box(&ev);
+            pushed_events += 1;
+        }
+        consumed += piece.len();
+        fed += 1;
+        if baseline == 0 && consumed >= half_bytes {
+            baseline = allocations();
+        }
+    }
+    parser.finish();
+    while let ParsePoll::Event(ev) = parser.poll_raw().expect("well-formed") {
+        std::hint::black_box(&ev);
+        pushed_events += 1;
+    }
+    assert_eq!(
+        pushed_events, total_events,
+        "push path saw a different event stream"
+    );
+    let grew = allocations() - baseline;
+    assert_eq!(
+        grew, 0,
+        "push-parser hot loop allocated {grew} times over the second half \
+         ({fed} chunks total)"
     );
 }
