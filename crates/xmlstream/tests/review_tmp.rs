@@ -1,0 +1,51 @@
+use xsq_xml::event::SaxEvent;
+use xsq_xml::StreamParser;
+
+fn text_of(doc: &str) -> Result<String, String> {
+    let mut p = StreamParser::new(std::io::Cursor::new(doc.as_bytes().to_vec()));
+    let mut out = String::new();
+    loop {
+        match p.next_event() {
+            Ok(Some(SaxEvent::Text { text, .. })) => out.push_str(&text),
+            Ok(Some(SaxEvent::EndDocument)) => return Ok(out),
+            Ok(Some(_)) => {}
+            Ok(None) => return Ok(out),
+            Err(e) => return Err(format!("{e}")),
+        }
+    }
+}
+
+#[test]
+fn cdata_edges() {
+    assert_eq!(text_of("<r><![CDATA[]]></r>").unwrap(), "");
+    assert_eq!(text_of("<r><![CDATA[a]]></r>").unwrap(), "a");
+    assert_eq!(text_of("<r><![CDATA[a]b]]></r>").unwrap(), "a]b");
+    assert_eq!(text_of("<r><![CDATA[a]]]></r>").unwrap(), "a]");
+    assert_eq!(text_of("<r><![CDATA[a]]]]></r>").unwrap(), "a]]");
+    assert_eq!(text_of("<r><![CDATA[]>]]></r>").unwrap(), "]>");
+    assert_eq!(text_of("<r><![CDATA[x]] >]]></r>").unwrap(), "x]] >");
+    assert!(text_of("<r><![CDATA[never ends").is_err());
+    assert!(text_of("<r><![CDATA[ends with ]").is_err());
+    assert!(text_of("<r><![CDATA[ends with ]]").is_err());
+}
+
+#[test]
+fn comment_pi_edges() {
+    assert_eq!(text_of("<r><!-- c -->t</r>").unwrap(), "t");
+    assert_eq!(text_of("<r><!---->t</r>").unwrap(), "t");
+    assert_eq!(text_of("<r><!----->t</r>").unwrap(), "t");
+    assert!(text_of("<r><!--->").is_err());
+    assert_eq!(text_of("<r><?pi??>t</r>").unwrap(), "t");
+    assert_eq!(text_of("<r><?pi a?b?>t</r>").unwrap(), "t");
+    assert!(text_of("<r><?pi never").is_err());
+}
+
+#[test]
+fn text_edges() {
+    assert_eq!(text_of("<r>a\r\nb\rc</r>").unwrap(), "a\nb\nc");
+    assert_eq!(text_of("<r>&amp;&lt;x</r>").unwrap(), "&<x");
+    assert_eq!(text_of("<r>\r</r>").unwrap(), "\n");
+    assert_eq!(text_of("<r>&amp;</r>").unwrap(), "&");
+    assert_eq!(text_of("<r>a]b]]c</r>").unwrap(), "a]b]]c");
+    assert!(text_of("<r>unterminated").is_err());
+}
