@@ -270,6 +270,23 @@ pub fn fig19(cfg: Config) -> Table {
         "XMLTK runs the predicate-free variant: {xmltk_query} (paper, Fig. 19 note 1)"
     ));
     t.note("XQEngine drops out beyond 32K elements per document (paper, Fig. 19 note 2)");
+    // The flat streaming rows have a static explanation: against the
+    // dblp DTD the bound analyzer proves the query buffers ≤ K items
+    // regardless of input size. Print the proof next to the empirics.
+    let dtd_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/dblp.dtd");
+    if let Ok(dtd_text) = std::fs::read_to_string(dtd_path) {
+        if let (Ok(dtd), Ok(parsed)) = (
+            xsq_xml::dtd::Dtd::parse(&dtd_text),
+            xsq_xpath::parse_query(query),
+        ) {
+            if let Ok(analysis) = xsq_core::analyze_with_dtd(&parsed, Some(&dtd)) {
+                t.note(format!(
+                    "static bound (data/dblp.dtd): {} — XSQ rows must stay under it",
+                    analysis.bound.bound
+                ));
+            }
+        }
+    }
     t
 }
 

@@ -23,10 +23,12 @@
 //!    predicate resolves before its output node closes get direct
 //!    emission with buffering statically elided.
 
+pub mod bounds;
 pub mod buffers;
 pub mod prune;
 pub mod verify;
 
+pub use bounds::{analyze_bounds, elide_always_true, BoundAnalysis, BoundStep, MemoryBound};
 pub use buffers::{analyze_buffers, BufferClass, BufferInfo, BufferPlan};
 pub use prune::{prune, PruneStats};
 pub use verify::verify;
@@ -300,6 +302,8 @@ pub struct Analysis {
     pub stats: PruneStats,
     /// Buffer-necessity classification of the pruned transducer.
     pub plan: BufferPlan,
+    /// Static memory bound from the schema (or the no-schema verdict).
+    pub bound: BoundAnalysis,
     /// True when the pruned transducer has no overlapping-arc sources.
     pub proven_deterministic: bool,
     /// The engine the `XsqEngine::full` entry point would actually run.
@@ -310,13 +314,27 @@ pub struct Analysis {
 /// `xsq analyze`; the engine itself runs the same verify/prune pipeline
 /// inline in `compile`.
 pub fn analyze(query: &Query) -> Result<Analysis, CompileError> {
+    analyze_with_dtd(query, None)
+}
+
+/// [`analyze`], with schema knowledge when a DTD is at hand: adds the
+/// schema lints and derives the static memory bound from the content
+/// models instead of the conservative no-schema `Unbounded`.
+pub fn analyze_with_dtd(
+    query: &Query,
+    dtd: Option<&xsq_xml::dtd::Dtd>,
+) -> Result<Analysis, CompileError> {
     let original = build_hpdt(query)?;
     let mut diagnostics = verify(&original);
     diagnostics.extend(lint_streamability(query));
     diagnostics.extend(lint_query(query));
+    if let Some(dtd) = dtd {
+        diagnostics.extend(lint_schema(query, dtd));
+    }
     let (pruned, stats) = prune(&original);
     let proven_deterministic = prove_deterministic(&pruned);
     let plan = analyze_buffers(&pruned);
+    let bound = analyze_bounds(query, &plan, dtd);
     let engine = if proven_deterministic {
         "XSQ-NC (auto)"
     } else {
@@ -329,6 +347,7 @@ pub fn analyze(query: &Query) -> Result<Analysis, CompileError> {
         pruned,
         stats,
         plan,
+        bound,
         proven_deterministic,
         engine,
     })

@@ -39,6 +39,29 @@ impl QueueSet {
         }
     }
 
+    /// Reset for a fresh document, keeping the queues' allocations when
+    /// the count is unchanged (multi-document feeds).
+    pub fn reset(&mut self, count: usize) {
+        self.queues.resize_with(count, Vec::new);
+        self.queues.truncate(count);
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.live_entries = 0;
+        self.peak_entries = 0;
+    }
+
+    /// Pre-size every queue from a static bound: a query the analyzer
+    /// proved `Items(K)` never re-allocates its queues mid-stream.
+    pub fn reserve(&mut self, per_queue: usize) {
+        for q in &mut self.queues {
+            let have = q.capacity();
+            if have < per_queue {
+                q.reserve_exact(per_queue - have);
+            }
+        }
+    }
+
     /// `Q.enqueue(v)` — add a reference under the given depth vector.
     pub fn enqueue(&mut self, queue: usize, item: ItemId, dv: DepthVector, items: &mut ItemStore) {
         items.add_ref(item);

@@ -322,9 +322,9 @@ mod tests {
 
     /// Model-based check: the bitmap implementation behaves exactly like
     /// a plain vector under arbitrary push/pop sequences, including
-    /// around the 64-depth boundary. Opt-in (`--features proptest`):
+    /// around the 64-depth boundary. Opt-in (`RUSTFLAGS="--cfg xsq_proptest"`):
     /// the dependency needs network access.
-    #[cfg(feature = "proptest")]
+    #[cfg(xsq_proptest)]
     mod props {
         use super::super::*;
         use proptest::prelude::*;

@@ -63,6 +63,28 @@ impl XsqEngine {
     /// structural invariants, prune dead states/arcs, and prove (or fail
     /// to prove) determinism for automatic XSQ-NC routing.
     pub fn compile(&self, query: &Query) -> Result<CompiledQuery, CompileError> {
+        self.compile_with_dtd(query, None)
+    }
+
+    /// [`Self::compile_str`] with schema knowledge: the DTD tightens the
+    /// static memory bound and pre-sizes the runner's queues. Semantics
+    /// are unchanged — schema *rewrites* stay behind the explicit
+    /// `schema::optimize` / `analyze::elide_always_true` opt-ins.
+    pub fn compile_str_with_dtd(
+        &self,
+        query: &str,
+        dtd: Option<&xsq_xml::dtd::Dtd>,
+    ) -> Result<CompiledQuery, CompileError> {
+        self.compile_with_dtd(&parse_query(query)?, dtd)
+    }
+
+    /// [`Self::compile`] with schema knowledge (see
+    /// [`Self::compile_str_with_dtd`]).
+    pub fn compile_with_dtd(
+        &self,
+        query: &Query,
+        dtd: Option<&xsq_xml::dtd::Dtd>,
+    ) -> Result<CompiledQuery, CompileError> {
         if self.mode == XsqMode::NoClosure && query.has_closure() {
             return Err(CompileError::Unsupported {
                 feature: "the closure axis //".into(),
@@ -73,10 +95,13 @@ impl XsqEngine {
         crate::analyze::reject_malformed(&crate::analyze::verify(&hpdt))?;
         let (hpdt, _) = crate::analyze::prune(&hpdt);
         let auto_nc = crate::analyze::prove_deterministic(&hpdt);
+        let plan = crate::analyze::analyze_buffers(&hpdt);
+        let bound = crate::analyze::analyze_bounds(query, &plan, dtd);
         Ok(CompiledQuery {
             hpdt: Arc::new(hpdt),
             mode: self.mode,
             auto_nc,
+            bound: bound.bound,
         })
     }
 }
@@ -89,6 +114,9 @@ pub struct CompiledQuery {
     /// The analyzer proved the pruned automaton free of closure arcs, so
     /// first-match execution is exact even under `XsqMode::Full`.
     auto_nc: bool,
+    /// Static memory bound (conservative `Unbounded` when compiled
+    /// without a DTD and the query buffers).
+    bound: crate::analyze::MemoryBound,
 }
 
 impl CompiledQuery {
@@ -125,6 +153,11 @@ impl CompiledQuery {
         }
     }
 
+    /// The static memory bound this query was compiled with.
+    pub fn bound(&self) -> &crate::analyze::MemoryBound {
+        &self.bound
+    }
+
     /// Start an incremental run — the streaming interface. Feed events as
     /// they arrive; results reach the sink as soon as the semantics
     /// permit.
@@ -133,7 +166,15 @@ impl CompiledQuery {
         // match where the compiler proved that safe (§6.2). Full-mode
         // queries the analyzer proved deterministic take the same fast
         // path automatically.
-        Runner::new(&self.hpdt, self.mode == XsqMode::Full && !self.auto_nc)
+        let mut runner = Runner::new(&self.hpdt, self.mode == XsqMode::Full && !self.auto_nc);
+        // A proven Items(K) bound pre-sizes the queues: no mid-stream
+        // queue growth on schema-valid input.
+        if let Some(k) = self.bound.items() {
+            if k > 0 {
+                runner.set_queue_hint(k as usize);
+            }
+        }
+        runner
     }
 
     /// Run over a complete serialized document.

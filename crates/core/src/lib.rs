@@ -58,7 +58,8 @@ pub mod sink;
 pub mod trace;
 
 pub use analyze::{
-    analyze, prune, verify, Analysis, BufferClass, BufferPlan, Diagnostic, PruneStats, Severity,
+    analyze, analyze_with_dtd, prune, verify, Analysis, BoundAnalysis, BufferClass, BufferPlan,
+    Diagnostic, MemoryBound, PruneStats, Severity,
 };
 pub use build::{build_hpdt, Hpdt};
 pub use depth_vector::DepthVector;

@@ -234,6 +234,7 @@ impl<'q> MultiRunner<'q> {
             let m = r.memory();
             total.peak_bytes += m.peak_bytes;
             total.peak_items += m.peak_items;
+            total.peak_buffered_items += m.peak_buffered_items;
             total.peak_configs += m.peak_configs;
         }
         total

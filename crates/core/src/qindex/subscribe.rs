@@ -458,6 +458,7 @@ impl QueryIndex {
             total.results += stats.results;
             total.memory.peak_bytes += stats.memory.peak_bytes;
             total.memory.peak_items += stats.memory.peak_items;
+            total.memory.peak_buffered_items += stats.memory.peak_buffered_items;
             total.memory.peak_configs += stats.memory.peak_configs;
             core.reset(hpdt);
             core.frontier_states(scratch_states);

@@ -35,6 +35,9 @@ pub struct MemoryStats {
     pub peak_bytes: u64,
     /// Peak number of live buffered items (0 for unbuffered engines).
     pub peak_items: u64,
+    /// Peak simultaneous queue entries (buffered item *references*) —
+    /// the quantity the static analyzer's `MemoryBound` claims to bound.
+    pub peak_buffered_items: u64,
     /// Peak simultaneous runtime configurations (automaton engines).
     pub peak_configs: u64,
     /// Bytes of resident preprocessed structure (DOM tree, full-text

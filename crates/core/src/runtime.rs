@@ -88,12 +88,20 @@ pub struct RunnerCore {
     events: u64,
     results: u64,
     peak_configs: usize,
+    /// Per-queue capacity to pre-reserve, from a static `Items(K)` bound
+    /// (0 = no hint). Re-applied on every reset.
+    queue_hint: usize,
     // Scratch buffers reused across events (the hot loop allocates
     // nothing on the no-match and single-match paths).
     scratch_matches: Vec<(usize, StateId, u32)>,
     scratch_uses: Vec<u32>,
     spare_configs: Vec<Config>,
 }
+
+/// Ceiling on the per-queue pre-size hint: a pathological DTD can prove
+/// a huge-but-finite bound, and reserving it eagerly would trade the
+/// allocation win for a memory loss.
+const QUEUE_HINT_CAP: usize = 1024;
 
 fn make_aggs(hpdt: &Hpdt) -> (Vec<Option<Aggregator>>, usize) {
     let aggs: Vec<Option<Aggregator>> = hpdt
@@ -130,10 +138,20 @@ impl RunnerCore {
             events: 0,
             results: 0,
             peak_configs: 1,
+            queue_hint: 0,
             scratch_matches: Vec::new(),
             scratch_uses: Vec::new(),
             spare_configs: Vec::new(),
         }
+    }
+
+    /// Pre-size every queue to `per_queue` entries, now and after every
+    /// [`Self::reset`] — the engine passes a statically proven `Items(K)`
+    /// bound here so bounded queries never re-allocate mid-stream. A hint
+    /// of 0 clears it.
+    pub fn set_queue_hint(&mut self, per_queue: usize) {
+        self.queue_hint = per_queue.min(QUEUE_HINT_CAP);
+        self.queues.reserve(self.queue_hint);
     }
 
     /// Reset to the start state for a fresh document, keeping the
@@ -147,7 +165,11 @@ impl RunnerCore {
         });
         self.items = ItemStore::new();
         self.buffered = hpdt.buffered;
-        self.queues = QueueSet::new(if hpdt.buffered { hpdt.bpdt_count } else { 0 });
+        self.queues
+            .reset(if hpdt.buffered { hpdt.bpdt_count } else { 0 });
+        if self.queue_hint > 0 {
+            self.queues.reserve(self.queue_hint);
+        }
         let (aggs, agg_count) = make_aggs(hpdt);
         self.aggs = aggs;
         self.agg_count = agg_count;
@@ -477,6 +499,7 @@ impl RunnerCore {
                 + self.queues.peak_entries() * std::mem::size_of::<crate::buffers::Entry>())
                 as u64,
             peak_items: self.items.peak_live_items() as u64,
+            peak_buffered_items: self.queues.peak_entries() as u64,
             peak_configs: self.peak_configs as u64,
             resident_structure_bytes: 0,
         }
@@ -549,6 +572,12 @@ impl<'q> Runner<'q> {
     /// unset.
     pub fn set_tracer(&mut self, tracer: &'q mut dyn FnMut(TraceStep)) {
         self.tracer = Some(tracer);
+    }
+
+    /// Pre-size the queues from a static `Items(K)` bound (see
+    /// [`RunnerCore::set_queue_hint`]).
+    pub fn set_queue_hint(&mut self, per_queue: usize) {
+        self.core.set_queue_hint(per_queue);
     }
 
     /// Process one owned SAX event, pushing any newly determined results

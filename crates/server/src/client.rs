@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use xsq_core::{run_sequential_with, QuerySet, XsqEngine};
 
-use crate::proto::{err_code, op, read_frame, write_frame, Frame, MAX_FRAME};
+use crate::proto::{err_code, op, read_frame, write_frame, Frame, WireBound, MAX_FRAME};
 
 /// How one corpus replay went.
 #[derive(Debug, Default)]
@@ -27,6 +27,9 @@ pub struct ClientReport {
     pub updates: u64,
     /// The server's STAT JSON, when requested.
     pub stats_json: Option<String>,
+    /// Per-query static memory bounds from the SUB_OK tail, in query
+    /// order. Empty when talking to a server that predates bounds.
+    pub bounds: Vec<WireBound>,
 }
 
 /// Client-side failures, split for distinct CLI exit codes.
@@ -124,12 +127,29 @@ pub fn run_corpus(
 
     write_frame(&mut writer, op::SUB, queries.join("\n").as_bytes())?;
     let reply = next(&mut writer)?;
-    let ids = match reply.op {
+    let (ids, bounds) = match reply.op {
         op::SUB_OK => {
             if reply.payload.len() < 4 {
                 return Err(ClientError::Protocol("short SUB_OK".into()));
             }
-            u32::from_le_bytes(reply.payload[..4].try_into().unwrap())
+            let count = u32::from_le_bytes(reply.payload[..4].try_into().unwrap());
+            // ids then (on servers that compute them) one WireBound per
+            // query; older servers simply end the payload after the ids.
+            let tail = reply.payload.get(4 + 4 * count as usize..).unwrap_or(&[]);
+            let mut bounds = Vec::new();
+            if tail.len() == count as usize * WireBound::SIZE {
+                for raw in tail.chunks_exact(WireBound::SIZE) {
+                    match WireBound::decode(raw) {
+                        Some(b) => bounds.push(b),
+                        None => {
+                            return Err(ClientError::Protocol(
+                                "malformed bound in SUB_OK tail".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            (count, bounds)
         }
         op::ERR => return Err(remote_err(&reply.payload)),
         other => {
@@ -145,7 +165,10 @@ pub fn run_corpus(
         )));
     }
 
-    let mut report = ClientReport::default();
+    let mut report = ClientReport {
+        bounds,
+        ..ClientReport::default()
+    };
     let chunk = opts.chunk.max(1);
     for (di, doc) in docs.iter().enumerate() {
         for piece in doc.as_ref().chunks(chunk) {

@@ -27,6 +27,6 @@ pub mod server;
 pub mod session;
 
 pub use client::{reference_output, run_corpus, ClientError, ClientReport, ConnectOptions};
-pub use proto::{read_frame, write_frame, Frame, MAX_FRAME};
+pub use proto::{read_frame, write_frame, Frame, WireBound, MAX_FRAME};
 pub use server::{serve, ServeOptions, ServerHandle};
-pub use session::{Action, Outbox, Session, SessionStats};
+pub use session::{Action, Outbox, Session, SessionLimits, SessionStats};

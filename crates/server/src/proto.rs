@@ -167,6 +167,58 @@ pub mod errcode {
     pub const IDLE_TIMEOUT: &str = "idle-timeout";
     /// The server is draining for shutdown (fatal).
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// A SUB's static memory bound exceeds the server's `--max-bound`
+    /// admission budget (recoverable — fix the query and resubscribe).
+    pub const OVER_BUDGET: &str = "over-budget";
+}
+
+/// A `MemoryBound` on the wire: one kind byte plus a `u64` LE count
+/// (meaningful for `items`/`per-depth`, zero otherwise). Appended per
+/// query to SUB_OK payloads after the ids — old clients read only the
+/// leading count and ignore the tail, so the extension is compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireBound {
+    Zero,
+    Items(u64),
+    PerDepth(u64),
+    Unbounded,
+}
+
+impl WireBound {
+    pub const SIZE: usize = 9;
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let (kind, k) = match self {
+            WireBound::Zero => (0u8, 0u64),
+            WireBound::Items(k) => (1, *k),
+            WireBound::PerDepth(k) => (2, *k),
+            WireBound::Unbounded => (3, 0),
+        };
+        out.push(kind);
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<WireBound> {
+        let k = u64::from_le_bytes(bytes.get(1..9)?.try_into().ok()?);
+        match bytes[0] {
+            0 => Some(WireBound::Zero),
+            1 => Some(WireBound::Items(k)),
+            2 => Some(WireBound::PerDepth(k)),
+            3 => Some(WireBound::Unbounded),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WireBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireBound::Zero => write!(f, "zero"),
+            WireBound::Items(k) => write!(f, "items({k})"),
+            WireBound::PerDepth(k) => write!(f, "per-depth({k})"),
+            WireBound::Unbounded => write!(f, "unbounded"),
+        }
+    }
 }
 
 /// One machine-readable diagnostic inside an ERR payload.
@@ -257,6 +309,23 @@ mod tests {
             let err = read_frame(&mut &bytes[..cut], MAX_FRAME).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn wire_bounds_roundtrip() {
+        for b in [
+            WireBound::Zero,
+            WireBound::Items(7),
+            WireBound::PerDepth(3),
+            WireBound::Unbounded,
+        ] {
+            let mut buf = Vec::new();
+            b.encode(&mut buf);
+            assert_eq!(buf.len(), WireBound::SIZE);
+            assert_eq!(WireBound::decode(&buf), Some(b));
+        }
+        assert_eq!(WireBound::decode(&[9; 9]), None);
+        assert_eq!(WireBound::decode(&[0; 4]), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use xsq_core::XsqEngine;
 
 use crate::proto::{err_payload, errcode, frame_bytes, op, Frame, MAX_FRAME};
-use crate::session::{Action, Outbox, Session};
+use crate::session::{Action, Outbox, Session, SessionLimits};
 
 /// How often a blocked read wakes up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -52,6 +52,9 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Engine every session compiles against.
     pub engine: XsqEngine,
+    /// Admission policy: per-subscription static-bound budget and the
+    /// DTD the bound analyzer proves it against (`--max-bound`/`--dtd`).
+    pub limits: SessionLimits,
 }
 
 impl ServeOptions {
@@ -63,6 +66,7 @@ impl ServeOptions {
             max_frame: MAX_FRAME,
             queue_depth: 256,
             engine: XsqEngine::full(),
+            limits: SessionLimits::default(),
         }
     }
 
@@ -209,7 +213,7 @@ fn handle_connection(
         })
         .expect("spawn writer");
 
-    let mut session = Session::new(opts.engine);
+    let mut session = Session::with_limits(opts.engine, opts.limits.clone());
     let mut out = QueueOutbox { tx, dead: false };
     let mut drain_deadline: Option<Instant> = None;
     loop {

@@ -21,10 +21,29 @@
 //! finishes, so a document's result set is always produced by one
 //! consistent query set.
 
-use xsq_core::{CompileError, QueryId, QueryIndex, QuerySet, QuerySink, XsqEngine, XsqMode};
+use std::sync::Arc;
+
+use xsq_core::{
+    CompileError, MemoryBound, QueryId, QueryIndex, QuerySet, QuerySink, XsqEngine, XsqMode,
+};
+use xsq_xml::dtd::Dtd;
 use xsq_xml::{ParsePoll, PushParser, StreamParser};
 
-use crate::proto::{err_payload, errcode, json_escape, op, ErrDiagnostic, Frame};
+use crate::proto::{err_payload, errcode, json_escape, op, ErrDiagnostic, Frame, WireBound};
+
+/// Per-session admission policy, shared by every connection of one
+/// server: an optional per-subscription item budget and the schema the
+/// bound analyzer proves it against.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLimits {
+    /// Reject any SUB whose static memory bound is not `Items(K ≤ max)`
+    /// (or `Zero`). `None` admits everything.
+    pub max_bound: Option<u64>,
+    /// Schema for the bound analysis. Without one, every buffering
+    /// query analyzes as `Unbounded` — so `max_bound` without a DTD
+    /// admits only bufferless queries.
+    pub dtd: Option<Arc<Dtd>>,
+}
 
 /// Where a session's reply frames go. The TCP server backs this with a
 /// bounded queue to a writer thread (backpressure); tests back it with
@@ -106,10 +125,16 @@ pub struct Session {
     pending_unsubs: Vec<QueryId>,
     /// Ids promised to pending subs but not yet allocated by the index.
     promised: u32,
+    limits: SessionLimits,
 }
 
 impl Session {
     pub fn new(engine: XsqEngine) -> Session {
+        Session::with_limits(engine, SessionLimits::default())
+    }
+
+    /// A session with an admission policy (`xsq serve --max-bound`).
+    pub fn with_limits(engine: XsqEngine, limits: SessionLimits) -> Session {
         Session {
             engine,
             index: QueryIndex::new(engine),
@@ -123,6 +148,7 @@ impl Session {
             pending_subs: Vec::new(),
             pending_unsubs: Vec::new(),
             promised: 0,
+            limits,
         }
     }
 
@@ -201,6 +227,33 @@ impl Session {
             );
             return Action::Continue;
         }
+        // Admission control: every query's static memory bound is
+        // computed before any id is promised, so a rejected batch
+        // changes nothing (recoverable ERR, session stays usable).
+        let dtd = self.limits.dtd.as_deref();
+        let bounds: Vec<MemoryBound> = queries
+            .iter()
+            .map(|q| query_bound(self.engine, q, dtd))
+            .collect();
+        if let Some(budget) = self.limits.max_bound {
+            if let Some(i) = bounds.iter().position(|b| !b.admits(budget)) {
+                out.send(
+                    op::ERR,
+                    &err_payload(
+                        errcode::OVER_BUDGET,
+                        &format!(
+                            "query {} ({}): static memory bound {} exceeds the \
+                             server budget of {budget} buffered item(s)",
+                            i + 1,
+                            queries[i],
+                            bounds[i],
+                        ),
+                        &bound_diagnostics(queries[i], dtd),
+                    ),
+                );
+                return Action::Continue;
+            }
+        }
         let ids: Vec<QueryId> = if self.doc_active {
             let base = self.index.len() as u32 + self.promised;
             let ids = (0..queries.len() as u32)
@@ -223,10 +276,15 @@ impl Session {
                 }
             }
         };
-        let mut reply = Vec::with_capacity(4 + 4 * ids.len());
+        // SUB_OK: count, ids, then one WireBound per query (clients that
+        // predate the bounds read only count + ids and ignore the tail).
+        let mut reply = Vec::with_capacity(4 + (4 + WireBound::SIZE) * ids.len());
         reply.extend_from_slice(&(ids.len() as u32).to_le_bytes());
         for id in &ids {
             reply.extend_from_slice(&id.0.to_le_bytes());
+        }
+        for bound in &bounds {
+            wire_bound(bound).encode(&mut reply);
         }
         out.send(op::SUB_OK, &reply);
         Action::Continue
@@ -398,6 +456,55 @@ impl Session {
             events_per_sec,
             xsq_xml::scan::active_kernel(),
         )
+    }
+}
+
+/// The static bound of one already-validated query. Validation happened
+/// a moment ago, so a compile failure here is a defensive fiction: it
+/// maps to `Unbounded`, which every budget rejects.
+fn query_bound(engine: XsqEngine, query: &str, dtd: Option<&Dtd>) -> MemoryBound {
+    match engine.compile_str_with_dtd(query, dtd) {
+        Ok(c) => c.bound().clone(),
+        Err(e) => MemoryBound::Unbounded {
+            reason: format!("bound analysis failed: {e}"),
+            span: xsq_xpath::Span::new(0, 0),
+        },
+    }
+}
+
+/// Diagnostics for an over-budget rejection: the analyzer's full
+/// derivation trace, so the client sees *why* the bound is what it is
+/// (which multiplicity is starred, which step stays undecided).
+fn bound_diagnostics(query: &str, dtd: Option<&Dtd>) -> Vec<ErrDiagnostic> {
+    let Ok(parsed) = xsq_xpath::parse_query(query) else {
+        return Vec::new();
+    };
+    let Ok(analysis) = xsq_core::analyze_with_dtd(&parsed, dtd) else {
+        return Vec::new();
+    };
+    let mut out = vec![ErrDiagnostic {
+        severity: "error",
+        code: "memory-bound".into(),
+        message: format!("static memory bound: {}", analysis.bound.bound),
+        step: None,
+    }];
+    out.extend(analysis.bound.trace.iter().map(|s| ErrDiagnostic {
+        severity: "info",
+        code: s.rule.to_string(),
+        message: s.detail.clone(),
+        step: None,
+    }));
+    out
+}
+
+/// `MemoryBound` → its wire form (the derivation stays server-side;
+/// SUB_OK carries only the verdict).
+fn wire_bound(bound: &MemoryBound) -> WireBound {
+    match bound {
+        MemoryBound::Zero => WireBound::Zero,
+        MemoryBound::Items(k) => WireBound::Items(*k),
+        MemoryBound::PerDepth(k) => WireBound::PerDepth(*k),
+        MemoryBound::Unbounded { .. } => WireBound::Unbounded,
     }
 }
 
@@ -637,6 +744,137 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    fn dblp_dtd() -> Arc<Dtd> {
+        Arc::new(
+            Dtd::parse(
+                "<!ELEMENT dblp ((article | inproceedings)*)>\
+                 <!ELEMENT article (author*, title, year, pages)>\
+                 <!ELEMENT inproceedings (author*, title, year, pages, booktitle?)>\
+                 <!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>\
+                 <!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)>\
+                 <!ELEMENT booktitle (#PCDATA)>",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn sub_ok_bounds(payload: &[u8]) -> Vec<WireBound> {
+        let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        let tail = &payload[4 + 4 * count..];
+        (0..count)
+            .map(|i| WireBound::decode(&tail[i * WireBound::SIZE..]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sub_ok_carries_per_query_bounds() {
+        let mut session = Session::with_limits(
+            XsqEngine::full(),
+            SessionLimits {
+                max_bound: None,
+                dtd: Some(dblp_dtd()),
+            },
+        );
+        let replies = drive(
+            &mut session,
+            &[sub_frame(
+                "/a/b/text()\n/dblp/inproceedings[author]/title/text()\n\
+                 /dblp/inproceedings[booktitle]/author/text()",
+            )],
+        );
+        assert_eq!(replies[0].0, op::SUB_OK);
+        assert_eq!(
+            sub_ok_bounds(&replies[0].1),
+            [WireBound::Zero, WireBound::Items(1), WireBound::Unbounded]
+        );
+        // Without a DTD the buffering query stays unbounded.
+        let mut bare = Session::new(XsqEngine::full());
+        let replies = drive(
+            &mut bare,
+            &[sub_frame("/dblp/inproceedings[author]/title/text()")],
+        );
+        assert_eq!(sub_ok_bounds(&replies[0].1), [WireBound::Unbounded]);
+    }
+
+    #[test]
+    fn over_budget_sub_is_rejected_recoverably() {
+        let mut session = Session::with_limits(
+            XsqEngine::full(),
+            SessionLimits {
+                max_bound: Some(0),
+                dtd: Some(dblp_dtd()),
+            },
+        );
+        // Items(1) > budget 0 → rejected with the analyzer's derivation.
+        let replies = drive(
+            &mut session,
+            &[sub_frame("/dblp/inproceedings[author]/title/text()")],
+        );
+        assert_eq!(replies[0].0, op::ERR);
+        assert_eq!(err_code(&replies[0].1), Some(errcode::OVER_BUDGET));
+        let text = std::str::from_utf8(&replies[0].1).unwrap();
+        assert!(text.contains("memory-bound"), "{text}");
+        assert!(text.contains("outermost-undecided-step"), "{text}");
+        // The session survives and still admits bufferless queries…
+        let replies = drive(
+            &mut session,
+            &[
+                sub_frame("/dblp/article/title/text()"),
+                feed_frame(b"<dblp><article><title>T</title></article></dblp>"),
+                END,
+            ],
+        );
+        assert_eq!(replies[0].0, op::SUB_OK);
+        assert_eq!(results_of(&replies), [(0, "T".to_string())]);
+        // …and the rejected batch promised no ids: the admitted query
+        // got id 0.
+    }
+
+    #[test]
+    fn budget_admits_items_within_it() {
+        let mut session = Session::with_limits(
+            XsqEngine::full(),
+            SessionLimits {
+                max_bound: Some(1),
+                dtd: Some(dblp_dtd()),
+            },
+        );
+        let replies = drive(
+            &mut session,
+            &[sub_frame("/dblp/inproceedings[author]/title/text()")],
+        );
+        assert_eq!(replies[0].0, op::SUB_OK);
+        assert_eq!(sub_ok_bounds(&replies[0].1), [WireBound::Items(1)]);
+    }
+
+    #[test]
+    fn a_rejected_batch_rejects_wholesale() {
+        // One admissible + one over-budget query in a single SUB: the
+        // whole batch is refused and no id is allocated.
+        let mut session = Session::with_limits(
+            XsqEngine::full(),
+            SessionLimits {
+                max_bound: Some(8),
+                dtd: Some(dblp_dtd()),
+            },
+        );
+        let replies = drive(
+            &mut session,
+            &[sub_frame(
+                "/a/b/text()\n/dblp/inproceedings[booktitle]/author/text()",
+            )],
+        );
+        assert_eq!(replies[0].0, op::ERR);
+        assert_eq!(err_code(&replies[0].1), Some(errcode::OVER_BUDGET));
+        let replies = drive(&mut session, &[sub_frame("/a/b/text()")]);
+        assert_eq!(replies[0].0, op::SUB_OK);
+        assert_eq!(
+            u32::from_le_bytes(replies[0].1[4..8].try_into().unwrap()),
+            0,
+            "rejected batch must not consume ids"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use xsq_server::proto::{err_code, errcode, frame_bytes, op, read_frame, MAX_FRAME};
-use xsq_server::{serve, ServeOptions, ServerHandle};
+use xsq_server::proto::{err_code, errcode, frame_bytes, op, read_frame, WireBound, MAX_FRAME};
+use xsq_server::{serve, ServeOptions, ServerHandle, SessionLimits};
 
 fn start_server(configure: impl FnOnce(&mut ServeOptions)) -> ServerHandle {
     let mut opts = ServeOptions::new("127.0.0.1:0");
@@ -202,6 +202,66 @@ fn idle_connection_times_out_with_framed_error() {
     let payload = expect_frame(&mut stream, op::ERR);
     assert_eq!(err_code(&payload), Some(errcode::IDLE_TIMEOUT));
     expect_eof(&mut stream);
+    server.shutdown();
+}
+
+#[test]
+fn over_budget_sub_is_rejected_recoverably_over_tcp() {
+    // `xsq serve --max-bound 0 --dtd dblp.dtd`: a query whose static
+    // bound is Items(1) must be refused with a recoverable framed error
+    // carrying the bound analyzer's derivation, and the session must
+    // keep serving admitted queries afterwards.
+    let dtd = std::sync::Arc::new(
+        xsq_xml::dtd::Dtd::parse(
+            "<!ELEMENT dblp ((article | inproceedings)*)>\
+             <!ELEMENT article (author*, title, year, pages)>\
+             <!ELEMENT inproceedings (author*, title, year, pages, booktitle?)>\
+             <!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)>\
+             <!ELEMENT booktitle (#PCDATA)>",
+        )
+        .unwrap(),
+    );
+    let server = start_server(|o| {
+        o.limits = SessionLimits {
+            max_bound: Some(0),
+            dtd: Some(dtd),
+        };
+    });
+    let mut stream = connect(&server);
+    stream
+        .write_all(&frame_bytes(
+            op::SUB,
+            b"/dblp/inproceedings[author]/title/text()",
+        ))
+        .unwrap();
+    stream.flush().unwrap();
+    let payload = expect_frame(&mut stream, op::ERR);
+    assert_eq!(err_code(&payload), Some(errcode::OVER_BUDGET));
+    let text = String::from_utf8_lossy(&payload);
+    assert!(text.contains("memory-bound"), "payload: {text}");
+    assert!(text.contains("outermost-undecided-step"), "payload: {text}");
+    // Recoverable: a bufferless query is admitted on the same socket,
+    // gets id 0 (the rejected batch consumed none), reports a Zero
+    // bound in the SUB_OK tail, and answers documents.
+    stream
+        .write_all(&frame_bytes(op::SUB, b"/dblp/article/title/text()"))
+        .unwrap();
+    stream
+        .write_all(&frame_bytes(
+            op::FEED,
+            b"<dblp><article><title>T</title></article></dblp>",
+        ))
+        .unwrap();
+    stream.write_all(&frame_bytes(op::END_DOC, &[])).unwrap();
+    stream.flush().unwrap();
+    let sub_ok = expect_frame(&mut stream, op::SUB_OK);
+    assert_eq!(u32::from_le_bytes(sub_ok[..4].try_into().unwrap()), 1);
+    assert_eq!(u32::from_le_bytes(sub_ok[4..8].try_into().unwrap()), 0);
+    assert_eq!(WireBound::decode(&sub_ok[8..]), Some(WireBound::Zero));
+    let result = expect_frame(&mut stream, op::RESULT);
+    assert_eq!(&result[4..], b"T");
+    expect_frame(&mut stream, op::DOC_OK);
     server.shutdown();
 }
 

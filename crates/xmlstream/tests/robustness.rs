@@ -68,8 +68,8 @@ fn errors_are_chunk_size_independent() {
     assert_eq!(e1, e2);
 }
 
-// Opt-in (`--features proptest`): the dependency needs network access.
-#[cfg(feature = "proptest")]
+// Opt-in (`RUSTFLAGS="--cfg xsq_proptest"`): the dependency needs network access.
+#[cfg(xsq_proptest)]
 mod props {
     use super::*;
     use proptest::prelude::*;

@@ -20,7 +20,7 @@ pub mod value;
 pub use ast::{
     AggFunc, Axis, CmpOp, Comparison, FnArg, FnTest, NodeTest, Output, Predicate, Query, Span, Step,
 };
-pub use classify::{streamability, IssueKind, StreamIssue, StreamReport};
+pub use classify::{classify, streamability, IssueKind, StepCategory, StreamIssue, StreamReport};
 pub use error::{ParseError, ParseResult};
 pub use parser::parse_query;
 pub use rules::{AttrOp, Rule, RuleAction, RuleError, RuleSet, Shape};

@@ -1,9 +1,9 @@
 //! Front-end robustness: the lexer/parser must never panic, and every
 //! successfully parsed query must survive a display → reparse round trip.
 
-// Property tests are opt-in (`--features proptest`): the proptest
+// Property tests are opt-in (`RUSTFLAGS="--cfg xsq_proptest"`): the proptest
 // dependency needs network access, and the default test run is hermetic.
-#![cfg(feature = "proptest")]
+#![cfg(xsq_proptest)]
 
 use proptest::prelude::*;
 use xsq_xpath::parse_query;

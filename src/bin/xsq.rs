@@ -16,8 +16,10 @@
 //!                                      static analysis: verifier
 //!                                      diagnostics, dead-state pruning,
 //!                                      buffer-necessity classes, engine
-//!                                      auto-selection; exits nonzero if
-//!                                      any diagnostic is an error
+//!                                      auto-selection, and (with --dtd)
+//!                                      the static memory bound with its
+//!                                      derivation; exits nonzero if any
+//!                                      diagnostic is an error
 //!
 //! Options:
 //!   --engine NAME   xsq-f (default) | xsq-nc | saxon | galax | xmltk |
@@ -30,10 +32,15 @@
 //!                   rewrite provably-child closures and skip provably
 //!                   empty queries
 //! xsq --dot QUERY                      print the HPDT as Graphviz
-//! xsq serve [--addr A] [--workers N]   streaming query server: framed
+//! xsq serve [--addr A] [--workers N] [--dtd FILE] [--max-bound K]
+//!                                      streaming query server: framed
 //!                                      SUB/FEED protocol over TCP; runs
 //!                                      until stdin reaches EOF, then
-//!                                      drains and exits
+//!                                      drains and exits. --max-bound K
+//!                                      rejects subscriptions whose
+//!                                      static memory bound (proven
+//!                                      against --dtd) exceeds K
+//!                                      buffered items
 //! xsq connect [--addr A] [--chunk N] [--verify]
 //!             (QUERY | --queries QFILE) [FILE...]
 //!                                      replay a corpus over the wire;
@@ -95,6 +102,8 @@ struct Options {
     dataset_stats: bool,
     analyze: bool,
     dtd: Option<String>,
+    /// `serve`: per-subscription static-bound budget (buffered items).
+    max_bound: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -119,6 +128,7 @@ fn parse_args() -> Result<Options, String> {
         dataset_stats: false,
         analyze: false,
         dtd: None,
+        max_bound: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -178,6 +188,14 @@ fn parse_args() -> Result<Options, String> {
             "--analyze" => o.analyze = true,
             "--dtd" => {
                 o.dtd = Some(args.next().ok_or("--dtd needs a file")?);
+            }
+            "--max-bound" => {
+                o.max_bound = Some(
+                    args.next()
+                        .ok_or("--max-bound needs an item count")?
+                        .parse()
+                        .map_err(|_| "--max-bound needs a non-negative number".to_string())?,
+                );
             }
             "--help" | "-h" => return Err(String::new()),
             _ => o.positional.push(a),
@@ -447,6 +465,51 @@ fn run_multi(opts: &Options) -> ExitCode {
     }
 }
 
+/// Render a [`BoundAnalysis`] as the `"bound"` JSON object of
+/// `xsq analyze --json` — kind, count, display form, and the full
+/// derivation trace (rule names are stable identifiers).
+fn bound_json(b: &xsq::engine::BoundAnalysis) -> String {
+    use xsq::engine::MemoryBound;
+    let mut obj = format!("{{\"kind\":\"{}\"", b.bound.label());
+    match &b.bound {
+        MemoryBound::Zero => obj.push_str(",\"items\":0"),
+        MemoryBound::Items(k) => obj.push_str(&format!(",\"items\":{k}")),
+        MemoryBound::PerDepth(k) => obj.push_str(&format!(",\"items_per_level\":{k}")),
+        MemoryBound::Unbounded { reason, span } => {
+            obj.push_str(&format!(",\"reason\":\"{}\"", json_escape(reason)));
+            if !span.is_empty() {
+                obj.push_str(&format!(",\"span\":[{},{}]", span.start, span.end));
+            }
+        }
+    }
+    obj.push_str(&format!(
+        ",\"display\":\"{}\"",
+        json_escape(&b.bound.to_string())
+    ));
+    let trace: Vec<String> = b
+        .trace
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"rule\":\"{}\",\"detail\":\"{}\"}}",
+                s.rule,
+                json_escape(&s.detail)
+            )
+        })
+        .collect();
+    obj.push_str(&format!(",\"derivation\":[{}]", trace.join(",")));
+    if !b.elidable_predicates.is_empty() {
+        let idx: Vec<String> = b
+            .elidable_predicates
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        obj.push_str(&format!(",\"elidable_predicates\":[{}]", idx.join(",")));
+    }
+    obj.push('}');
+    obj
+}
+
 /// `xsq analyze QUERY`: run the full static-analysis pipeline (verify,
 /// lint, prune, buffer classification, determinism proof) and report it.
 /// Exit status is nonzero iff any diagnostic is an error — the smoke-test
@@ -502,22 +565,23 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
             ExitCode::SUCCESS
         };
     }
-    let mut analysis = match xsq::engine::analyze(&parsed) {
+    let dtd = match &opts.dtd {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail_io(&format!("reading {path}: {e}")),
+            };
+            match xsq::xml::dtd::Dtd::parse(&text) {
+                Ok(dtd) => Some(dtd),
+                Err(e) => return fail_run(&format!("parsing {path}: {e}")),
+            }
+        }
+        None => None,
+    };
+    let analysis = match xsq::engine::analyze_with_dtd(&parsed, dtd.as_ref()) {
         Ok(a) => a,
         Err(e) => return fail_query(&e.to_string()),
     };
-    if let Some(path) = &opts.dtd {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => return fail_io(&format!("reading {path}: {e}")),
-        };
-        match xsq::xml::dtd::Dtd::parse(&text) {
-            Ok(dtd) => analysis
-                .diagnostics
-                .extend(xsq::engine::analyze::lint_schema(&parsed, &dtd)),
-            Err(e) => return fail_run(&format!("parsing {path}: {e}")),
-        }
-    }
 
     let errors = xsq::engine::analyze::has_errors(&analysis.diagnostics);
     if opts.dot {
@@ -583,7 +647,7 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
              \"states_before\":{},\"states_after\":{},\
              \"arcs_before\":{},\"arcs_after\":{},\
              \"buffered\":{},\"live_buffers\":{},\
-             \"buffers\":[{}],\"diagnostics\":[{}]}}",
+             \"buffers\":[{}],\"bound\":{},\"diagnostics\":[{}]}}",
             json_escape(query),
             analysis.engine,
             analysis.proven_deterministic,
@@ -594,6 +658,7 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
             analysis.plan.buffered,
             analysis.plan.live_buffers(),
             buffers.join(","),
+            bound_json(&analysis.bound),
             diags.join(","),
         );
     } else {
@@ -633,6 +698,13 @@ fn run_analyze(query: &str, opts: &Options) -> ExitCode {
         for b in &analysis.plan.buffers {
             println!("  {}: {}", b.bpdt, b.class.label());
         }
+        println!("memory bound:  {}", analysis.bound.bound);
+        if !analysis.bound.trace.is_empty() {
+            println!("derivation:");
+            for s in &analysis.bound.trace {
+                println!("  [{}] {}", s.rule, s.detail);
+            }
+        }
         if analysis.diagnostics.is_empty() {
             println!("diagnostics:   none");
         } else {
@@ -664,6 +736,26 @@ fn run_serve(opts: &Options) -> ExitCode {
     sopts.workers = opts.workers;
     sopts.engine = engine;
     sopts.idle_timeout = Duration::from_secs_f64(opts.idle_timeout.max(0.1));
+    // Admission control: `--max-bound K` refuses subscriptions whose
+    // static memory bound exceeds K buffered items; `--dtd FILE` gives
+    // the analyzer the schema to prove bounds against.
+    let dtd = match &opts.dtd {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail_io(&format!("reading {path}: {e}")),
+            };
+            match xsq::xml::dtd::Dtd::parse(&text) {
+                Ok(dtd) => Some(std::sync::Arc::new(dtd)),
+                Err(e) => return fail_run(&format!("parsing {path}: {e}")),
+            }
+        }
+        None => None,
+    };
+    sopts.limits = xsq::server::SessionLimits {
+        max_bound: opts.max_bound,
+        dtd,
+    };
     let handle = match xsq::server::serve(sopts) {
         Ok(h) => h,
         Err(e) => return fail_io(&format!("binding {}: {e}", opts.addr)),
@@ -674,8 +766,8 @@ fn run_serve(opts: &Options) -> ExitCode {
     let _ = std::io::stdout().flush();
     eprintln!(
         "# xsq serve: listening on {} (workers={}, engine={}, idle={}s, \
-         scan-kernel={}); EOF on stdin shuts down; STAT replies carry \
-         ingest MB/s and events/s",
+         scan-kernel={}, max-bound={}); EOF on stdin shuts down; STAT \
+         replies carry ingest MB/s and events/s",
         handle.addr(),
         if opts.workers == 0 {
             "auto".to_string()
@@ -685,6 +777,10 @@ fn run_serve(opts: &Options) -> ExitCode {
         opts.engine,
         opts.idle_timeout,
         xsq::xml::scan::active_kernel(),
+        match opts.max_bound {
+            Some(k) => format!("{k} items"),
+            None => "off".to_string(),
+        },
     );
     let mut sink = [0u8; 4096];
     let mut stdin = std::io::stdin();
@@ -1128,6 +1224,19 @@ fn main() -> ExitCode {
                                 eprintln!("# schema: query can never match; skipping stream");
                                 continue;
                             }
+                            // Earliest-flush: drop existence predicates
+                            // the DTD proves always true, so nothing is
+                            // buffered waiting on them. Same validity
+                            // assumption as the closure rewrite, same
+                            // opt-in flag.
+                            let (optimized, dropped) =
+                                xsq::engine::analyze::elide_always_true(&optimized, &dtd);
+                            if !dropped.is_empty() {
+                                eprintln!(
+                                    "# schema: elided {} always-true predicate(s)",
+                                    dropped.len()
+                                );
+                            }
                             if optimized.to_string() != query {
                                 eprintln!("# schema: rewrote to {optimized}");
                                 effective = optimized.to_string();
@@ -1264,10 +1373,14 @@ fn usage(err: &str) -> ExitCode {
          \u{20}      xsq --dump QUERY\n\
          \u{20}      xsq analyze [--json] [--dot] [--dtd FILE] QUERY\n\
          \u{20}          static analysis: verifier diagnostics, dead-state pruning,\n\
-         \u{20}          buffer classes, engine auto-selection; exits nonzero on errors\n\
-         \u{20}      xsq serve [--addr A] [--workers N] [--idle-timeout S]\n\
+         \u{20}          buffer classes, engine auto-selection, and (with --dtd) the\n\
+         \u{20}          static memory bound + derivation; exits nonzero on errors\n\
+         \u{20}      xsq serve [--addr A] [--workers N] [--idle-timeout S] \\\n\
+         \u{20}                [--dtd FILE] [--max-bound K]\n\
          \u{20}          streaming query server; prints the bound address, runs\n\
-         \u{20}          until stdin reaches EOF, then drains and exits\n\
+         \u{20}          until stdin reaches EOF, then drains and exits;\n\
+         \u{20}          --max-bound K rejects subscriptions whose static memory\n\
+         \u{20}          bound (proven against --dtd) exceeds K buffered items\n\
          \u{20}      xsq connect [--addr A] [--chunk N] [--verify] \\\n\
          \u{20}                  (QUERY | --queries QFILE) [FILE...]\n\
          \u{20}          replay a corpus against a server; --verify byte-compares\n\

@@ -150,3 +150,68 @@ fn dataset_stats_prints_fig15_row() {
     assert!(stdout.contains("elements"));
     assert!(stdout.contains("stats.xml"));
 }
+
+/// `xsq analyze --json` output is a machine interface (CI smoke tests
+/// and editor tooling parse it), so it is pinned by golden snapshots.
+/// Regenerate with
+/// `xsq analyze --json [--dtd data/dblp.dtd] QUERY > tests/golden/…`.
+#[test]
+fn analyze_json_matches_golden_snapshots() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let dtd = format!("{root}/data/dblp.dtd");
+    let cases: [(&str, Option<&str>, &str); 4] = [
+        (
+            "analyze_article_title.json",
+            Some(&dtd),
+            "/dblp/article/title/text()",
+        ),
+        (
+            "analyze_inproceedings_author_title.json",
+            Some(&dtd),
+            "/dblp/inproceedings[author]/title/text()",
+        ),
+        (
+            "analyze_inproceedings_booktitle_author.json",
+            Some(&dtd),
+            "/dblp/inproceedings[booktitle]/author/text()",
+        ),
+        (
+            "analyze_no_schema.json",
+            None,
+            "/dblp/inproceedings[author]/title/text()",
+        ),
+    ];
+    for (golden, dtd, query) in cases {
+        let mut args = vec!["analyze", "--json"];
+        if let Some(d) = dtd {
+            args.extend(["--dtd", d]);
+        }
+        args.push(query);
+        let (stdout, stderr, ok) = run_with_stdin(&args, "");
+        assert!(ok, "{query}: {stderr}");
+        let expected = std::fs::read_to_string(format!("{root}/tests/golden/{golden}")).unwrap();
+        assert_eq!(stdout, expected, "snapshot drift for {golden} ({query})");
+    }
+}
+
+/// The CI bounds smoke contract: with the dblp DTD, the paper's
+/// closure-free buffering query must report a *finite* bound — the
+/// tentpole's showcase tightening — and the text renderer must carry
+/// the derivation.
+#[test]
+fn analyze_with_dtd_reports_a_finite_bound_for_the_paper_query() {
+    let dtd = concat!(env!("CARGO_MANIFEST_DIR"), "/data/dblp.dtd");
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "analyze",
+            "--dtd",
+            dtd,
+            "/dblp/inproceedings[author]/title/text()",
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("memory bound:  ≤ 1 items"), "{stdout}");
+    assert!(stdout.contains("[single-instance]"), "{stdout}");
+    assert!(!stdout.contains("unbounded"), "{stdout}");
+}

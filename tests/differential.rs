@@ -8,9 +8,9 @@
 //! * XMLTK ≡ DOM on predicate-free `text()`/`@attr`/`count()` queries;
 //! * the well-formedness PDA accepts every generated document's events.
 
-// Property tests are opt-in (`--features proptest`): the proptest
+// Property tests are opt-in (`RUSTFLAGS="--cfg xsq_proptest"`): the proptest
 // dependency needs network access, and the default test run is hermetic.
-#![cfg(feature = "proptest")]
+#![cfg(xsq_proptest)]
 
 use proptest::prelude::*;
 
