@@ -270,6 +270,12 @@ fn shard_ablation() -> (Vec<ShardMeasurement>, usize, usize, usize) {
     (rows, DOCS, corpus_bytes, queries.len())
 }
 
+/// Minimum index/solo events-per-sec ratio at N=512. Measured ~3.4 on a
+/// 1-core container after the arc-table + static-interest fix; 1.0 gives
+/// scheduling-noise margin while still failing loudly on any return of
+/// the cliff (which sat at ~0.07).
+const DISPATCH_CLIFF_FLOOR: f64 = 1.0;
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multi.json").to_string()
@@ -334,6 +340,19 @@ fn main() {
                 solo_win >= 5.0,
                 "dispatch must beat the loop ≥5× on runner touches at N=512, got {solo_win:.1}x"
             );
+            // Dispatch-cliff gate: at N=512 the merged-group index must
+            // run at least as fast as the one-group-per-query baseline in
+            // the same process (machine-independent ratio, not an absolute
+            // events/s floor). Before the keyed arc tables and static-
+            // interest registration this ratio was ~0.07 — dispatch won on
+            // touches but the frontier state's O(N) arc scan and per-
+            // record reindex diff ate the win.
+            let cliff_ratio = m.index_events_per_sec / m.solo_events_per_sec;
+            assert!(
+                cliff_ratio >= DISPATCH_CLIFF_FLOOR,
+                "index must not fall off the dispatch cliff at N=512: \
+                 index/solo events-per-sec ratio {cliff_ratio:.2} < {DISPATCH_CLIFF_FLOOR}"
+            );
             assert!(
                 m.states_after < m.states_before,
                 "pruning must shrink the tombstoned merged HPDT at N=512: {} -> {}",
@@ -358,7 +377,7 @@ fn main() {
              \"loop_touches\": {}, \"solo_touches\": {}, \"index_touches\": {}, \
              \"solo_touch_win\": {:.2}, \"shared_touch_win\": {:.2}, \
              \"loop_events_per_sec\": {:.0}, \"solo_events_per_sec\": {:.0}, \
-             \"index_events_per_sec\": {:.0}, \
+             \"index_events_per_sec\": {:.0}, \"index_vs_solo_ratio\": {:.3}, \
              \"loop_touches_per_event\": {:.2}, \"solo_touches_per_event\": {:.2}, \
              \"index_touches_per_event\": {:.2}, \
              \"merged_states_before_prune\": {}, \"merged_states_after_prune\": {}}}",
@@ -374,6 +393,7 @@ fn main() {
             m.loop_events_per_sec,
             m.solo_events_per_sec,
             m.index_events_per_sec,
+            m.index_events_per_sec / m.solo_events_per_sec,
             m.loop_touches as f64 / m.events as f64,
             m.solo_touches as f64 / m.events as f64,
             m.index_touches as f64 / m.events as f64,
@@ -383,6 +403,11 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"dispatch_cliff_gate\": {{\"min_index_vs_solo_ratio\": \
+         {DISPATCH_CLIFF_FLOOR:.1}, \"at_n\": 512, \"enforced\": true}},"
+    );
 
     // ---- Sharded multi-document driver ablation ----
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -34,6 +34,12 @@ impl Aggregator {
         }
     }
 
+    /// Restart the statistic in place for a fresh document (multi-doc
+    /// runner reuse avoids reallocating the aggregator table).
+    pub fn reset(&mut self, func: AggFunc) {
+        *self = Aggregator::new(func);
+    }
+
     /// Fold one matched value in. Numeric conversion follows XPath
     /// `number()`: non-numeric text becomes NaN, which poisons `sum` and
     /// `avg` (XPath 1.0 semantics) but is skipped by `min`/`max` (a

@@ -263,6 +263,127 @@ impl Arc {
     }
 }
 
+/// Event-kind half of a dispatch key (shared by the per-state arc tables
+/// below and the query index's inverted dispatch).
+pub(crate) const KIND_BEGIN: u64 = 0;
+pub(crate) const KIND_END: u64 = 1;
+pub(crate) const KIND_TEXT: u64 = 2;
+
+/// Dense dispatch key for a (kind, tag) pair.
+#[inline]
+pub(crate) fn event_key(kind: u64, sym: Sym) -> u64 {
+    (kind << 32) | sym.index() as u64
+}
+
+/// The dispatch key of an event, if it has one (document start/end do
+/// not — only `rest` arcs can accept those).
+#[inline]
+pub(crate) fn raw_event_key(event: &RawEvent<'_>) -> Option<u64> {
+    match event {
+        RawEvent::Begin { name, .. } => Some(event_key(KIND_BEGIN, *name)),
+        RawEvent::End { name, .. } => Some(event_key(KIND_END, *name)),
+        RawEvent::Text { element, .. } => Some(event_key(KIND_TEXT, *element)),
+        RawEvent::StartDocument | RawEvent::EndDocument => None,
+    }
+}
+
+/// How an arc label participates in keyed dispatch: either it only ever
+/// accepts events with one exact (kind, tag) key, or it must be probed
+/// for every event (wildcard patterns, catchalls, document events).
+pub(crate) fn label_dispatch_key(label: &ArcLabel) -> Option<u64> {
+    match label {
+        ArcLabel::BeginChild(NamePat::Name(s)) | ArcLabel::BeginAnyDepth(NamePat::Name(s)) => {
+            Some(event_key(KIND_BEGIN, *s))
+        }
+        ArcLabel::End(NamePat::Name(s)) => Some(event_key(KIND_END, *s)),
+        ArcLabel::TextSelf(NamePat::Name(s)) | ArcLabel::TextChild(NamePat::Name(s)) => {
+            Some(event_key(KIND_TEXT, *s))
+        }
+        _ => None,
+    }
+}
+
+/// Keyed index over one state's outgoing arcs. `label_matches` makes the
+/// exact tag compare a *necessary* condition for every named label, so an
+/// event only needs to probe the arcs filed under its own (kind, tag) key
+/// plus the `rest` bucket — turning the per-event cost on a frontier
+/// state with N named arcs (one per merged query) from O(N) into
+/// O(matching + wildcards). This is what un-cliffs N=512 single-group
+/// dispatch: the index's touch win finally shows up as wall-clock.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ArcTable {
+    /// `(dispatch key, arc index)` sorted by key then index; probe with
+    /// `partition_point`, entries for one key are contiguous and in
+    /// ascending arc order.
+    named: Vec<(u64, u32)>,
+    /// Arc indices that must be probed for every event, ascending.
+    rest: Vec<u32>,
+}
+
+impl ArcTable {
+    /// Candidate arc indices for an event with dispatch key `key`, in
+    /// ascending arc-index order (merging the key run with `rest`
+    /// preserves the exact probe order of a linear scan, which the
+    /// stop-early XSQ-NC mode relies on). `None` key (document events)
+    /// yields `rest` alone.
+    #[inline]
+    pub(crate) fn candidates(&self, key: Option<u64>, out: &mut Vec<u32>) {
+        out.clear();
+        let run = match key {
+            Some(k) => {
+                let lo = self.named.partition_point(|&(nk, _)| nk < k);
+                let hi = self.named[lo..].partition_point(|&(nk, _)| nk == k) + lo;
+                &self.named[lo..hi]
+            }
+            None => &[],
+        };
+        // Merge two ascending sequences of arc indices.
+        let (mut i, mut j) = (0, 0);
+        while i < run.len() && j < self.rest.len() {
+            if run[i].1 < self.rest[j] {
+                out.push(run[i].1);
+                i += 1;
+            } else {
+                out.push(self.rest[j]);
+                j += 1;
+            }
+        }
+        out.extend(run[i..].iter().map(|&(_, a)| a));
+        out.extend_from_slice(&self.rest[j..]);
+    }
+
+    /// Would a linear scan be just as fast? Small states skip the table
+    /// (`compute_arc_tables` applies the cutoff; this is the test hook).
+    #[cfg(test)]
+    pub(crate) fn worthwhile(&self) -> bool {
+        self.named.len() + self.rest.len() >= ARC_TABLE_CUTOFF
+    }
+}
+
+/// Below this many arcs a linear scan beats the probe+merge.
+const ARC_TABLE_CUTOFF: usize = 8;
+
+/// Build per-state arc tables for the HPDT's transition function. States
+/// whose arc count is below the cutoff get `None` (linear scan).
+pub(crate) fn compute_arc_tables(arcs: &[Vec<Arc>]) -> Vec<Option<ArcTable>> {
+    arcs.iter()
+        .map(|state_arcs| {
+            if state_arcs.len() < ARC_TABLE_CUTOFF {
+                return None;
+            }
+            let mut table = ArcTable::default();
+            for (ai, arc) in state_arcs.iter().enumerate() {
+                match label_dispatch_key(&arc.label) {
+                    Some(key) => table.named.push((key, ai as u32)),
+                    None => table.rest.push(ai as u32),
+                }
+            }
+            table.named.sort_unstable();
+            Some(table)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,5 +527,54 @@ mod tests {
         let dv = DepthVector::from_depths(&[0, 1]);
         assert!(matches(&a, &end("pub", 1), &dv));
         assert!(!matches(&a, &end("pub", 2), &dv));
+    }
+
+    #[test]
+    fn arc_table_candidates_match_linear_scan() {
+        // A frontier-like state: many named begin arcs plus wildcard and
+        // document arcs. The keyed candidates must be exactly the arcs a
+        // linear scan could match, in the same (ascending) order.
+        let mut arcs_of_state = Vec::new();
+        for i in 0..10 {
+            arcs_of_state.push(arc(ArcLabel::BeginChild(NamePat::Name(
+                format!("t{i}").as_str().into(),
+            ))));
+        }
+        arcs_of_state.push(arc(ArcLabel::ClosureSelfLoop));
+        arcs_of_state.push(arc(ArcLabel::BeginChild(NamePat::Any)));
+        arcs_of_state.push(arc(ArcLabel::End(NamePat::Name("t3".into()))));
+        arcs_of_state.push(arc(ArcLabel::TextChild(NamePat::Name("t3".into()))));
+        arcs_of_state.push(arc(ArcLabel::StartDoc));
+        let tables = compute_arc_tables(std::slice::from_ref(&arcs_of_state));
+        let table = tables[0].as_ref().expect("above cutoff");
+        assert!(table.worthwhile());
+
+        let events = [
+            begin("t3", 2),
+            begin("t7", 2),
+            begin("unknown", 2),
+            end("t3", 1),
+            text("t3", "v", 2),
+            SaxEvent::StartDocument,
+        ];
+        let dv = DepthVector::from_depths(&[0, 1]);
+        let mut got = Vec::new();
+        for ev in &events {
+            let raw = ev.as_raw();
+            table.candidates(raw_event_key(&raw), &mut got);
+            // Keyed dispatch is an over-approximation of label_matches:
+            // every arc the linear scan would fire must be a candidate,
+            // and candidates stay in ascending arc order.
+            for (ai, a) in arcs_of_state.iter().enumerate() {
+                if a.label_matches(&raw, &dv) {
+                    assert!(got.contains(&(ai as u32)), "missing arc {ai} for {ev:?}");
+                }
+            }
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "order for {ev:?}");
+        }
+
+        // Small states skip the table entirely.
+        let small = compute_arc_tables(&[vec![arc(ArcLabel::Catchall)]]);
+        assert!(small[0].is_none());
     }
 }

@@ -26,6 +26,10 @@ pub struct Entry {
 #[derive(Debug)]
 pub struct QueueSet {
     queues: Vec<Vec<Entry>>,
+    /// Reusable staging buffer for `upload_matching` (moving entries
+    /// between two queues of the same set needs a third place to stand;
+    /// owning it keeps the steady state allocation-free).
+    scratch: Vec<Entry>,
     live_entries: usize,
     peak_entries: usize,
 }
@@ -34,6 +38,7 @@ impl QueueSet {
     pub fn new(count: usize) -> Self {
         QueueSet {
             queues: (0..count).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
             live_entries: 0,
             peak_entries: 0,
         }
@@ -47,6 +52,7 @@ impl QueueSet {
         for q in &mut self.queues {
             q.clear();
         }
+        self.scratch.clear();
         self.live_entries = 0;
         self.peak_entries = 0;
     }
@@ -63,9 +69,15 @@ impl QueueSet {
     }
 
     /// `Q.enqueue(v)` — add a reference under the given depth vector.
-    pub fn enqueue(&mut self, queue: usize, item: ItemId, dv: DepthVector, items: &mut ItemStore) {
+    /// Takes the vector by reference: the entry shares the caller's tail
+    /// (inline bits are a plain copy; spilled vectors are copy-on-write),
+    /// so enqueueing never deep-copies the vector.
+    pub fn enqueue(&mut self, queue: usize, item: ItemId, dv: &DepthVector, items: &mut ItemStore) {
         items.add_ref(item);
-        self.queues[queue].push(Entry { item, dv });
+        self.queues[queue].push(Entry {
+            item,
+            dv: dv.clone(),
+        });
         self.live_entries += 1;
         self.peak_entries = self.peak_entries.max(self.live_entries);
     }
@@ -80,18 +92,17 @@ impl QueueSet {
         prefix: usize,
         items: &mut ItemStore,
     ) {
-        let q = &mut self.queues[queue];
-        let mut kept = Vec::with_capacity(q.len());
-        for entry in q.drain(..) {
+        let live = &mut self.live_entries;
+        self.queues[queue].retain(|entry| {
             if entry.dv.prefix_matches(dv, prefix) {
                 items.mark_output(entry.item);
                 items.release_ref(entry.item);
-                self.live_entries -= 1;
+                *live -= 1;
+                false
             } else {
-                kept.push(entry);
+                true
             }
-        }
-        *q = kept;
+        });
     }
 
     /// `Q.clear()` — drop the depth-matching references; items with no
@@ -103,17 +114,16 @@ impl QueueSet {
         prefix: usize,
         items: &mut ItemStore,
     ) {
-        let q = &mut self.queues[queue];
-        let mut kept = Vec::with_capacity(q.len());
-        for entry in q.drain(..) {
+        let live = &mut self.live_entries;
+        self.queues[queue].retain(|entry| {
             if entry.dv.prefix_matches(dv, prefix) {
                 items.release_ref(entry.item);
-                self.live_entries -= 1;
+                *live -= 1;
+                false
             } else {
-                kept.push(entry);
+                true
             }
-        }
-        *q = kept;
+        });
     }
 
     /// `Q.upload()` — move the depth-matching references to the target
@@ -121,22 +131,20 @@ impl QueueSet {
     /// §4.3). Reference counts are unchanged.
     pub fn upload_matching(&mut self, from: usize, to: usize, dv: &DepthVector, prefix: usize) {
         debug_assert_ne!(from, to);
-        // Split without borrowing two queues mutably at once.
-        let moved: Vec<Entry> = {
-            let q = &mut self.queues[from];
-            let mut kept = Vec::with_capacity(q.len());
-            let mut moved = Vec::new();
-            for entry in q.drain(..) {
-                if entry.dv.prefix_matches(dv, prefix) {
-                    moved.push(entry);
-                } else {
-                    kept.push(entry);
-                }
+        // Stage through the set's owned scratch rather than a fresh Vec:
+        // we cannot borrow two queues mutably at once, and the scratch
+        // keeps its capacity across calls.
+        let scratch = &mut self.scratch;
+        debug_assert!(scratch.is_empty());
+        self.queues[from].retain(|entry| {
+            if entry.dv.prefix_matches(dv, prefix) {
+                scratch.push(entry.clone());
+                false
+            } else {
+                true
             }
-            *q = kept;
-            moved
-        };
-        self.queues[to].extend(moved);
+        });
+        self.queues[to].append(&mut self.scratch);
     }
 
     /// Number of references currently buffered across all queues.
@@ -175,8 +183,8 @@ mod tests {
         let a = items.anchor(0, "A", true);
         items.begin_event(2);
         let b = items.anchor(0, "B", true);
-        qs.enqueue(0, a, dv(&[0, 1, 3]), &mut items);
-        qs.enqueue(0, b, dv(&[0, 2, 3]), &mut items);
+        qs.enqueue(0, a, &dv(&[0, 1, 3]), &mut items);
+        qs.enqueue(0, b, &dv(&[0, 2, 3]), &mut items);
         (qs, items, a, b)
     }
 
@@ -229,8 +237,8 @@ mod tests {
         let mut items = ItemStore::new();
         items.begin_event(1);
         let z = items.anchor(0, "Z", true);
-        qs.enqueue(0, z, dv(&[1, 2, 10, 11]), &mut items);
-        qs.enqueue(0, z, dv(&[1, 9, 10, 11]), &mut items);
+        qs.enqueue(0, z, &dv(&[1, 2, 10, 11]), &mut items);
+        qs.enqueue(0, z, &dv(&[1, 9, 10, 11]), &mut items);
         qs.clear_matching(0, &dv(&[1, 9]), 2, &mut items);
         assert_eq!(items.state(z), crate::items::ItemState::Pending);
         // The correct match later flushes with config dv (1,2).

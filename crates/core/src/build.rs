@@ -20,7 +20,8 @@ use xsq_xpath::classify::{classify, StepCategory};
 use xsq_xpath::{AggFunc, Axis, FnArg, NodeTest, Output, Predicate, Query, Step};
 
 use crate::arcs::{
-    Action, Arc, ArcLabel, Disposition, Guard, NamePat, StateId, StateInfo, StateRole, ValueSource,
+    compute_arc_tables, Action, Arc, ArcLabel, ArcTable, Disposition, Guard, NamePat, StateId,
+    StateInfo, StateRole, ValueSource,
 };
 use crate::error::CompileError;
 use crate::ids::BpdtId;
@@ -39,6 +40,11 @@ pub struct Hpdt {
     /// Per state: `true` when several arcs might accept the same event,
     /// so a runtime must scan all arcs even in deterministic mode.
     pub scan_all: Vec<bool>,
+    /// Per state: keyed index over the outgoing arcs, present only where
+    /// the arc count makes probing cheaper than a linear scan (merged
+    /// frontier states with hundreds of named arcs). Shared by every
+    /// runner of this HPDT.
+    pub(crate) arc_tables: Vec<Option<ArcTable>>,
     /// The global start state.
     pub start: StateId,
     /// Dense queue index for every BPDT (buffer storage at runtime).
@@ -257,11 +263,13 @@ impl Builder {
         }
 
         let scan_all = compute_scan_all(&self.arcs);
+        let arc_tables = compute_arc_tables(&self.arcs);
         let deterministic = !self.query.has_closure();
         Ok(Hpdt {
             bpdt_count: self.queue_index.len(),
             start,
             scan_all,
+            arc_tables,
             buffered: uses_buffers(&self.arcs),
             states: self.states,
             arcs: self.arcs,
@@ -818,11 +826,13 @@ pub fn build_merged_hpdt(queries: &[Query]) -> Result<Hpdt, CompileError> {
     }
 
     let scan_all = compute_scan_all(&b.arcs);
+    let arc_tables = compute_arc_tables(&b.arcs);
     let deterministic = queries.iter().all(|q| !q.has_closure());
     Ok(Hpdt {
         bpdt_count: b.queue_index.len(),
         start,
         scan_all,
+        arc_tables,
         buffered: uses_buffers(&b.arcs),
         states: b.states,
         arcs: b.arcs,

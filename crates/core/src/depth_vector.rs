@@ -157,6 +157,18 @@ impl DepthVector {
         }
     }
 
+    /// True when the vector is stored as the inline `u64` bitmap. In this
+    /// representation `clone()` is a register copy and never touches the
+    /// allocator — the guarantee the buffer enqueue path (which takes
+    /// `&DepthVector` and clones internally) relies on to keep the
+    /// matching steady state allocation-free. Wide vectors (documents
+    /// nested deeper than 64 levels) clone by bumping an `Arc` refcount,
+    /// which is also allocation-free; only *mutating* a shared wide
+    /// vector copies.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Bits(_))
+    }
+
     /// Do the first `n` entries agree? Both vectors must have at least `n`
     /// entries for a scoped buffer operation to apply.
     pub fn prefix_matches(&self, other: &DepthVector, n: usize) -> bool {
@@ -268,6 +280,17 @@ mod tests {
     fn display_is_parenthesized() {
         assert_eq!(DepthVector::from_depths(&[1, 2]).to_string(), "(1,2)");
         assert_eq!(DepthVector::new().to_string(), "()");
+    }
+
+    #[test]
+    fn inline_representation_covers_realistic_depths() {
+        let dv = DepthVector::from_depths(&[1, 2, 30, 63]);
+        assert!(dv.is_inline(), "depths ≤ 63 stay in the u64 bitmap");
+        let mut deep = dv.clone();
+        deep.push_mut(64);
+        assert!(!deep.is_inline(), "depth 64 overflows into the wide repr");
+        deep.pop_mut();
+        assert!(deep.is_inline(), "popping back renormalizes to inline");
     }
 
     #[test]

@@ -15,9 +15,22 @@
 //! element item still being serialized) blocks the cursor — exactly the
 //! paper's "remain unchanged … until it becomes the first item in the
 //! queue".
+//!
+//! Value bytes live in a [`ByteArena`], not per-item `String`s: an item's
+//! value is a chain of arena segments, appended in place when the item is
+//! the top allocation (the common case — one element serialized across
+//! consecutive events) and chained otherwise. The arena is recycled
+//! wholesale at quiescent points ([`ItemStore::recyclable`] /
+//! [`ItemStore::recycle`]) and reset per document, so a matching steady
+//! state performs no heap allocation once capacities have warmed up.
+
+use crate::arena::{ByteArena, Span};
 
 /// Index of an item in the store.
 pub type ItemId = u32;
+
+/// Sentinel for "no next segment".
+const NIL: u32 = u32::MAX;
 
 /// Lifecycle of an item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +43,20 @@ pub enum ItemState {
     Dead,
 }
 
+/// One link in an item's value chain.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    span: Span,
+    next: u32,
+}
+
 #[derive(Debug)]
 struct Item {
-    value: String,
+    /// First and last segment of the value chain.
+    head: u32,
+    tail: u32,
+    /// Total value length in bytes (0 once dead).
+    len: u32,
     state: ItemState,
     /// Tag of the query that produced the item (0 for a single-query
     /// HPDT; the member index for a merged multi-query HPDT). Carried to
@@ -52,6 +76,10 @@ struct Item {
 #[derive(Debug, Default)]
 pub struct ItemStore {
     items: Vec<Item>,
+    segs: Vec<Seg>,
+    data: ByteArena,
+    /// Assembly buffer for multi-segment values at emission time.
+    emit_buf: String,
     cursor: usize,
     /// Anchor for the event being processed: all value productions of one
     /// query during one input event share one item (duplicate matches,
@@ -63,9 +91,13 @@ pub struct ItemStore {
     current_items: Vec<(u32, ItemId)>,
     live_bytes: usize,
     peak_bytes: usize,
+    /// Items not yet emitted or dead.
+    live_items: usize,
     peak_live_items: usize,
-    emitted: u64,
-    died: u64,
+    /// Sum of `refs` across items (buffer entries pointing in here).
+    outstanding_refs: usize,
+    /// Items ever anchored, across recycles (diagnostics/tests).
+    total_created: u64,
 }
 
 impl ItemStore {
@@ -87,8 +119,15 @@ impl ItemStore {
             return id;
         }
         let id = self.items.len() as ItemId;
+        let seg = self.segs.len() as u32;
+        self.segs.push(Seg {
+            span: self.data.alloc(value.as_bytes()),
+            next: NIL,
+        });
         self.items.push(Item {
-            value: value.to_string(),
+            head: seg,
+            tail: seg,
+            len: value.len() as u32,
             state: ItemState::Pending,
             tag,
             closed,
@@ -96,6 +135,8 @@ impl ItemStore {
             last_append_event: self.current_event,
         });
         self.live_bytes += value.len();
+        self.live_items += 1;
+        self.total_created += 1;
         self.note_peaks();
         self.current_items.push((tag, id));
         id
@@ -104,6 +145,7 @@ impl ItemStore {
     /// A buffer entry now references the item.
     pub fn add_ref(&mut self, id: ItemId) {
         self.items[id as usize].refs += 1;
+        self.outstanding_refs += 1;
     }
 
     /// A buffer entry referencing the item was removed (cleared or
@@ -112,11 +154,12 @@ impl ItemStore {
         let item = &mut self.items[id as usize];
         debug_assert!(item.refs > 0, "release without ref");
         item.refs -= 1;
+        self.outstanding_refs -= 1;
         if item.refs == 0 && item.state == ItemState::Pending {
             item.state = ItemState::Dead;
-            self.live_bytes -= item.value.len();
-            item.value = String::new();
-            self.died += 1;
+            self.live_bytes -= item.len as usize;
+            item.len = 0;
+            self.live_items -= 1;
         }
     }
 
@@ -138,11 +181,23 @@ impl ItemStore {
             return;
         }
         item.last_append_event = self.current_event;
-        if item.state != ItemState::Dead {
-            item.value.push_str(content);
-            self.live_bytes += content.len();
-            self.note_peaks();
+        if item.state == ItemState::Dead {
+            return;
         }
+        let tail = &mut self.segs[item.tail as usize];
+        if !self.data.try_extend(&mut tail.span, content.as_bytes()) {
+            // Another item allocated above us: chain a new segment.
+            let seg = self.segs.len() as u32;
+            self.segs.push(Seg {
+                span: self.data.alloc(content.as_bytes()),
+                next: NIL,
+            });
+            self.segs[item.tail as usize].next = seg;
+            item.tail = seg;
+        }
+        item.len += content.len() as u32;
+        self.live_bytes += content.len();
+        self.note_peaks();
     }
 
     /// Close an open element item (idempotent).
@@ -163,18 +218,41 @@ impl ItemStore {
     /// Advance the emission cursor: emit every resolved item at the head
     /// in document order. `f` receives the tag and value of emitted items.
     pub fn drain(&mut self, mut f: impl FnMut(u32, &str)) {
-        while let Some(item) = self.items.get_mut(self.cursor) {
+        let Self {
+            items,
+            segs,
+            data,
+            emit_buf,
+            cursor,
+            live_bytes,
+            live_items,
+            ..
+        } = self;
+        while let Some(item) = items.get_mut(*cursor) {
             match item.state {
                 ItemState::Output if item.closed => {
-                    let value = std::mem::take(&mut item.value);
-                    let tag = item.tag;
-                    self.live_bytes -= value.len();
-                    self.emitted += 1;
-                    self.cursor += 1;
-                    f(tag, &value);
+                    let (tag, head) = (item.tag, item.head);
+                    let single = item.head == item.tail;
+                    *live_bytes -= item.len as usize;
+                    item.len = 0;
+                    *live_items -= 1;
+                    *cursor += 1;
+                    if single {
+                        // One segment: emit straight from the arena.
+                        f(tag, data.get_str(segs[head as usize].span));
+                    } else {
+                        emit_buf.clear();
+                        let mut s = head;
+                        while s != NIL {
+                            let seg = segs[s as usize];
+                            emit_buf.push_str(data.get_str(seg.span));
+                            s = seg.next;
+                        }
+                        f(tag, emit_buf);
+                    }
                 }
                 ItemState::Dead => {
-                    self.cursor += 1;
+                    *cursor += 1;
                 }
                 _ => break,
             }
@@ -187,12 +265,54 @@ impl ItemStore {
         for item in &mut self.items[self.cursor..] {
             if item.state == ItemState::Pending {
                 item.state = ItemState::Dead;
-                self.live_bytes -= item.value.len();
-                item.value = String::new();
-                self.died += 1;
+                self.live_bytes -= item.len as usize;
+                item.len = 0;
+                self.live_items -= 1;
             }
         }
         self.drain(f);
+    }
+
+    /// Is the store at a quiescent point where wholesale recycling is
+    /// safe? Everything anchored so far has been emitted or died (the
+    /// cursor has passed it) and no buffer entry still holds an `ItemId`.
+    /// The caller must additionally ensure no *configuration* holds an
+    /// item (see `RunnerCore::feed_raw`), since those ids would dangle.
+    pub fn recyclable(&self) -> bool {
+        self.cursor == self.items.len() && self.outstanding_refs == 0
+    }
+
+    /// Wholesale-free every item and all value bytes, keeping the
+    /// allocations. Call only when [`Self::recyclable`] (and the caller's
+    /// own id-holders are empty); ids handed out before this point must
+    /// not be used again.
+    pub fn recycle(&mut self) {
+        debug_assert!(self.recyclable());
+        self.items.clear();
+        self.segs.clear();
+        self.data.reset();
+        self.cursor = 0;
+        self.current_items.clear();
+        debug_assert_eq!(self.live_bytes, 0);
+        debug_assert_eq!(self.live_items, 0);
+    }
+
+    /// Reset for a fresh document, keeping every allocation (multi-doc
+    /// `reset_with` reuse). Peaks restart: memory accounting is
+    /// per-document.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.segs.clear();
+        self.data.reset();
+        self.emit_buf.clear();
+        self.cursor = 0;
+        self.current_event = 0;
+        self.current_items.clear();
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
+        self.live_items = 0;
+        self.peak_live_items = 0;
+        self.outstanding_refs = 0;
     }
 
     /// Number of items not yet emitted or dead.
@@ -205,8 +325,7 @@ impl ItemStore {
 
     fn note_peaks(&mut self) {
         self.peak_bytes = self.peak_bytes.max(self.live_bytes);
-        let live = self.items.len() - (self.emitted + self.died) as usize;
-        self.peak_live_items = self.peak_live_items.max(live);
+        self.peak_live_items = self.peak_live_items.max(self.live_items);
     }
 
     /// Peak bytes held in item values at any point.
@@ -219,9 +338,9 @@ impl ItemStore {
         self.peak_live_items
     }
 
-    /// Total items ever created.
+    /// Total items ever created (across recycles).
     pub fn total_items(&self) -> usize {
-        self.items.len()
+        self.total_created as usize
     }
 }
 
@@ -330,6 +449,36 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_appends_chain_segments() {
+        // Two open element items growing turn-about force segment chains
+        // (neither stays at the arena top), and both must still emit
+        // their full concatenated values.
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor(0, "<a>", false);
+        s.begin_event(2);
+        let b = s.anchor(1, "<b>", false);
+        s.begin_event(3);
+        s.append(a, "one");
+        s.begin_event(4);
+        s.append(b, "two");
+        s.begin_event(5);
+        s.append(a, "</a>");
+        s.close(a);
+        s.begin_event(6);
+        s.append(b, "</b>");
+        s.close(b);
+        s.mark_output(a);
+        s.mark_output(b);
+        let mut out = Vec::new();
+        s.drain(|t, v| out.push((t, v.to_string())));
+        assert_eq!(
+            out,
+            [(0, "<a>one</a>".to_string()), (1, "<b>two</b>".to_string())]
+        );
+    }
+
+    #[test]
     fn finish_kills_stragglers() {
         let mut s = ItemStore::new();
         s.begin_event(1);
@@ -361,5 +510,46 @@ mod tests {
         assert_eq!(s.peak_bytes(), 6);
         assert_eq!(s.peak_live_items(), 2);
         assert_eq!(s.total_items(), 2);
+    }
+
+    #[test]
+    fn recycle_at_quiescent_point_reuses_storage() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor(0, "v1", true);
+        s.add_ref(a);
+        assert!(!s.recyclable()); // outstanding ref
+        s.mark_output(a);
+        s.release_ref(a);
+        assert!(!s.recyclable()); // not yet drained past
+        let mut out = Vec::new();
+        s.drain(|_, v| out.push(v.to_string()));
+        assert!(s.recyclable());
+        s.recycle();
+        // The store works identically after recycling.
+        s.begin_event(2);
+        let b = s.anchor(0, "v2", true);
+        s.mark_output(b);
+        s.drain(|_, v| out.push(v.to_string()));
+        assert_eq!(out, ["v1", "v2"]);
+        assert_eq!(s.total_items(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state_and_peaks() {
+        let mut s = ItemStore::new();
+        s.begin_event(1);
+        let a = s.anchor(0, "value", true);
+        s.add_ref(a);
+        s.reset();
+        assert_eq!(s.peak_bytes(), 0);
+        assert_eq!(s.peak_live_items(), 0);
+        assert!(s.recyclable());
+        s.begin_event(1);
+        let b = s.anchor(0, "x", true);
+        s.mark_output(b);
+        let mut out = Vec::new();
+        s.drain(|_, v| out.push(v.to_string()));
+        assert_eq!(out, ["x"]);
     }
 }

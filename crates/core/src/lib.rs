@@ -39,6 +39,7 @@
 pub mod aggregate;
 pub mod analyze;
 pub mod arcs;
+pub mod arena;
 pub mod buffers;
 pub mod build;
 pub mod depth_vector;

@@ -11,7 +11,7 @@
 //! bucket for closure self-loops, `*` tests, and catchalls), instead of
 //! all N.
 //!
-//! Names are the global [`Sym`] symbols the parser already interned, so
+//! Names are the global [`xsq_xml::Sym`] symbols the parser already interned, so
 //! the per-event lookup is a dense `Vec` index — no hashing, no string
 //! comparison. The index is maintained incrementally: a runner's
 //! interest only changes when one of its arcs fires (its configuration
@@ -20,25 +20,33 @@
 //! discipline and guards that [`crate::arcs::Arc::label_matches`]
 //! enforces — so a dispatched group may still match nothing; skipping a
 //! group is safe precisely because a no-match feed is a no-op.
+//!
+//! All structures are sorted `Vec`s, not tree sets: bucket membership
+//! changes are rare (and absent entirely for static-interest groups, see
+//! [`super::subscribe`]), while candidate collection runs per event — so
+//! the per-event path is dense sequential reads with no node chasing,
+//! and a reindex reuses the index's scratch key buffer instead of
+//! building fresh sets.
 
-use std::collections::BTreeSet;
+use xsq_xml::RawEvent;
 
-use xsq_xml::{RawEvent, Sym};
-
-use crate::arcs::{ArcLabel, NamePat, StateId};
+use crate::arcs::{event_key, ArcLabel, NamePat, StateId, KIND_BEGIN, KIND_END, KIND_TEXT};
 use crate::build::Hpdt;
-
-/// Event-kind component of a dispatch key.
-const KIND_BEGIN: usize = 0;
-const KIND_END: usize = 1;
-const KIND_TEXT: usize = 2;
-
-fn key(kind: usize, sym: Sym) -> u64 {
-    ((kind as u64) << 32) | sym.index() as u64
-}
 
 fn key_parts(k: u64) -> (usize, usize) {
     ((k >> 32) as usize, (k & u32::MAX as u64) as usize)
+}
+
+fn insert_sorted(v: &mut Vec<u32>, x: u32) {
+    if let Err(i) = v.binary_search(&x) {
+        v.insert(i, x);
+    }
+}
+
+fn remove_sorted(v: &mut Vec<u32>, x: u32) {
+    if let Ok(i) = v.binary_search(&x) {
+        v.remove(i);
+    }
 }
 
 /// What events one HPDT state could react to, precomputed from its arcs.
@@ -49,23 +57,33 @@ pub(crate) struct StateInterest {
 }
 
 /// A runner group's currently registered interest (union over its
-/// frontier states).
+/// frontier states). `keys` is sorted and deduplicated.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct GroupInterest {
-    keys: BTreeSet<u64>,
+    keys: Vec<u64>,
     wild: [bool; 3],
 }
 
-/// The inverted index over all registered groups.
+impl GroupInterest {
+    /// Number of named (kind, tag) keys registered.
+    pub(crate) fn named_keys(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// The inverted index over all registered groups. Buckets are sorted
+/// group-id vectors.
 #[derive(Debug, Default)]
 pub struct DispatchIndex {
-    /// Interested groups per symbol, indexed by [`Sym::index`]; one set
+    /// Interested groups per symbol, indexed by [`Sym::index`]; one list
     /// per event kind. Grown on demand as arcs mention new names.
-    by_sym: Vec<[BTreeSet<u32>; 3]>,
-    wildcard: [BTreeSet<u32>; 3],
+    by_sym: Vec<[Vec<u32>; 3]>,
+    wildcard: [Vec<u32>; 3],
     /// Every registered group: document brackets go to all of them, and
     /// candidate iteration for unnamed events starts here.
-    all: BTreeSet<u32>,
+    all: Vec<u32>,
+    /// Reusable key buffer for reindex diffs.
+    scratch_keys: Vec<u64>,
 }
 
 impl DispatchIndex {
@@ -82,7 +100,7 @@ impl DispatchIndex {
             .count()
     }
 
-    fn bucket_mut(&mut self, sym_index: usize, kind: usize) -> &mut BTreeSet<u32> {
+    fn bucket_mut(&mut self, sym_index: usize, kind: usize) -> &mut Vec<u32> {
         if self.by_sym.len() <= sym_index {
             self.by_sym.resize_with(sym_index + 1, Default::default);
         }
@@ -97,17 +115,17 @@ impl DispatchIndex {
                 // Document brackets reach every group unconditionally.
                 ArcLabel::StartDoc | ArcLabel::EndDoc => {}
                 ArcLabel::BeginChild(pat) | ArcLabel::BeginAnyDepth(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_BEGIN, *n)),
-                    NamePat::Any => si.wild[KIND_BEGIN] = true,
+                    NamePat::Name(n) => si.keys.push(event_key(KIND_BEGIN, *n)),
+                    NamePat::Any => si.wild[KIND_BEGIN as usize] = true,
                 },
-                ArcLabel::ClosureSelfLoop => si.wild[KIND_BEGIN] = true,
+                ArcLabel::ClosureSelfLoop => si.wild[KIND_BEGIN as usize] = true,
                 ArcLabel::End(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_END, *n)),
-                    NamePat::Any => si.wild[KIND_END] = true,
+                    NamePat::Name(n) => si.keys.push(event_key(KIND_END, *n)),
+                    NamePat::Any => si.wild[KIND_END as usize] = true,
                 },
                 ArcLabel::TextSelf(pat) | ArcLabel::TextChild(pat) => match pat {
-                    NamePat::Name(n) => si.keys.push(key(KIND_TEXT, *n)),
-                    NamePat::Any => si.wild[KIND_TEXT] = true,
+                    NamePat::Name(n) => si.keys.push(event_key(KIND_TEXT, *n)),
+                    NamePat::Any => si.wild[KIND_TEXT as usize] = true,
                 },
                 // The catchall accepts begin, end, and text events alike.
                 ArcLabel::Catchall => si.wild = [true, true, true],
@@ -122,7 +140,10 @@ impl DispatchIndex {
     /// diffing against what is currently in the index so only changed
     /// buckets are touched. `cache` memoizes per-state interest for the
     /// group's HPDT (states never change interest once compiled);
-    /// `current` is updated in place to the new interest.
+    /// `current` is updated in place to the new interest. After warmup
+    /// (cache filled, bucket capacities grown) a reindex allocates
+    /// nothing: the next-key set builds in the index's scratch buffer and
+    /// is swapped into `current`.
     pub(crate) fn reindex(
         &mut self,
         group: u32,
@@ -134,40 +155,63 @@ impl DispatchIndex {
         if cache.len() < hpdt.arcs.len() {
             cache.resize(hpdt.arcs.len(), None);
         }
-        let mut next = GroupInterest::default();
+        let mut next_keys = std::mem::take(&mut self.scratch_keys);
+        next_keys.clear();
+        let mut next_wild = [false; 3];
         for &s in frontier {
             let slot = &mut cache[s as usize];
             if slot.is_none() {
-                let si = Self::state_interest(hpdt, s);
-                *slot = Some(si);
+                *slot = Some(Self::state_interest(hpdt, s));
             }
             let si = slot.as_ref().unwrap();
-            next.keys.extend(si.keys.iter().copied());
-            for k in 0..3 {
-                next.wild[k] |= si.wild[k];
+            next_keys.extend_from_slice(&si.keys);
+            for (w, &sw) in next_wild.iter_mut().zip(&si.wild) {
+                *w |= sw;
             }
         }
+        next_keys.sort_unstable();
+        next_keys.dedup();
 
-        // Apply the diff.
-        for &k in next.keys.difference(&current.keys) {
-            let (kind, sym) = key_parts(k);
-            self.bucket_mut(sym, kind).insert(group);
-        }
-        for &k in current.keys.difference(&next.keys) {
-            let (kind, sym) = key_parts(k);
-            if let Some(kinds) = self.by_sym.get_mut(sym) {
-                kinds[kind].remove(&group);
+        // Apply the diff of two sorted key lists with one merge walk.
+        let (mut i, mut j) = (0, 0);
+        while i < next_keys.len() || j < current.keys.len() {
+            let added = match (next_keys.get(i), current.keys.get(j)) {
+                (Some(&n), Some(&c)) if n == c => {
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                (Some(&n), Some(&c)) => n < c,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if added {
+                let (kind, sym) = key_parts(next_keys[i]);
+                insert_sorted(self.bucket_mut(sym, kind), group);
+                i += 1;
+            } else {
+                let (kind, sym) = key_parts(current.keys[j]);
+                if let Some(kinds) = self.by_sym.get_mut(sym) {
+                    remove_sorted(&mut kinds[kind], group);
+                }
+                j += 1;
             }
         }
-        for k in 0..3 {
-            if next.wild[k] && !current.wild[k] {
-                self.wildcard[k].insert(group);
-            } else if !next.wild[k] && current.wild[k] {
-                self.wildcard[k].remove(&group);
+        for (bucket, (&next, &cur)) in self
+            .wildcard
+            .iter_mut()
+            .zip(next_wild.iter().zip(&current.wild))
+        {
+            if next && !cur {
+                insert_sorted(bucket, group);
+            } else if !next && cur {
+                remove_sorted(bucket, group);
             }
         }
-        self.all.insert(group);
-        *current = next;
+        insert_sorted(&mut self.all, group);
+        std::mem::swap(&mut current.keys, &mut next_keys);
+        current.wild = next_wild;
+        self.scratch_keys = next_keys;
     }
 
     /// Remove a group entirely (unsubscription of its last member).
@@ -175,13 +219,13 @@ impl DispatchIndex {
         for &k in &current.keys {
             let (kind, sym) = key_parts(k);
             if let Some(kinds) = self.by_sym.get_mut(sym) {
-                kinds[kind].remove(&group);
+                remove_sorted(&mut kinds[kind], group);
             }
         }
         for k in 0..3 {
-            self.wildcard[k].remove(&group);
+            remove_sorted(&mut self.wildcard[k], group);
         }
-        self.all.remove(&group);
+        remove_sorted(&mut self.all, group);
     }
 
     /// Collect the groups that might react to `event`, in ascending group
@@ -191,18 +235,18 @@ impl DispatchIndex {
         out.clear();
         let (kind, sym) = match event {
             RawEvent::StartDocument | RawEvent::EndDocument => {
-                out.extend(self.all.iter().copied());
+                out.extend_from_slice(&self.all);
                 return;
             }
-            RawEvent::Begin { name, .. } => (KIND_BEGIN, *name),
-            RawEvent::End { name, .. } => (KIND_END, *name),
-            RawEvent::Text { element, .. } => (KIND_TEXT, *element),
+            RawEvent::Begin { name, .. } => (KIND_BEGIN as usize, *name),
+            RawEvent::End { name, .. } => (KIND_END as usize, *name),
+            RawEvent::Text { element, .. } => (KIND_TEXT as usize, *element),
         };
         if let Some(kinds) = self.by_sym.get(sym.index() as usize) {
-            out.extend(kinds[kind].iter().copied());
+            out.extend_from_slice(&kinds[kind]);
         }
         if !self.wildcard[kind].is_empty() {
-            out.extend(self.wildcard[kind].iter().copied());
+            out.extend_from_slice(&self.wildcard[kind]);
             out.sort_unstable();
             out.dedup();
         }
@@ -295,5 +339,29 @@ mod tests {
         assert!(out.is_empty());
         candidates(&idx, &SaxEvent::StartDocument, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reindex_diff_handles_partial_overlap() {
+        // Two frontiers with overlapping interest: the diff must add the
+        // new keys, drop the stale ones, and keep the shared ones intact.
+        let hpdt = build_hpdt(&parse_query("/pub[year=2002]/book/name/text()").unwrap()).unwrap();
+        let mut idx = DispatchIndex::new();
+        let mut cache = Vec::new();
+        let mut cur = GroupInterest::default();
+        // Index every state in turn; after arbitrary reindex churn the
+        // registered interest must equal the last frontier's interest.
+        let states: Vec<StateId> = (0..hpdt.arcs.len() as StateId).collect();
+        for w in states.windows(3) {
+            idx.reindex(0, &hpdt, w, &mut cache, &mut cur);
+        }
+        let last = &states[states.len() - 3..];
+        let mut fresh_idx = DispatchIndex::new();
+        let mut fresh_cur = GroupInterest::default();
+        let mut fresh_cache = Vec::new();
+        fresh_idx.reindex(0, &hpdt, last, &mut fresh_cache, &mut fresh_cur);
+        assert_eq!(cur.keys, fresh_cur.keys);
+        assert_eq!(cur.wild, fresh_cur.wild);
+        assert_eq!(idx.named_buckets(), fresh_idx.named_buckets());
     }
 }

@@ -107,9 +107,22 @@ struct Group {
     /// cache keeps the steady-state loop free of interest rebuilds (and
     /// their allocations).
     last_frontier: Vec<StateId>,
+    /// When true, the group's registered interest is the union over *all*
+    /// its states, fixed at subscribe time, and per-event reindexing is
+    /// skipped entirely. Chosen for broad groups (merged frontiers with
+    /// many named keys) where the frontier oscillates on every record and
+    /// per-record diffing costs more than the over-dispatch it avoids —
+    /// the N=512 cliff's second half. Safe because interest is an
+    /// over-approximation: an over-dispatched no-match feed is a no-op.
+    static_interest: bool,
     /// Active member count; at 0 the group leaves the dispatch index.
     live: usize,
 }
+
+/// Named-key count at which a group switches to static interest. Below
+/// it, frontier-diff reindexing keeps dispatch sharp (the skip win); at
+/// or above it, the reindex traffic itself is the bottleneck.
+const STATIC_INTEREST_CUTOFF: usize = 32;
 
 /// Routes a group's tagged results to the owning subscription's private
 /// sink, or to the shared [`QuerySink`] with the `QueryId` attached.
@@ -220,8 +233,15 @@ impl QueryIndex {
             interest: GroupInterest::default(),
             state_cache: Vec::new(),
             last_frontier: Vec::new(),
+            static_interest: false,
         };
-        group.core.frontier_states(&mut self.scratch_states);
+        // Probe the group's *full* interest (union over every state). A
+        // broad group registers it permanently and never reindexes; a
+        // narrow one re-registers just its start frontier and tracks the
+        // frontier dynamically.
+        self.scratch_states.clear();
+        self.scratch_states
+            .extend(0..group.hpdt.arcs.len() as StateId);
         self.dispatch.reindex(
             gi,
             &group.hpdt,
@@ -229,7 +249,19 @@ impl QueryIndex {
             &mut group.state_cache,
             &mut group.interest,
         );
-        group.last_frontier.clone_from(&self.scratch_states);
+        if group.interest.named_keys() >= STATIC_INTEREST_CUTOFF {
+            group.static_interest = true;
+        } else {
+            group.core.frontier_states(&mut self.scratch_states);
+            self.dispatch.reindex(
+                gi,
+                &group.hpdt,
+                &self.scratch_states,
+                &mut group.state_cache,
+                &mut group.interest,
+            );
+            group.last_frontier.clone_from(&self.scratch_states);
+        }
         self.groups.push(group);
     }
 
@@ -395,6 +427,7 @@ impl QueryIndex {
                 interest,
                 state_cache,
                 last_frontier,
+                static_interest,
                 ..
             } = &mut groups[gi as usize];
             *touches += 1;
@@ -404,12 +437,14 @@ impl QueryIndex {
                 shared: &mut *shared,
             };
             let fired = core.feed_raw(hpdt, event, &mut route);
-            if fired {
+            if fired && !*static_interest {
                 // The configuration set moved: re-derive what this group
                 // can react to next and update the buckets by diff — but
                 // only if the frontier actually changed. Closure states
                 // fire on every tracked descent with the same frontier;
                 // skipping the rebuild keeps that loop allocation-free.
+                // Static-interest groups never reindex: their buckets
+                // already cover every state.
                 core.frontier_states(scratch_states);
                 if scratch_states.as_slice() != last_frontier.as_slice() {
                     last_frontier.clear();
@@ -447,6 +482,7 @@ impl QueryIndex {
                 interest,
                 state_cache,
                 last_frontier,
+                static_interest,
                 ..
             } = group;
             let mut route = RouteSink {
@@ -461,10 +497,12 @@ impl QueryIndex {
             total.memory.peak_buffered_items += stats.memory.peak_buffered_items;
             total.memory.peak_configs += stats.memory.peak_configs;
             core.reset(hpdt);
-            core.frontier_states(scratch_states);
-            last_frontier.clear();
-            last_frontier.extend_from_slice(scratch_states);
-            dispatch.reindex(gi as u32, hpdt, scratch_states, state_cache, interest);
+            if !*static_interest {
+                core.frontier_states(scratch_states);
+                last_frontier.clear();
+                last_frontier.extend_from_slice(scratch_states);
+                dispatch.reindex(gi as u32, hpdt, scratch_states, state_cache, interest);
+            }
         }
         total
     }

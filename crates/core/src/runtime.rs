@@ -92,9 +92,12 @@ pub struct RunnerCore {
     /// (0 = no hint). Re-applied on every reset.
     queue_hint: usize,
     // Scratch buffers reused across events (the hot loop allocates
-    // nothing on the no-match and single-match paths).
+    // nothing on the no-match and single-match paths, and nothing on the
+    // match path either once capacities have warmed up).
     scratch_matches: Vec<(usize, StateId, u32)>,
     scratch_uses: Vec<u32>,
+    scratch_candidates: Vec<u32>,
+    scratch_ser: String,
     spare_configs: Vec<Config>,
 }
 
@@ -141,6 +144,8 @@ impl RunnerCore {
             queue_hint: 0,
             scratch_matches: Vec::new(),
             scratch_uses: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_ser: String::new(),
             spare_configs: Vec::new(),
         }
     }
@@ -163,16 +168,33 @@ impl RunnerCore {
             dv: DepthVector::new(),
             item: None,
         });
-        self.items = ItemStore::new();
+        self.items.reset();
         self.buffered = hpdt.buffered;
         self.queues
             .reset(if hpdt.buffered { hpdt.bpdt_count } else { 0 });
         if self.queue_hint > 0 {
             self.queues.reserve(self.queue_hint);
         }
-        let (aggs, agg_count) = make_aggs(hpdt);
-        self.aggs = aggs;
-        self.agg_count = agg_count;
+        // Reset the aggregators in place when the shape still matches
+        // this HPDT (the usual multi-document reuse); rebuilding is only
+        // needed when the caller swapped automata under the core.
+        let shape_ok = self.aggs.len() == hpdt.merged.len()
+            && self
+                .aggs
+                .iter()
+                .zip(&hpdt.merged)
+                .all(|(a, q)| a.is_some() == matches!(q.output, Output::Aggregate(_)));
+        if shape_ok {
+            for (agg, q) in self.aggs.iter_mut().zip(&hpdt.merged) {
+                if let (Some(agg), Output::Aggregate(f)) = (agg, &q.output) {
+                    agg.reset(*f);
+                }
+            }
+        } else {
+            let (aggs, agg_count) = make_aggs(hpdt);
+            self.aggs = aggs;
+            self.agg_count = agg_count;
+        }
         self.ordinal = 0;
         self.results = 0;
         // The config high-water mark is per-document, like the item and
@@ -216,45 +238,75 @@ impl RunnerCore {
         self.events += 1;
         self.items.begin_event(self.ordinal);
 
-        // Phase 1: find every (configuration, arc) match.
+        // Phase 1: find every (configuration, arc) match. A configuration
+        // sitting on a high-fanout state (a merged frontier with one named
+        // arc per query) probes only the arcs filed under the event's
+        // dispatch key plus the wildcard bucket, instead of scanning all
+        // of them — the fix for the N=512 dispatch cliff.
         let mut matches = std::mem::take(&mut self.scratch_matches);
         let mut uses = std::mem::take(&mut self.scratch_uses);
+        let mut cand = std::mem::take(&mut self.scratch_candidates);
         matches.clear();
         uses.clear();
         uses.resize(self.configs.len(), 0);
+        let key = crate::arcs::raw_event_key(event);
         for (ci, cfg) in self.configs.iter().enumerate() {
             let arcs = &hpdt.arcs[cfg.state as usize];
             let stop_early = !self.scan_all_mode && !hpdt.scan_all[cfg.state as usize];
-            for (ai, arc) in arcs.iter().enumerate() {
-                if arc.label_matches(event, &cfg.dv) && arc.guard_passes(event) {
-                    matches.push((ci, cfg.state, ai as u32));
-                    uses[ci] += 1;
-                    if stop_early {
-                        break;
+            if let Some(table) = &hpdt.arc_tables[cfg.state as usize] {
+                // Keyed candidates come out in ascending arc order, so
+                // stop-early sees the same first match as a linear scan.
+                table.candidates(key, &mut cand);
+                for &ai in &cand {
+                    let arc = &arcs[ai as usize];
+                    if arc.label_matches(event, &cfg.dv) && arc.guard_passes(event) {
+                        matches.push((ci, cfg.state, ai));
+                        uses[ci] += 1;
+                        if stop_early {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                for (ai, arc) in arcs.iter().enumerate() {
+                    if arc.label_matches(event, &cfg.dv) && arc.guard_passes(event) {
+                        matches.push((ci, cfg.state, ai as u32));
+                        uses[ci] += 1;
+                        if stop_early {
+                            break;
+                        }
                     }
                 }
             }
         }
+        self.scratch_candidates = cand;
         if matches.is_empty() {
             // Every configuration ignores the event (the common case on
             // data the query does not touch): nothing moves.
             self.scratch_matches = matches;
             self.scratch_uses = uses;
             self.drain(sink);
-            self.emit_trace(event, Vec::new(), tracer);
+            if let Some(tracer) = tracer {
+                self.emit_trace(event, Vec::new(), tracer);
+            }
             return false;
         }
 
         // Phase 2: execute matches deepest-layer-first (uploads from a
         // closing inner element precede the enclosing flush/clear on the
         // same event); within a layer, value production → flush/upload →
-        // clear (see `Arc::priority`).
-        matches.sort_by_key(|&(_, state, ai)| {
+        // clear (see `Arc::priority`). The `(ci, ai)` tail reproduces the
+        // insertion order a stable sort would keep, without a stable
+        // sort's temporary buffer.
+        matches.sort_unstable_by_key(|&(ci, state, ai)| {
             let arc = &hpdt.arcs[state as usize][ai as usize];
-            (std::cmp::Reverse(arc.owner_layer), arc.priority())
+            (std::cmp::Reverse(arc.owner_layer), arc.priority(), ci, ai)
         });
 
-        let mut fired: Vec<crate::trace::FiredArc> = Vec::new();
+        // Trace steps are materialized only when a tracer is attached;
+        // the untraced path never touches `FiredArc`.
+        let mut fired: Option<Vec<crate::trace::FiredArc>> =
+            tracer.is_some().then(|| Vec::with_capacity(matches.len()));
         let mut cur = std::mem::take(&mut self.configs);
         let mut next = std::mem::take(&mut self.spare_configs);
         next.clear();
@@ -288,7 +340,7 @@ impl RunnerCore {
                     _ => {}
                 }
             }
-            if tracer.is_some() {
+            if let Some(fired) = fired.as_mut() {
                 fired.push(crate::trace::fired_arc(arc, state, &dv));
             }
             let mut new_item = cfg_item;
@@ -319,25 +371,38 @@ impl RunnerCore {
 
         // Phase 3: emit whatever is now determined, in document order.
         self.drain(sink);
-        self.emit_trace(event, fired, tracer);
+
+        // Quiescent-point recycling: when every item produced so far has
+        // left the store (emitted or dead), no queue entry holds a
+        // reference, and no configuration is mid-serialization, all
+        // outstanding `ItemId`s are spent — the store's arena can be
+        // reused wholesale. On per-record streams this point recurs at
+        // every record boundary, which is what keeps the matching steady
+        // state allocation-free.
+        if self.items.recyclable() && self.configs.iter().all(|c| c.item.is_none()) {
+            self.items.recycle();
+        }
+
+        if let Some(tracer) = tracer {
+            self.emit_trace(event, fired.unwrap_or_default(), tracer);
+        }
         true
     }
 
+    #[cold]
     fn emit_trace(
         &mut self,
         event: &RawEvent<'_>,
         fired: Vec<crate::trace::FiredArc>,
-        tracer: Option<&mut dyn FnMut(TraceStep)>,
+        tracer: &mut dyn FnMut(TraceStep),
     ) {
-        if let Some(tracer) = tracer {
-            tracer(TraceStep {
-                ordinal: self.ordinal,
-                event: event.to_string(),
-                fired,
-                configs_after: self.configs.len(),
-                buffered_after: self.queues.live_entries(),
-            });
-        }
+        tracer(TraceStep {
+            ordinal: self.ordinal,
+            event: event.to_string(),
+            fired,
+            configs_after: self.configs.len(),
+            buffered_after: self.queues.live_entries(),
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -389,25 +454,25 @@ impl RunnerCore {
                 }
             }
             Action::ElementStart { to, tag } => {
-                let mut ser = String::new();
-                xsq_xml::writer::write_raw_event_into(event, &mut ser);
-                let item = self.items.anchor(*tag, &ser, false);
+                self.scratch_ser.clear();
+                xsq_xml::writer::write_raw_event_into(event, &mut self.scratch_ser);
+                let item = self.items.anchor(*tag, &self.scratch_ser, false);
                 *new_item = Some(item);
                 self.route(hpdt, item, to, own, inside_dv);
             }
             Action::ElementAppend => {
                 if let Some(item) = current_item {
-                    let mut ser = String::new();
-                    xsq_xml::writer::write_raw_event_into(event, &mut ser);
-                    self.items.append(item, &ser);
+                    self.scratch_ser.clear();
+                    xsq_xml::writer::write_raw_event_into(event, &mut self.scratch_ser);
+                    self.items.append(item, &self.scratch_ser);
                 }
             }
             Action::ElementEnd => {
                 if let Some(item) = current_item {
                     if !self.items.is_closed(item) {
-                        let mut ser = String::new();
-                        xsq_xml::writer::write_raw_event_into(event, &mut ser);
-                        self.items.append(item, &ser);
+                        self.scratch_ser.clear();
+                        xsq_xml::writer::write_raw_event_into(event, &mut self.scratch_ser);
+                        self.items.append(item, &self.scratch_ser);
                         self.items.close(item);
                     }
                     *new_item = None;
@@ -428,12 +493,11 @@ impl RunnerCore {
             Disposition::Direct => self.items.mark_output(item),
             Disposition::OwnQueue => {
                 self.queues
-                    .enqueue(own_queue, item, inside_dv.clone(), &mut self.items)
+                    .enqueue(own_queue, item, inside_dv, &mut self.items)
             }
             Disposition::Queue(id) => {
                 let q = queue_idx(hpdt, *id);
-                self.queues
-                    .enqueue(q, item, inside_dv.clone(), &mut self.items)
+                self.queues.enqueue(q, item, inside_dv, &mut self.items)
             }
         }
     }

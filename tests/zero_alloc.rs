@@ -9,13 +9,20 @@
 //! then asserts that the second half (identical record shapes) performs
 //! no heap allocation at all.
 //!
+//! The second half of the file extends the claim to the *matching*
+//! steady state: a buffered query firing on every record (anchor,
+//! append, predicate flush, emit) must also stop allocating once the
+//! per-runner arena, segment table, and queue storage have warmed up —
+//! items live in a bump arena recycled at quiescent points, and queue
+//! entries clone depth vectors by register copy.
+//!
 //! Everything lives in one `#[test]` because the counter is global to
 //! the test binary: concurrent tests would pollute the count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use xsq::engine::VecSink;
+use xsq::engine::{CountingSink, VecSink};
 use xsq::xml::{ParsePoll, StreamParser};
 use xsq::{QueryIndex, VecQuerySink, XsqEngine};
 
@@ -179,5 +186,128 @@ fn steady_state_no_match_loop_performs_zero_allocations() {
         grew, 0,
         "push-parser hot loop allocated {grew} times over the second half \
          ({fed} chunks total)"
+    );
+
+    // ===================================================================
+    // Matching steady state: the query FIRES on every record, so every
+    // event exercises the full buffered-item machinery — arena anchor,
+    // in-place append, predicate-driven queue flush, document-order
+    // emission. Once the first half has sized the arena, the segment
+    // table, and the queues, the second half must not allocate either.
+    // ===================================================================
+
+    // --- engine runner, buffered Items(K) query -----------------------
+    // `[price]` resolves *after* <name> streams by in document order, so
+    // every name text is anchored into the item arena and held until the
+    // predicate decides — the Items(K) buffer class, not pass-through.
+    let matching_query = "/site/item[price]/name/text()";
+    let compiled = XsqEngine::full()
+        .compile_str(matching_query)
+        .expect("compiles");
+    let mut runner = compiled.runner();
+    let mut sink = CountingSink::new();
+    let mut parser = StreamParser::new(doc.as_bytes());
+    let mut fed = 0u64;
+    let mut baseline = 0u64;
+    let mut results_at_half = 0u64;
+    while let Some(ev) = parser.next_raw().expect("well-formed") {
+        runner.feed_raw(&ev, &mut sink);
+        fed += 1;
+        if fed == warm_events {
+            baseline = allocations();
+            results_at_half = sink.results;
+        }
+    }
+    let grew = allocations() - baseline;
+    assert!(
+        sink.results > results_at_half && results_at_half > 0,
+        "query must keep matching through both halves \
+         ({results_at_half} then {})",
+        sink.results
+    );
+    assert_eq!(
+        grew,
+        0,
+        "matching runner hot loop allocated {grew} times over {} \
+         steady-state events ({} results emitted)",
+        total_events - warm_events,
+        sink.results
+    );
+
+    // --- multi-query index, every query firing ------------------------
+    struct CountingQuerySink {
+        results: u64,
+    }
+    impl xsq::QuerySink for CountingQuerySink {
+        fn result(&mut self, _id: xsq::QueryId, value: &str) {
+            self.results += value.len() as u64 + 1;
+        }
+    }
+    let matching_group = [
+        "/site/item[price]/name/text()",
+        "/site/item/price/text()",
+        "/site/item/@id",
+    ];
+    let mut index = QueryIndex::new(XsqEngine::full());
+    index
+        .subscribe_group(&matching_group)
+        .expect("subscriptions compile");
+    let mut qsink = CountingQuerySink { results: 0 };
+    let mut parser = StreamParser::new(doc.as_bytes());
+    let mut fed = 0u64;
+    let mut baseline = 0u64;
+    let mut results_at_half = 0u64;
+    while let Some(ev) = parser.next_raw().expect("well-formed") {
+        index.feed_raw(&ev, &mut qsink);
+        fed += 1;
+        if fed == warm_events {
+            baseline = allocations();
+            results_at_half = qsink.results;
+        }
+    }
+    let grew = allocations() - baseline;
+    assert!(
+        qsink.results > results_at_half && results_at_half > 0,
+        "index queries must keep matching through both halves"
+    );
+    assert_eq!(
+        grew,
+        0,
+        "matching query-index hot loop allocated {grew} times over {} \
+         steady-state events",
+        total_events - warm_events
+    );
+
+    // --- push-mode parser driving a matching runner -------------------
+    // The full production shape: bytes pushed in chunks, events polled
+    // out, each one fed to a firing buffered query.
+    let compiled = XsqEngine::full()
+        .compile_str(matching_query)
+        .expect("compiles");
+    let mut runner = compiled.runner();
+    let mut sink = CountingSink::new();
+    let mut parser = StreamParser::push_mode();
+    let mut baseline = 0u64;
+    let mut consumed = 0usize;
+    for piece in doc.as_bytes().chunks(1024) {
+        parser.push(piece);
+        while let ParsePoll::Event(ev) = parser.poll_raw().expect("well-formed") {
+            runner.feed_raw(&ev, &mut sink);
+        }
+        consumed += piece.len();
+        if baseline == 0 && consumed >= half_bytes {
+            baseline = allocations();
+        }
+    }
+    parser.finish();
+    while let ParsePoll::Event(ev) = parser.poll_raw().expect("well-formed") {
+        runner.feed_raw(&ev, &mut sink);
+    }
+    let grew = allocations() - baseline;
+    assert!(sink.results > 0, "push-driven query must match");
+    assert_eq!(
+        grew, 0,
+        "push-driven matching pipeline allocated {grew} times over the \
+         second half"
     );
 }
