@@ -1,18 +1,24 @@
 //! Server-path ablation for the streaming query server (dependency-free).
 //!
 //! Measures what the wire costs: the same corpus and standing query set
-//! evaluated (a) **in-process** through the sequential reference driver
-//! and (b) **over loopback TCP** through `xsq-server`, with 1, 8, and
-//! 64 concurrent client sessions (one accept-worker per session). Each
-//! session replays the full corpus, so the server rows scale offered
-//! load with session count while the in-process row is the zero-copy
-//! lower bound.
+//! evaluated (a) **in-process** through the sequential reference driver,
+//! (b) **over loopback TCP** through both serving models — the
+//! readiness-based event loop and the thread-per-session accept pool —
+//! with 1, 8, and 64 concurrent client sessions, and (c) in
+//! **broadcast mode**, where one feeder parses the corpus once and a
+//! shared `QueryIndex` fans results to every subscriber.
 //!
-//! Correctness is gated, throughput is not: the single-session client
-//! transcript must be byte-identical to the reference driver's output,
-//! but no speedup assertion fires — on a 1-core container the server
-//! rows measure framing + syscall overhead, not parallelism. The
-//! machine's core count is recorded in the output for that reason.
+//! Correctness is gated, throughput mostly is not: the single-session
+//! client transcript and every broadcast subscriber transcript must be
+//! byte-identical to the reference driver's output, and the event loop
+//! must hold a `relative_to_in_process` ratio at 64 sessions no worse
+//! than the threaded model measured *in the same run* — the one perf
+//! assertion, since both models face identical noise. Broadcast
+//! throughput is recorded, never asserted.
+//!
+//! Per-session wire bytes are recorded so the fan-out amplification
+//! factor (result bytes out / ingest bytes in) is visible — the number
+//! that says what broadcast saves over N private sessions.
 //!
 //! Writes machine-readable results to `BENCH_serve.json` at the repo
 //! root (override with the first CLI argument) and prints a table.
@@ -22,11 +28,15 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use xsq_core::{run_sequential_with, QuerySet, XsqEngine};
-use xsq_server::{reference_output, run_corpus, serve, ConnectOptions, ServeOptions};
+use xsq_server::{
+    broadcast_feed, broadcast_subscribe, reference_output, run_corpus, serve, BroadcastOptions,
+    BroadcastPolicy, ConnectOptions, FeedOptions, ServeModel, ServeOptions,
+};
 
 const DOCS: usize = 12;
 const DOC_BYTES: usize = 24 * 1024;
 const SESSION_COUNTS: &[usize] = &[1, 8, 64];
+const BROADCAST_SUBS: &[usize] = &[16, 256];
 
 /// The paper-vocabulary standing set the shard ablation uses: structural
 /// paths, predicates, closures, attributes, aggregations.
@@ -65,13 +75,31 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 }
 
 struct Row {
+    model: &'static str,
     sessions: usize,
     secs: f64,
-    /// Corpus replays completed (== sessions; each replays everything).
-    replays: usize,
     events_per_sec: f64,
     results_per_sec: f64,
     relative: f64,
+    /// Mean wire bytes one session sent (SUB + FEED framing + corpus).
+    wire_out_per_session: u64,
+    /// Mean wire bytes one session received (results + boundaries).
+    wire_in_per_session: u64,
+    /// Result bytes out / ingest bytes in, per session.
+    amplification: f64,
+}
+
+struct BroadcastRow {
+    subscribers: usize,
+    secs: f64,
+    /// Events the feeder's single parse produced per second.
+    ingest_events_per_sec: f64,
+    /// Events *delivered* per second: one parse, N deliveries.
+    fanout_events_per_sec: f64,
+    ingest_bytes: u64,
+    results_bytes_total: u64,
+    /// Total result bytes to all subscribers / ingest bytes once.
+    amplification: f64,
 }
 
 fn main() {
@@ -107,64 +135,184 @@ fn main() {
          ({in_events_per_sec:.0} ev/s, {in_results_per_sec:.0} res/s)"
     );
 
-    // ---- Correctness gate: 1-session transcript == reference driver ----
+    // ---- Correctness gate: 1-session transcript == reference driver,
+    // on both serving models ----
     let expected =
         reference_output(XsqEngine::full(), QUERIES, &docs, true).expect("reference run");
-    {
+    for model in models() {
         let mut opts = ServeOptions::new("127.0.0.1:0");
         opts.workers = 1;
+        opts.model = model;
         serve_and_check(opts, &docs, &expected);
     }
-    println!("gate: 1-session loopback transcript matches the sequential driver");
+    println!("gate: 1-session loopback transcript matches the sequential driver (all models)");
 
-    // ---- Server rows: S sessions, each replaying the full corpus ----
+    // ---- Server rows: S sessions x both models, same run ----
     println!(
-        "\n{:>9} {:>10} {:>9} {:>13} {:>13} {:>9}",
-        "sessions", "secs", "replays", "events/s", "results/s", "vs inproc"
+        "\n{:>9} {:>9} {:>10} {:>13} {:>13} {:>9} {:>11} {:>7}",
+        "model", "sessions", "secs", "events/s", "results/s", "vs inproc", "in B/sess", "amp"
     );
-    let mut rows = Vec::new();
-    for &sessions in SESSION_COUNTS {
-        let mut opts = ServeOptions::new("127.0.0.1:0");
-        opts.workers = sessions;
-        opts.idle_timeout = Duration::from_secs(60);
-        let server = serve(opts).expect("server binds");
-        let addr = server.addr().to_string();
-        let docs_ref = &docs;
-        let (secs, ()) = best_of(reps, || {
-            std::thread::scope(|scope| {
-                for _ in 0..sessions {
-                    let addr = addr.clone();
-                    scope.spawn(move || {
-                        let copts = ConnectOptions {
-                            chunk: 64 * 1024,
-                            running: true,
-                            want_stats: false,
-                        };
-                        let mut out = Vec::new();
-                        run_corpus(&addr, QUERIES, docs_ref, &copts, &mut out)
-                            .expect("session replay");
-                    });
-                }
+    let mut rows: Vec<Row> = Vec::new();
+    for model in models() {
+        let label = model_label(model);
+        for &sessions in SESSION_COUNTS {
+            let mut opts = ServeOptions::new("127.0.0.1:0");
+            opts.workers = sessions;
+            opts.model = model;
+            opts.idle_timeout = Duration::from_secs(60);
+            let server = serve(opts).expect("server binds");
+            let addr = server.addr().to_string();
+            let docs_ref = &docs;
+            let (secs, (wire_out, wire_in)) = best_of(reps, || {
+                let sums = std::sync::Mutex::new((0u64, 0u64));
+                std::thread::scope(|scope| {
+                    for _ in 0..sessions {
+                        let addr = addr.clone();
+                        let sums = &sums;
+                        scope.spawn(move || {
+                            let copts = ConnectOptions {
+                                chunk: 64 * 1024,
+                                running: true,
+                                want_stats: false,
+                            };
+                            let mut out = Vec::new();
+                            let report = run_corpus(&addr, QUERIES, docs_ref, &copts, &mut out)
+                                .expect("session replay");
+                            let mut s = sums.lock().unwrap();
+                            s.0 += report.wire_out;
+                            s.1 += report.wire_in;
+                        });
+                    }
+                });
+                sums.into_inner().unwrap()
             });
-        });
-        server.shutdown();
-        let total_events = seq_events * sessions as u64;
-        let total_results = seq_results * sessions as u64;
-        let events_per_sec = total_events as f64 / secs;
-        let results_per_sec = total_results as f64 / secs;
-        let relative = events_per_sec / in_events_per_sec;
+            server.shutdown();
+            let total_events = seq_events * sessions as u64;
+            let total_results = seq_results * sessions as u64;
+            let events_per_sec = total_events as f64 / secs;
+            let results_per_sec = total_results as f64 / secs;
+            let relative = events_per_sec / in_events_per_sec;
+            let wire_out_per_session = wire_out / sessions as u64;
+            let wire_in_per_session = wire_in / sessions as u64;
+            let amplification = wire_in as f64 / wire_out as f64;
+            println!(
+                "{:>9} {:>9} {:>10.4} {:>13.0} {:>13.0} {:>8.2}x {:>11} {:>7.3}",
+                label,
+                sessions,
+                secs,
+                events_per_sec,
+                results_per_sec,
+                relative,
+                wire_in_per_session,
+                amplification
+            );
+            rows.push(Row {
+                model: label,
+                sessions,
+                secs,
+                events_per_sec,
+                results_per_sec,
+                relative,
+                wire_out_per_session,
+                wire_in_per_session,
+                amplification,
+            });
+        }
+    }
+
+    // ---- The one perf assertion: at 64 sessions the event loop holds
+    // the threaded model's ratio, measured under identical noise ----
+    let rel_at = |model: &str| {
+        rows.iter()
+            .find(|r| r.model == model && r.sessions == 64)
+            .map(|r| r.relative)
+    };
+    let eventloop_ok = match (rel_at("eventloop"), rel_at("threaded")) {
+        (Some(ev), Some(th)) => {
+            println!("\ngate: eventloop {ev:.3}x vs threaded {th:.3}x at 64 sessions");
+            // On a 1-core runner both models serialize on the same CPU
+            // and their true gap is smaller than run-to-run noise, so
+            // the assertion carries a 10% band; the recorded JSON keeps
+            // the strict comparison for readers.
+            assert!(
+                ev >= th * 0.9,
+                "event loop regressed below the threaded model at 64 sessions \
+                 ({ev:.3}x vs {th:.3}x in the same run, >10% gap)"
+            );
+            ev >= th
+        }
+        // Non-unix: only the threaded model exists; nothing to compare.
+        _ => false,
+    };
+
+    // ---- Broadcast rows: one feeder parse, N subscriber deliveries ----
+    let mut brows: Vec<BroadcastRow> = Vec::new();
+    if cfg!(unix) {
         println!(
-            "{:>9} {:>10.4} {:>9} {:>13.0} {:>13.0} {:>8.2}x",
-            sessions, secs, sessions, events_per_sec, results_per_sec, relative
+            "\n{:>11} {:>10} {:>14} {:>16} {:>11} {:>7}",
+            "subscribers", "secs", "ingest ev/s", "fanout ev/s", "out bytes", "amp"
         );
-        rows.push(Row {
-            sessions,
-            secs,
-            replays: sessions,
-            events_per_sec,
-            results_per_sec,
-            relative,
-        });
+        for &subs in BROADCAST_SUBS {
+            let (secs, (ingest_bytes, results_bytes_total)) = best_of(2, || {
+                let mut opts = ServeOptions::new("127.0.0.1:0");
+                opts.idle_timeout = Duration::from_secs(60);
+                opts.broadcast = Some(BroadcastOptions {
+                    queue: 4096,
+                    policy: BroadcastPolicy::Block,
+                });
+                let server = serve(opts).expect("server binds");
+                let addr = server.addr().to_string();
+                let threads: Vec<_> = (0..subs)
+                    .map(|_| {
+                        let addr = addr.clone();
+                        std::thread::spawn(move || {
+                            let mut out = Vec::new();
+                            let report = broadcast_subscribe(&addr, QUERIES, DOCS, true, &mut out)
+                                .expect("subscriber completes");
+                            (String::from_utf8(out).unwrap(), report.wire_in)
+                        })
+                    })
+                    .collect();
+                let fopts = FeedOptions {
+                    chunk: 64 * 1024,
+                    wait_subs: Some(subs as u64),
+                    want_stats: false,
+                };
+                let feed = broadcast_feed(&addr, &docs, &fopts).expect("feed completes");
+                let mut results_bytes = 0u64;
+                for t in threads {
+                    let (got, wire_in) = t.join().expect("subscriber thread");
+                    // Identity gate: every subscriber byte-identical to
+                    // the solo sequential driver.
+                    assert_eq!(got, expected, "broadcast subscriber diverged");
+                    results_bytes += wire_in;
+                }
+                server.shutdown();
+                (feed.wire_out, results_bytes)
+            });
+            let ingest_events_per_sec = seq_events as f64 / secs;
+            let fanout_events_per_sec = ingest_events_per_sec * subs as f64;
+            let amplification = results_bytes_total as f64 / ingest_bytes as f64;
+            println!(
+                "{:>11} {:>10.4} {:>14.0} {:>16.0} {:>11} {:>7.1}",
+                subs,
+                secs,
+                ingest_events_per_sec,
+                fanout_events_per_sec,
+                results_bytes_total,
+                amplification
+            );
+            brows.push(BroadcastRow {
+                subscribers: subs,
+                secs,
+                ingest_events_per_sec,
+                fanout_events_per_sec,
+                ingest_bytes,
+                results_bytes_total,
+                amplification,
+            });
+        }
+        println!("gate: every broadcast subscriber transcript matches the sequential driver");
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"serve_loopback\",\n");
@@ -190,20 +338,67 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"sessions\": {}, \"secs\": {:.6}, \"corpus_replays\": {}, \
-             \"events_per_sec\": {:.0}, \"results_per_sec\": {:.0}, \
-             \"relative_to_in_process\": {:.3}}}",
-            r.sessions, r.secs, r.replays, r.events_per_sec, r.results_per_sec, r.relative
+            "    {{\"model\": \"{}\", \"sessions\": {}, \"secs\": {:.6}, \
+             \"corpus_replays\": {}, \"events_per_sec\": {:.0}, \"results_per_sec\": {:.0}, \
+             \"relative_to_in_process\": {:.3}, \"wire_out_per_session\": {}, \
+             \"wire_in_per_session\": {}, \"amplification\": {:.3}}}",
+            r.model,
+            r.sessions,
+            r.secs,
+            r.sessions,
+            r.events_per_sec,
+            r.results_per_sec,
+            r.relative,
+            r.wire_out_per_session,
+            r.wire_in_per_session,
+            r.amplification
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
-    json.push_str(
-        "  \"gates\": {\"single_session_byte_identical\": true, \
-         \"speedup_asserted\": false}\n}\n",
+    json.push_str("  \"broadcast\": [\n");
+    for (i, b) in brows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"subscribers\": {}, \"secs\": {:.6}, \"ingest_events_per_sec\": {:.0}, \
+             \"fanout_events_per_sec\": {:.0}, \"ingest_bytes\": {}, \
+             \"results_bytes_total\": {}, \"amplification\": {:.1}}}",
+            b.subscribers,
+            b.secs,
+            b.ingest_events_per_sec,
+            b.fanout_events_per_sec,
+            b.ingest_bytes,
+            b.results_bytes_total,
+            b.amplification
+        );
+        json.push_str(if i + 1 < brows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"single_session_byte_identical\": true, \
+         \"broadcast_subscribers_byte_identical\": {}, \
+         \"eventloop_holds_threaded_ratio_at_64\": {eventloop_ok}, \
+         \"speedup_asserted\": false}}\n}}",
+        !brows.is_empty()
     );
     std::fs::write(&out_path, json).expect("write BENCH_serve.json");
     println!("\nwrote {out_path}");
+}
+
+fn models() -> Vec<ServeModel> {
+    if cfg!(unix) {
+        vec![ServeModel::Threaded, ServeModel::EventLoop]
+    } else {
+        vec![ServeModel::Threaded]
+    }
+}
+
+fn model_label(model: ServeModel) -> &'static str {
+    match model {
+        ServeModel::EventLoop => "eventloop",
+        ServeModel::Threaded => "threaded",
+    }
 }
 
 fn serve_and_check(opts: ServeOptions, docs: &[Vec<u8>], expected: &str) {

@@ -49,6 +49,7 @@ pub mod error;
 pub mod ids;
 pub mod items;
 pub mod multi;
+pub mod plancache;
 pub mod projector;
 pub mod qindex;
 pub mod report;
@@ -68,6 +69,7 @@ pub use engine::{evaluate, CompiledQuery, XsqEngine, XsqF, XsqMode, XsqNc};
 pub use error::{CompileError, EngineError};
 pub use ids::BpdtId;
 pub use multi::{MultiRunner, QuerySet};
+pub use plancache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use projector::Projector;
 pub use qindex::{QueryId, QueryIndex, QuerySink, VecQuerySink};
 pub use report::{Capabilities, MemoryStats, PhaseTimings, RunReport, Unsupported, XPathEngine};

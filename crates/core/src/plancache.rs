@@ -1,0 +1,368 @@
+//! Cross-connection compiled-plan cache.
+//!
+//! Standing-query serving is templated in practice: thousands of
+//! subscribers ask for the *same* batch of queries (a stock ticker, a
+//! feed filter), and the server used to recompile the whole batch —
+//! parse, HPDT build, merge, verify, prune, bound analysis — once per
+//! connection. [`PlanCache`] compiles a batch **once per distinct
+//! (engine mode, batch text)** and hands out a shared
+//! [`CachedPlan`]: the prefix-sharing group plan (each group an
+//! `Arc<Hpdt>`) plus the per-query static memory bounds. Subscribing a
+//! cached plan into a [`QueryIndex`] is pure runtime-state
+//! instantiation — no compilation at all — via
+//! [`QueryIndex::subscribe_plan`].
+//!
+//! Entries are reference-counted by checkout: every [`PlanCache::checkout`]
+//! must be paired with a [`PlanCache::release`] (the server does this on
+//! the batch's last unsubscribe, or when the owning session drops), and
+//! the entry is evicted when the last reference goes away, so a burst of
+//! one-off queries cannot grow the cache without bound.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use xsq_xml::dtd::Dtd;
+use xsq_xpath::Query;
+
+use crate::analyze::MemoryBound;
+use crate::engine::{XsqEngine, XsqMode};
+use crate::error::CompileError;
+use crate::qindex::prefix::{plan_groups, QueryGroup};
+
+/// One compiled batch: the original texts in input order, the
+/// prefix-sharing group plan, and each query's static memory bound
+/// (derived against the cache's DTD, if any). Immutable and shared —
+/// every subscriber of the same batch holds the same `Arc`.
+#[derive(Debug)]
+pub struct CachedPlan {
+    key: String,
+    mode: XsqMode,
+    texts: Vec<String>,
+    groups: Vec<QueryGroup>,
+    bounds: Vec<MemoryBound>,
+}
+
+impl CachedPlan {
+    /// The cache key this plan is filed under (pass to
+    /// [`PlanCache::release`]).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The engine mode the batch compiled under.
+    pub fn mode(&self) -> XsqMode {
+        self.mode
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Query texts in input order.
+    pub fn texts(&self) -> &[String] {
+        &self.texts
+    }
+
+    /// The compiled prefix-sharing groups (members index into
+    /// [`CachedPlan::texts`]).
+    pub fn groups(&self) -> &[QueryGroup] {
+        &self.groups
+    }
+
+    /// Per-query static memory bounds, in input order.
+    pub fn bounds(&self) -> &[MemoryBound] {
+        &self.bounds
+    }
+}
+
+struct Slot {
+    plan: Arc<CachedPlan>,
+    refs: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, Slot>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache observability counters (surfaced through STAT).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Live entries (batches with at least one subscriber).
+    pub entries: usize,
+    /// Checkouts served from an existing entry.
+    pub hits: u64,
+    /// Checkouts that had to compile.
+    pub misses: u64,
+}
+
+/// A keyed, reference-counted compiled-plan cache, shared across every
+/// connection of one server (threaded and event-loop models alike).
+pub struct PlanCache {
+    /// Bounds are schema-dependent; the cache is built with the same
+    /// DTD the server's admission policy uses, so cached bounds are
+    /// exactly what the uncached path would have computed.
+    dtd: Option<Arc<Dtd>>,
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    pub fn new(dtd: Option<Arc<Dtd>>) -> Arc<PlanCache> {
+        Arc::new(PlanCache {
+            dtd,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    fn cache_key(mode: XsqMode, queries: &[&str]) -> String {
+        let mut key = String::from(match mode {
+            XsqMode::Full => "f",
+            XsqMode::NoClosure => "nc",
+        });
+        for q in queries {
+            key.push('\n');
+            key.push_str(q);
+        }
+        key
+    }
+
+    /// Fetch (or compile) the plan for a batch, taking one reference.
+    /// Errors are attributed to the offending query index, mirroring
+    /// [`crate::multi::QuerySet::compile`]; a failed checkout takes no
+    /// reference and caches nothing.
+    pub fn checkout(
+        &self,
+        engine: XsqEngine,
+        queries: &[&str],
+    ) -> Result<Arc<CachedPlan>, (usize, CompileError)> {
+        let key = Self::cache_key(engine.mode(), queries);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(slot) = inner.entries.get_mut(&key) {
+                slot.refs += 1;
+                let plan = Arc::clone(&slot.plan);
+                inner.hits += 1;
+                return Ok(plan);
+            }
+        }
+        // Compile outside the lock: a slow build must not stall every
+        // other connection's checkout. Two racing misses both compile;
+        // the loser's work is discarded below.
+        let plan = Arc::new(self.build(engine, queries, key)?);
+        let mut inner = self.inner.lock().unwrap();
+        inner.misses += 1;
+        let slot = inner
+            .entries
+            .entry(plan.key.clone())
+            .or_insert_with(|| Slot {
+                plan: Arc::clone(&plan),
+                refs: 0,
+            });
+        slot.refs += 1;
+        Ok(Arc::clone(&slot.plan))
+    }
+
+    /// Drop one reference to a batch; the entry is evicted when the
+    /// last reference goes away. Unknown keys are ignored (the entry
+    /// may already be gone if release races a session teardown).
+    pub fn release(&self, key: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(slot) = inner.entries.get_mut(key) {
+            slot.refs = slot.refs.saturating_sub(1);
+            if slot.refs == 0 {
+                inner.entries.remove(key);
+            }
+        }
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().unwrap();
+        PlanCacheStats {
+            entries: inner.entries.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+
+    fn build(
+        &self,
+        engine: XsqEngine,
+        queries: &[&str],
+        key: String,
+    ) -> Result<CachedPlan, (usize, CompileError)> {
+        let mut parsed: Vec<Query> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let query = xsq_xpath::parse_query(q).map_err(|e| (i, e.into()))?;
+            if engine.mode() == XsqMode::NoClosure && query.has_closure() {
+                return Err((
+                    i,
+                    CompileError::Unsupported {
+                        feature: "the closure axis //".into(),
+                        engine: "XSQ-NC".into(),
+                    },
+                ));
+            }
+            parsed.push(query);
+        }
+        let groups = plan_groups(&parsed).map_err(|e| (0, e))?;
+        let dtd = self.dtd.as_deref();
+        let bounds = queries
+            .iter()
+            .map(|q| match engine.compile_str_with_dtd(q, dtd) {
+                Ok(c) => c.bound().clone(),
+                Err(e) => MemoryBound::Unbounded {
+                    reason: format!("bound analysis failed: {e}"),
+                    span: xsq_xpath::Span::new(0, 0),
+                },
+            })
+            .collect();
+        Ok(CachedPlan {
+            key,
+            mode: engine.mode(),
+            texts: queries.iter().map(|q| q.to_string()).collect(),
+            groups,
+            bounds,
+        })
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qindex::{QueryIndex, VecQuerySink};
+
+    const DOC: &[u8] = b"<pub><book id=\"1\"><name>First</name><author>A</author>\
+                         <price>10</price></book><year>2002</year></pub>";
+
+    #[test]
+    fn identical_batches_share_one_compiled_plan() {
+        let cache = PlanCache::new(None);
+        let batch = ["/pub/book/name/text()", "/pub/year/text()"];
+        let a = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        let b = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second checkout must hit");
+        assert!(Arc::ptr_eq(&a.groups()[0].hpdt, &b.groups()[0].hpdt));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn subscribe_plan_matches_subscribe_group_results() {
+        let cache = PlanCache::new(None);
+        let batch = [
+            "/pub/book/name/text()",
+            "/pub/book/@id",
+            "/pub/year/text()",
+            "//price/sum()",
+        ];
+        let plan = cache.checkout(XsqEngine::full(), &batch).unwrap();
+
+        let mut cached = QueryIndex::new(XsqEngine::full());
+        let cached_ids = cached.subscribe_plan(&plan);
+        let mut direct = QueryIndex::new(XsqEngine::full());
+        let direct_ids = direct.subscribe_group(&batch).unwrap();
+        assert_eq!(cached_ids, direct_ids);
+        assert_eq!(cached.group_count(), direct.group_count());
+
+        let mut got = VecQuerySink::new();
+        cached.run_document(DOC, &mut got).unwrap();
+        let mut want = VecQuerySink::new();
+        direct.run_document(DOC, &mut want).unwrap();
+        assert_eq!(got.results, want.results);
+        assert_eq!(got.updates, want.updates);
+    }
+
+    #[test]
+    fn release_evicts_on_last_reference() {
+        let cache = PlanCache::new(None);
+        let batch = ["/a/b/text()"];
+        let a = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        let b = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        let key = a.key().to_string();
+        cache.release(&key);
+        assert_eq!(cache.stats().entries, 1, "one reference still live");
+        cache.release(&key);
+        assert_eq!(cache.stats().entries, 0, "last release evicts");
+        // Re-checkout after eviction recompiles into a fresh entry.
+        let c = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        assert!(!Arc::ptr_eq(&b, &c));
+        assert_eq!(cache.stats().misses, 2);
+        cache.release(c.key());
+    }
+
+    #[test]
+    fn distinct_modes_get_distinct_entries() {
+        let cache = PlanCache::new(None);
+        let batch = ["/a/b/text()"];
+        let f = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        let nc = cache.checkout(XsqEngine::no_closure(), &batch).unwrap();
+        assert!(!Arc::ptr_eq(&f, &nc));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn errors_attribute_the_offending_query_and_cache_nothing() {
+        let cache = PlanCache::new(None);
+        let (i, _) = cache
+            .checkout(XsqEngine::full(), &["/a/b/text()", "/a["])
+            .unwrap_err();
+        assert_eq!(i, 1);
+        let (i, e) = cache
+            .checkout(XsqEngine::no_closure(), &["/a/text()", "//b/text()"])
+            .unwrap_err();
+        assert_eq!(i, 1);
+        assert!(matches!(e, CompileError::Unsupported { .. }));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn cached_bounds_match_the_uncached_analysis() {
+        let dtd = Arc::new(
+            Dtd::parse(
+                "<!ELEMENT dblp ((article | inproceedings)*)>\
+                 <!ELEMENT article (author*, title, year, pages)>\
+                 <!ELEMENT inproceedings (author*, title, year, pages, booktitle?)>\
+                 <!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>\
+                 <!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)>\
+                 <!ELEMENT booktitle (#PCDATA)>",
+            )
+            .unwrap(),
+        );
+        let cache = PlanCache::new(Some(Arc::clone(&dtd)));
+        let batch = [
+            "/a/b/text()",
+            "/dblp/inproceedings[author]/title/text()",
+            "/dblp/inproceedings[booktitle]/author/text()",
+        ];
+        let plan = cache.checkout(XsqEngine::full(), &batch).unwrap();
+        let direct: Vec<MemoryBound> = batch
+            .iter()
+            .map(|q| {
+                XsqEngine::full()
+                    .compile_str_with_dtd(q, Some(&dtd))
+                    .unwrap()
+                    .bound()
+                    .clone()
+            })
+            .collect();
+        assert_eq!(plan.bounds(), &direct[..]);
+    }
+}

@@ -337,6 +337,41 @@ impl QueryIndex {
             .collect())
     }
 
+    /// Subscribe a batch from an already-compiled, already-verified
+    /// [`crate::plancache::CachedPlan`] — pure runtime-state
+    /// instantiation, no parsing or HPDT construction. The plan's
+    /// groups were verified and pruned when the cache built them
+    /// ([`super::prefix::plan_groups`]), so re-verification here would
+    /// only re-prove the same artifact on every subscriber. Returns one
+    /// id per query, in input order, exactly like
+    /// [`QueryIndex::subscribe_group`] on the same batch.
+    pub fn subscribe_plan(&mut self, plan: &crate::plancache::CachedPlan) -> Vec<QueryId> {
+        assert_eq!(
+            plan.mode(),
+            self.engine.mode(),
+            "cached plan compiled for a different engine mode"
+        );
+        let base = self.subs.len() as u32;
+        for t in plan.texts() {
+            self.subs.push(Sub {
+                text: t.clone(),
+                group: 0,
+                tag: 0,
+                active: true,
+                sink: None,
+            });
+        }
+        for g in plan.groups() {
+            let members = g
+                .members
+                .iter()
+                .map(|&i| QueryId(base + i as u32))
+                .collect();
+            self.add_group(Arc::clone(&g.hpdt), members);
+        }
+        (0..plan.len() as u32).map(|i| QueryId(base + i)).collect()
+    }
+
     /// Subscribe an externally compiled (possibly merged) HPDT. The
     /// transducer is re-verified before registration: a malformed
     /// artifact — hand-built, corrupted in transit, or produced by a

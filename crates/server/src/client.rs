@@ -11,8 +11,10 @@
 //! the engine's output.
 
 use std::fmt::Write as _;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use xsq_core::{run_sequential_with, QuerySet, XsqEngine};
@@ -30,6 +32,70 @@ pub struct ClientReport {
     /// Per-query static memory bounds from the SUB_OK tail, in query
     /// order. Empty when talking to a server that predates bounds.
     pub bounds: Vec<WireBound>,
+    /// Wire bytes this session read off the socket (reply frames).
+    pub wire_in: u64,
+    /// Wire bytes this session wrote to the socket (request frames).
+    pub wire_out: u64,
+}
+
+/// A `Read`/`Write` wrapper that counts bytes as they cross the
+/// socket, so a session can report its wire footprint (serve-bench
+/// derives the fan-out amplification factor from these).
+struct Counted<S> {
+    inner: S,
+    n: Arc<AtomicU64>,
+}
+
+impl<S: Read> Read for Counted<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.n.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for Counted<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.n.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Pull an unsigned integer field out of a flat STAT JSON object.
+pub fn stat_field_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull a string field out of a flat STAT JSON object.
+pub fn stat_field_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = json.find(&pat)? + pat.len();
+    let rest = &json[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Decode the transport-observability fields of a STAT reply into one
+/// printable line (`None` when the server predates them).
+pub fn stat_transport_summary(json: &str) -> Option<String> {
+    let connections = stat_field_u64(json, "connections")?;
+    Some(format!(
+        "model={} connections={connections} sessions={} queue_depth_hwm={} \
+         dropped_broadcast={}",
+        stat_field_str(json, "model").unwrap_or("?"),
+        stat_field_u64(json, "sessions").unwrap_or(0),
+        stat_field_u64(json, "queue_depth_hwm").unwrap_or(0),
+        stat_field_u64(json, "dropped_broadcast").unwrap_or(0),
+    ))
 }
 
 /// Client-side failures, split for distinct CLI exit codes.
@@ -112,10 +178,18 @@ pub fn run_corpus(
     // A correctness client, not a soak client: a stuck server should
     // fail the run rather than hang it.
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let wire_in = Arc::new(AtomicU64::new(0));
+    let wire_out = Arc::new(AtomicU64::new(0));
+    let mut reader = BufReader::new(Counted {
+        inner: stream.try_clone()?,
+        n: Arc::clone(&wire_in),
+    });
+    let mut writer = BufWriter::new(Counted {
+        inner: stream,
+        n: Arc::clone(&wire_out),
+    });
 
-    let mut next = |writer: &mut BufWriter<TcpStream>| -> Result<Frame, ClientError> {
+    let mut next = |writer: &mut BufWriter<Counted<TcpStream>>| -> Result<Frame, ClientError> {
         writer.flush()?;
         match read_frame(&mut reader, MAX_FRAME)? {
             Some(f) => Ok(f),
@@ -127,43 +201,7 @@ pub fn run_corpus(
 
     write_frame(&mut writer, op::SUB, queries.join("\n").as_bytes())?;
     let reply = next(&mut writer)?;
-    let (ids, bounds) = match reply.op {
-        op::SUB_OK => {
-            if reply.payload.len() < 4 {
-                return Err(ClientError::Protocol("short SUB_OK".into()));
-            }
-            let count = u32::from_le_bytes(reply.payload[..4].try_into().unwrap());
-            // ids then (on servers that compute them) one WireBound per
-            // query; older servers simply end the payload after the ids.
-            let tail = reply.payload.get(4 + 4 * count as usize..).unwrap_or(&[]);
-            let mut bounds = Vec::new();
-            if tail.len() == count as usize * WireBound::SIZE {
-                for raw in tail.chunks_exact(WireBound::SIZE) {
-                    match WireBound::decode(raw) {
-                        Some(b) => bounds.push(b),
-                        None => {
-                            return Err(ClientError::Protocol(
-                                "malformed bound in SUB_OK tail".into(),
-                            ))
-                        }
-                    }
-                }
-            }
-            (count, bounds)
-        }
-        op::ERR => return Err(remote_err(&reply.payload)),
-        other => {
-            return Err(ClientError::Protocol(format!(
-                "expected SUB_OK, got opcode 0x{other:02x}"
-            )))
-        }
-    };
-    if ids as usize != queries.len() {
-        return Err(ClientError::Protocol(format!(
-            "subscribed {} queries, server acked {ids}",
-            queries.len()
-        )));
-    }
+    let bounds = parse_sub_ok(&reply, queries.len())?;
 
     let mut report = ClientReport {
         bounds,
@@ -242,6 +280,313 @@ pub fn run_corpus(
             frame.op
         )));
     }
+    writer.flush()?;
+    report.wire_in = wire_in.load(Ordering::Relaxed);
+    report.wire_out = wire_out.load(Ordering::Relaxed);
+    Ok(report)
+}
+
+/// Validate a SUB_OK reply and decode its bounds tail.
+fn parse_sub_ok(reply: &Frame, expected: usize) -> Result<Vec<WireBound>, ClientError> {
+    let count = match reply.op {
+        op::SUB_OK => {
+            if reply.payload.len() < 4 {
+                return Err(ClientError::Protocol("short SUB_OK".into()));
+            }
+            u32::from_le_bytes(reply.payload[..4].try_into().unwrap())
+        }
+        op::ERR => return Err(remote_err(&reply.payload)),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected SUB_OK, got opcode 0x{other:02x}"
+            )))
+        }
+    };
+    if count as usize != expected {
+        return Err(ClientError::Protocol(format!(
+            "subscribed {expected} queries, server acked {count}"
+        )));
+    }
+    // ids then (on servers that compute them) one WireBound per query;
+    // older servers simply end the payload after the ids.
+    let tail = reply.payload.get(4 + 4 * count as usize..).unwrap_or(&[]);
+    let mut bounds = Vec::new();
+    if tail.len() == count as usize * WireBound::SIZE {
+        for raw in tail.chunks_exact(WireBound::SIZE) {
+            match WireBound::decode(raw) {
+                Some(b) => bounds.push(b),
+                None => {
+                    return Err(ClientError::Protocol(
+                        "malformed bound in SUB_OK tail".into(),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(bounds)
+}
+
+/// Feeder settings for [`broadcast_feed`].
+#[derive(Debug, Clone)]
+pub struct FeedOptions {
+    /// FEED chunk size in bytes.
+    pub chunk: usize,
+    /// Poll STAT until this many subscribers are attached before the
+    /// first FEED (so a scripted fan-out starts only when the audience
+    /// is seated).
+    pub wait_subs: Option<u64>,
+    /// Request STAT after the last document and carry it in the report.
+    pub want_stats: bool,
+}
+
+impl Default for FeedOptions {
+    fn default() -> Self {
+        FeedOptions {
+            chunk: 64 * 1024,
+            wait_subs: None,
+            want_stats: false,
+        }
+    }
+}
+
+/// How one broadcast feed went.
+#[derive(Debug, Default)]
+pub struct FeedReport {
+    pub docs: usize,
+    pub bytes: u64,
+    pub stats_json: Option<String>,
+    pub wire_in: u64,
+    pub wire_out: u64,
+}
+
+/// Claim the feeder role on a broadcast server and push the corpus.
+/// Every attached subscriber sees the stream through the shared index;
+/// the feeder's own acks are global DOC_OK document numbers.
+pub fn broadcast_feed(
+    addr: &str,
+    docs: &[impl AsRef<[u8]>],
+    opts: &FeedOptions,
+) -> Result<FeedReport, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let wire_in = Arc::new(AtomicU64::new(0));
+    let wire_out = Arc::new(AtomicU64::new(0));
+    let mut reader = BufReader::new(Counted {
+        inner: stream.try_clone()?,
+        n: Arc::clone(&wire_in),
+    });
+    let mut writer = BufWriter::new(Counted {
+        inner: stream,
+        n: Arc::clone(&wire_out),
+    });
+    let mut next = |writer: &mut BufWriter<Counted<TcpStream>>| -> Result<Frame, ClientError> {
+        writer.flush()?;
+        match read_frame(&mut reader, MAX_FRAME)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Protocol(
+                "server closed the connection mid-conversation".into(),
+            )),
+        }
+    };
+
+    write_frame(&mut writer, op::FEEDER, &[])?;
+    let reply = next(&mut writer)?;
+    match reply.op {
+        op::OK => {}
+        op::ERR => return Err(remote_err(&reply.payload)),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected OK for FEEDER, got opcode 0x{other:02x}"
+            )))
+        }
+    }
+
+    if let Some(want) = opts.wait_subs {
+        loop {
+            write_frame(&mut writer, op::STAT, &[])?;
+            let frame = next(&mut writer)?;
+            match frame.op {
+                op::STAT_OK => {
+                    let json = String::from_utf8_lossy(&frame.payload).into_owned();
+                    if stat_field_u64(&json, "subscribers").unwrap_or(0) >= want {
+                        break;
+                    }
+                }
+                op::ERR => return Err(remote_err(&frame.payload)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected STAT_OK, got opcode 0x{other:02x}"
+                    )))
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let mut report = FeedReport::default();
+    let chunk = opts.chunk.max(1);
+    for (di, doc) in docs.iter().enumerate() {
+        let doc = doc.as_ref();
+        report.bytes += doc.len() as u64;
+        for piece in doc.chunks(chunk) {
+            write_frame(&mut writer, op::FEED, piece)?;
+        }
+        write_frame(&mut writer, op::END_DOC, &[])?;
+        let frame = next(&mut writer)?;
+        match frame.op {
+            op::DOC_OK => {
+                let acked = frame
+                    .payload
+                    .get(..4)
+                    .map(|b| u32::from_le_bytes(b.try_into().unwrap()));
+                if acked != Some(di as u32) {
+                    return Err(ClientError::Protocol(format!(
+                        "fed document {di}, server acked {acked:?}"
+                    )));
+                }
+            }
+            op::ERR => return Err(remote_err(&frame.payload)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected DOC_OK, got opcode 0x{other:02x}"
+                )))
+            }
+        }
+        report.docs += 1;
+    }
+
+    if opts.want_stats {
+        write_frame(&mut writer, op::STAT, &[])?;
+        let frame = next(&mut writer)?;
+        match frame.op {
+            op::STAT_OK => {
+                report.stats_json = Some(String::from_utf8_lossy(&frame.payload).into_owned());
+            }
+            op::ERR => return Err(remote_err(&frame.payload)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected STAT_OK, got opcode 0x{other:02x}"
+                )))
+            }
+        }
+    }
+
+    write_frame(&mut writer, op::BYE, &[])?;
+    let frame = next(&mut writer)?;
+    if frame.op != op::OK {
+        return Err(ClientError::Protocol(format!(
+            "expected OK for BYE, got opcode 0x{:02x}",
+            frame.op
+        )));
+    }
+    writer.flush()?;
+    report.wire_in = wire_in.load(Ordering::Relaxed);
+    report.wire_out = wire_out.load(Ordering::Relaxed);
+    Ok(report)
+}
+
+/// Subscribe to a broadcast server and render `expect_docs` documents
+/// of fan-out in exactly the [`run_corpus`] output format, so a
+/// subscriber's output is byte-comparable to a solo corpus replay
+/// (and to `xsq multi --shard 1`).
+pub fn broadcast_subscribe(
+    addr: &str,
+    queries: &[&str],
+    expect_docs: usize,
+    running: bool,
+    out: &mut impl Write,
+) -> Result<ClientReport, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let wire_in = Arc::new(AtomicU64::new(0));
+    let wire_out = Arc::new(AtomicU64::new(0));
+    let mut reader = BufReader::new(Counted {
+        inner: stream.try_clone()?,
+        n: Arc::clone(&wire_in),
+    });
+    let mut writer = BufWriter::new(Counted {
+        inner: stream,
+        n: Arc::clone(&wire_out),
+    });
+    let mut next = |writer: &mut BufWriter<Counted<TcpStream>>| -> Result<Frame, ClientError> {
+        writer.flush()?;
+        match read_frame(&mut reader, MAX_FRAME)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Protocol(
+                "server closed the connection mid-conversation".into(),
+            )),
+        }
+    };
+
+    write_frame(&mut writer, op::SUB, queries.join("\n").as_bytes())?;
+    let reply = next(&mut writer)?;
+    let bounds = parse_sub_ok(&reply, queries.len())?;
+    let mut report = ClientReport {
+        bounds,
+        ..ClientReport::default()
+    };
+
+    // Passive from here: the feeder drives the stream; this side only
+    // collects each document's frames and renders at DOC_OK, counting
+    // documents from its own first boundary like a private session.
+    while report.docs < expect_docs {
+        let mut results: Vec<(u32, String)> = Vec::new();
+        let mut updates: Vec<(u32, f64)> = Vec::new();
+        loop {
+            let frame = next(&mut writer)?;
+            match frame.op {
+                op::RESULT => {
+                    if frame.payload.len() < 4 {
+                        return Err(ClientError::Protocol("short RESULT".into()));
+                    }
+                    let id = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+                    let value = String::from_utf8_lossy(&frame.payload[4..]).into_owned();
+                    results.push((id, value));
+                }
+                op::UPDATE => {
+                    if frame.payload.len() != 12 {
+                        return Err(ClientError::Protocol("short UPDATE".into()));
+                    }
+                    let id = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+                    let value = f64::from_le_bytes(frame.payload[4..].try_into().unwrap());
+                    updates.push((id, value));
+                }
+                op::DOC_OK => break,
+                op::ERR => return Err(remote_err(&frame.payload)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected opcode 0x{other:02x} during broadcast"
+                    )))
+                }
+            }
+        }
+        let di = report.docs;
+        report.docs += 1;
+        report.results += results.len() as u64;
+        report.updates += updates.len() as u64;
+        if running {
+            for (id, v) in &updates {
+                writeln!(out, "# running[{di}:{id}]: {v}").map_err(ClientError::Io)?;
+            }
+        }
+        for (id, v) in &results {
+            writeln!(out, "{di}\t{id}\t{v}").map_err(ClientError::Io)?;
+        }
+    }
+
+    write_frame(&mut writer, op::BYE, &[])?;
+    let frame = next(&mut writer)?;
+    if frame.op != op::OK {
+        return Err(ClientError::Protocol(format!(
+            "expected OK for BYE, got opcode 0x{:02x}",
+            frame.op
+        )));
+    }
+    writer.flush()?;
+    report.wire_in = wire_in.load(Ordering::Relaxed);
+    report.wire_out = wire_out.load(Ordering::Relaxed);
     Ok(report)
 }
 

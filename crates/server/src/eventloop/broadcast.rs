@@ -1,0 +1,640 @@
+//! Broadcast mode: one ingest stream, one shared [`QueryIndex`], many
+//! subscribers.
+//!
+//! `xsq serve --broadcast` inverts the per-session model. A single
+//! designated *feeder* connection claims the ingest role (FEEDER) and
+//! pushes documents; every other connection subscribes standing
+//! queries and receives the matching results of the *shared* stream.
+//! The paper's single-pass property is what makes this cheap: the
+//! document is parsed once and dispatched once through one index, no
+//! matter how many subscribers are attached — fan-out touches only the
+//! already-determined results.
+//!
+//! Identity contract: a subscriber that joins before feeding starts
+//! receives byte-for-byte the frames a solo session would have
+//! received for the same SUB batch. Two mechanisms make that hold:
+//!
+//! * **Batch sharing, not query sharing.** Subscribers with the same
+//!   SUB payload (same query texts, same order) share one plan-cache
+//!   entry and one set of index subscriptions; their result ids are
+//!   the *local* positions `0..n-1` within the batch, exactly the ids
+//!   a private session would have allocated. Distinct batches get
+//!   distinct index subscriptions — merging them could interleave
+//!   result order differently than a solo run, so it is never done
+//!   across batch boundaries.
+//! * **Join-at-boundary activation.** A subscriber that joins
+//!   mid-document is armed for the *next* document (the index's
+//!   runners are already past the document start), and its DOC_OK doc
+//!   counter starts at zero from that document — the same numbering a
+//!   fresh solo session would produce.
+//!
+//! Per-subscriber output queues are bounded by the serve options; the
+//! *block* policy pauses the feeder until every queue drains (total
+//! broadcast, lock-step with the slowest subscriber) while the *drop*
+//! policy discards RESULT/UPDATE frames for saturated subscribers and
+//! counts them (`dropped_broadcast` in STAT). Queue accounting lives
+//! in the event loop, which owns the sockets; this module only stages
+//! `(token, frame)` pairs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use xsq_core::{PlanCache, QueryId, QueryIndex, QuerySink, XsqEngine, XsqMode};
+use xsq_xml::{ParsePoll, PushParser, StreamParser};
+
+use crate::proto::{err_payload, errcode, frame_bytes, json_escape, op, Frame, WireBound};
+use crate::session::{
+    bound_diagnostics, query_diagnostics, wire_bound, SessionLimits, TransportStats,
+};
+
+/// One subscriber of one entry: the connection token, the logical
+/// session id on that connection (wire v2; `None` for v1), and the
+/// global document index from which this subscriber is live.
+struct SubRef {
+    token: u64,
+    sid: Option<u32>,
+    active_from: u32,
+}
+
+/// One shared SUB batch: the plan-cache key, the global ids its index
+/// subscriptions got, and everyone attached to it.
+struct Entry {
+    key: String,
+    ids: Vec<QueryId>,
+    subs: Vec<SubRef>,
+}
+
+/// The broadcast hub: protocol roles, the shared index, and result
+/// fan-out staging. The event loop drains [`Hub::out`] into the
+/// per-connection write queues (applying the overflow policy) and
+/// marks every token in [`Hub::closes`] for flush-and-close.
+pub(crate) struct Hub {
+    engine: XsqEngine,
+    limits: SessionLimits,
+    cache: Arc<PlanCache>,
+    index: QueryIndex,
+    parser: PushParser,
+    entries: Vec<Option<Entry>>,
+    by_key: HashMap<String, usize>,
+    /// Global query id → entry slot / local position.
+    id_entry: Vec<u32>,
+    id_local: Vec<u32>,
+    /// (token, sid) → entry slot, one batch per logical session.
+    sub_entry: HashMap<(u64, Option<u32>), usize>,
+    feeder: Option<u64>,
+    doc_active: bool,
+    docs: u32,
+    results: u64,
+    updates: u64,
+    bytes_in: u64,
+    ingest_nanos: u64,
+    /// Staged outgoing frames, drained by the event loop.
+    pub out: Vec<(u64, Arc<Vec<u8>>)>,
+    /// Connections to flush-and-close, drained by the event loop.
+    pub closes: Vec<u64>,
+}
+
+impl Hub {
+    pub fn new(engine: XsqEngine, limits: SessionLimits, cache: Arc<PlanCache>) -> Hub {
+        Hub {
+            engine,
+            limits,
+            cache,
+            index: QueryIndex::new(engine),
+            parser: StreamParser::push_mode(),
+            entries: Vec::new(),
+            by_key: HashMap::new(),
+            id_entry: Vec::new(),
+            id_local: Vec::new(),
+            sub_entry: HashMap::new(),
+            feeder: None,
+            doc_active: false,
+            docs: 0,
+            results: 0,
+            updates: 0,
+            bytes_in: 0,
+            ingest_nanos: 0,
+            out: Vec::new(),
+            closes: Vec::new(),
+        }
+    }
+
+    pub fn doc_active(&self) -> bool {
+        self.doc_active
+    }
+
+    pub fn feeder_token(&self) -> Option<u64> {
+        self.feeder
+    }
+
+    /// Number of attached subscriber sessions (the feeder polls this
+    /// through STAT before it starts feeding).
+    pub fn subscriber_count(&self) -> usize {
+        self.sub_entry.len()
+    }
+
+    /// Frame a reply in the subscriber's negotiated wire framing.
+    fn stage(&mut self, token: u64, sid: Option<u32>, opcode: u8, payload: &[u8]) {
+        self.out
+            .push((token, Arc::new(reply_frame(sid, opcode, payload))));
+    }
+
+    fn stage_err(&mut self, token: u64, sid: Option<u32>, code: &str, message: &str) {
+        let payload = err_payload(code, message, &[]);
+        self.stage(token, sid, op::ERR, &payload);
+    }
+
+    /// Handle one frame from connection `token` / logical session
+    /// `sid`. `transport` carries the loop's counters for STAT.
+    pub fn dispatch(
+        &mut self,
+        token: u64,
+        sid: Option<u32>,
+        frame: &Frame,
+        transport: &TransportStats,
+        backend: &'static str,
+    ) {
+        match frame.op {
+            op::SUB => self.on_sub(token, sid, &frame.payload),
+            op::FEEDER => self.on_feeder(token, sid),
+            op::FEED => self.on_feed(token, sid, &frame.payload),
+            op::END_DOC => self.on_end_doc(token, sid),
+            op::UNSUB => self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "broadcast subscriptions last for the connection; \
+                 disconnect (or BYE) instead of UNSUB",
+            ),
+            op::STAT => {
+                let json = self.stat_json(transport, backend);
+                self.stage(token, sid, op::STAT_OK, json.as_bytes());
+            }
+            op::BYE => {
+                self.stage(token, sid, op::OK, &[op::BYE]);
+                self.closes.push(token);
+            }
+            other => {
+                self.stage_err(
+                    token,
+                    sid,
+                    errcode::UNKNOWN_OP,
+                    &format!("unknown opcode 0x{other:02x}"),
+                );
+                self.closes.push(token);
+            }
+        }
+    }
+
+    fn on_feeder(&mut self, token: u64, sid: Option<u32>) {
+        if self.feeder == Some(token) {
+            self.stage(token, sid, op::OK, &[op::FEEDER]);
+            return;
+        }
+        if self.feeder.is_some() {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "a feeder is already attached",
+            );
+            return;
+        }
+        if self.sub_entry.keys().any(|(t, _)| *t == token) {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "a subscriber connection cannot claim the feeder role",
+            );
+            return;
+        }
+        self.feeder = Some(token);
+        self.stage(token, sid, op::OK, &[op::FEEDER]);
+    }
+
+    fn on_sub(&mut self, token: u64, sid: Option<u32>, payload: &[u8]) {
+        if self.feeder == Some(token) {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "the feeder cannot subscribe",
+            );
+            return;
+        }
+        if self.sub_entry.contains_key(&(token, sid)) {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "this session already subscribed (one SUB batch per broadcast session)",
+            );
+            return;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            self.stage_err(token, sid, errcode::PROTOCOL, "SUB payload is not UTF-8");
+            return;
+        };
+        let queries: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if queries.is_empty() {
+            self.stage_err(token, sid, errcode::BAD_QUERY, "SUB carried no queries");
+            return;
+        }
+        let plan = match self.cache.checkout(self.engine, &queries) {
+            Ok(plan) => plan,
+            Err((i, e)) => {
+                let payload = err_payload(
+                    errcode::BAD_QUERY,
+                    &format!("query {} ({}): {e}", i + 1, queries[i]),
+                    &query_diagnostics(queries[i], &e),
+                );
+                self.stage(token, sid, op::ERR, &payload);
+                return;
+            }
+        };
+        if let Some(budget) = self.limits.max_bound {
+            if let Some(i) = plan.bounds().iter().position(|b| !b.admits(budget)) {
+                let payload = err_payload(
+                    errcode::OVER_BUDGET,
+                    &format!(
+                        "query {} ({}): static memory bound {} exceeds the \
+                         server budget of {budget} buffered item(s)",
+                        i + 1,
+                        queries[i],
+                        plan.bounds()[i],
+                    ),
+                    &bound_diagnostics(queries[i], self.limits.dtd.as_deref()),
+                );
+                self.cache.release(plan.key());
+                self.stage(token, sid, op::ERR, &payload);
+                return;
+            }
+        }
+        let slot = match self.by_key.get(plan.key()) {
+            Some(&slot) => slot,
+            None => {
+                let ids = self.index.subscribe_plan(&plan);
+                let slot = self.entries.len();
+                for (local, id) in ids.iter().enumerate() {
+                    debug_assert_eq!(id.0 as usize, self.id_entry.len());
+                    self.id_entry.push(slot as u32);
+                    self.id_local.push(local as u32);
+                }
+                self.entries.push(Some(Entry {
+                    key: plan.key().to_string(),
+                    ids,
+                    subs: Vec::new(),
+                }));
+                self.by_key.insert(plan.key().to_string(), slot);
+                slot
+            }
+        };
+        let entry = self.entries[slot].as_mut().expect("live entry");
+        entry.subs.push(SubRef {
+            token,
+            sid,
+            active_from: self.docs + u32::from(self.doc_active),
+        });
+        self.sub_entry.insert((token, sid), slot);
+        // SUB_OK carries *local* ids 0..n-1 — the ids a private session
+        // would have allocated for the same batch — plus the bounds.
+        let n = plan.len();
+        let mut reply = Vec::with_capacity(4 + (4 + WireBound::SIZE) * n);
+        reply.extend_from_slice(&(n as u32).to_le_bytes());
+        for local in 0..n as u32 {
+            reply.extend_from_slice(&local.to_le_bytes());
+        }
+        for bound in plan.bounds() {
+            wire_bound(bound).encode(&mut reply);
+        }
+        self.stage(token, sid, op::SUB_OK, &reply);
+    }
+
+    fn on_feed(&mut self, token: u64, sid: Option<u32>, payload: &[u8]) {
+        if self.feeder != Some(token) {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "only the feeder may FEED on a broadcast server",
+            );
+            return;
+        }
+        self.doc_active = true;
+        self.bytes_in += payload.len() as u64;
+        let t0 = Instant::now();
+        self.parser.push(payload);
+        let failed = self.pump();
+        self.ingest_nanos += t0.elapsed().as_nanos() as u64;
+        if let Some(e) = failed {
+            self.fail_stream(token, sid, &e);
+        }
+    }
+
+    fn on_end_doc(&mut self, token: u64, sid: Option<u32>) {
+        if self.feeder != Some(token) {
+            self.stage_err(
+                token,
+                sid,
+                errcode::BROADCAST_ROLE,
+                "only the feeder may end a document on a broadcast server",
+            );
+            return;
+        }
+        if !self.doc_active {
+            self.stage_err(token, sid, errcode::PROTOCOL, "END-DOC without any FEED");
+            return;
+        }
+        let t0 = Instant::now();
+        self.parser.finish();
+        if let Some(e) = self.pump() {
+            self.ingest_nanos += t0.elapsed().as_nanos() as u64;
+            self.fail_stream(token, sid, &e);
+            return;
+        }
+        {
+            let Hub {
+                index,
+                entries,
+                id_entry,
+                id_local,
+                out,
+                docs,
+                results,
+                updates,
+                ..
+            } = self;
+            let mut sink = FanSink {
+                entries,
+                id_entry,
+                id_local,
+                cur_doc: *docs,
+                out,
+                results: 0,
+                updates: 0,
+            };
+            let _ = index.finish(&mut sink);
+            *results += sink.results;
+            *updates += sink.updates;
+        }
+        self.ingest_nanos += t0.elapsed().as_nanos() as u64;
+        // DOC_OK per active subscriber, numbered from each one's own
+        // first document (what a private session would report)…
+        let mut acks: Vec<(u64, Option<u32>, u32)> = Vec::new();
+        for entry in self.entries.iter().flatten() {
+            for sub in &entry.subs {
+                if sub.active_from <= self.docs {
+                    acks.push((sub.token, sub.sid, self.docs - sub.active_from));
+                }
+            }
+        }
+        for (t, s, di) in acks {
+            self.stage(t, s, op::DOC_OK, &di.to_le_bytes());
+        }
+        // …and one global ack to the feeder.
+        self.stage(token, sid, op::DOC_OK, &self.docs.to_le_bytes());
+        self.docs += 1;
+        self.doc_active = false;
+        self.parser.reset_push();
+    }
+
+    /// Drain every event the parser can currently produce through the
+    /// shared index, fanning results as they are determined.
+    fn pump(&mut self) -> Option<xsq_xml::Error> {
+        let Hub {
+            index,
+            parser,
+            entries,
+            id_entry,
+            id_local,
+            out,
+            docs,
+            results,
+            updates,
+            ..
+        } = self;
+        let mut sink = FanSink {
+            entries,
+            id_entry,
+            id_local,
+            cur_doc: *docs,
+            out,
+            results: 0,
+            updates: 0,
+        };
+        let failed = loop {
+            match parser.poll_raw() {
+                Ok(ParsePoll::Event(ev)) => index.feed_raw(&ev, &mut sink),
+                Ok(ParsePoll::NeedMore) | Ok(ParsePoll::End) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        *results += sink.results;
+        *updates += sink.updates;
+        failed
+    }
+
+    /// A parse error poisons the shared stream for everyone: there is
+    /// no per-subscriber recovery from a corrupt broadcast document.
+    /// Every attached connection gets a framed parse error and closes.
+    fn fail_stream(&mut self, feeder_token: u64, feeder_sid: Option<u32>, e: &xsq_xml::Error) {
+        let message = format!("document {}: {e}", self.docs);
+        self.stage_err(feeder_token, feeder_sid, errcode::PARSE, &message);
+        self.closes.push(feeder_token);
+        let subs: Vec<(u64, Option<u32>)> = self.sub_entry.keys().copied().collect();
+        for (t, s) in subs {
+            self.stage_err(t, s, errcode::PARSE, &message);
+            if t != feeder_token {
+                self.closes.push(t);
+            }
+        }
+        self.doc_active = false;
+        self.parser.reset_push();
+    }
+
+    /// A connection went away: release its subscriptions (and cache
+    /// references), tear down entries that lost their last subscriber,
+    /// or — if it was the feeder mid-document — poison the stream for
+    /// every subscriber, exactly like a parse failure.
+    pub fn conn_closed(&mut self, token: u64) {
+        if self.feeder == Some(token) {
+            self.feeder = None;
+            if self.doc_active {
+                let message = format!("feeder disconnected inside document {}", self.docs);
+                let subs: Vec<(u64, Option<u32>)> = self.sub_entry.keys().copied().collect();
+                for (t, s) in subs {
+                    self.stage_err(t, s, errcode::PROTOCOL, &message);
+                    self.closes.push(t);
+                }
+                self.doc_active = false;
+                self.parser.reset_push();
+            }
+        }
+        let gone: Vec<(u64, Option<u32>)> = self
+            .sub_entry
+            .keys()
+            .filter(|(t, _)| *t == token)
+            .copied()
+            .collect();
+        for key in gone {
+            let slot = self.sub_entry.remove(&key).expect("mapped subscriber");
+            let Some(entry) = self.entries[slot].as_mut() else {
+                continue;
+            };
+            entry.subs.retain(|s| !(s.token == key.0 && s.sid == key.1));
+            // Each SUB checked one reference out of the cache.
+            self.cache.release(&entry.key.clone());
+            if entry.subs.is_empty() {
+                let entry = self.entries[slot].take().expect("live entry");
+                for id in entry.ids {
+                    self.index.unsubscribe(id);
+                }
+                self.by_key.remove(&entry.key);
+            }
+        }
+    }
+
+    /// Close a logical v2 session without closing the connection.
+    pub fn session_closed(&mut self, token: u64, sid: u32) -> bool {
+        let key = (token, Some(sid));
+        let Some(slot) = self.sub_entry.remove(&key) else {
+            return false;
+        };
+        if let Some(entry) = self.entries[slot].as_mut() {
+            entry
+                .subs
+                .retain(|s| !(s.token == token && s.sid == Some(sid)));
+            self.cache.release(&entry.key.clone());
+            if entry.subs.is_empty() {
+                let entry = self.entries[slot].take().expect("live entry");
+                for id in entry.ids {
+                    self.index.unsubscribe(id);
+                }
+                self.by_key.remove(&entry.key);
+            }
+        }
+        true
+    }
+
+    /// The broadcast STAT reply: shared-stream counters plus the
+    /// loop-level transport numbers.
+    fn stat_json(&self, transport: &TransportStats, backend: &'static str) -> String {
+        let secs = self.ingest_nanos as f64 / 1e9;
+        let mb_per_sec = if secs > 0.0 {
+            self.bytes_in as f64 / (1024.0 * 1024.0) / secs
+        } else {
+            0.0
+        };
+        let cache = self.cache.stats();
+        format!(
+            "{{\"engine\":\"{}\",\"model\":\"broadcast\",\"backend\":\"{}\",\
+             \"subscribers\":{},\"feeder\":{},\"entries\":{},\"docs\":{},\
+             \"doc_active\":{},\"events\":{},\"results\":{},\"updates\":{},\
+             \"bytes_in\":{},\"ingest_mb_per_sec\":{:.2},\
+             \"connections\":{},\"sessions\":{},\"queue_depth_hwm\":{},\
+             \"dropped_broadcast\":{},\"plan_cache_entries\":{},\
+             \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"kernel\":\"{}\"}}",
+            json_escape(match self.engine.mode() {
+                XsqMode::Full => "xsq-f",
+                XsqMode::NoClosure => "xsq-nc",
+            }),
+            backend,
+            self.subscriber_count(),
+            self.feeder.is_some(),
+            self.by_key.len(),
+            self.docs,
+            self.doc_active,
+            self.index.events(),
+            self.results,
+            self.updates,
+            self.bytes_in,
+            mb_per_sec,
+            transport.connections,
+            self.subscriber_count(),
+            transport.queue_depth_hwm,
+            transport.dropped_broadcast,
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            xsq_xml::scan::active_kernel(),
+        )
+    }
+}
+
+/// Encode a reply frame in a subscriber's framing: wire v2 sessions
+/// get the session-id prefix, v1 connections the bare payload.
+pub(crate) fn reply_frame(sid: Option<u32>, opcode: u8, payload: &[u8]) -> Vec<u8> {
+    match sid {
+        Some(sid) => {
+            let mut p = Vec::with_capacity(4 + payload.len());
+            p.extend_from_slice(&sid.to_le_bytes());
+            p.extend_from_slice(payload);
+            frame_bytes(opcode, &p)
+        }
+        None => frame_bytes(opcode, payload),
+    }
+}
+
+/// Routes each determined result to every active subscriber of its
+/// entry. The v1 encoding is built once per result and `Arc`-shared
+/// across all v1 subscribers; v2 frames differ per session id.
+struct FanSink<'a> {
+    entries: &'a [Option<Entry>],
+    id_entry: &'a [u32],
+    id_local: &'a [u32],
+    cur_doc: u32,
+    out: &'a mut Vec<(u64, Arc<Vec<u8>>)>,
+    results: u64,
+    updates: u64,
+}
+
+impl FanSink<'_> {
+    fn fan(&mut self, id: QueryId, encode: impl Fn(u32, Option<u32>) -> Vec<u8>) {
+        let Some(&slot) = self.id_entry.get(id.0 as usize) else {
+            return;
+        };
+        let Some(entry) = self.entries[slot as usize].as_ref() else {
+            return;
+        };
+        let local = self.id_local[id.0 as usize];
+        let mut shared_v1: Option<Arc<Vec<u8>>> = None;
+        for sub in &entry.subs {
+            if sub.active_from > self.cur_doc {
+                continue; // joined mid-document; live from the next one
+            }
+            let bytes = match sub.sid {
+                None => Arc::clone(shared_v1.get_or_insert_with(|| Arc::new(encode(local, None)))),
+                Some(sid) => Arc::new(encode(local, Some(sid))),
+            };
+            self.out.push((sub.token, bytes));
+        }
+    }
+}
+
+impl QuerySink for FanSink<'_> {
+    fn result(&mut self, id: QueryId, value: &str) {
+        self.results += 1;
+        self.fan(id, |local, sid| {
+            let mut p = Vec::with_capacity(4 + value.len());
+            p.extend_from_slice(&local.to_le_bytes());
+            p.extend_from_slice(value.as_bytes());
+            reply_frame(sid, op::RESULT, &p)
+        });
+    }
+
+    fn aggregate_update(&mut self, id: QueryId, value: f64) {
+        self.updates += 1;
+        self.fan(id, |local, sid| {
+            let mut p = [0u8; 12];
+            p[..4].copy_from_slice(&local.to_le_bytes());
+            p[4..].copy_from_slice(&value.to_le_bytes());
+            reply_frame(sid, op::UPDATE, &p)
+        });
+    }
+}

@@ -1,0 +1,270 @@
+//! Non-blocking framing buffers for the event loop.
+//!
+//! The threaded server reads frames with blocking calls and writes
+//! through a dedicated writer thread; the event loop instead owns a
+//! pair of buffers per connection and lets readiness drive them:
+//!
+//! * [`FrameBuf`] accumulates whatever bytes the socket yields and
+//!   decodes complete frames incrementally. A frame split across any
+//!   number of reads — down to one byte at a time — decodes exactly
+//!   like one read. Oversized frames are rejected on the four declared
+//!   length bytes alone, before any body is buffered.
+//! * [`WriteBuf`] queues encoded reply frames as `Arc<Vec<u8>>` (so a
+//!   broadcast fan-out shares one encoding across thousands of
+//!   subscribers) and flushes as far as the socket allows, tracking a
+//!   per-connection depth high-water mark for STAT.
+
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Write};
+use std::sync::Arc;
+
+use crate::proto::Frame;
+
+/// Framing-layer failures that carry no recoverable stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds the cap; the body was never read.
+    TooLarge(u64),
+    /// Zero-length frame (every frame carries at least its opcode).
+    Zero,
+}
+
+/// Incremental frame decoder over an append-only byte buffer.
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: usize,
+}
+
+impl FrameBuf {
+    pub fn new(max_frame: usize) -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Append bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame, if any).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are terminal: the
+    /// byte stream is either hostile (oversized, zero-length) and must
+    /// not be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len == 0 {
+            return Err(FrameError::Zero);
+        }
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge(len as u64));
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let op = avail[4];
+        let payload = avail[5..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(Frame { op, payload }))
+    }
+
+    /// Reclaim consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Outgoing frame queue flushed by writability.
+#[derive(Default)]
+pub struct WriteBuf {
+    /// Encoded frames with a per-frame flush offset; fan-out pushes
+    /// the same `Arc` into many queues.
+    queue: VecDeque<(Arc<Vec<u8>>, usize)>,
+    queued_bytes: usize,
+    depth_hwm: u64,
+}
+
+impl WriteBuf {
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    pub fn push(&mut self, frame: Arc<Vec<u8>>) {
+        self.queued_bytes += frame.len();
+        self.queue.push_back((frame, 0));
+        self.depth_hwm = self.depth_hwm.max(self.queue.len() as u64);
+    }
+
+    /// Queued frames not yet fully written.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Highest queue depth ever observed (frames).
+    pub fn depth_hwm(&self) -> u64 {
+        self.depth_hwm
+    }
+
+    /// Write as much as the socket accepts. `Ok(true)` means the queue
+    /// drained; `Ok(false)` means the socket would block (keep write
+    /// interest registered).
+    ///
+    /// Gathers queued frames into one `writev` per syscall: result
+    /// frames are tens of bytes each, and a session replay stages
+    /// thousands of them — a write per frame would make the loop
+    /// syscall-bound where the threaded model's `BufWriter` is not.
+    pub fn flush_into(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        const MAX_IOV: usize = 256;
+        while !self.queue.is_empty() {
+            let mut slices: Vec<io::IoSlice> = Vec::with_capacity(self.queue.len().min(MAX_IOV));
+            for (frame, off) in self.queue.iter().take(MAX_IOV) {
+                slices.push(io::IoSlice::new(&frame[*off..]));
+            }
+            match w.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(mut n) => {
+                    self.queued_bytes -= n;
+                    while n > 0 {
+                        let (frame, off) = self.queue.front_mut().expect("accounted frame");
+                        let rem = frame.len() - *off;
+                        if n >= rem {
+                            n -= rem;
+                            self.queue.pop_front();
+                        } else {
+                            *off += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{frame_bytes, op};
+
+    #[test]
+    fn frames_decode_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&frame_bytes(op::SUB, b"/a/text()"));
+        wire.extend_from_slice(&frame_bytes(op::END_DOC, b""));
+        wire.extend_from_slice(&frame_bytes(op::FEED, b"<a>hi</a>"));
+        for chunk in [1usize, 2, 3, wire.len()] {
+            let mut fb = FrameBuf::new(1024);
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(f) = fb.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            assert_eq!(frames.len(), 3, "chunk size {chunk}");
+            assert_eq!(frames[0].op, op::SUB);
+            assert_eq!(frames[0].payload, b"/a/text()");
+            assert_eq!(frames[1].op, op::END_DOC);
+            assert!(frames[1].payload.is_empty());
+            assert_eq!(frames[2].payload, b"<a>hi</a>");
+            assert_eq!(fb.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_header_alone() {
+        let mut fb = FrameBuf::new(16);
+        // Declare 64 MiB but send only the length prefix.
+        fb.extend(&(64u32 * 1024 * 1024).to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(FrameError::TooLarge(64 * 1024 * 1024)));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut fb = FrameBuf::new(16);
+        fb.extend(&0u32.to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(FrameError::Zero));
+    }
+
+    /// An `io::Write` that accepts a fixed number of bytes per call and
+    /// then reports `WouldBlock` — a socket with a tiny send buffer.
+    struct Throttle {
+        accepted: Vec<u8>,
+        per_call: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(io::Error::new(ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_left -= 1;
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_resumes_across_partial_writes() {
+        let mut wb = WriteBuf::new();
+        let a = Arc::new(frame_bytes(op::RESULT, b"0123456789"));
+        let b = Arc::new(frame_bytes(op::DOC_OK, &0u32.to_le_bytes()));
+        wb.push(Arc::clone(&a));
+        wb.push(Arc::clone(&b));
+        assert_eq!(wb.depth_hwm(), 2);
+
+        let mut sink = Throttle {
+            accepted: Vec::new(),
+            per_call: 3,
+            calls_left: 2,
+        };
+        assert!(!wb.flush_into(&mut sink).unwrap());
+        assert!(!wb.is_empty());
+
+        sink.calls_left = usize::MAX;
+        assert!(wb.flush_into(&mut sink).unwrap());
+        assert!(wb.is_empty());
+        let mut expect = (*a).clone();
+        expect.extend_from_slice(&b);
+        assert_eq!(sink.accepted, expect);
+    }
+}

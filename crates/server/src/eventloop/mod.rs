@@ -1,0 +1,838 @@
+//! The readiness-based serving model: one thread (optionally sharded
+//! to `--loop-threads N`) multiplexes every connection over an epoll
+//! (or `poll(2)`) readiness loop instead of parking a thread pair per
+//! connection.
+//!
+//! The threaded model burns two OS threads per connection (reader +
+//! writer) and caps concurrency at the worker count; this loop holds
+//! thousands of mostly-idle subscriber connections at a fixed thread
+//! cost, which is what broadcast fan-out needs. The protocol machine
+//! is unchanged — the same [`Session`] state machine the threaded
+//! server drives blockingly is driven here by readiness:
+//!
+//! * **Reads** land in a per-connection [`conn::FrameBuf`]; complete
+//!   frames dispatch immediately, partial frames wait for more bytes.
+//! * **Writes** stage into a per-connection [`conn::WriteBuf`] and
+//!   flush as far as the socket allows; `EPOLLOUT` interest exists
+//!   only while the queue is non-empty. A queue deeper than the serve
+//!   option's `queue_depth` pauses *reading* that connection — the
+//!   same backpressure the threaded model's bounded channel applies.
+//! * **Wire v2 multiplexing**: a connection that opens with HELLO ≥ 2
+//!   prefixes every later frame with a `u32` logical-session id and
+//!   may run many [`Session`]s over one socket. A fatal error in one
+//!   logical session (parse failure, unknown opcode) closes that
+//!   session only; framing-level faults (oversized frame, zero-length
+//!   frame) still close the connection, because the byte stream itself
+//!   is no longer trustworthy.
+//! * **Broadcast**: with `--broadcast` the loop hosts a
+//!   [`broadcast::Hub`] — one feeder, one shared index, fan-out to
+//!   every subscriber (see that module's identity contract).
+//!
+//! Timers (idle timeout, shutdown drain grace, flush grace on closing
+//! connections) ride the 100 ms poll tick, mirroring the threaded
+//! model's `POLL_INTERVAL` wakeups.
+
+pub mod broadcast;
+pub mod conn;
+pub mod poller;
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::proto::{
+    err_payload, errcode, frame_bytes, op, Frame, CONTROL_SESSION, WIRE_V1, WIRE_V2,
+};
+use crate::server::{BroadcastPolicy, ServeOptions, Shared};
+use crate::session::{Action, Session, TransportStats};
+
+use broadcast::{reply_frame, Hub};
+use conn::{FrameBuf, FrameError, WriteBuf};
+use poller::{PollEvent, Poller};
+
+/// The listener's poller token; connections start at 1 and never reuse
+/// a token, so a stale event can never address a new connection.
+const LISTENER: u64 = 0;
+/// Poll tick: granularity of idle/drain timers (the threaded model's
+/// `POLL_INTERVAL`).
+const TICK: Duration = Duration::from_millis(100);
+/// How long an in-flight document (or an unflushed close) may linger
+/// after shutdown begins.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Socket read chunk and the per-wakeup read budget — one connection
+/// cannot starve the loop; level-triggered readiness re-reports
+/// whatever is left.
+const READ_CHUNK: usize = 64 * 1024;
+const READS_PER_WAKE: usize = 8;
+
+/// Spawn the event-loop threads for an already-bound listener.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    opts: ServeOptions,
+    shared: Arc<Shared>,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    // Broadcast needs every connection on one loop (the hub is
+    // single-threaded state); otherwise shard by listener clone.
+    let loops = if opts.broadcast.is_some() {
+        1
+    } else {
+        opts.loop_threads.max(1)
+    };
+    let mut threads = Vec::with_capacity(loops);
+    for i in 0..loops {
+        let listener = listener.try_clone()?;
+        let opts = opts.clone();
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("xsq-loop-{i}"))
+                .spawn(move || match EventLoop::new(listener, opts, shared) {
+                    Ok(el) => el.run(),
+                    Err(e) => eprintln!("xsq serve: event loop failed to start: {e}"),
+                })
+                .expect("spawn event loop"),
+        );
+    }
+    Ok(threads)
+}
+
+/// One connection's loop-side state.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    frames: FrameBuf,
+    write: WriteBuf,
+    /// Negotiated wire version; v1 until a leading HELLO says v2.
+    version: u32,
+    saw_frame: bool,
+    /// The wire-v1 session (one per connection, created lazily).
+    legacy: Option<Session>,
+    /// Wire-v2 logical sessions by session id.
+    sessions: HashMap<u32, Session>,
+    /// Completion time of the last decoded frame (the idle clock; a
+    /// dribbled partial frame does not reset it).
+    last_frame: Instant,
+    /// Flush the write queue, then close.
+    closing: bool,
+    eof: bool,
+    /// Reads paused because the write queue passed `queue_depth`.
+    backpressured: bool,
+    /// Reads paused by the broadcast block policy (feeder only).
+    feeder_paused: bool,
+    /// Currently registered poller interest.
+    int_read: bool,
+    int_write: bool,
+    /// Shutdown drain: deadline for an in-flight document.
+    drain_deadline: Option<Instant>,
+    /// Flush grace once `closing`: force-drop past this.
+    close_deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, fd: RawFd, max_frame: usize) -> Conn {
+        Conn {
+            stream,
+            fd,
+            frames: FrameBuf::new(max_frame),
+            write: WriteBuf::new(),
+            version: WIRE_V1,
+            saw_frame: false,
+            legacy: None,
+            sessions: HashMap::new(),
+            last_frame: Instant::now(),
+            closing: false,
+            eof: false,
+            backpressured: false,
+            feeder_paused: false,
+            int_read: true,
+            int_write: false,
+            drain_deadline: None,
+            close_deadline: None,
+        }
+    }
+
+    fn live_sessions(&self) -> u64 {
+        u64::from(self.legacy.is_some()) + self.sessions.len() as u64
+    }
+
+    /// Connection-level replies respect the negotiated framing: wire
+    /// v2 prefixes the reserved control-session id.
+    fn ctl_sid(&self) -> Option<u32> {
+        (self.version >= WIRE_V2).then_some(CONTROL_SESSION)
+    }
+
+    fn stage_reply(&mut self, sid: Option<u32>, opcode: u8, payload: &[u8]) {
+        self.write.push(Arc::new(reply_frame(sid, opcode, payload)));
+    }
+
+    fn stage_err(&mut self, code: &str, message: &str) {
+        let sid = self.ctl_sid();
+        self.stage_reply(sid, op::ERR, &err_payload(code, message, &[]));
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    opts: ServeOptions,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    hub: Option<Hub>,
+    events: Vec<PollEvent>,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        opts: ServeOptions,
+        shared: Arc<Shared>,
+    ) -> io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER, true, false)?;
+        let hub = opts
+            .broadcast
+            .map(|_| Hub::new(opts.engine, opts.limits.clone(), Arc::clone(&shared.cache)));
+        Ok(EventLoop {
+            poller,
+            listener: Some(listener),
+            opts,
+            shared,
+            conns: HashMap::new(),
+            next_token: 1,
+            hub,
+            events: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    fn run(mut self) {
+        let mut last_sweep = Instant::now();
+        loop {
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, TICK).is_err() {
+                std::thread::sleep(TICK);
+            }
+            for &ev in &events {
+                if ev.token == LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(ev.token, ev.readable, ev.writable, ev.hangup);
+                }
+            }
+            self.events = events;
+            // The sweep walks every connection; under load the poller
+            // wakes far more often than the timers it services need.
+            if last_sweep.elapsed() >= TICK || self.shared.shutdown.load(Ordering::SeqCst) {
+                self.sweep();
+                last_sweep = Instant::now();
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst)
+                && self.listener.is_none()
+                && self.conns.is_empty()
+            {
+                return;
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let fd = stream.as_raw_fd();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(fd, token, true, false).is_err() {
+                        continue;
+                    }
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns
+                        .insert(token, Conn::new(stream, fd, self.opts.max_frame));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        // Take the connection out of the map for the duration: frame
+        // handling may fan frames to *other* connections (broadcast),
+        // and this keeps those borrows disjoint.
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut dead = false;
+        if writable && conn.write.flush_into(&mut conn.stream).is_err() {
+            dead = true;
+        }
+        if !dead && (readable || hangup) {
+            dead = self.read_and_process(token, &mut conn);
+        }
+        if self.hub.is_some() {
+            self.pump_staged(Some((token, &mut conn)));
+        }
+        if !dead {
+            dead = self.finish_io(token, &mut conn);
+        }
+        if dead {
+            self.teardown(token, conn);
+        } else {
+            self.conns.insert(token, conn);
+        }
+    }
+
+    /// Read until the socket would block (bounded per wakeup) and
+    /// dispatch every complete frame as it decodes. Returns `true`
+    /// when the connection is dead (io error, poisoned framing).
+    fn read_and_process(&mut self, token: u64, conn: &mut Conn) -> bool {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut dead = false;
+        for _ in 0..READS_PER_WAKE {
+            if conn.closing || conn.backpressured || conn.feeder_paused || conn.eof {
+                break;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // EOF: flush whatever replies are queued, then
+                    // close. A partial frame left in the buffer is the
+                    // peer's torn write — nothing to answer.
+                    conn.eof = true;
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.frames.extend(&scratch[..n]);
+                    if self.process_frames(token, conn) {
+                        dead = true;
+                        break;
+                    }
+                    if conn.write.len() > self.opts.queue_depth {
+                        break; // finish_io will pause reads
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        self.scratch = scratch;
+        dead
+    }
+
+    fn process_frames(&mut self, token: u64, conn: &mut Conn) -> bool {
+        loop {
+            if conn.closing {
+                return false;
+            }
+            match conn.frames.next_frame() {
+                Ok(Some(frame)) => self.dispatch(token, conn, frame),
+                Ok(None) => return false,
+                Err(FrameError::TooLarge(len)) => {
+                    conn.stage_err(
+                        errcode::TOO_LARGE,
+                        &format!(
+                            "frame of {len} bytes exceeds the {}-byte limit",
+                            self.opts.max_frame
+                        ),
+                    );
+                    conn.closing = true;
+                    return false;
+                }
+                // Zero-length frame: abrupt close with no reply, the
+                // same as the threaded model's framing error path.
+                Err(FrameError::Zero) => return true,
+            }
+        }
+    }
+
+    fn dispatch(&mut self, token: u64, conn: &mut Conn, frame: Frame) {
+        conn.last_frame = Instant::now();
+        if frame.op == op::HELLO {
+            if conn.saw_frame {
+                conn.stage_err(
+                    errcode::PROTOCOL,
+                    "HELLO must be the first frame on a connection",
+                );
+                return;
+            }
+            conn.saw_frame = true;
+            let Ok(bytes) = <[u8; 4]>::try_from(frame.payload.as_slice()) else {
+                conn.stage_err(errcode::PROTOCOL, "HELLO payload must be a u32 version");
+                conn.closing = true;
+                return;
+            };
+            let client = u32::from_le_bytes(bytes);
+            conn.version = client.clamp(WIRE_V1, WIRE_V2);
+            // The negotiation reply itself is never session-prefixed.
+            conn.write.push(Arc::new(frame_bytes(
+                op::HELLO_OK,
+                &conn.version.to_le_bytes(),
+            )));
+            return;
+        }
+        conn.saw_frame = true;
+        if self.hub.is_some() {
+            self.dispatch_broadcast(token, conn, &frame);
+        } else if frame.op == op::FEEDER {
+            conn.stage_err(
+                errcode::BROADCAST_ROLE,
+                "this server is not in broadcast mode",
+            );
+        } else if conn.version >= WIRE_V2 {
+            self.dispatch_v2(token, conn, &frame);
+        } else {
+            self.dispatch_v1(conn, &frame);
+        }
+    }
+
+    /// Wire v1: the whole connection is one session, exactly the
+    /// threaded model's semantics (`Action::Close` closes the socket).
+    fn dispatch_v1(&mut self, conn: &mut Conn, frame: &Frame) {
+        if conn.legacy.is_none() {
+            let mut s = Session::with_limits(self.opts.engine, self.opts.limits.clone());
+            s.set_plan_cache(Arc::clone(&self.shared.cache));
+            conn.legacy = Some(s);
+            self.shared.sessions.fetch_add(1, Ordering::Relaxed);
+        }
+        let transport = self.transport(conn.write.depth_hwm());
+        let session = conn.legacy.as_mut().expect("legacy session");
+        if frame.op == op::STAT {
+            session.set_transport(transport);
+        }
+        let mut staged: Vec<Vec<u8>> = Vec::new();
+        let mut out = |opcode: u8, payload: &[u8]| staged.push(frame_bytes(opcode, payload));
+        let action = session.handle_frame(frame, &mut out);
+        for bytes in staged {
+            conn.write.push(Arc::new(bytes));
+        }
+        if action == Action::Close {
+            conn.closing = true;
+        }
+    }
+
+    /// Wire v2: route by the leading session id. Fatal session errors
+    /// close only that logical session; sibling sessions on the same
+    /// connection keep running.
+    fn dispatch_v2(&mut self, token: u64, conn: &mut Conn, frame: &Frame) {
+        let _ = token;
+        if frame.payload.len() < 4 {
+            conn.stage_err(
+                errcode::PROTOCOL,
+                "wire v2 frames begin with a u32 session id",
+            );
+            return;
+        }
+        let sid = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+        if sid == CONTROL_SESSION {
+            match frame.op {
+                op::STAT => {
+                    let json = self.server_stat_json(conn);
+                    conn.stage_reply(Some(CONTROL_SESSION), op::STAT_OK, json.as_bytes());
+                }
+                op::BYE => {
+                    conn.stage_reply(Some(CONTROL_SESSION), op::OK, &[op::BYE]);
+                    conn.closing = true;
+                }
+                _ => conn.stage_err(
+                    errcode::PROTOCOL,
+                    "only STAT and BYE may address the control session",
+                ),
+            }
+            return;
+        }
+        let inner = Frame {
+            op: frame.op,
+            payload: frame.payload[4..].to_vec(),
+        };
+        if let std::collections::hash_map::Entry::Vacant(slot) = conn.sessions.entry(sid) {
+            if inner.op == op::SUB {
+                // A logical session opens with its first SUB.
+                let mut s = Session::with_limits(self.opts.engine, self.opts.limits.clone());
+                s.set_plan_cache(Arc::clone(&self.shared.cache));
+                slot.insert(s);
+                self.shared.sessions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                conn.stage_reply(
+                    Some(sid),
+                    op::ERR,
+                    &err_payload(
+                        errcode::BAD_SESSION,
+                        &format!("session {sid} is not open (a session opens with its first SUB)"),
+                        &[],
+                    ),
+                );
+                return;
+            }
+        }
+        let transport = self.transport(conn.write.depth_hwm());
+        let session = conn.sessions.get_mut(&sid).expect("routed session");
+        if inner.op == op::STAT {
+            session.set_transport(transport);
+        }
+        let mut staged: Vec<Vec<u8>> = Vec::new();
+        let mut out =
+            |opcode: u8, payload: &[u8]| staged.push(reply_frame(Some(sid), opcode, payload));
+        let action = session.handle_frame(&inner, &mut out);
+        for bytes in staged {
+            conn.write.push(Arc::new(bytes));
+        }
+        if action == Action::Close {
+            conn.sessions.remove(&sid);
+            self.shared.sessions.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dispatch_broadcast(&mut self, token: u64, conn: &mut Conn, frame: &Frame) {
+        let transport = self.transport(conn.write.depth_hwm());
+        let backend = self.poller.backend_name();
+        let (sid, inner): (Option<u32>, Frame) = if conn.version >= WIRE_V2 {
+            if frame.payload.len() < 4 {
+                conn.stage_err(
+                    errcode::PROTOCOL,
+                    "wire v2 frames begin with a u32 session id",
+                );
+                return;
+            }
+            let sid = u32::from_le_bytes(frame.payload[..4].try_into().unwrap());
+            let inner = Frame {
+                op: frame.op,
+                payload: frame.payload[4..].to_vec(),
+            };
+            if sid == CONTROL_SESSION && frame.op == op::SUB {
+                conn.stage_err(errcode::PROTOCOL, "SUB must address a real session id");
+                return;
+            }
+            if sid != CONTROL_SESSION && frame.op == op::BYE {
+                // Session-scoped BYE: detach this logical subscriber,
+                // keep the connection.
+                let hub = self.hub.as_mut().expect("broadcast hub");
+                if hub.session_closed(token, sid) {
+                    conn.stage_reply(Some(sid), op::OK, &[op::BYE]);
+                } else {
+                    conn.stage_reply(
+                        Some(sid),
+                        op::ERR,
+                        &err_payload(
+                            errcode::BAD_SESSION,
+                            &format!("session {sid} is not open"),
+                            &[],
+                        ),
+                    );
+                }
+                return;
+            }
+            (Some(sid), inner)
+        } else {
+            (None, frame.clone())
+        };
+        let hub = self.hub.as_mut().expect("broadcast hub");
+        hub.dispatch(token, sid, &inner, &transport, backend);
+    }
+
+    /// Drain the hub's staged fan-out into connection write queues,
+    /// applying the overflow policy, then apply staged closes. `cur`
+    /// is the connection currently checked out of the map, if any.
+    fn pump_staged(&mut self, cur: Option<(u64, &mut Conn)>) {
+        let (cur_token, mut cur_conn): (Option<u64>, Option<&mut Conn>) = match cur {
+            Some((t, c)) => (Some(t), Some(c)),
+            None => (None, None),
+        };
+        let Some(hub) = self.hub.as_mut() else { return };
+        let out = std::mem::take(&mut hub.out);
+        let closes = std::mem::take(&mut hub.closes);
+        let bopts = self.opts.broadcast.expect("broadcast options");
+        let cap = bopts.queue.max(1);
+        let mut touched: Vec<u64> = Vec::new();
+        for (t, bytes) in out {
+            let target: &mut Conn = if Some(t) == cur_token {
+                cur_conn.as_deref_mut().expect("current connection")
+            } else {
+                match self.conns.get_mut(&t) {
+                    Some(c) => {
+                        touched.push(t);
+                        c
+                    }
+                    None => continue,
+                }
+            };
+            // Drop policy sheds only result traffic: control replies
+            // and DOC_OK document boundaries always get through, so a
+            // lossy subscriber still sees a consistent protocol.
+            let opcode = bytes[4];
+            let droppable = opcode == op::RESULT || opcode == op::UPDATE;
+            if bopts.policy == BroadcastPolicy::Drop && droppable && target.write.len() >= cap {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            target.write.push(bytes);
+        }
+        for t in closes {
+            if Some(t) == cur_token {
+                cur_conn.as_deref_mut().expect("current connection").closing = true;
+            } else if let Some(c) = self.conns.get_mut(&t) {
+                c.closing = true;
+                touched.push(t);
+            }
+        }
+        // Side-affected connections need their flush/interest state
+        // refreshed now — their own readiness event may never come.
+        touched.sort_unstable();
+        touched.dedup();
+        for t in touched {
+            if let Some(mut c) = self.conns.remove(&t) {
+                if self.finish_io(t, &mut c) {
+                    self.teardown(t, c);
+                } else {
+                    self.conns.insert(t, c);
+                }
+            }
+        }
+        self.update_feeder_pause(cur_token, cur_conn);
+    }
+
+    /// Block policy: pause the feeder's reads while any subscriber
+    /// queue is over the bound; resume once all are half-drained.
+    fn update_feeder_pause(&mut self, cur_token: Option<u64>, mut cur_conn: Option<&mut Conn>) {
+        let Some(bopts) = self.opts.broadcast else {
+            return;
+        };
+        if bopts.policy != BroadcastPolicy::Block {
+            return;
+        }
+        let Some(ft) = self.hub.as_ref().and_then(|h| h.feeder_token()) else {
+            return;
+        };
+        let cap = bopts.queue.max(1);
+        let mut over = false;
+        let mut busy = false;
+        for (t, c) in &self.conns {
+            if *t == ft {
+                continue;
+            }
+            let depth = c.write.len();
+            over |= depth >= cap;
+            busy |= depth > cap / 2;
+        }
+        if let (Some(t), Some(c)) = (cur_token, cur_conn.as_deref_mut()) {
+            if t != ft {
+                let depth = c.write.len();
+                over |= depth >= cap;
+                busy |= depth > cap / 2;
+            }
+        }
+        if cur_token == Some(ft) {
+            let f = cur_conn.expect("current connection");
+            if f.feeder_paused {
+                if !busy {
+                    f.feeder_paused = false;
+                }
+            } else if over {
+                f.feeder_paused = true;
+            }
+            // The caller's finish_io applies the interest change.
+        } else if let Some(mut f) = self.conns.remove(&ft) {
+            let was = f.feeder_paused;
+            if f.feeder_paused {
+                if !busy {
+                    f.feeder_paused = false;
+                }
+            } else if over {
+                f.feeder_paused = true;
+            }
+            let dead = if f.feeder_paused != was {
+                self.finish_io(ft, &mut f)
+            } else {
+                false
+            };
+            if dead {
+                self.teardown(ft, f);
+            } else {
+                self.conns.insert(ft, f);
+            }
+        }
+    }
+
+    /// Flush, refresh poller interest, settle backpressure. Returns
+    /// `true` when the connection should be torn down.
+    fn finish_io(&mut self, token: u64, conn: &mut Conn) -> bool {
+        if !conn.write.is_empty() && conn.write.flush_into(&mut conn.stream).is_err() {
+            return true;
+        }
+        self.shared
+            .queue_hwm
+            .fetch_max(conn.write.depth_hwm(), Ordering::Relaxed);
+        let depth = conn.write.len();
+        if conn.backpressured {
+            if depth <= self.opts.queue_depth / 2 {
+                conn.backpressured = false;
+            }
+        } else if depth > self.opts.queue_depth {
+            conn.backpressured = true;
+        }
+        if conn.closing {
+            if conn.write.is_empty() {
+                return true;
+            }
+            if conn.close_deadline.is_none() {
+                conn.close_deadline = Some(Instant::now() + DRAIN_GRACE);
+            }
+        }
+        let want_r = !conn.closing && !conn.eof && !conn.backpressured && !conn.feeder_paused;
+        let want_w = !conn.write.is_empty();
+        if (want_r, want_w) != (conn.int_read, conn.int_write) {
+            if self.poller.modify(conn.fd, token, want_r, want_w).is_err() {
+                return true;
+            }
+            conn.int_read = want_r;
+            conn.int_write = want_w;
+        }
+        false
+    }
+
+    fn teardown(&mut self, token: u64, conn: Conn) {
+        let _ = self.poller.deregister(conn.fd);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.shared.connections.fetch_sub(1, Ordering::Relaxed);
+        let live = conn.live_sessions();
+        if live > 0 {
+            self.shared.sessions.fetch_sub(live, Ordering::Relaxed);
+        }
+        self.shared
+            .queue_hwm
+            .fetch_max(conn.write.depth_hwm(), Ordering::Relaxed);
+        drop(conn);
+        if self.hub.is_some() {
+            // The hub may stage frames (feeder loss fans an error to
+            // every subscriber) — pump them through.
+            self.hub.as_mut().expect("broadcast hub").conn_closed(token);
+            self.pump_staged(None);
+        }
+    }
+
+    /// Timer tick: idle timeouts, shutdown drain, closing-flush grace.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let shutting = self.shared.shutdown.load(Ordering::SeqCst);
+        if shutting {
+            if let Some(l) = self.listener.take() {
+                let _ = self.poller.deregister(l.as_raw_fd());
+                drop(l);
+            }
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for t in tokens {
+            let Some(mut c) = self.conns.remove(&t) else {
+                continue;
+            };
+            let mut dead = false;
+            if !c.closing {
+                // A read paused by backpressure or the block policy is
+                // the server's own doing — the idle clock does not run
+                // against the client then (the threaded model's clock
+                // also stops while its bounded queue blocks).
+                let paused = c.backpressured || c.feeder_paused;
+                if !paused && now.duration_since(c.last_frame) >= self.opts.idle_timeout {
+                    c.stage_err(
+                        errcode::IDLE_TIMEOUT,
+                        &format!(
+                            "no frame within {:.0}s",
+                            self.opts.idle_timeout.as_secs_f64()
+                        ),
+                    );
+                    c.closing = true;
+                } else if shutting {
+                    let active = self.conn_doc_active(t, &c);
+                    match c.drain_deadline {
+                        None if !active => {
+                            c.stage_err(errcode::SHUTTING_DOWN, "server is draining");
+                            c.closing = true;
+                        }
+                        None => c.drain_deadline = Some(now + DRAIN_GRACE),
+                        Some(d) if !active || now >= d => {
+                            c.stage_err(errcode::SHUTTING_DOWN, "server is draining");
+                            c.closing = true;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if let Some(d) = c.close_deadline {
+                if now >= d {
+                    dead = true;
+                }
+            }
+            if !dead {
+                dead = self.finish_io(t, &mut c);
+            }
+            if dead {
+                self.teardown(t, c);
+            } else {
+                self.conns.insert(t, c);
+            }
+        }
+        self.update_feeder_pause(None, None);
+    }
+
+    fn conn_doc_active(&self, token: u64, c: &Conn) -> bool {
+        if let Some(hub) = &self.hub {
+            return hub.doc_active() && hub.feeder_token() == Some(token);
+        }
+        c.legacy.as_ref().is_some_and(|s| s.doc_active())
+            || c.sessions.values().any(|s| s.doc_active())
+    }
+
+    fn transport(&self, conn_hwm: u64) -> TransportStats {
+        TransportStats {
+            model: if self.hub.is_some() {
+                "broadcast"
+            } else {
+                "eventloop"
+            },
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            sessions: self.shared.sessions.load(Ordering::Relaxed),
+            queue_depth_hwm: self.shared.queue_hwm.load(Ordering::Relaxed).max(conn_hwm),
+            dropped_broadcast: self.shared.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The control-session STAT reply: server-wide counters (no
+    /// logical session is addressed, so no engine counters).
+    fn server_stat_json(&self, conn: &Conn) -> String {
+        let cache = self.shared.cache.stats();
+        format!(
+            "{{\"model\":\"eventloop\",\"backend\":\"{}\",\"connections\":{},\
+             \"sessions\":{},\"queue_depth_hwm\":{},\"dropped_broadcast\":{},\
+             \"plan_cache_entries\":{},\"plan_cache_hits\":{},\
+             \"plan_cache_misses\":{}}}",
+            self.poller.backend_name(),
+            self.shared.connections.load(Ordering::Relaxed),
+            self.shared.sessions.load(Ordering::Relaxed),
+            self.shared
+                .queue_hwm
+                .load(Ordering::Relaxed)
+                .max(conn.write.depth_hwm()),
+            self.shared.dropped.load(Ordering::Relaxed),
+            cache.entries,
+            cache.hits,
+            cache.misses,
+        )
+    }
+}

@@ -16,17 +16,29 @@
 //!   [`xsq_core::QueryIndex`] partition fed through the zero-copy
 //!   `RawEvent` path by a [`xsq_xml::PushParser`], so FEED chunks may
 //!   split tokens, UTF-8 sequences, or `]]>` at any byte boundary.
-//! * [`server`] — accept workers, bounded per-connection reply queues
-//!   (backpressure), idle timeouts, graceful drain on shutdown.
+//! * [`server`] — serving-model dispatch (event loop vs. threaded),
+//!   bounded per-connection reply queues (backpressure), idle
+//!   timeouts, graceful drain on shutdown.
+//! * [`eventloop`] (Unix) — the readiness-based model: an epoll/poll
+//!   poller over raw syscalls, wire-v2 session multiplexing, and
+//!   broadcast fan-out through one shared [`xsq_core::QueryIndex`].
 //! * [`client`] — the reference client: replays a corpus and renders
 //!   replies byte-identically to the sequential in-process driver.
 
 pub mod client;
+#[cfg(unix)]
+pub mod eventloop;
 pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use client::{reference_output, run_corpus, ClientError, ClientReport, ConnectOptions};
+pub use client::{
+    broadcast_feed, broadcast_subscribe, reference_output, run_corpus, stat_field_str,
+    stat_field_u64, stat_transport_summary, ClientError, ClientReport, ConnectOptions, FeedOptions,
+    FeedReport,
+};
 pub use proto::{read_frame, write_frame, Frame, WireBound, MAX_FRAME};
-pub use server::{serve, ServeOptions, ServerHandle};
-pub use session::{Action, Outbox, Session, SessionLimits, SessionStats};
+pub use server::{
+    serve, BroadcastOptions, BroadcastPolicy, ServeModel, ServeOptions, ServerHandle,
+};
+pub use session::{Action, Outbox, Session, SessionLimits, SessionStats, TransportStats};

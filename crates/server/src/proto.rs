@@ -40,6 +40,14 @@ pub mod op {
     pub const STAT: u8 = 0x05;
     /// Graceful goodbye (empty payload).
     pub const BYE: u8 = 0x06;
+    /// Protocol negotiation (payload: `u32` LE highest version the
+    /// client speaks). Must be the very first frame on a connection;
+    /// a connection that never sends HELLO speaks wire v1. From the
+    /// negotiated version 2 on, every *subsequent* frame payload (both
+    /// directions) begins with a `u32` LE logical-session id.
+    pub const HELLO: u8 = 0x07;
+    /// Claim the feeder role on a broadcast server (empty payload).
+    pub const FEEDER: u8 = 0x08;
 
     /// Subscription accepted (payload: `u32` LE count, then ids).
     pub const SUB_OK: u8 = 0x81;
@@ -55,7 +63,20 @@ pub mod op {
     pub const OK: u8 = 0x86;
     /// Error reply (payload: UTF-8 JSON, see [`super::err_payload`]).
     pub const ERR: u8 = 0x8F;
+    /// Negotiation accepted (payload: `u32` LE negotiated version).
+    pub const HELLO_OK: u8 = 0x87;
 }
+
+/// The wire protocol versions this build speaks. Version 1 is the
+/// original single-session framing; version 2 adds the session-id
+/// prefix negotiated via [`op::HELLO`].
+pub const WIRE_V1: u32 = 1;
+pub const WIRE_V2: u32 = 2;
+
+/// The reserved connection-scoped session id in wire v2: frames
+/// addressed to it (STAT, BYE, FEEDER) act on the connection as a
+/// whole rather than on one logical session.
+pub const CONTROL_SESSION: u32 = u32::MAX;
 
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,6 +191,13 @@ pub mod errcode {
     /// A SUB's static memory bound exceeds the server's `--max-bound`
     /// admission budget (recoverable — fix the query and resubscribe).
     pub const OVER_BUDGET: &str = "over-budget";
+    /// A wire-v2 frame named a session id that was never opened or is
+    /// already closed (recoverable — sibling sessions are unaffected).
+    pub const BAD_SESSION: &str = "bad-session";
+    /// A request is not valid for this connection's broadcast role —
+    /// FEED from a non-feeder, a second FEEDER claim, SUB from the
+    /// feeder (recoverable).
+    pub const BROADCAST_ROLE: &str = "broadcast-role";
 }
 
 /// A `MemoryBound` on the wire: one kind byte plus a `u64` LE count

@@ -1,47 +1,106 @@
-//! The TCP front end: accept workers, per-connection writer threads,
-//! idle timeouts, graceful drain.
+//! The TCP front end: serving-model dispatch, the threaded model, and
+//! the state both models share.
 //!
-//! Threading follows the `shard.rs` fixed-pool pattern rather than an
-//! async runtime: `workers` threads share one nonblocking listener and
-//! each serves one connection at a time, so at most `workers` sessions
-//! run concurrently and excess connections queue in the accept
-//! backlog. Every connection gets a dedicated writer thread behind a
-//! *bounded* queue: when a client stops draining its socket the queue
-//! fills, the session blocks on the next reply, and the reader stops
-//! pulling frames — backpressure reaches the client as TCP flow
-//! control instead of unbounded server-side buffering.
+//! Two serving models sit behind the same wire contract:
+//!
+//! * **`eventloop`** (default on Unix) — a readiness-based loop in
+//!   [`crate::eventloop`]: epoll/poll multiplexing, wire-v2 session
+//!   multiplexing, and broadcast fan-out.
+//! * **`threaded`** — the original model, kept selectable: `workers`
+//!   accept threads share one nonblocking listener and each serves one
+//!   connection at a time (the `shard.rs` fixed-pool pattern), with a
+//!   dedicated writer thread per connection behind a *bounded* queue:
+//!   when a client stops draining its socket the queue fills, the
+//!   session blocks on the next reply, and the reader stops pulling
+//!   frames — backpressure reaches the client as TCP flow control
+//!   instead of unbounded server-side buffering.
+//!
+//! Both models share one [`xsq_core::PlanCache`] (identical SUB
+//! batches compile once per server, not once per connection) and one
+//! set of transport counters surfaced through STAT.
 //!
 //! Shutdown is a drain, not an abort: [`ServerHandle::shutdown`] stops
-//! the accept loops, sessions that are *between* documents close with
-//! a framed `shutting-down` error, and sessions with a document in
+//! accepting, sessions that are *between* documents close with a
+//! framed `shutting-down` error, and sessions with a document in
 //! flight get [`DRAIN_GRACE`] to finish it before the connection
 //! closes.
 
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use xsq_core::XsqEngine;
+use xsq_core::{PlanCache, XsqEngine};
 
 use crate::proto::{err_payload, errcode, frame_bytes, op, Frame, MAX_FRAME};
-use crate::session::{Action, Outbox, Session, SessionLimits};
+use crate::session::{Action, Outbox, Session, SessionLimits, TransportStats};
 
 /// How often a blocked read wakes up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// How long an in-flight document may keep running after shutdown.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
+/// Which serving model `xsq serve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeModel {
+    /// Readiness-based event loop (epoll / `poll(2)`): default where
+    /// available. Supports wire-v2 multiplexing and broadcast.
+    EventLoop,
+    /// Thread-per-connection accept workers.
+    Threaded,
+}
+
+impl ServeModel {
+    /// The default model for this platform.
+    pub fn platform_default() -> ServeModel {
+        if cfg!(unix) {
+            ServeModel::EventLoop
+        } else {
+            ServeModel::Threaded
+        }
+    }
+}
+
+/// What a broadcast server does when a subscriber's output queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastPolicy {
+    /// Pause the feeder until every subscriber queue half-drains:
+    /// lossless total broadcast, paced by the slowest subscriber.
+    Block,
+    /// Discard RESULT/UPDATE frames for the saturated subscriber and
+    /// count them (`dropped_broadcast` in STAT). DOC_OK and control
+    /// replies are never dropped, so the protocol stays consistent.
+    Drop,
+}
+
+/// Broadcast-mode settings (`xsq serve --broadcast`).
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastOptions {
+    /// Per-subscriber bounded output queue, in frames.
+    pub queue: usize,
+    pub policy: BroadcastPolicy,
+}
+
+impl Default for BroadcastOptions {
+    fn default() -> Self {
+        BroadcastOptions {
+            queue: 1024,
+            policy: BroadcastPolicy::Block,
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free one).
     pub addr: String,
-    /// Accept-worker threads = maximum concurrent sessions.
-    /// `0` means one per available CPU.
+    /// Threaded model: accept-worker threads = maximum concurrent
+    /// sessions. `0` means one per available CPU.
     pub workers: usize,
     /// Close a connection when no complete frame arrives within this
     /// window.
@@ -55,6 +114,13 @@ pub struct ServeOptions {
     /// Admission policy: per-subscription static-bound budget and the
     /// DTD the bound analyzer proves it against (`--max-bound`/`--dtd`).
     pub limits: SessionLimits,
+    /// Serving model; [`ServeModel::platform_default`] by default.
+    pub model: ServeModel,
+    /// Event-loop model: number of loop threads sharing the listener.
+    pub loop_threads: usize,
+    /// Broadcast mode (event-loop only): one feeder, shared index,
+    /// fan-out to every subscriber.
+    pub broadcast: Option<BroadcastOptions>,
 }
 
 impl ServeOptions {
@@ -67,6 +133,9 @@ impl ServeOptions {
             queue_depth: 256,
             engine: XsqEngine::full(),
             limits: SessionLimits::default(),
+            model: ServeModel::platform_default(),
+            loop_threads: 1,
+            broadcast: None,
         }
     }
 
@@ -75,6 +144,32 @@ impl ServeOptions {
             return self.workers;
         }
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// State both serving models share: the cross-connection compiled-plan
+/// cache and the transport counters STAT surfaces.
+pub(crate) struct Shared {
+    pub cache: Arc<PlanCache>,
+    pub shutdown: Arc<AtomicBool>,
+    pub connections: AtomicU64,
+    pub sessions: AtomicU64,
+    pub queue_hwm: AtomicU64,
+    pub dropped: AtomicU64,
+}
+
+impl Shared {
+    fn new(opts: &ServeOptions, shutdown: Arc<AtomicBool>) -> Shared {
+        Shared {
+            // The cache must share the admission DTD so cached bounds
+            // equal what a private compilation would compute.
+            cache: PlanCache::new(opts.limits.dtd.clone()),
+            shutdown,
+            connections: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
     }
 }
 
@@ -108,19 +203,16 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let workers = opts.resolve_workers();
-    let mut threads = Vec::with_capacity(workers);
-    for i in 0..workers {
-        let listener = listener.try_clone()?;
-        let shutdown = Arc::clone(&shutdown);
-        let opts = opts.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("xsq-serve-{i}"))
-                .spawn(move || accept_loop(listener, &opts, &shutdown))
-                .expect("spawn accept worker"),
-        );
-    }
+    let shared = Arc::new(Shared::new(&opts, Arc::clone(&shutdown)));
+
+    let model = effective_model(&opts);
+    let threads = match model {
+        #[cfg(unix)]
+        ServeModel::EventLoop => crate::eventloop::spawn(listener, opts, shared)?,
+        #[cfg(not(unix))]
+        ServeModel::EventLoop => unreachable!("effective_model falls back to Threaded"),
+        ServeModel::Threaded => spawn_threaded(listener, opts, shared)?,
+    };
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -128,13 +220,46 @@ pub fn serve(opts: ServeOptions) -> io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: TcpListener, opts: &ServeOptions, shutdown: &AtomicBool) {
-    while !shutdown.load(Ordering::SeqCst) {
+/// Resolve the model the platform can actually run. Broadcast requires
+/// the event loop; non-Unix platforms only have the threaded model.
+fn effective_model(opts: &ServeOptions) -> ServeModel {
+    if !cfg!(unix) {
+        return ServeModel::Threaded;
+    }
+    if opts.broadcast.is_some() {
+        return ServeModel::EventLoop;
+    }
+    opts.model
+}
+
+fn spawn_threaded(
+    listener: TcpListener,
+    opts: ServeOptions,
+    shared: Arc<Shared>,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    let workers = opts.resolve_workers();
+    let mut threads = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let listener = listener.try_clone()?;
+        let opts = opts.clone();
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("xsq-serve-{i}"))
+                .spawn(move || accept_loop(listener, &opts, &shared))
+                .expect("spawn accept worker"),
+        );
+    }
+    Ok(threads)
+}
+
+fn accept_loop(listener: TcpListener, opts: &ServeOptions, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Connection-level errors (peer vanished, io failures)
                 // only end this connection, never the worker.
-                let _ = handle_connection(stream, opts, shutdown);
+                let _ = handle_connection(stream, opts, shared);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(20)));
@@ -179,11 +304,26 @@ enum ReadOutcome {
     TooLarge(u64),
 }
 
+/// Decrements the shared connection/session gauges on every exit path.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+        self.0.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     opts: &ServeOptions,
-    shutdown: &AtomicBool,
+    shared: &Shared,
 ) -> io::Result<()> {
+    let shutdown = &*shared.shutdown;
+    // One connection is one logical session in the threaded model.
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    shared.sessions.fetch_add(1, Ordering::SeqCst);
+    let _guard = ConnGuard(shared);
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let write_half = stream.try_clone()?;
@@ -214,12 +354,26 @@ fn handle_connection(
         .expect("spawn writer");
 
     let mut session = Session::with_limits(opts.engine, opts.limits.clone());
+    session.set_plan_cache(Arc::clone(&shared.cache));
     let mut out = QueueOutbox { tx, dead: false };
     let mut drain_deadline: Option<Instant> = None;
     loop {
         let outcome = read_frame_poll(&mut stream, opts, shutdown, drain_deadline)?;
         match outcome {
             ReadOutcome::Frame(frame) => {
+                if frame.op == op::STAT {
+                    // Refresh the transport view STAT reports just
+                    // before the session renders it.
+                    session.set_transport(TransportStats {
+                        model: "threaded",
+                        connections: shared.connections.load(Ordering::SeqCst),
+                        sessions: shared.sessions.load(Ordering::SeqCst),
+                        // The writer-thread queue has no depth probe;
+                        // the event loop reports a real high-water mark.
+                        queue_depth_hwm: 0,
+                        dropped_broadcast: shared.dropped.load(Ordering::SeqCst),
+                    });
+                }
                 if session.handle_frame(&frame, &mut out) == Action::Close || out.dead {
                     break;
                 }

@@ -24,7 +24,8 @@
 use std::sync::Arc;
 
 use xsq_core::{
-    CompileError, MemoryBound, QueryId, QueryIndex, QuerySet, QuerySink, XsqEngine, XsqMode,
+    CachedPlan, CompileError, MemoryBound, PlanCache, QueryId, QueryIndex, QuerySet, QuerySink,
+    XsqEngine, XsqMode,
 };
 use xsq_xml::dtd::Dtd;
 use xsq_xml::{ParsePoll, PushParser, StreamParser};
@@ -110,6 +111,55 @@ pub struct SessionStats {
     pub ingest_nanos: u64,
 }
 
+/// Transport-level counters the serving layer injects before answering
+/// STAT: the session state machine cannot see past its own connection,
+/// so connection counts, logical-session counts, writer-queue high
+/// water marks, and broadcast drop totals arrive from outside.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportStats {
+    /// Serving model name (`threaded`, `eventloop`, `broadcast`,
+    /// `inproc` for a bare session).
+    pub model: &'static str,
+    /// Open TCP connections on the server.
+    pub connections: u64,
+    /// Logical sessions across all connections (≥ connections once
+    /// clients multiplex).
+    pub sessions: u64,
+    /// Highest observed per-subscriber reply-queue depth (frames).
+    pub queue_depth_hwm: u64,
+    /// Broadcast frames dropped against slow subscribers (drop policy).
+    pub dropped_broadcast: u64,
+}
+
+impl Default for TransportStats {
+    fn default() -> Self {
+        TransportStats {
+            model: "inproc",
+            connections: 0,
+            sessions: 0,
+            queue_depth_hwm: 0,
+            dropped_broadcast: 0,
+        }
+    }
+}
+
+/// One SUB batch either compiled privately or checked out of the
+/// shared plan cache; cached batches owe the cache a release once the
+/// last member unsubscribes (or the session drops).
+struct BatchRef {
+    ids: Vec<QueryId>,
+    live: usize,
+    cache_key: Option<String>,
+}
+
+/// A SUB promised mid-document, applied at the next boundary.
+struct PendingSub {
+    texts: Vec<String>,
+    /// Already checked out of the cache at SUB time (so the boundary
+    /// application cannot fail and the reference is already counted).
+    plan: Option<Arc<CachedPlan>>,
+}
+
 /// One connection's protocol state machine.
 pub struct Session {
     engine: XsqEngine,
@@ -120,12 +170,18 @@ pub struct Session {
     /// A FEED arrived since the last document boundary.
     doc_active: bool,
     /// SUB batches promised mid-document, applied at the next boundary.
-    pending_subs: Vec<Vec<String>>,
+    pending_subs: Vec<PendingSub>,
     /// UNSUBs received mid-document, applied after pending subs.
     pending_unsubs: Vec<QueryId>,
     /// Ids promised to pending subs but not yet allocated by the index.
     promised: u32,
     limits: SessionLimits,
+    /// Shared compiled-plan cache (the server wires one across every
+    /// connection); `None` compiles privately, as before.
+    cache: Option<Arc<PlanCache>>,
+    /// Every batch this session subscribed, for cache accounting.
+    batches: Vec<BatchRef>,
+    transport: TransportStats,
 }
 
 impl Session {
@@ -149,7 +205,22 @@ impl Session {
             pending_unsubs: Vec::new(),
             promised: 0,
             limits,
+            cache: None,
+            batches: Vec::new(),
+            transport: TransportStats::default(),
         }
+    }
+
+    /// Route SUB compilation through a shared [`PlanCache`]. The cache
+    /// must have been built with the same DTD as this session's limits,
+    /// so cached bounds equal what the private path would compute.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Inject transport-level counters for the next STAT reply.
+    pub fn set_transport(&mut self, transport: TransportStats) {
+        self.transport = transport;
     }
 
     /// A document is currently in flight (FEED seen, END-DOC not yet).
@@ -214,29 +285,56 @@ impl Session {
             );
             return Action::Continue;
         }
-        // Validate the whole batch up front (the same compilation the
-        // index will perform), so a promised id can never fail later.
-        if let Err((i, e)) = QuerySet::compile(self.engine, &queries) {
-            out.send(
-                op::ERR,
-                &err_payload(
-                    errcode::BAD_QUERY,
-                    &format!("query {} ({}): {e}", i + 1, queries[i]),
-                    &query_diagnostics(queries[i], &e),
-                ),
-            );
-            return Action::Continue;
-        }
+        // Validate the whole batch up front, so a promised id can never
+        // fail later. With a shared cache the validation *is* the
+        // checkout: the first connection to ask compiles, everyone
+        // after shares the plan (and its precomputed bounds).
+        let plan: Option<Arc<CachedPlan>> = match &self.cache {
+            Some(cache) => match cache.checkout(self.engine, &queries) {
+                Ok(plan) => Some(plan),
+                Err((i, e)) => {
+                    out.send(
+                        op::ERR,
+                        &err_payload(
+                            errcode::BAD_QUERY,
+                            &format!("query {} ({}): {e}", i + 1, queries[i]),
+                            &query_diagnostics(queries[i], &e),
+                        ),
+                    );
+                    return Action::Continue;
+                }
+            },
+            None => {
+                if let Err((i, e)) = QuerySet::compile(self.engine, &queries) {
+                    out.send(
+                        op::ERR,
+                        &err_payload(
+                            errcode::BAD_QUERY,
+                            &format!("query {} ({}): {e}", i + 1, queries[i]),
+                            &query_diagnostics(queries[i], &e),
+                        ),
+                    );
+                    return Action::Continue;
+                }
+                None
+            }
+        };
         // Admission control: every query's static memory bound is
         // computed before any id is promised, so a rejected batch
         // changes nothing (recoverable ERR, session stays usable).
         let dtd = self.limits.dtd.as_deref();
-        let bounds: Vec<MemoryBound> = queries
-            .iter()
-            .map(|q| query_bound(self.engine, q, dtd))
-            .collect();
+        let bounds: Vec<MemoryBound> = match &plan {
+            Some(plan) => plan.bounds().to_vec(),
+            None => queries
+                .iter()
+                .map(|q| query_bound(self.engine, q, dtd))
+                .collect(),
+        };
         if let Some(budget) = self.limits.max_bound {
             if let Some(i) = bounds.iter().position(|b| !b.admits(budget)) {
+                if let (Some(plan), Some(cache)) = (&plan, &self.cache) {
+                    cache.release(plan.key());
+                }
                 out.send(
                     op::ERR,
                     &err_payload(
@@ -256,16 +354,29 @@ impl Session {
         }
         let ids: Vec<QueryId> = if self.doc_active {
             let base = self.index.len() as u32 + self.promised;
-            let ids = (0..queries.len() as u32)
+            let ids: Vec<QueryId> = (0..queries.len() as u32)
                 .map(|k| QueryId(base + k))
                 .collect();
             self.promised += queries.len() as u32;
-            self.pending_subs
-                .push(queries.iter().map(|q| q.to_string()).collect());
+            self.pending_subs.push(PendingSub {
+                texts: queries.iter().map(|q| q.to_string()).collect(),
+                plan: plan.clone(),
+            });
             ids
         } else {
-            match self.index.subscribe_group(&queries) {
-                Ok(ids) => ids,
+            let subscribed = match &plan {
+                Some(plan) => Ok(self.index.subscribe_plan(plan)),
+                None => self.index.subscribe_group(&queries),
+            };
+            match subscribed {
+                Ok(ids) => {
+                    self.batches.push(BatchRef {
+                        live: ids.len(),
+                        ids: ids.clone(),
+                        cache_key: plan.as_ref().map(|p| p.key().to_string()),
+                    });
+                    ids
+                }
                 Err(e) => {
                     // Unreachable after validation, but never trust it.
                     out.send(
@@ -313,10 +424,29 @@ impl Session {
         if self.doc_active {
             self.pending_unsubs.push(id);
         } else {
-            self.index.unsubscribe(id);
+            self.apply_unsub(id);
         }
         out.send(op::OK, &[op::UNSUB]);
         Action::Continue
+    }
+
+    /// Unsubscribe `id` and keep the plan-cache accounting straight:
+    /// when the last live member of a cached batch goes away, the
+    /// cache reference is released (evicting the compiled plan if this
+    /// was its last subscriber anywhere).
+    fn apply_unsub(&mut self, id: QueryId) {
+        if !self.index.unsubscribe(id) {
+            return;
+        }
+        let Some(batch) = self.batches.iter_mut().find(|b| b.ids.contains(&id)) else {
+            return;
+        };
+        batch.live = batch.live.saturating_sub(1);
+        if batch.live == 0 {
+            if let (Some(key), Some(cache)) = (batch.cache_key.take(), self.cache.as_ref()) {
+                cache.release(&key);
+            }
+        }
     }
 
     fn on_feed(&mut self, payload: &[u8], out: &mut dyn Outbox) -> Action {
@@ -361,22 +491,37 @@ impl Session {
         // Deferred subscription changes: promised subs first (their ids
         // must exist before an interleaved UNSUB can name them).
         for batch in std::mem::take(&mut self.pending_subs) {
-            let texts: Vec<&str> = batch.iter().map(String::as_str).collect();
-            if let Err(e) = self.index.subscribe_group(&texts) {
-                out.send(
-                    op::ERR,
-                    &err_payload(
-                        errcode::BAD_QUERY,
-                        &format!("deferred subscription failed: {e}"),
-                        &[],
-                    ),
-                );
-                return Action::Close;
-            }
+            let ids = match &batch.plan {
+                // The checkout at SUB time already validated and
+                // counted the reference; applying it cannot fail.
+                Some(plan) => self.index.subscribe_plan(plan),
+                None => {
+                    let texts: Vec<&str> = batch.texts.iter().map(String::as_str).collect();
+                    match self.index.subscribe_group(&texts) {
+                        Ok(ids) => ids,
+                        Err(e) => {
+                            out.send(
+                                op::ERR,
+                                &err_payload(
+                                    errcode::BAD_QUERY,
+                                    &format!("deferred subscription failed: {e}"),
+                                    &[],
+                                ),
+                            );
+                            return Action::Close;
+                        }
+                    }
+                }
+            };
+            self.batches.push(BatchRef {
+                live: ids.len(),
+                ids,
+                cache_key: batch.plan.as_ref().map(|p| p.key().to_string()),
+            });
         }
         self.promised = 0;
         for id in std::mem::take(&mut self.pending_unsubs) {
-            self.index.unsubscribe(id);
+            self.apply_unsub(id);
         }
         Action::Continue
     }
@@ -431,13 +576,17 @@ impl Session {
         } else {
             (0.0, 0.0)
         };
+        let cache = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         format!(
             "{{\"engine\":\"{}\",\"queries\":{},\"active\":{},\"groups\":{},\
              \"docs\":{},\"doc_active\":{},\"events\":{},\"touches\":{},\
              \"results\":{},\"updates\":{},\"peak_buffered_bytes\":{},\
              \"peak_configs\":{},\"bytes_in\":{},\"frames_in\":{},\
              \"ingest_mb_per_sec\":{:.2},\"events_per_sec\":{:.0},\
-             \"kernel\":\"{}\"}}",
+             \"model\":\"{}\",\"connections\":{},\"sessions\":{},\
+             \"queue_depth_hwm\":{},\"dropped_broadcast\":{},\
+             \"plan_cache_entries\":{},\"plan_cache_hits\":{},\
+             \"plan_cache_misses\":{},\"kernel\":\"{}\"}}",
             json_escape(self.engine_name),
             self.index.len(),
             self.index.active_len(),
@@ -454,8 +603,37 @@ impl Session {
             self.stats.frames_in,
             mb_per_sec,
             events_per_sec,
+            json_escape(self.transport.model),
+            self.transport.connections,
+            self.transport.sessions,
+            self.transport.queue_depth_hwm,
+            self.transport.dropped_broadcast,
+            cache.entries,
+            cache.hits,
+            cache.misses,
             xsq_xml::scan::active_kernel(),
         )
+    }
+}
+
+impl Drop for Session {
+    /// A vanished connection must not pin cache entries: every batch
+    /// still holding a cache reference (including ones promised but
+    /// never applied) releases it here.
+    fn drop(&mut self) {
+        let Some(cache) = &self.cache else { return };
+        for batch in &mut self.batches {
+            if batch.live > 0 {
+                if let Some(key) = batch.cache_key.take() {
+                    cache.release(&key);
+                }
+            }
+        }
+        for pending in self.pending_subs.drain(..) {
+            if let Some(plan) = pending.plan {
+                cache.release(plan.key());
+            }
+        }
     }
 }
 
@@ -475,7 +653,7 @@ fn query_bound(engine: XsqEngine, query: &str, dtd: Option<&Dtd>) -> MemoryBound
 /// Diagnostics for an over-budget rejection: the analyzer's full
 /// derivation trace, so the client sees *why* the bound is what it is
 /// (which multiplicity is starred, which step stays undecided).
-fn bound_diagnostics(query: &str, dtd: Option<&Dtd>) -> Vec<ErrDiagnostic> {
+pub(crate) fn bound_diagnostics(query: &str, dtd: Option<&Dtd>) -> Vec<ErrDiagnostic> {
     let Ok(parsed) = xsq_xpath::parse_query(query) else {
         return Vec::new();
     };
@@ -499,7 +677,7 @@ fn bound_diagnostics(query: &str, dtd: Option<&Dtd>) -> Vec<ErrDiagnostic> {
 
 /// `MemoryBound` → its wire form (the derivation stays server-side;
 /// SUB_OK carries only the verdict).
-fn wire_bound(bound: &MemoryBound) -> WireBound {
+pub(crate) fn wire_bound(bound: &MemoryBound) -> WireBound {
     match bound {
         MemoryBound::Zero => WireBound::Zero,
         MemoryBound::Items(k) => WireBound::Items(*k),
@@ -512,7 +690,7 @@ fn wire_bound(bound: &MemoryBound) -> WireBound {
 /// itself first, then whatever the static analyzer can add (it sees
 /// queries that parse but misbuild; a parse failure carries only the
 /// parser's message).
-fn query_diagnostics(query: &str, error: &CompileError) -> Vec<ErrDiagnostic> {
+pub(crate) fn query_diagnostics(query: &str, error: &CompileError) -> Vec<ErrDiagnostic> {
     let mut out = vec![ErrDiagnostic {
         severity: "error",
         code: "compile-error".into(),

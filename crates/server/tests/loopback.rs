@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use xsq_core::XsqEngine;
-use xsq_server::{reference_output, run_corpus, serve, ConnectOptions, ServeOptions};
+use xsq_server::{
+    reference_output, run_corpus, serve, stat_field_u64, ConnectOptions, ServeModel, ServeOptions,
+};
 
 /// Figure 1 of the paper (annotated bookstore document), plus a
 /// recursive sibling — the same corpus style as `tests/shard_equivalence.rs`.
@@ -152,6 +154,92 @@ fn stat_frame_reports_session_metrics() {
         assert!(stats.contains(&needle), "missing {needle} in {stats}");
     }
     server.shutdown();
+}
+
+/// Both serving models answer the same corpus byte-identically — the
+/// event loop replaced thread-per-session behind an unchanged wire.
+#[test]
+fn threaded_model_stays_byte_identical_to_sequential_driver() {
+    let mut opts = ServeOptions::new("127.0.0.1:0");
+    opts.workers = 2;
+    opts.idle_timeout = Duration::from_secs(10);
+    opts.model = ServeModel::Threaded;
+    let server = serve(opts).expect("server binds");
+    let addr = server.addr().to_string();
+    let docs = corpus();
+    let expected = reference_output(XsqEngine::full(), QUERIES, &docs, true).unwrap();
+    for chunk in [64 * 1024, 7, 1] {
+        let got = client_output(&addr, QUERIES, &docs, chunk);
+        assert_eq!(got, expected, "threaded model diverged at chunk {chunk}");
+    }
+    server.shutdown();
+}
+
+/// The compiled-plan cache is cross-connection in both serving models:
+/// a second connection subscribing the same batch hits the cache.
+#[test]
+fn plan_cache_is_shared_across_connections_in_both_models() {
+    for model in [ServeModel::EventLoop, ServeModel::Threaded] {
+        let mut opts = ServeOptions::new("127.0.0.1:0");
+        opts.workers = 2;
+        opts.idle_timeout = Duration::from_secs(10);
+        opts.model = model;
+        let server = serve(opts).expect("server binds");
+        let addr = server.addr().to_string();
+        let docs = vec![FIG1.as_bytes().to_vec()];
+        let copts = ConnectOptions {
+            chunk: 64 * 1024,
+            running: false,
+            want_stats: true,
+        };
+        // Entries are evicted on last unsubscribe, so the first
+        // subscription must still be live when the second arrives.
+        use std::io::{BufReader, Write};
+        use xsq_server::proto::{frame_bytes, op, read_frame};
+        use xsq_server::MAX_FRAME;
+        let holder = std::net::TcpStream::connect(&addr).unwrap();
+        holder.set_nodelay(true).unwrap();
+        holder
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut hreader = BufReader::new(holder.try_clone().unwrap());
+        let mut hwriter = holder;
+        hwriter
+            .write_all(&frame_bytes(op::SUB, QUERIES.join("\n").as_bytes()))
+            .unwrap();
+        hwriter.flush().unwrap();
+        let subok = read_frame(&mut hreader, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(subok.op, op::SUB_OK);
+
+        let mut out = Vec::new();
+        let report = run_corpus(&addr, QUERIES, &docs, &copts, &mut out).unwrap();
+        let stats = report.stats_json.expect("STAT_OK payload");
+        let hits = stat_field_u64(&stats, "plan_cache_hits")
+            .unwrap_or_else(|| panic!("no plan_cache_hits in {stats}"));
+        assert!(
+            hits >= 1,
+            "second identical SUB batch should hit the live plan cache ({model:?}): {stats}"
+        );
+
+        // After the holder unsubscribes too, the entry is evicted: a
+        // fresh identical batch misses again.
+        hwriter.write_all(&frame_bytes(op::BYE, &[])).unwrap();
+        hwriter.flush().unwrap();
+        assert_eq!(
+            read_frame(&mut hreader, MAX_FRAME).unwrap().unwrap().op,
+            op::OK
+        );
+        drop(hwriter);
+        let mut out = Vec::new();
+        let report = run_corpus(&addr, QUERIES, &docs, &copts, &mut out).unwrap();
+        let stats = report.stats_json.expect("STAT_OK payload");
+        assert_eq!(
+            stat_field_u64(&stats, "plan_cache_entries"),
+            Some(1),
+            "only the fresh checkout remains after eviction ({model:?}): {stats}"
+        );
+        server.shutdown();
+    }
 }
 
 #[test]

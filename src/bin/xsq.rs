@@ -32,7 +32,10 @@
 //!                   rewrite provably-child closures and skip provably
 //!                   empty queries
 //! xsq --dot QUERY                      print the HPDT as Graphviz
-//! xsq serve [--addr A] [--workers N] [--dtd FILE] [--max-bound K]
+//! xsq serve [--addr A] [--model eventloop|threaded] [--workers N]
+//!           [--loop-threads N] [--dtd FILE] [--max-bound K]
+//!           [--broadcast] [--broadcast-queue N]
+//!           [--broadcast-policy block|drop]
 //!                                      streaming query server: framed
 //!                                      SUB/FEED protocol over TCP; runs
 //!                                      until stdin reaches EOF, then
@@ -40,12 +43,19 @@
 //!                                      rejects subscriptions whose
 //!                                      static memory bound (proven
 //!                                      against --dtd) exceeds K
-//!                                      buffered items
+//!                                      buffered items. --broadcast: one
+//!                                      feeder fans one stream through a
+//!                                      shared index to every subscriber
 //! xsq connect [--addr A] [--chunk N] [--verify]
 //!             (QUERY | --queries QFILE) [FILE...]
 //!                                      replay a corpus over the wire;
 //!                                      --verify byte-compares the replies
 //!                                      against the sequential driver
+//! xsq connect --broadcast-feed [--wait-subs N] FILE...
+//!                                      claim the broadcast feeder role
+//! xsq connect --broadcast-sub --expect-docs N [--verify]
+//!             (QUERY | --queries QFILE) [FILE...]
+//!                                      subscribe to a broadcast stream
 //! xsq transform [--engine stream|dom] [--chunk N] [--verify]
 //!               RULES.xfm [FILE...]    rewrite documents under .xfm
 //!                                      template rules; stream engine is
@@ -104,6 +114,24 @@ struct Options {
     dtd: Option<String>,
     /// `serve`: per-subscription static-bound budget (buffered items).
     max_bound: Option<u64>,
+    /// `serve`: serving model (`eventloop` default on Unix, `threaded`).
+    model: Option<String>,
+    /// `serve`: event-loop shard count.
+    loop_threads: usize,
+    /// `serve`: broadcast mode (one feeder, shared index, fan-out).
+    broadcast: bool,
+    /// `serve`: per-subscriber broadcast queue bound (frames).
+    broadcast_queue: usize,
+    /// `serve`: overflow policy, `block` (default) or `drop`.
+    broadcast_policy: String,
+    /// `connect`: claim the broadcast feeder role and push the corpus.
+    broadcast_feed: bool,
+    /// `connect`: subscribe to a broadcast stream instead of feeding.
+    broadcast_sub: bool,
+    /// `connect --broadcast-sub`: documents to render before detaching.
+    expect_docs: usize,
+    /// `connect --broadcast-feed`: wait until N subscribers attached.
+    wait_subs: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -129,6 +157,15 @@ fn parse_args() -> Result<Options, String> {
         analyze: false,
         dtd: None,
         max_bound: None,
+        model: None,
+        loop_threads: 1,
+        broadcast: false,
+        broadcast_queue: 1024,
+        broadcast_policy: "block".into(),
+        broadcast_feed: false,
+        broadcast_sub: false,
+        expect_docs: 1,
+        wait_subs: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -195,6 +232,54 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--max-bound needs an item count")?
                         .parse()
                         .map_err(|_| "--max-bound needs a non-negative number".to_string())?,
+                );
+            }
+            "--model" => {
+                o.model = Some(args.next().ok_or("--model needs eventloop or threaded")?);
+            }
+            "--loop-threads" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--loop-threads needs a thread count")?
+                    .parse()
+                    .map_err(|_| "--loop-threads needs a positive number".to_string())?;
+                if n == 0 {
+                    return Err("--loop-threads needs a positive number".into());
+                }
+                o.loop_threads = n;
+            }
+            "--broadcast" => o.broadcast = true,
+            "--broadcast-queue" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--broadcast-queue needs a frame count")?
+                    .parse()
+                    .map_err(|_| "--broadcast-queue needs a positive number".to_string())?;
+                if n == 0 {
+                    return Err("--broadcast-queue needs a positive number".into());
+                }
+                o.broadcast_queue = n;
+            }
+            "--broadcast-policy" => {
+                o.broadcast_policy = args
+                    .next()
+                    .ok_or("--broadcast-policy needs block or drop")?;
+            }
+            "--broadcast-feed" => o.broadcast_feed = true,
+            "--broadcast-sub" => o.broadcast_sub = true,
+            "--expect-docs" => {
+                o.expect_docs = args
+                    .next()
+                    .ok_or("--expect-docs needs a document count")?
+                    .parse()
+                    .map_err(|_| "--expect-docs needs a number".to_string())?;
+            }
+            "--wait-subs" => {
+                o.wait_subs = Some(
+                    args.next()
+                        .ok_or("--wait-subs needs a subscriber count")?
+                        .parse()
+                        .map_err(|_| "--wait-subs needs a number".to_string())?,
                 );
             }
             "--help" | "-h" => return Err(String::new()),
@@ -756,6 +841,33 @@ fn run_serve(opts: &Options) -> ExitCode {
         max_bound: opts.max_bound,
         dtd,
     };
+    sopts.model = match opts.model.as_deref() {
+        None => xsq::server::ServeModel::platform_default(),
+        Some("eventloop") => xsq::server::ServeModel::EventLoop,
+        Some("threaded") => xsq::server::ServeModel::Threaded,
+        Some(other) => return usage(&format!("--model is eventloop or threaded, not '{other}'")),
+    };
+    sopts.loop_threads = opts.loop_threads;
+    if opts.broadcast {
+        let policy = match opts.broadcast_policy.as_str() {
+            "block" => xsq::server::BroadcastPolicy::Block,
+            "drop" => xsq::server::BroadcastPolicy::Drop,
+            other => {
+                return usage(&format!(
+                    "--broadcast-policy is block or drop, not '{other}'"
+                ))
+            }
+        };
+        sopts.broadcast = Some(xsq::server::BroadcastOptions {
+            queue: opts.broadcast_queue,
+            policy,
+        });
+    }
+    let model_label = match (opts.broadcast, sopts.model) {
+        (true, _) => "broadcast",
+        (false, xsq::server::ServeModel::EventLoop) => "eventloop",
+        (false, xsq::server::ServeModel::Threaded) => "threaded",
+    };
     let handle = match xsq::server::serve(sopts) {
         Ok(h) => h,
         Err(e) => return fail_io(&format!("binding {}: {e}", opts.addr)),
@@ -765,9 +877,9 @@ fn run_serve(opts: &Options) -> ExitCode {
     println!("{}", handle.addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# xsq serve: listening on {} (workers={}, engine={}, idle={}s, \
-         scan-kernel={}, max-bound={}); EOF on stdin shuts down; STAT \
-         replies carry ingest MB/s and events/s",
+        "# xsq serve: listening on {} (model={model_label}, workers={}, \
+         engine={}, idle={}s, scan-kernel={}, max-bound={}); EOF on stdin \
+         shuts down; STAT replies carry ingest MB/s and events/s",
         handle.addr(),
         if opts.workers == 0 {
             "auto".to_string()
@@ -806,6 +918,12 @@ fn run_connect(opts: &Options) -> ExitCode {
         "xsq-nc" => XsqEngine::no_closure(),
         other => return usage(&format!("connect runs on xsq-f or xsq-nc, not '{other}'")),
     };
+    if opts.broadcast_feed {
+        return run_broadcast_feed(opts);
+    }
+    if opts.broadcast_sub {
+        return run_broadcast_sub(engine, opts);
+    }
     let rest = &opts.positional[1..];
     let (query_text, files): (String, &[String]) = match &opts.queries {
         Some(qfile) => match std::fs::read_to_string(qfile) {
@@ -873,7 +991,14 @@ fn run_connect(opts: &Options) -> ExitCode {
         );
         if let Some(json) = &report.stats_json {
             eprintln!("# stat: {json}");
+            if let Some(summary) = xsq::server::stat_transport_summary(json) {
+                eprintln!("# transport: {summary}");
+            }
         }
+        eprintln!(
+            "# wire: {} bytes out, {} bytes in",
+            report.wire_out, report.wire_in
+        );
     }
     if opts.verify {
         let expected = match xsq::server::reference_output(engine, &queries, &docs, opts.running) {
@@ -891,6 +1016,152 @@ fn run_connect(opts: &Options) -> ExitCode {
         }
         eprintln!(
             "# verify: output matches the sequential driver ({} bytes)",
+            out.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `xsq connect --broadcast-feed [--wait-subs N] FILE...`: claim the
+/// feeder role on a broadcast server and push the corpus through the
+/// shared index. With `--wait-subs N` the feed starts only once N
+/// subscribers are attached (STAT polling), so scripted fan-outs are
+/// deterministic.
+fn run_broadcast_feed(opts: &Options) -> ExitCode {
+    let files = &opts.positional[1..];
+    if files.is_empty() {
+        return usage("connect --broadcast-feed needs at least one FILE");
+    }
+    let mut docs = Vec::with_capacity(files.len());
+    for f in files {
+        match std::fs::read(f) {
+            Ok(d) => docs.push(d),
+            Err(e) => return fail_io(&format!("reading {f}: {e}")),
+        }
+    }
+    let fopts = xsq::server::FeedOptions {
+        chunk: opts.chunk,
+        wait_subs: opts.wait_subs,
+        want_stats: opts.stats,
+    };
+    let t0 = Instant::now();
+    let report = match xsq::server::broadcast_feed(&opts.addr, &docs, &fopts) {
+        Ok(r) => r,
+        Err(xsq::server::ClientError::Io(e)) => {
+            return fail_io(&format!("talking to {}: {e}", opts.addr))
+        }
+        Err(e) => return fail_protocol(&e.to_string()),
+    };
+    if opts.stats {
+        eprintln!(
+            "# feed {}: {} docs, {} bytes in {:.1} ms",
+            opts.addr,
+            report.docs,
+            report.bytes,
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+        if let Some(json) = &report.stats_json {
+            eprintln!("# stat: {json}");
+            if let Some(summary) = xsq::server::stat_transport_summary(json) {
+                eprintln!("# transport: {summary}");
+            }
+        }
+        eprintln!(
+            "# wire: {} bytes out, {} bytes in",
+            report.wire_out, report.wire_in
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `xsq connect --broadcast-sub --expect-docs N (QUERY | --queries
+/// QFILE) [FILE...]`: subscribe to a broadcast stream and render N
+/// documents of fan-out in the `xsq multi --shard 1` output format.
+/// With `--verify` and the corpus FILEs given, the received output is
+/// byte-compared against the in-process sequential driver over those
+/// files — the CI smoke gate.
+fn run_broadcast_sub(engine: XsqEngine, opts: &Options) -> ExitCode {
+    let rest = &opts.positional[1..];
+    let (query_text, files): (String, &[String]) = match &opts.queries {
+        Some(qfile) => match std::fs::read_to_string(qfile) {
+            Ok(t) => (t, rest),
+            Err(e) => return fail_io(&format!("reading {qfile}: {e}")),
+        },
+        None => match rest.split_first() {
+            Some((q, files)) => (q.clone(), files),
+            None => return usage("connect --broadcast-sub needs a QUERY (or --queries QFILE)"),
+        },
+    };
+    let queries: Vec<&str> = query_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if queries.is_empty() {
+        return usage("connect --broadcast-sub needs at least one query");
+    }
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    let report = match xsq::server::broadcast_subscribe(
+        &opts.addr,
+        &queries,
+        opts.expect_docs,
+        opts.running,
+        &mut out,
+    ) {
+        Ok(r) => r,
+        Err(xsq::server::ClientError::Io(e)) => {
+            return fail_io(&format!("talking to {}: {e}", opts.addr))
+        }
+        Err(e) => return fail_protocol(&e.to_string()),
+    };
+    if !opts.quiet {
+        if std::io::stdout().write_all(&out).is_err() {
+            return fail_io("writing results to stdout");
+        }
+        let _ = std::io::stdout().flush();
+    }
+    if opts.stats {
+        eprintln!(
+            "# subscribe {}: {} docs, {} results, {} updates in {:.1} ms [{} queries]",
+            opts.addr,
+            report.docs,
+            report.results,
+            report.updates,
+            t0.elapsed().as_secs_f64() * 1e3,
+            queries.len(),
+        );
+        eprintln!(
+            "# wire: {} bytes out, {} bytes in",
+            report.wire_out, report.wire_in
+        );
+    }
+    if opts.verify {
+        if files.is_empty() {
+            return usage("--verify on --broadcast-sub needs the corpus FILEs to compare against");
+        }
+        let mut docs = Vec::with_capacity(files.len());
+        for f in files {
+            match std::fs::read(f) {
+                Ok(d) => docs.push(d),
+                Err(e) => return fail_io(&format!("reading {f}: {e}")),
+            }
+        }
+        let expected = match xsq::server::reference_output(engine, &queries, &docs, opts.running) {
+            Ok(t) => t,
+            Err(e) => return fail_run(&format!("reference run: {e}")),
+        };
+        if out != expected.as_bytes() {
+            eprintln!(
+                "error: broadcast output diverged from the sequential driver \
+                 ({} vs {} bytes)",
+                out.len(),
+                expected.len()
+            );
+            return ExitCode::from(EXIT_VERIFY);
+        }
+        eprintln!(
+            "# verify: broadcast output matches the sequential driver ({} bytes)",
             out.len()
         );
     }
@@ -1375,16 +1646,26 @@ fn usage(err: &str) -> ExitCode {
          \u{20}          static analysis: verifier diagnostics, dead-state pruning,\n\
          \u{20}          buffer classes, engine auto-selection, and (with --dtd) the\n\
          \u{20}          static memory bound + derivation; exits nonzero on errors\n\
-         \u{20}      xsq serve [--addr A] [--workers N] [--idle-timeout S] \\\n\
-         \u{20}                [--dtd FILE] [--max-bound K]\n\
+         \u{20}      xsq serve [--addr A] [--model eventloop|threaded] [--workers N] \\\n\
+         \u{20}                [--loop-threads N] [--idle-timeout S] [--dtd FILE] \\\n\
+         \u{20}                [--max-bound K] [--broadcast] [--broadcast-queue N] \\\n\
+         \u{20}                [--broadcast-policy block|drop]\n\
          \u{20}          streaming query server; prints the bound address, runs\n\
          \u{20}          until stdin reaches EOF, then drains and exits;\n\
          \u{20}          --max-bound K rejects subscriptions whose static memory\n\
-         \u{20}          bound (proven against --dtd) exceeds K buffered items\n\
+         \u{20}          bound (proven against --dtd) exceeds K buffered items;\n\
+         \u{20}          --broadcast: one feeder fans one stream through a shared\n\
+         \u{20}          index to every subscriber (bounded per-subscriber queues)\n\
          \u{20}      xsq connect [--addr A] [--chunk N] [--verify] \\\n\
          \u{20}                  (QUERY | --queries QFILE) [FILE...]\n\
          \u{20}          replay a corpus against a server; --verify byte-compares\n\
          \u{20}          the replies with the in-process sequential driver\n\
+         \u{20}      xsq connect --broadcast-feed [--wait-subs N] FILE...\n\
+         \u{20}          claim the broadcast feeder role and push the corpus\n\
+         \u{20}      xsq connect --broadcast-sub --expect-docs N [--verify] \\\n\
+         \u{20}                  (QUERY | --queries QFILE) [FILE...]\n\
+         \u{20}          subscribe to a broadcast stream and render N documents;\n\
+         \u{20}          --verify compares against the driver over FILE...\n\
          \u{20}      xsq transform [--engine stream|dom] [--chunk N] [--verify] \\\n\
          \u{20}                    RULES.xfm [FILE...]\n\
          \u{20}          rewrite documents under .xfm template rules; --verify\n\
